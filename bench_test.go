@@ -1,0 +1,272 @@
+// Package intellitag's root benchmarks regenerate the measurable component
+// of every table and figure in the paper's evaluation section. Each
+// benchmark times the dominant computation behind one experiment; the
+// experiment outputs themselves (metric values, orderings) come from
+// `go run ./cmd/experiments` and are recorded in EXPERIMENTS.md.
+package intellitag_test
+
+import (
+	"testing"
+
+	"intellitag/internal/baselines"
+	"intellitag/internal/core"
+	"intellitag/internal/eval"
+	"intellitag/internal/serving"
+	"intellitag/internal/store"
+	"intellitag/internal/synth"
+	"intellitag/internal/tagmining"
+)
+
+// benchWorld is shared by all benchmarks (generated once).
+var benchWorld = synth.Generate(synth.SmallConfig())
+
+func benchSessions() [][]int {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	var out [][]int
+	for _, s := range train {
+		out = append(out, s.Clicks)
+	}
+	return out
+}
+
+// BenchmarkTableII_DatasetBuild times world generation + graph construction
+// (the data-construction pipeline behind Table II).
+func BenchmarkTableII_DatasetBuild(b *testing.B) {
+	cfg := synth.SmallConfig()
+	for i := 0; i < b.N; i++ {
+		w := synth.Generate(cfg)
+		g := w.BuildGraph(w.Sessions)
+		if g.TotalEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkTableIII_TeacherInference times the multi-task teacher's
+// inference pass (the quantity the paper's Table III reports as 570 min at
+// production scale).
+func BenchmarkTableIII_TeacherInference(b *testing.B) {
+	sentences := benchWorld.LabeledSentences()
+	vocab := tagmining.BuildVocab(sentences)
+	m := tagmining.NewModel(tagmining.TeacherConfig(), vocab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(sentences[i%len(sentences)].Tokens)
+	}
+}
+
+// BenchmarkTableIII_StudentInference times the distilled student — the
+// "14x faster" row of Table III.
+func BenchmarkTableIII_StudentInference(b *testing.B) {
+	sentences := benchWorld.LabeledSentences()
+	vocab := tagmining.BuildVocab(sentences)
+	m := tagmining.NewModel(tagmining.StudentConfig(), vocab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(sentences[i%len(sentences)].Tokens)
+	}
+}
+
+// BenchmarkTableIII_MultiTaskTrainEpoch times one training epoch of the
+// multi-task miner.
+func BenchmarkTableIII_MultiTaskTrainEpoch(b *testing.B) {
+	sentences := benchWorld.LabeledSentences()[:60]
+	vocab := tagmining.BuildVocab(sentences)
+	cfg := tagmining.DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := tagmining.NewModel(tagmining.StudentConfig(), vocab)
+		tagmining.TrainMultiTask(m, sentences, cfg)
+	}
+}
+
+// newBenchIntelliTag builds (untrained) the full model for inference
+// benches.
+func newBenchIntelliTag() *core.Model {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	graph := benchWorld.BuildGraph(train)
+	cfg := core.DefaultConfig()
+	cfg.Dim, cfg.Heads = 16, 2
+	return core.Build(cfg, graph, nil)
+}
+
+// BenchmarkTableIV_IntelliTagTrainEpoch times one end-to-end training epoch
+// of the full model (the Table IV training cost).
+func BenchmarkTableIV_IntelliTagTrainEpoch(b *testing.B) {
+	sessions := benchSessions()[:100]
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	graph := benchWorld.BuildGraph(train)
+	cfg := core.DefaultConfig()
+	cfg.Dim, cfg.Heads = 16, 2
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.Build(cfg, graph, nil)
+		core.TrainEndToEnd(m, sessions, tc)
+	}
+}
+
+// BenchmarkTableIV_IntelliTagScore times one next-click scoring call with
+// the live graph encoder (offline evaluation inner loop of Table IV).
+func BenchmarkTableIV_IntelliTagScore(b *testing.B) {
+	m := newBenchIntelliTag()
+	cands := benchWorld.TagsOfTenant(0)
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreCandidates(history, cands)
+	}
+}
+
+// BenchmarkTableIV_BERT4RecScore is the strongest baseline's scoring cost.
+func BenchmarkTableIV_BERT4RecScore(b *testing.B) {
+	m := baselines.NewBERT4Rec(benchWorld.NumTags(), 16, 2, 2, 12, 0.2, 1)
+	cands := benchWorld.TagsOfTenant(0)
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreCandidates(history, cands)
+	}
+}
+
+// BenchmarkTableIV_GRU4RecScore is the RNN baseline's scoring cost.
+func BenchmarkTableIV_GRU4RecScore(b *testing.B) {
+	m := baselines.NewGRU4Rec(benchWorld.NumTags(), 16, 16, 12, 1)
+	cands := benchWorld.TagsOfTenant(0)
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreCandidates(history, cands)
+	}
+}
+
+// BenchmarkTableIV_SRGNNScore is the session-graph baseline's scoring cost.
+func BenchmarkTableIV_SRGNNScore(b *testing.B) {
+	m := baselines.NewSRGNN(benchWorld.NumTags(), 16, 1, 12, 1)
+	cands := benchWorld.TagsOfTenant(0)
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreCandidates(history, cands)
+	}
+}
+
+// BenchmarkTableIV_Metapath2VecScore is the embedding-lookup baseline's
+// scoring cost (the paper's fastest online model).
+func BenchmarkTableIV_Metapath2VecScore(b *testing.B) {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	graph := benchWorld.BuildGraph(train)
+	cfg := baselines.DefaultMetapath2VecConfig()
+	cfg.Epochs = 1
+	cfg.WalksPerNode = 2
+	m := baselines.NewMetapath2Vec(graph, 16, benchSessions(), cfg)
+	cands := benchWorld.TagsOfTenant(0)
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreCandidates(history, cands)
+	}
+}
+
+// BenchmarkTableV_AblationForward compares the graph encoder with and
+// without neighbor attention (the Table V na ablation's compute side).
+func BenchmarkTableV_AblationForward(b *testing.B) {
+	m := newBenchIntelliTag()
+	b.Run("with-na", func(b *testing.B) {
+		m.Graph.UniformNeighbor = false
+		for i := 0; i < b.N; i++ {
+			m.Graph.Forward(i % m.NumTags)
+		}
+	})
+	b.Run("without-na", func(b *testing.B) {
+		m.Graph.UniformNeighbor = true
+		for i := 0; i < b.N; i++ {
+			m.Graph.Forward(i % m.NumTags)
+		}
+	})
+}
+
+// BenchmarkFig5_AttentionExtraction times the case-study introspection.
+func BenchmarkFig5_AttentionExtraction(b *testing.B) {
+	m := newBenchIntelliTag()
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ContextualAttention(history)
+	}
+}
+
+// BenchmarkFig6_DimSweepPoint times one sweep point's embedding inference
+// (EmbedAll is the dominant fixed cost per dimension setting).
+func BenchmarkFig6_DimSweepPoint(b *testing.B) {
+	m := newBenchIntelliTag()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Graph.EmbedAll()
+	}
+}
+
+// BenchmarkFig7_OnlineDay times one simulated day of online traffic against
+// a frozen IntelliTag engine.
+func BenchmarkFig7_OnlineDay(b *testing.B) {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	catalog, index := serving.BuildCatalog(benchWorld, train)
+	m := newBenchIntelliTag()
+	m.Freeze()
+	engine := serving.NewEngine(catalog, index, m, store.NewLog(), nil)
+	cfg := serving.DefaultSimConfig()
+	cfg.Days = 1
+	cfg.SessionsPerDay = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		serving.Simulate(benchWorld, engine, cfg)
+	}
+}
+
+// BenchmarkTableVI_ServingLatency times a single online recommendation
+// request end to end through the engine (the Table VI latency column).
+func BenchmarkTableVI_ServingLatency(b *testing.B) {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	catalog, index := serving.BuildCatalog(benchWorld, train)
+	m := newBenchIntelliTag()
+	m.Freeze()
+	engine := serving.NewEngine(catalog, index, m, nil, nil)
+	engine.Click(0, 1, catalog.TenantTags[0][0], 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RecommendTags(0, 1, 5)
+	}
+}
+
+// BenchmarkTableVI_AskLatency times the Q&A answer path (retrieval +
+// rerank), the other online flow of Table VI.
+func BenchmarkTableVI_AskLatency(b *testing.B) {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	catalog, index := serving.BuildCatalog(benchWorld, train)
+	m := newBenchIntelliTag()
+	m.Freeze()
+	engine := serving.NewEngine(catalog, index, m, nil, nil)
+	question := benchWorld.RQs[0].Text
+	tenant := benchWorld.RQs[0].Tenant
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Ask(tenant, 1, question)
+	}
+}
+
+// BenchmarkRankingProtocol times the shared 49-negative evaluation loop
+// that every offline table uses.
+func BenchmarkRankingProtocol(b *testing.B) {
+	m := newBenchIntelliTag()
+	m.Freeze()
+	_, _, test := benchWorld.SplitSessions(0.8, 0.1)
+	p := eval.DefaultProtocol()
+	p.MaxQueries = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.EvaluateRanking(m, benchWorld, test, p)
+	}
+}

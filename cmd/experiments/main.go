@@ -1,0 +1,102 @@
+// Command experiments regenerates every table and figure of the IntelliTag
+// paper's evaluation section on the synthetic world.
+//
+// Usage:
+//
+//	experiments [-run all|tableII|tableIII|tableIV|tableV|tableVI|fig5|fig6|fig7] [-fast] [-seed N]
+//
+// -fast shrinks the world and epoch counts for a quick smoke run; the
+// default configuration is the experiment-scale reproduction reported in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"intellitag/internal/eval"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, tableII, tableIII, tableIV, tableV, tableVI, fig5, fig6, fig7, extensions")
+	fast := flag.Bool("fast", false, "use the small fast configuration")
+	seed := flag.Int64("seed", 0, "override the world seed (0 keeps the default)")
+	flag.Parse()
+
+	opts := eval.DefaultOptions()
+	if *fast {
+		opts = eval.FastOptions()
+	}
+	if *seed != 0 {
+		opts.World.Seed = *seed
+	}
+
+	fmt.Printf("Building world (seed %d: %d tenants, %d sessions)...\n",
+		opts.World.Seed, opts.World.NumTenants, opts.World.NumSessions)
+	start := time.Now()
+	h := eval.NewHarness(opts)
+	fmt.Printf("World ready in %s: %d tags, %d RQs, %d graph edges\n\n",
+		time.Since(start).Round(time.Millisecond), h.World.NumTags(), len(h.World.RQs), h.Graph.TotalEdges())
+
+	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
+	ran := false
+
+	if want("tableII") {
+		section("Table II", func() { fmt.Println(h.RunTableII()) })
+		ran = true
+	}
+	if want("tableIII") {
+		section("Table III (tag mining)", func() { fmt.Println(h.RunTableIII()) })
+		ran = true
+	}
+	if want("tableIV") {
+		section("Table IV (offline TagRec)", func() { fmt.Println(h.RunTableIV()) })
+		ran = true
+	}
+	if want("tableV") {
+		section("Table V (attention ablation)", func() { fmt.Println(h.RunTableV()) })
+		ran = true
+	}
+	if want("fig5") {
+		section("Figure 5 (attention case study)", func() { fmt.Println(h.RunFig5()) })
+		ran = true
+	}
+	if want("fig6") {
+		section("Figure 6 (hyperparameter sensitivity)", func() { fmt.Println(h.RunFig6()) })
+		ran = true
+	}
+	if want("fig7") || want("tableVI") {
+		section("Figure 7 + Table VI (online simulation)", func() {
+			fig := h.RunFig7()
+			fmt.Println(fig)
+			fmt.Println(h.RunTableVI(fig))
+		})
+		ran = true
+	}
+	if *run == "extensions" {
+		section("Extensions (beyond the paper)", func() {
+			fmt.Println(h.RunMetapathAblation())
+			fmt.Println(h.RunNegativeProtocolAblation())
+			fmt.Println(h.RunTenantBreakdown())
+			fmt.Println(h.RunDistillationSweep())
+			fmt.Println(h.RunMatcherEval())
+		})
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("Total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(name string, fn func()) {
+	fmt.Printf("=== %s ===\n", name)
+	start := time.Now()
+	fn()
+	fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,95 @@
+// Command intellitag-server runs the online IntelliTag model server over a
+// synthetic world: it trains the TagRec model offline, uploads the frozen
+// tag embeddings (the deployment strategy of Section V-B) and serves the
+// Q&A / tag-recommendation HTTP API.
+//
+// Usage:
+//
+//	intellitag-server [-addr :8080] [-fast] [-seed 1]
+//
+// Endpoints: POST /ask, /click, /recommend; GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"intellitag/internal/core"
+	"intellitag/internal/mat"
+	"intellitag/internal/qamatch"
+	"intellitag/internal/serving"
+	"intellitag/internal/store"
+	"intellitag/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fast := flag.Bool("fast", true, "train the small fast configuration")
+	seed := flag.Int64("seed", 1, "world seed")
+	matcher := flag.Bool("matcher", true, "train and serve the Q&A matcher (reranks /ask results)")
+	flag.Parse()
+
+	worldCfg := synth.DefaultConfig()
+	if *fast {
+		worldCfg = synth.SmallConfig()
+	}
+	worldCfg.Seed = *seed
+
+	log.Printf("generating world (seed %d)...", *seed)
+	world := synth.Generate(worldCfg)
+	train, _, _ := world.SplitSessions(0.9, 0.05)
+	graph := world.BuildGraph(train)
+
+	log.Printf("training TagRec model on %d sessions...", len(train))
+	recCfg := core.DefaultConfig()
+	if *fast {
+		recCfg.Dim = 16
+		recCfg.Heads = 2
+	}
+	model := core.Build(recCfg, graph, nil)
+	trainCfg := core.DefaultTrainConfig()
+	if *fast {
+		trainCfg.Epochs = 2
+	}
+	var clicks [][]int
+	for _, s := range train {
+		clicks = append(clicks, s.Clicks)
+	}
+	start := time.Now()
+	core.TrainFull(model, graph, clicks, trainCfg)
+	log.Printf("trained in %s", time.Since(start).Round(time.Millisecond))
+
+	// Offline inference: freeze tag embeddings for serving (no online GNN).
+	model.Freeze()
+
+	catalog, index := serving.BuildCatalog(world, train)
+	engine := serving.NewEngine(catalog, index, model, store.NewLog(), nil)
+
+	if *matcher {
+		log.Printf("training Q&A matcher...")
+		rng := mat.NewRNG(*seed + 7)
+		var pairs []qamatch.Pair
+		for _, rq := range world.RQs {
+			pairs = append(pairs, qamatch.Pair{Question: world.Paraphrase(rq.ID, rng), RQ: rq.Text, Tenant: rq.Tenant})
+		}
+		vocab := qamatch.BuildVocab(pairs)
+		qm := qamatch.NewMatcher(qamatch.DefaultConfig(), vocab)
+		qamatch.Train(qm, pairs, qamatch.DefaultTrainConfig())
+		var ids []int
+		var texts []string
+		for _, rq := range world.RQs {
+			ids = append(ids, rq.ID)
+			texts = append(texts, rq.Text)
+		}
+		engine.SetMatcher(qm.BuildIndex(ids, texts))
+		log.Printf("matcher online")
+	}
+	server := serving.NewServer(serving.NewABRouter(engine))
+
+	fmt.Printf("IntelliTag server listening on %s\n", *addr)
+	fmt.Printf("try: curl -s -X POST localhost%s/recommend -d '{\"tenant\":0,\"session\":1,\"k\":5}'\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server))
+}

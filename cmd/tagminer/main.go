@@ -1,0 +1,77 @@
+// Command tagminer runs the offline tag mining pipeline of Section III:
+// train the multi-task tagger on labeled RQ sentences, distill it into the
+// compact student, extract candidate tags from the corpus, purify them with
+// the rule filter, and print the resulting tag deposit.
+//
+// Usage:
+//
+//	tagminer [-fast] [-seed 1] [-top 30] [-distill]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"intellitag/internal/synth"
+	"intellitag/internal/tagmining"
+	"intellitag/internal/textproc"
+)
+
+func main() {
+	fast := flag.Bool("fast", true, "use the small world")
+	seed := flag.Int64("seed", 1, "world seed")
+	top := flag.Int("top", 30, "number of mined tags to print")
+	distill := flag.Bool("distill", true, "also distill and use the student for extraction")
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	if *fast {
+		cfg = synth.SmallConfig()
+	}
+	cfg.Seed = *seed
+	world := synth.Generate(cfg)
+	sentences := world.LabeledSentences()
+	log.Printf("world: %d RQ sentences, %d true tags", len(sentences), world.NumTags())
+
+	vocab := tagmining.BuildVocab(sentences)
+	teacher := tagmining.NewModel(tagmining.TeacherConfig(), vocab)
+	trainCfg := tagmining.DefaultTrainConfig()
+	start := time.Now()
+	loss := tagmining.TrainMultiTask(teacher, sentences, trainCfg)
+	log.Printf("teacher trained in %s (final loss %.3f, %d params)",
+		time.Since(start).Round(time.Millisecond), loss, teacher.NumParams())
+
+	var miner tagmining.Tagger = teacher
+	if *distill {
+		student := tagmining.NewModel(tagmining.StudentConfig(), vocab)
+		start = time.Now()
+		tagmining.Distill(teacher, student, sentences, trainCfg, 2.0, 0.5)
+		log.Printf("student distilled in %s (%d params, %.1fx smaller)",
+			time.Since(start).Round(time.Millisecond), student.NumParams(),
+			float64(teacher.NumParams())/float64(student.NumParams()))
+		miner = student
+	}
+
+	var tokens [][]string
+	for _, s := range sentences {
+		tokens = append(tokens, s.Tokens)
+	}
+	mined := tagmining.Extract(miner, tokens, 0.5)
+	stats := textproc.NewCorpusStats(tokens, 5)
+	filtered := tagmining.ApplyRules(mined, stats, tagmining.DefaultRuleConfig())
+	log.Printf("mined %d candidates, %d survive rules", len(mined), len(filtered))
+
+	fmt.Printf("\n%-30s %8s %8s %10s %8s\n", "Tag", "Count", "Weight", "RuleScore", "Real?")
+	for i, t := range filtered {
+		if i >= *top {
+			break
+		}
+		real := "no"
+		if world.TagIDByPhrase(t.Phrase) >= 0 {
+			real = "yes"
+		}
+		fmt.Printf("%-30s %8d %8.3f %10.3f %8s\n", t.Phrase, t.Count, t.Weight, t.RuleScore, real)
+	}
+}

@@ -1,0 +1,102 @@
+// Ecommerce walks through the paper's introduction scenario: an E-commerce
+// tenant whose users ask about logistics, orders and refunds. It exercises
+// the Q&A side of IntelliTag — the KB warehouse, the automatic Q&A
+// collection pipeline (clustering + answer selection), the BM25 search
+// substitute for ElasticSearch, and the serving engine's ask/click flow.
+package main
+
+import (
+	"fmt"
+
+	"intellitag/internal/kb"
+	"intellitag/internal/search"
+	"intellitag/internal/serving"
+	"intellitag/internal/store"
+)
+
+func main() {
+	const tenant = 0
+	warehouse := kb.NewWarehouse()
+
+	// The tenant uploads a few self-ordained Q&A pairs.
+	warehouse.Upload(tenant, "where is my order logistics", "Track your parcel under Orders > Logistics.")
+	warehouse.Upload(tenant, "how to cancel the order", "Open the order page and tap Cancel within 30 minutes.")
+	warehouse.Upload(tenant, "how to change delivery address", "Edit the address before the parcel ships.")
+
+	// Users keep asking about refunds — a topic with no KB coverage — and
+	// manual agents reply. The collection pipeline clusters the questions
+	// and promotes a new Q&A pair automatically (Section III-A).
+	userQuestions := []kb.UserQuestion{
+		{Tenant: tenant, Text: "refund my payment please", Replies: []string{"Refunds of payment arrive within three days."}},
+		{Tenant: tenant, Text: "payment refund status check", Replies: []string{"Check refund progress under the refunds page."}},
+		{Tenant: tenant, Text: "when will my payment refund arrive", Replies: []string{"Payment refunds take three business days."}},
+	}
+	cfg := kb.DefaultCollectConfig()
+	cfg.Eps = 0.45
+	result := kb.Collect(warehouse, tenant, userQuestions, cfg)
+	fmt.Printf("auto-collection: %d clusters, %d new Q&A pairs\n", result.Clusters, result.NewPairs)
+
+	// Build the serving engine over the warehouse.
+	index := search.NewIndex()
+	catalog := serving.Catalog{
+		TagPhrases: []string{"order", "logistics", "cancel", "refund", "address"},
+		TenantTags: map[int][]int{tenant: {0, 1, 2, 3, 4}},
+		Popularity: []float64{5, 4, 3, 2, 1},
+		RQAnswers:  map[int]string{},
+	}
+	for _, p := range warehouse.All() {
+		index.Add(p.ID, p.Tenant, p.Question)
+		catalog.RQAnswers[p.ID] = p.Answer
+	}
+	engine := serving.NewEngine(catalog, index, lastClickScorer{}, store.NewLog(), nil)
+
+	// A user types a question, as in the paper's Fig. 1 left panel.
+	fmt.Println("\nuser asks: \"where is my order\"")
+	if match, ok := engine.Ask(tenant, 1, "where is my order"); ok {
+		fmt.Printf("  matched RQ: %q\n  answer:     %q\n", match.Question, match.Answer)
+	}
+
+	// The user clicks the "refund" tag; the engine returns predicted
+	// questions for the accumulated tag query (Fig. 1 middle panel).
+	fmt.Println("\nuser clicks tag \"refund\"")
+	_, questions := engine.Click(tenant, 1, 3, 3)
+	for _, q := range questions {
+		fmt.Printf("  predicted question: %q (answer: %q)\n", q.Question, q.Answer)
+	}
+
+	// Cold start for a fresh session: most popular tags first.
+	fmt.Println("\nfresh session cold-start recommendations:")
+	for _, r := range engine.RecommendTags(tenant, 99, 3) {
+		fmt.Printf("  %-10s (popularity %.0f)\n", r.Phrase, r.Score)
+	}
+}
+
+// lastClickScorer is a trivial model: it scores a candidate by co-occurrence
+// with the last click in this hand-written matrix (a stand-in for TagRec).
+type lastClickScorer struct{}
+
+var related = map[int][]int{
+	0: {1, 2, 3}, // order -> logistics, cancel, refund
+	1: {0},       // logistics -> order
+	2: {0, 3},    // cancel -> order, refund
+	3: {0, 2},    // refund -> order, cancel
+	4: {0},       // address -> order
+}
+
+func (lastClickScorer) ScoreCandidates(history, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	if len(history) == 0 {
+		return out
+	}
+	last := history[len(history)-1]
+	for i, c := range candidates {
+		for rank, r := range related[last] {
+			if r == c {
+				out[i] = float64(len(related[last]) - rank)
+			}
+		}
+	}
+	return out
+}
+
+func (lastClickScorer) Name() string { return "rules" }

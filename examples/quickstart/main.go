@@ -1,0 +1,62 @@
+// Quickstart: the minimal end-to-end IntelliTag flow — generate a world,
+// mine tags from its representative questions, train the TagRec model, and
+// recommend the next tags for a click history.
+package main
+
+import (
+	"fmt"
+
+	"intellitag/internal/core"
+	"intellitag/internal/synth"
+	"intellitag/internal/tagmining"
+)
+
+func main() {
+	// 1. A synthetic customer-service world: tenants, questions, sessions.
+	world := synth.Generate(synth.SmallConfig())
+	fmt.Printf("world: %d tenants, %d tags, %d RQs, %d sessions\n",
+		len(world.Tenants), world.NumTags(), len(world.RQs), len(world.Sessions))
+
+	// 2. Mine tags from the labeled RQ sentences with the multi-task model.
+	sentences := world.LabeledSentences()
+	vocab := tagmining.BuildVocab(sentences)
+	miner := tagmining.NewModel(tagmining.StudentConfig(), vocab)
+	cfg := tagmining.DefaultTrainConfig()
+	cfg.Epochs = 2
+	tagmining.TrainMultiTask(miner, sentences, cfg)
+	var tokens [][]string
+	for _, s := range sentences[:100] {
+		tokens = append(tokens, s.Tokens)
+	}
+	mined := tagmining.Extract(miner, tokens, 0.5)
+	fmt.Printf("mined %d candidate tags; top 3:\n", len(mined))
+	for i, t := range mined {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %q (count %d, weight %.2f)\n", t.Phrase, t.Count, t.Weight)
+	}
+
+	// 3. Train the TagRec model end-to-end on the session clicks.
+	train, _, _ := world.SplitSessions(0.9, 0.05)
+	graph := world.BuildGraph(train)
+	recCfg := core.DefaultConfig()
+	recCfg.Dim, recCfg.Heads = 16, 2
+	model := core.Build(recCfg, graph, nil)
+	trainCfg := core.DefaultTrainConfig()
+	trainCfg.Epochs = 2
+	var clicks [][]int
+	for _, s := range train {
+		clicks = append(clicks, s.Clicks)
+	}
+	core.TrainFull(model, graph, clicks, trainCfg)
+
+	// 4. Recommend the next tags for a user's click history.
+	session := world.Sessions[0]
+	history := session.Clicks[:1]
+	candidates := world.TagsOfTenant(session.Tenant)
+	fmt.Printf("\nuser clicked %q; top-5 recommendations:\n", world.Tags[history[0]].Phrase())
+	for _, rec := range model.Recommend(history, candidates, 5) {
+		fmt.Printf("  %-30s score %.3f\n", world.Tags[rec.Tag].Phrase(), rec.Score)
+	}
+}

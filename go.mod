@@ -1,0 +1,3 @@
+module intellitag
+
+go 1.22

@@ -1,0 +1,182 @@
+// Package ann provides an approximate-nearest-neighbor index over tag
+// embeddings using random-hyperplane LSH (cosine similarity). The paper's
+// metapath2vec serving "directly uploads the closest tags of each tag from
+// the offline calculation in advance" (Section VI-F); at production scale
+// (tens of thousands of tags) that offline calculation needs sublinear
+// search, which this index supplies. Exact brute-force search is available
+// as a fallback and as the ground truth for tests.
+package ann
+
+import (
+	"fmt"
+	"sort"
+
+	"intellitag/internal/mat"
+)
+
+// Neighbor is one search result.
+type Neighbor struct {
+	ID  int
+	Sim float64 // cosine similarity to the query
+}
+
+// Index is a random-hyperplane LSH index with multi-table lookup.
+type Index struct {
+	dim     int
+	bits    int // hyperplanes per table
+	tables  int
+	planes  [][]float64 // tables*bits hyperplanes, row-major
+	buckets []map[uint64][]int
+	vecs    *mat.Matrix
+}
+
+// Config sizes the index.
+type Config struct {
+	Bits   int // hash bits per table (more bits = smaller buckets)
+	Tables int // more tables = higher recall
+	Seed   int64
+}
+
+// DefaultConfig suits a few hundred to a few hundred thousand vectors.
+func DefaultConfig() Config { return Config{Bits: 10, Tables: 8, Seed: 61} }
+
+// Build constructs the index over the rows of vecs (row index = id).
+func Build(vecs *mat.Matrix, cfg Config) *Index {
+	if cfg.Bits <= 0 || cfg.Bits > 60 {
+		panic(fmt.Sprintf("ann: bits %d out of range", cfg.Bits))
+	}
+	g := mat.NewRNG(cfg.Seed)
+	ix := &Index{
+		dim: vecs.Cols, bits: cfg.Bits, tables: cfg.Tables,
+		vecs:    vecs,
+		buckets: make([]map[uint64][]int, cfg.Tables),
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		ix.buckets[t] = map[uint64][]int{}
+		for b := 0; b < cfg.Bits; b++ {
+			plane := make([]float64, ix.dim)
+			for j := range plane {
+				plane[j] = g.NormFloat64()
+			}
+			ix.planes = append(ix.planes, plane)
+		}
+	}
+	for id := 0; id < vecs.Rows; id++ {
+		v := vecs.Row(id)
+		for t := 0; t < cfg.Tables; t++ {
+			h := ix.hash(t, v)
+			ix.buckets[t][h] = append(ix.buckets[t][h], id)
+		}
+	}
+	return ix
+}
+
+// hash computes table t's signature of v.
+func (ix *Index) hash(t int, v []float64) uint64 {
+	var h uint64
+	base := t * ix.bits
+	for b := 0; b < ix.bits; b++ {
+		if mat.Dot(ix.planes[base+b], v) >= 0 {
+			h |= 1 << uint(b)
+		}
+	}
+	return h
+}
+
+// Search returns up to k approximate nearest neighbors of query by cosine
+// similarity, excluding exclude (pass -1 to keep all). Candidates come from
+// the query's bucket in every table; if fewer than k distinct candidates
+// surface, the search degrades gracefully (callers needing guarantees use
+// Exact).
+func (ix *Index) Search(query []float64, k, exclude int) []Neighbor {
+	seen := map[int]bool{}
+	var out []Neighbor
+	for t := 0; t < ix.tables; t++ {
+		for _, id := range ix.buckets[t][ix.hash(t, query)] {
+			if id == exclude || seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, Neighbor{ID: id, Sim: mat.CosineSim(query, ix.vecs.Row(id))})
+		}
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Exact returns the true top-k neighbors by brute force — the ground truth
+// for recall measurements and the fallback for small catalogs.
+func Exact(vecs *mat.Matrix, query []float64, k, exclude int) []Neighbor {
+	out := make([]Neighbor, 0, vecs.Rows)
+	for id := 0; id < vecs.Rows; id++ {
+		if id == exclude {
+			continue
+		}
+		out = append(out, Neighbor{ID: id, Sim: mat.CosineSim(query, vecs.Row(id))})
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Sim != ns[j].Sim {
+			return ns[i].Sim > ns[j].Sim
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// RecallAtK measures the index's recall against exact search over sample
+// query rows: |approx top-k ∩ exact top-k| / k, averaged.
+func (ix *Index) RecallAtK(k int, sampleEvery int) float64 {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	var total float64
+	var n int
+	for id := 0; id < ix.vecs.Rows; id += sampleEvery {
+		q := ix.vecs.Row(id)
+		truth := Exact(ix.vecs, q, k, id)
+		approx := ix.Search(q, k, id)
+		truthSet := map[int]bool{}
+		for _, t := range truth {
+			truthSet[t.ID] = true
+		}
+		hits := 0
+		for _, a := range approx {
+			if truthSet[a.ID] {
+				hits++
+			}
+		}
+		if len(truth) > 0 {
+			total += float64(hits) / float64(len(truth))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// ClosestTable precomputes each row's top-k neighbor ids — the artifact the
+// paper's metapath2vec deployment uploads to the online servers.
+func (ix *Index) ClosestTable(k int) [][]int {
+	out := make([][]int, ix.vecs.Rows)
+	for id := 0; id < ix.vecs.Rows; id++ {
+		ns := ix.Search(ix.vecs.Row(id), k, id)
+		ids := make([]int, len(ns))
+		for i, n := range ns {
+			ids[i] = n.ID
+		}
+		out[id] = ids
+	}
+	return out
+}

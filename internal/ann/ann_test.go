@@ -1,0 +1,130 @@
+package ann
+
+import (
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+// clusteredVecs builds nClusters tight clusters of size clusterSize on a
+// sphere, so true nearest neighbors are unambiguous.
+func clusteredVecs(nClusters, clusterSize, dim int, seed int64) *mat.Matrix {
+	g := mat.NewRNG(seed)
+	centers := mat.New(nClusters, dim)
+	g.Normal(centers, 1)
+	vecs := mat.New(nClusters*clusterSize, dim)
+	for c := 0; c < nClusters; c++ {
+		for i := 0; i < clusterSize; i++ {
+			row := vecs.Row(c*clusterSize + i)
+			for j := 0; j < dim; j++ {
+				row[j] = centers.At(c, j) + g.NormFloat64()*0.05
+			}
+		}
+	}
+	return vecs
+}
+
+func TestExactTopK(t *testing.T) {
+	vecs := clusteredVecs(4, 5, 8, 1)
+	// Query with vector 0: its top-4 (excluding itself) must be its cluster.
+	got := Exact(vecs, vecs.Row(0), 4, 0)
+	if len(got) != 4 {
+		t.Fatalf("got %d neighbors", len(got))
+	}
+	for _, n := range got {
+		if n.ID >= 5 {
+			t.Fatalf("neighbor %d outside cluster 0", n.ID)
+		}
+		if n.Sim < 0.9 {
+			t.Fatalf("cluster neighbor sim %v too low", n.Sim)
+		}
+	}
+	// Sorted descending.
+	for i := 1; i < len(got); i++ {
+		if got[i].Sim > got[i-1].Sim {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestExactExclude(t *testing.T) {
+	vecs := clusteredVecs(2, 3, 4, 2)
+	got := Exact(vecs, vecs.Row(0), 10, 0)
+	for _, n := range got {
+		if n.ID == 0 {
+			t.Fatal("excluded id returned")
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestIndexHighRecallOnClusters(t *testing.T) {
+	vecs := clusteredVecs(20, 10, 16, 3)
+	ix := Build(vecs, DefaultConfig())
+	recall := ix.RecallAtK(5, 7)
+	if recall < 0.85 {
+		t.Fatalf("recall@5 = %.3f, want >= 0.85", recall)
+	}
+}
+
+func TestIndexSearchFindsOwnCluster(t *testing.T) {
+	vecs := clusteredVecs(10, 8, 16, 4)
+	ix := Build(vecs, DefaultConfig())
+	hits := ix.Search(vecs.Row(0), 7, 0)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	inCluster := 0
+	for _, n := range hits {
+		if n.ID < 8 {
+			inCluster++
+		}
+	}
+	if inCluster < len(hits)/2 {
+		t.Fatalf("only %d/%d hits in own cluster", inCluster, len(hits))
+	}
+}
+
+func TestClosestTable(t *testing.T) {
+	vecs := clusteredVecs(5, 4, 8, 5)
+	ix := Build(vecs, DefaultConfig())
+	table := ix.ClosestTable(3)
+	if len(table) != vecs.Rows {
+		t.Fatalf("table rows %d", len(table))
+	}
+	for id, ns := range table {
+		if len(ns) > 3 {
+			t.Fatalf("row %d has %d neighbors", id, len(ns))
+		}
+		for _, n := range ns {
+			if n == id {
+				t.Fatalf("row %d lists itself", id)
+			}
+		}
+	}
+}
+
+func TestBuildPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(mat.New(1, 4), Config{Bits: 0, Tables: 1, Seed: 1})
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	vecs := clusteredVecs(6, 5, 8, 6)
+	a := Build(vecs, DefaultConfig()).Search(vecs.Row(3), 5, 3)
+	b := Build(vecs, DefaultConfig()).Search(vecs.Row(3), 5, 3)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

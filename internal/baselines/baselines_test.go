@@ -1,0 +1,271 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/synth"
+)
+
+// world and splits shared by the learning tests.
+var (
+	world                  = synth.Generate(synth.SmallConfig())
+	trainSess, _, testSess = world.SplitSessions(0.8, 0.1)
+)
+
+func trainClicks() [][]int {
+	var out [][]int
+	for _, s := range trainSess {
+		out = append(out, s.Clicks)
+	}
+	return out
+}
+
+// evalMRR ranks the true next click among 50 candidates for up to n test
+// prefixes.
+func evalMRR(scorer interface {
+	ScoreCandidates(history, candidates []int) []float64
+}, n int) float64 {
+	rng := mat.NewRNG(55)
+	var mrr float64
+	var count int
+	for _, s := range testSess {
+		if len(s.Clicks) < 2 {
+			continue
+		}
+		history := s.Clicks[:len(s.Clicks)-1]
+		target := s.Clicks[len(s.Clicks)-1]
+		cands := []int{target}
+		for len(cands) < 50 {
+			c := rng.Intn(world.NumTags())
+			if c != target {
+				cands = append(cands, c)
+			}
+		}
+		scores := scorer.ScoreCandidates(history, cands)
+		rank := 1
+		for i := 1; i < len(scores); i++ {
+			if scores[i] > scores[0] {
+				rank++
+			}
+		}
+		mrr += 1 / float64(rank)
+		count++
+		if count >= n {
+			break
+		}
+	}
+	return mrr / float64(count)
+}
+
+const chanceMRR = 0.09 // expected MRR of a random ranker over 50 candidates
+
+func TestGRU4RecLearns(t *testing.T) {
+	m := NewGRU4Rec(world.NumTags(), 16, 16, 12, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+	loss := m.Train(trainClicks(), cfg)
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if mrr := evalMRR(m, 80); mrr < chanceMRR*1.5 {
+		t.Fatalf("GRU4Rec MRR %v not above chance", mrr)
+	}
+}
+
+func TestGRU4RecEmptyHistory(t *testing.T) {
+	m := NewGRU4Rec(10, 4, 4, 8, 1)
+	scores := m.ScoreCandidates(nil, []int{1, 2})
+	if len(scores) != 2 || scores[0] != 0 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestBERT4RecLearns(t *testing.T) {
+	m := NewBERT4Rec(world.NumTags(), 16, 2, 2, 12, 0.2, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	loss := m.Train(trainClicks(), cfg)
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if mrr := evalMRR(m, 80); mrr < chanceMRR*2 {
+		t.Fatalf("BERT4Rec MRR %v not above chance", mrr)
+	}
+}
+
+func TestBERT4RecTrainingLossDecreases(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	m1 := NewBERT4Rec(world.NumTags(), 8, 2, 1, 12, 0.2, 3)
+	first := m1.Train(trainClicks()[:150], cfg)
+	cfg.Epochs = 4
+	m2 := NewBERT4Rec(world.NumTags(), 8, 2, 1, 12, 0.2, 3)
+	last := m2.Train(trainClicks()[:150], cfg)
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestBERT4RecScoreDoesNotMutateHistory(t *testing.T) {
+	m := NewBERT4Rec(10, 8, 2, 1, 6, 0.2, 4)
+	backing := []int{1, 2, 3, 4}
+	history := backing[:2] // capacity beyond length
+	m.ScoreCandidates(history, []int{5})
+	if backing[2] != 3 {
+		t.Fatal("ScoreCandidates mutated the caller's slice")
+	}
+}
+
+func TestSRGNNLearns(t *testing.T) {
+	m := NewSRGNN(world.NumTags(), 16, 1, 12, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	loss := m.Train(trainClicks(), cfg)
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if mrr := evalMRR(m, 80); mrr < chanceMRR*1.5 {
+		t.Fatalf("SR-GNN MRR %v not above chance", mrr)
+	}
+}
+
+func TestSRGNNSessionGraph(t *testing.T) {
+	g := buildSessionGraph([]int{7, 3, 7, 9})
+	if len(g.items) != 3 {
+		t.Fatalf("unique items = %v", g.items)
+	}
+	if g.lastIdx != g.index[9] {
+		t.Fatal("lastIdx wrong")
+	}
+	// 7 has outgoing edges to 3 and 9: row sums to 1 after normalization.
+	row := g.aOut.Row(g.index[7])
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("normalized out-row sums to %v", sum)
+	}
+	if g.aOut.At(g.index[7], g.index[3]) != 0.5 {
+		t.Fatalf("7->3 weight = %v", g.aOut.At(g.index[7], g.index[3]))
+	}
+}
+
+func TestSRGNNEmptyHistory(t *testing.T) {
+	m := NewSRGNN(10, 8, 1, 8, 6)
+	scores := m.ScoreCandidates(nil, []int{0, 1})
+	if len(scores) != 2 || scores[0] != 0 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+// Gradient check SR-GNN's session embedding (it is the only hand-rolled
+// backward outside internal/nn and internal/core).
+func TestSRGNNGradcheck(t *testing.T) {
+	m := NewSRGNN(6, 4, 2, 8, 7)
+	history := []int{0, 1, 0, 2}
+	g := mat.NewRNG(8)
+	w := make([]float64, 4)
+	for i := range w {
+		w[i] = g.NormFloat64()
+	}
+	forward := func() float64 {
+		s, _ := m.sessionEmbedding(history)
+		return mat.Dot(s, w)
+	}
+	m.params.ZeroGrad()
+	_, backward := m.sessionEmbedding(history)
+	backward(w)
+	const eps, tol = 1e-5, 3e-4
+	for _, p := range m.params.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := forward()
+			p.Value.Data[i] = orig - eps
+			lm := forward()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := p.Grad.Data[i]
+			if math.Abs(num-got) > tol*math.Max(1, math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %v numeric %v", p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestMetapath2VecLearns(t *testing.T) {
+	graph := world.BuildGraph(trainSess)
+	cfg := DefaultMetapath2VecConfig()
+	cfg.Epochs = 1
+	m := NewMetapath2Vec(graph, 16, trainClicks(), cfg)
+	if mrr := evalMRR(m, 80); mrr < chanceMRR*1.5 {
+		t.Fatalf("metapath2vec MRR %v not above chance", mrr)
+	}
+}
+
+func TestMetapath2VecColdStartUsesPopularity(t *testing.T) {
+	graph := world.BuildGraph(trainSess)
+	cfg := DefaultMetapath2VecConfig()
+	cfg.Epochs = 0 // no training needed for this check
+	m := NewMetapath2Vec(graph, 8, [][]int{{3, 3, 3}, {5}}, cfg)
+	scores := m.ScoreCandidates(nil, []int{3, 5})
+	if scores[0] <= scores[1] {
+		t.Fatalf("popularity prior not applied: %v", scores)
+	}
+}
+
+func TestMetapath2VecEmbeddingsDiscriminative(t *testing.T) {
+	graph := world.BuildGraph(trainSess)
+	cfg := DefaultMetapath2VecConfig()
+	cfg.Epochs = 1
+	m := NewMetapath2Vec(graph, 16, trainClicks(), cfg)
+	// Averaged over tags: similarity to a TT-neighbor should exceed
+	// similarity to a random tag.
+	rng := mat.NewRNG(66)
+	var nb, rnd float64
+	var n int
+	for t0 := 0; t0 < graph.NumTags && n < 60; t0++ {
+		nbs := graph.MetapathNeighbors(hetgraph.NodeID(t0), hetgraph.TT)
+		if len(nbs) == 0 {
+			continue
+		}
+		nb += mat.CosineSim(m.Embedding(t0), m.Embedding(int(nbs[0])))
+		rnd += mat.CosineSim(m.Embedding(t0), m.Embedding(rng.Intn(graph.NumTags)))
+		n++
+	}
+	if nb <= rnd {
+		t.Fatalf("neighbor sim %v <= random sim %v", nb/float64(n), rnd/float64(n))
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&GRU4Rec{}).Name() != "GRU4Rec" || (&BERT4Rec{}).Name() != "BERT4Rec" ||
+		(&SRGNN{}).Name() != "SR-GNN" || (&Metapath2Vec{}).Name() != "metapath2vec" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMetapath2VecClosestTags(t *testing.T) {
+	graph := world.BuildGraph(trainSess)
+	cfg := DefaultMetapath2VecConfig()
+	cfg.Epochs = 1
+	m := NewMetapath2Vec(graph, 16, trainClicks(), cfg)
+	table := m.ClosestTags(5)
+	if len(table) != world.NumTags() {
+		t.Fatalf("table rows = %d", len(table))
+	}
+	for id, ns := range table {
+		if len(ns) > 5 {
+			t.Fatalf("row %d has %d entries", id, len(ns))
+		}
+		for _, n := range ns {
+			if n == id {
+				t.Fatalf("row %d lists itself", id)
+			}
+		}
+	}
+}

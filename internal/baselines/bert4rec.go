@@ -1,0 +1,156 @@
+package baselines
+
+import (
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+)
+
+// BERT4Rec (Sun et al. 2019) models the click sequence with a bidirectional
+// Transformer trained on the Cloze objective: random positions are masked
+// and predicted from both directions. It is the paper's strongest offline
+// baseline; unlike IntelliTag it learns item embeddings directly with no
+// graph structure.
+type BERT4Rec struct {
+	NumItems, Dim int
+
+	emb     *nn.Embedding
+	maskEmb *nn.Param
+	pos     *nn.PositionalEmbedding
+	enc     *nn.Encoder
+	proj    *nn.Linear
+
+	maskProb float64
+	maxLen   int
+	params   *nn.Collector
+}
+
+// NewBERT4Rec builds the model with the paper's settings (2 Transformer
+// layers, mask proportion 0.2).
+func NewBERT4Rec(numItems, dim, heads, layers, maxLen int, maskProb float64, seed int64) *BERT4Rec {
+	g := mat.NewRNG(seed)
+	m := &BERT4Rec{
+		NumItems: numItems, Dim: dim,
+		emb:      nn.NewEmbedding("bert4rec.emb", numItems, dim, g),
+		maskEmb:  nn.NewParam("bert4rec.mask", 1, dim),
+		pos:      nn.NewPositionalEmbedding("bert4rec", maxLen, dim, g),
+		enc:      nn.NewEncoder("bert4rec.enc", layers, dim, heads, 0.1, g),
+		proj:     nn.NewLinear("bert4rec.proj", dim, numItems, g),
+		maskProb: maskProb,
+		maxLen:   maxLen,
+	}
+	m.maskEmb.InitNormal(g, 0.02)
+	m.params = nn.NewCollector()
+	m.params.Add(m.maskEmb)
+	m.emb.CollectParams(m.params)
+	m.pos.CollectParams(m.params)
+	m.enc.CollectParams(m.params)
+	m.proj.CollectParams(m.params)
+	return m
+}
+
+// forward embeds the items (replacing masked positions) and returns logits
+// plus a backward closure.
+func (m *BERT4Rec) forward(items []int, masked map[int]bool) (*mat.Matrix, func(dLogits *mat.Matrix)) {
+	n := len(items)
+	ids := make([]int, n)
+	copy(ids, items)
+	x := m.emb.Forward(ids)
+	for i := range items {
+		if masked[i] {
+			copy(x.Row(i), m.maskEmb.Value.Row(0))
+		}
+	}
+	h := m.enc.Forward(m.pos.Forward(x))
+	logits := m.proj.Forward(h)
+	backward := func(dLogits *mat.Matrix) {
+		dX := m.pos.Backward(m.enc.Backward(m.proj.Backward(dLogits)))
+		for i := range items {
+			if masked[i] {
+				mat.AXPY(1, dX.Row(i), m.maskEmb.Grad.Row(0))
+				// The original item embedding was replaced by the mask, so
+				// it must not receive this position's gradient.
+				row := dX.Row(i)
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		m.emb.Backward(dX)
+	}
+	return logits, backward
+}
+
+// Train runs Cloze-objective training.
+func (m *BERT4Rec) Train(sessions [][]int, cfg TrainConfig) float64 {
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	m.enc.SetTrain(true)
+	totalSteps := cfg.Epochs * len(sessions)
+	step := 0
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		for _, si := range perm {
+			s := clip(sessions[si], m.maxLen)
+			if len(s) == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			masked := map[int]bool{}
+			for i := range s {
+				if rng.Float64() < m.maskProb {
+					masked[i] = true
+				}
+			}
+			masked[len(s)-1] = true
+
+			m.params.ZeroGrad()
+			logits, backward := m.forward(s, masked)
+			dLogits := mat.New(len(s), m.NumItems)
+			var loss float64
+			for i := range s {
+				if !masked[i] {
+					continue
+				}
+				li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), s[i])
+				loss += li
+				dLogits.SetRow(i, grad)
+			}
+			scale := 1 / float64(len(masked))
+			mat.ScaleInPlace(dLogits, scale)
+			backward(dLogits)
+			nn.ClipGradNorm(m.params.Params(), cfg.ClipNorm)
+			opt.Step(m.params.Params())
+			epochLoss += loss * scale
+			counted++
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	m.enc.SetTrain(false)
+	return lastLoss
+}
+
+// ScoreCandidates appends a mask slot to the history and reads its logits.
+func (m *BERT4Rec) ScoreCandidates(history []int, candidates []int) []float64 {
+	m.enc.SetTrain(false)
+	clipped := clip(history, m.maxLen-1)
+	items := make([]int, 0, len(clipped)+1)
+	items = append(items, clipped...)
+	items = append(items, 0)
+	masked := map[int]bool{len(items) - 1: true}
+	logits, _ := m.forward(items, masked)
+	row := logits.Row(len(items) - 1)
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = row[c]
+	}
+	return out
+}
+
+// Name identifies the model in reports.
+func (m *BERT4Rec) Name() string { return "BERT4Rec" }

@@ -1,0 +1,150 @@
+// Package baselines implements the four comparison systems of the paper's
+// Table IV: GRU4Rec (RNN with ranking loss), BERT4Rec (bidirectional
+// Transformer with Cloze training), SR-GNN (session-graph GNN) and
+// metapath2vec (unsupervised heterogeneous network embedding). All share the
+// ScoreCandidates(history, candidates) ranking interface so the evaluation
+// harness treats every model identically.
+package baselines
+
+import (
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+)
+
+// TrainConfig mirrors the paper's shared optimizer setting for all models.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64
+	Seed        int64
+}
+
+// DefaultTrainConfig returns Adam lr 1e-3, weight decay 0.01.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 6, LR: 1e-3, WeightDecay: 0.01, ClipNorm: 5, Seed: 31}
+}
+
+// GRU4Rec is the session-based RNN recommender of Hidasi et al. / Jannach &
+// Ludewig: item embeddings, a GRU over the click prefix, and a BPR ranking
+// loss against sampled negatives. Scores are dot products between the final
+// hidden state (projected) and item embeddings.
+type GRU4Rec struct {
+	NumItems, Dim, Hidden int
+
+	emb    *nn.Embedding
+	gru    *nn.GRU
+	out    *nn.Linear // Hidden -> Dim, projects state into item space
+	params *nn.Collector
+	maxLen int
+}
+
+// NewGRU4Rec builds the model.
+func NewGRU4Rec(numItems, dim, hidden, maxLen int, seed int64) *GRU4Rec {
+	g := mat.NewRNG(seed)
+	m := &GRU4Rec{
+		NumItems: numItems, Dim: dim, Hidden: hidden,
+		emb:    nn.NewEmbedding("gru4rec.emb", numItems, dim, g),
+		gru:    nn.NewGRU("gru4rec.gru", dim, hidden, g),
+		out:    nn.NewLinear("gru4rec.out", hidden, dim, g),
+		maxLen: maxLen,
+	}
+	m.params = nn.NewCollector()
+	m.emb.CollectParams(m.params)
+	m.gru.CollectParams(m.params)
+	m.out.CollectParams(m.params)
+	return m
+}
+
+// state runs the GRU over the history and returns the projected final state
+// plus a backward closure taking (dState, extraEmbGrad) where extraEmbGrad
+// maps item ids to gradients on their embeddings.
+func (m *GRU4Rec) state(history []int) ([]float64, func(dState []float64)) {
+	history = clip(history, m.maxLen)
+	x := m.emb.Forward(history)
+	h := m.gru.Forward(x)
+	proj := m.out.Forward(h)
+	last := proj.Row(proj.Rows - 1)
+	backward := func(dState []float64) {
+		dProj := mat.New(proj.Rows, m.Dim)
+		dProj.SetRow(proj.Rows-1, dState)
+		m.emb.Backward(m.gru.Backward(m.out.Backward(dProj)))
+	}
+	return last, backward
+}
+
+// Train optimizes BPR loss over next-click prediction with one sampled
+// negative per step. Sessions are tag-id click sequences.
+func (m *GRU4Rec) Train(sessions [][]int, cfg TrainConfig) float64 {
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	var lastLoss float64
+	totalSteps := cfg.Epochs * len(sessions)
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		for _, si := range perm {
+			s := sessions[si]
+			if len(s) < 2 {
+				continue
+			}
+			// One random prefix position per session per epoch.
+			cut := 1 + rng.Intn(len(s)-1)
+			history, target := s[:cut], s[cut]
+			neg := rng.Intn(m.NumItems)
+			for neg == target {
+				neg = rng.Intn(m.NumItems)
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			m.params.ZeroGrad()
+
+			state, backward := m.state(history)
+			posEmb := m.emb.Table.Value.Row(target)
+			negEmb := m.emb.Table.Value.Row(neg)
+			loss, dPos, dNeg := nn.BPRLoss(mat.Dot(state, posEmb), mat.Dot(state, negEmb))
+
+			dState := make([]float64, m.Dim)
+			mat.AXPY(dPos, posEmb, dState)
+			mat.AXPY(dNeg, negEmb, dState)
+			// Embedding-side gradients of the scoring dot products.
+			mat.AXPY(dPos, state, m.emb.Table.Grad.Row(target))
+			mat.AXPY(dNeg, state, m.emb.Table.Grad.Row(neg))
+			backward(dState)
+
+			nn.ClipGradNorm(m.params.Params(), cfg.ClipNorm)
+			opt.Step(m.params.Params())
+			epochLoss += loss
+			counted++
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	return lastLoss
+}
+
+// ScoreCandidates ranks candidates by dot product with the session state.
+func (m *GRU4Rec) ScoreCandidates(history []int, candidates []int) []float64 {
+	if len(history) == 0 {
+		return make([]float64, len(candidates))
+	}
+	state, _ := m.state(history)
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = mat.Dot(state, m.emb.Table.Value.Row(c))
+	}
+	return out
+}
+
+// Name identifies the model in reports.
+func (m *GRU4Rec) Name() string { return "GRU4Rec" }
+
+func clip(history []int, maxLen int) []int {
+	if len(history) > maxLen {
+		history = history[len(history)-maxLen:]
+	}
+	return history
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"intellitag/internal/ann"
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+)
+
+// Metapath2Vec (Dong et al. 2017) learns unsupervised tag embeddings from
+// metapath-guided random walks over the heterogeneous graph with skip-gram
+// negative sampling. As deployed in the paper's online comparison, scoring
+// depends only on the *last* clicked tag: the closest tags by embedding
+// similarity are recommended (Section VI-F explains it "does not originally
+// support sequential modeling", which is also why it serves fastest).
+type Metapath2Vec struct {
+	NumItems, Dim int
+
+	emb     *nn.Param // input embeddings
+	ctx     *nn.Param // context (output) embeddings
+	graph   *hetgraph.Graph
+	popular []float64 // popularity prior for empty histories
+}
+
+// Metapath2VecConfig controls walk generation and skip-gram training.
+type Metapath2VecConfig struct {
+	WalksPerNode int
+	WalkLen      int
+	Window       int
+	Negatives    int
+	Epochs       int
+	LR           float64
+	Seed         int64
+}
+
+// DefaultMetapath2VecConfig matches the scale of this repository's worlds.
+func DefaultMetapath2VecConfig() Metapath2VecConfig {
+	return Metapath2VecConfig{WalksPerNode: 8, WalkLen: 8, Window: 2, Negatives: 3, Epochs: 2, LR: 0.025, Seed: 41}
+}
+
+// NewMetapath2Vec builds and trains the embeddings over the graph. Sessions
+// supply the popularity prior used when a user has no click history.
+func NewMetapath2Vec(graph *hetgraph.Graph, dim int, sessions [][]int, cfg Metapath2VecConfig) *Metapath2Vec {
+	g := mat.NewRNG(cfg.Seed)
+	m := &Metapath2Vec{
+		NumItems: graph.NumTags, Dim: dim,
+		emb:     nn.NewParam("mp2v.emb", graph.NumTags, dim),
+		ctx:     nn.NewParam("mp2v.ctx", graph.NumTags, dim),
+		graph:   graph,
+		popular: make([]float64, graph.NumTags),
+	}
+	m.emb.InitNormal(g, 0.1)
+	m.ctx.InitNormal(g, 0.1)
+	for _, s := range sessions {
+		for _, c := range s {
+			m.popular[c]++
+		}
+	}
+	m.train(cfg, g)
+	return m
+}
+
+// train runs skip-gram with negative sampling over metapath-guided walks.
+func (m *Metapath2Vec) train(cfg Metapath2VecConfig, g *mat.RNG) {
+	// Walk schedule over the metapath set: the short, behavior-derived paths
+	// (TT, TQT) carry the sharpest co-click signal, so they guide most
+	// walks; the tenant-wide TQEQT path contributes topical smoothing.
+	schedule := []hetgraph.Metapath{
+		hetgraph.TT, hetgraph.TQT, hetgraph.TT, hetgraph.TQQT,
+		hetgraph.TT, hetgraph.TQT, hetgraph.TQEQT, hetgraph.TT,
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for start := 0; start < m.NumItems; start++ {
+			for w := 0; w < cfg.WalksPerNode; w++ {
+				path := schedule[w%len(schedule)]
+				walk := m.graph.RandomWalk(hetgraph.NodeID(start), path, cfg.WalkLen, g)
+				m.trainWalk(walk, cfg, g)
+			}
+		}
+	}
+}
+
+func (m *Metapath2Vec) trainWalk(walk []hetgraph.NodeID, cfg Metapath2VecConfig, g *mat.RNG) {
+	for i, center := range walk {
+		for j := i - cfg.Window; j <= i+cfg.Window; j++ {
+			if j < 0 || j >= len(walk) || j == i {
+				continue
+			}
+			m.sgdPair(int(center), int(walk[j]), 1, cfg.LR)
+			for n := 0; n < cfg.Negatives; n++ {
+				neg := g.Intn(m.NumItems)
+				if neg == int(walk[j]) {
+					continue
+				}
+				m.sgdPair(int(center), neg, 0, cfg.LR)
+			}
+		}
+	}
+}
+
+// sgdPair applies one skip-gram SGD update for (center, context, label).
+func (m *Metapath2Vec) sgdPair(center, context int, label float64, lr float64) {
+	ce := m.emb.Value.Row(center)
+	cx := m.ctx.Value.Row(context)
+	_, grad := nn.BinaryCrossEntropy(mat.Dot(ce, cx), label)
+	for k := range ce {
+		dce := grad * cx[k]
+		dcx := grad * ce[k]
+		ce[k] -= lr * dce
+		cx[k] -= lr * dcx
+	}
+}
+
+// Embedding returns tag t's learned vector.
+func (m *Metapath2Vec) Embedding(t int) []float64 { return m.emb.Value.Row(t) }
+
+// ClosestTags precomputes each tag's k most similar tags with the LSH index
+// — the "closest tags of each tag from the offline calculation" that the
+// paper's deployment uploads to the online servers (Section VI-F).
+func (m *Metapath2Vec) ClosestTags(k int) [][]int {
+	return ann.Build(m.emb.Value, ann.DefaultConfig()).ClosestTable(k)
+}
+
+// ScoreCandidates scores candidates by cosine similarity to the LAST clicked
+// tag only (plus a small popularity prior to break cold-start ties).
+func (m *Metapath2Vec) ScoreCandidates(history []int, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	if len(history) == 0 {
+		for i, c := range candidates {
+			out[i] = m.popular[c]
+		}
+		return out
+	}
+	var maxPop float64
+	for _, p := range m.popular {
+		if p > maxPop {
+			maxPop = p
+		}
+	}
+	last := m.emb.Value.Row(history[len(history)-1])
+	for i, c := range candidates {
+		out[i] = mat.CosineSim(last, m.emb.Value.Row(c))
+		if maxPop > 0 {
+			// A small popularity prior breaks the symmetry of cosine
+			// similarity (the embedding cannot tell direction along a task
+			// flow); production deployments blend the same signal.
+			out[i] += 0.3 * m.popular[c] / maxPop
+		}
+	}
+	return out
+}
+
+// Name identifies the model in reports.
+func (m *Metapath2Vec) Name() string { return "metapath2vec" }

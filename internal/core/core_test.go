@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/synth"
+)
+
+// tinyGraph builds a 6-tag graph with all relation types present.
+func tinyGraph() *hetgraph.Graph {
+	g := hetgraph.New(6, 4, 2)
+	g.AddAsc(0, 0)
+	g.AddAsc(1, 0)
+	g.AddAsc(2, 1)
+	g.AddAsc(3, 1)
+	g.AddAsc(4, 2)
+	g.AddAsc(5, 3)
+	g.AddCrl(0, 0)
+	g.AddCrl(1, 0)
+	g.AddCrl(2, 1)
+	g.AddCrl(3, 1)
+	g.AddClk(0, 1)
+	g.AddClk(1, 2)
+	g.AddClk(4, 5)
+	g.AddCst(0, 1)
+	g.AddCst(2, 3)
+	return g
+}
+
+func tinyEncoder(uniformN, uniformM bool) *GraphEncoder {
+	g := mat.NewRNG(5)
+	graph := tinyGraph()
+	cache := hetgraph.BuildNeighborCache(graph, 0, g.Fork())
+	e := NewGraphEncoder(6, 4, 2, cache, hetgraph.AllMetapaths, nil, g)
+	e.UniformNeighbor = uniformN
+	e.UniformMetapath = uniformM
+	return e
+}
+
+func TestGraphEncoderShapes(t *testing.T) {
+	e := tinyEncoder(false, false)
+	z, cache := e.Forward(0)
+	if len(z) != 4 {
+		t.Fatalf("z dim = %d", len(z))
+	}
+	if len(cache.hPath) != 4 || len(cache.beta) != 4 {
+		t.Fatal("cache incomplete")
+	}
+	var sum float64
+	for _, b := range cache.beta {
+		sum += b
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("metapath attention sums to %v", sum)
+	}
+	all := e.EmbedAll()
+	if all.Rows != 6 || all.Cols != 4 {
+		t.Fatalf("EmbedAll shape %dx%d", all.Rows, all.Cols)
+	}
+}
+
+// Finite-difference gradient check through the whole graph encoder.
+func gnnGradCheck(t *testing.T, e *GraphEncoder, tag int) {
+	t.Helper()
+	g := mat.NewRNG(9)
+	w := make([]float64, e.Dim)
+	for i := range w {
+		w[i] = g.NormFloat64()
+	}
+	forward := func() float64 {
+		z, _ := e.Forward(tag)
+		return mat.Dot(z, w)
+	}
+	for _, p := range e.Params() {
+		p.ZeroGrad()
+	}
+	_, cache := e.Forward(tag)
+	e.Backward(w, cache)
+	const eps = 1e-5
+	const tol = 2e-4
+	for _, p := range e.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := forward()
+			p.Value.Data[i] = orig - eps
+			lm := forward()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := p.Grad.Data[i]
+			if math.Abs(num-got) > tol*math.Max(1, math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %v numeric %v", p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestGraphEncoderGradcheck(t *testing.T) {
+	gnnGradCheck(t, tinyEncoder(false, false), 0)
+}
+
+func TestGraphEncoderGradcheckIsolatedTag(t *testing.T) {
+	// Tag 5 has few neighbors (self-loop dominated paths).
+	gnnGradCheck(t, tinyEncoder(false, false), 5)
+}
+
+func TestGraphEncoderGradcheckUniformNeighbor(t *testing.T) {
+	gnnGradCheck(t, tinyEncoder(true, false), 1)
+}
+
+func TestGraphEncoderGradcheckUniformMetapath(t *testing.T) {
+	gnnGradCheck(t, tinyEncoder(false, true), 1)
+}
+
+func TestNeighborAndMetapathIntrospection(t *testing.T) {
+	e := tinyEncoder(false, false)
+	beta := e.MetapathWeights(0)
+	if len(beta) != 4 {
+		t.Fatalf("beta len %d", len(beta))
+	}
+	ids, weights := e.NeighborWeights(0, hetgraph.TT)
+	if len(ids) != len(weights) || len(ids) == 0 {
+		t.Fatalf("neighbor weights %v %v", ids, weights)
+	}
+	if ids[0] != 0 {
+		t.Fatal("self should be first")
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("neighbor attention sums to %v", sum)
+	}
+}
+
+func TestModelForwardAndGradcheck(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Dropout: 0, MaskProb: 0.2, NeighborCap: 0, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	m.SetTrain(false)
+	items := []int{0, 1, 2}
+	masked := map[int]bool{2: true}
+	logits, backward := m.seqForward(items, masked)
+	if logits.Rows != 3 || logits.Cols != 6 {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+	// Gradient check a sample of parameters through the whole model.
+	g := mat.NewRNG(4)
+	w := mat.New(3, 6)
+	g.Normal(w, 1)
+	forward := func() float64 {
+		l, _ := m.seqForward(items, masked)
+		var s float64
+		for i, v := range l.Data {
+			s += v * w.Data[i]
+		}
+		return s
+	}
+	for _, p := range m.AllParams() {
+		p.ZeroGrad()
+	}
+	forward()
+	_, backward = m.seqForward(items, masked)
+	backward(w)
+	const eps, tol = 1e-5, 3e-4
+	for _, p := range m.AllParams() {
+		stride := len(p.Value.Data)/5 + 1 // sample positions for speed
+		for i := 0; i < len(p.Value.Data); i += stride {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := forward()
+			p.Value.Data[i] = orig - eps
+			lm := forward()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := p.Grad.Data[i]
+			if math.Abs(num-got) > tol*math.Max(1, math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %v numeric %v", p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestFreezeMatchesLiveEmbeddings(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Dropout: 0, MaskProb: 0.2, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	liveLogits := m.NextLogits([]int{0, 1})
+	m.Freeze()
+	frozenLogits := m.NextLogits([]int{0, 1})
+	for i := range liveLogits {
+		if math.Abs(liveLogits[i]-frozenLogits[i]) > 1e-9 {
+			t.Fatal("frozen embeddings diverge from live graph encoder")
+		}
+	}
+	m.Unfreeze()
+	if m.Frozen != nil {
+		t.Fatal("Unfreeze failed")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	logits := []float64{0.1, 0.9, 0.5, 0.9}
+	top := TopK(logits, nil, 2)
+	if len(top) != 2 || top[0].Tag != 1 || top[1].Tag != 3 {
+		t.Fatalf("TopK = %v", top)
+	}
+	restricted := TopK(logits, []int{0, 2}, 5)
+	if len(restricted) != 2 || restricted[0].Tag != 2 {
+		t.Fatalf("restricted = %v", restricted)
+	}
+}
+
+func TestClipHistory(t *testing.T) {
+	h := clipHistory([]int{1, 2, 3, 4, 5}, 3)
+	if len(h) != 3 || h[0] != 3 {
+		t.Fatalf("clip = %v", h)
+	}
+	orig := []int{1, 2}
+	c := clipHistory(orig, 5)
+	c[0] = 99
+	if orig[0] != 1 {
+		t.Fatal("clipHistory aliases input")
+	}
+}
+
+func TestNames(t *testing.T) {
+	mk := func(cfg Config) string {
+		return Build(cfg, tinyGraph(), nil).Name()
+	}
+	base := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 1}
+	if mk(base) != "IntelliTag" {
+		t.Fatal("base name")
+	}
+	na := base
+	na.WithoutNeighborAttention = true
+	if mk(na) != "IntelliTag w/o na" {
+		t.Fatal("na name")
+	}
+	ca := base
+	ca.WithoutContextualAttention = true
+	if mk(ca) != "IntelliTag w/o ca" {
+		t.Fatal("ca name")
+	}
+}
+
+// End-to-end learning test on a small synthetic world: after training, the
+// model must rank the true next click far better than chance.
+func TestEndToEndLearnsNextClick(t *testing.T) {
+	w := synth.Generate(synth.SmallConfig())
+	train, _, test := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(train)
+
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.NeighborCap = 8
+	m := Build(cfg, graph, nil)
+
+	var sessions [][]int
+	for _, s := range train {
+		sessions = append(sessions, s.Clicks)
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.JointEpochs = 2
+	TrainFull(m, graph, ExpandPrefixes(sessions), tc)
+
+	// Mean reciprocal rank of the true next tag among 50 candidates.
+	rng := mat.NewRNG(123)
+	var mrr float64
+	var n int
+	for _, s := range test {
+		if len(s.Clicks) < 2 {
+			continue
+		}
+		history := s.Clicks[:len(s.Clicks)-1]
+		target := s.Clicks[len(s.Clicks)-1]
+		cands := []int{target}
+		for len(cands) < 50 {
+			c := rng.Intn(w.NumTags())
+			if c != target {
+				cands = append(cands, c)
+			}
+		}
+		scores := m.ScoreCandidates(history, cands)
+		rank := 1
+		for i := 1; i < len(scores); i++ {
+			if scores[i] > scores[0] {
+				rank++
+			}
+		}
+		mrr += 1 / float64(rank)
+		n++
+		if n >= 80 {
+			break
+		}
+	}
+	mrr /= float64(n)
+	// Chance MRR over 50 candidates is ~0.09.
+	if mrr < 0.2 {
+		t.Fatalf("trained MRR %v barely above chance", mrr)
+	}
+}
+
+func TestStaticTrainingRuns(t *testing.T) {
+	w := synth.Generate(synth.SmallConfig())
+	train, _, _ := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(train)
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.NeighborCap = 6
+	m := Build(cfg, graph, nil)
+	var sessions [][]int
+	for _, s := range train[:100] {
+		sessions = append(sessions, s.Clicks)
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 1
+	loss := TrainStatic(m, graph, sessions, tc)
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("static loss = %v", loss)
+	}
+	if m.Frozen == nil {
+		t.Fatal("static training should leave the model frozen")
+	}
+}
+
+func TestPretrainGraphSeparatesNeighborsFromStrangers(t *testing.T) {
+	// A real-sized world so sampled negatives are mostly true negatives.
+	w := synth.Generate(synth.SmallConfig())
+	train, _, _ := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(train)
+	g := mat.NewRNG(5)
+	cache := hetgraph.BuildNeighborCache(graph, 8, g.Fork())
+	build := func() *GraphEncoder {
+		return NewGraphEncoder(graph.NumTags, 8, 2, cache, hetgraph.AllMetapaths, nil, mat.NewRNG(5))
+	}
+
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	first := PretrainGraph(build(), graph, cfg, 2)
+
+	e := build()
+	cfg.Epochs = 4
+	last := PretrainGraph(e, graph, cfg, 2)
+	if last >= first {
+		t.Fatalf("link-prediction loss did not decrease: %v -> %v", first, last)
+	}
+
+	// Averaged over many clk pairs, neighbors must now score higher than
+	// random tags under the training objective (dot product).
+	rng := mat.NewRNG(77)
+	var nbSum, randSum float64
+	var n int
+	for tag := 0; tag < graph.NumTags && n < 60; tag++ {
+		nbs := graph.CoClickedTags(hetgraph.NodeID(tag))
+		if len(nbs) == 0 {
+			continue
+		}
+		za, _ := e.Forward(tag)
+		zb, _ := e.Forward(int(nbs[0]))
+		zr, _ := e.Forward(rng.Intn(graph.NumTags))
+		nbSum += mat.Dot(za, zb)
+		randSum += mat.Dot(za, zr)
+		n++
+	}
+	if nbSum <= randSum {
+		t.Fatalf("mean neighbor dot %v <= mean random dot %v", nbSum/float64(n), randSum/float64(n))
+	}
+}

@@ -1,0 +1,373 @@
+// Package core implements the paper's primary contribution: the TagRec
+// model. Graph-based layers extract structural information from the TagRec
+// heterogeneous graph with neighbor attention (eq. 4-5) and metapath
+// attention (eq. 6-7); sequence-based Transformer layers with contextual
+// attention model the user's click sequence (eq. 8-12); and the two are
+// trained end-to-end, with a static two-stage variant (IntelliTag_st) for
+// comparison.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+)
+
+// leakySlope is the LeakyReLU negative slope of the neighbor attention.
+const leakySlope = 0.2
+
+// GraphEncoder computes tag embeddings z_t from trainable node features via
+// per-metapath neighbor attention and metapath attention. Ablation flags
+// replace an attention level with uniform weighting (Table V variants).
+type GraphEncoder struct {
+	Dim, Heads int
+	NumTags    int
+
+	// X holds the trainable node feature vectors x_t (one row per tag),
+	// initialized from text-derived features per Section VI-A3.
+	X *nn.Param
+	// Wn[pathIdx][head] is the 2d x 1 neighbor-attention weight of eq. 4.
+	Wn [][]*nn.Param
+	// Metapath attention parameters of eq. 6-7 (hd = Heads*Dim).
+	Wp *nn.Param // hd x hd
+	Bp *nn.Param // 1 x hd
+	Vp *nn.Param // 1 x hd
+	Wl *nn.Param // d x hd
+	Bl *nn.Param // 1 x d
+
+	// Neighbors provides the cached metapath neighbor lists.
+	Neighbors *hetgraph.NeighborCache
+	// Paths lists the metapaths in use (normally hetgraph.AllMetapaths; a
+	// subset supports metapath-ablation experiments).
+	Paths []hetgraph.Metapath
+
+	// UniformNeighbor disables neighbor attention (w/o na): neighbors are
+	// averaged uniformly.
+	UniformNeighbor bool
+	// UniformMetapath disables metapath attention (w/o ma): path embeddings
+	// are averaged uniformly.
+	UniformMetapath bool
+
+	params *nn.Collector
+}
+
+// NewGraphEncoder builds a graph encoder over the cached neighbors. Node
+// features are initialized from initFeatures when non-nil (rows must be
+// dim-sized), otherwise randomly.
+func NewGraphEncoder(numTags, dim, heads int, cache *hetgraph.NeighborCache, paths []hetgraph.Metapath, initFeatures *mat.Matrix, g *mat.RNG) *GraphEncoder {
+	if len(paths) == 0 {
+		paths = hetgraph.AllMetapaths
+	}
+	hd := heads * dim
+	e := &GraphEncoder{
+		Dim: dim, Heads: heads, NumTags: numTags,
+		X:         nn.NewParam("gnn.X", numTags, dim),
+		Wp:        nn.NewParam("gnn.Wp", hd, hd),
+		Bp:        nn.NewParam("gnn.bp", 1, hd),
+		Vp:        nn.NewParam("gnn.vp", 1, hd),
+		Wl:        nn.NewParam("gnn.Wl", dim, hd),
+		Bl:        nn.NewParam("gnn.bl", 1, dim),
+		Neighbors: cache,
+		Paths:     paths,
+	}
+	if initFeatures != nil {
+		copy(e.X.Value.Data, initFeatures.Data)
+	} else {
+		// Unit-variance features keep the sigmoid aggregation of eq. 5 out
+		// of its flat region so tag embeddings are distinguishable from the
+		// first step (a smaller scale collapses every z_t to ~sigma(0)).
+		e.X.InitNormal(g, 1.0)
+	}
+	g.Xavier(e.Wp.Value)
+	g.Xavier(e.Vp.Value)
+	g.Xavier(e.Wl.Value)
+	for _, path := range paths {
+		var headWeights []*nn.Param
+		for h := 0; h < heads; h++ {
+			p := nn.NewParam(fmt.Sprintf("gnn.Wn.%s.%d", path, h), 2*dim, 1)
+			g.Xavier(p.Value)
+			headWeights = append(headWeights, p)
+		}
+		e.Wn = append(e.Wn, headWeights)
+	}
+	e.params = nn.NewCollector()
+	e.params.Add(e.X, e.Wp, e.Bp, e.Vp, e.Wl, e.Bl)
+	for _, hw := range e.Wn {
+		e.params.Add(hw...)
+	}
+	return e
+}
+
+// Params returns all trainable parameters (including node features).
+func (e *GraphEncoder) Params() []*nn.Param { return e.params.Params() }
+
+// tagForward caches everything tagBackward needs for one tag.
+type tagForward struct {
+	tag    int
+	neigh  [][]int       // per path: neighbor ids (self included, first)
+	attn   [][][]float64 // per path, per head: softmax attention over neigh
+	preAct [][][]float64 // per path, per head: pre-LeakyReLU scores
+	sumVec [][][]float64 // per path, per head: weighted neighbor sum s
+	hPath  [][]float64   // per path: h^rho (hd)
+	uPath  [][]float64   // per path: tanh(Wp h + bp)
+	beta   []float64     // softmax metapath attention
+	fused  []float64     // sum_rho beta_rho h^rho
+}
+
+// Forward computes z_t (a dim-vector) for one tag and returns the cache for
+// Backward.
+func (e *GraphEncoder) Forward(tag int) ([]float64, *tagForward) {
+	hd := e.Heads * e.Dim
+	cache := &tagForward{tag: tag}
+	xt := e.X.Value.Row(tag)
+
+	for pi, path := range e.Paths {
+		nb := e.Neighbors.Neighbors(hetgraph.NodeID(tag), path)
+		// Self-loop keeps the aggregation well-defined for isolated tags and
+		// lets the target contribute to its own embedding.
+		ids := make([]int, 0, len(nb)+1)
+		ids = append(ids, tag)
+		for _, n := range nb {
+			ids = append(ids, int(n))
+		}
+		cache.neigh = append(cache.neigh, ids)
+
+		h := make([]float64, 0, hd)
+		var attnPath, prePath, sumPath [][]float64
+		for head := 0; head < e.Heads; head++ {
+			w := e.Wn[pi][head].Value.Data // 2d
+			pre := make([]float64, len(ids))
+			for i, n := range ids {
+				xn := e.X.Value.Row(n)
+				var s float64
+				for j := 0; j < e.Dim; j++ {
+					s += w[j] * xt[j]
+					s += w[e.Dim+j] * xn[j]
+				}
+				pre[i] = leaky(s)
+			}
+			var a []float64
+			if e.UniformNeighbor {
+				a = make([]float64, len(ids))
+				u := 1 / float64(len(ids))
+				for i := range a {
+					a[i] = u
+				}
+			} else {
+				a = mat.Softmax(pre)
+			}
+			sum := make([]float64, e.Dim)
+			for i, n := range ids {
+				mat.AXPY(a[i], e.X.Value.Row(n), sum)
+			}
+			out := make([]float64, e.Dim)
+			for j, v := range sum {
+				out[j] = nn.Sigmoid(v)
+			}
+			h = append(h, out...)
+			attnPath = append(attnPath, a)
+			prePath = append(prePath, pre)
+			sumPath = append(sumPath, sum)
+		}
+		cache.attn = append(cache.attn, attnPath)
+		cache.preAct = append(cache.preAct, prePath)
+		cache.sumVec = append(cache.sumVec, sumPath)
+		cache.hPath = append(cache.hPath, h)
+	}
+
+	// Metapath attention (eq. 6-7).
+	betaRaw := make([]float64, len(e.Paths))
+	for pi := range e.Paths {
+		u := make([]float64, hd)
+		for i := 0; i < hd; i++ {
+			u[i] = math.Tanh(mat.Dot(e.Wp.Value.Row(i), cache.hPath[pi]) + e.Bp.Value.At(0, i))
+		}
+		cache.uPath = append(cache.uPath, u)
+		betaRaw[pi] = mat.Dot(e.Vp.Value.Row(0), u)
+	}
+	var beta []float64
+	if e.UniformMetapath {
+		beta = make([]float64, len(e.Paths))
+		u := 1 / float64(len(e.Paths))
+		for i := range beta {
+			beta[i] = u
+		}
+	} else {
+		beta = mat.Softmax(betaRaw)
+	}
+	cache.beta = beta
+	fused := make([]float64, hd)
+	for pi := range e.Paths {
+		mat.AXPY(beta[pi], cache.hPath[pi], fused)
+	}
+	cache.fused = fused
+
+	// Residual connection from the node's own features: the attention
+	// aggregate carries neighborhood structure, while the residual keeps
+	// each tag's identity linearly recoverable — without it, hub tags'
+	// embeddings collapse toward their neighborhood mean and the sequence
+	// layers cannot read which tag was actually clicked (a standard GNN
+	// residual, documented in DESIGN.md).
+	z := make([]float64, e.Dim)
+	for i := 0; i < e.Dim; i++ {
+		z[i] = mat.Dot(e.Wl.Value.Row(i), fused) + e.Bl.Value.At(0, i) + xt[i]
+	}
+	return z, cache
+}
+
+// Backward propagates dz for one tag through metapath and neighbor attention
+// into all parameters and node features.
+func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
+	hd := e.Heads * e.Dim
+	// Residual path: dz flows straight into the node's own features.
+	mat.AXPY(1, dz, e.X.Grad.Row(c.tag))
+	// z = Wl fused + bl (+ x_t).
+	dFused := make([]float64, hd)
+	for i := 0; i < e.Dim; i++ {
+		g := dz[i]
+		if g == 0 {
+			continue
+		}
+		mat.AXPY(g, c.fused, e.Wl.Grad.Row(i))
+		e.Bl.Grad.Data[i] += g
+		mat.AXPY(g, e.Wl.Value.Row(i), dFused)
+	}
+
+	dH := make([][]float64, len(e.Paths))
+	dBeta := make([]float64, len(e.Paths))
+	for pi := range e.Paths {
+		dH[pi] = make([]float64, hd)
+		mat.AXPY(c.beta[pi], dFused, dH[pi])
+		dBeta[pi] = mat.Dot(dFused, c.hPath[pi])
+	}
+	if !e.UniformMetapath {
+		// Softmax backward over beta.
+		var dot float64
+		for pi := range e.Paths {
+			dot += dBeta[pi] * c.beta[pi]
+		}
+		for pi := range e.Paths {
+			dRaw := c.beta[pi] * (dBeta[pi] - dot)
+			if dRaw == 0 {
+				continue
+			}
+			// betaRaw = vp . u; u = tanh(Wp h + bp).
+			u := c.uPath[pi]
+			mat.AXPY(dRaw, u, e.Vp.Grad.Row(0))
+			for i := 0; i < hd; i++ {
+				dU := dRaw * e.Vp.Value.At(0, i)
+				dPre := dU * (1 - u[i]*u[i])
+				if dPre == 0 {
+					continue
+				}
+				mat.AXPY(dPre, c.hPath[pi], e.Wp.Grad.Row(i))
+				e.Bp.Grad.Data[i] += dPre
+				mat.AXPY(dPre, e.Wp.Value.Row(i), dH[pi])
+			}
+		}
+	}
+
+	// Neighbor attention backward per path, per head.
+	xt := e.X.Value.Row(c.tag)
+	dxt := e.X.Grad.Row(c.tag)
+	for pi := range e.Paths {
+		ids := c.neigh[pi]
+		for head := 0; head < e.Heads; head++ {
+			dOut := dH[pi][head*e.Dim : (head+1)*e.Dim]
+			sum := c.sumVec[pi][head]
+			a := c.attn[pi][head]
+			// out = sigmoid(sum).
+			dSum := make([]float64, e.Dim)
+			for j := range dSum {
+				s := nn.Sigmoid(sum[j])
+				dSum[j] = dOut[j] * s * (1 - s)
+			}
+			// sum = sum_n a_n x_n.
+			da := make([]float64, len(ids))
+			for i, n := range ids {
+				da[i] = mat.Dot(dSum, e.X.Value.Row(n))
+				mat.AXPY(a[i], dSum, e.X.Grad.Row(n))
+			}
+			if e.UniformNeighbor {
+				continue
+			}
+			// Softmax backward over a.
+			var dot float64
+			for i := range ids {
+				dot += da[i] * a[i]
+			}
+			w := e.Wn[pi][head].Value.Data
+			wGrad := e.Wn[pi][head].Grad.Data
+			for i, n := range ids {
+				dPre := a[i] * (da[i] - dot)
+				if dPre == 0 {
+					continue
+				}
+				// LeakyReLU backward.
+				if c.preAct[pi][head][i] < 0 {
+					dPre *= leakySlope
+				}
+				xn := e.X.Value.Row(n)
+				dxn := e.X.Grad.Row(n)
+				for j := 0; j < e.Dim; j++ {
+					wGrad[j] += dPre * xt[j]
+					wGrad[e.Dim+j] += dPre * xn[j]
+					dxt[j] += dPre * w[j]
+					dxn[j] += dPre * w[e.Dim+j]
+				}
+			}
+		}
+	}
+}
+
+// EmbedAll runs Forward for every tag and returns the NumTags x Dim matrix
+// of embeddings — the offline inference step whose output the deployment
+// uploads to the online model servers (Section V-B).
+func (e *GraphEncoder) EmbedAll() *mat.Matrix {
+	out := mat.New(e.NumTags, e.Dim)
+	for t := 0; t < e.NumTags; t++ {
+		z, _ := e.Forward(t)
+		out.SetRow(t, z)
+	}
+	return out
+}
+
+// MetapathWeights returns the softmax metapath attention values for a tag —
+// the Figure 5(b) case-study signal.
+func (e *GraphEncoder) MetapathWeights(tag int) []float64 {
+	_, cache := e.Forward(tag)
+	return cache.beta
+}
+
+// NeighborWeights returns the neighbor ids (self first) and head-averaged
+// attention values for a tag under one metapath — the Figure 5(a) signal.
+func (e *GraphEncoder) NeighborWeights(tag int, path hetgraph.Metapath) ([]int, []float64) {
+	pi := -1
+	for i, p := range e.Paths {
+		if p == path {
+			pi = i
+		}
+	}
+	if pi < 0 {
+		return nil, nil
+	}
+	_, cache := e.Forward(tag)
+	ids := cache.neigh[pi]
+	avg := make([]float64, len(ids))
+	for head := 0; head < e.Heads; head++ {
+		for i, a := range cache.attn[pi][head] {
+			avg[i] += a / float64(e.Heads)
+		}
+	}
+	return ids, avg
+}
+
+func leaky(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return leakySlope * v
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+)
+
+// Config sizes the TagRec model. The paper's production setting is dim 100,
+// 4 attention heads (shared across the three attentions), a 2-layer
+// Transformer and mask proportion 0.2; the defaults here scale dim down for
+// laptop-speed training while keeping every other choice.
+type Config struct {
+	Dim         int
+	Heads       int
+	Layers      int
+	MaxLen      int // positions: MaxClicks + 1 for the mask slot
+	Dropout     float64
+	MaskProb    float64 // Cloze mask proportion during training
+	NeighborCap int     // max sampled neighbors per metapath
+	Seed        int64
+
+	// Ablation switches (Table V).
+	WithoutNeighborAttention   bool
+	WithoutMetapathAttention   bool
+	WithoutContextualAttention bool
+
+	// Metapaths restricts the metapath set (nil means the full TagRec set
+	// {TT, TQT, TQQT, TQEQT}); used by the metapath-ablation extension.
+	Metapaths []hetgraph.Metapath
+
+	// TieProjection replaces the free Wt of eq. 11 with scoring against
+	// the node-feature table plus a per-tag bias (BERT4Rec-style weight
+	// tying). Off by default — the free projection matches the paper and
+	// measured better; the flag supports the output-layer ablation.
+	TieProjection bool
+}
+
+// DefaultConfig returns the experiment-harness configuration.
+func DefaultConfig() Config {
+	return Config{
+		Dim: 32, Heads: 4, Layers: 2, MaxLen: 12,
+		Dropout: 0.1, MaskProb: 0.2, NeighborCap: 12, Seed: 42,
+	}
+}
+
+// Model is the full IntelliTag TagRec model: graph-based layers computing
+// tag embeddings, and sequence-based Transformer layers predicting the next
+// click. Embeddings flow from the inner graph layers into the outer
+// sequence layers; in end-to-end mode gradients flow back.
+type Model struct {
+	Cfg     Config
+	NumTags int
+
+	Graph   *GraphEncoder
+	MaskEmb *nn.Param // 1 x Dim, the z_mask of eq. 8
+	Pos     *nn.PositionalEmbedding
+	Enc     *nn.Encoder
+	// Output layer (eq. 11): either a free Dim -> NumTags projection, or
+	// (default) scoring tied to the node-feature table with a per-tag bias.
+	Proj    *nn.Linear
+	OutBias *nn.Param // 1 x NumTags, used in tied mode
+
+	// Frozen holds precomputed tag embeddings when the model runs in static
+	// / serving mode; nil means embeddings come from the graph encoder.
+	Frozen *mat.Matrix
+
+	params    *nn.Collector // sequence-side parameters
+	allParams *nn.Collector // sequence + graph parameters
+}
+
+// NewModel builds the model around a graph encoder.
+func NewModel(cfg Config, graph *GraphEncoder, g *mat.RNG) *Model {
+	m := &Model{
+		Cfg:     cfg,
+		NumTags: graph.NumTags,
+		Graph:   graph,
+		MaskEmb: nn.NewParam("seq.mask", 1, cfg.Dim),
+		Pos:     nn.NewPositionalEmbedding("seq", cfg.MaxLen, cfg.Dim, g),
+		Enc:     nn.NewEncoder("seq.enc", cfg.Layers, cfg.Dim, cfg.Heads, cfg.Dropout, g),
+	}
+	m.MaskEmb.InitNormal(g, 0.02)
+	m.params = nn.NewCollector()
+	m.params.Add(m.MaskEmb)
+	m.Pos.CollectParams(m.params)
+	m.Enc.CollectParams(m.params)
+	if !cfg.TieProjection {
+		m.Proj = nn.NewLinear("seq.proj", cfg.Dim, graph.NumTags, g)
+		m.Proj.CollectParams(m.params)
+	} else {
+		m.OutBias = nn.NewParam("seq.outbias", 1, graph.NumTags)
+		// In tied mode the node-feature table doubles as the output matrix,
+		// so the sequence-side stage trains it too (the frozen z lookup is
+		// unaffected: Freeze snapshots z values).
+		m.params.Add(m.OutBias, graph.X)
+	}
+	m.allParams = nn.NewCollector()
+	m.allParams.Add(m.params.Params()...)
+	m.allParams.Add(graph.Params()...)
+	return m
+}
+
+// SeqParams returns the sequence-side parameters only (static training's
+// second stage).
+func (m *Model) SeqParams() []*nn.Param { return m.params.Params() }
+
+// AllParams returns every trainable parameter (end-to-end training).
+func (m *Model) AllParams() []*nn.Param { return m.allParams.Params() }
+
+// SetTrain toggles dropout.
+func (m *Model) SetTrain(train bool) { m.Enc.SetTrain(train) }
+
+// Freeze precomputes all tag embeddings from the graph encoder and switches
+// the model to lookup mode — the deployment strategy of Section V-B (no
+// real-time GNN inference online).
+func (m *Model) Freeze() {
+	m.Frozen = m.Graph.EmbedAll()
+}
+
+// Unfreeze returns the model to live graph-encoder mode.
+func (m *Model) Unfreeze() { m.Frozen = nil }
+
+// embed returns the embedding of one tag plus the backward cache (nil cache
+// in frozen mode).
+func (m *Model) embed(tag int) ([]float64, *tagForward) {
+	if m.Frozen != nil {
+		return m.Frozen.Row(tag), nil
+	}
+	return m.Graph.Forward(tag)
+}
+
+// seqForward builds the input matrix of eq. 8 for a sequence of tag ids in
+// which maskedPositions (indices into items) are replaced by the mask
+// embedding, runs the Transformer stack, and returns the per-position
+// logits. The backward closure accepts dLogits and propagates everything,
+// returning gradients into the graph encoder unless frozen.
+func (m *Model) seqForward(items []int, masked map[int]bool) (*mat.Matrix, func(dLogits *mat.Matrix)) {
+	n := len(items)
+	x := mat.New(n, m.Cfg.Dim)
+	caches := make([]*tagForward, n)
+	for i, tag := range items {
+		if masked[i] {
+			copy(x.Row(i), m.MaskEmb.Value.Row(0))
+			continue
+		}
+		z, cache := m.embed(tag)
+		copy(x.Row(i), z)
+		caches[i] = cache
+	}
+	var h *mat.Matrix
+	if m.Cfg.WithoutContextualAttention {
+		// Ablated contextual attention: every position sees the unordered
+		// mean of the inputs (a bag-of-clicks context).
+		mean := mat.SumRows(x)
+		for j := range mean {
+			mean[j] /= float64(n)
+		}
+		h = mat.New(n, m.Cfg.Dim)
+		for i := 0; i < n; i++ {
+			h.SetRow(i, mean)
+		}
+	} else {
+		h = m.Enc.Forward(m.Pos.Forward(x))
+	}
+	var logits *mat.Matrix
+	if m.Proj != nil {
+		logits = m.Proj.Forward(h)
+	} else {
+		logits = mat.AddRowVec(mat.MatMulT(h, m.Graph.X.Value), m.OutBias.Value.Row(0))
+	}
+
+	backward := func(dLogits *mat.Matrix) {
+		var dH *mat.Matrix
+		if m.Proj != nil {
+			dH = m.Proj.Backward(dLogits)
+		} else {
+			bg := m.OutBias.Grad.Row(0)
+			for i := 0; i < dLogits.Rows; i++ {
+				mat.AXPY(1, dLogits.Row(i), bg)
+			}
+			dH = mat.MatMul(dLogits, m.Graph.X.Value)
+			mat.AddInPlace(m.Graph.X.Grad, mat.TMatMul(dLogits, h))
+		}
+		var dX *mat.Matrix
+		if m.Cfg.WithoutContextualAttention {
+			dMean := mat.SumRows(dH)
+			dX = mat.New(n, m.Cfg.Dim)
+			for i := 0; i < n; i++ {
+				row := dX.Row(i)
+				for j := range row {
+					row[j] = dMean[j] / float64(n)
+				}
+			}
+		} else {
+			dX = m.Pos.Backward(m.Enc.Backward(dH))
+		}
+		for i := range items {
+			if masked[i] {
+				mat.AXPY(1, dX.Row(i), m.MaskEmb.Grad.Row(0))
+				continue
+			}
+			if caches[i] != nil {
+				m.Graph.Backward(dX.Row(i), caches[i])
+			}
+		}
+	}
+	return logits, backward
+}
+
+// Scored pairs a tag id with a model score.
+type Scored struct {
+	Tag   int
+	Score float64
+}
+
+// NextLogits returns the logits over all tags for the next click given the
+// history (eq. 11): the history plus a trailing mask position.
+func (m *Model) NextLogits(history []int) []float64 {
+	m.SetTrain(false)
+	items := append(clipHistory(history, m.Cfg.MaxLen-1), 0)
+	masked := map[int]bool{len(items) - 1: true}
+	logits, _ := m.seqForward(items, masked)
+	out := make([]float64, m.NumTags)
+	copy(out, logits.Row(len(items)-1))
+	return out
+}
+
+// ContextualAttention runs the model over the history (plus mask slot) and
+// returns the per-head self-attention matrices of each Transformer layer —
+// the Figure 5(c)(d) case-study signal. Result is indexed [layer][head].
+func (m *Model) ContextualAttention(history []int) [][]*mat.Matrix {
+	m.SetTrain(false)
+	items := append(clipHistory(history, m.Cfg.MaxLen-1), 0)
+	masked := map[int]bool{len(items) - 1: true}
+	m.seqForward(items, masked)
+	out := make([][]*mat.Matrix, len(m.Enc.Layers))
+	for i, layer := range m.Enc.Layers {
+		out[i] = layer.Attn.AttentionWeights()
+	}
+	return out
+}
+
+// ScoreCandidates scores candidate tags for the next click given the
+// history — the ranking interface shared with every baseline.
+func (m *Model) ScoreCandidates(history []int, candidates []int) []float64 {
+	logits := m.NextLogits(history)
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = logits[c]
+	}
+	return out
+}
+
+// Name identifies the model in reports.
+func (m *Model) Name() string {
+	switch {
+	case m.Cfg.WithoutNeighborAttention:
+		return "IntelliTag w/o na"
+	case m.Cfg.WithoutMetapathAttention:
+		return "IntelliTag w/o ma"
+	case m.Cfg.WithoutContextualAttention:
+		return "IntelliTag w/o ca"
+	}
+	return "IntelliTag"
+}
+
+// clipHistory keeps the most recent maxLen items.
+func clipHistory(history []int, maxLen int) []int {
+	if len(history) > maxLen {
+		history = history[len(history)-maxLen:]
+	}
+	return append([]int(nil), history...)
+}

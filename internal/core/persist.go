@@ -1,0 +1,31 @@
+package core
+
+import "intellitag/internal/nn"
+
+// Save writes every trainable parameter (sequence and graph layers) to
+// path. The offline trainer uses this to hand models to the online servers,
+// the deployment flow of Section V-B.
+func (m *Model) Save(path string) error {
+	return nn.SaveParams(path, m.AllParams())
+}
+
+// Load restores parameters written by Save into a model built with the same
+// configuration and graph shape. Architecture drift fails loudly.
+func (m *Model) Load(path string) error {
+	if err := nn.LoadParams(path, m.AllParams()); err != nil {
+		return err
+	}
+	if m.Frozen != nil {
+		m.Freeze() // refresh the lookup table from the restored graph layers
+	}
+	return nil
+}
+
+// SaveEmbeddings writes the frozen tag-embedding table (the artifact the
+// paper's deployment uploads daily). The model must be frozen.
+func (m *Model) SaveEmbeddings(path string) error {
+	if m.Frozen == nil {
+		m.Freeze()
+	}
+	return nn.SaveMatrix(path, m.Frozen)
+}

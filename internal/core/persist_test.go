@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"intellitag/internal/nn"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, MaskProb: 0.2, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	want := m.NextLogits([]int{0, 1})
+
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh model with a different seed predicts differently, then load
+	// restores identical behavior.
+	cfg2 := cfg
+	cfg2.Seed = 77
+	m2 := Build(cfg2, tinyGraph(), nil)
+	before := m2.NextLogits([]int{0, 1})
+	diff := false
+	for i := range want {
+		if math.Abs(before[i]-want[i]) > 1e-9 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should predict differently")
+	}
+	if err := m2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	after := m2.NextLogits([]int{0, 1})
+	for i := range want {
+		if math.Abs(after[i]-want[i]) > 1e-12 {
+			t.Fatalf("logit %d: %v != %v after load", i, after[i], want[i])
+		}
+	}
+}
+
+func TestModelLoadRejectsDifferentArchitecture(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	big := cfg
+	big.Dim = 8
+	m2 := Build(big, tinyGraph(), nil)
+	if err := m2.Load(path); err == nil {
+		t.Fatal("expected architecture mismatch error")
+	}
+}
+
+func TestSaveEmbeddingsRoundTrip(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	path := filepath.Join(t.TempDir(), "emb.gob")
+	if err := m.SaveEmbeddings(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nn.LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 6 || got.Cols != 4 {
+		t.Fatalf("embedding table %dx%d", got.Rows, got.Cols)
+	}
+	for i, v := range m.Frozen.Data {
+		if got.Data[i] != v {
+			t.Fatal("embedding table not restored")
+		}
+	}
+}
+
+func TestLoadRefreshesFrozenTable(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := Build(Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 50}, tinyGraph(), nil)
+	m2.Freeze()
+	stale := m2.Frozen.Clone()
+	if err := m2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range stale.Data {
+		if m2.Frozen.Data[i] != stale.Data[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("Load did not refresh the frozen embedding table")
+	}
+}

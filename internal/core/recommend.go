@@ -1,0 +1,38 @@
+package core
+
+import "sort"
+
+// TopK returns the k highest-scoring tags from logits restricted to the
+// candidate set (all tags when candidates is nil), in descending score
+// order with deterministic (id) tie-breaking.
+func TopK(logits []float64, candidates []int, k int) []Scored {
+	var pool []Scored
+	if candidates == nil {
+		pool = make([]Scored, len(logits))
+		for i, s := range logits {
+			pool[i] = Scored{Tag: i, Score: s}
+		}
+	} else {
+		pool = make([]Scored, 0, len(candidates))
+		for _, c := range candidates {
+			pool = append(pool, Scored{Tag: c, Score: logits[c]})
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Score != pool[j].Score {
+			return pool[i].Score > pool[j].Score
+		}
+		return pool[i].Tag < pool[j].Tag
+	})
+	if k > 0 && len(pool) > k {
+		pool = pool[:k]
+	}
+	return pool
+}
+
+// Recommend returns the model's top-k next-tag recommendations given the
+// click history, optionally restricted to a candidate set (e.g. the
+// tenant's tags, as the multi-tenant deployment requires).
+func (m *Model) Recommend(history []int, candidates []int, k int) []Scored {
+	return TopK(m.NextLogits(history), candidates, k)
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+)
+
+// TrainConfig controls TagRec optimization; defaults follow the paper
+// (Adam, lr 0.001, weight decay 0.01, linear LR decay).
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64
+	Seed        int64
+	// PretrainEpochs controls the graph-encoder link-prediction warmup of
+	// TrainStatic/TrainFull (longer pretraining over-smooths neighbor
+	// embeddings; one epoch suffices to organize the space).
+	PretrainEpochs int
+	// JointEpochs controls the final end-to-end phase of TrainFull
+	// (0 means 2*Epochs — co-adapting graph and sequence layers converges
+	// more slowly than either stage alone).
+	JointEpochs int
+}
+
+// DefaultTrainConfig returns the paper's optimizer settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 6, LR: 1e-3, WeightDecay: 0.01, ClipNorm: 5, Seed: 99, PretrainEpochs: 1}
+}
+
+// Build constructs a graph encoder + model pair from a heterogeneous graph,
+// wiring the ablation flags into both levels. initFeatures (optional) seeds
+// the node features with text-derived vectors.
+func Build(cfg Config, graph *hetgraph.Graph, initFeatures *mat.Matrix) *Model {
+	g := mat.NewRNG(cfg.Seed)
+	cache := hetgraph.BuildNeighborCache(graph, cfg.NeighborCap, g.Fork())
+	paths := cfg.Metapaths
+	if paths == nil {
+		paths = hetgraph.AllMetapaths
+	}
+	enc := NewGraphEncoder(graph.NumTags, cfg.Dim, cfg.Heads, cache, paths, initFeatures, g)
+	enc.UniformNeighbor = cfg.WithoutNeighborAttention
+	enc.UniformMetapath = cfg.WithoutMetapathAttention
+	return NewModel(cfg, enc, g)
+}
+
+// TrainEndToEnd trains the model with Cloze-style masked prediction
+// (mask proportion per config, as in BERT4Rec and the paper) propagating
+// gradients through the sequence layers into the graph layers — the paper's
+// end-to-end mode. sessions are click sequences of tag ids. Returns the mean
+// loss of the final epoch.
+func TrainEndToEnd(m *Model, sessions [][]int, cfg TrainConfig) float64 {
+	return train(m, sessions, cfg, m.AllParams())
+}
+
+// TrainSequenceOnly trains only the sequence-side parameters, leaving tag
+// embeddings fixed — stage two of the static IntelliTag_st variant. The
+// model must be frozen (Freeze) first so embeddings come from the lookup
+// table.
+func TrainSequenceOnly(m *Model, sessions [][]int, cfg TrainConfig) float64 {
+	return train(m, sessions, cfg, m.SeqParams())
+}
+
+func train(m *Model, sessions [][]int, cfg TrainConfig, params []*nn.Param) float64 {
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	m.SetTrain(true)
+	totalSteps := cfg.Epochs * len(sessions)
+	step := 0
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		for _, si := range perm {
+			session := clipHistory(sessions[si], m.Cfg.MaxLen)
+			if len(session) == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+
+			// Cloze masking: each position masked with prob MaskProb; always
+			// at least the final position (the next-click objective).
+			masked := map[int]bool{}
+			for i := range session {
+				if rng.Float64() < m.Cfg.MaskProb {
+					masked[i] = true
+				}
+			}
+			masked[len(session)-1] = true
+
+			zeroGrads(params)
+			logits, backward := m.seqForward(session, masked)
+			dLogits := mat.New(len(session), m.NumTags)
+			var loss float64
+			for i := range session {
+				if !masked[i] {
+					continue
+				}
+				li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), session[i])
+				loss += li
+				dLogits.SetRow(i, grad)
+			}
+			scale := 1 / float64(len(masked))
+			mat.ScaleInPlace(dLogits, scale)
+			backward(dLogits)
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
+			epochLoss += loss * scale
+			counted++
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	m.SetTrain(false)
+	return lastLoss
+}
+
+func zeroGrads(params []*nn.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// PretrainGraph trains the graph encoder alone with a link-prediction
+// objective — stage one of IntelliTag_st: for each clk edge (a,b), raise
+// sigma(z_a . z_b) against sampled negatives. Returns the final epoch loss.
+func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, negatives int) float64 {
+	type edge struct{ a, b int }
+	var edges []edge
+	for t := 0; t < graph.NumTags; t++ {
+		for _, n := range graph.CoClickedTags(hetgraph.NodeID(t)) {
+			if int(n) > t {
+				edges = append(edges, edge{t, int(n)})
+			}
+		}
+		for _, m := range hetgraph.AllMetapaths[1:] { // structural positives
+			for _, n := range e.Neighbors.Neighbors(hetgraph.NodeID(t), m) {
+				if int(n) > t {
+					edges = append(edges, edge{t, int(n)})
+					break // one structural positive per path keeps this cheap
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed + 7)
+	params := e.Params()
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(edges))
+		var epochLoss float64
+		for _, ei := range perm {
+			ed := edges[ei]
+			zeroGrads(params)
+			za, ca := e.Forward(ed.a)
+			zb, cb := e.Forward(ed.b)
+			dza := make([]float64, e.Dim)
+			dzb := make([]float64, e.Dim)
+			// Positive pair.
+			loss, dPos := nn.BinaryCrossEntropy(mat.Dot(za, zb), 1)
+			mat.AXPY(dPos, zb, dza)
+			mat.AXPY(dPos, za, dzb)
+			// Negatives against a.
+			for k := 0; k < negatives; k++ {
+				neg := rng.Intn(e.NumTags)
+				if neg == ed.a || neg == ed.b {
+					continue
+				}
+				zn, cn := e.Forward(neg)
+				ln, dNeg := nn.BinaryCrossEntropy(mat.Dot(za, zn), 0)
+				loss += ln
+				mat.AXPY(dNeg, zn, dza)
+				dzn := make([]float64, e.Dim)
+				mat.AXPY(dNeg, za, dzn)
+				e.Backward(dzn, cn)
+			}
+			e.Backward(dza, ca)
+			e.Backward(dzb, cb)
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
+			epochLoss += loss
+		}
+		lastLoss = epochLoss / float64(len(edges))
+	}
+	return lastLoss
+}
+
+func pretrainEpochs(cfg TrainConfig) int {
+	if cfg.PretrainEpochs > 0 {
+		return cfg.PretrainEpochs
+	}
+	return 1
+}
+
+// TrainStatic runs the full IntelliTag_st recipe: pretrain the graph
+// encoder, freeze its embeddings, then train the sequence layers on top.
+func TrainStatic(m *Model, graph *hetgraph.Graph, sessions [][]int, cfg TrainConfig) float64 {
+	pre := cfg
+	pre.Epochs = pretrainEpochs(cfg)
+	PretrainGraph(m.Graph, graph, pre, 3)
+	m.Freeze()
+	return TrainSequenceOnly(m, sessions, cfg)
+}
+
+// TrainFull runs the paper's end-to-end IntelliTag recipe (Section IV-D):
+// the same pipeline as the static variant — link-prediction pretraining of
+// the graph layers, then sequence training over their embeddings — after
+// which, "different from the traditional step-by-step training pipeline",
+// the sequence loss further adjusts the values of the tag embeddings,
+// propagating gradient errors into the shareable graph-based layers.
+func TrainFull(m *Model, graph *hetgraph.Graph, sessions [][]int, cfg TrainConfig) float64 {
+	pre := cfg
+	pre.Epochs = pretrainEpochs(cfg)
+	PretrainGraph(m.Graph, graph, pre, 3)
+	m.Freeze()
+	TrainSequenceOnly(m, sessions, cfg)
+	m.Unfreeze()
+	joint := cfg
+	joint.Epochs = cfg.JointEpochs
+	if joint.Epochs == 0 {
+		joint.Epochs = 2 * cfg.Epochs
+	}
+	return TrainEndToEnd(m, sessions, joint)
+}
+
+// ExpandPrefixes converts sessions into every next-click training instance
+// (all prefixes of length >= 2). The offline trainers feed every sequence
+// model the same expanded set so comparisons are apples-to-apples.
+func ExpandPrefixes(sessions [][]int) [][]int {
+	var out [][]int
+	for _, s := range sessions {
+		for i := 2; i <= len(s); i++ {
+			out = append(out, s[:i])
+		}
+	}
+	return out
+}

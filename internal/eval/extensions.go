@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"intellitag/internal/core"
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/tagmining"
+)
+
+// The experiments in this file go beyond the paper's tables: they ablate
+// design choices the paper fixes without measuring (the metapath set, the
+// negative-sampling protocol, the distillation temperature). DESIGN.md
+// section 5 calls these out.
+
+// MetapathAblation reports offline quality with one metapath removed at a
+// time (plus the full set).
+type MetapathAblation struct {
+	Rows []ModelRanking
+}
+
+// RunMetapathAblation retrains the full model on each leave-one-out
+// metapath subset.
+func (h *Harness) RunMetapathAblation() MetapathAblation {
+	var out MetapathAblation
+	all := hetgraph.AllMetapaths
+	for drop := range all {
+		subset := make([]hetgraph.Metapath, 0, len(all)-1)
+		for i, p := range all {
+			if i != drop {
+				subset = append(subset, p)
+			}
+		}
+		m := h.Ablation(func(c *core.Config) { c.Metapaths = subset })
+		out.Rows = append(out.Rows, ModelRanking{
+			Name:   fmt.Sprintf("IntelliTag w/o %s", all[drop]),
+			Report: EvaluateRanking(m, h.World, h.Test, h.Opts.Protocol),
+		})
+	}
+	full := h.IntelliTag()
+	out.Rows = append(out.Rows, ModelRanking{Name: "IntelliTag (all paths)", Report: EvaluateRanking(full, h.World, h.Test, h.Opts.Protocol)})
+	return out
+}
+
+// String formats the ablation like the paper's ranking tables.
+func (a MetapathAblation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: metapath-set ablation\n")
+	b.WriteString(rankingHeader())
+	for _, r := range a.Rows {
+		b.WriteString(rankingRow(r))
+	}
+	return b.String()
+}
+
+// NegativeProtocolAblation compares the paper's same-tenant negative
+// sampling against global negatives.
+type NegativeProtocolAblation struct {
+	SameTenant ModelRanking
+	Global     ModelRanking
+}
+
+// RunNegativeProtocolAblation evaluates the trained full model under both
+// protocols. Same-tenant negatives are harder (topically confusable), so
+// the global numbers should be uniformly higher — quantifying how much the
+// protocol choice matters when comparing against other papers.
+func (h *Harness) RunNegativeProtocolAblation() NegativeProtocolAblation {
+	m := h.IntelliTag()
+	same := EvaluateRanking(m, h.World, h.Test, h.Opts.Protocol)
+	globalProto := h.Opts.Protocol
+	globalProto.GlobalNegatives = true
+	global := EvaluateRanking(m, h.World, h.Test, globalProto)
+	return NegativeProtocolAblation{
+		SameTenant: ModelRanking{Name: "same-tenant negatives", Report: same},
+		Global:     ModelRanking{Name: "global negatives", Report: global},
+	}
+}
+
+// String formats the protocol comparison.
+func (a NegativeProtocolAblation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: negative-sampling protocol\n")
+	b.WriteString(rankingHeader())
+	b.WriteString(rankingRow(a.SameTenant))
+	b.WriteString(rankingRow(a.Global))
+	return b.String()
+}
+
+// DistillationSweep extends Table III: student F1 and speedup across
+// distillation temperatures.
+type DistillationSweep struct {
+	Temperatures []float64
+	F1           []float64
+	Speedups     []float64
+}
+
+// RunDistillationSweep distills the same teacher at several temperatures.
+func (h *Harness) RunDistillationSweep() DistillationSweep {
+	sentences := h.World.LabeledSentences()
+	cut := len(sentences) * 8 / 10
+	trainSet, testSet := sentences[:cut], sentences[cut:]
+	vocab := tagmining.BuildVocab(trainSet)
+
+	teacher := tagmining.NewModel(tagmining.TeacherConfig(), vocab)
+	tagmining.TrainMultiTask(teacher, trainSet, h.Opts.Mining)
+	teacherTime := tagmining.MeasureInference(teacher, testSet)
+
+	temps := []float64{1, 2, 4}
+	var sweep DistillationSweep
+	for _, temp := range temps {
+		student := tagmining.NewModel(tagmining.StudentConfig(), vocab)
+		tagmining.Distill(teacher, student, trainSet, h.Opts.Mining, temp, 0.5)
+		r := tagmining.EvaluateSpans(student, testSet, 0.5, nil)
+		st := tagmining.MeasureInference(student, testSet)
+		sweep.Temperatures = append(sweep.Temperatures, temp)
+		sweep.F1 = append(sweep.F1, r.F1)
+		sweep.Speedups = append(sweep.Speedups, float64(teacherTime)/float64(st))
+	}
+	return sweep
+}
+
+// String formats the sweep.
+func (s DistillationSweep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: distillation temperature sweep\n")
+	fmt.Fprintf(&b, "  %6s %8s %9s\n", "T", "F1", "speedup")
+	for i, t := range s.Temperatures {
+		fmt.Fprintf(&b, "  %6.1f %8.3f %8.1fx\n", t, s.F1[i], s.Speedups[i])
+	}
+	return b.String()
+}

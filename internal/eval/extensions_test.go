@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetapathAblation(t *testing.T) {
+	abl := fastHarness.RunMetapathAblation()
+	if len(abl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 4 leave-one-out + full", len(abl.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range abl.Rows {
+		names[r.Name] = true
+		if r.Report.N == 0 {
+			t.Fatalf("%s evaluated no queries", r.Name)
+		}
+		if r.Report.MRR <= 0 || r.Report.MRR > 1 {
+			t.Fatalf("%s MRR %v out of range", r.Name, r.Report.MRR)
+		}
+	}
+	for _, want := range []string{"IntelliTag w/o TT", "IntelliTag w/o TQT", "IntelliTag w/o TQQT", "IntelliTag w/o TQEQT", "IntelliTag (all paths)"} {
+		if !names[want] {
+			t.Fatalf("missing row %q (have %v)", want, names)
+		}
+	}
+	if !strings.Contains(abl.String(), "metapath-set ablation") {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestNegativeProtocolAblation(t *testing.T) {
+	abl := fastHarness.RunNegativeProtocolAblation()
+	// Global negatives are easier than same-tenant negatives: tenant tags
+	// share topics with the target, random tags usually do not.
+	if abl.Global.Report.MRR < abl.SameTenant.Report.MRR {
+		t.Fatalf("global MRR %.3f < same-tenant MRR %.3f",
+			abl.Global.Report.MRR, abl.SameTenant.Report.MRR)
+	}
+	if !strings.Contains(abl.String(), "negative-sampling") {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestDistillationSweep(t *testing.T) {
+	sweep := fastHarness.RunDistillationSweep()
+	if len(sweep.Temperatures) != 3 || len(sweep.F1) != 3 || len(sweep.Speedups) != 3 {
+		t.Fatalf("sweep shape: %+v", sweep)
+	}
+	for i := range sweep.Temperatures {
+		if sweep.F1[i] < 0 || sweep.F1[i] > 1 {
+			t.Fatalf("F1[%d] = %v", i, sweep.F1[i])
+		}
+		if sweep.Speedups[i] <= 1 {
+			t.Fatalf("speedup[%d] = %v, student should be faster", i, sweep.Speedups[i])
+		}
+	}
+	if !strings.Contains(sweep.String(), "temperature") {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestTenantBreakdown(t *testing.T) {
+	b := fastHarness.RunTenantBreakdown()
+	if len(b.Models) != 3 {
+		t.Fatalf("models = %v", b.Models)
+	}
+	for i := range b.Models {
+		if b.Small[i] < 0 || b.Small[i] > 1 || b.Large[i] < 0 || b.Large[i] > 1 {
+			t.Fatalf("MRR out of range for %s: %v / %v", b.Models[i], b.Small[i], b.Large[i])
+		}
+	}
+	if !strings.Contains(b.String(), "tenant size") {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestMatcherEval(t *testing.T) {
+	e := fastHarness.RunMatcherEval()
+	if e.Queries == 0 {
+		t.Fatal("no queries evaluated")
+	}
+	if e.BM25Acc < 0 || e.BM25Acc > 1 || e.RerankAcc < 0 || e.RerankAcc > 1 {
+		t.Fatalf("accuracies out of range: %+v", e)
+	}
+	// The trained matcher must resolve questions well above chance within
+	// the recall set (chance = 1/RecallSize = 0.1). Whether it beats raw
+	// BM25 is the experiment's honest finding (it does not at this scale —
+	// see EXPERIMENTS.md), so that is reported, not asserted.
+	if e.RerankAcc < 0.25 {
+		t.Fatalf("matcher rerank acc %.3f barely above chance", e.RerankAcc)
+	}
+	if !strings.Contains(e.String(), "matcher") {
+		t.Fatal("formatting broken")
+	}
+}

@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"intellitag/internal/core"
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/serving"
+	"intellitag/internal/store"
+)
+
+// Fig5 is the attention case study: heat-map data printed as labeled
+// matrices (the paper renders the same values as images).
+type Fig5 struct {
+	// Neighbor attention of one tag under metapath TT.
+	NeighborTag     string
+	NeighborLabels  []string
+	NeighborWeights []float64
+	// Metapath preferences for several tags.
+	MetapathTags    []string
+	MetapathWeights [][]float64 // per tag: weights over {TT, TQT, TQQT, TQEQT}
+	// Contextual attention: first-layer heads over one session.
+	SessionLabels []string
+	HeadWeights   [][][]float64 // per head: n x n attention
+}
+
+// RunFig5 extracts attention weights from the trained IntelliTag model.
+func (h *Harness) RunFig5() Fig5 {
+	m := h.IntelliTag()
+	var fig Fig5
+
+	// Pick the tag with the most TT neighbors as the case-study anchor
+	// (the paper uses "Bluetooth").
+	anchor, best := 0, -1
+	for t := 0; t < h.Graph.NumTags; t++ {
+		if n := len(h.Graph.CoClickedTags(hetgraph.NodeID(t))); n > best {
+			anchor, best = t, n
+		}
+	}
+	fig.NeighborTag = h.World.Tags[anchor].Phrase()
+	ids, weights := m.Graph.NeighborWeights(anchor, hetgraph.TT)
+	for i, id := range ids {
+		fig.NeighborLabels = append(fig.NeighborLabels, h.World.Tags[id].Phrase())
+		fig.NeighborWeights = append(fig.NeighborWeights, weights[i])
+	}
+
+	// Metapath preferences for the anchor and a few of its neighbors.
+	sample := ids
+	if len(sample) > 5 {
+		sample = sample[:5]
+	}
+	for _, id := range sample {
+		fig.MetapathTags = append(fig.MetapathTags, h.World.Tags[id].Phrase())
+		fig.MetapathWeights = append(fig.MetapathWeights, m.Graph.MetapathWeights(id))
+	}
+
+	// Contextual attention over the longest test session.
+	var session []int
+	for _, s := range h.Test {
+		if len(s.Clicks) > len(session) {
+			session = s.Clicks
+		}
+	}
+	if len(session) > m.Cfg.MaxLen-1 {
+		session = session[:m.Cfg.MaxLen-1]
+	}
+	for _, c := range session {
+		fig.SessionLabels = append(fig.SessionLabels, h.World.Tags[c].Phrase())
+	}
+	fig.SessionLabels = append(fig.SessionLabels, "[mask]")
+	attn := m.ContextualAttention(session)
+	if len(attn) > 0 {
+		for _, headMat := range attn[0] { // layer 1, as the paper shows
+			n := headMat.Rows
+			rows := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				rows[i] = append([]float64(nil), headMat.Row(i)...)
+			}
+			fig.HeadWeights = append(fig.HeadWeights, rows)
+		}
+	}
+	return fig
+}
+
+// String renders the heat maps as text.
+func (f Fig5) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5(a): neighbor attention (metapath TT) for tag %q\n", f.NeighborTag)
+	for i, l := range f.NeighborLabels {
+		fmt.Fprintf(&b, "  %-30s %.3f\n", l, f.NeighborWeights[i])
+	}
+	fmt.Fprintf(&b, "Fig 5(b): metapath attention {TT, TQT, TQQT, TQEQT}\n")
+	for i, tag := range f.MetapathTags {
+		fmt.Fprintf(&b, "  %-30s", tag)
+		for _, w := range f.MetapathWeights[i] {
+			fmt.Fprintf(&b, " %.3f", w)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Fig 5(c)(d): contextual attention at layer 1 over session %v\n", f.SessionLabels)
+	for hi, head := range f.HeadWeights {
+		fmt.Fprintf(&b, "  head %d:\n", hi+1)
+		for _, row := range head {
+			b.WriteString("   ")
+			for _, v := range row {
+				fmt.Fprintf(&b, " %.2f", v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig6Point is one hyperparameter setting's result.
+type Fig6Point struct {
+	Value  int // dimension or head count
+	MRR    float64
+	NDCG10 float64
+	HR10   float64
+}
+
+// Fig6 is the hyperparameter sensitivity sweep.
+type Fig6 struct {
+	DimSweep  []Fig6Point
+	HeadSweep []Fig6Point
+}
+
+// RunFig6 sweeps the embedding dimension and the attention head count,
+// retraining the full model at each point. Sweep points train with a
+// reduced epoch budget — the figure compares settings against each other,
+// so only the relative ordering matters.
+func (h *Harness) RunFig6() Fig6 {
+	dims := []int{8, 16, 32, 64}
+	heads := []int{1, 2, 4, 8}
+	if h.Opts.FastMode {
+		dims = []int{8, 16}
+		heads = []int{2, 4}
+	}
+	sweepTrain := h.Opts.RecTrain
+	sweepTrain.Epochs = max(1, sweepTrain.Epochs/2)
+	sweepTrain.JointEpochs = sweepTrain.Epochs
+	point := func(mutate func(*core.Config)) metricsPoint {
+		cfg := h.Opts.Rec
+		mutate(&cfg)
+		var feats *mat.Matrix
+		if cfg.Dim == h.Opts.Rec.Dim {
+			feats = h.TagFeatures()
+		}
+		m := core.Build(cfg, h.Graph, feats)
+		core.TrainFull(m, h.Graph, h.trainPrefixes, sweepTrain)
+		r := EvaluateRanking(m, h.World, h.Test, h.Opts.Protocol)
+		return metricsPoint{r.MRR, r.NDCG10, r.HR10}
+	}
+	var fig Fig6
+	for _, d := range dims {
+		p := point(func(c *core.Config) { c.Dim = d })
+		fig.DimSweep = append(fig.DimSweep, Fig6Point{Value: d, MRR: p.mrr, NDCG10: p.ndcg, HR10: p.hr})
+	}
+	for _, hd := range heads {
+		p := point(func(c *core.Config) { c.Heads = hd })
+		fig.HeadSweep = append(fig.HeadSweep, Fig6Point{Value: hd, MRR: p.mrr, NDCG10: p.ndcg, HR10: p.hr})
+	}
+	return fig
+}
+
+type metricsPoint struct{ mrr, ndcg, hr float64 }
+
+// String renders the sweep series.
+func (f Fig6) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6(a): effectiveness vs embedding dimension\n")
+	fmt.Fprintf(&b, "  %6s %8s %8s %8s\n", "dim", "MRR", "NDCG@10", "HR@10")
+	for _, p := range f.DimSweep {
+		fmt.Fprintf(&b, "  %6d %8.3f %8.3f %8.3f\n", p.Value, p.MRR, p.NDCG10, p.HR10)
+	}
+	fmt.Fprintf(&b, "Fig 6(b): effectiveness vs number of attention heads\n")
+	fmt.Fprintf(&b, "  %6s %8s %8s %8s\n", "heads", "MRR", "NDCG@10", "HR@10")
+	for _, p := range f.HeadSweep {
+		fmt.Fprintf(&b, "  %6d %8.3f %8.3f %8.3f\n", p.Value, p.MRR, p.NDCG10, p.HR10)
+	}
+	return b.String()
+}
+
+// Fig7 is the online A/B simulation: daily macro CTR per bucket.
+type Fig7 struct {
+	Results []serving.SimResult
+}
+
+// RunFig7 builds one serving engine per model (IntelliTag, BERT4Rec,
+// metapath2vec — the paper's three online buckets) and simulates the user
+// population against each.
+func (h *Harness) RunFig7() Fig7 {
+	catalog, index := serving.BuildCatalog(h.World, h.Train)
+	cfg := serving.DefaultSimConfig()
+	if h.Opts.FastMode {
+		cfg.Days = 3
+		cfg.SessionsPerDay = 50
+	}
+	// The deployed IntelliTag serves from the frozen tag-embedding table
+	// (Section V-B: offline GNN inference, no real-time graph layers).
+	full := h.IntelliTag()
+	full.Freeze()
+	defer full.Unfreeze()
+	scorers := []serving.Scorer{h.Metapath2Vec(), h.BERT4Rec(), full}
+	var fig Fig7
+	for _, s := range scorers {
+		engine := serving.NewEngine(catalog, index, s, store.NewLog(), nil)
+		fig.Results = append(fig.Results, serving.Simulate(h.World, engine, cfg))
+	}
+	return fig
+}
+
+// String renders the daily CTR series per bucket.
+func (f Fig7) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7: Online CTR (macro-averaged over tenants) by day\n")
+	fmt.Fprintf(&b, "  %-20s", "day")
+	if len(f.Results) > 0 {
+		for d := range f.Results[0].Days {
+			fmt.Fprintf(&b, " %6d", d+1)
+		}
+	}
+	fmt.Fprintf(&b, " %8s\n", "mean")
+	for _, r := range f.Results {
+		fmt.Fprintf(&b, "  %-20s", r.Model)
+		for _, d := range r.Days {
+			fmt.Fprintf(&b, " %6.3f", d.MacroCTR)
+		}
+		fmt.Fprintf(&b, " %8.3f\n", r.MeanMacroCTR())
+	}
+	return b.String()
+}
+
+// RunTableVI derives the online HIR / latency table from Figure 7's
+// simulation.
+func (h *Harness) RunTableVI(fig Fig7) TableVI {
+	var t TableVI
+	for _, r := range fig.Results {
+		t.Rows = append(t.Rows, TableVIRow{Name: r.Model, HIR: r.MeanHIR(), Latency: r.MeanLatency()})
+	}
+	return t
+}

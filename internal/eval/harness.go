@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"math"
+
+	"intellitag/internal/baselines"
+	"intellitag/internal/core"
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/synth"
+	"intellitag/internal/tagmining"
+	"intellitag/internal/textproc"
+)
+
+// Options configures the harness. Fast mode shrinks the world and epoch
+// counts so the full suite runs in seconds (used by tests); the default
+// reproduces the experiment-scale run of cmd/experiments.
+type Options struct {
+	World    synth.Config
+	Rec      core.Config
+	RecTrain core.TrainConfig
+	Baseline baselines.TrainConfig
+	Mining   tagmining.TrainConfig
+	Protocol RankingProtocol
+	FastMode bool
+}
+
+// DefaultOptions returns the experiment-scale configuration.
+func DefaultOptions() Options {
+	return Options{
+		World:    synth.DefaultConfig(),
+		Rec:      core.DefaultConfig(),
+		RecTrain: core.DefaultTrainConfig(),
+		Baseline: baselines.DefaultTrainConfig(),
+		Mining:   tagmining.DefaultTrainConfig(),
+		Protocol: DefaultProtocol(),
+	}
+}
+
+// FastOptions returns a configuration for quick runs and tests.
+func FastOptions() Options {
+	o := DefaultOptions()
+	o.World = synth.SmallConfig()
+	o.RecTrain.Epochs = 2
+	o.Baseline.Epochs = 2
+	o.Mining.Epochs = 5
+	o.Protocol.MaxQueries = 300
+	o.FastMode = true
+	return o
+}
+
+// Harness owns the shared world, splits, graph and trained models. Models
+// are trained lazily and cached so multiple experiments reuse them.
+type Harness struct {
+	Opts  Options
+	World *synth.World
+
+	Train, Val, Test []synth.Session
+	Graph            *hetgraph.Graph
+	trainClicks      [][]int
+	trainPrefixes    [][]int
+	tagFeatures      *mat.Matrix
+
+	intelliTag   *core.Model
+	intelliTagSt *core.Model
+	gru4rec      *baselines.GRU4Rec
+	bert4rec     *baselines.BERT4Rec
+	srgnn        *baselines.SRGNN
+	mp2v         *baselines.Metapath2Vec
+}
+
+// NewHarness generates the world and the training graph (built from the
+// training split only, so test structure never leaks).
+func NewHarness(opts Options) *Harness {
+	w := synth.Generate(opts.World)
+	train, val, test := w.SplitSessions(0.8, 0.1)
+	h := &Harness{Opts: opts, World: w, Train: train, Val: val, Test: test}
+	h.Graph = w.BuildGraph(train)
+	for _, s := range train {
+		h.trainClicks = append(h.trainClicks, s.Clicks)
+	}
+	// Every sequence model trains on the same expanded next-click prefixes.
+	h.trainPrefixes = core.ExpandPrefixes(h.trainClicks)
+	return h
+}
+
+// TrainClicks returns the training sessions as click sequences.
+func (h *Harness) TrainClicks() [][]int { return h.trainClicks }
+
+// TagFeatures returns text-derived node features for the graph encoder
+// (Section VI-A3: "we generate 100-dimensional vectors as tag features by
+// learning semantic information from a text perspective"), scaled to unit
+// per-element variance.
+func (h *Harness) TagFeatures() *mat.Matrix {
+	if h.tagFeatures != nil {
+		return h.tagFeatures
+	}
+	dim := h.Opts.Rec.Dim
+	var docs [][]string
+	for _, rq := range h.World.RQs {
+		docs = append(docs, textproc.Tokenize(rq.Text))
+	}
+	embedder := textproc.NewEmbedder(dim, docs)
+	feats := mat.New(h.World.NumTags(), dim)
+	scale := math.Sqrt(float64(dim)) // unit row norm -> unit element variance
+	for i, tag := range h.World.Tags {
+		v := embedder.Embed(tag.Words)
+		for j := range v {
+			v[j] *= scale
+		}
+		feats.SetRow(i, v)
+	}
+	h.tagFeatures = feats
+	return feats
+}
+
+// IntelliTag returns the end-to-end trained full model.
+func (h *Harness) IntelliTag() *core.Model {
+	if h.intelliTag == nil {
+		m := core.Build(h.Opts.Rec, h.Graph, h.TagFeatures())
+		core.TrainFull(m, h.Graph, h.trainPrefixes, h.Opts.RecTrain)
+		h.intelliTag = m
+	}
+	return h.intelliTag
+}
+
+// IntelliTagSt returns the static two-stage variant.
+func (h *Harness) IntelliTagSt() *core.Model {
+	if h.intelliTagSt == nil {
+		cfg := h.Opts.Rec
+		cfg.Seed++ // independent initialization
+		m := core.Build(cfg, h.Graph, h.TagFeatures())
+		// Equal total budget with the end-to-end variant: the static
+		// pipeline spends all its epochs on the (frozen-embedding) sequence
+		// stage, where the full model splits them between the frozen stage
+		// and the joint phase.
+		tc := h.Opts.RecTrain
+		joint := tc.JointEpochs
+		if joint == 0 {
+			joint = 2 * tc.Epochs
+		}
+		tc.Epochs += joint
+		core.TrainStatic(m, h.Graph, h.trainPrefixes, tc)
+		h.intelliTagSt = m
+	}
+	return h.intelliTagSt
+}
+
+// Ablation trains an IntelliTag variant with the given attention removed.
+func (h *Harness) Ablation(mutate func(*core.Config)) *core.Model {
+	cfg := h.Opts.Rec
+	mutate(&cfg)
+	var feats *mat.Matrix
+	if cfg.Dim == h.Opts.Rec.Dim {
+		feats = h.TagFeatures()
+	}
+	m := core.Build(cfg, h.Graph, feats)
+	core.TrainFull(m, h.Graph, h.trainPrefixes, h.Opts.RecTrain)
+	return m
+}
+
+// GRU4Rec returns the trained GRU4Rec baseline.
+func (h *Harness) GRU4Rec() *baselines.GRU4Rec {
+	if h.gru4rec == nil {
+		m := baselines.NewGRU4Rec(h.World.NumTags(), h.Opts.Rec.Dim, h.Opts.Rec.Dim, h.Opts.Rec.MaxLen, 11)
+		m.Train(h.trainPrefixes, h.Opts.Baseline)
+		h.gru4rec = m
+	}
+	return h.gru4rec
+}
+
+// BERT4Rec returns the trained BERT4Rec baseline.
+func (h *Harness) BERT4Rec() *baselines.BERT4Rec {
+	if h.bert4rec == nil {
+		m := baselines.NewBERT4Rec(h.World.NumTags(), h.Opts.Rec.Dim, h.Opts.Rec.Heads,
+			h.Opts.Rec.Layers, h.Opts.Rec.MaxLen, h.Opts.Rec.MaskProb, 12)
+		m.Train(h.trainPrefixes, h.Opts.Baseline)
+		h.bert4rec = m
+	}
+	return h.bert4rec
+}
+
+// SRGNN returns the trained SR-GNN baseline.
+func (h *Harness) SRGNN() *baselines.SRGNN {
+	if h.srgnn == nil {
+		m := baselines.NewSRGNN(h.World.NumTags(), h.Opts.Rec.Dim, 1, h.Opts.Rec.MaxLen, 13)
+		m.Train(h.trainPrefixes, h.Opts.Baseline)
+		h.srgnn = m
+	}
+	return h.srgnn
+}
+
+// Metapath2Vec returns the trained metapath2vec baseline.
+func (h *Harness) Metapath2Vec() *baselines.Metapath2Vec {
+	if h.mp2v == nil {
+		cfg := baselines.DefaultMetapath2VecConfig()
+		if h.Opts.FastMode {
+			cfg.WalksPerNode = 6
+		}
+		h.mp2v = baselines.NewMetapath2Vec(h.Graph, h.Opts.Rec.Dim, h.trainClicks, cfg)
+	}
+	return h.mp2v
+}

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"testing"
+
+	"intellitag/internal/core"
+)
+
+func TestTagFeaturesShapeAndCache(t *testing.T) {
+	f1 := fastHarness.TagFeatures()
+	if f1.Rows != fastHarness.World.NumTags() || f1.Cols != fastHarness.Opts.Rec.Dim {
+		t.Fatalf("features %dx%d", f1.Rows, f1.Cols)
+	}
+	if f2 := fastHarness.TagFeatures(); f2 != f1 {
+		t.Fatal("features not cached")
+	}
+	// Distinct tags must have distinct feature rows.
+	same := true
+	for j := 0; j < f1.Cols; j++ {
+		if f1.At(0, j) != f1.At(1, j) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("tag features degenerate")
+	}
+}
+
+func TestExpandPrefixes(t *testing.T) {
+	got := core.ExpandPrefixes([][]int{{1, 2, 3}, {7}, {4, 5}})
+	want := [][]int{{1, 2}, {1, 2, 3}, {4, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("prefix %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("prefix %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}

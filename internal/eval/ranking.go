@@ -1,0 +1,104 @@
+// Package eval is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section (Tables II-VI, Figures 5-7) on
+// the synthetic world, with the same protocols — 49 same-tenant negatives
+// for offline ranking, macro-averaged CTR over tenants for the online
+// simulation — and formats the results as the paper reports them.
+package eval
+
+import (
+	"intellitag/internal/mat"
+	"intellitag/internal/metrics"
+	"intellitag/internal/synth"
+)
+
+// Scorer is the shared ranking interface (core.Model and all baselines).
+type Scorer interface {
+	ScoreCandidates(history []int, candidates []int) []float64
+	Name() string
+}
+
+// RankingProtocol holds the offline evaluation settings of Section VI-A2.
+type RankingProtocol struct {
+	Negatives  int // 49 in the paper
+	MaxQueries int // cap on evaluated prefixes (0 = all)
+	Seed       int64
+	// GlobalNegatives samples negatives from all tags instead of the
+	// paper's same-tenant pool (the protocol-ablation extension).
+	GlobalNegatives bool
+}
+
+// DefaultProtocol returns the paper's protocol.
+func DefaultProtocol() RankingProtocol {
+	return RankingProtocol{Negatives: 49, MaxQueries: 0, Seed: 1234}
+}
+
+// EvaluateRanking ranks the true next click against sampled same-tenant
+// negatives for every prefix of every test session, returning the paper's
+// metric block. Tenants with too few tags fall back to global negatives, so
+// every query ranks against exactly Negatives+1 candidates.
+func EvaluateRanking(s Scorer, w *synth.World, sessions []synth.Session, p RankingProtocol) metrics.RankingReport {
+	rng := mat.NewRNG(p.Seed)
+	var acc metrics.RankingAccumulator
+	queries := 0
+	tenantTags := map[int][]int{}
+	for _, sess := range sessions {
+		if len(sess.Clicks) < 2 {
+			continue
+		}
+		pool, ok := tenantTags[sess.Tenant]
+		if !ok {
+			if p.GlobalNegatives {
+				pool = make([]int, w.NumTags())
+				for i := range pool {
+					pool[i] = i
+				}
+			} else {
+				pool = w.TagsOfTenant(sess.Tenant)
+			}
+			tenantTags[sess.Tenant] = pool
+		}
+		for i := 1; i < len(sess.Clicks); i++ {
+			if p.MaxQueries > 0 && queries >= p.MaxQueries {
+				return acc.Report()
+			}
+			history := sess.Clicks[:i]
+			target := sess.Clicks[i]
+			candidates := sampleNegatives(pool, w.NumTags(), target, p.Negatives, rng)
+			scores := s.ScoreCandidates(history, candidates)
+			acc.Observe(metrics.RankOfTarget(scores, 0))
+			queries++
+		}
+	}
+	return acc.Report()
+}
+
+// sampleNegatives returns [target, neg1..negN]; negatives are drawn from the
+// tenant pool without replacement, topping up globally when the pool is too
+// small.
+func sampleNegatives(pool []int, numTags, target, n int, rng *mat.RNG) []int {
+	if n > numTags-1 {
+		n = numTags - 1 // cannot sample more distinct negatives than exist
+	}
+	out := make([]int, 0, n+1)
+	out = append(out, target)
+	used := map[int]bool{target: true}
+	perm := rng.Perm(len(pool))
+	for _, pi := range perm {
+		if len(out) == n+1 {
+			break
+		}
+		c := pool[pi]
+		if !used[c] {
+			used[c] = true
+			out = append(out, c)
+		}
+	}
+	for len(out) < n+1 {
+		c := rng.Intn(numTags)
+		if !used[c] {
+			used[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

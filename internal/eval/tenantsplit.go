@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intellitag/internal/synth"
+)
+
+// TenantBreakdown tests the paper's Section VI-F explanation for the online
+// results: graph-based models should hold up better on small tenants (few
+// Q&A pairs, little training traffic) because they aggregate information
+// across tenants, while purely sequential models degrade there.
+type TenantBreakdown struct {
+	// Rows[model] holds {small-tenant MRR, large-tenant MRR}.
+	Models []string
+	Small  []float64
+	Large  []float64
+}
+
+// RunTenantBreakdown evaluates IntelliTag, BERT4Rec and metapath2vec
+// separately on sessions from the smaller and larger half of tenants
+// (by RQ count).
+func (h *Harness) RunTenantBreakdown() TenantBreakdown {
+	// Order tenants by RQ count.
+	rqCount := map[int]int{}
+	for _, rq := range h.World.RQs {
+		rqCount[rq.Tenant]++
+	}
+	tenants := make([]int, 0, len(h.World.Tenants))
+	for _, t := range h.World.Tenants {
+		tenants = append(tenants, t.ID)
+	}
+	sort.Slice(tenants, func(i, j int) bool { return rqCount[tenants[i]] < rqCount[tenants[j]] })
+	smallSet := map[int]bool{}
+	for _, t := range tenants[:len(tenants)/2] {
+		smallSet[t] = true
+	}
+
+	var small, large []synth.Session
+	for _, s := range h.Test {
+		if smallSet[s.Tenant] {
+			small = append(small, s)
+		} else {
+			large = append(large, s)
+		}
+	}
+
+	scorers := []Scorer{h.IntelliTag(), h.BERT4Rec(), h.Metapath2Vec()}
+	var out TenantBreakdown
+	for _, s := range scorers {
+		out.Models = append(out.Models, s.Name())
+		out.Small = append(out.Small, EvaluateRanking(s, h.World, small, h.Opts.Protocol).MRR)
+		out.Large = append(out.Large, EvaluateRanking(s, h.World, large, h.Opts.Protocol).MRR)
+	}
+	return out
+}
+
+// String formats the breakdown.
+func (b TenantBreakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extension: MRR by tenant size (small = bottom half by RQ count)\n")
+	fmt.Fprintf(&sb, "  %-20s %12s %12s %12s\n", "Model", "small", "large", "small/large")
+	for i, m := range b.Models {
+		ratio := 0.0
+		if b.Large[i] > 0 {
+			ratio = b.Small[i] / b.Large[i]
+		}
+		fmt.Fprintf(&sb, "  %-20s %12.3f %12.3f %12.2f\n", m, b.Small[i], b.Large[i], ratio)
+	}
+	return sb.String()
+}

@@ -1,0 +1,264 @@
+// Package hetgraph implements the TagRec heterogeneous graph of the paper's
+// Definition 1: typed nodes (Tags, RQs, tEnants), typed edges (asc, crl, clk,
+// cst) and the four predefined TagRec metapaths of Definition 2
+// {TT, TQT, TQQT, TQEQT}, together with metapath-neighbor expansion and
+// sampling used by the GNN layers.
+package hetgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"intellitag/internal/mat"
+)
+
+// NodeType enumerates the node types A = {T, Q, E}.
+type NodeType uint8
+
+// Node types of the TagRec heterogeneous graph.
+const (
+	TagNode    NodeType = iota // T: tags mined from RQs
+	RQNode                     // Q: representative questions
+	TenantNode                 // E: tenants (SMEs)
+)
+
+// String names the node type.
+func (t NodeType) String() string {
+	switch t {
+	case TagNode:
+		return "T"
+	case RQNode:
+		return "Q"
+	case TenantNode:
+		return "E"
+	}
+	return fmt.Sprintf("NodeType(%d)", uint8(t))
+}
+
+// EdgeType enumerates the relation types R = {asc, crl, clk, cst}.
+type EdgeType uint8
+
+// Edge types of the TagRec heterogeneous graph.
+const (
+	Asc EdgeType = iota // association: tag included in RQ (T-Q)
+	Crl                 // correlation: RQ belongs to tenant (Q-E)
+	Clk                 // co-clicking: two tags clicked successively (T-T)
+	Cst                 // co-consulting: two RQs consulted successively (Q-Q)
+)
+
+// String names the edge type.
+func (e EdgeType) String() string {
+	switch e {
+	case Asc:
+		return "asc"
+	case Crl:
+		return "crl"
+	case Clk:
+		return "clk"
+	case Cst:
+		return "cst"
+	}
+	return fmt.Sprintf("EdgeType(%d)", uint8(e))
+}
+
+// NodeID identifies a node within its type's id space (dense, 0-based).
+type NodeID int
+
+// Graph is a TagRec heterogeneous graph. Adjacency is stored per edge type
+// and direction; all four relations are symmetric in meaning, so edges are
+// indexed from both endpoints.
+type Graph struct {
+	NumTags, NumRQs, NumTenants int
+
+	// adjacency[edgeType] maps a source node id to sorted neighbor ids.
+	// Which id space applies depends on the edge type and direction.
+	ascTagToRQ  [][]NodeID // tag -> RQs
+	ascRQToTag  [][]NodeID // RQ -> tags
+	crlRQToTen  [][]NodeID // RQ -> tenants (usually exactly one)
+	crlTenToRQ  [][]NodeID // tenant -> RQs
+	clkTagToTag [][]NodeID // tag -> co-clicked tags
+	cstRQToRQ   [][]NodeID // RQ -> co-consulted RQs
+
+	edgeCounts map[EdgeType]int
+}
+
+// New returns an empty graph with the given node populations.
+func New(numTags, numRQs, numTenants int) *Graph {
+	return &Graph{
+		NumTags: numTags, NumRQs: numRQs, NumTenants: numTenants,
+		ascTagToRQ:  make([][]NodeID, numTags),
+		ascRQToTag:  make([][]NodeID, numRQs),
+		crlRQToTen:  make([][]NodeID, numRQs),
+		crlTenToRQ:  make([][]NodeID, numTenants),
+		clkTagToTag: make([][]NodeID, numTags),
+		cstRQToRQ:   make([][]NodeID, numRQs),
+		edgeCounts:  map[EdgeType]int{},
+	}
+}
+
+// AddAsc records that tag t is included in RQ q.
+func (g *Graph) AddAsc(t, q NodeID) {
+	g.checkTag(t)
+	g.checkRQ(q)
+	if containsID(g.ascTagToRQ[t], q) {
+		return
+	}
+	g.ascTagToRQ[t] = append(g.ascTagToRQ[t], q)
+	g.ascRQToTag[q] = append(g.ascRQToTag[q], t)
+	g.edgeCounts[Asc]++
+}
+
+// AddCrl records that RQ q belongs to tenant e.
+func (g *Graph) AddCrl(q, e NodeID) {
+	g.checkRQ(q)
+	g.checkTenant(e)
+	if containsID(g.crlRQToTen[q], e) {
+		return
+	}
+	g.crlRQToTen[q] = append(g.crlRQToTen[q], e)
+	g.crlTenToRQ[e] = append(g.crlTenToRQ[e], q)
+	g.edgeCounts[Crl]++
+}
+
+// AddClk records that tags a and b were clicked successively in a session.
+func (g *Graph) AddClk(a, b NodeID) {
+	g.checkTag(a)
+	g.checkTag(b)
+	if a == b || containsID(g.clkTagToTag[a], b) {
+		return
+	}
+	g.clkTagToTag[a] = append(g.clkTagToTag[a], b)
+	g.clkTagToTag[b] = append(g.clkTagToTag[b], a)
+	g.edgeCounts[Clk]++
+}
+
+// AddCst records that RQs a and b were consulted successively in a session.
+func (g *Graph) AddCst(a, b NodeID) {
+	g.checkRQ(a)
+	g.checkRQ(b)
+	if a == b || containsID(g.cstRQToRQ[a], b) {
+		return
+	}
+	g.cstRQToRQ[a] = append(g.cstRQToRQ[a], b)
+	g.cstRQToRQ[b] = append(g.cstRQToRQ[b], a)
+	g.edgeCounts[Cst]++
+}
+
+// EdgeCount returns the number of (undirected) edges of the given type.
+func (g *Graph) EdgeCount(t EdgeType) int { return g.edgeCounts[t] }
+
+// TotalEdges returns the number of edges across all relation types.
+func (g *Graph) TotalEdges() int {
+	var n int
+	for _, c := range g.edgeCounts {
+		n += c
+	}
+	return n
+}
+
+// TagsOfRQ returns the tags associated with RQ q.
+func (g *Graph) TagsOfRQ(q NodeID) []NodeID { return g.ascRQToTag[q] }
+
+// RQsOfTag returns the RQs containing tag t.
+func (g *Graph) RQsOfTag(t NodeID) []NodeID { return g.ascTagToRQ[t] }
+
+// TenantOfRQ returns the tenants owning RQ q (usually one).
+func (g *Graph) TenantOfRQ(q NodeID) []NodeID { return g.crlRQToTen[q] }
+
+// RQsOfTenant returns the RQs of tenant e.
+func (g *Graph) RQsOfTenant(e NodeID) []NodeID { return g.crlTenToRQ[e] }
+
+// CoClickedTags returns tags co-clicked with t.
+func (g *Graph) CoClickedTags(t NodeID) []NodeID { return g.clkTagToTag[t] }
+
+// CoConsultedRQs returns RQs co-consulted with q.
+func (g *Graph) CoConsultedRQs(q NodeID) []NodeID { return g.cstRQToRQ[q] }
+
+// TenantOfTag returns the set of tenants reachable from tag t via asc+crl,
+// i.e. the tenants whose RQs mention the tag.
+func (g *Graph) TenantOfTag(t NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for _, q := range g.ascTagToRQ[t] {
+		for _, e := range g.crlRQToTen[q] {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TagsOfTenant returns all tags whose RQs belong to tenant e.
+func (g *Graph) TagsOfTenant(e NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for _, q := range g.crlTenToRQ[e] {
+		for _, t := range g.ascRQToTag[q] {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (g *Graph) checkTag(t NodeID) {
+	if t < 0 || int(t) >= g.NumTags {
+		panic(fmt.Sprintf("hetgraph: tag id %d out of range [0,%d)", t, g.NumTags))
+	}
+}
+
+func (g *Graph) checkRQ(q NodeID) {
+	if q < 0 || int(q) >= g.NumRQs {
+		panic(fmt.Sprintf("hetgraph: RQ id %d out of range [0,%d)", q, g.NumRQs))
+	}
+}
+
+func (g *Graph) checkTenant(e NodeID) {
+	if e < 0 || int(e) >= g.NumTenants {
+		panic(fmt.Sprintf("hetgraph: tenant id %d out of range [0,%d)", e, g.NumTenants))
+	}
+}
+
+func containsID(s []NodeID, x NodeID) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes the graph for reporting (Table II analog).
+type Stats struct {
+	Tags, RQs, Tenants int
+	Asc, Crl, Clk, Cst int
+}
+
+// Stats returns node and edge counts.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Tags: g.NumTags, RQs: g.NumRQs, Tenants: g.NumTenants,
+		Asc: g.edgeCounts[Asc], Crl: g.edgeCounts[Crl],
+		Clk: g.edgeCounts[Clk], Cst: g.edgeCounts[Cst],
+	}
+}
+
+// sampleUpTo returns at most k distinct elements of s, deterministically when
+// len(s) <= k and uniformly at random otherwise.
+func sampleUpTo(s []NodeID, k int, rng *mat.RNG) []NodeID {
+	if len(s) <= k {
+		return s
+	}
+	idx := rng.Perm(len(s))[:k]
+	out := make([]NodeID, k)
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}

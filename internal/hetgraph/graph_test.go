@@ -1,0 +1,323 @@
+package hetgraph
+
+import (
+	"path/filepath"
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+// testGraph builds a small graph:
+//
+//	tags:    0,1,2,3
+//	RQs:     0,1,2
+//	tenants: 0,1
+//	asc:  t0-q0, t1-q0, t1-q1, t2-q1, t3-q2
+//	crl:  q0-e0, q1-e0, q2-e1
+//	clk:  t0-t1
+//	cst:  q0-q1
+func testGraph() *Graph {
+	g := New(4, 3, 2)
+	g.AddAsc(0, 0)
+	g.AddAsc(1, 0)
+	g.AddAsc(1, 1)
+	g.AddAsc(2, 1)
+	g.AddAsc(3, 2)
+	g.AddCrl(0, 0)
+	g.AddCrl(1, 0)
+	g.AddCrl(2, 1)
+	g.AddClk(0, 1)
+	g.AddCst(0, 1)
+	return g
+}
+
+func idsEqual(a []NodeID, b ...NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEdgeCounts(t *testing.T) {
+	g := testGraph()
+	if g.EdgeCount(Asc) != 5 || g.EdgeCount(Crl) != 3 || g.EdgeCount(Clk) != 1 || g.EdgeCount(Cst) != 1 {
+		t.Fatalf("counts = %+v", g.Stats())
+	}
+	if g.TotalEdges() != 10 {
+		t.Fatalf("TotalEdges = %d", g.TotalEdges())
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	g := testGraph()
+	g.AddAsc(0, 0)
+	g.AddClk(1, 0) // reverse direction of existing clk
+	g.AddClk(2, 2) // self loop
+	if g.EdgeCount(Asc) != 5 || g.EdgeCount(Clk) != 1 {
+		t.Fatalf("duplicates changed counts: %+v", g.Stats())
+	}
+}
+
+func TestAdjacencyAccessors(t *testing.T) {
+	g := testGraph()
+	if !idsEqual(g.TagsOfRQ(0), 0, 1) {
+		t.Fatalf("TagsOfRQ(0) = %v", g.TagsOfRQ(0))
+	}
+	if !idsEqual(g.RQsOfTag(1), 0, 1) {
+		t.Fatalf("RQsOfTag(1) = %v", g.RQsOfTag(1))
+	}
+	if !idsEqual(g.TenantOfRQ(2), 1) {
+		t.Fatalf("TenantOfRQ(2) = %v", g.TenantOfRQ(2))
+	}
+	if !idsEqual(g.RQsOfTenant(0), 0, 1) {
+		t.Fatalf("RQsOfTenant(0) = %v", g.RQsOfTenant(0))
+	}
+	if !idsEqual(g.CoClickedTags(0), 1) || !idsEqual(g.CoClickedTags(1), 0) {
+		t.Fatal("clk not symmetric")
+	}
+	if !idsEqual(g.CoConsultedRQs(1), 0) {
+		t.Fatalf("CoConsultedRQs(1) = %v", g.CoConsultedRQs(1))
+	}
+}
+
+func TestTenantOfTagAndTagsOfTenant(t *testing.T) {
+	g := testGraph()
+	if !idsEqual(g.TenantOfTag(1), 0) {
+		t.Fatalf("TenantOfTag(1) = %v", g.TenantOfTag(1))
+	}
+	if !idsEqual(g.TagsOfTenant(0), 0, 1, 2) {
+		t.Fatalf("TagsOfTenant(0) = %v", g.TagsOfTenant(0))
+	}
+	if !idsEqual(g.TagsOfTenant(1), 3) {
+		t.Fatalf("TagsOfTenant(1) = %v", g.TagsOfTenant(1))
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := testGraph()
+	for _, fn := range []func(){
+		func() { g.AddAsc(99, 0) },
+		func() { g.AddAsc(0, 99) },
+		func() { g.AddCrl(99, 0) },
+		func() { g.AddCrl(0, 99) },
+		func() { g.AddClk(-1, 0) },
+		func() { g.AddCst(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMetapathTT(t *testing.T) {
+	g := testGraph()
+	if !idsEqual(g.MetapathNeighbors(0, TT), 1) {
+		t.Fatalf("TT(0) = %v", g.MetapathNeighbors(0, TT))
+	}
+	if len(g.MetapathNeighbors(2, TT)) != 0 {
+		t.Fatal("tag 2 has no clk edges")
+	}
+}
+
+func TestMetapathTQT(t *testing.T) {
+	g := testGraph()
+	// t0 shares q0 with t1.
+	if !idsEqual(g.MetapathNeighbors(0, TQT), 1) {
+		t.Fatalf("TQT(0) = %v", g.MetapathNeighbors(0, TQT))
+	}
+	// t1 shares q0 with t0 and q1 with t2.
+	if !idsEqual(g.MetapathNeighbors(1, TQT), 0, 2) {
+		t.Fatalf("TQT(1) = %v", g.MetapathNeighbors(1, TQT))
+	}
+}
+
+func TestMetapathTQQT(t *testing.T) {
+	g := testGraph()
+	// t0 -> q0 -cst-> q1 -> {t1, t2}.
+	if !idsEqual(g.MetapathNeighbors(0, TQQT), 1, 2) {
+		t.Fatalf("TQQT(0) = %v", g.MetapathNeighbors(0, TQQT))
+	}
+	// t3 -> q2 has no cst edges.
+	if len(g.MetapathNeighbors(3, TQQT)) != 0 {
+		t.Fatalf("TQQT(3) = %v", g.MetapathNeighbors(3, TQQT))
+	}
+}
+
+func TestMetapathTQEQT(t *testing.T) {
+	g := testGraph()
+	// t0 -> q0 -> e0 -> q1 -> {t1, t2}; q0 itself excluded, so t1,t2.
+	if !idsEqual(g.MetapathNeighbors(0, TQEQT), 1, 2) {
+		t.Fatalf("TQEQT(0) = %v", g.MetapathNeighbors(0, TQEQT))
+	}
+	// t3's tenant e1 has only q2, excluded as the source RQ -> empty.
+	if len(g.MetapathNeighbors(3, TQEQT)) != 0 {
+		t.Fatalf("TQEQT(3) = %v", g.MetapathNeighbors(3, TQEQT))
+	}
+}
+
+func TestMetapathExcludesSelf(t *testing.T) {
+	g := testGraph()
+	for _, m := range AllMetapaths {
+		for tag := NodeID(0); tag < 4; tag++ {
+			for _, n := range g.MetapathNeighbors(tag, m) {
+				if n == tag {
+					t.Fatalf("metapath %v neighbor set of %d includes itself", m, tag)
+				}
+			}
+		}
+	}
+}
+
+// Property: metapath neighbor relation is symmetric for every path type on a
+// randomly generated graph — if b is reachable from a via rho, then a is
+// reachable from b.
+func TestMetapathSymmetryProperty(t *testing.T) {
+	rng := mat.NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		nT, nQ, nE := 3+rng.Intn(8), 3+rng.Intn(8), 1+rng.Intn(3)
+		g := New(nT, nQ, nE)
+		for i := 0; i < nT*2; i++ {
+			g.AddAsc(NodeID(rng.Intn(nT)), NodeID(rng.Intn(nQ)))
+		}
+		for q := 0; q < nQ; q++ {
+			g.AddCrl(NodeID(q), NodeID(rng.Intn(nE)))
+		}
+		for i := 0; i < nT; i++ {
+			g.AddClk(NodeID(rng.Intn(nT)), NodeID(rng.Intn(nT)))
+		}
+		for i := 0; i < nQ; i++ {
+			g.AddCst(NodeID(rng.Intn(nQ)), NodeID(rng.Intn(nQ)))
+		}
+		for _, m := range AllMetapaths {
+			for a := 0; a < nT; a++ {
+				for _, b := range g.MetapathNeighbors(NodeID(a), m) {
+					back := g.MetapathNeighbors(b, m)
+					if !containsID(back, NodeID(a)) {
+						t.Fatalf("trial %d: metapath %v not symmetric: %d->%d but not back", trial, m, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSampledMetapathNeighborsCaps(t *testing.T) {
+	g := New(10, 5, 1)
+	for i := 1; i < 10; i++ {
+		g.AddClk(0, NodeID(i))
+	}
+	rng := mat.NewRNG(1)
+	got := g.SampledMetapathNeighbors(0, TT, 4, rng)
+	if len(got) != 4 {
+		t.Fatalf("sampled %d neighbors, want 4", len(got))
+	}
+	seen := map[NodeID]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[n] = true
+	}
+	// Small sets returned untouched.
+	full := g.SampledMetapathNeighbors(0, TT, 100, rng)
+	if len(full) != 9 {
+		t.Fatalf("uncapped sample = %d", len(full))
+	}
+}
+
+func TestNeighborCacheMatchesDirect(t *testing.T) {
+	g := testGraph()
+	c := BuildNeighborCache(g, 0, mat.NewRNG(1))
+	for _, m := range AllMetapaths {
+		for tag := NodeID(0); tag < 4; tag++ {
+			direct := g.MetapathNeighbors(tag, m)
+			cached := c.Neighbors(tag, m)
+			if !idsEqual(cached, direct...) {
+				t.Fatalf("cache mismatch for %v(%d): %v vs %v", m, tag, cached, direct)
+			}
+		}
+	}
+}
+
+func TestNeighborCacheCap(t *testing.T) {
+	g := New(10, 5, 1)
+	for i := 1; i < 10; i++ {
+		g.AddClk(0, NodeID(i))
+	}
+	c := BuildNeighborCache(g, 3, mat.NewRNG(2))
+	if len(c.Neighbors(0, TT)) != 3 {
+		t.Fatalf("cache cap not applied: %d", len(c.Neighbors(0, TT)))
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	g := testGraph()
+	rng := mat.NewRNG(3)
+	walk := g.RandomWalk(0, TQT, 5, rng)
+	if walk[0] != 0 {
+		t.Fatal("walk must start at source")
+	}
+	if len(walk) < 2 {
+		t.Fatalf("walk too short: %v", walk)
+	}
+	// Isolated node: walk stops immediately.
+	solo := g.RandomWalk(3, TT, 5, rng)
+	if len(solo) != 1 {
+		t.Fatalf("isolated walk = %v", solo)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TagNode.String() != "T" || RQNode.String() != "Q" || TenantNode.String() != "E" {
+		t.Fatal("NodeType names wrong")
+	}
+	if Asc.String() != "asc" || Crl.String() != "crl" || Clk.String() != "clk" || Cst.String() != "cst" {
+		t.Fatal("EdgeType names wrong")
+	}
+	names := map[Metapath]string{TT: "TT", TQT: "TQT", TQQT: "TQQT", TQEQT: "TQEQT"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%v != %s", m, want)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := testGraph()
+	path := filepath.Join(t.TempDir(), "graph.gob")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Stats() != g.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", g2.Stats(), g.Stats())
+	}
+	for _, m := range AllMetapaths {
+		for tag := NodeID(0); tag < 4; tag++ {
+			a := g.MetapathNeighbors(tag, m)
+			b := g2.MetapathNeighbors(tag, m)
+			if !idsEqual(b, a...) {
+				t.Fatalf("metapath %v neighbors differ for tag %d", m, tag)
+			}
+		}
+	}
+}
+
+func TestLoadMissingGraph(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "none.gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}

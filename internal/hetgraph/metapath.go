@@ -1,0 +1,152 @@
+package hetgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"intellitag/internal/mat"
+)
+
+// Metapath identifies one of the four predefined TagRec metapaths of
+// Definition 2, each an information-transmission path starting and ending
+// with tags.
+type Metapath uint8
+
+// The TagRec metapath set P = {TT, TQT, TQQT, TQEQT}.
+const (
+	// TT: two tags successively clicked by a user in a session
+	// (T --clk--> T).
+	TT Metapath = iota
+	// TQT: two tags associated with the same RQ
+	// (T --asc--> Q --asc--> T).
+	TQT
+	// TQQT: two tags associated with two related RQs retrieved by
+	// successively proposed questions (T --asc--> Q --cst--> Q --asc--> T).
+	TQQT
+	// TQEQT: two tags mined from the KB warehouse of the same tenant
+	// (T --asc--> Q --crl--> E --crl--> Q --asc--> T).
+	TQEQT
+)
+
+// AllMetapaths lists the TagRec metapath set in canonical order.
+var AllMetapaths = []Metapath{TT, TQT, TQQT, TQEQT}
+
+// String names the metapath.
+func (m Metapath) String() string {
+	switch m {
+	case TT:
+		return "TT"
+	case TQT:
+		return "TQT"
+	case TQQT:
+		return "TQQT"
+	case TQEQT:
+		return "TQEQT"
+	}
+	return fmt.Sprintf("Metapath(%d)", uint8(m))
+}
+
+// MetapathNeighbors returns the distinct tags reachable from tag t via the
+// metapath, excluding t itself, in ascending id order. This realizes the
+// neighbor sets N_t^rho of the paper's eq. 4.
+func (g *Graph) MetapathNeighbors(t NodeID, m Metapath) []NodeID {
+	seen := map[NodeID]bool{t: true}
+	var out []NodeID
+	add := func(x NodeID) {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	switch m {
+	case TT:
+		for _, n := range g.clkTagToTag[t] {
+			add(n)
+		}
+	case TQT:
+		for _, q := range g.ascTagToRQ[t] {
+			for _, n := range g.ascRQToTag[q] {
+				add(n)
+			}
+		}
+	case TQQT:
+		for _, q := range g.ascTagToRQ[t] {
+			for _, q2 := range g.cstRQToRQ[q] {
+				for _, n := range g.ascRQToTag[q2] {
+					add(n)
+				}
+			}
+		}
+	case TQEQT:
+		for _, q := range g.ascTagToRQ[t] {
+			for _, e := range g.crlRQToTen[q] {
+				for _, q2 := range g.crlTenToRQ[e] {
+					if q2 == q {
+						continue
+					}
+					for _, n := range g.ascRQToTag[q2] {
+						add(n)
+					}
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("hetgraph: unknown metapath %v", m))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampledMetapathNeighbors returns at most maxNeighbors metapath neighbors,
+// sampling uniformly when the full set is larger. GNN layers use this to
+// bound per-node aggregation cost on hub tags.
+func (g *Graph) SampledMetapathNeighbors(t NodeID, m Metapath, maxNeighbors int, rng *mat.RNG) []NodeID {
+	return sampleUpTo(g.MetapathNeighbors(t, m), maxNeighbors, rng)
+}
+
+// NeighborCache precomputes (optionally sampled) metapath neighbor lists for
+// every tag so training epochs do not repeat graph traversals.
+type NeighborCache struct {
+	// ByPath[m][t] lists the neighbors of tag t under metapath m.
+	ByPath map[Metapath][][]NodeID
+}
+
+// BuildNeighborCache materializes neighbor lists for all tags and metapaths,
+// capping each list at maxNeighbors (0 means unlimited).
+func BuildNeighborCache(g *Graph, maxNeighbors int, rng *mat.RNG) *NeighborCache {
+	c := &NeighborCache{ByPath: map[Metapath][][]NodeID{}}
+	for _, m := range AllMetapaths {
+		lists := make([][]NodeID, g.NumTags)
+		for t := 0; t < g.NumTags; t++ {
+			nb := g.MetapathNeighbors(NodeID(t), m)
+			if maxNeighbors > 0 && len(nb) > maxNeighbors {
+				nb = sampleUpTo(nb, maxNeighbors, rng)
+			}
+			lists[t] = nb
+		}
+		c.ByPath[m] = lists
+	}
+	return c
+}
+
+// Neighbors returns the cached neighbor list for tag t under metapath m.
+func (c *NeighborCache) Neighbors(t NodeID, m Metapath) []NodeID {
+	return c.ByPath[m][t]
+}
+
+// RandomWalk generates a metapath-guided random walk of walkLen *tag* visits
+// starting at tag t, cycling through the given metapath at each hop (as
+// metapath2vec does). The walk stops early if a node has no neighbors.
+func (g *Graph) RandomWalk(t NodeID, m Metapath, walkLen int, rng *mat.RNG) []NodeID {
+	walk := []NodeID{t}
+	cur := t
+	for len(walk) < walkLen {
+		nb := g.MetapathNeighbors(cur, m)
+		if len(nb) == 0 {
+			break
+		}
+		cur = nb[rng.Intn(len(nb))]
+		walk = append(walk, cur)
+	}
+	return walk
+}

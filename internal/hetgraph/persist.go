@@ -1,0 +1,73 @@
+package hetgraph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// graphBlob is the on-disk form of a Graph.
+type graphBlob struct {
+	NumTags, NumRQs, NumTenants int
+	AscTagToRQ                  [][]NodeID
+	CrlRQToTen                  [][]NodeID
+	ClkTagToTag                 [][]NodeID
+	CstRQToRQ                   [][]NodeID
+}
+
+// Save writes the graph to path in gob format. Only one direction of each
+// symmetric relation is stored; Load rebuilds the reverse indices.
+func (g *Graph) Save(path string) error {
+	blob := graphBlob{
+		NumTags: g.NumTags, NumRQs: g.NumRQs, NumTenants: g.NumTenants,
+		AscTagToRQ:  g.ascTagToRQ,
+		CrlRQToTen:  g.crlRQToTen,
+		ClkTagToTag: g.clkTagToTag,
+		CstRQToRQ:   g.cstRQToRQ,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hetgraph: create: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(blob); err != nil {
+		return fmt.Errorf("hetgraph: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a graph written by Save.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hetgraph: open: %w", err)
+	}
+	defer f.Close()
+	var blob graphBlob
+	if err := gob.NewDecoder(f).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("hetgraph: decode: %w", err)
+	}
+	g := New(blob.NumTags, blob.NumRQs, blob.NumTenants)
+	for t, rqs := range blob.AscTagToRQ {
+		for _, q := range rqs {
+			g.AddAsc(NodeID(t), q)
+		}
+	}
+	for q, tens := range blob.CrlRQToTen {
+		for _, e := range tens {
+			g.AddCrl(NodeID(q), e)
+		}
+	}
+	// clk/cst are stored from both endpoints; AddClk/AddCst dedupe.
+	for a, bs := range blob.ClkTagToTag {
+		for _, b := range bs {
+			g.AddClk(NodeID(a), b)
+		}
+	}
+	for a, bs := range blob.CstRQToRQ {
+		for _, b := range bs {
+			g.AddCst(NodeID(a), b)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,110 @@
+package kb
+
+import (
+	"intellitag/internal/textproc"
+)
+
+// UserQuestion is a raw question a user typed, with any high-rated manual
+// replies it received (the collection pipeline's answer candidates).
+type UserQuestion struct {
+	Tenant  int
+	Text    string
+	Replies []string // high-rated manual customer-service replies
+}
+
+// CollectConfig tunes the automatic Q&A collection pipeline.
+type CollectConfig struct {
+	EmbedDim int     // text embedding dimension
+	Eps      float64 // DBSCAN cosine-distance radius
+	MinPts   int     // DBSCAN density threshold
+}
+
+// DefaultCollectConfig matches the pipeline scale of this repository.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{EmbedDim: 32, Eps: 0.25, MinPts: 2}
+}
+
+// CollectResult reports what one collection run produced.
+type CollectResult struct {
+	Clusters   int
+	NewPairs   int
+	NoisySkips int
+}
+
+// Collect runs the paper's automatic Q&A collection (Section III-A) for one
+// tenant: it mixes the tenant's existing RQs with new user questions, embeds
+// them, clusters with DBSCAN, chooses a representative question for each
+// cluster lacking one, selects an answer from high-rated manual replies with
+// the extractive selector, and uploads the new pairs.
+func Collect(w *Warehouse, tenant int, questions []UserQuestion, cfg CollectConfig) CollectResult {
+	existing := w.ByTenant(tenant)
+
+	// Corpus = existing RQs + new user questions, tracked by origin.
+	type item struct {
+		text    string
+		isRQ    bool
+		userIdx int // index into questions when !isRQ
+	}
+	var items []item
+	for _, p := range existing {
+		items = append(items, item{text: p.Question, isRQ: true})
+	}
+	for i, q := range questions {
+		items = append(items, item{text: q.Text, userIdx: i})
+	}
+	if len(items) == 0 {
+		return CollectResult{}
+	}
+
+	var docs [][]string
+	for _, it := range items {
+		docs = append(docs, textproc.Tokenize(it.text))
+	}
+	embedder := textproc.NewEmbedder(cfg.EmbedDim, docs)
+	points := make([][]float64, len(items))
+	for i, it := range items {
+		points[i] = embedder.EmbedText(it.text)
+	}
+	labels := textproc.DBSCAN(points, cfg.Eps, cfg.MinPts)
+	clusters := textproc.ClusterMembers(labels)
+
+	// Answer selector trained over all manual replies.
+	var replyCorpus [][]string
+	for _, q := range questions {
+		for _, r := range q.Replies {
+			replyCorpus = append(replyCorpus, textproc.Tokenize(r))
+		}
+	}
+	selector := textproc.NewAnswerSelector(replyCorpus)
+
+	res := CollectResult{Clusters: len(clusters)}
+	for _, members := range clusters {
+		hasRQ := false
+		for _, m := range members {
+			if items[m].isRQ {
+				hasRQ = true
+				break
+			}
+		}
+		if hasRQ {
+			continue // cluster already represented in the KB
+		}
+		// "If there is not even an RQ, we randomly choose a user's question
+		// as a new one" — we take the first (deterministic) member.
+		rep := items[members[0]]
+		uq := questions[rep.userIdx]
+		// Gather answer candidates from every member's replies.
+		var candidates []string
+		for _, m := range members {
+			candidates = append(candidates, questions[items[m].userIdx].Replies...)
+		}
+		best := selector.SelectAnswer(uq.Text, candidates)
+		if best < 0 {
+			res.NoisySkips++
+			continue
+		}
+		w.AddAuto(tenant, uq.Text, candidates[best])
+		res.NewPairs++
+	}
+	return res
+}

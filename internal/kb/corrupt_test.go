@@ -1,0 +1,30 @@
+package kb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCorruptJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kb.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWarehouse()
+	if err := w.Load(path); err == nil {
+		t.Fatal("expected unmarshal error")
+	}
+}
+
+func TestLoadWrongShapeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kb.json")
+	// Valid JSON, wrong type (object instead of array).
+	if err := os.WriteFile(path, []byte(`{"id":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWarehouse()
+	if err := w.Load(path); err == nil {
+		t.Fatal("expected unmarshal error")
+	}
+}

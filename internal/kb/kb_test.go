@@ -1,0 +1,149 @@
+package kb
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestUploadAndGet(t *testing.T) {
+	w := NewWarehouse()
+	id := w.Upload(3, "How to change password?", "Use settings.")
+	p, ok := w.Get(id)
+	if !ok || p.Tenant != 3 || p.Source != "upload" {
+		t.Fatalf("Get = %+v, %v", p, ok)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestUploadDedupesByNormalizedQuestion(t *testing.T) {
+	w := NewWarehouse()
+	a := w.Upload(1, "How to change password?", "old")
+	b := w.Upload(1, "how TO   change password", "new")
+	if a != b {
+		t.Fatalf("dedup failed: %d vs %d", a, b)
+	}
+	p, _ := w.Get(a)
+	if p.Answer != "new" {
+		t.Fatalf("answer not updated: %q", p.Answer)
+	}
+	// Same question under another tenant is a separate pair.
+	c := w.Upload(2, "How to change password?", "other")
+	if c == a {
+		t.Fatal("cross-tenant dedup must not happen")
+	}
+}
+
+func TestByTenantAndQuestions(t *testing.T) {
+	w := NewWarehouse()
+	w.Upload(1, "q one", "a")
+	w.Upload(2, "q two", "a")
+	w.Upload(1, "q three", "a")
+	if got := w.ByTenant(1); len(got) != 2 {
+		t.Fatalf("ByTenant(1) = %v", got)
+	}
+	qs := w.Questions()
+	if len(qs) != 3 || qs[0] != "q one" {
+		t.Fatalf("Questions = %v", qs)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w := NewWarehouse()
+	w.Upload(1, "alpha question", "alpha answer")
+	w.AddAuto(2, "beta question", "beta answer")
+	path := filepath.Join(t.TempDir(), "kb.json")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWarehouse()
+	if err := w2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != 2 {
+		t.Fatalf("loaded %d pairs", w2.Len())
+	}
+	// Dedup map must be rebuilt: re-upload should update, not duplicate.
+	w2.Upload(1, "ALPHA question", "updated")
+	if w2.Len() != 2 {
+		t.Fatal("dedup map not rebuilt after Load")
+	}
+	// ID allocation continues past loaded ids.
+	id := w2.Upload(9, "fresh", "x")
+	if id < 2 {
+		t.Fatalf("new id %d collides", id)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	w := NewWarehouse()
+	if err := w.Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCollectCreatesPairsForNewClusters(t *testing.T) {
+	w := NewWarehouse()
+	// Existing RQ covers the "password" cluster.
+	w.Upload(0, "how to change password", "go to settings")
+
+	questions := []UserQuestion{
+		// Cluster 1: covered by the existing RQ — should not create pairs.
+		{Tenant: 0, Text: "how to change password quickly", Replies: []string{"settings page has it"}},
+		{Tenant: 0, Text: "change password how", Replies: []string{"use settings"}},
+		// Cluster 2: a new topic with consistent phrasing.
+		{Tenant: 0, Text: "refund my order payment", Replies: []string{"refunds take three days for order payment"}},
+		{Tenant: 0, Text: "order payment refund please", Replies: []string{"we process refund of order payment"}},
+		{Tenant: 0, Text: "refund order payment status", Replies: []string{"check refund status in orders"}},
+	}
+	cfg := DefaultCollectConfig()
+	cfg.Eps = 0.45
+	res := Collect(w, 0, questions, cfg)
+	if res.Clusters == 0 {
+		t.Fatal("no clusters formed")
+	}
+	if res.NewPairs == 0 {
+		t.Fatalf("no new pairs collected: %+v", res)
+	}
+	// The new pair must be about refunds, sourced "auto", with an answer
+	// chosen from the replies.
+	var found bool
+	for _, p := range w.All() {
+		if p.Source == "auto" {
+			found = true
+			if p.Answer == "" {
+				t.Fatal("auto pair without answer")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no auto pair stored")
+	}
+}
+
+func TestCollectEmptyInput(t *testing.T) {
+	w := NewWarehouse()
+	res := Collect(w, 0, nil, DefaultCollectConfig())
+	if res.NewPairs != 0 || res.Clusters != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCollectSkipsClustersWithoutAnswers(t *testing.T) {
+	w := NewWarehouse()
+	questions := []UserQuestion{
+		{Tenant: 0, Text: "mystery topic alpha beta", Replies: nil},
+		{Tenant: 0, Text: "alpha beta mystery topic", Replies: nil},
+		{Tenant: 0, Text: "topic mystery alpha beta", Replies: nil},
+	}
+	cfg := DefaultCollectConfig()
+	cfg.Eps = 0.45
+	res := Collect(w, 0, questions, cfg)
+	if res.NewPairs != 0 {
+		t.Fatalf("pairs created without any reply: %+v", res)
+	}
+	if res.Clusters > 0 && res.NoisySkips == 0 {
+		t.Fatalf("cluster without answers should be counted skipped: %+v", res)
+	}
+}

@@ -1,0 +1,157 @@
+// Package kb implements the knowledge-base document warehouse of Section
+// III-A: storage for Q&A pairs keyed by representative question (RQ), the
+// automatic Q&A collection pipeline (embedding -> DBSCAN clustering ->
+// representative question selection -> extractive answer selection) and JSON
+// persistence. Tenants can also upload self-ordained pairs directly, as the
+// paper's interface allows.
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"intellitag/internal/textproc"
+)
+
+// Pair is one knowledge-base entry: a representative question with its
+// answer, owned by a tenant.
+type Pair struct {
+	ID       int    `json:"id"`
+	Tenant   int    `json:"tenant"`
+	Question string `json:"question"`
+	Answer   string `json:"answer"`
+	// Source records how the pair entered the warehouse: "upload" for
+	// tenant-provided pairs, "auto" for pipeline-collected ones.
+	Source string `json:"source"`
+}
+
+// Warehouse stores Q&A pairs. It is safe for concurrent use.
+type Warehouse struct {
+	mu     sync.RWMutex
+	pairs  map[int]Pair
+	nextID int
+	// byNorm dedupes by normalized question text per tenant.
+	byNorm map[string]int
+}
+
+// NewWarehouse returns an empty warehouse.
+func NewWarehouse() *Warehouse {
+	return &Warehouse{pairs: map[int]Pair{}, byNorm: map[string]int{}}
+}
+
+func dedupKey(tenant int, question string) string {
+	return fmt.Sprintf("%d|%s", tenant, textproc.NormalizeQuestion(question))
+}
+
+// Upload inserts a tenant-provided pair, returning its id. Re-uploading a
+// question updates the existing pair's answer instead of duplicating.
+func (w *Warehouse) Upload(tenant int, question, answer string) int {
+	return w.insert(tenant, question, answer, "upload")
+}
+
+// AddAuto inserts a pipeline-collected pair.
+func (w *Warehouse) AddAuto(tenant int, question, answer string) int {
+	return w.insert(tenant, question, answer, "auto")
+}
+
+func (w *Warehouse) insert(tenant int, question, answer, source string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key := dedupKey(tenant, question)
+	if id, ok := w.byNorm[key]; ok {
+		p := w.pairs[id]
+		p.Answer = answer
+		w.pairs[id] = p
+		return id
+	}
+	id := w.nextID
+	w.nextID++
+	w.pairs[id] = Pair{ID: id, Tenant: tenant, Question: question, Answer: answer, Source: source}
+	w.byNorm[key] = id
+	return id
+}
+
+// Get returns the pair with the given id.
+func (w *Warehouse) Get(id int) (Pair, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	p, ok := w.pairs[id]
+	return p, ok
+}
+
+// Len returns the number of stored pairs.
+func (w *Warehouse) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.pairs)
+}
+
+// All returns every pair in id order.
+func (w *Warehouse) All() []Pair {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]Pair, 0, len(w.pairs))
+	for _, p := range w.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByTenant returns a tenant's pairs in id order.
+func (w *Warehouse) ByTenant(tenant int) []Pair {
+	var out []Pair
+	for _, p := range w.All() {
+		if p.Tenant == tenant {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Questions returns every RQ text in id order (the tag miner's corpus).
+func (w *Warehouse) Questions() []string {
+	all := w.All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Question
+	}
+	return out
+}
+
+// Save writes the warehouse as JSON to path.
+func (w *Warehouse) Save(path string) error {
+	data, err := json.MarshalIndent(w.All(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("kb: marshal: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load replaces the warehouse contents with the pairs stored at path.
+func (w *Warehouse) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kb: read: %w", err)
+	}
+	var pairs []Pair
+	if err := json.Unmarshal(data, &pairs); err != nil {
+		return fmt.Errorf("kb: unmarshal: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pairs = map[int]Pair{}
+	w.byNorm = map[string]int{}
+	w.nextID = 0
+	for _, p := range pairs {
+		w.pairs[p.ID] = p
+		w.byNorm[dedupKey(p.Tenant, p.Question)] = p.ID
+		if p.ID >= w.nextID {
+			w.nextID = p.ID + 1
+		}
+	}
+	return nil
+}

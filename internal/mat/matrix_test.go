@@ -1,0 +1,379 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %v", m)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	if got := m.Row(1); got[2] != 7 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+}
+
+func TestNewFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong: %v", m)
+	}
+	if got := FromRows(nil); got.Rows != 0 || got.Cols != 0 {
+		t.Fatalf("FromRows(nil) = %v", got)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestSetRow(t *testing.T) {
+	m := New(2, 2)
+	m.SetRow(0, []float64{5, 6})
+	if m.At(0, 0) != 5 || m.At(0, 1) != 6 {
+		t.Fatalf("SetRow failed: %v", m)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T values wrong: %v", tr)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i, v := range c.Data {
+		if v != want.Data[i] {
+			t.Fatalf("MatMul = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTEquivalence(t *testing.T) {
+	g := NewRNG(1)
+	a, b := New(3, 4), New(5, 4)
+	g.Normal(a, 1)
+	g.Normal(b, 1)
+	got := MatMulT(a, b)
+	want := MatMul(a, b.T())
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("MatMulT mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTMatMulEquivalence(t *testing.T) {
+	g := NewRNG(2)
+	a, b := New(4, 3), New(4, 5)
+	g.Normal(a, 1)
+	g.Normal(b, 1)
+	got := TMatMul(a, b)
+	want := MatMul(a.T(), b)
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-12) {
+			t.Fatalf("TMatMul mismatch at %d", i)
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 5}})
+	if got := Add(a, b); got.At(0, 1) != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); got.At(0, 0) != 2 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b); got.At(0, 1) != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, 3); got.At(0, 0) != 3 {
+		t.Fatalf("Scale = %v", got)
+	}
+	c := a.Clone()
+	AddInPlace(c, b)
+	if c.At(0, 0) != 4 {
+		t.Fatalf("AddInPlace = %v", c)
+	}
+	ScaleInPlace(c, 2)
+	if c.At(0, 0) != 8 {
+		t.Fatalf("ScaleInPlace = %v", c)
+	}
+}
+
+func TestAddRowVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}})
+	got := AddRowVec(a, []float64{10, 20})
+	if got.At(0, 1) != 21 || got.At(1, 0) != 12 {
+		t.Fatalf("AddRowVec = %v", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromRows([][]float64{{-1, 4}})
+	got := Apply(a, math.Abs)
+	if got.At(0, 0) != 1 || got.At(0, 1) != 4 {
+		t.Fatalf("Apply = %v", got)
+	}
+}
+
+func TestSumRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := SumRows(a)
+	if got[0] != 4 || got[1] != 6 {
+		t.Fatalf("SumRows = %v", got)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {1000, 1001, 999}})
+	s := SoftmaxRows(a)
+	for i := 0; i < s.Rows; i++ {
+		var sum float64
+		for _, v := range s.Row(i) {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("softmax produced non-positive/NaN: %v", s.Row(i))
+			}
+			sum += v
+		}
+		if !almostEq(sum, 1, 1e-9) {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Larger logits get larger probabilities.
+	if s.At(0, 2) <= s.At(0, 0) {
+		t.Fatal("softmax not monotone")
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	if got := Softmax(nil); len(got) != 0 {
+		t.Fatalf("Softmax(nil) = %v", got)
+	}
+}
+
+func TestDotNormCosine(t *testing.T) {
+	a := []float64{3, 4}
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if Norm(a) != 5 {
+		t.Fatalf("Norm = %v", Norm(a))
+	}
+	if !almostEq(CosineSim(a, a), 1, 1e-12) {
+		t.Fatalf("CosineSim self = %v", CosineSim(a, a))
+	}
+	if CosineSim(a, []float64{0, 0}) != 0 {
+		t.Fatal("CosineSim with zero vector should be 0")
+	}
+	b := []float64{-4, 3}
+	if !almostEq(CosineSim(a, b), 0, 1e-12) {
+		t.Fatalf("orthogonal CosineSim = %v", CosineSim(a, b))
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat([]float64{1}, []float64{2, 3})
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestMaxIdx(t *testing.T) {
+	if MaxIdx(nil) != -1 {
+		t.Fatal("MaxIdx(nil) != -1")
+	}
+	if got := MaxIdx([]float64{1, 5, 3}); got != 1 {
+		t.Fatalf("MaxIdx = %d", got)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	m.Fill(9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.At(0, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestStringContainsShape(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: (A*B)^T == B^T * A^T.
+func TestMatMulTransposeProperty(t *testing.T) {
+	g := NewRNG(7)
+	f := func(seed int64) bool {
+		rg := NewRNG(seed)
+		r, k, c := 1+rg.Intn(5), 1+rg.Intn(5), 1+rg.Intn(5)
+		a, b := New(r, k), New(k, c)
+		rg.Normal(a, 1)
+		rg.Normal(b, 1)
+		lhs := MatMul(a, b).T()
+		rhs := MatMul(b.T(), a.T())
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	_ = cfg
+	for i := 0; i < 50; i++ {
+		if !f(g.Int63()) {
+			t.Fatal("(AB)^T != B^T A^T")
+		}
+	}
+}
+
+// Property: matmul distributes over addition: A*(B+C) == A*B + A*C.
+func TestMatMulDistributesProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rg := NewRNG(seed)
+		r, k, c := 1+rg.Intn(4), 1+rg.Intn(4), 1+rg.Intn(4)
+		a, b, cm := New(r, k), New(k, c), New(k, c)
+		rg.Normal(a, 1)
+		rg.Normal(b, 1)
+		rg.Normal(cm, 1)
+		lhs := MatMul(a, Add(b, cm))
+		rhs := Add(MatMul(a, b), MatMul(a, cm))
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	g := NewRNG(1)
+	c1 := g.Fork()
+	g2 := NewRNG(1)
+	c2 := g2.Fork()
+	if c1.Float64() != c2.Float64() {
+		t.Fatal("Fork not deterministic")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	g := NewRNG(3)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[g.Categorical([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("Categorical counts %v not ordered by weight", counts)
+	}
+}
+
+func TestCategoricalPanicsOnZeroWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Categorical([]float64{0, 0})
+}
+
+func TestZipfLongTail(t *testing.T) {
+	g := NewRNG(4)
+	counts := make([]int, 10)
+	for i := 0; i < 5000; i++ {
+		counts[g.Zipf(10, 1.2)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("Zipf head %d not heavier than tail %d", counts[0], counts[9])
+	}
+}
+
+func TestXavierBounded(t *testing.T) {
+	g := NewRNG(5)
+	m := New(10, 10)
+	g.Xavier(m)
+	limit := math.Sqrt(6.0 / 20.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("Xavier value %v exceeds limit %v", v, limit)
+		}
+	}
+}

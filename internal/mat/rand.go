@@ -1,0 +1,86 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the deterministic helpers the substrate needs.
+// Every stochastic component in this repository takes an explicit *RNG so
+// that experiments are reproducible from a single seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Fork derives an independent child RNG; useful to give each component its
+// own stream so the order of use in one does not perturb another.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// Xavier fills m with Glorot-uniform values scaled for fanIn+fanOut.
+func (g *RNG) Xavier(m *Matrix) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (g.r.Float64()*2 - 1) * limit
+	}
+}
+
+// Normal fills m with N(0, std^2) values.
+func (g *RNG) Normal(m *Matrix, std float64) {
+	for i := range m.Data {
+		m.Data[i] = g.r.NormFloat64() * std
+	}
+}
+
+// Categorical samples an index from the (not necessarily normalized)
+// non-negative weights. It panics if the total weight is not positive.
+func (g *RNG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("mat: Categorical requires positive total weight")
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf samples an index in [0,n) with probability proportional to
+// 1/(rank+1)^s, producing the long-tail popularity typical of tags.
+func (g *RNG) Zipf(n int, s float64) int {
+	// Small n in this repository, so a linear scan is fine.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return g.Categorical(weights)
+}

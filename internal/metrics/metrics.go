@@ -1,0 +1,209 @@
+// Package metrics implements the evaluation metrics of the paper's Section
+// VI-A2: MRR, NDCG@K and HR@K under the 49-negative ranking protocol for
+// TagRec, precision/recall/F1 for tag mining, and the online indicators CTR,
+// HIR and latency percentiles.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// RankOfTarget returns the 1-based rank of the target item among candidates
+// when sorted by descending score (ties broken by candidate order). The
+// target is identified by its index in the scores slice.
+func RankOfTarget(scores []float64, targetIdx int) int {
+	rank := 1
+	for i, s := range scores {
+		if i == targetIdx {
+			continue
+		}
+		if s > scores[targetIdx] {
+			rank++
+		}
+	}
+	return rank
+}
+
+// MRR returns the reciprocal rank for a single ranked query.
+func MRR(rank int) float64 { return 1 / float64(rank) }
+
+// HRAt returns 1 if the target rank is within k, else 0 (hit ratio).
+func HRAt(rank, k int) float64 {
+	if rank <= k {
+		return 1
+	}
+	return 0
+}
+
+// NDCGAt returns the normalized discounted cumulative gain at k for a single
+// relevant item: 1/log2(rank+1) when rank <= k, else 0 (the ideal DCG for
+// one relevant item is 1).
+func NDCGAt(rank, k int) float64 {
+	if rank > k {
+		return 0
+	}
+	return 1 / math.Log2(float64(rank)+1)
+}
+
+// RankingReport aggregates the paper's Table IV metric block.
+type RankingReport struct {
+	MRR    float64
+	NDCG1  float64
+	NDCG5  float64
+	NDCG10 float64
+	HR5    float64
+	HR10   float64
+	N      int
+}
+
+// RankingAccumulator builds a RankingReport from per-query ranks.
+type RankingAccumulator struct {
+	sum RankingReport
+}
+
+// Observe records one query's target rank.
+func (a *RankingAccumulator) Observe(rank int) {
+	a.sum.MRR += MRR(rank)
+	a.sum.NDCG1 += NDCGAt(rank, 1)
+	a.sum.NDCG5 += NDCGAt(rank, 5)
+	a.sum.NDCG10 += NDCGAt(rank, 10)
+	a.sum.HR5 += HRAt(rank, 5)
+	a.sum.HR10 += HRAt(rank, 10)
+	a.sum.N++
+}
+
+// Report returns the mean metrics over all observed queries.
+func (a *RankingAccumulator) Report() RankingReport {
+	r := a.sum
+	if r.N == 0 {
+		return r
+	}
+	n := float64(r.N)
+	r.MRR /= n
+	r.NDCG1 /= n
+	r.NDCG5 /= n
+	r.NDCG10 /= n
+	r.HR5 /= n
+	r.HR10 /= n
+	return r
+}
+
+// PRF1 holds precision, recall and F1.
+type PRF1 struct {
+	Precision, Recall, F1 float64
+	TP, FP, FN            int
+}
+
+// SetPRF1 computes precision/recall/F1 between predicted and gold item sets
+// (exact match), the tag mining evaluation of Table III.
+func SetPRF1[T comparable](pred, gold []T) PRF1 {
+	goldSet := map[T]bool{}
+	for _, g := range gold {
+		goldSet[g] = true
+	}
+	predSet := map[T]bool{}
+	for _, p := range pred {
+		predSet[p] = true
+	}
+	var r PRF1
+	for p := range predSet {
+		if goldSet[p] {
+			r.TP++
+		} else {
+			r.FP++
+		}
+	}
+	for g := range goldSet {
+		if !predSet[g] {
+			r.FN++
+		}
+	}
+	return finishPRF1(r)
+}
+
+// AccumulatePRF1 merges raw counts from multiple PRF1 observations into one
+// micro-averaged result.
+func AccumulatePRF1(parts []PRF1) PRF1 {
+	var r PRF1
+	for _, p := range parts {
+		r.TP += p.TP
+		r.FP += p.FP
+		r.FN += p.FN
+	}
+	return finishPRF1(r)
+}
+
+func finishPRF1(r PRF1) PRF1 {
+	if r.TP+r.FP > 0 {
+		r.Precision = float64(r.TP) / float64(r.TP+r.FP)
+	}
+	if r.TP+r.FN > 0 {
+		r.Recall = float64(r.TP) / float64(r.TP+r.FN)
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}
+
+// CTR is the click-through rate: clicks / impressions (0 when no
+// impressions).
+func CTR(clicks, impressions int) float64 {
+	if impressions == 0 {
+		return 0
+	}
+	return float64(clicks) / float64(impressions)
+}
+
+// MacroAvg returns the unweighted mean of per-group values, the macro
+// average the paper applies to per-tenant CTR (Section VI-F).
+func MacroAvg(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// HIR is the human intervention rate: escalations / sessions.
+func HIR(escalations, sessions int) float64 {
+	if sessions == 0 {
+		return 0
+	}
+	return float64(escalations) / float64(sessions)
+}
+
+// LatencyStats summarizes a latency sample.
+type LatencyStats struct {
+	Mean, P50, P95, P99 time.Duration
+	N                   int
+}
+
+// SummarizeLatency computes mean and percentiles of a latency sample.
+func SummarizeLatency(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	q := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencyStats{
+		Mean: sum / time.Duration(len(sorted)),
+		P50:  q(0.50),
+		P95:  q(0.95),
+		P99:  q(0.99),
+		N:    len(sorted),
+	}
+}

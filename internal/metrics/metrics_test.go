@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRankOfTarget(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5}
+	if got := RankOfTarget(scores, 1); got != 1 {
+		t.Fatalf("best target rank = %d", got)
+	}
+	if got := RankOfTarget(scores, 0); got != 3 {
+		t.Fatalf("worst target rank = %d", got)
+	}
+	if got := RankOfTarget(scores, 2); got != 2 {
+		t.Fatalf("mid target rank = %d", got)
+	}
+}
+
+func TestRankOfTargetTiesFavorTarget(t *testing.T) {
+	// Equal scores do not push the target down (strict > comparison).
+	scores := []float64{0.5, 0.5, 0.5}
+	if got := RankOfTarget(scores, 2); got != 1 {
+		t.Fatalf("tied rank = %d", got)
+	}
+}
+
+func TestMetricFunctions(t *testing.T) {
+	if MRR(1) != 1 || MRR(4) != 0.25 {
+		t.Fatal("MRR wrong")
+	}
+	if HRAt(5, 5) != 1 || HRAt(6, 5) != 0 {
+		t.Fatal("HR wrong")
+	}
+	if NDCGAt(1, 5) != 1 {
+		t.Fatalf("NDCG@5 rank 1 = %v", NDCGAt(1, 5))
+	}
+	if got := NDCGAt(2, 5); math.Abs(got-1/math.Log2(3)) > 1e-12 {
+		t.Fatalf("NDCG@5 rank 2 = %v", got)
+	}
+	if NDCGAt(6, 5) != 0 {
+		t.Fatal("NDCG beyond k must be 0")
+	}
+}
+
+func TestRankingAccumulator(t *testing.T) {
+	var acc RankingAccumulator
+	acc.Observe(1)
+	acc.Observe(10)
+	r := acc.Report()
+	if r.N != 2 {
+		t.Fatalf("N = %d", r.N)
+	}
+	if math.Abs(r.MRR-(1+0.1)/2) > 1e-12 {
+		t.Fatalf("MRR = %v", r.MRR)
+	}
+	if r.HR5 != 0.5 || r.HR10 != 1 {
+		t.Fatalf("HR5 %v HR10 %v", r.HR5, r.HR10)
+	}
+	if r.NDCG1 != 0.5 {
+		t.Fatalf("NDCG1 = %v", r.NDCG1)
+	}
+}
+
+func TestRankingAccumulatorEmpty(t *testing.T) {
+	var acc RankingAccumulator
+	r := acc.Report()
+	if r.N != 0 || r.MRR != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+// Property: all ranking metrics are within [0,1] and monotone in rank.
+func TestRankingMetricsProperty(t *testing.T) {
+	if err := quick.Check(func(r uint8) bool {
+		rank := int(r)%50 + 1
+		for _, v := range []float64{MRR(rank), HRAt(rank, 10), NDCGAt(rank, 10)} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return MRR(rank) >= MRR(rank+1) && NDCGAt(rank, 10) >= NDCGAt(rank+1, 10)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPRF1(t *testing.T) {
+	r := SetPRF1([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if r.TP != 2 || r.FP != 1 || r.FN != 1 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if math.Abs(r.Precision-2.0/3) > 1e-12 || math.Abs(r.Recall-2.0/3) > 1e-12 {
+		t.Fatalf("P/R = %v/%v", r.Precision, r.Recall)
+	}
+	if math.Abs(r.F1-2.0/3) > 1e-12 {
+		t.Fatalf("F1 = %v", r.F1)
+	}
+}
+
+func TestSetPRF1Empty(t *testing.T) {
+	r := SetPRF1[string](nil, nil)
+	if r.F1 != 0 || r.Precision != 0 || r.Recall != 0 {
+		t.Fatalf("empty = %+v", r)
+	}
+	perfect := SetPRF1([]int{1, 2}, []int{1, 2})
+	if perfect.F1 != 1 {
+		t.Fatalf("perfect F1 = %v", perfect.F1)
+	}
+}
+
+func TestSetPRF1DedupesPredictions(t *testing.T) {
+	r := SetPRF1([]string{"a", "a", "a"}, []string{"a"})
+	if r.TP != 1 || r.FP != 0 {
+		t.Fatalf("dup handling = %+v", r)
+	}
+}
+
+func TestAccumulatePRF1(t *testing.T) {
+	parts := []PRF1{
+		{TP: 1, FP: 1, FN: 0},
+		{TP: 1, FP: 0, FN: 1},
+	}
+	r := AccumulatePRF1(parts)
+	if r.TP != 2 || r.FP != 1 || r.FN != 1 {
+		t.Fatalf("merged = %+v", r)
+	}
+	if math.Abs(r.Precision-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", r.Precision)
+	}
+}
+
+func TestCTRAndHIR(t *testing.T) {
+	if CTR(3, 10) != 0.3 || CTR(0, 0) != 0 {
+		t.Fatal("CTR wrong")
+	}
+	if HIR(1, 4) != 0.25 || HIR(1, 0) != 0 {
+		t.Fatal("HIR wrong")
+	}
+}
+
+func TestMacroAvg(t *testing.T) {
+	if MacroAvg(nil) != 0 {
+		t.Fatal("empty MacroAvg")
+	}
+	if got := MacroAvg([]float64{0.2, 0.4}); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MacroAvg = %v", got)
+	}
+}
+
+func TestSummarizeLatency(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := SummarizeLatency(samples)
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.P50 < 49*time.Millisecond || s.P50 > 52*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P95 < 94*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Fatalf("P95 %v P99 %v", s.P95, s.P99)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeLatencyEmpty(t *testing.T) {
+	if s := SummarizeLatency(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+}
+
+func TestSummarizeLatencyDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{3, 1, 2}
+	SummarizeLatency(samples)
+	if samples[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"intellitag/internal/mat"
+)
+
+// MultiHeadSelfAttention implements the scaled dot-product self-attention of
+// Vaswani et al., the "MultiHead" operator of the paper's contextual
+// attention (eq. 9). It is bidirectional (no causal mask), matching the
+// BERT4Rec-style masked training the paper uses.
+type MultiHeadSelfAttention struct {
+	Dim, Heads int
+	headDim    int
+	Wq, Wk, Wv *Linear
+	Wo         *Linear
+
+	// caches for backward
+	x          *mat.Matrix
+	q, k, v    *mat.Matrix
+	attn       []*mat.Matrix // per-head attention weights (n x n)
+	concat     *mat.Matrix
+	lastScores []*mat.Matrix // per-head pre-softmax scores, for introspection
+}
+
+// NewMultiHeadSelfAttention returns an attention block with dim split across
+// heads; dim must be divisible by heads.
+func NewMultiHeadSelfAttention(name string, dim, heads int, g *mat.RNG) *MultiHeadSelfAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadSelfAttention{
+		Dim: dim, Heads: heads, headDim: dim / heads,
+		Wq: NewLinear(name+".Wq", dim, dim, g),
+		Wk: NewLinear(name+".Wk", dim, dim, g),
+		Wv: NewLinear(name+".Wv", dim, dim, g),
+		Wo: NewLinear(name+".Wo", dim, dim, g),
+	}
+}
+
+// colBlock extracts columns [h*w, (h+1)*w) of m as a new matrix.
+func colBlock(m *mat.Matrix, h, w int) *mat.Matrix {
+	out := mat.New(m.Rows, w)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[h*w:(h+1)*w])
+	}
+	return out
+}
+
+// addColBlock adds src into columns [h*w, (h+1)*w) of dst.
+func addColBlock(dst, src *mat.Matrix, h, w int) {
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Row(i)[h*w : (h+1)*w]
+		mat.AXPY(1, src.Row(i), drow)
+	}
+}
+
+// Forward runs self-attention over an n x Dim input, returning n x Dim.
+func (m *MultiHeadSelfAttention) Forward(x *mat.Matrix) *mat.Matrix {
+	m.x = x
+	m.q = m.Wq.Forward(x)
+	m.k = m.Wk.Forward(x)
+	m.v = m.Wv.Forward(x)
+	n := x.Rows
+	m.concat = mat.New(n, m.Dim)
+	m.attn = m.attn[:0]
+	m.lastScores = m.lastScores[:0]
+	scale := 1 / math.Sqrt(float64(m.headDim))
+	for h := 0; h < m.Heads; h++ {
+		qh := colBlock(m.q, h, m.headDim)
+		kh := colBlock(m.k, h, m.headDim)
+		vh := colBlock(m.v, h, m.headDim)
+		scores := mat.MatMulT(qh, kh)
+		mat.ScaleInPlace(scores, scale)
+		m.lastScores = append(m.lastScores, scores.Clone())
+		a := mat.SoftmaxRows(scores)
+		m.attn = append(m.attn, a)
+		oh := mat.MatMul(a, vh)
+		addColBlock(m.concat, oh, h, m.headDim)
+	}
+	return m.Wo.Forward(m.concat)
+}
+
+// AttentionWeights returns the per-head softmax attention matrices of the
+// most recent Forward call; used by the Figure 5 case study.
+func (m *MultiHeadSelfAttention) AttentionWeights() []*mat.Matrix { return m.attn }
+
+// Backward accumulates all projection gradients and returns dX.
+func (m *MultiHeadSelfAttention) Backward(dOut *mat.Matrix) *mat.Matrix {
+	dConcat := m.Wo.Backward(dOut)
+	n := m.x.Rows
+	dq := mat.New(n, m.Dim)
+	dk := mat.New(n, m.Dim)
+	dv := mat.New(n, m.Dim)
+	scale := 1 / math.Sqrt(float64(m.headDim))
+	for h := 0; h < m.Heads; h++ {
+		dOh := colBlock(dConcat, h, m.headDim)
+		a := m.attn[h]
+		vh := colBlock(m.v, h, m.headDim)
+		qh := colBlock(m.q, h, m.headDim)
+		kh := colBlock(m.k, h, m.headDim)
+
+		dA := mat.MatMulT(dOh, vh) // n x n
+		dVh := mat.TMatMul(a, dOh) // n x headDim
+
+		// Softmax backward per row: dS = A * (dA - rowsum(dA*A)).
+		dS := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			arow, darow, dsrow := a.Row(i), dA.Row(i), dS.Row(i)
+			var dot float64
+			for j, av := range arow {
+				dot += darow[j] * av
+			}
+			for j, av := range arow {
+				dsrow[j] = av * (darow[j] - dot)
+			}
+		}
+		mat.ScaleInPlace(dS, scale)
+		dQh := mat.MatMul(dS, kh)  // n x headDim
+		dKh := mat.TMatMul(dS, qh) // n x headDim
+
+		addColBlock(dq, dQh, h, m.headDim)
+		addColBlock(dk, dKh, h, m.headDim)
+		addColBlock(dv, dVh, h, m.headDim)
+	}
+	dx := m.Wq.Backward(dq)
+	mat.AddInPlace(dx, m.Wk.Backward(dk))
+	mat.AddInPlace(dx, m.Wv.Backward(dv))
+	return dx
+}
+
+// CollectParams registers the four projections.
+func (m *MultiHeadSelfAttention) CollectParams(c *Collector) {
+	m.Wq.CollectParams(c)
+	m.Wk.CollectParams(c)
+	m.Wv.CollectParams(c)
+	m.Wo.CollectParams(c)
+}

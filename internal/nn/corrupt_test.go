@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Corrupt-input failure injection: loaders must reject malformed files with
+// an error rather than panicking or silently loading garbage.
+
+func TestLoadParamsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.gob")
+	if err := os.WriteFile(path, []byte("this is not gob data at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewParam("p", 1, 1)
+	if err := LoadParams(path, []*Param{p}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadMatrixCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.gob")
+	if err := os.WriteFile(path, []byte{0x00, 0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMatrix(path); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadParamsTruncatedFile(t *testing.T) {
+	// Write a valid snapshot, then truncate it mid-stream.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	p := NewParam("p", 10, 10)
+	if err := SaveParams(path, []*Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(path, []*Param{p}); err == nil {
+		t.Fatal("expected error on truncated snapshot")
+	}
+}

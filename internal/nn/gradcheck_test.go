@@ -1,0 +1,340 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+// lossOf computes a deterministic scalar "loss" from an output matrix by
+// weighting each element with a fixed pseudo-random coefficient. Using a
+// weighted sum makes every output element contribute a distinct gradient.
+func lossOf(out *mat.Matrix, w *mat.Matrix) float64 {
+	var s float64
+	for i, v := range out.Data {
+		s += v * w.Data[i]
+	}
+	return s
+}
+
+// checkGrads compares every parameter gradient (and optionally the input
+// gradient) of a forward/backward pair against central finite differences.
+func checkGrads(t *testing.T, name string, params []*Param, x *mat.Matrix, dx *mat.Matrix, forward func() float64) {
+	t.Helper()
+	const eps = 1e-5
+	const tol = 2e-4
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := forward()
+			p.Value.Data[i] = orig - eps
+			lm := forward()
+			p.Value.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := p.Grad.Data[i]
+			if math.Abs(num-got) > tol*math.Max(1, math.Abs(num)) {
+				t.Fatalf("%s: param %s[%d]: analytic %v vs numeric %v", name, p.Name, i, got, num)
+			}
+		}
+	}
+	if x != nil && dx != nil {
+		for i := range x.Data {
+			orig := x.Data[i]
+			x.Data[i] = orig + eps
+			lp := forward()
+			x.Data[i] = orig - eps
+			lm := forward()
+			x.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			got := dx.Data[i]
+			if math.Abs(num-got) > tol*math.Max(1, math.Abs(num)) {
+				t.Fatalf("%s: input[%d]: analytic %v vs numeric %v", name, i, got, num)
+			}
+		}
+	}
+}
+
+func TestLinearGradcheck(t *testing.T) {
+	g := mat.NewRNG(1)
+	lin := NewLinear("lin", 4, 3, g)
+	x := mat.New(2, 4)
+	g.Normal(x, 1)
+	w := mat.New(2, 3)
+	g.Normal(w, 1)
+	c := NewCollector()
+	lin.CollectParams(c)
+
+	forward := func() float64 { return lossOf(lin.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := lin.Backward(w)
+	checkGrads(t, "Linear", c.Params(), x, dx, forward)
+}
+
+func TestLinearNoBias(t *testing.T) {
+	g := mat.NewRNG(2)
+	lin := NewLinearNoBias("lin", 3, 2, g)
+	c := NewCollector()
+	lin.CollectParams(c)
+	if len(c.Params()) != 1 {
+		t.Fatalf("no-bias linear registered %d params", len(c.Params()))
+	}
+	x := mat.New(1, 3)
+	g.Normal(x, 1)
+	out := lin.Forward(x)
+	if out.Rows != 1 || out.Cols != 2 {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestEmbeddingGradcheck(t *testing.T) {
+	g := mat.NewRNG(3)
+	emb := NewEmbedding("emb", 5, 3, g)
+	ids := []int{1, 3, 1} // repeated id exercises gradient accumulation
+	w := mat.New(3, 3)
+	g.Normal(w, 1)
+	c := NewCollector()
+	emb.CollectParams(c)
+
+	forward := func() float64 { return lossOf(emb.Forward(ids), w) }
+	c.ZeroGrad()
+	forward()
+	emb.Backward(w)
+	checkGrads(t, "Embedding", c.Params(), nil, nil, forward)
+}
+
+func TestLayerNormGradcheck(t *testing.T) {
+	g := mat.NewRNG(4)
+	ln := NewLayerNorm("ln", 5)
+	// Non-trivial gamma/beta so their gradients are exercised.
+	g.Normal(ln.Gamma.Value, 1)
+	g.Normal(ln.Beta.Value, 1)
+	x := mat.New(3, 5)
+	g.Normal(x, 2)
+	w := mat.New(3, 5)
+	g.Normal(w, 1)
+	c := NewCollector()
+	ln.CollectParams(c)
+
+	forward := func() float64 { return lossOf(ln.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := ln.Backward(w)
+	checkGrads(t, "LayerNorm", c.Params(), x, dx, forward)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	g := mat.NewRNG(5)
+	ln := NewLayerNorm("ln", 8)
+	x := mat.New(2, 8)
+	g.Normal(x, 3)
+	out := ln.Forward(x)
+	for i := 0; i < out.Rows; i++ {
+		var mean, variance float64
+		for _, v := range out.Row(i) {
+			mean += v
+		}
+		mean /= 8
+		for _, v := range out.Row(i) {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= 8
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("row %d: mean %v var %v", i, mean, variance)
+		}
+	}
+}
+
+func TestAttentionGradcheck(t *testing.T) {
+	g := mat.NewRNG(6)
+	attn := NewMultiHeadSelfAttention("attn", 6, 2, g)
+	x := mat.New(4, 6)
+	g.Normal(x, 1)
+	w := mat.New(4, 6)
+	g.Normal(w, 1)
+	c := NewCollector()
+	attn.CollectParams(c)
+
+	forward := func() float64 { return lossOf(attn.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := attn.Backward(w)
+	checkGrads(t, "MultiHeadSelfAttention", c.Params(), x, dx, forward)
+}
+
+func TestAttentionWeightsRowsSumToOne(t *testing.T) {
+	g := mat.NewRNG(7)
+	attn := NewMultiHeadSelfAttention("attn", 4, 2, g)
+	x := mat.New(3, 4)
+	g.Normal(x, 1)
+	attn.Forward(x)
+	ws := attn.AttentionWeights()
+	if len(ws) != 2 {
+		t.Fatalf("got %d heads", len(ws))
+	}
+	for h, a := range ws {
+		for i := 0; i < a.Rows; i++ {
+			var sum float64
+			for _, v := range a.Row(i) {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("head %d row %d sums to %v", h, i, sum)
+			}
+		}
+	}
+}
+
+func TestAttentionRejectsBadHeadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiHeadSelfAttention("bad", 5, 2, mat.NewRNG(1))
+}
+
+func TestFeedForwardGradcheck(t *testing.T) {
+	g := mat.NewRNG(8)
+	ffn := NewFeedForward("ffn", 4, 8, g)
+	x := mat.New(2, 4)
+	g.Normal(x, 1)
+	w := mat.New(2, 4)
+	g.Normal(w, 1)
+	c := NewCollector()
+	ffn.CollectParams(c)
+
+	forward := func() float64 { return lossOf(ffn.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := ffn.Backward(w)
+	checkGrads(t, "FeedForward", c.Params(), x, dx, forward)
+}
+
+func TestEncoderLayerGradcheck(t *testing.T) {
+	g := mat.NewRNG(9)
+	enc := NewEncoderLayer("enc", 4, 2, 0, g) // dropout 0 for determinism
+	enc.SetTrain(false)
+	x := mat.New(3, 4)
+	g.Normal(x, 1)
+	w := mat.New(3, 4)
+	g.Normal(w, 1)
+	c := NewCollector()
+	enc.CollectParams(c)
+
+	forward := func() float64 { return lossOf(enc.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := enc.Backward(w)
+	checkGrads(t, "EncoderLayer", c.Params(), x, dx, forward)
+}
+
+func TestEncoderStackGradcheck(t *testing.T) {
+	g := mat.NewRNG(10)
+	enc := NewEncoder("enc", 2, 4, 2, 0, g)
+	enc.SetTrain(false)
+	x := mat.New(2, 4)
+	g.Normal(x, 1)
+	w := mat.New(2, 4)
+	g.Normal(w, 1)
+	c := NewCollector()
+	enc.CollectParams(c)
+
+	forward := func() float64 { return lossOf(enc.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := enc.Backward(w)
+	checkGrads(t, "Encoder", c.Params(), x, dx, forward)
+}
+
+func TestPositionalEmbeddingGradcheck(t *testing.T) {
+	g := mat.NewRNG(11)
+	pe := NewPositionalEmbedding("pe", 6, 3, g)
+	x := mat.New(4, 3)
+	g.Normal(x, 1)
+	w := mat.New(4, 3)
+	g.Normal(w, 1)
+	c := NewCollector()
+	pe.CollectParams(c)
+
+	forward := func() float64 { return lossOf(pe.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := pe.Backward(w)
+	checkGrads(t, "PositionalEmbedding", c.Params(), x, dx, forward)
+}
+
+func TestPositionalEmbeddingRejectsTooLong(t *testing.T) {
+	g := mat.NewRNG(12)
+	pe := NewPositionalEmbedding("pe", 2, 3, g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pe.Forward(mat.New(3, 3))
+}
+
+func TestGRUGradcheck(t *testing.T) {
+	g := mat.NewRNG(13)
+	gru := NewGRU("gru", 3, 4, g)
+	x := mat.New(5, 3)
+	g.Normal(x, 1)
+	w := mat.New(5, 4)
+	g.Normal(w, 1)
+	c := NewCollector()
+	gru.CollectParams(c)
+
+	forward := func() float64 { return lossOf(gru.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := gru.Backward(w)
+	checkGrads(t, "GRU", c.Params(), x, dx, forward)
+}
+
+func TestGRUWideInput(t *testing.T) {
+	// In > Hidden exercises the scratch-buffer sizing in BPTT.
+	g := mat.NewRNG(14)
+	gru := NewGRU("gru", 6, 3, g)
+	x := mat.New(4, 6)
+	g.Normal(x, 1)
+	w := mat.New(4, 3)
+	g.Normal(w, 1)
+	c := NewCollector()
+	gru.CollectParams(c)
+
+	forward := func() float64 { return lossOf(gru.Forward(x), w) }
+	c.ZeroGrad()
+	forward()
+	dx := gru.Backward(w)
+	checkGrads(t, "GRU-wide", c.Params(), x, dx, forward)
+}
+
+func TestActivationGradchecks(t *testing.T) {
+	g := mat.NewRNG(15)
+	acts := map[string]*Activation{
+		"relu":      NewReLU(),
+		"leakyrelu": NewLeakyReLU(0.2),
+		"tanh":      NewTanh(),
+		"sigmoid":   NewSigmoid(),
+		"gelu":      NewGELU(),
+	}
+	for name, act := range acts {
+		x := mat.New(2, 3)
+		g.Normal(x, 1)
+		// Keep ReLU away from the non-differentiable kink at 0.
+		for i := range x.Data {
+			if math.Abs(x.Data[i]) < 0.05 {
+				x.Data[i] = 0.1
+			}
+		}
+		w := mat.New(2, 3)
+		g.Normal(w, 1)
+		forward := func() float64 { return lossOf(act.Forward(x), w) }
+		forward()
+		dx := act.Backward(w)
+		checkGrads(t, name, nil, x, dx, forward)
+	}
+}

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"math"
+
+	"intellitag/internal/mat"
+)
+
+// GRU is a single-layer gated recurrent unit run over a whole sequence with
+// full backpropagation through time. It is the sequence model behind the
+// GRU4Rec baseline.
+type GRU struct {
+	In, Hidden int
+	// Input weights (In x Hidden), recurrent weights (Hidden x Hidden) and
+	// biases (1 x Hidden) for the update (z), reset (r) and candidate (h)
+	// gates.
+	Wz, Wr, Wh *Param
+	Uz, Ur, Uh *Param
+	Bz, Br, Bh *Param
+
+	// Per-step caches for BPTT.
+	xs         *mat.Matrix
+	hs         *mat.Matrix // hidden states h_1..h_n
+	zs, rs, cs *mat.Matrix
+	rhPrev     *mat.Matrix // r ⊙ h_{t-1}
+}
+
+// NewGRU returns an initialized GRU.
+func NewGRU(name string, in, hidden int, g *mat.RNG) *GRU {
+	gr := &GRU{
+		In: in, Hidden: hidden,
+		Wz: NewParam(name+".Wz", in, hidden), Wr: NewParam(name+".Wr", in, hidden), Wh: NewParam(name+".Wh", in, hidden),
+		Uz: NewParam(name+".Uz", hidden, hidden), Ur: NewParam(name+".Ur", hidden, hidden), Uh: NewParam(name+".Uh", hidden, hidden),
+		Bz: NewParam(name+".bz", 1, hidden), Br: NewParam(name+".br", 1, hidden), Bh: NewParam(name+".bh", 1, hidden),
+	}
+	for _, p := range []*Param{gr.Wz, gr.Wr, gr.Wh, gr.Uz, gr.Ur, gr.Uh} {
+		p.InitXavier(g)
+	}
+	return gr
+}
+
+// vecMat computes v * M for a row vector v (len == M.Rows) into dst.
+func vecMat(v []float64, m *mat.Matrix, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		mat.AXPY(vi, m.Row(i), dst)
+	}
+}
+
+// outerAcc accumulates a^T b into grad (len(a) x len(b)).
+func outerAcc(grad *mat.Matrix, a, b []float64) {
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		mat.AXPY(av, b, grad.Row(i))
+	}
+}
+
+// Forward runs the GRU over an n x In sequence, returning the n x Hidden
+// matrix of hidden states (row t is h_{t+1}).
+func (g *GRU) Forward(x *mat.Matrix) *mat.Matrix {
+	n := x.Rows
+	g.xs = x
+	g.hs = mat.New(n, g.Hidden)
+	g.zs = mat.New(n, g.Hidden)
+	g.rs = mat.New(n, g.Hidden)
+	g.cs = mat.New(n, g.Hidden)
+	g.rhPrev = mat.New(n, g.Hidden)
+
+	hPrev := make([]float64, g.Hidden)
+	az := make([]float64, g.Hidden)
+	ar := make([]float64, g.Hidden)
+	ah := make([]float64, g.Hidden)
+	tmp := make([]float64, g.Hidden)
+	for t := 0; t < n; t++ {
+		xt := x.Row(t)
+		vecMat(xt, g.Wz.Value, az)
+		vecMat(hPrev, g.Uz.Value, tmp)
+		for j := range az {
+			az[j] += tmp[j] + g.Bz.Value.At(0, j)
+		}
+		vecMat(xt, g.Wr.Value, ar)
+		vecMat(hPrev, g.Ur.Value, tmp)
+		for j := range ar {
+			ar[j] += tmp[j] + g.Br.Value.At(0, j)
+		}
+		z, r, c, rh, h := g.zs.Row(t), g.rs.Row(t), g.cs.Row(t), g.rhPrev.Row(t), g.hs.Row(t)
+		for j := range z {
+			z[j] = Sigmoid(az[j])
+			r[j] = Sigmoid(ar[j])
+			rh[j] = r[j] * hPrev[j]
+		}
+		vecMat(xt, g.Wh.Value, ah)
+		vecMat(rh, g.Uh.Value, tmp)
+		for j := range ah {
+			ah[j] += tmp[j] + g.Bh.Value.At(0, j)
+			c[j] = math.Tanh(ah[j])
+			h[j] = (1-z[j])*hPrev[j] + z[j]*c[j]
+		}
+		copy(hPrev, h)
+	}
+	return g.hs
+}
+
+// Backward performs BPTT given dH (gradient w.r.t. every hidden state) and
+// returns dX.
+func (g *GRU) Backward(dH *mat.Matrix) *mat.Matrix {
+	n := dH.Rows
+	dx := mat.New(n, g.In)
+	dhNext := make([]float64, g.Hidden) // recurrent gradient flowing backward
+	daz := make([]float64, g.Hidden)
+	dar := make([]float64, g.Hidden)
+	dah := make([]float64, g.Hidden)
+	drh := make([]float64, g.Hidden)
+	dhPrev := make([]float64, g.Hidden)
+	tmp := make([]float64, max(g.In, g.Hidden))
+	for t := n - 1; t >= 0; t-- {
+		var hPrev []float64
+		if t > 0 {
+			hPrev = g.hs.Row(t - 1)
+		} else {
+			hPrev = make([]float64, g.Hidden)
+		}
+		z, r, c, rh := g.zs.Row(t), g.rs.Row(t), g.cs.Row(t), g.rhPrev.Row(t)
+		dh := make([]float64, g.Hidden)
+		copy(dh, dH.Row(t))
+		mat.AXPY(1, dhNext, dh)
+
+		for j := range dh {
+			dc := dh[j] * z[j]
+			dz := dh[j] * (c[j] - hPrev[j])
+			dhPrev[j] = dh[j] * (1 - z[j])
+			dah[j] = dc * (1 - c[j]*c[j])
+			daz[j] = dz * z[j] * (1 - z[j])
+		}
+		// d(r ⊙ hPrev) = dah * Uh^T
+		matVecT(g.Uh.Value, dah, drh)
+		for j := range drh {
+			dr := drh[j] * hPrev[j]
+			dhPrev[j] += drh[j] * r[j]
+			dar[j] = dr * r[j] * (1 - r[j])
+		}
+		// Parameter gradients.
+		xt := g.xs.Row(t)
+		outerAcc(g.Wz.Grad, xt, daz)
+		outerAcc(g.Wr.Grad, xt, dar)
+		outerAcc(g.Wh.Grad, xt, dah)
+		outerAcc(g.Uz.Grad, hPrev, daz)
+		outerAcc(g.Ur.Grad, hPrev, dar)
+		outerAcc(g.Uh.Grad, rh, dah)
+		mat.AXPY(1, daz, g.Bz.Grad.Row(0))
+		mat.AXPY(1, dar, g.Br.Grad.Row(0))
+		mat.AXPY(1, dah, g.Bh.Grad.Row(0))
+		// Input gradient.
+		dxr := dx.Row(t)
+		matVecT(g.Wz.Value, daz, tmp)
+		mat.AXPY(1, tmp[:g.In], dxr)
+		matVecT(g.Wr.Value, dar, tmp)
+		mat.AXPY(1, tmp[:g.In], dxr)
+		matVecT(g.Wh.Value, dah, tmp)
+		mat.AXPY(1, tmp[:g.In], dxr)
+		// Recurrent gradient to previous step.
+		matVecT(g.Uz.Value, daz, tmp)
+		mat.AXPY(1, tmp[:g.Hidden], dhPrev)
+		matVecT(g.Ur.Value, dar, tmp)
+		mat.AXPY(1, tmp[:g.Hidden], dhPrev)
+		copy(dhNext, dhPrev)
+	}
+	return dx
+}
+
+// matVecT computes dst_i = sum_j M_ij v_j (i.e. M v) for the first M.Rows
+// entries of dst; dst must have len >= M.Rows.
+func matVecT(m *mat.Matrix, v, dst []float64) {
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = mat.Dot(m.Row(i), v)
+	}
+}
+
+// CollectParams registers all nine weight groups.
+func (g *GRU) CollectParams(c *Collector) {
+	c.Add(g.Wz, g.Wr, g.Wh, g.Uz, g.Ur, g.Uh, g.Bz, g.Br, g.Bh)
+}

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"math"
+
+	"intellitag/internal/mat"
+)
+
+// Linear is a fully connected layer computing x*W + b for row-vector inputs.
+type Linear struct {
+	In, Out int
+	W       *Param // In x Out
+	B       *Param // 1 x Out
+	useBias bool
+
+	x *mat.Matrix // cached input
+}
+
+// NewLinear returns an initialized In->Out linear layer.
+func NewLinear(name string, in, out int, g *mat.RNG) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(name+".W", in, out), B: NewParam(name+".b", 1, out), useBias: true}
+	l.W.InitXavier(g)
+	return l
+}
+
+// NewLinearNoBias returns a bias-free linear layer.
+func NewLinearNoBias(name string, in, out int, g *mat.RNG) *Linear {
+	l := NewLinear(name, in, out, g)
+	l.useBias = false
+	return l
+}
+
+// Forward computes x*W(+b) for an n x In input, returning n x Out.
+func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != l.In {
+		shapeCheck("Linear.Forward", x, x.Rows, l.In)
+	}
+	l.x = x
+	out := mat.MatMul(x, l.W.Value)
+	if l.useBias {
+		out = mat.AddRowVec(out, l.B.Value.Row(0))
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dX.
+func (l *Linear) Backward(dOut *mat.Matrix) *mat.Matrix {
+	return l.BackwardAt(l.x, dOut)
+}
+
+// BackwardAt accumulates gradients like Backward but against an explicitly
+// supplied input, for layers applied more than once per forward pass (e.g.
+// shared message transforms in graph propagation).
+func (l *Linear) BackwardAt(x, dOut *mat.Matrix) *mat.Matrix {
+	mat.AddInPlace(l.W.Grad, mat.TMatMul(x, dOut))
+	if l.useBias {
+		bg := l.B.Grad.Row(0)
+		for i := 0; i < dOut.Rows; i++ {
+			mat.AXPY(1, dOut.Row(i), bg)
+		}
+	}
+	return mat.MatMulT(dOut, l.W.Value)
+}
+
+// CollectParams registers W (and b when used).
+func (l *Linear) CollectParams(c *Collector) {
+	c.Add(l.W)
+	if l.useBias {
+		c.Add(l.B)
+	}
+}
+
+// Embedding maps integer ids to dense rows of a trainable table.
+type Embedding struct {
+	Vocab, Dim int
+	Table      *Param
+
+	ids []int // cached lookup for backward
+}
+
+// NewEmbedding returns a Vocab x Dim embedding table initialized N(0, 0.02).
+func NewEmbedding(name string, vocab, dim int, g *mat.RNG) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, Table: NewParam(name+".table", vocab, dim)}
+	e.Table.InitNormal(g, 0.02)
+	return e
+}
+
+// Forward gathers the rows for ids into a len(ids) x Dim matrix.
+func (e *Embedding) Forward(ids []int) *mat.Matrix {
+	e.ids = append(e.ids[:0], ids...)
+	out := mat.New(len(ids), e.Dim)
+	for i, id := range ids {
+		copy(out.Row(i), e.Table.Value.Row(id))
+	}
+	return out
+}
+
+// Backward scatters dOut rows into the table gradient.
+func (e *Embedding) Backward(dOut *mat.Matrix) {
+	for i, id := range e.ids {
+		mat.AXPY(1, dOut.Row(i), e.Table.Grad.Row(id))
+	}
+}
+
+// CollectParams registers the table.
+func (e *Embedding) CollectParams(c *Collector) { c.Add(e.Table) }
+
+// LayerNorm normalizes each row to zero mean / unit variance then applies a
+// learned affine transform, as in the Transformer's Norm operator.
+type LayerNorm struct {
+	Dim   int
+	Gamma *Param // 1 x Dim
+	Beta  *Param // 1 x Dim
+	eps   float64
+
+	xhat   *mat.Matrix
+	invStd []float64
+}
+
+// NewLayerNorm returns a layer norm over Dim features (gamma=1, beta=0).
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{Dim: dim, Gamma: NewParam(name+".gamma", 1, dim), Beta: NewParam(name+".beta", 1, dim), eps: 1e-5}
+	ln.Gamma.Value.Fill(1)
+	return ln
+}
+
+// Forward normalizes each row of x.
+func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
+	n := x.Rows
+	ln.xhat = mat.New(n, ln.Dim)
+	ln.invStd = make([]float64, n)
+	out := mat.New(n, ln.Dim)
+	gamma, beta := ln.Gamma.Value.Row(0), ln.Beta.Value.Row(0)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(ln.Dim)
+		var variance float64
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(ln.Dim)
+		inv := 1 / math.Sqrt(variance+ln.eps)
+		ln.invStd[i] = inv
+		xh, orow := ln.xhat.Row(i), out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			orow[j] = xh[j]*gamma[j] + beta[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dGamma, dBeta and returns dX.
+func (ln *LayerNorm) Backward(dOut *mat.Matrix) *mat.Matrix {
+	n := dOut.Rows
+	dx := mat.New(n, ln.Dim)
+	gamma := ln.Gamma.Value.Row(0)
+	gGrad, bGrad := ln.Gamma.Grad.Row(0), ln.Beta.Grad.Row(0)
+	d := float64(ln.Dim)
+	for i := 0; i < n; i++ {
+		drow, xh := dOut.Row(i), ln.xhat.Row(i)
+		// Parameter gradients.
+		for j, g := range drow {
+			gGrad[j] += g * xh[j]
+			bGrad[j] += g
+		}
+		// dxhat = dOut * gamma; then the standard layernorm input gradient.
+		var sumD, sumDX float64
+		dxhat := make([]float64, ln.Dim)
+		for j, g := range drow {
+			dxhat[j] = g * gamma[j]
+			sumD += dxhat[j]
+			sumDX += dxhat[j] * xh[j]
+		}
+		inv := ln.invStd[i]
+		dxr := dx.Row(i)
+		for j := range dxhat {
+			dxr[j] = inv / d * (d*dxhat[j] - sumD - xh[j]*sumDX)
+		}
+	}
+	return dx
+}
+
+// CollectParams registers gamma and beta.
+func (ln *LayerNorm) CollectParams(c *Collector) { c.Add(ln.Gamma, ln.Beta) }
+
+// Dropout zeroes activations with probability p during training and is a
+// no-op in eval mode; surviving activations are scaled by 1/(1-p).
+type Dropout struct {
+	P     float64
+	Train bool
+	rng   *mat.RNG
+
+	mask *mat.Matrix
+}
+
+// NewDropout returns a dropout layer in training mode.
+func NewDropout(p float64, g *mat.RNG) *Dropout {
+	return &Dropout{P: p, Train: true, rng: g}
+}
+
+// Forward applies (inverted) dropout in training mode.
+func (d *Dropout) Forward(x *mat.Matrix) *mat.Matrix {
+	if !d.Train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	d.mask = mat.New(x.Rows, x.Cols)
+	out := mat.New(x.Rows, x.Cols)
+	keep := 1 - d.P
+	scale := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(dOut *mat.Matrix) *mat.Matrix {
+	if d.mask == nil {
+		return dOut
+	}
+	return mat.Mul(dOut, d.mask)
+}
+
+// Activation is an elementwise nonlinearity with a cached backward pass.
+type Activation struct {
+	fn, dfn func(float64) float64
+	x       *mat.Matrix
+}
+
+// NewReLU returns a ReLU activation.
+func NewReLU() *Activation {
+	return &Activation{
+		fn:  func(v float64) float64 { return math.Max(0, v) },
+		dfn: func(v float64) float64 { return step(v > 0) },
+	}
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope; the paper's
+// neighbor attention (eq. 4) uses this activation.
+func NewLeakyReLU(slope float64) *Activation {
+	return &Activation{
+		fn: func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return slope * v
+		},
+		dfn: func(v float64) float64 {
+			if v > 0 {
+				return 1
+			}
+			return slope
+		},
+	}
+}
+
+// NewTanh returns a tanh activation (metapath attention, eq. 6).
+func NewTanh() *Activation {
+	return &Activation{
+		fn: math.Tanh,
+		dfn: func(v float64) float64 {
+			t := math.Tanh(v)
+			return 1 - t*t
+		},
+	}
+}
+
+// NewSigmoid returns a sigmoid activation (neighbor aggregation, eq. 5).
+func NewSigmoid() *Activation {
+	return &Activation{
+		fn: Sigmoid,
+		dfn: func(v float64) float64 {
+			s := Sigmoid(v)
+			return s * (1 - s)
+		},
+	}
+}
+
+// NewGELU returns the Gaussian error linear unit used inside Transformer
+// feed-forward blocks.
+func NewGELU() *Activation {
+	return &Activation{fn: gelu, dfn: geluGrad}
+}
+
+// Forward applies the nonlinearity elementwise.
+func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
+	a.x = x
+	return mat.Apply(x, a.fn)
+}
+
+// Backward multiplies dOut by the derivative at the cached input.
+func (a *Activation) Backward(dOut *mat.Matrix) *mat.Matrix {
+	out := mat.New(dOut.Rows, dOut.Cols)
+	for i, g := range dOut.Data {
+		out.Data[i] = g * a.dfn(a.x.Data[i])
+	}
+	return out
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func step(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func gelu(v float64) float64 {
+	// tanh approximation of GELU.
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * v * (1 + math.Tanh(c*(v+0.044715*v*v*v)))
+}
+
+func geluGrad(v float64) float64 {
+	const c = 0.7978845608028654
+	inner := c * (v + 0.044715*v*v*v)
+	t := math.Tanh(inner)
+	dInner := c * (1 + 3*0.044715*v*v)
+	return 0.5*(1+t) + 0.5*v*(1-t*t)*dInner
+}

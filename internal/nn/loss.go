@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math"
+
+	"intellitag/internal/mat"
+)
+
+// SoftmaxCrossEntropy computes the softmax cross-entropy loss of one logits
+// row against a target class, returning the loss and dLogits. This is the
+// projection+loss of the paper's eq. 11-12 specialized to a one-hot target.
+func SoftmaxCrossEntropy(logits []float64, target int) (loss float64, dLogits []float64) {
+	probs := mat.Softmax(logits)
+	p := math.Max(probs[target], 1e-12)
+	loss = -math.Log(p)
+	dLogits = probs
+	dLogits[target] -= 1
+	return loss, dLogits
+}
+
+// BinaryCrossEntropy computes the logistic loss of a single logit against a
+// {0,1} label, returning the loss and dLogit. Used by the word-weighting head
+// of the tag mining model and by skip-gram negative sampling.
+func BinaryCrossEntropy(logit float64, label float64) (loss, dLogit float64) {
+	p := Sigmoid(logit)
+	pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
+	loss = -(label*math.Log(pc) + (1-label)*math.Log(1-pc))
+	return loss, p - label
+}
+
+// BPRLoss computes the Bayesian personalized ranking loss -log σ(pos-neg) for
+// one positive/negative score pair, returning the loss and the gradients
+// w.r.t. both scores. GRU4Rec trains with this ranking-based loss.
+func BPRLoss(pos, neg float64) (loss, dPos, dNeg float64) {
+	s := Sigmoid(pos - neg)
+	loss = -math.Log(math.Max(s, 1e-12))
+	g := s - 1 // d/dpos of -log σ(pos-neg)
+	return loss, g, -g
+}
+
+// KLSoftDistill computes the knowledge-distillation loss between teacher and
+// student logits at the given temperature: T^2 * KL(softmax(t/T) ||
+// softmax(s/T)). It returns the loss and dStudentLogits (the T^2 factor keeps
+// gradient magnitudes comparable across temperatures, per Hinton et al.).
+func KLSoftDistill(teacherLogits, studentLogits []float64, temperature float64) (loss float64, dStudent []float64) {
+	n := len(teacherLogits)
+	tl := make([]float64, n)
+	sl := make([]float64, n)
+	for i := range tl {
+		tl[i] = teacherLogits[i] / temperature
+		sl[i] = studentLogits[i] / temperature
+	}
+	tp := mat.Softmax(tl)
+	sp := mat.Softmax(sl)
+	dStudent = make([]float64, n)
+	for i := range tp {
+		loss += tp[i] * (math.Log(math.Max(tp[i], 1e-12)) - math.Log(math.Max(sp[i], 1e-12)))
+		// d/ds_i of T^2*KL = T * (sp_i - tp_i); chain through s/T.
+		dStudent[i] = temperature * (sp[i] - tp[i])
+	}
+	return loss * temperature * temperature, dStudent
+}
+
+// MultiLabelBCE computes the summed binary cross-entropy of a logits row
+// against a multi-hot target vector, the paper's eq. 12 form of the loss.
+func MultiLabelBCE(logits []float64, targets []float64) (loss float64, dLogits []float64) {
+	dLogits = make([]float64, len(logits))
+	for i, l := range logits {
+		li, di := BinaryCrossEntropy(l, targets[i])
+		loss += li
+		dLogits[i] = di
+	}
+	return loss, dLogits
+}

@@ -1,0 +1,359 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"intellitag/internal/mat"
+)
+
+func TestCollectorDedupes(t *testing.T) {
+	c := NewCollector()
+	p := NewParam("p", 2, 2)
+	c.Add(p, p, nil)
+	if len(c.Params()) != 1 {
+		t.Fatalf("collector kept %d params", len(c.Params()))
+	}
+	if c.NumParams() != 4 {
+		t.Fatalf("NumParams = %d", c.NumParams())
+	}
+}
+
+func TestCollectorZeroGrad(t *testing.T) {
+	c := NewCollector()
+	p := NewParam("p", 1, 2)
+	p.Grad.Fill(3)
+	c.Add(p)
+	c.ZeroGrad()
+	if p.Grad.At(0, 1) != 0 {
+		t.Fatal("ZeroGrad failed")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := NewParam("p", 1, 1)
+	p.Value.Set(0, 0, 1)
+	p.Grad.Set(0, 0, 0.5)
+	o := NewSGD(0.1, 0)
+	o.Step([]*Param{p})
+	if got := p.Value.At(0, 0); math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("SGD step = %v", got)
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	p := NewParam("p", 1, 1)
+	p.Grad.Set(0, 0, 1)
+	o := NewSGD(0.1, 0.9)
+	o.Step([]*Param{p})
+	first := p.Value.At(0, 0)
+	o.Step([]*Param{p})
+	second := p.Value.At(0, 0) - first
+	if !(second < first) { // both negative; second step must be larger in magnitude
+		t.Fatalf("momentum did not accelerate: first %v second %v", first, second)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (x-3)^2; gradient 2(x-3).
+	p := NewParam("x", 1, 1)
+	o := NewAdam(0.1, 0)
+	for i := 0; i < 500; i++ {
+		p.Grad.Set(0, 0, 2*(p.Value.At(0, 0)-3))
+		o.Step([]*Param{p})
+	}
+	if got := p.Value.At(0, 0); math.Abs(got-3) > 1e-3 {
+		t.Fatalf("Adam converged to %v, want 3", got)
+	}
+}
+
+func TestAdamWeightDecayShrinks(t *testing.T) {
+	p := NewParam("x", 1, 1)
+	p.Value.Set(0, 0, 10)
+	o := NewAdam(0.01, 0.1)
+	for i := 0; i < 100; i++ {
+		p.Grad.Set(0, 0, 0) // no task gradient; decay alone should shrink
+		o.Step([]*Param{p})
+	}
+	if got := p.Value.At(0, 0); got >= 10 || got < 0 {
+		t.Fatalf("weight decay produced %v", got)
+	}
+}
+
+func TestLinearDecaySchedule(t *testing.T) {
+	if got := LinearDecay(1.0, 0, 10); got != 1.0 {
+		t.Fatalf("step 0 = %v", got)
+	}
+	if got := LinearDecay(1.0, 5, 10); got != 0.5 {
+		t.Fatalf("step 5 = %v", got)
+	}
+	if got := LinearDecay(1.0, 10, 10); got != 0 {
+		t.Fatalf("step 10 = %v", got)
+	}
+	if got := LinearDecay(1.0, 3, 0); got != 0 {
+		t.Fatalf("zero total = %v", got)
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("p", 1, 2)
+	p.Grad.SetRow(0, []float64{3, 4})
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	var clipped float64
+	for _, g := range p.Grad.Data {
+		clipped += g * g
+	}
+	if math.Abs(math.Sqrt(clipped)-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v", math.Sqrt(clipped))
+	}
+	// maxNorm <= 0 leaves gradients alone.
+	p.Grad.SetRow(0, []float64{3, 4})
+	ClipGradNorm([]*Param{p}, 0)
+	if p.Grad.At(0, 0) != 3 {
+		t.Fatal("clip with maxNorm 0 modified grads")
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	loss, grad := SoftmaxCrossEntropy([]float64{0, 0, 0}, 1)
+	if math.Abs(loss-math.Log(3)) > 1e-9 {
+		t.Fatalf("uniform loss = %v, want ln 3", loss)
+	}
+	var sum float64
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("grad sums to %v, want 0", sum)
+	}
+	if grad[1] >= 0 {
+		t.Fatal("target grad should be negative")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	logits := []float64{0.3, -1.2, 2.0}
+	_, grad := SoftmaxCrossEntropy(append([]float64(nil), logits...), 2)
+	const eps = 1e-6
+	for i := range logits {
+		lp := append([]float64(nil), logits...)
+		lp[i] += eps
+		lossP, _ := SoftmaxCrossEntropy(lp, 2)
+		lm := append([]float64(nil), logits...)
+		lm[i] -= eps
+		lossM, _ := SoftmaxCrossEntropy(lm, 2)
+		num := (lossP - lossM) / (2 * eps)
+		if math.Abs(num-grad[i]) > 1e-6 {
+			t.Fatalf("logit %d: numeric %v analytic %v", i, num, grad[i])
+		}
+	}
+}
+
+func TestBinaryCrossEntropy(t *testing.T) {
+	loss1, d1 := BinaryCrossEntropy(10, 1)
+	if loss1 > 0.01 || d1 > 0 {
+		t.Fatalf("confident correct: loss %v d %v", loss1, d1)
+	}
+	loss0, d0 := BinaryCrossEntropy(10, 0)
+	if loss0 < 5 || d0 < 0.9 {
+		t.Fatalf("confident wrong: loss %v d %v", loss0, d0)
+	}
+}
+
+func TestBPRLoss(t *testing.T) {
+	lossGood, dp, dn := BPRLoss(5, -5)
+	if lossGood > 0.01 {
+		t.Fatalf("well-ranked BPR loss = %v", lossGood)
+	}
+	if dp > 0 || dn < 0 {
+		t.Fatalf("BPR gradient signs: dPos %v dNeg %v", dp, dn)
+	}
+	lossBad, _, _ := BPRLoss(-5, 5)
+	if lossBad < 5 {
+		t.Fatalf("mis-ranked BPR loss = %v", lossBad)
+	}
+}
+
+func TestKLSoftDistillZeroWhenEqual(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	loss, grad := KLSoftDistill(logits, logits, 2)
+	if math.Abs(loss) > 1e-9 {
+		t.Fatalf("KL of identical = %v", loss)
+	}
+	for _, g := range grad {
+		if math.Abs(g) > 1e-9 {
+			t.Fatalf("grad nonzero for identical logits: %v", grad)
+		}
+	}
+}
+
+func TestKLSoftDistillPullsTowardTeacher(t *testing.T) {
+	teacher := []float64{3, 0, 0}
+	student := []float64{0, 0, 0}
+	_, grad := KLSoftDistill(teacher, student, 1)
+	// Gradient descent step -grad should raise the first logit.
+	if grad[0] >= 0 {
+		t.Fatalf("grad[0] = %v, want negative", grad[0])
+	}
+}
+
+func TestMultiLabelBCE(t *testing.T) {
+	loss, grad := MultiLabelBCE([]float64{10, -10}, []float64{1, 0})
+	if loss > 0.01 {
+		t.Fatalf("perfect multilabel loss = %v", loss)
+	}
+	if len(grad) != 2 {
+		t.Fatalf("grad len %d", len(grad))
+	}
+}
+
+// Property: softmax cross-entropy loss is non-negative and grad sums to zero
+// for any logits/target.
+func TestSoftmaxCEProperty(t *testing.T) {
+	if err := quick.Check(func(a, b, c float64, ti uint8) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 50)
+		}
+		logits := []float64{clamp(a), clamp(b), clamp(c)}
+		target := int(ti) % 3
+		loss, grad := SoftmaxCrossEntropy(logits, target)
+		if loss < 0 {
+			return false
+		}
+		var sum float64
+		for _, g := range grad {
+			sum += g
+		}
+		return math.Abs(sum) < 1e-6
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	g := mat.NewRNG(20)
+	d := NewDropout(0.5, g)
+	d.Train = false
+	x := mat.New(2, 3)
+	g.Normal(x, 1)
+	out := d.Forward(x)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout changed values")
+		}
+	}
+}
+
+func TestDropoutTrainPreservesExpectation(t *testing.T) {
+	g := mat.NewRNG(21)
+	d := NewDropout(0.3, g)
+	x := mat.New(1, 10000)
+	x.Fill(1)
+	out := d.Forward(x)
+	var sum float64
+	for _, v := range out.Data {
+		sum += v
+	}
+	mean := sum / float64(len(out.Data))
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("dropout mean %v, want ~1 (inverted scaling)", mean)
+	}
+	// Backward masks the same units.
+	dOut := mat.New(1, 10000)
+	dOut.Fill(1)
+	dx := d.Backward(dOut)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}
+
+func TestEncoderTrainEvalToggle(t *testing.T) {
+	g := mat.NewRNG(22)
+	enc := NewEncoder("enc", 1, 4, 2, 0.5, g)
+	x := mat.New(3, 4)
+	g.Normal(x, 1)
+	enc.SetTrain(false)
+	a := enc.Forward(x)
+	b := enc.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("eval mode is not deterministic")
+		}
+	}
+}
+
+// End-to-end sanity: a 1-layer Transformer + projection learns to predict the
+// next token of a deterministic cyclic sequence.
+func TestTransformerLearnsCyclicSequence(t *testing.T) {
+	g := mat.NewRNG(23)
+	const vocab, dim, seqLen = 5, 8, 4
+	emb := NewEmbedding("emb", vocab, dim, g)
+	pos := NewPositionalEmbedding("pos", seqLen, dim, g)
+	enc := NewEncoder("enc", 1, dim, 2, 0, g)
+	enc.SetTrain(false)
+	proj := NewLinear("proj", dim, vocab, g)
+	c := NewCollector()
+	emb.CollectParams(c)
+	pos.CollectParams(c)
+	enc.CollectParams(c)
+	proj.CollectParams(c)
+	opt := NewAdam(0.01, 0)
+
+	seq := []int{0, 1, 2, 3} // next token is (last+1) mod 5
+	for epoch := 0; epoch < 200; epoch++ {
+		c.ZeroGrad()
+		h := enc.Forward(pos.Forward(emb.Forward(seq)))
+		logits := proj.Forward(h)
+		last := logits.Row(seqLen - 1)
+		_, dLogits := SoftmaxCrossEntropy(last, 4)
+		dOut := mat.New(seqLen, vocab)
+		dOut.SetRow(seqLen-1, dLogits)
+		emb.Backward(pos.Backward(enc.Backward(proj.Backward(dOut))))
+		opt.Step(c.Params())
+	}
+	h := enc.Forward(pos.Forward(emb.Forward(seq)))
+	logits := proj.Forward(h)
+	if got := mat.MaxIdx(logits.Row(seqLen - 1)); got != 4 {
+		t.Fatalf("model predicts %d, want 4", got)
+	}
+}
+
+// End-to-end sanity: GRU learns the same task.
+func TestGRULearnsCyclicSequence(t *testing.T) {
+	g := mat.NewRNG(24)
+	const vocab, dim, hidden, seqLen = 5, 8, 8, 4
+	emb := NewEmbedding("emb", vocab, dim, g)
+	gru := NewGRU("gru", dim, hidden, g)
+	proj := NewLinear("proj", hidden, vocab, g)
+	c := NewCollector()
+	emb.CollectParams(c)
+	gru.CollectParams(c)
+	proj.CollectParams(c)
+	opt := NewAdam(0.01, 0)
+
+	seq := []int{0, 1, 2, 3}
+	for epoch := 0; epoch < 300; epoch++ {
+		c.ZeroGrad()
+		h := gru.Forward(emb.Forward(seq))
+		logits := proj.Forward(h)
+		_, dLogits := SoftmaxCrossEntropy(logits.Row(seqLen-1), 4)
+		dOut := mat.New(seqLen, vocab)
+		dOut.SetRow(seqLen-1, dLogits)
+		emb.Backward(gru.Backward(proj.Backward(dOut)))
+		opt.Step(c.Params())
+	}
+	h := gru.Forward(emb.Forward(seq))
+	logits := proj.Forward(h)
+	if got := mat.MaxIdx(logits.Row(seqLen - 1)); got != 4 {
+		t.Fatalf("GRU predicts %d, want 4", got)
+	}
+}

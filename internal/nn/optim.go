@@ -1,0 +1,136 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers zero grads.
+	Step(params []*Param)
+	// SetLR overrides the current learning rate (used by LR schedules).
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	lr       float64
+	momentum float64
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum
+// (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step applies one SGD update to each parameter.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.momentum == 0 {
+			for i, g := range p.Grad.Data {
+				p.Value.Data[i] -= o.lr * g
+			}
+			continue
+		}
+		v, ok := o.velocity[p]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			o.velocity[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = o.momentum*v[i] + g
+			p.Value.Data[i] -= o.lr * v[i]
+		}
+	}
+}
+
+// SetLR overrides the learning rate.
+func (o *SGD) SetLR(lr float64) { o.lr = lr }
+
+// LR reports the learning rate.
+func (o *SGD) LR() float64 { return o.lr }
+
+// Adam implements Kingma & Ba's Adam with decoupled weight decay, the
+// optimizer the paper trains every model with (lr 0.001, weight decay 0.01).
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	weightDecay           float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		weightDecay: weightDecay,
+		m:           make(map[*Param][]float64),
+		v:           make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update to each parameter.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			o.m[p] = m
+			o.v[p] = make([]float64, len(p.Value.Data))
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			if o.weightDecay != 0 {
+				// Decoupled weight decay (AdamW style).
+				p.Value.Data[i] -= o.lr * o.weightDecay * p.Value.Data[i]
+			}
+			m[i] = o.beta1*m[i] + (1-o.beta1)*g
+			v[i] = o.beta2*v[i] + (1-o.beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Value.Data[i] -= o.lr * mhat / (math.Sqrt(vhat) + o.eps)
+		}
+	}
+}
+
+// SetLR overrides the learning rate.
+func (o *Adam) SetLR(lr float64) { o.lr = lr }
+
+// LR reports the learning rate.
+func (o *Adam) LR() float64 { return o.lr }
+
+// LinearDecay returns the learning rate for the given step of a linear decay
+// schedule from base to zero over totalSteps, matching the paper's "linear
+// decay of the learning rate".
+func LinearDecay(base float64, step, totalSteps int) float64 {
+	if totalSteps <= 0 || step >= totalSteps {
+		return 0
+	}
+	return base * (1 - float64(step)/float64(totalSteps))
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm. A maxNorm <= 0 disables clipping.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,100 @@
+// Package nn is a small, dependency-free neural network library with
+// hand-written backpropagation. It provides exactly the layers the IntelliTag
+// models need: embeddings, linear projections, layer normalization, dropout,
+// multi-head self-attention, Transformer encoder blocks and GRUs, together
+// with losses and the Adam/SGD optimizers used in the paper.
+//
+// Layers follow a Forward/Backward discipline: Forward caches whatever the
+// matching Backward needs, and Backward both returns the gradient with
+// respect to the layer input and accumulates parameter gradients. A layer
+// must therefore be driven forward-then-backward per example; trainers in
+// this repository always do so.
+package nn
+
+import (
+	"fmt"
+
+	"intellitag/internal/mat"
+)
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+}
+
+// NewParam allocates a named rows x cols parameter with a zero gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: mat.New(rows, cols),
+		Grad:  mat.New(rows, cols),
+	}
+}
+
+// InitXavier fills the parameter with Glorot-uniform values.
+func (p *Param) InitXavier(g *mat.RNG) { g.Xavier(p.Value) }
+
+// InitNormal fills the parameter with N(0, std^2) values.
+func (p *Param) InitNormal(g *mat.RNG, std float64) { g.Normal(p.Value, std) }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Numel returns the number of scalar elements in the parameter.
+func (p *Param) Numel() int { return len(p.Value.Data) }
+
+// Collector gathers parameters from a model so optimizers can iterate them.
+type Collector struct {
+	params []*Param
+	seen   map[*Param]bool
+}
+
+// NewCollector returns an empty parameter collector.
+func NewCollector() *Collector {
+	return &Collector{seen: make(map[*Param]bool)}
+}
+
+// Add registers params, skipping duplicates (shared parameters are stepped
+// exactly once per optimizer update).
+func (c *Collector) Add(params ...*Param) {
+	for _, p := range params {
+		if p == nil || c.seen[p] {
+			continue
+		}
+		c.seen[p] = true
+		c.params = append(c.params, p)
+	}
+}
+
+// Params returns the collected parameters in registration order.
+func (c *Collector) Params() []*Param { return c.params }
+
+// ZeroGrad clears the gradients of every collected parameter.
+func (c *Collector) ZeroGrad() {
+	for _, p := range c.params {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters collected.
+func (c *Collector) NumParams() int {
+	var n int
+	for _, p := range c.params {
+		n += p.Numel()
+	}
+	return n
+}
+
+// Parametric is implemented by every layer that owns trainable parameters.
+type Parametric interface {
+	// CollectParams registers the layer's parameters with c.
+	CollectParams(c *Collector)
+}
+
+func shapeCheck(op string, m *mat.Matrix, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("nn: %s expected %dx%d, got %dx%d", op, rows, cols, m.Rows, m.Cols))
+	}
+}

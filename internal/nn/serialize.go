@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"intellitag/internal/mat"
+)
+
+// paramBlob is the on-disk form of one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameters' values to path (gob format). Parameter
+// names must be unique within one snapshot; the offline-to-online model
+// upload of the deployment uses this.
+func SaveParams(path string, params []*Param) error {
+	blobs := make([]paramBlob, 0, len(params))
+	seen := map[string]bool{}
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q in snapshot", p.Name)
+		}
+		seen[p.Name] = true
+		blobs = append(blobs, paramBlob{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(blobs); err != nil {
+		return fmt.Errorf("nn: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores parameter values from a snapshot written by
+// SaveParams, matching by name. Every parameter must be present with the
+// same shape; extra entries in the snapshot are an error too, so drifted
+// architectures fail loudly instead of loading partially.
+func LoadParams(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: open snapshot: %w", err)
+	}
+	defer f.Close()
+	var blobs []paramBlob
+	if err := gob.NewDecoder(f).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	byName := make(map[string]paramBlob, len(blobs))
+	for _, b := range blobs {
+		byName[b.Name] = b
+	}
+	if len(byName) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d parameters, model has %d", len(byName), len(params))
+	}
+	for _, p := range params {
+		b, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if b.Rows != p.Value.Rows || b.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, snapshot %dx%d",
+				p.Name, p.Value.Rows, p.Value.Cols, b.Rows, b.Cols)
+		}
+		copy(p.Value.Data, b.Data)
+	}
+	return nil
+}
+
+// SaveMatrix writes a single matrix (e.g. a frozen embedding table) to path.
+func SaveMatrix(path string, m *mat.Matrix) error {
+	return SaveParams(path, []*Param{{Name: "matrix", Value: m, Grad: mat.New(0, 0)}})
+}
+
+// LoadMatrix reads a matrix written by SaveMatrix.
+func LoadMatrix(path string) (*mat.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: open matrix: %w", err)
+	}
+	defer f.Close()
+	var blobs []paramBlob
+	if err := gob.NewDecoder(f).Decode(&blobs); err != nil {
+		return nil, fmt.Errorf("nn: decode matrix: %w", err)
+	}
+	if len(blobs) != 1 {
+		return nil, fmt.Errorf("nn: matrix file holds %d entries", len(blobs))
+	}
+	return mat.NewFrom(blobs[0].Rows, blobs[0].Cols, blobs[0].Data), nil
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"path/filepath"
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	g := mat.NewRNG(1)
+	lin := NewLinear("lin", 3, 2, g)
+	emb := NewEmbedding("emb", 4, 3, g)
+	c := NewCollector()
+	lin.CollectParams(c)
+	emb.CollectParams(c)
+
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveParams(path, c.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh model with different init; load restores the saved values.
+	g2 := mat.NewRNG(99)
+	lin2 := NewLinear("lin", 3, 2, g2)
+	emb2 := NewEmbedding("emb", 4, 3, g2)
+	c2 := NewCollector()
+	lin2.CollectParams(c2)
+	emb2.CollectParams(c2)
+	if err := LoadParams(path, c2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range lin.W.Value.Data {
+		if lin2.W.Value.Data[i] != lin.W.Value.Data[i] {
+			t.Fatal("weights not restored")
+		}
+	}
+	for i := range emb.Table.Value.Data {
+		if emb2.Table.Value.Data[i] != emb.Table.Value.Data[i] {
+			t.Fatal("embedding not restored")
+		}
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	g := mat.NewRNG(1)
+	lin := NewLinear("lin", 3, 2, g)
+	c := NewCollector()
+	lin.CollectParams(c)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveParams(path, c.Params()); err != nil {
+		t.Fatal(err)
+	}
+	other := NewLinear("lin", 3, 5, g) // different shape, same names
+	c2 := NewCollector()
+	other.CollectParams(c2)
+	if err := LoadParams(path, c2.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadParamsMissingAndExtra(t *testing.T) {
+	g := mat.NewRNG(1)
+	a := NewParam("a", 1, 1)
+	b := NewParam("b", 1, 1)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveParams(path, []*Param{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into fewer params fails (extra snapshot entries).
+	if err := LoadParams(path, []*Param{a}); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	// Loading a snapshot missing a param fails.
+	if err := SaveParams(path, []*Param{a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(path, []*Param{a, b}); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+	_ = g
+}
+
+func TestSaveParamsDuplicateNames(t *testing.T) {
+	a1 := NewParam("dup", 1, 1)
+	a2 := NewParam("dup", 1, 1)
+	if err := SaveParams(filepath.Join(t.TempDir(), "x.gob"), []*Param{a1, a2}); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestSaveLoadMatrix(t *testing.T) {
+	g := mat.NewRNG(2)
+	m := mat.New(5, 3)
+	g.Normal(m, 1)
+	path := filepath.Join(t.TempDir(), "emb.gob")
+	if err := SaveMatrix(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 5 || got.Cols != 3 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("matrix not restored")
+		}
+	}
+}
+
+func TestLoadMissingFileErrors(t *testing.T) {
+	if err := LoadParams(filepath.Join(t.TempDir(), "none.gob"), nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := LoadMatrix(filepath.Join(t.TempDir(), "none.gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}

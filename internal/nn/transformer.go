@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+
+	"intellitag/internal/mat"
+)
+
+// FeedForward is the position-wise two-layer MLP inside a Transformer block.
+type FeedForward struct {
+	lin1, lin2 *Linear
+	act        *Activation
+}
+
+// NewFeedForward returns a dim -> hidden -> dim MLP with GELU.
+func NewFeedForward(name string, dim, hidden int, g *mat.RNG) *FeedForward {
+	return &FeedForward{
+		lin1: NewLinear(name+".ffn1", dim, hidden, g),
+		lin2: NewLinear(name+".ffn2", hidden, dim, g),
+		act:  NewGELU(),
+	}
+}
+
+// Forward applies the MLP row-wise.
+func (f *FeedForward) Forward(x *mat.Matrix) *mat.Matrix {
+	return f.lin2.Forward(f.act.Forward(f.lin1.Forward(x)))
+}
+
+// Backward returns dX.
+func (f *FeedForward) Backward(dOut *mat.Matrix) *mat.Matrix {
+	return f.lin1.Backward(f.act.Backward(f.lin2.Backward(dOut)))
+}
+
+// CollectParams registers both linears.
+func (f *FeedForward) CollectParams(c *Collector) {
+	f.lin1.CollectParams(c)
+	f.lin2.CollectParams(c)
+}
+
+// EncoderLayer is one post-norm Transformer block, exactly the paper's
+// equations 9-10:
+//
+//	A    = Norm(X + Dropout(MultiHead(X)))
+//	X'   = Norm(A + Dropout(FFN(A)))
+type EncoderLayer struct {
+	Attn  *MultiHeadSelfAttention
+	FFN   *FeedForward
+	norm1 *LayerNorm
+	norm2 *LayerNorm
+	drop1 *Dropout
+	drop2 *Dropout
+}
+
+// NewEncoderLayer returns a Transformer encoder block.
+func NewEncoderLayer(name string, dim, heads int, dropout float64, g *mat.RNG) *EncoderLayer {
+	return &EncoderLayer{
+		Attn:  NewMultiHeadSelfAttention(name+".attn", dim, heads, g),
+		FFN:   NewFeedForward(name, dim, 4*dim, g),
+		norm1: NewLayerNorm(name+".norm1", dim),
+		norm2: NewLayerNorm(name+".norm2", dim),
+		drop1: NewDropout(dropout, g),
+		drop2: NewDropout(dropout, g),
+	}
+}
+
+// SetTrain toggles dropout between training and inference behavior.
+func (e *EncoderLayer) SetTrain(train bool) {
+	e.drop1.Train = train
+	e.drop2.Train = train
+}
+
+// Forward runs the block over an n x dim input.
+func (e *EncoderLayer) Forward(x *mat.Matrix) *mat.Matrix {
+	a := e.norm1.Forward(mat.Add(x, e.drop1.Forward(e.Attn.Forward(x))))
+	return e.norm2.Forward(mat.Add(a, e.drop2.Forward(e.FFN.Forward(a))))
+}
+
+// Backward returns dX.
+func (e *EncoderLayer) Backward(dOut *mat.Matrix) *mat.Matrix {
+	dSum2 := e.norm2.Backward(dOut)
+	dA := dSum2.Clone()
+	mat.AddInPlace(dA, e.FFN.Backward(e.drop2.Backward(dSum2)))
+	dSum1 := e.norm1.Backward(dA)
+	dX := dSum1.Clone()
+	mat.AddInPlace(dX, e.Attn.Backward(e.drop1.Backward(dSum1)))
+	return dX
+}
+
+// CollectParams registers everything trainable in the block.
+func (e *EncoderLayer) CollectParams(c *Collector) {
+	e.Attn.CollectParams(c)
+	e.FFN.CollectParams(c)
+	e.norm1.CollectParams(c)
+	e.norm2.CollectParams(c)
+}
+
+// Encoder stacks L Transformer blocks.
+type Encoder struct {
+	Layers []*EncoderLayer
+}
+
+// NewEncoder returns an L-layer Transformer encoder.
+func NewEncoder(name string, layers, dim, heads int, dropout float64, g *mat.RNG) *Encoder {
+	e := &Encoder{}
+	for l := 0; l < layers; l++ {
+		e.Layers = append(e.Layers, NewEncoderLayer(fmt.Sprintf("%s.layer%d", name, l), dim, heads, dropout, g))
+	}
+	return e
+}
+
+// SetTrain toggles all layers.
+func (e *Encoder) SetTrain(train bool) {
+	for _, l := range e.Layers {
+		l.SetTrain(train)
+	}
+}
+
+// Forward runs the stack.
+func (e *Encoder) Forward(x *mat.Matrix) *mat.Matrix {
+	for _, l := range e.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the stack in reverse, returning dX.
+func (e *Encoder) Backward(dOut *mat.Matrix) *mat.Matrix {
+	for i := len(e.Layers) - 1; i >= 0; i-- {
+		dOut = e.Layers[i].Backward(dOut)
+	}
+	return dOut
+}
+
+// CollectParams registers all layers.
+func (e *Encoder) CollectParams(c *Collector) {
+	for _, l := range e.Layers {
+		l.CollectParams(c)
+	}
+}
+
+// PositionalEmbedding provides learned position vectors p_1..p_maxLen, added
+// to the input sequence as in the paper's eq. 8.
+type PositionalEmbedding struct {
+	MaxLen, Dim int
+	Table       *Param
+
+	n int // cached sequence length
+}
+
+// NewPositionalEmbedding returns a learned positional table.
+func NewPositionalEmbedding(name string, maxLen, dim int, g *mat.RNG) *PositionalEmbedding {
+	p := &PositionalEmbedding{MaxLen: maxLen, Dim: dim, Table: NewParam(name+".pos", maxLen, dim)}
+	p.Table.InitNormal(g, 0.02)
+	return p
+}
+
+// Forward adds position i's vector to row i of x.
+func (p *PositionalEmbedding) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Rows > p.MaxLen {
+		panic(fmt.Sprintf("nn: sequence length %d exceeds max %d", x.Rows, p.MaxLen))
+	}
+	p.n = x.Rows
+	out := mat.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		orow, xrow, prow := out.Row(i), x.Row(i), p.Table.Value.Row(i)
+		for j := range orow {
+			orow[j] = xrow[j] + prow[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates positional gradients and passes dOut through.
+func (p *PositionalEmbedding) Backward(dOut *mat.Matrix) *mat.Matrix {
+	for i := 0; i < p.n; i++ {
+		mat.AXPY(1, dOut.Row(i), p.Table.Grad.Row(i))
+	}
+	return dOut
+}
+
+// CollectParams registers the positional table.
+func (p *PositionalEmbedding) CollectParams(c *Collector) { c.Add(p.Table) }

@@ -1,0 +1,182 @@
+package qamatch
+
+import (
+	"testing"
+
+	"intellitag/internal/mat"
+	"intellitag/internal/synth"
+	"intellitag/internal/textproc"
+)
+
+// pairsFromWorld builds paraphrase training pairs from the synthetic world.
+func pairsFromWorld(w *synth.World, perRQ int, seed int64) []Pair {
+	rng := mat.NewRNG(seed)
+	var pairs []Pair
+	for _, rq := range w.RQs {
+		for k := 0; k < perRQ; k++ {
+			pairs = append(pairs, Pair{
+				Question: w.Paraphrase(rq.ID, rng),
+				RQ:       rq.Text,
+				Tenant:   rq.Tenant,
+			})
+		}
+	}
+	return pairs
+}
+
+var matchWorld = synth.Generate(synth.SmallConfig())
+
+func TestMatcherShapes(t *testing.T) {
+	vocab := textproc.NewVocab()
+	vocab.Add("hello")
+	m := NewMatcher(DefaultConfig(), vocab)
+	v := m.Embed("hello world")
+	if len(v) != m.Cfg.Dim {
+		t.Fatalf("embed dim %d", len(v))
+	}
+	if m.Score("hello", "hello") == 0 && m.Score("hello", "world") == 0 {
+		t.Fatal("scores degenerate")
+	}
+	if got := len(m.Params()); got == 0 {
+		t.Fatal("no params")
+	}
+}
+
+func TestMatcherTruncates(t *testing.T) {
+	vocab := textproc.NewVocab()
+	cfg := DefaultConfig()
+	cfg.MaxLen = 4
+	m := NewMatcher(cfg, vocab)
+	long := "a b c d e f g h i j"
+	if v := m.Embed(long); len(v) != cfg.Dim {
+		t.Fatal("truncation failed")
+	}
+}
+
+func TestTrainingImprovesMatching(t *testing.T) {
+	pairs := pairsFromWorld(matchWorld, 1, 3)
+	vocab := BuildVocab(pairs)
+	cfg := DefaultConfig()
+	m := NewMatcher(cfg, vocab)
+
+	// Held-out paraphrases.
+	rng := mat.NewRNG(99)
+	type query struct {
+		text   string
+		rqID   int
+		tenant int
+	}
+	var queries []query
+	for _, rq := range matchWorld.RQs[:60] {
+		queries = append(queries, query{matchWorld.Paraphrase(rq.ID, rng), rq.ID, rq.Tenant})
+	}
+	acc := func() float64 {
+		hits := 0
+		for _, q := range queries {
+			// Candidates: the true RQ + 9 same-tenant decoys.
+			texts := []string{matchWorld.RQs[q.rqID].Text}
+			for _, rq := range matchWorld.RQs {
+				if len(texts) == 10 {
+					break
+				}
+				if rq.Tenant == q.tenant && rq.ID != q.rqID {
+					texts = append(texts, rq.Text)
+				}
+			}
+			if m.Rerank(q.text, texts)[0] == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(queries))
+	}
+
+	before := acc()
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	loss := Train(m, pairs, tc)
+	after := acc()
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if after <= before {
+		t.Fatalf("training did not improve accuracy: %.3f -> %.3f", before, after)
+	}
+	if after < 0.5 {
+		t.Fatalf("trained accuracy %.3f too low", after)
+	}
+}
+
+func TestRerankOrdersByScore(t *testing.T) {
+	pairs := pairsFromWorld(matchWorld, 1, 4)
+	vocab := BuildVocab(pairs)
+	m := NewMatcher(DefaultConfig(), vocab)
+	order := m.Rerank("anything", []string{"a", "b", "c"})
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		if seen[i] {
+			t.Fatal("duplicate index")
+		}
+		seen[i] = true
+	}
+}
+
+func TestIndexBestMatchesBruteForce(t *testing.T) {
+	pairs := pairsFromWorld(matchWorld, 1, 5)
+	vocab := BuildVocab(pairs)
+	m := NewMatcher(DefaultConfig(), vocab)
+	ids := []int{10, 20, 30}
+	texts := []string{"how to change password", "cancel my order", "apply for card"}
+	ix := m.BuildIndex(ids, texts)
+
+	question := "password change how"
+	best, _ := ix.Best(question, nil)
+	// Brute force comparison.
+	bruteBest, bruteScore := -1, 0.0
+	q := m.Embed(question)
+	for i, txt := range texts {
+		s := mat.Dot(q, m.Embed(txt))
+		if bruteBest == -1 || s > bruteScore {
+			bruteBest, bruteScore = ids[i], s
+		}
+	}
+	if best != bruteBest {
+		t.Fatalf("index best %d != brute %d", best, bruteBest)
+	}
+	// Subset restriction.
+	got, _ := ix.Best(question, map[int]bool{20: true})
+	if got != 20 {
+		t.Fatalf("subset best = %d", got)
+	}
+	if got, _ := ix.Best(question, map[int]bool{}); got != -1 {
+		t.Fatalf("empty subset best = %d", got)
+	}
+}
+
+func TestParaphraseKeepsTagPhrases(t *testing.T) {
+	rng := mat.NewRNG(7)
+	for _, rq := range matchWorld.RQs[:30] {
+		p := matchWorld.Paraphrase(rq.ID, rng)
+		for _, tid := range rq.TagIDs {
+			phrase := matchWorld.Tags[tid].Phrase()
+			if !contains(p, phrase) {
+				t.Fatalf("paraphrase %q lost tag %q", p, phrase)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

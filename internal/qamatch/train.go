@@ -1,0 +1,117 @@
+package qamatch
+
+import (
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+	"intellitag/internal/textproc"
+)
+
+// Pair is one training instance: a user question and its matching RQ text.
+type Pair struct {
+	Question string
+	RQ       string
+	// Tenant scopes negative sampling: hard negatives come from the same
+	// tenant's other RQs, mirroring the serving-time recall set.
+	Tenant int
+}
+
+// TrainConfig controls contrastive training.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64
+	Negatives   int
+	Seed        int64
+}
+
+// DefaultTrainConfig matches the repository's standard optimizer settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 2, LR: 1e-3, WeightDecay: 0.01, ClipNorm: 5, Negatives: 2, Seed: 23}
+}
+
+// BuildVocab constructs the matcher vocabulary from the training pairs.
+func BuildVocab(pairs []Pair) *textproc.Vocab {
+	var docs [][]string
+	for _, p := range pairs {
+		docs = append(docs, textproc.Tokenize(p.Question), textproc.Tokenize(p.RQ))
+	}
+	return textproc.BuildVocab(docs, 1)
+}
+
+// Train optimizes the contrastive objective: sigma(q . rq+) toward 1 and
+// sigma(q . rq-) toward 0 for sampled same-tenant negatives. Because the
+// towers share weights, each tower is re-encoded before its backward pass.
+// Returns the final epoch's mean loss.
+func Train(m *Matcher, pairs []Pair, cfg TrainConfig) float64 {
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	m.SetTrain(true)
+
+	// Group candidate RQ texts by tenant for hard-negative sampling.
+	byTenant := map[int][]string{}
+	for _, p := range pairs {
+		byTenant[p.Tenant] = append(byTenant[p.Tenant], p.RQ)
+	}
+
+	totalSteps := cfg.Epochs * len(pairs)
+	step := 0
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(pairs))
+		var epochLoss float64
+		for _, pi := range perm {
+			p := pairs[pi]
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+
+			qTok := textproc.Tokenize(p.Question)
+			texts := []string{p.RQ}
+			labels := []float64{1}
+			pool := byTenant[p.Tenant]
+			for k := 0; k < cfg.Negatives && len(pool) > 1; k++ {
+				neg := pool[rng.Intn(len(pool))]
+				if neg == p.RQ {
+					continue
+				}
+				texts = append(texts, neg)
+				labels = append(labels, 0)
+			}
+
+			// Precompute all tower vectors (inference pass), then accumulate
+			// the scalar loss gradients and replay each tower for backward.
+			qVec, _ := m.encode(qTok)
+			qVec = append([]float64(nil), qVec...)
+			cVecs := make([][]float64, len(texts))
+			for i, t := range texts {
+				v, _ := m.encode(textproc.Tokenize(t))
+				cVecs[i] = append([]float64(nil), v...)
+			}
+			dQ := make([]float64, m.Cfg.Dim)
+			dC := make([][]float64, len(texts))
+			var loss float64
+			for i := range texts {
+				li, dLogit := nn.BinaryCrossEntropy(mat.Dot(qVec, cVecs[i]), labels[i])
+				loss += li
+				mat.AXPY(dLogit, cVecs[i], dQ)
+				dC[i] = make([]float64, m.Cfg.Dim)
+				mat.AXPY(dLogit, qVec, dC[i])
+			}
+
+			m.params.ZeroGrad()
+			// Replay each tower so its caches are fresh, then backward.
+			_, backQ := m.encode(qTok)
+			backQ(dQ)
+			for i, t := range texts {
+				_, backC := m.encode(textproc.Tokenize(t))
+				backC(dC[i])
+			}
+			nn.ClipGradNorm(m.Params(), cfg.ClipNorm)
+			opt.Step(m.Params())
+			epochLoss += loss / float64(len(texts))
+		}
+		lastLoss = epochLoss / float64(len(pairs))
+	}
+	m.SetTrain(false)
+	return lastLoss
+}

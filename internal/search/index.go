@@ -1,0 +1,161 @@
+// Package search is the ElasticSearch substitute of the IntelliTag system
+// (Section V): an in-memory inverted index with BM25 ranking used by the
+// model server to retrieve RQ recall sets for user questions and for
+// clicked-tag queries. It supports per-tenant filtering, which the paper's
+// multi-tenant deployment requires.
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"intellitag/internal/textproc"
+)
+
+// Doc is an indexed document.
+type Doc struct {
+	ID     int
+	Tenant int
+	Text   string
+	tokens []string
+	counts map[string]int
+}
+
+// Hit is a scored search result.
+type Hit struct {
+	ID    int
+	Score float64
+}
+
+// Index is a thread-safe inverted index with BM25 scoring. The zero value is
+// not usable; call NewIndex.
+type Index struct {
+	mu       sync.RWMutex
+	docs     map[int]*Doc
+	postings map[string][]int // term -> doc ids (append order)
+	totalLen int
+	k1, b    float64
+}
+
+// NewIndex returns an empty index with standard BM25 parameters
+// (k1=1.2, b=0.75).
+func NewIndex() *Index {
+	return &Index{
+		docs:     map[int]*Doc{},
+		postings: map[string][]int{},
+		k1:       1.2,
+		b:        0.75,
+	}
+}
+
+// Add indexes (or replaces) a document.
+func (ix *Index) Add(id, tenant int, text string) {
+	tokens := textproc.Tokenize(text)
+	counts := map[string]int{}
+	for _, t := range tokens {
+		counts[t]++
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.docs[id]; ok {
+		ix.removeLocked(old)
+	}
+	d := &Doc{ID: id, Tenant: tenant, Text: text, tokens: tokens, counts: counts}
+	ix.docs[id] = d
+	ix.totalLen += len(tokens)
+	for term := range counts {
+		ix.postings[term] = append(ix.postings[term], id)
+	}
+}
+
+// Delete removes a document if present.
+func (ix *Index) Delete(id int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if d, ok := ix.docs[id]; ok {
+		ix.removeLocked(d)
+	}
+}
+
+func (ix *Index) removeLocked(d *Doc) {
+	delete(ix.docs, d.ID)
+	ix.totalLen -= len(d.tokens)
+	for term := range d.counts {
+		list := ix.postings[term]
+		for i, id := range list {
+			if id == d.ID {
+				ix.postings[term] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(ix.postings[term]) == 0 {
+			delete(ix.postings, term)
+		}
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Get returns the document with the given id, if present.
+func (ix *Index) Get(id int) (*Doc, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	return d, ok
+}
+
+// Search returns the top-k documents for the query, ranked by BM25. A
+// tenant >= 0 restricts results to that tenant (the cloud-service isolation
+// requirement); tenant < 0 searches all documents.
+func (ix *Index) Search(query string, tenant, k int) []Hit {
+	terms := textproc.Tokenize(query)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 || len(terms) == 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(len(ix.docs))
+	scores := map[int]float64{}
+	seenTerm := map[string]bool{}
+	for _, term := range terms {
+		if seenTerm[term] {
+			continue // query-term repetition does not re-score
+		}
+		seenTerm[term] = true
+		ids := ix.postings[term]
+		if len(ids) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(len(ix.docs))-float64(len(ids))+0.5)/(float64(len(ids))+0.5))
+		for _, id := range ids {
+			d := ix.docs[id]
+			if tenant >= 0 && d.Tenant != tenant {
+				continue
+			}
+			tf := float64(d.counts[term])
+			dl := float64(len(d.tokens))
+			score := idf * tf * (ix.k1 + 1) / (tf + ix.k1*(1-ix.b+ix.b*dl/avgLen))
+			scores[id] += score
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

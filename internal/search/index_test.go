@@ -1,0 +1,156 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func seededIndex() *Index {
+	ix := NewIndex()
+	ix.Add(0, 0, "how to change password")
+	ix.Add(1, 0, "how to cancel order")
+	ix.Add(2, 1, "apply for etc card")
+	ix.Add(3, 1, "what is the initial vpn password")
+	return ix
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	ix := seededIndex()
+	hits := ix.Search("change password", -1, 10)
+	if len(hits) == 0 || hits[0].ID != 0 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestSearchTenantFilter(t *testing.T) {
+	ix := seededIndex()
+	hits := ix.Search("password", 1, 10)
+	for _, h := range hits {
+		if d, _ := ix.Get(h.ID); d.Tenant != 1 {
+			t.Fatalf("tenant filter leaked doc %d", h.ID)
+		}
+	}
+	if len(hits) != 1 || hits[0].ID != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 20; i++ {
+		ix.Add(i, 0, "shared term document")
+	}
+	hits := ix.Search("shared", -1, 5)
+	if len(hits) != 5 {
+		t.Fatalf("got %d hits, want 5", len(hits))
+	}
+}
+
+func TestSearchEmptyQueryAndIndex(t *testing.T) {
+	ix := NewIndex()
+	if got := ix.Search("anything", -1, 5); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+	ix.Add(0, 0, "text")
+	if got := ix.Search("   ", -1, 5); got != nil {
+		t.Fatalf("empty query returned %v", got)
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := seededIndex()
+	if got := ix.Search("zzzunknown", -1, 5); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBM25PrefersRarerTerms(t *testing.T) {
+	ix := NewIndex()
+	// "common" appears everywhere; "rare" in one doc.
+	for i := 0; i < 10; i++ {
+		ix.Add(i, 0, "common filler text")
+	}
+	ix.Add(10, 0, "common rare text")
+	hits := ix.Search("common rare", -1, 3)
+	if hits[0].ID != 10 {
+		t.Fatalf("rare-term doc not first: %v", hits)
+	}
+}
+
+func TestBM25LengthNormalization(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, 0, "password")
+	ix.Add(1, 0, "password and a very long trailing explanation about many other things entirely")
+	hits := ix.Search("password", -1, 2)
+	if hits[0].ID != 0 {
+		t.Fatalf("short doc should rank first: %v", hits)
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, 0, "old topic")
+	ix.Add(0, 0, "new subject")
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if hits := ix.Search("old", -1, 5); len(hits) != 0 {
+		t.Fatal("stale posting survived replace")
+	}
+	if hits := ix.Search("new", -1, 5); len(hits) != 1 {
+		t.Fatal("replacement not searchable")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := seededIndex()
+	ix.Delete(0)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if hits := ix.Search("change password", -1, 5); len(hits) != 1 {
+		t.Fatalf("hits after delete = %v", hits)
+	}
+	ix.Delete(999) // deleting a missing doc is a no-op
+}
+
+func TestGet(t *testing.T) {
+	ix := seededIndex()
+	d, ok := ix.Get(2)
+	if !ok || d.Text != "apply for etc card" {
+		t.Fatalf("Get = %+v, %v", d, ok)
+	}
+	if _, ok := ix.Get(99); ok {
+		t.Fatal("Get(99) should miss")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(5, 0, "same words here")
+	ix.Add(2, 0, "same words here")
+	hits := ix.Search("same words", -1, 2)
+	if hits[0].ID != 2 || hits[1].ID != 5 {
+		t.Fatalf("tie break not by id: %v", hits)
+	}
+}
+
+func TestConcurrentAddSearch(t *testing.T) {
+	ix := NewIndex()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ix.Add(base*100+j, base%2, fmt.Sprintf("doc number %d about topic %d", j, base))
+				ix.Search("topic", -1, 5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ix.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", ix.Len())
+	}
+}

@@ -1,0 +1,32 @@
+package serving
+
+// ABRouter splits traffic between engines by session id, as the paper's
+// online evaluation divides extra traffic buckets to test baselines
+// (Section VI-F). Assignment is deterministic: session % buckets.
+type ABRouter struct {
+	engines []*Engine
+}
+
+// NewABRouter creates a router over one engine per bucket.
+func NewABRouter(engines ...*Engine) *ABRouter {
+	if len(engines) == 0 {
+		panic("serving: ABRouter needs at least one engine")
+	}
+	return &ABRouter{engines: engines}
+}
+
+// Bucket returns the bucket index for a session.
+func (r *ABRouter) Bucket(session int) int {
+	if session < 0 {
+		session = -session
+	}
+	return session % len(r.engines)
+}
+
+// Engine returns the engine serving a session.
+func (r *ABRouter) Engine(session int) *Engine {
+	return r.engines[r.Bucket(session)]
+}
+
+// Engines lists the underlying engines in bucket order.
+func (r *ABRouter) Engines() []*Engine { return r.engines }

@@ -1,0 +1,254 @@
+// Package serving implements the online half of the IntelliTag system
+// (Section V): the model server logic (Q&A answering, tag recommendation,
+// predicted questions, session state, cold-start fallbacks), an A/B bucket
+// router for online experiments, an HTTP JSON API, and the simulated user
+// population that stands in for live traffic when reproducing the paper's
+// online CTR / HIR / latency results.
+package serving
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"intellitag/internal/search"
+	"intellitag/internal/store"
+)
+
+// Scorer ranks candidate next tags given a click history. core.Model and
+// every baseline satisfy it.
+type Scorer interface {
+	ScoreCandidates(history []int, candidates []int) []float64
+	Name() string
+}
+
+// Catalog is the static serving data uploaded by the offline pipeline: tag
+// phrases, per-tenant tag sets, per-tag click popularity (cold-start
+// fallback) and the RQ answer table.
+type Catalog struct {
+	TagPhrases []string       // phrase per tag id
+	TenantTags map[int][]int  // tenant -> tag ids (asc-derived)
+	Popularity []float64      // global click counts per tag
+	RQAnswers  map[int]string // RQ id -> answer text
+}
+
+// ScoredTag is one recommendation.
+type ScoredTag struct {
+	Tag    int     `json:"tag"`
+	Phrase string  `json:"phrase"`
+	Score  float64 `json:"score"`
+}
+
+// PredictedQuestion is one retrieved RQ shown after a click.
+type PredictedQuestion struct {
+	RQ       int     `json:"rq"`
+	Question string  `json:"question"`
+	Answer   string  `json:"answer"`
+	Score    float64 `json:"score"`
+}
+
+// QuestionMatcher picks the best RQ from a recall set — the role of the
+// uploaded RoBERTa model in Fig. 4. qamatch.Index satisfies it.
+type QuestionMatcher interface {
+	// Best returns the best candidate id within subset and its score, or
+	// (-1, 0) when the subset is empty.
+	Best(question string, subset map[int]bool) (int, float64)
+}
+
+// Engine is the model-server logic for a single model. It is safe for
+// concurrent use.
+type Engine struct {
+	catalog Catalog
+	index   *search.Index
+	scorer  Scorer
+	matcher QuestionMatcher // optional reranker for Ask; nil keeps BM25 order
+	log     *store.Log
+	day     func() int // logical clock for log events
+
+	mu       sync.Mutex
+	sessions map[int][]int // session id -> click history
+
+	latMu     sync.Mutex
+	latencies []time.Duration
+}
+
+// NewEngine assembles an engine. The search index must contain the RQ
+// documents (doc id = RQ id, tenant field set). A nil log disables event
+// recording; day supplies the logical day stamp (nil means day 0).
+func NewEngine(catalog Catalog, index *search.Index, scorer Scorer, log *store.Log, day func() int) *Engine {
+	if day == nil {
+		day = func() int { return 0 }
+	}
+	return &Engine{
+		catalog:  catalog,
+		index:    index,
+		scorer:   scorer,
+		log:      log,
+		day:      day,
+		sessions: map[int][]int{},
+	}
+}
+
+// ScorerName reports the underlying model's name.
+func (e *Engine) ScorerName() string { return e.scorer.Name() }
+
+// History returns a copy of a session's click history.
+func (e *Engine) History(session int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.sessions[session]...)
+}
+
+// RecommendTags returns the top-k tags for a session. With no click history
+// it falls back to the tenant's most frequently clicked tags (the paper's
+// cold-start strategy); otherwise the model ranks the tenant's tags given
+// the history. Latency of the full call is recorded.
+func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
+	start := time.Now()
+	defer e.recordLatency(start)
+
+	candidates := e.catalog.TenantTags[tenant]
+	if len(candidates) == 0 {
+		return nil
+	}
+	history := e.History(session)
+	var scores []float64
+	if len(history) == 0 {
+		scores = make([]float64, len(candidates))
+		for i, c := range candidates {
+			scores[i] = e.catalog.Popularity[c]
+		}
+	} else {
+		scores = e.scorer.ScoreCandidates(history, candidates)
+	}
+	out := make([]ScoredTag, len(candidates))
+	for i, c := range candidates {
+		out[i] = ScoredTag{Tag: c, Phrase: e.catalog.TagPhrases[c], Score: scores[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Click records a tag click, returns the next recommendations and the
+// predicted questions for the accumulated clicked-tag query (the middle
+// panel of the paper's Fig. 1).
+func (e *Engine) Click(tenant, session, tag, k int) ([]ScoredTag, []PredictedQuestion) {
+	e.mu.Lock()
+	e.sessions[session] = append(e.sessions[session], tag)
+	history := append([]int(nil), e.sessions[session]...)
+	e.mu.Unlock()
+	if e.log != nil {
+		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventClick, TagID: tag})
+	}
+
+	recs := e.RecommendTags(tenant, session, k)
+
+	// Query = concatenated phrases of all clicked tags in the session.
+	var parts []string
+	for _, t := range history {
+		parts = append(parts, e.catalog.TagPhrases[t])
+	}
+	questions := e.PredictQuestions(tenant, strings.Join(parts, " "), k)
+	return recs, questions
+}
+
+// PredictQuestions retrieves the best-matching RQs for a query within a
+// tenant.
+func (e *Engine) PredictQuestions(tenant int, query string, k int) []PredictedQuestion {
+	hits := e.index.Search(query, tenant, k)
+	out := make([]PredictedQuestion, 0, len(hits))
+	for _, h := range hits {
+		doc, ok := e.index.Get(h.ID)
+		if !ok {
+			continue
+		}
+		out = append(out, PredictedQuestion{
+			RQ:       h.ID,
+			Question: doc.Text,
+			Answer:   e.catalog.RQAnswers[h.ID],
+			Score:    h.Score,
+		})
+	}
+	return out
+}
+
+// SetMatcher installs a question matcher that reranks the Ask recall set
+// (the deployment's model upload). A nil matcher keeps BM25 order.
+func (e *Engine) SetMatcher(m QuestionMatcher) { e.matcher = m }
+
+// Ask answers a typed question: retrieve the RQ recall set for the tenant,
+// pick the best match (via the uploaded matcher model when present, BM25
+// order otherwise) and return its answer. ok is false when nothing matches
+// (the caller may escalate to manual service).
+func (e *Engine) Ask(tenant, session int, question string) (PredictedQuestion, bool) {
+	start := time.Now()
+	defer e.recordLatency(start)
+	const recallSize = 10
+	hits := e.index.Search(question, tenant, recallSize)
+	if len(hits) == 0 {
+		return PredictedQuestion{}, false
+	}
+	bestID, bestScore := hits[0].ID, hits[0].Score
+	if e.matcher != nil {
+		subset := make(map[int]bool, len(hits))
+		for _, h := range hits {
+			subset[h.ID] = true
+		}
+		if id, score := e.matcher.Best(question, subset); id >= 0 {
+			bestID, bestScore = id, score
+		}
+	}
+	doc, _ := e.index.Get(bestID)
+	if e.log != nil {
+		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventQuestion, RQID: bestID})
+	}
+	return PredictedQuestion{
+		RQ:       bestID,
+		Question: doc.Text,
+		Answer:   e.catalog.RQAnswers[bestID],
+		Score:    bestScore,
+	}, true
+}
+
+// Escalate records a human-intervention event for HIR accounting.
+func (e *Engine) Escalate(tenant, session int) {
+	if e.log != nil {
+		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventHuman})
+	}
+}
+
+// EndSession drops a session's state.
+func (e *Engine) EndSession(session int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.sessions, session)
+}
+
+func (e *Engine) recordLatency(start time.Time) {
+	e.latMu.Lock()
+	e.latencies = append(e.latencies, time.Since(start))
+	e.latMu.Unlock()
+}
+
+// Latencies returns a copy of all recorded request latencies.
+func (e *Engine) Latencies() []time.Duration {
+	e.latMu.Lock()
+	defer e.latMu.Unlock()
+	return append([]time.Duration(nil), e.latencies...)
+}
+
+// ResetLatencies clears the latency sample.
+func (e *Engine) ResetLatencies() {
+	e.latMu.Lock()
+	e.latencies = nil
+	e.latMu.Unlock()
+}

@@ -1,0 +1,120 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Server exposes the engine router over an HTTP JSON API — the interface of
+// Fig. 4's model server. Endpoints:
+//
+//	POST /ask        {"tenant":0,"session":1,"question":"..."}
+//	POST /click      {"tenant":0,"session":1,"tag":12,"k":5}
+//	POST /recommend  {"tenant":0,"session":1,"k":5}
+//	GET  /healthz
+type Server struct {
+	router *ABRouter
+	mux    *http.ServeMux
+}
+
+// NewServer wraps a router.
+func NewServer(router *ABRouter) *Server {
+	s := &Server{router: router, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ask", s.handleAsk)
+	s.mux.HandleFunc("POST /click", s.handleClick)
+	s.mux.HandleFunc("POST /recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type askRequest struct {
+	Tenant   int    `json:"tenant"`
+	Session  int    `json:"session"`
+	Question string `json:"question"`
+}
+
+type askResponse struct {
+	Found  bool              `json:"found"`
+	Match  PredictedQuestion `json:"match,omitempty"`
+	Bucket string            `json:"bucket"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Question == "" {
+		http.Error(w, "question required", http.StatusBadRequest)
+		return
+	}
+	engine := s.router.Engine(req.Session)
+	match, ok := engine.Ask(req.Tenant, req.Session, req.Question)
+	writeJSON(w, http.StatusOK, askResponse{Found: ok, Match: match, Bucket: engine.ScorerName()})
+}
+
+type clickRequest struct {
+	Tenant  int `json:"tenant"`
+	Session int `json:"session"`
+	Tag     int `json:"tag"`
+	K       int `json:"k"`
+}
+
+type clickResponse struct {
+	Tags      []ScoredTag         `json:"tags"`
+	Questions []PredictedQuestion `json:"questions"`
+	Bucket    string              `json:"bucket"`
+}
+
+func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
+	var req clickRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 5
+	}
+	engine := s.router.Engine(req.Session)
+	tags, questions := engine.Click(req.Tenant, req.Session, req.Tag, req.K)
+	writeJSON(w, http.StatusOK, clickResponse{Tags: tags, Questions: questions, Bucket: engine.ScorerName()})
+}
+
+type recommendRequest struct {
+	Tenant  int `json:"tenant"`
+	Session int `json:"session"`
+	K       int `json:"k"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 5
+	}
+	engine := s.router.Engine(req.Session)
+	tags := engine.RecommendTags(req.Tenant, req.Session, req.K)
+	writeJSON(w, http.StatusOK, clickResponse{Tags: tags, Bucket: engine.ScorerName()})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

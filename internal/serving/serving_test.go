@@ -1,0 +1,410 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"intellitag/internal/store"
+	"intellitag/internal/synth"
+)
+
+// popScorer ranks candidates by a fixed score table; history shifts scores
+// so tests can verify the model is actually consulted.
+type popScorer struct{ scores []float64 }
+
+func (p popScorer) ScoreCandidates(history, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = p.scores[c]
+		// Never recommend an already-clicked tag first.
+		for _, h := range history {
+			if h == c {
+				out[i] = -1
+			}
+		}
+	}
+	return out
+}
+func (p popScorer) Name() string { return "pop" }
+
+var simWorld = synth.Generate(synth.SmallConfig())
+
+func newTestEngine(t *testing.T, log *store.Log) *Engine {
+	t.Helper()
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+	scores := make([]float64, len(catalog.TagPhrases))
+	copy(scores, catalog.Popularity)
+	return NewEngine(catalog, index, popScorer{scores: scores}, log, nil)
+}
+
+func TestBuildCatalog(t *testing.T) {
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+	if len(catalog.TagPhrases) != len(simWorld.Tags) {
+		t.Fatal("tag phrases incomplete")
+	}
+	if index.Len() != len(simWorld.RQs) {
+		t.Fatal("index incomplete")
+	}
+	if len(catalog.TenantTags) != len(simWorld.Tenants) {
+		t.Fatal("tenant tags incomplete")
+	}
+	var anyPop bool
+	for _, p := range catalog.Popularity {
+		if p > 0 {
+			anyPop = true
+		}
+	}
+	if !anyPop {
+		t.Fatal("no popularity accumulated")
+	}
+	for id, ans := range catalog.RQAnswers {
+		if ans == "" {
+			t.Fatalf("RQ %d has empty answer", id)
+		}
+		break
+	}
+}
+
+func TestColdStartUsesPopularity(t *testing.T) {
+	e := newTestEngine(t, nil)
+	recs := e.RecommendTags(0, 12345, 5)
+	if len(recs) == 0 {
+		t.Fatal("no cold-start recommendations")
+	}
+	// All recommended tags belong to the tenant and are ordered by score.
+	tenantSet := map[int]bool{}
+	for _, tg := range e.catalog.TenantTags[0] {
+		tenantSet[tg] = true
+	}
+	for i, r := range recs {
+		if !tenantSet[r.Tag] {
+			t.Fatalf("recommended foreign tag %d", r.Tag)
+		}
+		if i > 0 && recs[i-1].Score < r.Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+}
+
+func TestClickUpdatesHistoryAndRecommends(t *testing.T) {
+	e := newTestEngine(t, nil)
+	first := e.RecommendTags(0, 7, 3)
+	tags, questions := e.Click(0, 7, first[0].Tag, 3)
+	if len(e.History(7)) != 1 {
+		t.Fatal("click not recorded in session")
+	}
+	for _, r := range tags {
+		if r.Tag == first[0].Tag {
+			t.Fatal("clicked tag recommended again (scorer saw no history)")
+		}
+	}
+	if len(questions) == 0 {
+		t.Fatal("no predicted questions")
+	}
+	// Predicted questions must contain the clicked tag's phrase.
+	phrase := e.catalog.TagPhrases[first[0].Tag]
+	found := false
+	for _, q := range questions {
+		if strings.Contains(q.Question, phrase) {
+			found = true
+		}
+		if q.Answer == "" {
+			t.Fatal("question without answer")
+		}
+	}
+	if !found {
+		t.Fatalf("no predicted question mentions %q", phrase)
+	}
+	e.EndSession(7)
+	if len(e.History(7)) != 0 {
+		t.Fatal("EndSession did not clear history")
+	}
+}
+
+func TestAskFindsBestRQ(t *testing.T) {
+	e := newTestEngine(t, nil)
+	rq := simWorld.RQs[0]
+	match, ok := e.Ask(rq.Tenant, 1, rq.Text)
+	if !ok {
+		t.Fatal("exact question not found")
+	}
+	if match.RQ != rq.ID {
+		t.Fatalf("matched RQ %d, want %d", match.RQ, rq.ID)
+	}
+	if match.Answer != rq.Answer {
+		t.Fatal("wrong answer")
+	}
+	if _, ok := e.Ask(rq.Tenant, 1, "zzzz qqqq totally unknown"); ok {
+		t.Fatal("nonsense question matched")
+	}
+}
+
+func TestEventsLogged(t *testing.T) {
+	log := store.NewLog()
+	e := newTestEngine(t, log)
+	e.Click(0, 3, e.catalog.TenantTags[0][0], 3)
+	rq := simWorld.RQs[0]
+	e.Ask(rq.Tenant, 3, rq.Text)
+	e.Escalate(0, 3)
+	if log.CountKind(store.EventClick, 0, 1) != 1 {
+		t.Fatal("click not logged")
+	}
+	if log.CountKind(store.EventQuestion, 0, 1) != 1 {
+		t.Fatal("question not logged")
+	}
+	if log.CountKind(store.EventHuman, 0, 1) != 1 {
+		t.Fatal("escalation not logged")
+	}
+}
+
+func TestLatenciesRecorded(t *testing.T) {
+	e := newTestEngine(t, nil)
+	e.RecommendTags(0, 1, 3)
+	e.Ask(0, 1, "how to")
+	if len(e.Latencies()) != 2 {
+		t.Fatalf("latencies = %d, want 2", len(e.Latencies()))
+	}
+	e.ResetLatencies()
+	if len(e.Latencies()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestABRouterDeterministic(t *testing.T) {
+	a := newTestEngine(t, nil)
+	b := newTestEngine(t, nil)
+	r := NewABRouter(a, b)
+	if r.Bucket(4) != 0 || r.Bucket(5) != 1 {
+		t.Fatal("bucket assignment wrong")
+	}
+	if r.Engine(4) != a || r.Engine(5) != b {
+		t.Fatal("engine routing wrong")
+	}
+	if r.Bucket(-3) != 1 {
+		t.Fatalf("negative session bucket = %d", r.Bucket(-3))
+	}
+	if len(r.Engines()) != 2 {
+		t.Fatal("Engines() wrong")
+	}
+}
+
+func TestABRouterPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewABRouter()
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	e := newTestEngine(t, nil)
+	srv := httptest.NewServer(NewServer(NewABRouter(e)))
+	defer srv.Close()
+
+	post := func(path string, body any) *http.Response {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Health.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Recommend.
+	resp = post("/recommend", recommendRequest{Tenant: 0, Session: 1, K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend status %d", resp.StatusCode)
+	}
+	var recResp clickResponse
+	json.NewDecoder(resp.Body).Decode(&recResp)
+	resp.Body.Close()
+	if len(recResp.Tags) == 0 || recResp.Bucket != "pop" {
+		t.Fatalf("recommend response %+v", recResp)
+	}
+
+	// Click.
+	resp = post("/click", clickRequest{Tenant: 0, Session: 1, Tag: recResp.Tags[0].Tag})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("click status %d", resp.StatusCode)
+	}
+	var clickResp clickResponse
+	json.NewDecoder(resp.Body).Decode(&clickResp)
+	resp.Body.Close()
+	if len(clickResp.Questions) == 0 {
+		t.Fatal("click returned no predicted questions")
+	}
+
+	// Ask.
+	rq := simWorld.RQs[0]
+	resp = post("/ask", askRequest{Tenant: rq.Tenant, Session: 1, Question: rq.Text})
+	var askResp askResponse
+	json.NewDecoder(resp.Body).Decode(&askResp)
+	resp.Body.Close()
+	if !askResp.Found || askResp.Match.RQ != rq.ID {
+		t.Fatalf("ask response %+v", askResp)
+	}
+
+	// Bad request.
+	resp = post("/ask", askRequest{Tenant: 0, Session: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty question status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSimulateProducesSaneMetrics(t *testing.T) {
+	e := newTestEngine(t, store.NewLog())
+	cfg := DefaultSimConfig()
+	cfg.Days = 2
+	cfg.SessionsPerDay = 40
+	res := Simulate(simWorld, e, cfg)
+	if len(res.Days) != 2 {
+		t.Fatalf("days = %d", len(res.Days))
+	}
+	for _, d := range res.Days {
+		if d.Sessions != 40 {
+			t.Fatalf("sessions = %d", d.Sessions)
+		}
+		if d.MacroCTR < 0 || d.MacroCTR > 1 || d.HIR < 0 || d.HIR > 1 {
+			t.Fatalf("metrics out of range: %+v", d)
+		}
+		if d.Impressions == 0 {
+			t.Fatal("no impressions")
+		}
+	}
+	if res.Latency.N == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if res.MeanMacroCTR() <= 0 {
+		t.Fatal("zero CTR with a popularity scorer is implausible")
+	}
+	if res.MeanLatency() <= 0 {
+		t.Fatal("no latency")
+	}
+}
+
+func TestSimulateOracleBeatsRandom(t *testing.T) {
+	// An oracle scorer that knows the ground-truth process should achieve a
+	// higher CTR than a uniform-random scorer.
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+
+	oracle := NewEngine(catalog, index, chainScorer{w: simWorld}, nil, nil)
+	random := NewEngine(catalog, index, randomScorer{}, nil, nil)
+
+	cfg := DefaultSimConfig()
+	cfg.Days = 2
+	cfg.SessionsPerDay = 60
+	oracleRes := Simulate(simWorld, oracle, cfg)
+	randomRes := Simulate(simWorld, random, cfg)
+	if oracleRes.MeanMacroCTR() <= randomRes.MeanMacroCTR() {
+		t.Fatalf("oracle CTR %v <= random CTR %v", oracleRes.MeanMacroCTR(), randomRes.MeanMacroCTR())
+	}
+	if oracleRes.MeanHIR() >= randomRes.MeanHIR() {
+		t.Fatalf("oracle HIR %v >= random HIR %v", oracleRes.MeanHIR(), randomRes.MeanHIR())
+	}
+}
+
+// chainScorer scores candidates by whether they continue a ground-truth
+// chain from the last click.
+type chainScorer struct{ w *synth.World }
+
+func (c chainScorer) ScoreCandidates(history, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	if len(history) == 0 {
+		return out
+	}
+	last := history[len(history)-1]
+	topic := c.w.Tags[last].Topic
+	for i, cand := range candidates {
+		// Same chain adjacency scores highest, same topic next.
+		for _, chain := range c.w.Topics[topic].Chains {
+			for j, tag := range chain {
+				if tag != last {
+					continue
+				}
+				if j+1 < len(chain) && chain[j+1] == cand {
+					out[i] += 10
+				}
+				if j > 0 && chain[j-1] == cand {
+					out[i] += 8
+				}
+			}
+		}
+		if c.w.Tags[cand].Topic == topic {
+			out[i] += 1
+		}
+	}
+	return out
+}
+func (c chainScorer) Name() string { return "oracle" }
+
+type randomScorer struct{}
+
+func (randomScorer) ScoreCandidates(history, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	for i := range out {
+		out[i] = float64((i*2654435761)%1000) / 1000 // arbitrary fixed jumble
+	}
+	return out
+}
+func (randomScorer) Name() string { return "random" }
+
+// stubMatcher always prefers a fixed RQ id within the subset.
+type stubMatcher struct{ prefer int }
+
+func (s stubMatcher) Best(question string, subset map[int]bool) (int, float64) {
+	if subset[s.prefer] {
+		return s.prefer, 42
+	}
+	for id := range subset {
+		return id, 1
+	}
+	return -1, 0
+}
+
+func TestAskUsesMatcherWhenSet(t *testing.T) {
+	e := newTestEngine(t, nil)
+	rq := simWorld.RQs[0]
+	// Find another RQ of the same tenant that shares a word so it lands in
+	// the recall set; the stub matcher prefers it over BM25's top hit.
+	var other int = -1
+	for _, cand := range simWorld.RQs[1:] {
+		if cand.Tenant == rq.Tenant {
+			other = cand.ID
+			break
+		}
+	}
+	if other == -1 {
+		t.Skip("no second RQ for tenant")
+	}
+	e.SetMatcher(stubMatcher{prefer: other})
+	match, ok := e.Ask(rq.Tenant, 1, rq.Text)
+	if !ok {
+		t.Fatal("no match")
+	}
+	// The matcher's preference wins only if 'other' was in the recall set;
+	// either way the result must be a valid same-tenant RQ.
+	if simWorld.RQs[match.RQ].Tenant != rq.Tenant {
+		t.Fatal("matched foreign tenant RQ")
+	}
+	e.SetMatcher(nil)
+	plain, _ := e.Ask(rq.Tenant, 1, rq.Text)
+	if plain.RQ != rq.ID {
+		t.Fatalf("BM25 path broken: got %d want %d", plain.RQ, rq.ID)
+	}
+}

@@ -1,0 +1,185 @@
+package serving
+
+import (
+	"time"
+
+	"intellitag/internal/mat"
+	"intellitag/internal/metrics"
+	"intellitag/internal/search"
+	"intellitag/internal/synth"
+)
+
+// BuildCatalog derives the serving catalog and RQ search index from a
+// generated world and the training sessions (popularity is computed from
+// training clicks only, as deployment would).
+func BuildCatalog(w *synth.World, trainSessions []synth.Session) (Catalog, *search.Index) {
+	c := Catalog{
+		TagPhrases: make([]string, len(w.Tags)),
+		TenantTags: map[int][]int{},
+		Popularity: make([]float64, len(w.Tags)),
+		RQAnswers:  map[int]string{},
+	}
+	for i, t := range w.Tags {
+		c.TagPhrases[i] = t.Phrase()
+	}
+	for _, tenant := range w.Tenants {
+		c.TenantTags[tenant.ID] = w.TagsOfTenant(tenant.ID)
+	}
+	for _, s := range trainSessions {
+		for _, click := range s.Clicks {
+			c.Popularity[click]++
+		}
+	}
+	index := search.NewIndex()
+	for _, rq := range w.RQs {
+		index.Add(rq.ID, rq.Tenant, rq.Text)
+		c.RQAnswers[rq.ID] = rq.Answer
+	}
+	return c, index
+}
+
+// SimConfig controls the online simulation that reproduces the paper's
+// Section VI-F evaluation.
+type SimConfig struct {
+	Days           int
+	SessionsPerDay int
+	TopK           int     // recommended tags shown per turn
+	ClickDecay     float64 // P(click | intent at rank r) = ClickDecay^r
+	MaxTurns       int     // user gives up after this many turns
+	GiveUpMisses   int     // consecutive misses before escalating to a human
+	Seed           int64
+}
+
+// DefaultSimConfig mirrors the paper's 10-day CTR window.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Days: 10, SessionsPerDay: 150, TopK: 5,
+		ClickDecay: 0.85, MaxTurns: 6, GiveUpMisses: 2, Seed: 2020,
+	}
+}
+
+// DayStats is one day of one bucket's online metrics.
+type DayStats struct {
+	Day         int
+	MacroCTR    float64 // CTR macro-averaged over tenants (paper's metric)
+	MicroCTR    float64 // overall clicks / impressions
+	HIR         float64 // human interventions / sessions
+	Sessions    int
+	Impressions int
+	Clicks      int
+}
+
+// SimResult aggregates a bucket's simulation.
+type SimResult struct {
+	Model   string
+	Days    []DayStats
+	Latency metrics.LatencyStats
+}
+
+// Simulate drives a simulated user population against one engine for the
+// configured number of days. Users follow the world's ground-truth click
+// process: at each turn the engine shows TopK tags; if the user's true next
+// intent appears at rank r they click it with probability ClickDecay^r
+// (position bias); otherwise the turn is a miss, and after GiveUpMisses
+// consecutive misses the session escalates to manual service (HIR).
+func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
+	rng := mat.NewRNG(cfg.Seed)
+	engine.ResetLatencies()
+	weights := make([]float64, len(w.Tenants))
+	for i, t := range w.Tenants {
+		weights[i] = t.Size
+	}
+	res := SimResult{Model: engine.ScorerName()}
+	sessionID := int(cfg.Seed) * 1_000_000
+
+	for day := 0; day < cfg.Days; day++ {
+		var stats DayStats
+		stats.Day = day
+		tenantClicks := map[int]int{}
+		tenantImpr := map[int]int{}
+		escalations := 0
+
+		for s := 0; s < cfg.SessionsPerDay; s++ {
+			sessionID++
+			tenant := rng.Categorical(weights)
+			state := w.StartSession(tenant, rng)
+			// The first click arrives through the interface (cold start is
+			// the engine's most-popular fallback; the user clicks their
+			// initial intent regardless, as in the paper's Fig. 1 flow).
+			engine.Click(tenant, sessionID, state.LastClick, cfg.TopK)
+			misses := 0
+			for turn := 0; turn < cfg.MaxTurns; turn++ {
+				recs := engine.RecommendTags(tenant, sessionID, cfg.TopK)
+				trueNext := w.NextClick(&state, rng)
+				stats.Impressions++
+				tenantImpr[tenant]++
+				rank := -1
+				for i, r := range recs {
+					if r.Tag == trueNext {
+						rank = i
+						break
+					}
+				}
+				clicked := false
+				if rank >= 0 {
+					p := 1.0
+					for i := 0; i < rank; i++ {
+						p *= cfg.ClickDecay
+					}
+					clicked = rng.Float64() < p
+				}
+				if clicked {
+					stats.Clicks++
+					tenantClicks[tenant]++
+					engine.Click(tenant, sessionID, trueNext, cfg.TopK)
+					misses = 0
+				} else {
+					misses++
+					if misses >= cfg.GiveUpMisses {
+						engine.Escalate(tenant, sessionID)
+						escalations++
+						break
+					}
+				}
+				// Sessions end naturally with the world's mean length.
+				if rng.Float64() < 1/w.Config.MeanClicks {
+					break
+				}
+			}
+			engine.EndSession(sessionID)
+			stats.Sessions++
+		}
+
+		var perTenant []float64
+		for tenant, impr := range tenantImpr {
+			perTenant = append(perTenant, metrics.CTR(tenantClicks[tenant], impr))
+		}
+		stats.MacroCTR = metrics.MacroAvg(perTenant)
+		stats.MicroCTR = metrics.CTR(stats.Clicks, stats.Impressions)
+		stats.HIR = metrics.HIR(escalations, stats.Sessions)
+		res.Days = append(res.Days, stats)
+	}
+	res.Latency = metrics.SummarizeLatency(engine.Latencies())
+	return res
+}
+
+// MeanMacroCTR averages the daily macro CTR over the whole simulation.
+func (r SimResult) MeanMacroCTR() float64 {
+	var vals []float64
+	for _, d := range r.Days {
+		vals = append(vals, d.MacroCTR)
+	}
+	return metrics.MacroAvg(vals)
+}
+
+// MeanHIR averages the daily HIR.
+func (r SimResult) MeanHIR() float64 {
+	var vals []float64
+	for _, d := range r.Days {
+		vals = append(vals, d.HIR)
+	}
+	return metrics.MacroAvg(vals)
+}
+
+// MeanLatency returns the mean recorded request latency.
+func (r SimResult) MeanLatency() time.Duration { return r.Latency.Mean }

@@ -1,0 +1,173 @@
+// Package store is the MaxCompute substitute of the IntelliTag system
+// (Section V): an append-only interaction log with time-range scans and
+// session reconstruction, feeding the offline daily ("T+1") pipeline. It is
+// deliberately simple — segments of records in memory with optional JSON
+// persistence — but preserves the access patterns the offline trainers use:
+// sequential appends online, batch scans offline.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// EventKind distinguishes interaction log records.
+type EventKind string
+
+// Interaction event kinds.
+const (
+	EventClick    EventKind = "click"    // user clicked a recommended tag
+	EventQuestion EventKind = "question" // user proposed a question (RQ id resolved)
+	EventAnswer   EventKind = "answer"   // system delivered an answer
+	EventHuman    EventKind = "human"    // escalated to manual customer service
+)
+
+// Event is one interaction log record.
+type Event struct {
+	Seq     int64     `json:"seq"` // monotonically increasing sequence number
+	Day     int       `json:"day"` // logical day, for T+1 batch boundaries
+	Session int       `json:"session"`
+	Tenant  int       `json:"tenant"`
+	Kind    EventKind `json:"kind"`
+	TagID   int       `json:"tag_id,omitempty"`
+	RQID    int       `json:"rq_id,omitempty"`
+}
+
+// Log is an append-only event store, safe for concurrent appends and scans.
+type Log struct {
+	mu      sync.RWMutex
+	events  []Event
+	nextSeq int64
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds an event, assigning its sequence number, and returns it.
+func (l *Log) Append(e Event) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.events = append(l.events, e)
+	return e
+}
+
+// Len returns the number of stored events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// ScanDays returns all events with fromDay <= Day < toDay in sequence order.
+func (l *Log) ScanDays(fromDay, toDay int) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Day >= fromDay && e.Day < toDay {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SessionClicks reconstructs per-session click sequences from the events in
+// [fromDay, toDay), keyed by session id, clicks in sequence order. The TagRec
+// trainer consumes this to build training sessions and the clk relation.
+func (l *Log) SessionClicks(fromDay, toDay int) map[int][]int {
+	out := map[int][]int{}
+	for _, e := range l.ScanDays(fromDay, toDay) {
+		if e.Kind == EventClick {
+			out[e.Session] = append(out[e.Session], e.TagID)
+		}
+	}
+	return out
+}
+
+// SessionRQVisits reconstructs per-session RQ consultation sequences, the
+// source of the cst relation.
+func (l *Log) SessionRQVisits(fromDay, toDay int) map[int][]int {
+	out := map[int][]int{}
+	for _, e := range l.ScanDays(fromDay, toDay) {
+		if e.Kind == EventQuestion {
+			out[e.Session] = append(out[e.Session], e.RQID)
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of events of the given kind in [fromDay,
+// toDay); used for HIR (human intervention rate) accounting.
+func (l *Log) CountKind(kind EventKind, fromDay, toDay int) int {
+	var n int
+	for _, e := range l.ScanDays(fromDay, toDay) {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// SessionTenants returns the tenant of each session seen in [fromDay,
+// toDay).
+func (l *Log) SessionTenants(fromDay, toDay int) map[int]int {
+	out := map[int]int{}
+	for _, e := range l.ScanDays(fromDay, toDay) {
+		out[e.Session] = e.Tenant
+	}
+	return out
+}
+
+// Days returns the sorted distinct logical days present in the log.
+func (l *Log) Days() []int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := map[int]bool{}
+	for _, e := range l.events {
+		seen[e.Day] = true
+	}
+	var days []int
+	for d := range seen {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	return days
+}
+
+// Save writes the log as JSON to path.
+func (l *Log) Save(path string) error {
+	l.mu.RLock()
+	data, err := json.Marshal(l.events)
+	l.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load replaces the log contents from a JSON file written by Save.
+func (l *Log) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: read: %w", err)
+	}
+	var events []Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("store: unmarshal: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = events
+	l.nextSeq = 0
+	for _, e := range events {
+		if e.Seq >= l.nextSeq {
+			l.nextSeq = e.Seq + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func seededLog() *Log {
+	l := NewLog()
+	l.Append(Event{Day: 0, Session: 1, Tenant: 0, Kind: EventClick, TagID: 10})
+	l.Append(Event{Day: 0, Session: 1, Tenant: 0, Kind: EventClick, TagID: 11})
+	l.Append(Event{Day: 0, Session: 1, Tenant: 0, Kind: EventQuestion, RQID: 5})
+	l.Append(Event{Day: 1, Session: 2, Tenant: 1, Kind: EventClick, TagID: 20})
+	l.Append(Event{Day: 1, Session: 2, Tenant: 1, Kind: EventQuestion, RQID: 6})
+	l.Append(Event{Day: 1, Session: 2, Tenant: 1, Kind: EventQuestion, RQID: 7})
+	l.Append(Event{Day: 1, Session: 2, Tenant: 1, Kind: EventHuman})
+	return l
+}
+
+func TestAppendAssignsSequence(t *testing.T) {
+	l := NewLog()
+	a := l.Append(Event{Day: 0})
+	b := l.Append(Event{Day: 0})
+	if a.Seq != 0 || b.Seq != 1 {
+		t.Fatalf("seqs = %d, %d", a.Seq, b.Seq)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestScanDays(t *testing.T) {
+	l := seededLog()
+	if got := len(l.ScanDays(0, 1)); got != 3 {
+		t.Fatalf("day 0 events = %d", got)
+	}
+	if got := len(l.ScanDays(0, 2)); got != 7 {
+		t.Fatalf("all events = %d", got)
+	}
+	if got := len(l.ScanDays(5, 9)); got != 0 {
+		t.Fatalf("empty range = %d", got)
+	}
+}
+
+func TestSessionClicks(t *testing.T) {
+	l := seededLog()
+	clicks := l.SessionClicks(0, 2)
+	if len(clicks[1]) != 2 || clicks[1][0] != 10 || clicks[1][1] != 11 {
+		t.Fatalf("session 1 clicks = %v", clicks[1])
+	}
+	if len(clicks[2]) != 1 {
+		t.Fatalf("session 2 clicks = %v", clicks[2])
+	}
+}
+
+func TestSessionRQVisits(t *testing.T) {
+	l := seededLog()
+	visits := l.SessionRQVisits(0, 2)
+	if len(visits[2]) != 2 || visits[2][0] != 6 || visits[2][1] != 7 {
+		t.Fatalf("session 2 visits = %v", visits[2])
+	}
+}
+
+func TestCountKindAndTenants(t *testing.T) {
+	l := seededLog()
+	if got := l.CountKind(EventHuman, 0, 2); got != 1 {
+		t.Fatalf("human events = %d", got)
+	}
+	if got := l.CountKind(EventClick, 1, 2); got != 1 {
+		t.Fatalf("day-1 clicks = %d", got)
+	}
+	tenants := l.SessionTenants(0, 2)
+	if tenants[1] != 0 || tenants[2] != 1 {
+		t.Fatalf("tenants = %v", tenants)
+	}
+}
+
+func TestDays(t *testing.T) {
+	l := seededLog()
+	days := l.Days()
+	if len(days) != 2 || days[0] != 0 || days[1] != 1 {
+		t.Fatalf("days = %v", days)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	l := seededLog()
+	path := filepath.Join(t.TempDir(), "log.json")
+	if err := l.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLog()
+	if err := l2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != l.Len() {
+		t.Fatalf("loaded %d events, want %d", l2.Len(), l.Len())
+	}
+	// Sequence allocation continues.
+	e := l2.Append(Event{Day: 2})
+	if e.Seq != int64(l.Len()) {
+		t.Fatalf("next seq = %d", e.Seq)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	l := NewLog()
+	if err := l.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Append(Event{Day: 0, Kind: EventClick})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// All sequence numbers distinct.
+	seen := map[int64]bool{}
+	for _, e := range l.ScanDays(0, 1) {
+		if seen[e.Seq] {
+			t.Fatal("duplicate sequence number")
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestLoadCorruptJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.json")
+	if err := os.WriteFile(path, []byte("[{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog()
+	if err := l.Load(path); err == nil {
+		t.Fatal("expected unmarshal error")
+	}
+}

@@ -1,0 +1,52 @@
+package synth
+
+import (
+	"intellitag/internal/hetgraph"
+)
+
+// BuildGraph constructs the TagRec heterogeneous graph from the world's RQs
+// and the given sessions (typically the training split, so evaluation
+// sessions do not leak structure). It realizes the paper's four relations:
+// asc from tag-in-RQ, crl from RQ-tenant ownership, clk from successive
+// clicks, cst from successive RQ consultations.
+func (w *World) BuildGraph(sessions []Session) *hetgraph.Graph {
+	g := hetgraph.New(len(w.Tags), len(w.RQs), len(w.Tenants))
+	for _, rq := range w.RQs {
+		for _, t := range rq.TagIDs {
+			g.AddAsc(hetgraph.NodeID(t), hetgraph.NodeID(rq.ID))
+		}
+		g.AddCrl(hetgraph.NodeID(rq.ID), hetgraph.NodeID(rq.Tenant))
+	}
+	for _, s := range sessions {
+		for i := 1; i < len(s.Clicks); i++ {
+			g.AddClk(hetgraph.NodeID(s.Clicks[i-1]), hetgraph.NodeID(s.Clicks[i]))
+		}
+		for i := 1; i < len(s.RQVisits); i++ {
+			g.AddCst(hetgraph.NodeID(s.RQVisits[i-1]), hetgraph.NodeID(s.RQVisits[i]))
+		}
+	}
+	return g
+}
+
+// Stats is the Table II analog: dataset statistics of the generated world.
+type Stats struct {
+	Tags, RQs, Tenants  int
+	Asc, Crl, Clk, Cst  int
+	Sessions, Clicks    int
+	AvgClicksPerSession float64
+	LabeledSentences    int
+}
+
+// DatasetStats summarizes the world against the full session set.
+func (w *World) DatasetStats() Stats {
+	g := w.BuildGraph(w.Sessions)
+	gs := g.Stats()
+	return Stats{
+		Tags: gs.Tags, RQs: gs.RQs, Tenants: gs.Tenants,
+		Asc: gs.Asc, Crl: gs.Crl, Clk: gs.Clk, Cst: gs.Cst,
+		Sessions:            len(w.Sessions),
+		Clicks:              w.TotalClicks(),
+		AvgClicksPerSession: w.AvgClicks(),
+		LabeledSentences:    len(w.RQs),
+	}
+}

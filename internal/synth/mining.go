@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"sort"
+
+	"intellitag/internal/mat"
+	"strings"
+
+	"intellitag/internal/textproc"
+)
+
+// SegLabel is a tag-segmentation label of the mining task. The paper's
+// Fig. 2 marks tag words "B" (begin) and "M" (middle); everything else is
+// outside.
+type SegLabel uint8
+
+// Segmentation labels.
+const (
+	Outside SegLabel = iota
+	Begin
+	Middle
+)
+
+// LabeledSentence is one annotated RQ used to train the BERT-based
+// multi-task model: per-token segmentation labels and per-token weight
+// labels (1 if the token is part of a tag, per Section VI-A1).
+type LabeledSentence struct {
+	Tokens  []string
+	Seg     []SegLabel
+	Weights []float64
+	// TagSpans lists [start,end) token ranges of the ground-truth tags.
+	TagSpans [][2]int
+}
+
+// LabeledSentences converts every RQ into a labeled sentence by locating
+// every tag phrase of the RQ's topic in the tokenized question text. Scanning
+// the whole topic (not just the RQ's intended tags) keeps labels consistent:
+// any occurrence of a complete tag phrase is a tag, so the same word is
+// labeled in-tag or outside purely by its context — the property that makes
+// the segmentation task require a contextual model.
+func (w *World) LabeledSentences() []LabeledSentence {
+	out := make([]LabeledSentence, 0, len(w.RQs))
+	for _, rq := range w.RQs {
+		out = append(out, w.labelRQ(rq))
+	}
+	return out
+}
+
+func (w *World) labelRQ(rq RQ) LabeledSentence {
+	tokens := textproc.Tokenize(rq.Text)
+	ls := LabeledSentence{
+		Tokens:  tokens,
+		Seg:     make([]SegLabel, len(tokens)),
+		Weights: make([]float64, len(tokens)),
+	}
+	// Collect every tag-phrase occurrence, then keep a non-overlapping set
+	// preferring longer phrases (so a single-word tag nested inside a
+	// longer tag occurrence does not fragment the labels).
+	var candidates [][2]int
+	for _, tagID := range w.Topics[rq.Topic].Tags {
+		words := w.Tags[tagID].Words
+		for start := 0; start+len(words) <= len(tokens); start++ {
+			if matchAt(tokens, words, start) {
+				candidates = append(candidates, [2]int{start, start + len(words)})
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		li, lj := candidates[i][1]-candidates[i][0], candidates[j][1]-candidates[j][0]
+		if li != lj {
+			return li > lj
+		}
+		return candidates[i][0] < candidates[j][0]
+	})
+	taken := make([]bool, len(tokens))
+	for _, span := range candidates {
+		overlap := false
+		for i := span[0]; i < span[1]; i++ {
+			if taken[i] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		ls.TagSpans = append(ls.TagSpans, span)
+		for i := span[0]; i < span[1]; i++ {
+			taken[i] = true
+			ls.Weights[i] = 1
+			if i == span[0] {
+				ls.Seg[i] = Begin
+			} else {
+				ls.Seg[i] = Middle
+			}
+		}
+	}
+	sort.Slice(ls.TagSpans, func(i, j int) bool { return ls.TagSpans[i][0] < ls.TagSpans[j][0] })
+	return ls
+}
+
+func matchAt(tokens, words []string, start int) bool {
+	for i, w := range words {
+		if tokens[start+i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// SpansFromSeg reconstructs tag spans from a segmentation label sequence: a
+// span starts at each Begin and extends over following Middles. This is the
+// decoding rule shared by the miner and its evaluation.
+func SpansFromSeg(seg []SegLabel) [][2]int {
+	var spans [][2]int
+	for i := 0; i < len(seg); {
+		if seg[i] != Begin {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(seg) && seg[j] == Middle {
+			j++
+		}
+		spans = append(spans, [2]int{i, j})
+		i = j
+	}
+	return spans
+}
+
+// PhraseOfSpan renders the tokens of a span as a tag phrase.
+func PhraseOfSpan(tokens []string, span [2]int) string {
+	return strings.Join(tokens[span[0]:span[1]], " ")
+}
+
+// TagIDByPhrase resolves a phrase to its ground-truth tag id, or -1.
+func (w *World) TagIDByPhrase(phrase string) int {
+	if id, ok := w.tagByPhrase[phrase]; ok {
+		return id
+	}
+	return -1
+}
+
+// AddLabelNoise returns a copy of the sentences with independent annotation
+// noise on the two label sets: each token's segmentation label is replaced
+// by a random different label with probability segFlip, and each token's
+// weight label is flipped with probability weightFlip. Human-annotated
+// training data (the paper hand-labels ~54k sentences) carries exactly this
+// kind of noise; because the noise on the two tasks is independent, a
+// multi-task model can use each head's signal to denoise the other through
+// the shared encoder — the effect the paper's MT-vs-ST comparison measures.
+// Gold TagSpans are preserved (evaluation always uses clean labels).
+func AddLabelNoise(sentences []LabeledSentence, segFlip, weightFlip float64, rng *mat.RNG) []LabeledSentence {
+	out := make([]LabeledSentence, len(sentences))
+	for i, s := range sentences {
+		ns := LabeledSentence{
+			Tokens:   s.Tokens,
+			Seg:      append([]SegLabel(nil), s.Seg...),
+			Weights:  append([]float64(nil), s.Weights...),
+			TagSpans: s.TagSpans,
+		}
+		for j := range ns.Seg {
+			if rng.Float64() < segFlip {
+				ns.Seg[j] = SegLabel((int(ns.Seg[j]) + 1 + rng.Intn(2)) % 3)
+			}
+			if rng.Float64() < weightFlip {
+				ns.Weights[j] = 1 - ns.Weights[j]
+			}
+		}
+		out[i] = ns
+	}
+	return out
+}

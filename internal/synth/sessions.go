@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"intellitag/internal/mat"
+)
+
+// ProcState is the hidden state of the ground-truth click process: which
+// chain the user is working through, where, and in which direction. The
+// direction is revealed only by the last *two* clicks, which is exactly why
+// sequence models with more than one step of context outperform last-click
+// models on this world.
+type ProcState struct {
+	Tenant    int
+	Topic     int
+	chain     []int
+	pos       int
+	direction int // +1 or -1 along the chain
+	LastClick int
+}
+
+// StartSession initializes the click process for a tenant and returns the
+// state after the first click. The first click is drawn Zipf-weighted from
+// the tenant's topical tags, matching the cold-start "most frequently
+// clicked tags" dynamic.
+func (w *World) StartSession(tenant int, rng *mat.RNG) ProcState {
+	t := w.Tenants[tenant]
+	topicID := t.Topics[rng.Intn(len(t.Topics))]
+	topic := &w.Topics[topicID]
+	chain := topic.Chains[rng.Intn(len(topic.Chains))]
+	pos := rng.Intn(len(chain))
+	dir := 1
+	if rng.Float64() < 0.5 {
+		dir = -1
+	}
+	return ProcState{
+		Tenant: tenant, Topic: topicID,
+		chain: chain, pos: pos, direction: dir,
+		LastClick: chain[pos],
+	}
+}
+
+// NextClick advances the process one step and returns the clicked tag.
+func (w *World) NextClick(s *ProcState, rng *mat.RNG) int {
+	cfg := w.Config
+	r := rng.Float64()
+	switch {
+	case r < cfg.ChainFollow:
+		// Continue along the chain in the established direction, bouncing
+		// off the ends.
+		next := s.pos + s.direction
+		if next < 0 || next >= len(s.chain) {
+			s.direction = -s.direction
+			next = s.pos + s.direction
+		}
+		s.pos = next
+	case r < cfg.ChainFollow+cfg.TopicJump:
+		// Jump within the topic: re-anchor on a random chain position.
+		topic := &w.Topics[s.Topic]
+		s.chain = topic.Chains[rng.Intn(len(topic.Chains))]
+		s.pos = rng.Intn(len(s.chain))
+	default:
+		// Wander to another of the tenant's topics.
+		t := w.Tenants[s.Tenant]
+		s.Topic = t.Topics[rng.Intn(len(t.Topics))]
+		topic := &w.Topics[s.Topic]
+		s.chain = topic.Chains[rng.Intn(len(topic.Chains))]
+		s.pos = rng.Intn(len(s.chain))
+	}
+	s.LastClick = s.chain[s.pos]
+	return s.LastClick
+}
+
+// PeekNext returns the most likely next click (the chain continuation)
+// without advancing the state; the online user simulator uses it as the
+// user's true intent.
+func (w *World) PeekNext(s *ProcState) int {
+	next := s.pos + s.direction
+	if next < 0 || next >= len(s.chain) {
+		next = s.pos - s.direction
+	}
+	return s.chain[next]
+}
+
+func (w *World) generateSessions() {
+	cfg := w.Config
+	// Geometric session length with mean MeanClicks: P(len=k) = p(1-p)^(k-1).
+	p := 1 / cfg.MeanClicks
+	// Tenant choice is size-weighted, giving big tenants more traffic but
+	// keeping small-tenant sessions present (the paper's online focus).
+	weights := make([]float64, len(w.Tenants))
+	for i, t := range w.Tenants {
+		weights[i] = t.Size
+	}
+	for id := 0; id < cfg.NumSessions; id++ {
+		tenant := w.rng.Categorical(weights)
+		state := w.StartSession(tenant, w.rng)
+		session := Session{ID: id, Tenant: tenant, Clicks: []int{state.LastClick}}
+		w.maybeVisitRQ(&session, state.LastClick)
+		for len(session.Clicks) < cfg.MaxClicks {
+			if w.rng.Float64() < p { // session ends
+				break
+			}
+			click := w.NextClick(&state, w.rng)
+			session.Clicks = append(session.Clicks, click)
+			w.maybeVisitRQ(&session, click)
+		}
+		w.Sessions = append(w.Sessions, session)
+	}
+}
+
+// maybeVisitRQ records an RQ consultation for the clicked tag with
+// probability QuestionProb; consecutive visits in a session create the cst
+// relation.
+func (w *World) maybeVisitRQ(s *Session, tag int) {
+	if w.rng.Float64() >= w.Config.QuestionProb {
+		return
+	}
+	rqs := w.RQsWithTag(s.Tenant, tag)
+	if len(rqs) == 0 {
+		return
+	}
+	s.RQVisits = append(s.RQVisits, rqs[w.rng.Intn(len(rqs))])
+}
+
+// TotalClicks returns the number of clicks across all sessions.
+func (w *World) TotalClicks() int {
+	var n int
+	for _, s := range w.Sessions {
+		n += len(s.Clicks)
+	}
+	return n
+}
+
+// AvgClicks returns the mean session length.
+func (w *World) AvgClicks() float64 {
+	if len(w.Sessions) == 0 {
+		return 0
+	}
+	return float64(w.TotalClicks()) / float64(len(w.Sessions))
+}
+
+// SplitSessions partitions sessions into train/validation/test slices by the
+// given fractions (the paper uses 80/10/10). The split is deterministic for
+// a given world.
+func (w *World) SplitSessions(trainFrac, valFrac float64) (train, val, test []Session) {
+	rng := mat.NewRNG(w.Config.Seed + 1000)
+	perm := rng.Perm(len(w.Sessions))
+	nTrain := int(trainFrac * float64(len(perm)))
+	nVal := int(valFrac * float64(len(perm)))
+	for i, p := range perm {
+		s := w.Sessions[p]
+		switch {
+		case i < nTrain:
+			train = append(train, s)
+		case i < nTrain+nVal:
+			val = append(val, s)
+		default:
+			test = append(test, s)
+		}
+	}
+	return train, val, test
+}

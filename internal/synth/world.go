@@ -1,0 +1,275 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"intellitag/internal/mat"
+)
+
+// Topic is a latent consultation domain: a topical vocabulary, the tags
+// drawn from it, and ground-truth task chains (ordered tag workflows like
+// apply -> verify -> activate) that drive session dynamics.
+type Topic struct {
+	ID     int
+	Words  []string
+	Tags   []int   // tag ids belonging to the topic
+	Chains [][]int // ordered chains of tag ids
+}
+
+// World is a fully generated IntelliTag universe.
+type World struct {
+	Config   Config
+	Topics   []Topic
+	Tags     []Tag
+	Tenants  []Tenant
+	RQs      []RQ
+	Sessions []Session
+	Filler   []string
+
+	tagByPhrase map[string]int
+	rng         *mat.RNG
+}
+
+// syllables used to build a deterministic pronounceable lexicon.
+var syllables = []string{
+	"ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu",
+	"na", "pe", "qi", "ro", "su", "ta", "ve", "wi", "xo", "zu",
+	"bar", "cen", "dil", "fon", "gur", "han", "jet", "kim", "lor", "mun",
+}
+
+func makeWord(rng *mat.RNG, minSyl, maxSyl int) string {
+	n := minSyl + rng.Intn(maxSyl-minSyl+1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[rng.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// questionTemplates shape RQ surface forms; %s is replaced by tag phrases.
+var questionTemplates = []string{
+	"how to %s",
+	"where can i %s",
+	"why does %s fail",
+	"what is the %s",
+	"can i %s now",
+	"help me %s please",
+}
+
+var answerTemplates = []string{
+	"to %s open the settings page and follow the steps",
+	"you can %s from the account menu after signing in",
+	"the %s option is available under service center",
+	"please verify your identity first and then %s",
+}
+
+// Generate builds a complete world from cfg deterministically.
+func Generate(cfg Config) *World {
+	rng := mat.NewRNG(cfg.Seed)
+	w := &World{Config: cfg, rng: rng, tagByPhrase: map[string]int{}}
+
+	// Filler vocabulary (distinct from topical words with high probability;
+	// collisions are harmless).
+	seen := map[string]bool{}
+	for len(w.Filler) < cfg.FillerWords {
+		word := makeWord(rng, 1, 2)
+		if !seen[word] {
+			seen[word] = true
+			w.Filler = append(w.Filler, word)
+		}
+	}
+
+	w.generateTopics(seen)
+	w.generateTenants()
+	w.generateRQs()
+	w.generateSessions()
+	return w
+}
+
+func (w *World) generateTopics(seen map[string]bool) {
+	cfg := w.Config
+	for topicID := 0; topicID < cfg.NumTopics; topicID++ {
+		topic := Topic{ID: topicID}
+		for len(topic.Words) < cfg.WordsPerTopic {
+			word := makeWord(w.rng, 2, 3)
+			if !seen[word] {
+				seen[word] = true
+				topic.Words = append(topic.Words, word)
+			}
+		}
+		// Tags: 1..MaxTagWords distinct topical words, unique phrases.
+		for len(topic.Tags) < cfg.TagsPerTopic {
+			n := 1 + w.rng.Intn(cfg.MaxTagWords)
+			perm := w.rng.Perm(len(topic.Words))[:n]
+			words := make([]string, n)
+			for i, p := range perm {
+				words[i] = topic.Words[p]
+			}
+			tag := Tag{ID: len(w.Tags), Words: words, Topic: topicID}
+			if _, dup := w.tagByPhrase[tag.Phrase()]; dup {
+				continue
+			}
+			w.tagByPhrase[tag.Phrase()] = tag.ID
+			w.Tags = append(w.Tags, tag)
+			topic.Tags = append(topic.Tags, tag.ID)
+		}
+		// Chains: partition a permutation of the topic's tags into ordered
+		// workflows of ChainLen.
+		perm := w.rng.Perm(len(topic.Tags))
+		for start := 0; start < len(perm); start += cfg.ChainLen {
+			end := start + cfg.ChainLen
+			if end > len(perm) {
+				end = len(perm)
+			}
+			if end-start < 2 {
+				break
+			}
+			chain := make([]int, 0, end-start)
+			for _, p := range perm[start:end] {
+				chain = append(chain, topic.Tags[p])
+			}
+			topic.Chains = append(topic.Chains, chain)
+		}
+		w.Topics = append(w.Topics, topic)
+	}
+}
+
+func (w *World) generateTenants() {
+	cfg := w.Config
+	for id := 0; id < cfg.NumTenants; id++ {
+		nTopics := cfg.TopicsPerTenantMin
+		if cfg.TopicsPerTenantMax > cfg.TopicsPerTenantMin {
+			nTopics += w.rng.Intn(cfg.TopicsPerTenantMax - cfg.TopicsPerTenantMin + 1)
+		}
+		if nTopics > cfg.NumTopics {
+			nTopics = cfg.NumTopics
+		}
+		perm := w.rng.Perm(cfg.NumTopics)[:nTopics]
+		topics := append([]int(nil), perm...)
+		sort.Ints(topics)
+		// Long-tail tenant sizes: rank-based Zipf weight.
+		size := 1 / math.Pow(float64(id+1), 0.8)
+		w.Tenants = append(w.Tenants, Tenant{
+			ID:     id,
+			Name:   fmt.Sprintf("tenant-%02d", id),
+			Topics: topics,
+			Size:   size,
+		})
+	}
+}
+
+func (w *World) generateRQs() {
+	cfg := w.Config
+	span := cfg.MaxRQsPerTenant - cfg.MinRQsPerTenant
+	for _, tenant := range w.Tenants {
+		n := cfg.MinRQsPerTenant + int(float64(span)*tenant.Size)
+		for i := 0; i < n; i++ {
+			topicID := tenant.Topics[w.rng.Intn(len(tenant.Topics))]
+			topic := &w.Topics[topicID]
+			// Most RQs carry two tags (Table I shows two tags per question),
+			// some carry one.
+			nTags := 2
+			if w.rng.Float64() < 0.3 {
+				nTags = 1
+			}
+			var tagIDs []int
+			var phraseParts []string
+			usedTag := map[int]bool{}
+			for len(tagIDs) < nTags {
+				// Zipf popularity within the topic gives long-tail tags.
+				t := topic.Tags[w.rng.Zipf(len(topic.Tags), 0.9)]
+				if usedTag[t] {
+					continue
+				}
+				usedTag[t] = true
+				tagIDs = append(tagIDs, t)
+				phraseParts = append(phraseParts, w.Tags[t].Phrase())
+			}
+			sort.Ints(tagIDs)
+			phrase := strings.Join(phraseParts, " ")
+			// Sprinkle filler around the template for realistic sentences.
+			text := fmt.Sprintf(questionTemplates[w.rng.Intn(len(questionTemplates))], phrase)
+			if w.rng.Float64() < 0.5 {
+				text += " " + w.Filler[w.rng.Intn(len(w.Filler))]
+			}
+			// Distractor: a topical word placed outside any tag context, so
+			// tag segmentation cannot be solved lexically. A filler word
+			// separates it from the tag phrase to avoid accidental
+			// multi-word tag formation.
+			if w.rng.Float64() < cfg.DistractorProb {
+				distractor := topic.Words[w.rng.Intn(len(topic.Words))]
+				text += " " + w.Filler[w.rng.Intn(len(w.Filler))] + " " + distractor
+			}
+			answer := fmt.Sprintf(answerTemplates[w.rng.Intn(len(answerTemplates))], phrase)
+			w.RQs = append(w.RQs, RQ{
+				ID:     len(w.RQs),
+				Tenant: tenant.ID,
+				Topic:  topicID,
+				Text:   text,
+				Answer: answer,
+				TagIDs: tagIDs,
+			})
+		}
+	}
+}
+
+// TagsOfTenant returns the distinct tags appearing in a tenant's RQs, in id
+// order.
+func (w *World) TagsOfTenant(tenant int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, rq := range w.RQs {
+		if rq.Tenant != tenant {
+			continue
+		}
+		for _, t := range rq.TagIDs {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RQsWithTag returns the RQ ids of a tenant containing the given tag.
+func (w *World) RQsWithTag(tenant, tag int) []int {
+	var out []int
+	for _, rq := range w.RQs {
+		if rq.Tenant != tenant {
+			continue
+		}
+		for _, t := range rq.TagIDs {
+			if t == tag {
+				out = append(out, rq.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NumTags returns the number of generated tags.
+func (w *World) NumTags() int { return len(w.Tags) }
+
+// Paraphrase generates a user phrasing of an RQ: the same tag phrases under
+// a different question template with fresh filler — the kind of lexical
+// variation the Q&A matcher must see through. The paraphrase is not
+// guaranteed to differ from the original when templates collide.
+func (w *World) Paraphrase(rqID int, rng *mat.RNG) string {
+	rq := w.RQs[rqID]
+	var parts []string
+	for _, t := range rq.TagIDs {
+		parts = append(parts, w.Tags[t].Phrase())
+	}
+	phrase := strings.Join(parts, " ")
+	text := fmt.Sprintf(questionTemplates[rng.Intn(len(questionTemplates))], phrase)
+	if rng.Float64() < 0.6 {
+		text += " " + w.Filler[rng.Intn(len(w.Filler))]
+	}
+	return text
+}

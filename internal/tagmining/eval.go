@@ -1,0 +1,70 @@
+package tagmining
+
+import (
+	"fmt"
+	"time"
+
+	"intellitag/internal/metrics"
+	"intellitag/internal/synth"
+)
+
+// EvaluateSpans computes micro-averaged span-level precision/recall/F1 of a
+// tagger against gold tag spans — the Table III evaluation. A predicted span
+// counts only when its mean predicted word weight reaches weightThreshold,
+// and (when allowed is non-nil) when its phrase survives rule filtering.
+func EvaluateSpans(tagger Tagger, sentences []synth.LabeledSentence, weightThreshold float64, allowed map[string]bool) metrics.PRF1 {
+	var parts []metrics.PRF1
+	for _, s := range sentences {
+		if len(s.Tokens) == 0 {
+			continue
+		}
+		seg, weights := tagger.Predict(s.Tokens)
+		var pred []string
+		for _, span := range synth.SpansFromSeg(seg) {
+			var wsum float64
+			for i := span[0]; i < span[1]; i++ {
+				wsum += weights[i]
+			}
+			if wsum/float64(span[1]-span[0]) < weightThreshold {
+				continue
+			}
+			if allowed != nil && !allowed[synth.PhraseOfSpan(s.Tokens, span)] {
+				continue
+			}
+			pred = append(pred, spanKey(span))
+		}
+		var gold []string
+		for _, span := range s.TagSpans {
+			if span[1] <= len(seg) { // truncated tails are out of scope
+				gold = append(gold, spanKey(span))
+			}
+		}
+		parts = append(parts, metrics.SetPRF1(pred, gold))
+	}
+	return metrics.AccumulatePRF1(parts)
+}
+
+func spanKey(span [2]int) string { return fmt.Sprintf("%d:%d", span[0], span[1]) }
+
+// AllowedSet converts rule-filtered mined tags into the phrase filter
+// EvaluateSpans consumes.
+func AllowedSet(mined []MinedTag) map[string]bool {
+	out := make(map[string]bool, len(mined))
+	for _, t := range mined {
+		out[t.Phrase] = true
+	}
+	return out
+}
+
+// MeasureInference runs the tagger over the sentences once and returns the
+// wall-clock duration — the Table III "inference time" column.
+func MeasureInference(tagger Tagger, sentences []synth.LabeledSentence) time.Duration {
+	start := time.Now()
+	for _, s := range sentences {
+		if len(s.Tokens) == 0 {
+			continue
+		}
+		tagger.Predict(s.Tokens)
+	}
+	return time.Since(start)
+}

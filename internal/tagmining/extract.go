@@ -1,0 +1,148 @@
+package tagmining
+
+import (
+	"sort"
+	"strings"
+
+	"intellitag/internal/synth"
+	"intellitag/internal/textproc"
+)
+
+// MinedTag is a tag surfaced by the extraction pipeline, aggregated across
+// the corpus.
+type MinedTag struct {
+	Phrase string
+	Words  []string
+	// Weight is the mean model-predicted word weight over all occurrences —
+	// the paper's "tag weight" measuring question representativeness.
+	Weight float64
+	// Count is the number of corpus occurrences (tag frequency rule input).
+	Count int
+	// RuleScore is filled by the rule post-processor.
+	RuleScore float64
+}
+
+// Extract runs the tagger over the corpus sentences and aggregates predicted
+// tag spans into candidate tags. Spans whose mean predicted word weight is
+// below weightThreshold are dropped (the paper keeps "tags with a weight
+// greater than the preset threshold").
+func Extract(tagger Tagger, sentences [][]string, weightThreshold float64) []MinedTag {
+	agg := map[string]*MinedTag{}
+	for _, tokens := range sentences {
+		if len(tokens) == 0 {
+			continue
+		}
+		seg, weights := tagger.Predict(tokens)
+		for _, span := range synth.SpansFromSeg(seg) {
+			var wsum float64
+			for i := span[0]; i < span[1]; i++ {
+				wsum += weights[i]
+			}
+			wavg := wsum / float64(span[1]-span[0])
+			if wavg < weightThreshold {
+				continue
+			}
+			phrase := synth.PhraseOfSpan(tokens, span)
+			t, ok := agg[phrase]
+			if !ok {
+				t = &MinedTag{Phrase: phrase, Words: strings.Fields(phrase)}
+				agg[phrase] = t
+			}
+			// Running mean of the span weight.
+			t.Weight = (t.Weight*float64(t.Count) + wavg) / float64(t.Count+1)
+			t.Count++
+		}
+	}
+	out := make([]MinedTag, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	return out
+}
+
+// RuleConfig holds the post-processing thresholds. Per the paper's footnote,
+// the four rule signals carry the same weight; a tag is kept when its mean
+// normalized score reaches Threshold.
+type RuleConfig struct {
+	Threshold float64 // mean normalized rule score cutoff
+	MinCount  int     // absolute frequency floor
+}
+
+// DefaultRuleConfig matches the tuning used by the experiment harness.
+func DefaultRuleConfig() RuleConfig {
+	return RuleConfig{Threshold: 0.35, MinCount: 1}
+}
+
+// ApplyRules scores each mined tag with the four equally weighted rule
+// signals of Section III-B — (1) model tag weight, (2) tag frequency,
+// (3) IDF, (4) averaged PMI — and keeps tags whose mean normalized score
+// clears the threshold. The stats must be computed over the same corpus the
+// tags were mined from.
+func ApplyRules(mined []MinedTag, stats *textproc.CorpusStats, cfg RuleConfig) []MinedTag {
+	if len(mined) == 0 {
+		return nil
+	}
+	// Normalizers: map each raw signal into [0,1] across the candidate set.
+	maxCount := 0
+	maxIDF, minIDF := -1e18, 1e18
+	maxPMI, minPMI := -1e18, 1e18
+	type sig struct{ freq, idf, pmi float64 }
+	sigs := make([]sig, len(mined))
+	for i, t := range mined {
+		if t.Count > maxCount {
+			maxCount = t.Count
+		}
+		var idf float64
+		for _, w := range t.Words {
+			idf += stats.IDF(w)
+		}
+		idf /= float64(len(t.Words))
+		pmi := stats.AvgPMI(t.Words)
+		sigs[i] = sig{idf: idf, pmi: pmi}
+		if idf > maxIDF {
+			maxIDF = idf
+		}
+		if idf < minIDF {
+			minIDF = idf
+		}
+		if pmi > maxPMI {
+			maxPMI = pmi
+		}
+		if pmi < minPMI {
+			minPMI = pmi
+		}
+	}
+	norm := func(v, lo, hi float64) float64 {
+		if hi <= lo {
+			return 1
+		}
+		return (v - lo) / (hi - lo)
+	}
+	var out []MinedTag
+	for i, t := range mined {
+		if t.Count < cfg.MinCount {
+			continue
+		}
+		freqScore := float64(t.Count) / float64(maxCount)
+		idfScore := norm(sigs[i].idf, minIDF, maxIDF)
+		pmiScore := norm(sigs[i].pmi, minPMI, maxPMI)
+		if len(t.Words) == 1 {
+			// Single-word tags are vacuously consistent; give them the
+			// median PMI credit rather than an extreme.
+			pmiScore = 0.5
+		}
+		score := (t.Weight + freqScore + idfScore + pmiScore) / 4
+		if score < cfg.Threshold {
+			continue
+		}
+		t.RuleScore = score
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package tagmining implements Section III-B of the paper: a BERT-style
+// multi-task model that jointly learns tag segmentation and word weighting
+// over representative questions, single-task variants for comparison,
+// knowledge distillation of the teacher into a compact student, and the
+// rule-based post-processing (tag weight, frequency, IDF, averaged PMI) that
+// purifies the mined tags.
+package tagmining
+
+import (
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+	"intellitag/internal/synth"
+	"intellitag/internal/textproc"
+)
+
+// ModelConfig sizes a tagger model.
+type ModelConfig struct {
+	Dim    int // hidden size (the teacher uses a larger dim than the student)
+	Layers int // Transformer encoder depth
+	Heads  int
+	// Tasks selects which heads the model trains: both for the multi-task
+	// model, one for the single-task baselines.
+	SegHead    bool
+	WeightHead bool
+	Dropout    float64
+	MaxLen     int
+	Seed       int64
+}
+
+// TeacherConfig returns the multi-task teacher configuration: a scaled-down
+// stand-in for the paper's 12-layer, 768-hidden BERT-Base.
+func TeacherConfig() ModelConfig {
+	return ModelConfig{Dim: 48, Layers: 4, Heads: 4, SegHead: true, WeightHead: true, Dropout: 0.1, MaxLen: 64, Seed: 7}
+}
+
+// StudentConfig returns the distilled student configuration: a scaled-down
+// stand-in for the paper's 2-layer distilled BERT.
+func StudentConfig() ModelConfig {
+	return ModelConfig{Dim: 24, Layers: 1, Heads: 2, SegHead: true, WeightHead: true, Dropout: 0.1, MaxLen: 64, Seed: 8}
+}
+
+// numSegClasses counts the segmentation labels {Outside, Begin, Middle}.
+const numSegClasses = 3
+
+// Model is a Transformer token tagger with up to two heads.
+type Model struct {
+	Cfg   ModelConfig
+	Vocab *textproc.Vocab
+
+	emb        *nn.Embedding
+	pos        *nn.PositionalEmbedding
+	enc        *nn.Encoder
+	segHead    *nn.Linear // Dim -> 3
+	weightHead *nn.Linear // Dim -> 1
+
+	params *nn.Collector
+}
+
+// NewModel builds a model over the given vocabulary.
+func NewModel(cfg ModelConfig, vocab *textproc.Vocab) *Model {
+	g := mat.NewRNG(cfg.Seed)
+	m := &Model{
+		Cfg:   cfg,
+		Vocab: vocab,
+		emb:   nn.NewEmbedding("miner.emb", vocab.Len(), cfg.Dim, g),
+		pos:   nn.NewPositionalEmbedding("miner.pos", cfg.MaxLen, cfg.Dim, g),
+		enc:   nn.NewEncoder("miner.enc", cfg.Layers, cfg.Dim, cfg.Heads, cfg.Dropout, g),
+	}
+	if cfg.SegHead {
+		m.segHead = nn.NewLinear("miner.seg", cfg.Dim, numSegClasses, g)
+	}
+	if cfg.WeightHead {
+		m.weightHead = nn.NewLinear("miner.weight", cfg.Dim, 1, g)
+	}
+	m.params = nn.NewCollector()
+	m.emb.CollectParams(m.params)
+	m.pos.CollectParams(m.params)
+	m.enc.CollectParams(m.params)
+	if m.segHead != nil {
+		m.segHead.CollectParams(m.params)
+	}
+	if m.weightHead != nil {
+		m.weightHead.CollectParams(m.params)
+	}
+	return m
+}
+
+// Params returns the model's trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.params.Params() }
+
+// NumParams reports the total scalar parameter count (for the Table III
+// model-size comparison).
+func (m *Model) NumParams() int { return m.params.NumParams() }
+
+// SetTrain toggles dropout.
+func (m *Model) SetTrain(train bool) { m.enc.SetTrain(train) }
+
+// truncate clips token sequences to the model's maximum length.
+func (m *Model) truncate(tokens []string) []string {
+	if len(tokens) > m.Cfg.MaxLen {
+		return tokens[:m.Cfg.MaxLen]
+	}
+	return tokens
+}
+
+// forward encodes tokens and returns segmentation logits (n x 3, nil when
+// the head is absent) and weight logits (len n, nil when absent). The
+// returned backward closure propagates the supplied gradients; pass nil for
+// a head's gradient to skip it.
+func (m *Model) forward(tokens []string) (segLogits *mat.Matrix, wLogits []float64, backward func(dSeg *mat.Matrix, dW []float64)) {
+	tokens = m.truncate(tokens)
+	ids := m.Vocab.Encode(tokens)
+	h := m.enc.Forward(m.pos.Forward(m.emb.Forward(ids)))
+	n := len(tokens)
+	if m.segHead != nil {
+		segLogits = m.segHead.Forward(h)
+	}
+	var wOut *mat.Matrix
+	if m.weightHead != nil {
+		wOut = m.weightHead.Forward(h)
+		wLogits = make([]float64, n)
+		for i := 0; i < n; i++ {
+			wLogits[i] = wOut.At(i, 0)
+		}
+	}
+	backward = func(dSeg *mat.Matrix, dW []float64) {
+		dH := mat.New(n, m.Cfg.Dim)
+		if dSeg != nil && m.segHead != nil {
+			mat.AddInPlace(dH, m.segHead.Backward(dSeg))
+		}
+		if dW != nil && m.weightHead != nil {
+			dWOut := mat.New(n, 1)
+			for i := 0; i < n; i++ {
+				dWOut.Set(i, 0, dW[i])
+			}
+			mat.AddInPlace(dH, m.weightHead.Backward(dWOut))
+		}
+		m.emb.Backward(m.pos.Backward(m.enc.Backward(dH)))
+	}
+	return segLogits, wLogits, backward
+}
+
+// Predict returns the predicted segmentation labels and word weights
+// (sigmoid probabilities) for the tokens. A model without a segmentation
+// head returns all-Outside labels; one without a weight head returns zero
+// weights.
+func (m *Model) Predict(tokens []string) ([]synth.SegLabel, []float64) {
+	m.SetTrain(false)
+	segLogits, wLogits, _ := m.forward(tokens)
+	n := len(m.truncate(tokens))
+	seg := make([]synth.SegLabel, n)
+	weights := make([]float64, n)
+	if segLogits != nil {
+		for i := 0; i < n; i++ {
+			seg[i] = synth.SegLabel(mat.MaxIdx(segLogits.Row(i)))
+		}
+	}
+	if wLogits != nil {
+		for i := 0; i < n; i++ {
+			weights[i] = nn.Sigmoid(wLogits[i])
+		}
+	}
+	return seg, weights
+}
+
+// Tagger is anything that labels a token sequence with segmentation and
+// weight predictions. The multi-task model implements it directly; the
+// single-task baseline combines two models via Composite.
+type Tagger interface {
+	Predict(tokens []string) ([]synth.SegLabel, []float64)
+}
+
+// Composite combines a segmentation-only model and a weight-only model into
+// one Tagger — the paper's single-task ("ST") baseline.
+type Composite struct {
+	Seg    *Model
+	Weight *Model
+}
+
+// Predict merges the two single-task models' outputs.
+func (c Composite) Predict(tokens []string) ([]synth.SegLabel, []float64) {
+	seg, _ := c.Seg.Predict(tokens)
+	_, weights := c.Weight.Predict(tokens)
+	return seg, weights
+}

@@ -1,0 +1,268 @@
+package tagmining
+
+import (
+	"testing"
+
+	"intellitag/internal/synth"
+	"intellitag/internal/textproc"
+)
+
+// miniWorld caches a small world and its labeled sentences for the tests.
+var miniWorld = synth.Generate(synth.SmallConfig())
+
+func trainTestSplit(sentences []synth.LabeledSentence) (train, test []synth.LabeledSentence) {
+	cut := len(sentences) * 9 / 10
+	return sentences[:cut], sentences[cut:]
+}
+
+func trainedMT(t *testing.T) *Model {
+	t.Helper()
+	sentences := miniWorld.LabeledSentences()
+	train, _ := trainTestSplit(sentences)
+	vocab := BuildVocab(train)
+	cfg := TeacherConfig()
+	cfg.Dim = 24
+	cfg.Layers = 2
+	cfg.Heads = 2
+	m := NewModel(cfg, vocab)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 3
+	TrainMultiTask(m, train, tc)
+	return m
+}
+
+func TestModelShapes(t *testing.T) {
+	vocab := textproc.NewVocab()
+	vocab.Add("alpha")
+	vocab.Add("beta")
+	m := NewModel(ModelConfig{Dim: 8, Layers: 1, Heads: 2, SegHead: true, WeightHead: true, MaxLen: 16, Seed: 1}, vocab)
+	seg, w := m.Predict([]string{"alpha", "beta", "unseen"})
+	if len(seg) != 3 || len(w) != 3 {
+		t.Fatalf("predict lengths: %d, %d", len(seg), len(w))
+	}
+	for _, p := range w {
+		if p < 0 || p > 1 {
+			t.Fatalf("weight %v outside [0,1]", p)
+		}
+	}
+	if m.NumParams() == 0 {
+		t.Fatal("no params")
+	}
+}
+
+func TestModelTruncatesLongInput(t *testing.T) {
+	vocab := textproc.NewVocab()
+	m := NewModel(ModelConfig{Dim: 8, Layers: 1, Heads: 2, SegHead: true, WeightHead: true, MaxLen: 4, Seed: 1}, vocab)
+	tokens := []string{"a", "b", "c", "d", "e", "f"}
+	seg, w := m.Predict(tokens)
+	if len(seg) != 4 || len(w) != 4 {
+		t.Fatalf("truncation failed: %d, %d", len(seg), len(w))
+	}
+}
+
+func TestSingleHeadModels(t *testing.T) {
+	vocab := textproc.NewVocab()
+	vocab.Add("x")
+	segOnly := NewModel(ModelConfig{Dim: 8, Layers: 1, Heads: 2, SegHead: true, MaxLen: 8, Seed: 1}, vocab)
+	weightOnly := NewModel(ModelConfig{Dim: 8, Layers: 1, Heads: 2, WeightHead: true, MaxLen: 8, Seed: 2}, vocab)
+	seg, w := segOnly.Predict([]string{"x"})
+	if len(seg) != 1 || w[0] != 0 {
+		t.Fatal("seg-only model should return zero weights")
+	}
+	seg, w = weightOnly.Predict([]string{"x"})
+	if seg[0] != synth.Outside || len(w) != 1 {
+		t.Fatal("weight-only model should return Outside labels")
+	}
+	comp := Composite{Seg: segOnly, Weight: weightOnly}
+	seg, w = comp.Predict([]string{"x"})
+	if len(seg) != 1 || len(w) != 1 {
+		t.Fatal("composite predict failed")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	sentences := miniWorld.LabeledSentences()[:120]
+	vocab := BuildVocab(sentences)
+	cfg := StudentConfig()
+	m := NewModel(cfg, vocab)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 1
+	first := TrainMultiTask(m, sentences, tc)
+	tc.Epochs = 3
+	m2 := NewModel(cfg, vocab)
+	last := TrainMultiTask(m2, sentences, tc)
+	if last >= first {
+		t.Fatalf("loss did not decrease: epoch1 %v vs epoch3 %v", first, last)
+	}
+}
+
+func TestTrainedModelBeatsUntrained(t *testing.T) {
+	sentences := miniWorld.LabeledSentences()
+	train, test := trainTestSplit(sentences)
+	vocab := BuildVocab(train)
+	untrained := NewModel(StudentConfig(), vocab)
+	trained := trainedMT(t)
+
+	uF1 := EvaluateSpans(untrained, test, 0.5, nil).F1
+	tF1 := EvaluateSpans(trained, test, 0.5, nil).F1
+	if tF1 <= uF1 {
+		t.Fatalf("trained F1 %v <= untrained %v", tF1, uF1)
+	}
+	if tF1 < 0.5 {
+		t.Fatalf("trained F1 %v too low to be learning", tF1)
+	}
+}
+
+func TestExtractAggregates(t *testing.T) {
+	trained := trainedMT(t)
+	sentences := miniWorld.LabeledSentences()
+	var tokens [][]string
+	for _, s := range sentences[:min(200, len(sentences))] {
+		tokens = append(tokens, s.Tokens)
+	}
+	mined := Extract(trained, tokens, 0.5)
+	if len(mined) == 0 {
+		t.Fatal("no tags mined")
+	}
+	// Sorted by count descending.
+	for i := 1; i < len(mined); i++ {
+		if mined[i].Count > mined[i-1].Count {
+			t.Fatal("not sorted by count")
+		}
+	}
+	// A healthy share of mined phrases should be real tags.
+	real := 0
+	for _, m := range mined {
+		if miniWorld.TagIDByPhrase(m.Phrase) >= 0 {
+			real++
+		}
+	}
+	if float64(real)/float64(len(mined)) < 0.5 {
+		t.Fatalf("only %d/%d mined tags are real", real, len(mined))
+	}
+}
+
+func TestApplyRulesImprovePrecisionOfMinedSet(t *testing.T) {
+	trained := trainedMT(t)
+	sentences := miniWorld.LabeledSentences()
+	var tokens [][]string
+	for _, s := range sentences {
+		tokens = append(tokens, s.Tokens)
+	}
+	mined := Extract(trained, tokens, 0.5)
+	stats := textproc.NewCorpusStats(tokens, 5)
+	// A stricter-than-default config so the filter provably removes some
+	// candidates on this small, accurately-mined set.
+	filtered := ApplyRules(mined, stats, RuleConfig{Threshold: 0.55, MinCount: 2})
+	if len(filtered) == 0 {
+		t.Fatal("rules removed everything")
+	}
+	if len(filtered) >= len(mined) {
+		t.Fatalf("rules removed nothing: %d -> %d", len(mined), len(filtered))
+	}
+	precision := func(tags []MinedTag) float64 {
+		real := 0
+		for _, m := range tags {
+			if miniWorld.TagIDByPhrase(m.Phrase) >= 0 {
+				real++
+			}
+		}
+		return float64(real) / float64(len(tags))
+	}
+	if precision(filtered) < precision(mined) {
+		t.Fatalf("rules lowered set precision: %v -> %v", precision(mined), precision(filtered))
+	}
+	for _, f := range filtered {
+		if f.RuleScore <= 0 {
+			t.Fatal("rule score not set")
+		}
+	}
+}
+
+func TestApplyRulesEmpty(t *testing.T) {
+	if got := ApplyRules(nil, textproc.NewCorpusStats(nil, 5), DefaultRuleConfig()); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDistilledStudentRetainsAccuracy(t *testing.T) {
+	sentences := miniWorld.LabeledSentences()
+	train, test := trainTestSplit(sentences)
+	teacher := trainedMT(t)
+	vocab := teacher.Vocab
+
+	student := NewModel(StudentConfig(), vocab)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 3
+	Distill(teacher, student, train, tc, 2.0, 0.5)
+
+	teacherF1 := EvaluateSpans(teacher, test, 0.5, nil).F1
+	studentF1 := EvaluateSpans(student, test, 0.5, nil).F1
+	if studentF1 < teacherF1-0.25 {
+		t.Fatalf("student F1 %v collapsed vs teacher %v", studentF1, teacherF1)
+	}
+	if student.NumParams() >= teacher.NumParams() {
+		t.Fatal("student not smaller than teacher")
+	}
+}
+
+func TestEvaluateSpansPerfectTagger(t *testing.T) {
+	// An oracle that returns the gold labels must score F1 = 1.
+	sentences := miniWorld.LabeledSentences()[:min(50, len(miniWorld.LabeledSentences()))]
+	oracle := oracleTagger{byText: map[string]synth.LabeledSentence{}}
+	for _, s := range sentences {
+		oracle.byText[key(s.Tokens)] = s
+	}
+	r := EvaluateSpans(oracle, sentences, 0.5, nil)
+	if r.F1 != 1 {
+		t.Fatalf("oracle F1 = %v", r.F1)
+	}
+}
+
+type oracleTagger struct {
+	byText map[string]synth.LabeledSentence
+}
+
+func key(tokens []string) string {
+	out := ""
+	for _, t := range tokens {
+		out += t + "|"
+	}
+	return out
+}
+
+func (o oracleTagger) Predict(tokens []string) ([]synth.SegLabel, []float64) {
+	s := o.byText[key(tokens)]
+	w := make([]float64, len(tokens))
+	for i := range w {
+		if s.Seg[i] != synth.Outside {
+			w[i] = 1
+		}
+	}
+	return s.Seg, w
+}
+
+func TestAllowedSetFiltersEvaluation(t *testing.T) {
+	sentences := miniWorld.LabeledSentences()[:min(50, len(miniWorld.LabeledSentences()))]
+	oracle := oracleTagger{byText: map[string]synth.LabeledSentence{}}
+	for _, s := range sentences {
+		oracle.byText[key(s.Tokens)] = s
+	}
+	// Empty allowed set: everything filtered, recall 0.
+	r := EvaluateSpans(oracle, sentences, 0.5, map[string]bool{})
+	if r.Recall != 0 {
+		t.Fatalf("recall with empty allowed set = %v", r.Recall)
+	}
+}
+
+func TestMeasureInferenceScalesWithModel(t *testing.T) {
+	sentences := miniWorld.LabeledSentences()[:min(60, len(miniWorld.LabeledSentences()))]
+	vocab := BuildVocab(sentences)
+	big := NewModel(ModelConfig{Dim: 48, Layers: 4, Heads: 4, SegHead: true, WeightHead: true, MaxLen: 64, Seed: 1}, vocab)
+	small := NewModel(ModelConfig{Dim: 16, Layers: 1, Heads: 2, SegHead: true, WeightHead: true, MaxLen: 64, Seed: 2}, vocab)
+	tBig := MeasureInference(big, sentences)
+	tSmall := MeasureInference(small, sentences)
+	if tSmall >= tBig {
+		t.Fatalf("small model not faster: %v vs %v", tSmall, tBig)
+	}
+}

@@ -1,0 +1,155 @@
+package tagmining
+
+import (
+	"intellitag/internal/mat"
+	"intellitag/internal/nn"
+	"intellitag/internal/synth"
+	"intellitag/internal/textproc"
+)
+
+// TrainConfig controls optimization.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64
+	Seed        int64
+}
+
+// DefaultTrainConfig matches the paper's optimizer settings (Adam, lr 1e-3,
+// weight decay 0.01, linear LR decay).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 4, LR: 1e-3, WeightDecay: 0.01, ClipNorm: 5, Seed: 17}
+}
+
+// BuildVocab constructs the miner vocabulary from labeled sentences.
+func BuildVocab(sentences []synth.LabeledSentence) *textproc.Vocab {
+	docs := make([][]string, len(sentences))
+	for i, s := range sentences {
+		docs[i] = s.Tokens
+	}
+	return textproc.BuildVocab(docs, 1)
+}
+
+// TrainMultiTask trains a model jointly on tag segmentation and word
+// weighting with equal task weights (the paper's setting). Models whose
+// config disables a head simply skip that head's loss, so the same routine
+// also trains the single-task variants.
+func TrainMultiTask(model *Model, sentences []synth.LabeledSentence, cfg TrainConfig) float64 {
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	model.SetTrain(true)
+	totalSteps := cfg.Epochs * len(sentences)
+	step := 0
+	var lastEpochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sentences))
+		var epochLoss float64
+		for _, idx := range perm {
+			s := sentences[idx]
+			if len(s.Tokens) == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			model.params.ZeroGrad()
+			segLogits, wLogits, backward := model.forward(s.Tokens)
+			n := len(model.truncate(s.Tokens))
+			var dSeg *mat.Matrix
+			var dW []float64
+			var loss float64
+			if segLogits != nil {
+				dSeg = mat.New(n, numSegClasses)
+				for i := 0; i < n; i++ {
+					li, grad := nn.SoftmaxCrossEntropy(segLogits.Row(i), int(s.Seg[i]))
+					loss += li
+					dSeg.SetRow(i, grad)
+				}
+			}
+			if wLogits != nil {
+				dW = make([]float64, n)
+				for i := 0; i < n; i++ {
+					li, g := nn.BinaryCrossEntropy(wLogits[i], s.Weights[i])
+					loss += li
+					dW[i] = g
+				}
+			}
+			// Normalize by length so long sentences do not dominate.
+			scale := 1 / float64(n)
+			if dSeg != nil {
+				mat.ScaleInPlace(dSeg, scale)
+			}
+			for i := range dW {
+				dW[i] *= scale
+			}
+			backward(dSeg, dW)
+			nn.ClipGradNorm(model.Params(), cfg.ClipNorm)
+			opt.Step(model.Params())
+			epochLoss += loss * scale
+		}
+		lastEpochLoss = epochLoss / float64(len(sentences))
+	}
+	model.SetTrain(false)
+	return lastEpochLoss
+}
+
+// Distill trains the student on the teacher's soft targets blended with the
+// hard labels (Hinton et al.), the paper's strategy for fast daily
+// inference. Alpha balances hard-label loss vs distillation loss.
+func Distill(teacher *Model, student *Model, sentences []synth.LabeledSentence, cfg TrainConfig, temperature, alpha float64) float64 {
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed + 1)
+	teacher.SetTrain(false)
+	student.SetTrain(true)
+	totalSteps := cfg.Epochs * len(sentences)
+	step := 0
+	var lastEpochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sentences))
+		var epochLoss float64
+		for _, idx := range perm {
+			s := sentences[idx]
+			if len(s.Tokens) == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			tSeg, tW, _ := teacher.forward(s.Tokens)
+			student.params.ZeroGrad()
+			sSeg, sW, backward := student.forward(s.Tokens)
+			n := len(student.truncate(s.Tokens))
+			dSeg := mat.New(n, numSegClasses)
+			dW := make([]float64, n)
+			var loss float64
+			for i := 0; i < n; i++ {
+				// Hard segmentation loss.
+				hardLoss, hardGrad := nn.SoftmaxCrossEntropy(sSeg.Row(i), int(s.Seg[i]))
+				// Soft distillation loss against teacher logits.
+				softLoss, softGrad := nn.KLSoftDistill(tSeg.Row(i), sSeg.Row(i), temperature)
+				loss += alpha*hardLoss + (1-alpha)*softLoss
+				row := dSeg.Row(i)
+				for j := range row {
+					row[j] = alpha*hardGrad[j] + (1-alpha)*softGrad[j]
+				}
+				// Weight head: hard BCE plus soft target regression toward
+				// the teacher's probability.
+				hw, hg := nn.BinaryCrossEntropy(sW[i], s.Weights[i])
+				sw, sg := nn.BinaryCrossEntropy(sW[i], nn.Sigmoid(tW[i]))
+				loss += alpha*hw + (1-alpha)*sw
+				dW[i] = alpha*hg + (1-alpha)*sg
+			}
+			scale := 1 / float64(n)
+			mat.ScaleInPlace(dSeg, scale)
+			for i := range dW {
+				dW[i] *= scale
+			}
+			backward(dSeg, dW)
+			nn.ClipGradNorm(student.Params(), cfg.ClipNorm)
+			opt.Step(student.Params())
+			epochLoss += loss * scale
+		}
+		lastEpochLoss = epochLoss / float64(len(sentences))
+	}
+	student.SetTrain(false)
+	return lastEpochLoss
+}

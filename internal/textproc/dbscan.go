@@ -1,0 +1,78 @@
+package textproc
+
+import "intellitag/internal/mat"
+
+// DBSCAN clusters points by density (Ester et al. 1996), as the paper uses to
+// group user questions before choosing representative questions. Distance is
+// cosine distance (1 - cosine similarity), appropriate for unit-norm text
+// embeddings.
+//
+// The returned slice assigns each point a cluster id >= 0, or Noise (-1).
+func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	const (
+		unvisited = -2
+		// Noise marks points not assigned to any cluster.
+		noise = -1
+	)
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	neighborsOf := func(i int) []int {
+		var nb []int
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if 1-mat.CosineSim(points[i], points[j]) <= eps {
+				nb = append(nb, j)
+			}
+		}
+		return nb
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighborsOf(i)
+		if len(nb)+1 < minPts {
+			labels[i] = noise
+			continue
+		}
+		labels[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			nbj := neighborsOf(j)
+			if len(nbj)+1 >= minPts {
+				queue = append(queue, nbj...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}
+
+// Noise is the DBSCAN label for points in no cluster.
+const Noise = -1
+
+// ClusterMembers groups point indices by cluster id, skipping noise.
+func ClusterMembers(labels []int) map[int][]int {
+	out := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			out[l] = append(out[l], i)
+		}
+	}
+	return out
+}

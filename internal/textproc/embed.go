@@ -1,0 +1,116 @@
+package textproc
+
+import (
+	"hash/fnv"
+	"math"
+
+	"intellitag/internal/mat"
+)
+
+// Embedder turns text into fixed-dimension vectors. It substitutes for the
+// pretrained Transformer the paper feeds into DBSCAN (Section III-A): each
+// word receives a deterministic hash-seeded base vector refined by corpus
+// co-occurrence smoothing, and a sentence embedding is the IDF-weighted mean
+// of its word vectors. The result preserves what the pipeline needs — texts
+// about the same topic land near each other — without pretrained weights.
+type Embedder struct {
+	Dim     int
+	stats   *CorpusStats
+	vecs    map[string][]float64
+	smoothK int
+}
+
+// NewEmbedder builds an embedder over the tokenized corpus.
+func NewEmbedder(dim int, docs [][]string) *Embedder {
+	e := &Embedder{
+		Dim:     dim,
+		stats:   NewCorpusStats(docs, 5),
+		vecs:    map[string][]float64{},
+		smoothK: 1,
+	}
+	// Base hash vectors.
+	for w := range e.stats.TermFreq {
+		e.vecs[w] = hashVector(w, dim)
+	}
+	// One smoothing pass: pull co-occurring words together so synonym-ish
+	// words used in the same questions embed nearby.
+	smoothed := make(map[string][]float64, len(e.vecs))
+	for w, v := range e.vecs {
+		acc := append([]float64(nil), v...)
+		var weight float64 = 1
+		for pair, c := range e.stats.coocCount {
+			var other string
+			switch {
+			case pair[0] == w:
+				other = pair[1]
+			case pair[1] == w:
+				other = pair[0]
+			default:
+				continue
+			}
+			wgt := math.Log1p(float64(c)) * 0.3
+			mat.AXPY(wgt, e.vecs[other], acc)
+			weight += wgt
+		}
+		for i := range acc {
+			acc[i] /= weight
+		}
+		smoothed[w] = acc
+	}
+	e.vecs = smoothed
+	return e
+}
+
+// hashVector returns a deterministic unit vector derived from the word.
+func hashVector(w string, dim int) []float64 {
+	h := fnv.New64a()
+	h.Write([]byte(w))
+	g := mat.NewRNG(int64(h.Sum64()))
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = g.NormFloat64()
+	}
+	n := mat.Norm(v)
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// WordVec returns the embedding of w (a deterministic hash vector for
+// out-of-corpus words).
+func (e *Embedder) WordVec(w string) []float64 {
+	if v, ok := e.vecs[w]; ok {
+		return v
+	}
+	return hashVector(w, e.Dim)
+}
+
+// Embed returns the IDF-weighted mean word vector of the tokens, normalized
+// to unit length (the zero vector for empty input).
+func (e *Embedder) Embed(tokens []string) []float64 {
+	out := make([]float64, e.Dim)
+	if len(tokens) == 0 {
+		return out
+	}
+	var total float64
+	for _, w := range tokens {
+		idf := e.stats.IDF(w)
+		mat.AXPY(idf, e.WordVec(w), out)
+		total += idf
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	if n := mat.Norm(out); n > 0 {
+		for i := range out {
+			out[i] /= n
+		}
+	}
+	return out
+}
+
+// EmbedText tokenizes and embeds raw text.
+func (e *Embedder) EmbedText(s string) []float64 { return e.Embed(Tokenize(s)) }

@@ -1,0 +1,62 @@
+package textproc
+
+import "strings"
+
+// AnswerSelector performs extractive answer selection: given a question and a
+// set of candidate reply texts (the paper's "user's high-rated content to
+// questions replied by manual customer service"), it scores candidates and
+// picks the best span. It substitutes for the machine-reading-comprehension
+// model of Section III-A with an overlap + brevity scorer that preserves the
+// pipeline's behavior: the reply most lexically aligned with the question
+// wins.
+type AnswerSelector struct {
+	stats *CorpusStats
+}
+
+// NewAnswerSelector builds a selector over a tokenized reply corpus.
+func NewAnswerSelector(replies [][]string) *AnswerSelector {
+	return &AnswerSelector{stats: NewCorpusStats(replies, 5)}
+}
+
+// Score rates how well a candidate reply answers a question: IDF-weighted
+// token overlap, lightly penalized for extreme length.
+func (a *AnswerSelector) Score(question, reply []string) float64 {
+	if len(reply) == 0 {
+		return 0
+	}
+	qset := map[string]bool{}
+	for _, w := range question {
+		qset[w] = true
+	}
+	var overlap float64
+	for _, w := range reply {
+		if qset[w] {
+			overlap += a.stats.IDF(w)
+		}
+	}
+	// Mild length normalization keeps rambling replies from winning on raw
+	// overlap alone.
+	lengthPenalty := 1.0
+	if len(reply) > 40 {
+		lengthPenalty = 40.0 / float64(len(reply))
+	}
+	return overlap * lengthPenalty
+}
+
+// SelectAnswer returns the index of the best reply for the question, or -1
+// when no candidate scores above zero.
+func (a *AnswerSelector) SelectAnswer(question string, replies []string) int {
+	q := Tokenize(question)
+	best, bestScore := -1, 0.0
+	for i, r := range replies {
+		if s := a.Score(q, Tokenize(r)); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// NormalizeQuestion canonicalizes a question string for dedup comparisons.
+func NormalizeQuestion(q string) string {
+	return strings.Join(Tokenize(q), " ")
+}

@@ -1,0 +1,113 @@
+package textproc
+
+import (
+	"math"
+)
+
+// CorpusStats holds the document-frequency, term-frequency and co-occurrence
+// statistics the tag post-processing rules need (Section III-B: tag
+// frequency, IDF, PMI).
+type CorpusStats struct {
+	NumDocs   int
+	TermFreq  map[string]int // total occurrences across the corpus
+	DocFreq   map[string]int // number of documents containing the term
+	coocCount map[[2]string]int
+	totalWin  int // number of co-occurrence windows observed
+}
+
+// NewCorpusStats computes statistics over tokenized documents. Co-occurrence
+// is counted within a sliding window of the given size (window >= 2) for PMI.
+func NewCorpusStats(docs [][]string, window int) *CorpusStats {
+	if window < 2 {
+		window = 2
+	}
+	s := &CorpusStats{
+		NumDocs:   len(docs),
+		TermFreq:  map[string]int{},
+		DocFreq:   map[string]int{},
+		coocCount: map[[2]string]int{},
+	}
+	for _, doc := range docs {
+		seen := map[string]bool{}
+		for _, w := range doc {
+			s.TermFreq[w]++
+			if !seen[w] {
+				seen[w] = true
+				s.DocFreq[w]++
+			}
+		}
+		for i := range doc {
+			for j := i + 1; j < len(doc) && j < i+window; j++ {
+				s.coocCount[pairKey(doc[i], doc[j])]++
+				s.totalWin++
+			}
+		}
+	}
+	return s
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// IDF returns the smoothed inverse document frequency of term.
+func (s *CorpusStats) IDF(term string) float64 {
+	df := s.DocFreq[term]
+	return math.Log(float64(s.NumDocs+1)/float64(df+1)) + 1
+}
+
+// PMI returns the pointwise mutual information between two words, the rule
+// (4) signal of the paper's post-processing ("averaged PMI between any two
+// words in a tag reflects semantic consistency"). Unseen pairs return a
+// strongly negative score.
+func (s *CorpusStats) PMI(a, b string) float64 {
+	const floor = -10
+	if s.totalWin == 0 {
+		return floor
+	}
+	co := s.coocCount[pairKey(a, b)]
+	if co == 0 {
+		return floor
+	}
+	total := 0
+	for _, c := range s.TermFreq {
+		total += c
+	}
+	pa := float64(s.TermFreq[a]) / float64(total)
+	pb := float64(s.TermFreq[b]) / float64(total)
+	pab := float64(co) / float64(s.totalWin)
+	if pa == 0 || pb == 0 {
+		return floor
+	}
+	return math.Log(pab / (pa * pb))
+}
+
+// AvgPMI returns the mean PMI over all unordered word pairs of a multi-word
+// tag; single-word tags score 0 (vacuously consistent).
+func (s *CorpusStats) AvgPMI(words []string) float64 {
+	if len(words) < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := range words {
+		for j := i + 1; j < len(words); j++ {
+			sum += s.PMI(words[i], words[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// TFIDF returns the tf-idf weight of term within a document represented by
+// its token counts.
+func (s *CorpusStats) TFIDF(term string, docCounts map[string]int, docLen int) float64 {
+	if docLen == 0 {
+		return 0
+	}
+	tf := float64(docCounts[term]) / float64(docLen)
+	return tf * s.IDF(term)
+}
