@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the full pre-merge gate: formatting,
+# vet, build, the race-enabled test suite, and a short benchmark pass to catch
+# gross performance regressions.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench bench-short
+
+check: fmt vet build test bench-short
+
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt required on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One quick iteration of the parallel-scaling benchmarks; see EXPERIMENTS.md
+# for the recorded sweep.
+bench-short:
+	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchtime 1x .
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -1,0 +1,148 @@
+// Parallel-scaling benchmarks for the batched execution layer: the same
+// three hot paths the paper cares about — training, offline embedding
+// inference, online recommendation — at 1, 2 and NumCPU workers. The
+// before/after table lives in EXPERIMENTS.md.
+package intellitag_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"intellitag/internal/core"
+	"intellitag/internal/eval"
+	"intellitag/internal/serving"
+	"intellitag/internal/synth"
+)
+
+// workerCounts returns the sweep {1, 2, NumCPU} without duplicates.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallelTrainEpoch: one end-to-end training epoch with batch 8 at
+// each worker count. The final parameters are identical across the sweep;
+// only wall clock changes.
+func BenchmarkParallelTrainEpoch(b *testing.B) {
+	sessions := benchSessions()[:100]
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	graph := benchWorld.BuildGraph(train)
+	cfg := core.DefaultConfig()
+	cfg.Dim, cfg.Heads = 16, 2
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			tc := core.DefaultTrainConfig()
+			tc.Epochs = 1
+			tc.BatchSize = 8
+			tc.Workers = w
+			for i := 0; i < b.N; i++ {
+				m := core.Build(cfg, graph, nil)
+				core.TrainEndToEnd(m, sessions, tc)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelEmbedAll: the offline inference sweep that produces the
+// serving embedding table.
+func BenchmarkParallelEmbedAll(b *testing.B) {
+	m := newBenchIntelliTag()
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			m.Graph.Workers = w
+			for i := 0; i < b.N; i++ {
+				m.Graph.EmbedAll()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelRecommendTags: concurrent recommendation requests against
+// one engine whose scorer pool holds w replicas (the serving throughput
+// story; per-request latency is BenchmarkTableVI_ServingLatency).
+func BenchmarkParallelRecommendTags(b *testing.B) {
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	catalog, index := serving.BuildCatalog(benchWorld, train)
+	m := newBenchIntelliTag()
+	m.Freeze()
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			engine := serving.NewEngine(catalog, index, m, nil, nil)
+			engine.SetWorkers(w)
+			engine.Click(0, 1, catalog.TenantTags[0][0], 5)
+			b.SetParallelism(1) // GOMAXPROCS goroutines total
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					engine.RecommendTags(0, 1, 5)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServingScorePaperScale compares the two scoring paths at the
+// paper's production scale (dim 100, 4 heads, 2 layers, ~2000 tags): the
+// original full-vocabulary projection (NextLogits, then index the
+// candidates) versus candidate-column scoring, which projects only the last
+// position onto the candidates' output columns. At this scale the Dim x
+// NumTags projection rivals the Transformer trunk, so skipping it roughly
+// halves the request; the scores are bit-identical
+// (TestScoreCandidatesMatchesNextLogits).
+func BenchmarkServingScorePaperScale(b *testing.B) {
+	cfg := synth.SmallConfig()
+	cfg.NumTopics = 25
+	cfg.TagsPerTopic = 80
+	cfg.NumSessions = 300
+	w := synth.Generate(cfg)
+	train, _, _ := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(train)
+
+	mcfg := core.DefaultConfig()
+	mcfg.Dim, mcfg.Heads = 100, 4 // the paper's production setting
+	m := core.Build(mcfg, graph, nil)
+	m.Freeze()
+
+	history := make([]int, mcfg.MaxLen-1) // full-length session
+	for i := range history {
+		history[i] = i % w.NumTags()
+	}
+	cands := w.TagsOfTenant(0)
+
+	b.Run("full-vocabulary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			logits := m.NextLogits(history)
+			out := make([]float64, len(cands))
+			for j, c := range cands {
+				out[j] = logits[c]
+			}
+		}
+	})
+	b.Run("candidate-columns", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.ScoreCandidates(history, cands)
+		}
+	})
+}
+
+// BenchmarkParallelRankingSweep: the shared 49-negative offline evaluation
+// loop at each worker count.
+func BenchmarkParallelRankingSweep(b *testing.B) {
+	m := newBenchIntelliTag()
+	m.Freeze()
+	_, _, test := benchWorld.SplitSessions(0.8, 0.1)
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			p := eval.DefaultProtocol()
+			p.MaxQueries = 200
+			p.Workers = w
+			for i := 0; i < b.N; i++ {
+				eval.EvaluateRanking(m, benchWorld, test, p)
+			}
+		})
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|tableII|tableIII|tableIV|tableV|tableVI|fig5|fig6|fig7] [-fast] [-seed N]
+//	experiments [-run all|tableII|tableIII|tableIV|tableV|tableVI|fig5|fig6|fig7] [-fast] [-seed N] [-batch 8] [-workers 0]
 //
 // -fast shrinks the world and epoch counts for a quick smoke run; the
 // default configuration is the experiment-scale reproduction reported in
@@ -24,6 +24,8 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, tableII, tableIII, tableIV, tableV, tableVI, fig5, fig6, fig7, extensions")
 	fast := flag.Bool("fast", false, "use the small fast configuration")
 	seed := flag.Int64("seed", 0, "override the world seed (0 keeps the default)")
+	batch := flag.Int("batch", 1, "training mini-batch size (1 = the paper's per-sample updates)")
+	workers := flag.Int("workers", 0, "parallel workers for training/inference/eval (0 = all CPUs)")
 	flag.Parse()
 
 	opts := eval.DefaultOptions()
@@ -33,6 +35,7 @@ func main() {
 	if *seed != 0 {
 		opts.World.Seed = *seed
 	}
+	opts.SetParallelism(*batch, *workers)
 
 	fmt.Printf("Building world (seed %d: %d tenants, %d sessions)...\n",
 		opts.World.Seed, opts.World.NumTenants, opts.World.NumSessions)

@@ -30,6 +30,8 @@ func main() {
 	fast := flag.Bool("fast", true, "train the small fast configuration")
 	seed := flag.Int64("seed", 1, "world seed")
 	matcher := flag.Bool("matcher", true, "train and serve the Q&A matcher (reranks /ask results)")
+	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
+	workers := flag.Int("workers", 0, "parallel workers for training and request scoring (0 = all CPUs)")
 	flag.Parse()
 
 	worldCfg := synth.DefaultConfig()
@@ -49,11 +51,14 @@ func main() {
 		recCfg.Dim = 16
 		recCfg.Heads = 2
 	}
+	recCfg.Workers = *workers
 	model := core.Build(recCfg, graph, nil)
 	trainCfg := core.DefaultTrainConfig()
 	if *fast {
 		trainCfg.Epochs = 2
 	}
+	trainCfg.BatchSize = *batch
+	trainCfg.Workers = *workers
 	var clicks [][]int
 	for _, s := range train {
 		clicks = append(clicks, s.Clicks)
@@ -67,6 +72,7 @@ func main() {
 
 	catalog, index := serving.BuildCatalog(world, train)
 	engine := serving.NewEngine(catalog, index, model, store.NewLog(), nil)
+	engine.SetWorkers(*workers)
 
 	if *matcher {
 		log.Printf("training Q&A matcher...")
@@ -90,6 +96,10 @@ func main() {
 	server := serving.NewServer(serving.NewABRouter(engine))
 
 	fmt.Printf("IntelliTag server listening on %s\n", *addr)
-	fmt.Printf("try: curl -s -X POST localhost%s/recommend -d '{\"tenant\":0,\"session\":1,\"k\":5}'\n", *addr)
+	hint := *addr
+	if hint != "" && hint[0] == ':' {
+		hint = "localhost" + hint
+	}
+	fmt.Printf("try: curl -s -X POST %s/recommend -d '{\"tenant\":0,\"session\":1,\"k\":5}'\n", hint)
 	log.Fatal(http.ListenAndServe(*addr, server))
 }

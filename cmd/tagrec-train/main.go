@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tagrec-train [-fast] [-seed 1] [-mode e2e|static] [-epochs 6] [-dim 32]
+//	tagrec-train [-fast] [-seed 1] [-mode e2e|static] [-epochs 6] [-dim 32] [-batch 8] [-workers 0]
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 	mode := flag.String("mode", "e2e", "training mode: e2e (IntelliTag) or static (IntelliTag_st)")
 	epochs := flag.Int("epochs", 0, "override training epochs (0 keeps default)")
 	dim := flag.Int("dim", 0, "override embedding dimension (0 keeps default)")
+	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
+	workers := flag.Int("workers", 0, "parallel workers for training/inference/eval (0 = all CPUs)")
 	flag.Parse()
 
 	worldCfg := synth.DefaultConfig()
@@ -45,6 +47,7 @@ func main() {
 	if *dim > 0 {
 		recCfg.Dim = *dim
 	}
+	recCfg.Workers = *workers
 	trainCfg := core.DefaultTrainConfig()
 	if *fast {
 		trainCfg.Epochs = 2
@@ -52,6 +55,8 @@ func main() {
 	if *epochs > 0 {
 		trainCfg.Epochs = *epochs
 	}
+	trainCfg.BatchSize = *batch
+	trainCfg.Workers = *workers
 
 	var clicks [][]int
 	for _, s := range train {
@@ -74,7 +79,9 @@ func main() {
 	model.Freeze()
 	log.Printf("tag embedding table: %d x %d", model.Frozen.Rows, model.Frozen.Cols)
 
-	report := eval.EvaluateRanking(model, world, test, eval.DefaultProtocol())
+	protocol := eval.DefaultProtocol()
+	protocol.Workers = *workers
+	report := eval.EvaluateRanking(model, world, test, protocol)
 	fmt.Printf("\nOffline evaluation (%d queries, 49 same-tenant negatives):\n", report.N)
 	fmt.Printf("  MRR %.3f | NDCG@1 %.3f | NDCG@5 %.3f | NDCG@10 %.3f | HR@5 %.3f | HR@10 %.3f\n",
 		report.MRR, report.NDCG1, report.NDCG5, report.NDCG10, report.HR5, report.HR10)

@@ -86,7 +86,7 @@ func main() {
 	}
 
 	fmt.Println("\nFig 5(a)-style neighbor attention for \"bluetooth\" (metapath TT):")
-	ids, weights := model.Graph.NeighborWeights(0, hetgraph.TT)
+	ids, weights := model.Graph.Attention(0).NeighborWeights(hetgraph.TT)
 	for i, id := range ids {
 		fmt.Printf("  %-12s %.3f\n", tags[id], weights[i])
 	}
@@ -94,7 +94,7 @@ func main() {
 	fmt.Println("\nFig 5(b)-style metapath preferences:")
 	fmt.Printf("  %-12s %6s %6s %6s %6s\n", "tag", "TT", "TQT", "TQQT", "TQEQT")
 	for _, t := range []int{0, 3} { // bluetooth vs quota, as in the paper
-		w := model.Graph.MetapathWeights(t)
+		w := model.Graph.Attention(t).MetapathWeights()
 		fmt.Printf("  %-12s %6.3f %6.3f %6.3f %6.3f\n", tags[t], w[0], w[1], w[2], w[3])
 	}
 

@@ -3,6 +3,7 @@ package baselines
 import (
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/par"
 )
 
 // BERT4Rec (Sun et al. 2019) models the click sequence with a bidirectional
@@ -80,8 +81,65 @@ func (m *BERT4Rec) forward(items []int, masked map[int]bool) (*mat.Matrix, func(
 	return logits, backward
 }
 
-// Train runs Cloze-objective training.
+// Replicate returns a BERT4Rec sharing m's parameter values with private
+// gradients and caches (collector rebuilt in NewBERT4Rec order). Replica
+// dropout layers carry no RNG; the trainer seeds them per example.
+func (m *BERT4Rec) Replicate() *BERT4Rec {
+	r := &BERT4Rec{
+		NumItems: m.NumItems, Dim: m.Dim,
+		emb: m.emb.Replicate(), maskEmb: m.maskEmb.Shadow(),
+		pos: m.pos.Replicate(), enc: m.enc.Replicate(), proj: m.proj.Replicate(),
+		maskProb: m.maskProb, maxLen: m.maxLen,
+	}
+	r.params = nn.NewCollector()
+	r.params.Add(r.maskEmb)
+	r.emb.CollectParams(r.params)
+	r.pos.CollectParams(r.params)
+	r.enc.CollectParams(r.params)
+	r.proj.CollectParams(r.params)
+	return r
+}
+
+// ScorerReplicas returns n concurrent-safe scoring replicas for the sharded
+// serving/eval paths (same contract as core.Model.ScorerReplicas).
+func (m *BERT4Rec) ScorerReplicas(n int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = m.Replicate()
+	}
+	return out
+}
+
+// clozeStep accumulates one masked example's gradients into m's parameters
+// and returns the mask-averaged loss.
+func (m *BERT4Rec) clozeStep(s []int, masked map[int]bool) float64 {
+	logits, backward := m.forward(s, masked)
+	dLogits := mat.New(len(s), m.NumItems)
+	var loss float64
+	for i := range s {
+		if !masked[i] {
+			continue
+		}
+		li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), s[i])
+		loss += li
+		dLogits.SetRow(i, grad)
+	}
+	scale := 1 / float64(len(masked))
+	mat.ScaleInPlace(dLogits, scale)
+	backward(dLogits)
+	return loss * scale
+}
+
+// Train runs Cloze-objective training; BatchSize > 1 fans examples out over
+// replicas and merges gradients in slot order (same scheme as core).
 func (m *BERT4Rec) Train(sessions [][]int, cfg TrainConfig) float64 {
+	if cfg.batchSize() == 1 {
+		return m.trainPerSample(sessions, cfg)
+	}
+	return m.trainBatched(sessions, cfg)
+}
+
+func (m *BERT4Rec) trainPerSample(sessions [][]int, cfg TrainConfig) float64 {
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed)
 	m.enc.SetTrain(true)
@@ -108,24 +166,103 @@ func (m *BERT4Rec) Train(sessions [][]int, cfg TrainConfig) float64 {
 			masked[len(s)-1] = true
 
 			m.params.ZeroGrad()
-			logits, backward := m.forward(s, masked)
-			dLogits := mat.New(len(s), m.NumItems)
-			var loss float64
-			for i := range s {
-				if !masked[i] {
-					continue
-				}
-				li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), s[i])
-				loss += li
-				dLogits.SetRow(i, grad)
-			}
-			scale := 1 / float64(len(masked))
-			mat.ScaleInPlace(dLogits, scale)
-			backward(dLogits)
+			epochLoss += m.clozeStep(s, masked)
 			nn.ClipGradNorm(m.params.Params(), cfg.ClipNorm)
 			opt.Step(m.params.Params())
-			epochLoss += loss * scale
 			counted++
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	m.enc.SetTrain(false)
+	return lastLoss
+}
+
+// maskedExample is one prepared batch slot; the mask set and the replica's
+// dropout seed are drawn on the main goroutine before fan-out.
+type maskedExample struct {
+	session []int
+	masked  map[int]bool
+	seed    int64
+}
+
+func (m *BERT4Rec) trainBatched(sessions [][]int, cfg TrainConfig) float64 {
+	batch := cfg.batchSize()
+	pool := par.New(cfg.Workers)
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	params := m.params.Params()
+	m.enc.SetTrain(true)
+
+	valid := 0
+	for _, s := range sessions {
+		if len(s) > 0 {
+			valid++
+		}
+	}
+	if valid == 0 {
+		m.enc.SetTrain(false)
+		return 0
+	}
+	numBatches := (valid + batch - 1) / batch
+	totalSteps := cfg.Epochs * numBatches
+
+	replicas := make([]*BERT4Rec, batch)
+	repParams := make([][]*nn.Param, batch)
+	for j := range replicas {
+		replicas[j] = m.Replicate()
+		replicas[j].enc.SetTrain(true)
+		repParams[j] = replicas[j].params.Params()
+	}
+
+	step := 0
+	var lastLoss float64
+	losses := make([]float64, batch)
+	examples := make([]maskedExample, 0, batch)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		idx := 0
+		for idx < len(perm) {
+			examples = examples[:0]
+			for idx < len(perm) && len(examples) < batch {
+				s := clip(sessions[perm[idx]], m.maxLen)
+				idx++
+				if len(s) == 0 {
+					continue
+				}
+				masked := map[int]bool{}
+				for i := range s {
+					if rng.Float64() < m.maskProb {
+						masked[i] = true
+					}
+				}
+				masked[len(s)-1] = true
+				examples = append(examples, maskedExample{session: s, masked: masked, seed: rng.Int63()})
+			}
+			bl := len(examples)
+			if bl == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			m.params.ZeroGrad()
+			pool.For(bl, func(j int) {
+				ex := examples[j]
+				r := replicas[j]
+				r.enc.SetDropoutRNG(mat.NewRNG(ex.seed))
+				losses[j] = r.clozeStep(ex.session, ex.masked)
+			})
+			for j := 0; j < bl; j++ {
+				nn.MergeGrads(params, repParams[j])
+				epochLoss += losses[j]
+			}
+			counted += bl
+			nn.ScaleGrads(params, 1/float64(bl))
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
 		}
 		if counted > 0 {
 			lastLoss = epochLoss / float64(counted)

@@ -9,6 +9,7 @@ package baselines
 import (
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/par"
 )
 
 // TrainConfig mirrors the paper's shared optimizer setting for all models.
@@ -18,11 +19,25 @@ type TrainConfig struct {
 	WeightDecay float64
 	ClipNorm    float64
 	Seed        int64
+	// BatchSize is the number of examples per Adam step; <= 1 keeps the
+	// legacy per-sample loop. Same scheme as core.TrainConfig: batch slots
+	// map to fixed model replicas whose gradients merge in slot order, so
+	// results depend on the seed and batch size but never on Workers.
+	BatchSize int
+	// Workers bounds the goroutines per batch; <= 0 selects all CPUs.
+	Workers int
 }
 
 // DefaultTrainConfig returns Adam lr 1e-3, weight decay 0.01.
 func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 6, LR: 1e-3, WeightDecay: 0.01, ClipNorm: 5, Seed: 31}
+}
+
+func (cfg TrainConfig) batchSize() int {
+	if cfg.BatchSize < 1 {
+		return 1
+	}
+	return cfg.BatchSize
 }
 
 // GRU4Rec is the session-based RNN recommender of Hidasi et al. / Jannach &
@@ -73,9 +88,50 @@ func (m *GRU4Rec) state(history []int) ([]float64, func(dState []float64)) {
 	return last, backward
 }
 
+// Replicate returns a GRU4Rec sharing m's parameter values with private
+// gradients and caches (collector rebuilt in NewGRU4Rec order).
+func (m *GRU4Rec) Replicate() *GRU4Rec {
+	r := &GRU4Rec{
+		NumItems: m.NumItems, Dim: m.Dim, Hidden: m.Hidden,
+		emb: m.emb.Replicate(), gru: m.gru.Replicate(), out: m.out.Replicate(),
+		maxLen: m.maxLen,
+	}
+	r.params = nn.NewCollector()
+	r.emb.CollectParams(r.params)
+	r.gru.CollectParams(r.params)
+	r.out.CollectParams(r.params)
+	return r
+}
+
+// bprStep accumulates one (history, target, negative) example's BPR
+// gradients into m's parameters and returns its loss.
+func (m *GRU4Rec) bprStep(history []int, target, neg int) float64 {
+	state, backward := m.state(history)
+	posEmb := m.emb.Table.Value.Row(target)
+	negEmb := m.emb.Table.Value.Row(neg)
+	loss, dPos, dNeg := nn.BPRLoss(mat.Dot(state, posEmb), mat.Dot(state, negEmb))
+
+	dState := make([]float64, m.Dim)
+	mat.AXPY(dPos, posEmb, dState)
+	mat.AXPY(dNeg, negEmb, dState)
+	// Embedding-side gradients of the scoring dot products.
+	mat.AXPY(dPos, state, m.emb.Table.Grad.Row(target))
+	mat.AXPY(dNeg, state, m.emb.Table.Grad.Row(neg))
+	backward(dState)
+	return loss
+}
+
 // Train optimizes BPR loss over next-click prediction with one sampled
-// negative per step. Sessions are tag-id click sequences.
+// negative per step. Sessions are tag-id click sequences. BatchSize > 1
+// fans examples out over replicas and merges gradients in slot order.
 func (m *GRU4Rec) Train(sessions [][]int, cfg TrainConfig) float64 {
+	if cfg.batchSize() == 1 {
+		return m.trainPerSample(sessions, cfg)
+	}
+	return m.trainBatched(sessions, cfg)
+}
+
+func (m *GRU4Rec) trainPerSample(sessions [][]int, cfg TrainConfig) float64 {
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed)
 	var lastLoss float64
@@ -100,24 +156,96 @@ func (m *GRU4Rec) Train(sessions [][]int, cfg TrainConfig) float64 {
 			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
 			step++
 			m.params.ZeroGrad()
-
-			state, backward := m.state(history)
-			posEmb := m.emb.Table.Value.Row(target)
-			negEmb := m.emb.Table.Value.Row(neg)
-			loss, dPos, dNeg := nn.BPRLoss(mat.Dot(state, posEmb), mat.Dot(state, negEmb))
-
-			dState := make([]float64, m.Dim)
-			mat.AXPY(dPos, posEmb, dState)
-			mat.AXPY(dNeg, negEmb, dState)
-			// Embedding-side gradients of the scoring dot products.
-			mat.AXPY(dPos, state, m.emb.Table.Grad.Row(target))
-			mat.AXPY(dNeg, state, m.emb.Table.Grad.Row(neg))
-			backward(dState)
-
+			epochLoss += m.bprStep(history, target, neg)
 			nn.ClipGradNorm(m.params.Params(), cfg.ClipNorm)
 			opt.Step(m.params.Params())
-			epochLoss += loss
 			counted++
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	return lastLoss
+}
+
+// bprExample is one prepared batch slot; all randomness (prefix cut,
+// negative sample) is drawn on the main goroutine before fan-out.
+type bprExample struct {
+	history []int
+	target  int
+	neg     int
+}
+
+func (m *GRU4Rec) trainBatched(sessions [][]int, cfg TrainConfig) float64 {
+	batch := cfg.batchSize()
+	pool := par.New(cfg.Workers)
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	params := m.params.Params()
+
+	valid := 0
+	for _, s := range sessions {
+		if len(s) >= 2 {
+			valid++
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	numBatches := (valid + batch - 1) / batch
+	totalSteps := cfg.Epochs * numBatches
+
+	replicas := make([]*GRU4Rec, batch)
+	repParams := make([][]*nn.Param, batch)
+	for j := range replicas {
+		replicas[j] = m.Replicate()
+		repParams[j] = replicas[j].params.Params()
+	}
+
+	step := 0
+	var lastLoss float64
+	losses := make([]float64, batch)
+	examples := make([]bprExample, 0, batch)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		idx := 0
+		for idx < len(perm) {
+			examples = examples[:0]
+			for idx < len(perm) && len(examples) < batch {
+				s := sessions[perm[idx]]
+				idx++
+				if len(s) < 2 {
+					continue
+				}
+				cut := 1 + rng.Intn(len(s)-1)
+				target := s[cut]
+				neg := rng.Intn(m.NumItems)
+				for neg == target {
+					neg = rng.Intn(m.NumItems)
+				}
+				examples = append(examples, bprExample{history: s[:cut], target: target, neg: neg})
+			}
+			bl := len(examples)
+			if bl == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			m.params.ZeroGrad()
+			pool.For(bl, func(j int) {
+				ex := examples[j]
+				losses[j] = replicas[j].bprStep(ex.history, ex.target, ex.neg)
+			})
+			for j := 0; j < bl; j++ {
+				nn.MergeGrads(params, repParams[j])
+				epochLoss += losses[j]
+			}
+			counted += bl
+			nn.ScaleGrads(params, 1/float64(bl))
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
 		}
 		if counted > 0 {
 			lastLoss = epochLoss / float64(counted)

@@ -1,0 +1,72 @@
+package baselines
+
+import "testing"
+
+// batchedCfg returns the shared config for the worker-determinism tests.
+func batchedCfg(workers int) TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.BatchSize = 4
+	cfg.Workers = workers
+	return cfg
+}
+
+func assertSameParams(t *testing.T, name string, a, b []float64, la, lb float64) {
+	t.Helper()
+	if la != lb {
+		t.Fatalf("%s: loss diverges across worker counts: %v vs %v", name, la, lb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%s: parameter counts differ: %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: parameter %d diverges: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+func TestGRU4RecDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]float64, float64) {
+		m := NewGRU4Rec(world.NumTags(), 16, 16, 12, 7)
+		loss := m.Train(trainClicks()[:200], batchedCfg(workers))
+		var flat []float64
+		for _, p := range m.params.Params() {
+			flat = append(flat, p.Value.Data...)
+		}
+		return flat, loss
+	}
+	p1, l1 := run(1)
+	p4, l4 := run(4)
+	assertSameParams(t, "GRU4Rec", p1, p4, l1, l4)
+}
+
+func TestBERT4RecDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]float64, float64) {
+		m := NewBERT4Rec(world.NumTags(), 16, 2, 1, 12, 0.2, 7)
+		loss := m.Train(trainClicks()[:120], batchedCfg(workers))
+		var flat []float64
+		for _, p := range m.params.Params() {
+			flat = append(flat, p.Value.Data...)
+		}
+		return flat, loss
+	}
+	p1, l1 := run(1)
+	p4, l4 := run(4)
+	assertSameParams(t, "BERT4Rec", p1, p4, l1, l4)
+}
+
+func TestSRGNNDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]float64, float64) {
+		m := NewSRGNN(world.NumTags(), 16, 1, 12, 7)
+		loss := m.Train(trainClicks()[:120], batchedCfg(workers))
+		var flat []float64
+		for _, p := range m.params.Params() {
+			flat = append(flat, p.Value.Data...)
+		}
+		return flat, loss
+	}
+	p1, l1 := run(1)
+	p4, l4 := run(4)
+	assertSameParams(t, "SR-GNN", p1, p4, l1, l4)
+}

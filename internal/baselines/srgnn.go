@@ -5,6 +5,7 @@ import (
 
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/par"
 )
 
 // SRGNN is the session-graph recommender of Wu et al. (AAAI 2019): each
@@ -207,8 +208,57 @@ func (m *SRGNN) sessionEmbedding(history []int) ([]float64, func(dSession []floa
 
 func tanh(v float64) float64 { return math.Tanh(v) }
 
-// Train runs full-softmax next-click training over random session prefixes.
+// Replicate returns an SRGNN sharing m's parameter values with private
+// gradients and caches (collector rebuilt in NewSRGNN order).
+func (m *SRGNN) Replicate() *SRGNN {
+	r := &SRGNN{
+		NumItems: m.NumItems, Dim: m.Dim, Steps: m.Steps,
+		emb: m.emb.Replicate(), wIn: m.wIn.Replicate(), wOut: m.wOut.Replicate(),
+		q1: m.q1.Replicate(), q2: m.q2.Replicate(), qv: m.qv.Shadow(),
+		combine: m.combine.Replicate(), maxLen: m.maxLen,
+	}
+	r.params = nn.NewCollector()
+	r.emb.CollectParams(r.params)
+	r.wIn.CollectParams(r.params)
+	r.wOut.CollectParams(r.params)
+	r.q1.CollectParams(r.params)
+	r.q2.CollectParams(r.params)
+	r.params.Add(r.qv)
+	r.combine.CollectParams(r.params)
+	return r
+}
+
+// softmaxStep accumulates one (history, target) example's full-softmax
+// gradients into m's parameters and returns its loss.
+func (m *SRGNN) softmaxStep(history []int, target int) float64 {
+	session, backward := m.sessionEmbedding(history)
+	logits := make([]float64, m.NumItems)
+	for i := 0; i < m.NumItems; i++ {
+		logits[i] = mat.Dot(session, m.emb.Table.Value.Row(i))
+	}
+	loss, dLogits := nn.SoftmaxCrossEntropy(logits, target)
+	dSession := make([]float64, m.Dim)
+	for i, d := range dLogits {
+		if d == 0 {
+			continue
+		}
+		mat.AXPY(d, m.emb.Table.Value.Row(i), dSession)
+		mat.AXPY(d, session, m.emb.Table.Grad.Row(i))
+	}
+	backward(dSession)
+	return loss
+}
+
+// Train runs full-softmax next-click training over random session prefixes;
+// BatchSize > 1 fans examples out over replicas, merging in slot order.
 func (m *SRGNN) Train(sessions [][]int, cfg TrainConfig) float64 {
+	if cfg.batchSize() == 1 {
+		return m.trainPerSample(sessions, cfg)
+	}
+	return m.trainBatched(sessions, cfg)
+}
+
+func (m *SRGNN) trainPerSample(sessions [][]int, cfg TrainConfig) float64 {
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed)
 	totalSteps := cfg.Epochs * len(sessions)
@@ -224,30 +274,93 @@ func (m *SRGNN) Train(sessions [][]int, cfg TrainConfig) float64 {
 				continue
 			}
 			cut := 1 + rng.Intn(len(s)-1)
-			history, target := s[:cut], s[cut]
 			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
 			step++
 			m.params.ZeroGrad()
-
-			session, backward := m.sessionEmbedding(history)
-			logits := make([]float64, m.NumItems)
-			for i := 0; i < m.NumItems; i++ {
-				logits[i] = mat.Dot(session, m.emb.Table.Value.Row(i))
-			}
-			loss, dLogits := nn.SoftmaxCrossEntropy(logits, target)
-			dSession := make([]float64, m.Dim)
-			for i, d := range dLogits {
-				if d == 0 {
-					continue
-				}
-				mat.AXPY(d, m.emb.Table.Value.Row(i), dSession)
-				mat.AXPY(d, session, m.emb.Table.Grad.Row(i))
-			}
-			backward(dSession)
+			epochLoss += m.softmaxStep(s[:cut], s[cut])
 			nn.ClipGradNorm(m.params.Params(), cfg.ClipNorm)
 			opt.Step(m.params.Params())
-			epochLoss += loss
 			counted++
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	return lastLoss
+}
+
+// prefixExample is one prepared batch slot; the prefix cut is drawn on the
+// main goroutine before fan-out.
+type prefixExample struct {
+	history []int
+	target  int
+}
+
+func (m *SRGNN) trainBatched(sessions [][]int, cfg TrainConfig) float64 {
+	batch := cfg.batchSize()
+	pool := par.New(cfg.Workers)
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	params := m.params.Params()
+
+	valid := 0
+	for _, s := range sessions {
+		if len(s) >= 2 {
+			valid++
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	numBatches := (valid + batch - 1) / batch
+	totalSteps := cfg.Epochs * numBatches
+
+	replicas := make([]*SRGNN, batch)
+	repParams := make([][]*nn.Param, batch)
+	for j := range replicas {
+		replicas[j] = m.Replicate()
+		repParams[j] = replicas[j].params.Params()
+	}
+
+	step := 0
+	var lastLoss float64
+	losses := make([]float64, batch)
+	examples := make([]prefixExample, 0, batch)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		idx := 0
+		for idx < len(perm) {
+			examples = examples[:0]
+			for idx < len(perm) && len(examples) < batch {
+				s := sessions[perm[idx]]
+				idx++
+				if len(s) < 2 {
+					continue
+				}
+				cut := 1 + rng.Intn(len(s)-1)
+				examples = append(examples, prefixExample{history: s[:cut], target: s[cut]})
+			}
+			bl := len(examples)
+			if bl == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			m.params.ZeroGrad()
+			pool.For(bl, func(j int) {
+				ex := examples[j]
+				losses[j] = replicas[j].softmaxStep(ex.history, ex.target)
+			})
+			for j := 0; j < bl; j++ {
+				nn.MergeGrads(params, repParams[j])
+				epochLoss += losses[j]
+			}
+			counted += bl
+			nn.ScaleGrads(params, 1/float64(bl))
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
 		}
 		if counted > 0 {
 			lastLoss = epochLoss / float64(counted)

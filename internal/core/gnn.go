@@ -14,6 +14,7 @@ import (
 	"intellitag/internal/hetgraph"
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/par"
 )
 
 // leakySlope is the LeakyReLU negative slope of the neighbor attention.
@@ -50,6 +51,10 @@ type GraphEncoder struct {
 	// UniformMetapath disables metapath attention (w/o ma): path embeddings
 	// are averaged uniformly.
 	UniformMetapath bool
+
+	// Workers bounds the parallelism of EmbedAll (offline batch inference);
+	// <= 0 selects all CPUs, 1 keeps the sequential path.
+	Workers int
 
 	params *nn.Collector
 }
@@ -325,44 +330,105 @@ func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
 
 // EmbedAll runs Forward for every tag and returns the NumTags x Dim matrix
 // of embeddings — the offline inference step whose output the deployment
-// uploads to the online model servers (Section V-B).
+// uploads to the online model servers (Section V-B). Rows are computed on
+// the encoder's worker pool; each tag's embedding is independent and written
+// to its own row, so the result is identical at any worker count.
 func (e *GraphEncoder) EmbedAll() *mat.Matrix {
 	out := mat.New(e.NumTags, e.Dim)
-	for t := 0; t < e.NumTags; t++ {
+	par.New(e.Workers).For(e.NumTags, func(t int) {
 		z, _ := e.Forward(t)
 		out.SetRow(t, z)
-	}
+	})
 	return out
 }
 
-// MetapathWeights returns the softmax metapath attention values for a tag —
-// the Figure 5(b) case-study signal.
-func (e *GraphEncoder) MetapathWeights(tag int) []float64 {
+// Replicate returns an encoder whose parameters alias e's values but own
+// private gradient buffers, for concurrent per-example backward passes. The
+// neighbor cache, metapath list and ablation flags are shared (read-only).
+func (e *GraphEncoder) Replicate() *GraphEncoder {
+	r := &GraphEncoder{
+		Dim: e.Dim, Heads: e.Heads, NumTags: e.NumTags,
+		X:  e.X.Shadow(),
+		Wp: e.Wp.Shadow(), Bp: e.Bp.Shadow(), Vp: e.Vp.Shadow(),
+		Wl: e.Wl.Shadow(), Bl: e.Bl.Shadow(),
+		Neighbors:       e.Neighbors,
+		Paths:           e.Paths,
+		UniformNeighbor: e.UniformNeighbor,
+		UniformMetapath: e.UniformMetapath,
+		Workers:         1,
+	}
+	for _, hw := range e.Wn {
+		shadowed := make([]*nn.Param, len(hw))
+		for h, p := range hw {
+			shadowed[h] = p.Shadow()
+		}
+		r.Wn = append(r.Wn, shadowed)
+	}
+	// Rebuild the collector in the exact order of NewGraphEncoder so the
+	// replica's Params() align index-by-index with the master's for the
+	// ordered gradient merge.
+	r.params = nn.NewCollector()
+	r.params.Add(r.X, r.Wp, r.Bp, r.Vp, r.Wl, r.Bl)
+	for _, hw := range r.Wn {
+		r.params.Add(hw...)
+	}
+	return r
+}
+
+// TagAttention is a snapshot of both attention levels for one tag, extracted
+// from a single Forward call so the two Figure 5 signals never recompute the
+// encoder per query.
+type TagAttention struct {
+	heads int
+	paths []hetgraph.Metapath
+	beta  []float64
+	neigh [][]int
+	attn  [][][]float64
+}
+
+// Attention runs one Forward for the tag and captures both attention levels.
+func (e *GraphEncoder) Attention(tag int) *TagAttention {
 	_, cache := e.Forward(tag)
-	return cache.beta
+	return &TagAttention{heads: e.Heads, paths: e.Paths, beta: cache.beta, neigh: cache.neigh, attn: cache.attn}
+}
+
+// MetapathWeights returns a copy of the softmax metapath attention values —
+// the Figure 5(b) case-study signal.
+func (a *TagAttention) MetapathWeights() []float64 {
+	return append([]float64(nil), a.beta...)
+}
+
+// NeighborWeights returns copies of the neighbor ids (self first) and
+// head-averaged attention values under one metapath — the Figure 5(a)
+// signal. Both are nil when the path is not in the encoder's set.
+func (a *TagAttention) NeighborWeights(path hetgraph.Metapath) ([]int, []float64) {
+	for pi, p := range a.paths {
+		if p != path {
+			continue
+		}
+		ids := append([]int(nil), a.neigh[pi]...)
+		avg := make([]float64, len(ids))
+		for head := 0; head < a.heads; head++ {
+			for i, w := range a.attn[pi][head] {
+				avg[i] += w / float64(a.heads)
+			}
+		}
+		return ids, avg
+	}
+	return nil, nil
+}
+
+// MetapathWeights returns the metapath attention for one tag; callers that
+// also need NeighborWeights should take one Attention snapshot instead of
+// paying a Forward per query.
+func (e *GraphEncoder) MetapathWeights(tag int) []float64 {
+	return e.Attention(tag).MetapathWeights()
 }
 
 // NeighborWeights returns the neighbor ids (self first) and head-averaged
-// attention values for a tag under one metapath — the Figure 5(a) signal.
+// attention values for a tag under one metapath.
 func (e *GraphEncoder) NeighborWeights(tag int, path hetgraph.Metapath) ([]int, []float64) {
-	pi := -1
-	for i, p := range e.Paths {
-		if p == path {
-			pi = i
-		}
-	}
-	if pi < 0 {
-		return nil, nil
-	}
-	_, cache := e.Forward(tag)
-	ids := cache.neigh[pi]
-	avg := make([]float64, len(ids))
-	for head := 0; head < e.Heads; head++ {
-		for i, a := range cache.attn[pi][head] {
-			avg[i] += a / float64(e.Heads)
-		}
-	}
-	return ids, avg
+	return e.Attention(tag).NeighborWeights(path)
 }
 
 func leaky(v float64) float64 {

@@ -29,6 +29,11 @@ type Config struct {
 	// {TT, TQT, TQQT, TQEQT}); used by the metapath-ablation extension.
 	Metapaths []hetgraph.Metapath
 
+	// Workers bounds the parallelism of offline batch inference (EmbedAll);
+	// <= 0 selects all CPUs. Training parallelism is configured separately
+	// on TrainConfig.
+	Workers int
+
 	// TieProjection replaces the free Wt of eq. 11 with scoring against
 	// the node-feature table plus a per-tag bias (BERT4Rec-style weight
 	// tying). Off by default — the free projection matches the paper and
@@ -98,6 +103,50 @@ func NewModel(cfg Config, graph *GraphEncoder, g *mat.RNG) *Model {
 	m.allParams.Add(m.params.Params()...)
 	m.allParams.Add(graph.Params()...)
 	return m
+}
+
+// Replicate returns a model whose parameters alias m's values but own
+// private gradients and forward caches, so replicas can run forward/backward
+// concurrently. Both parameter collectors are rebuilt in NewModel's order,
+// keeping SeqParams/AllParams index-aligned with the master for the ordered
+// gradient merge; the Frozen table (when set) is shared read-only.
+func (m *Model) Replicate() *Model {
+	r := &Model{
+		Cfg:     m.Cfg,
+		NumTags: m.NumTags,
+		Graph:   m.Graph.Replicate(),
+		MaskEmb: m.MaskEmb.Shadow(),
+		Pos:     m.Pos.Replicate(),
+		Enc:     m.Enc.Replicate(),
+		Frozen:  m.Frozen,
+	}
+	r.params = nn.NewCollector()
+	r.params.Add(r.MaskEmb)
+	r.Pos.CollectParams(r.params)
+	r.Enc.CollectParams(r.params)
+	if m.Proj != nil {
+		r.Proj = m.Proj.Replicate()
+		r.Proj.CollectParams(r.params)
+	} else {
+		r.OutBias = m.OutBias.Shadow()
+		r.params.Add(r.OutBias, r.Graph.X)
+	}
+	r.allParams = nn.NewCollector()
+	r.allParams.Add(r.params.Params()...)
+	r.allParams.Add(r.Graph.Params()...)
+	return r
+}
+
+// ScorerReplicas returns n concurrent-safe scoring replicas (each with its
+// own forward caches, sharing m's parameter values). The []any return lets
+// both the serving engine and the eval harness adapt replicas to their own
+// Scorer interfaces without a dependency on this package's concrete type.
+func (m *Model) ScorerReplicas(n int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = m.Replicate()
+	}
+	return out
 }
 
 // SeqParams returns the sequence-side parameters only (static training's
@@ -240,13 +289,62 @@ func (m *Model) ContextualAttention(history []int) [][]*mat.Matrix {
 	return out
 }
 
+// lastHidden runs the sequence trunk — embeddings, positions, Transformer —
+// over the history plus a trailing mask slot and returns the final
+// position's hidden state (the h that eq. 11 projects over tags). It is the
+// inference-only counterpart of seqForward's trunk: scoring paths that need
+// a handful of tags project just this row instead of every position against
+// every tag.
+func (m *Model) lastHidden(history []int) []float64 {
+	items := append(clipHistory(history, m.Cfg.MaxLen-1), 0)
+	n := len(items)
+	x := mat.New(n, m.Cfg.Dim)
+	for i, tag := range items {
+		if i == n-1 { // mask slot
+			copy(x.Row(i), m.MaskEmb.Value.Row(0))
+			continue
+		}
+		z, _ := m.embed(tag)
+		copy(x.Row(i), z)
+	}
+	if m.Cfg.WithoutContextualAttention {
+		mean := mat.SumRows(x)
+		for j := range mean {
+			mean[j] /= float64(n)
+		}
+		return mean
+	}
+	h := m.Enc.Forward(m.Pos.Forward(x))
+	out := make([]float64, m.Cfg.Dim)
+	copy(out, h.Row(n-1))
+	return out
+}
+
+// scoreTag projects a hidden state onto one tag's output column, summing in
+// the same order as the full matrix product so the score is bit-identical
+// to NextLogits' entry for the tag.
+func (m *Model) scoreTag(h []float64, tag int) float64 {
+	var s float64
+	if m.Proj != nil {
+		w := m.Proj.W.Value
+		for k, hv := range h {
+			s += hv * w.At(k, tag)
+		}
+		return s + m.Proj.B.Value.At(0, tag)
+	}
+	return mat.Dot(h, m.Graph.X.Value.Row(tag)) + m.OutBias.Value.At(0, tag)
+}
+
 // ScoreCandidates scores candidate tags for the next click given the
-// history — the ranking interface shared with every baseline.
+// history — the ranking interface shared with every baseline. Only the
+// candidates' output columns are projected, so serving cost scales with the
+// candidate list, not the tag vocabulary.
 func (m *Model) ScoreCandidates(history []int, candidates []int) []float64 {
-	logits := m.NextLogits(history)
+	m.SetTrain(false)
+	h := m.lastHidden(history)
 	out := make([]float64, len(candidates))
 	for i, c := range candidates {
-		out[i] = logits[c]
+		out[i] = m.scoreTag(h, c)
 	}
 	return out
 }

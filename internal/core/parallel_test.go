@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"intellitag/internal/mat"
+	"intellitag/internal/synth"
+)
+
+// trainAtWorkers builds a model from a fixed seed, trains it end-to-end with
+// the given batch size / worker count, and returns the final parameter
+// vector.
+func trainAtWorkers(batch, workers int) ([]float64, float64) {
+	w := synth.Generate(synth.SmallConfig())
+	train, _, _ := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(train)
+
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	cfg.NeighborCap = 8
+	m := Build(cfg, graph, nil)
+
+	var sessions [][]int
+	for _, s := range train {
+		sessions = append(sessions, s.Clicks)
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 1
+	tc.BatchSize = batch
+	tc.Workers = workers
+	loss := TrainEndToEnd(m, ExpandPrefixes(sessions)[:120], tc)
+
+	var flat []float64
+	for _, p := range m.AllParams() {
+		flat = append(flat, p.Value.Data...)
+	}
+	return flat, loss
+}
+
+// TestTrainDeterministicAcrossWorkers is the tentpole guarantee: with a fixed
+// seed and batch size, the trained parameters are bit-identical whether the
+// batch fan-out runs on 1 worker or 4.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	p1, l1 := trainAtWorkers(4, 1)
+	p4, l4 := trainAtWorkers(4, 4)
+	if l1 != l4 {
+		t.Fatalf("loss diverges across worker counts: %v vs %v", l1, l4)
+	}
+	if len(p1) != len(p4) {
+		t.Fatalf("parameter counts differ: %d vs %d", len(p1), len(p4))
+	}
+	for i := range p1 {
+		if p1[i] != p4[i] {
+			t.Fatalf("parameter %d diverges across worker counts: %v vs %v", i, p1[i], p4[i])
+		}
+	}
+}
+
+// TestPretrainGraphDeterministicAcrossWorkers: same guarantee for the
+// link-prediction pretraining stage.
+func TestPretrainGraphDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]float64, float64) {
+		e := tinyEncoder(false, false)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 3
+		cfg.BatchSize = 4
+		cfg.Workers = workers
+		loss := PretrainGraph(e, tinyGraph(), cfg, 3)
+		var flat []float64
+		for _, p := range e.Params() {
+			flat = append(flat, p.Value.Data...)
+		}
+		return flat, loss
+	}
+	p1, l1 := run(1)
+	p4, l4 := run(4)
+	if l1 != l4 {
+		t.Fatalf("pretrain loss diverges: %v vs %v", l1, l4)
+	}
+	for i := range p1 {
+		if p1[i] != p4[i] {
+			t.Fatalf("pretrain parameter %d diverges: %v vs %v", i, p1[i], p4[i])
+		}
+	}
+}
+
+// TestPretrainBatchOneMatchesLegacyStream: with BatchSize 1 the batched code
+// path must consume the RNG stream exactly like the seed repo's interleaved
+// loop (negatives pre-drawn per edge draw the same values in the same order).
+func TestPretrainBatchOneMatchesLegacyStream(t *testing.T) {
+	run := func(batch int) float64 {
+		e := tinyEncoder(false, false)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 2
+		cfg.BatchSize = batch
+		return PretrainGraph(e, tinyGraph(), cfg, 3)
+	}
+	if run(0) != run(1) {
+		t.Fatal("BatchSize 0 and 1 should be the same path")
+	}
+}
+
+// TestEmbedAllParallelMatchesSequential: the offline embedding sweep must
+// produce identical embeddings at any worker count.
+func TestEmbedAllParallelMatchesSequential(t *testing.T) {
+	e := tinyEncoder(false, false)
+	e.Workers = 1
+	seq := e.EmbedAll()
+	e.Workers = 4
+	parl := e.EmbedAll()
+	for i := range seq.Data {
+		if seq.Data[i] != parl.Data[i] {
+			t.Fatalf("EmbedAll diverges at %d: %v vs %v", i, seq.Data[i], parl.Data[i])
+		}
+	}
+}
+
+// TestScoreCandidatesMatchesNextLogits: the candidate-column fast path must
+// be bit-identical to indexing the full logit vector, in both output-layer
+// modes (free projection and tied table) and with the contextual-attention
+// ablation's mean trunk.
+func TestScoreCandidatesMatchesNextLogits(t *testing.T) {
+	for _, tied := range []bool{false, true} {
+		for _, ablated := range []bool{false, true} {
+			e := tinyEncoder(false, false)
+			cfg := DefaultConfig()
+			cfg.Dim = 4
+			cfg.Heads = 2
+			cfg.MaxLen = 8
+			cfg.TieProjection = tied
+			cfg.WithoutContextualAttention = ablated
+			m := NewModel(cfg, e, mat.NewRNG(11))
+			m.Freeze()
+			history := []int{2, 0, 5, 1}
+			cands := []int{0, 1, 3, 4, 5}
+			logits := m.NextLogits(history)
+			got := m.ScoreCandidates(history, cands)
+			for i, c := range cands {
+				if got[i] != logits[c] {
+					t.Fatalf("tied=%v ablated=%v: candidate %d score %v != logit %v",
+						tied, ablated, c, got[i], logits[c])
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaScoresMatchMaster: scorer replicas built for the sharded serving
+// path must return exactly the master's scores.
+func TestReplicaScoresMatchMaster(t *testing.T) {
+	e := tinyEncoder(false, false)
+	cfg := DefaultConfig()
+	cfg.Dim = 4
+	cfg.Heads = 2
+	cfg.MaxLen = 8
+	m := NewModel(cfg, e, mat.NewRNG(9))
+	m.Freeze()
+	history := []int{0, 1, 4}
+	cands := []int{0, 2, 3, 5}
+	want := m.ScoreCandidates(history, cands)
+	for _, rep := range m.ScorerReplicas(3) {
+		got := rep.(*Model).ScoreCandidates(history, cands)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("replica score %d diverges: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}

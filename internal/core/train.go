@@ -4,6 +4,7 @@ import (
 	"intellitag/internal/hetgraph"
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/par"
 )
 
 // TrainConfig controls TagRec optimization; defaults follow the paper
@@ -22,11 +23,28 @@ type TrainConfig struct {
 	// (0 means 2*Epochs — co-adapting graph and sequence layers converges
 	// more slowly than either stage alone).
 	JointEpochs int
+	// BatchSize is the number of examples per Adam step, matching the
+	// mini-batched updates of the original BERT4Rec/SR-GNN recipes. <= 1
+	// keeps the legacy per-sample loop.
+	BatchSize int
+	// Workers bounds the goroutines running per-example forward/backward
+	// within a batch; <= 0 selects all CPUs. Because every batch slot owns
+	// its gradient buffer and slots merge in fixed order, the trained
+	// parameters are bit-identical at any worker count for a given seed and
+	// batch size.
+	Workers int
 }
 
 // DefaultTrainConfig returns the paper's optimizer settings.
 func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 6, LR: 1e-3, WeightDecay: 0.01, ClipNorm: 5, Seed: 99, PretrainEpochs: 1}
+}
+
+func (cfg TrainConfig) batchSize() int {
+	if cfg.BatchSize < 1 {
+		return 1
+	}
+	return cfg.BatchSize
 }
 
 // Build constructs a graph encoder + model pair from a heterogeneous graph,
@@ -42,6 +60,7 @@ func Build(cfg Config, graph *hetgraph.Graph, initFeatures *mat.Matrix) *Model {
 	enc := NewGraphEncoder(graph.NumTags, cfg.Dim, cfg.Heads, cache, paths, initFeatures, g)
 	enc.UniformNeighbor = cfg.WithoutNeighborAttention
 	enc.UniformMetapath = cfg.WithoutMetapathAttention
+	enc.Workers = cfg.Workers
 	return NewModel(cfg, enc, g)
 }
 
@@ -51,7 +70,7 @@ func Build(cfg Config, graph *hetgraph.Graph, initFeatures *mat.Matrix) *Model {
 // end-to-end mode. sessions are click sequences of tag ids. Returns the mean
 // loss of the final epoch.
 func TrainEndToEnd(m *Model, sessions [][]int, cfg TrainConfig) float64 {
-	return train(m, sessions, cfg, m.AllParams())
+	return train(m, sessions, cfg, false)
 }
 
 // TrainSequenceOnly trains only the sequence-side parameters, leaving tag
@@ -59,10 +78,23 @@ func TrainEndToEnd(m *Model, sessions [][]int, cfg TrainConfig) float64 {
 // model must be frozen (Freeze) first so embeddings come from the lookup
 // table.
 func TrainSequenceOnly(m *Model, sessions [][]int, cfg TrainConfig) float64 {
-	return train(m, sessions, cfg, m.SeqParams())
+	return train(m, sessions, cfg, true)
 }
 
-func train(m *Model, sessions [][]int, cfg TrainConfig, params []*nn.Param) float64 {
+func train(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) float64 {
+	if cfg.batchSize() == 1 {
+		return trainPerSample(m, sessions, cfg, seqOnly)
+	}
+	return trainBatched(m, sessions, cfg, seqOnly)
+}
+
+// trainPerSample is the legacy per-sample Adam loop (BatchSize <= 1), kept
+// as its own path so existing seeded runs reproduce exactly.
+func trainPerSample(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) float64 {
+	params := m.AllParams()
+	if seqOnly {
+		params = m.SeqParams()
+	}
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed)
 	m.SetTrain(true)
@@ -92,23 +124,10 @@ func train(m *Model, sessions [][]int, cfg TrainConfig, params []*nn.Param) floa
 			masked[len(session)-1] = true
 
 			zeroGrads(params)
-			logits, backward := m.seqForward(session, masked)
-			dLogits := mat.New(len(session), m.NumTags)
-			var loss float64
-			for i := range session {
-				if !masked[i] {
-					continue
-				}
-				li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), session[i])
-				loss += li
-				dLogits.SetRow(i, grad)
-			}
-			scale := 1 / float64(len(masked))
-			mat.ScaleInPlace(dLogits, scale)
-			backward(dLogits)
+			loss := clozeStep(m, session, masked)
 			nn.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(params)
-			epochLoss += loss * scale
+			epochLoss += loss
 			counted++
 		}
 		if counted > 0 {
@@ -119,28 +138,165 @@ func train(m *Model, sessions [][]int, cfg TrainConfig, params []*nn.Param) floa
 	return lastLoss
 }
 
+// clozeExample is one prepared batch slot: all of its randomness (mask set,
+// dropout seed) is drawn on the main goroutine before fan-out.
+type clozeExample struct {
+	session []int
+	masked  map[int]bool
+	seed    int64
+}
+
+// trainBatched runs mini-batched Cloze training: each batch fans its
+// examples out over the worker pool, one replica model per batch slot, and
+// merges the per-slot gradients in slot order before a single Adam step.
+// The merge order — and therefore the summed gradient, clipping and final
+// parameters — depends only on the seed and batch size, never on Workers.
+func trainBatched(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) float64 {
+	params := m.AllParams()
+	if seqOnly {
+		params = m.SeqParams()
+	}
+	batch := cfg.batchSize()
+	pool := par.New(cfg.Workers)
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	rng := mat.NewRNG(cfg.Seed)
+	m.SetTrain(true)
+
+	nonEmpty := 0
+	for _, s := range sessions {
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		m.SetTrain(false)
+		return 0
+	}
+	numBatches := (nonEmpty + batch - 1) / batch
+	totalSteps := cfg.Epochs * numBatches
+
+	replicas := make([]*Model, batch)
+	repParams := make([][]*nn.Param, batch)
+	for j := range replicas {
+		r := m.Replicate()
+		r.SetTrain(true)
+		replicas[j] = r
+		if seqOnly {
+			repParams[j] = r.SeqParams()
+		} else {
+			repParams[j] = r.AllParams()
+		}
+	}
+
+	step := 0
+	var lastLoss float64
+	losses := make([]float64, batch)
+	examples := make([]clozeExample, 0, batch)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(sessions))
+		var epochLoss float64
+		var counted int
+		idx := 0
+		for idx < len(perm) {
+			examples = examples[:0]
+			for idx < len(perm) && len(examples) < batch {
+				session := clipHistory(sessions[perm[idx]], m.Cfg.MaxLen)
+				idx++
+				if len(session) == 0 {
+					continue
+				}
+				masked := map[int]bool{}
+				for i := range session {
+					if rng.Float64() < m.Cfg.MaskProb {
+						masked[i] = true
+					}
+				}
+				masked[len(session)-1] = true
+				examples = append(examples, clozeExample{session: session, masked: masked, seed: rng.Int63()})
+			}
+			bl := len(examples)
+			if bl == 0 {
+				continue
+			}
+			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
+			step++
+			zeroGrads(params)
+			pool.For(bl, func(j int) {
+				ex := examples[j]
+				r := replicas[j]
+				r.Enc.SetDropoutRNG(mat.NewRNG(ex.seed))
+				losses[j] = clozeStep(r, ex.session, ex.masked)
+			})
+			for j := 0; j < bl; j++ {
+				nn.MergeGrads(params, repParams[j])
+				epochLoss += losses[j]
+			}
+			counted += bl
+			nn.ScaleGrads(params, 1/float64(bl))
+			nn.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(params)
+		}
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		}
+	}
+	m.SetTrain(false)
+	return lastLoss
+}
+
+// clozeStep runs one example's forward/backward on the given model (master
+// or replica), accumulating gradients into that model's parameters, and
+// returns the mask-averaged loss.
+func clozeStep(m *Model, session []int, masked map[int]bool) float64 {
+	logits, backward := m.seqForward(session, masked)
+	dLogits := mat.New(len(session), m.NumTags)
+	var loss float64
+	for i := range session {
+		if !masked[i] {
+			continue
+		}
+		li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), session[i])
+		loss += li
+		dLogits.SetRow(i, grad)
+	}
+	scale := 1 / float64(len(masked))
+	mat.ScaleInPlace(dLogits, scale)
+	backward(dLogits)
+	return loss * scale
+}
+
 func zeroGrads(params []*nn.Param) {
 	for _, p := range params {
 		p.ZeroGrad()
 	}
 }
 
+// linkEdge is one link-prediction training pair with its pre-drawn negative
+// samples (drawn sequentially on the main goroutine so the RNG stream is
+// identical at every batch size and worker count).
+type linkEdge struct {
+	a, b int
+	negs []int
+}
+
 // PretrainGraph trains the graph encoder alone with a link-prediction
 // objective — stage one of IntelliTag_st: for each clk edge (a,b), raise
-// sigma(z_a . z_b) against sampled negatives. Returns the final epoch loss.
+// sigma(z_a . z_b) against sampled negatives. Batches follow the same
+// slot-replica / ordered-merge scheme as trainBatched. Returns the final
+// epoch loss.
 func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, negatives int) float64 {
-	type edge struct{ a, b int }
-	var edges []edge
+	type pair struct{ a, b int }
+	var edges []pair
 	for t := 0; t < graph.NumTags; t++ {
 		for _, n := range graph.CoClickedTags(hetgraph.NodeID(t)) {
 			if int(n) > t {
-				edges = append(edges, edge{t, int(n)})
+				edges = append(edges, pair{t, int(n)})
 			}
 		}
 		for _, m := range hetgraph.AllMetapaths[1:] { // structural positives
 			for _, n := range e.Neighbors.Neighbors(hetgraph.NodeID(t), m) {
 				if int(n) > t {
-					edges = append(edges, edge{t, int(n)})
+					edges = append(edges, pair{t, int(n)})
 					break // one structural positive per path keeps this cheap
 				}
 			}
@@ -149,47 +305,87 @@ func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, nega
 	if len(edges) == 0 {
 		return 0
 	}
+	batch := cfg.batchSize()
+	pool := par.New(cfg.Workers)
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed + 7)
 	params := e.Params()
+
+	replicas := make([]*GraphEncoder, batch)
+	repParams := make([][]*nn.Param, batch)
+	for j := range replicas {
+		r := e.Replicate()
+		replicas[j] = r
+		repParams[j] = r.Params()
+	}
+
+	losses := make([]float64, batch)
+	slots := make([]linkEdge, 0, batch)
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(edges))
 		var epochLoss float64
-		for _, ei := range perm {
-			ed := edges[ei]
-			zeroGrads(params)
-			za, ca := e.Forward(ed.a)
-			zb, cb := e.Forward(ed.b)
-			dza := make([]float64, e.Dim)
-			dzb := make([]float64, e.Dim)
-			// Positive pair.
-			loss, dPos := nn.BinaryCrossEntropy(mat.Dot(za, zb), 1)
-			mat.AXPY(dPos, zb, dza)
-			mat.AXPY(dPos, za, dzb)
-			// Negatives against a.
-			for k := 0; k < negatives; k++ {
-				neg := rng.Intn(e.NumTags)
-				if neg == ed.a || neg == ed.b {
-					continue
-				}
-				zn, cn := e.Forward(neg)
-				ln, dNeg := nn.BinaryCrossEntropy(mat.Dot(za, zn), 0)
-				loss += ln
-				mat.AXPY(dNeg, zn, dza)
-				dzn := make([]float64, e.Dim)
-				mat.AXPY(dNeg, za, dzn)
-				e.Backward(dzn, cn)
+		for start := 0; start < len(perm); start += batch {
+			end := start + batch
+			if end > len(perm) {
+				end = len(perm)
 			}
-			e.Backward(dza, ca)
-			e.Backward(dzb, cb)
+			slots = slots[:0]
+			for _, ei := range perm[start:end] {
+				ed := edges[ei]
+				negs := make([]int, negatives)
+				for k := range negs {
+					negs[k] = rng.Intn(e.NumTags)
+				}
+				slots = append(slots, linkEdge{a: ed.a, b: ed.b, negs: negs})
+			}
+			bl := len(slots)
+			zeroGrads(params)
+			pool.For(bl, func(j int) {
+				losses[j] = linkPredictionStep(replicas[j], slots[j])
+			})
+			for j := 0; j < bl; j++ {
+				nn.MergeGrads(params, repParams[j])
+				epochLoss += losses[j]
+			}
+			nn.ScaleGrads(params, 1/float64(bl))
 			nn.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(params)
-			epochLoss += loss
 		}
 		lastLoss = epochLoss / float64(len(edges))
 	}
 	return lastLoss
+}
+
+// linkPredictionStep accumulates one edge's link-prediction gradients into
+// enc's parameters and returns its loss. Negatives colliding with either
+// endpoint are skipped (their draw was still consumed, preserving the
+// legacy RNG stream).
+func linkPredictionStep(enc *GraphEncoder, ed linkEdge) float64 {
+	za, ca := enc.Forward(ed.a)
+	zb, cb := enc.Forward(ed.b)
+	dza := make([]float64, enc.Dim)
+	dzb := make([]float64, enc.Dim)
+	// Positive pair.
+	loss, dPos := nn.BinaryCrossEntropy(mat.Dot(za, zb), 1)
+	mat.AXPY(dPos, zb, dza)
+	mat.AXPY(dPos, za, dzb)
+	// Negatives against a.
+	for _, neg := range ed.negs {
+		if neg == ed.a || neg == ed.b {
+			continue
+		}
+		zn, cn := enc.Forward(neg)
+		ln, dNeg := nn.BinaryCrossEntropy(mat.Dot(za, zn), 0)
+		loss += ln
+		mat.AXPY(dNeg, zn, dza)
+		dzn := make([]float64, enc.Dim)
+		mat.AXPY(dNeg, za, dzn)
+		enc.Backward(dzn, cn)
+	}
+	enc.Backward(dza, ca)
+	enc.Backward(dzb, cb)
+	return loss
 }
 
 func pretrainEpochs(cfg TrainConfig) int {

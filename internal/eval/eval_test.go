@@ -11,6 +11,18 @@ import (
 // fastHarness is shared across tests; models are trained lazily and cached.
 var fastHarness = NewHarness(FastOptions())
 
+// skipUnderRace skips model-zoo training tests when the race detector is on:
+// its ~10x slowdown pushes the full harness past the package test timeout on
+// small hosts, and these tests are single-goroutine shape checks — the
+// concurrency-sensitive paths are covered under race by parallel_test.go and
+// the serving/core suites.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("trains the full model zoo; too slow under the race detector")
+	}
+}
+
 func TestSampleNegatives(t *testing.T) {
 	rng := mat.NewRNG(1)
 	pool := []int{1, 2, 3, 4, 5}
@@ -100,6 +112,7 @@ func TestTableII(t *testing.T) {
 }
 
 func TestTableIIIShape(t *testing.T) {
+	skipUnderRace(t)
 	tab := fastHarness.RunTableIII()
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -134,6 +147,7 @@ func TestTableIIIShape(t *testing.T) {
 }
 
 func TestTableIVShape(t *testing.T) {
+	skipUnderRace(t)
 	tab := fastHarness.RunTableIV()
 	if len(tab.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -157,6 +171,7 @@ func TestTableIVShape(t *testing.T) {
 }
 
 func TestTableVShape(t *testing.T) {
+	skipUnderRace(t)
 	tab := fastHarness.RunTableV()
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -207,6 +222,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	skipUnderRace(t)
 	fig := fastHarness.RunFig6()
 	if len(fig.DimSweep) < 2 || len(fig.HeadSweep) < 2 {
 		t.Fatalf("sweep sizes: %d, %d", len(fig.DimSweep), len(fig.HeadSweep))

@@ -6,6 +6,7 @@ import (
 )
 
 func TestMetapathAblation(t *testing.T) {
+	skipUnderRace(t)
 	abl := fastHarness.RunMetapathAblation()
 	if len(abl.Rows) != 5 {
 		t.Fatalf("rows = %d, want 4 leave-one-out + full", len(abl.Rows))
@@ -44,6 +45,7 @@ func TestNegativeProtocolAblation(t *testing.T) {
 }
 
 func TestDistillationSweep(t *testing.T) {
+	skipUnderRace(t)
 	sweep := fastHarness.RunDistillationSweep()
 	if len(sweep.Temperatures) != 3 || len(sweep.F1) != 3 || len(sweep.Speedups) != 3 {
 		t.Fatalf("sweep shape: %+v", sweep)

@@ -40,7 +40,9 @@ func (h *Harness) RunFig5() Fig5 {
 		}
 	}
 	fig.NeighborTag = h.World.Tags[anchor].Phrase()
-	ids, weights := m.Graph.NeighborWeights(anchor, hetgraph.TT)
+	// One Attention snapshot serves both introspection signals from a single
+	// graph forward pass.
+	ids, weights := m.Graph.Attention(anchor).NeighborWeights(hetgraph.TT)
 	for i, id := range ids {
 		fig.NeighborLabels = append(fig.NeighborLabels, h.World.Tags[id].Phrase())
 		fig.NeighborWeights = append(fig.NeighborWeights, weights[i])
@@ -53,7 +55,7 @@ func (h *Harness) RunFig5() Fig5 {
 	}
 	for _, id := range sample {
 		fig.MetapathTags = append(fig.MetapathTags, h.World.Tags[id].Phrase())
-		fig.MetapathWeights = append(fig.MetapathWeights, m.Graph.MetapathWeights(id))
+		fig.MetapathWeights = append(fig.MetapathWeights, m.Graph.Attention(id).MetapathWeights())
 	}
 
 	// Contextual attention over the longest test session.

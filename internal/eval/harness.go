@@ -37,6 +37,19 @@ func DefaultOptions() Options {
 	}
 }
 
+// SetParallelism threads one batch size / worker count through every layer
+// the harness drives: model training, baseline training, offline inference
+// and the ranking sweep. batch <= 1 keeps per-sample training; workers <= 0
+// selects all CPUs.
+func (o *Options) SetParallelism(batch, workers int) {
+	o.Rec.Workers = workers
+	o.RecTrain.BatchSize = batch
+	o.RecTrain.Workers = workers
+	o.Baseline.BatchSize = batch
+	o.Baseline.Workers = workers
+	o.Protocol.Workers = workers
+}
+
 // FastOptions returns a configuration for quick runs and tests.
 func FastOptions() Options {
 	o := DefaultOptions()

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+
+	"intellitag/internal/core"
+	"intellitag/internal/synth"
+)
+
+// TestEvaluateRankingDeterministicAcrossWorkers: the parallel ranking sweep
+// must report exactly the sequential sweep's metrics — queries are generated
+// on one goroutine and ranks accumulate in query order.
+func TestEvaluateRankingDeterministicAcrossWorkers(t *testing.T) {
+	w := synth.Generate(synth.SmallConfig())
+	_, _, test := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(nil)
+
+	cfg := core.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	m := core.Build(cfg, graph, nil)
+	m.Freeze() // untrained weights are fine: the sweep, not the model, is under test
+
+	p := DefaultProtocol()
+	p.MaxQueries = 200
+	p.Workers = 1
+	seq := EvaluateRanking(m, w, test, p)
+	p.Workers = 4
+	parl := EvaluateRanking(m, w, test, p)
+	if seq != parl {
+		t.Fatalf("ranking report diverges across worker counts:\n  seq: %+v\n  par: %+v", seq, parl)
+	}
+}
+
+// TestScorerPoolFallback: models without ScorerReplicas must degrade to a
+// single shared scorer (sequential sweep), never to concurrent use.
+func TestScorerPoolFallback(t *testing.T) {
+	s := perfectScorer{next: map[string]int{}}
+	pool := scorerPool(s, 8)
+	if len(pool) != 1 {
+		t.Fatalf("non-replicable scorer got %d pool slots, want 1", len(pool))
+	}
+}

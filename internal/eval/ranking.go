@@ -8,6 +8,7 @@ package eval
 import (
 	"intellitag/internal/mat"
 	"intellitag/internal/metrics"
+	"intellitag/internal/par"
 	"intellitag/internal/synth"
 )
 
@@ -25,6 +26,11 @@ type RankingProtocol struct {
 	// GlobalNegatives samples negatives from all tags instead of the
 	// paper's same-tenant pool (the protocol-ablation extension).
 	GlobalNegatives bool
+	// Workers bounds the goroutines scoring queries (<= 0 selects all
+	// CPUs). Queries and their negatives are generated sequentially first,
+	// so the report is identical at every worker count; scorers that cannot
+	// replicate themselves are evaluated sequentially regardless.
+	Workers int
 }
 
 // DefaultProtocol returns the paper's protocol.
@@ -38,9 +44,16 @@ func DefaultProtocol() RankingProtocol {
 // every query ranks against exactly Negatives+1 candidates.
 func EvaluateRanking(s Scorer, w *synth.World, sessions []synth.Session, p RankingProtocol) metrics.RankingReport {
 	rng := mat.NewRNG(p.Seed)
-	var acc metrics.RankingAccumulator
-	queries := 0
+	// Phase one: generate every query — prefix plus sampled candidate list —
+	// sequentially, consuming the RNG stream exactly as the original
+	// interleaved loop did (scoring draws nothing).
+	type query struct {
+		history    []int
+		candidates []int
+	}
+	var queries []query
 	tenantTags := map[int][]int{}
+generate:
 	for _, sess := range sessions {
 		if len(sess.Clicks) < 2 {
 			continue
@@ -58,18 +71,52 @@ func EvaluateRanking(s Scorer, w *synth.World, sessions []synth.Session, p Ranki
 			tenantTags[sess.Tenant] = pool
 		}
 		for i := 1; i < len(sess.Clicks); i++ {
-			if p.MaxQueries > 0 && queries >= p.MaxQueries {
-				return acc.Report()
+			if p.MaxQueries > 0 && len(queries) >= p.MaxQueries {
+				break generate
 			}
-			history := sess.Clicks[:i]
-			target := sess.Clicks[i]
-			candidates := sampleNegatives(pool, w.NumTags(), target, p.Negatives, rng)
-			scores := s.ScoreCandidates(history, candidates)
-			acc.Observe(metrics.RankOfTarget(scores, 0))
-			queries++
+			queries = append(queries, query{
+				history:    sess.Clicks[:i],
+				candidates: sampleNegatives(pool, w.NumTags(), sess.Clicks[i], p.Negatives, rng),
+			})
 		}
 	}
+
+	// Phase two: score the sweep on per-worker replicas, accumulating ranks
+	// in query order so the report never depends on the schedule.
+	scorers := scorerPool(s, par.Resolve(p.Workers))
+	ranks := make([]int, len(queries))
+	par.New(len(scorers)).ForWorker(len(queries), func(worker, i int) {
+		scores := scorers[worker].ScoreCandidates(queries[i].history, queries[i].candidates)
+		ranks[i] = metrics.RankOfTarget(scores, 0)
+	})
+	var acc metrics.RankingAccumulator
+	for _, r := range ranks {
+		acc.Observe(r)
+	}
 	return acc.Report()
+}
+
+// scorerPool returns one scorer per worker: replicas when the model supports
+// them (core.Model, BERT4Rec), otherwise just the shared scorer — models
+// with mutable forward caches cannot run concurrently, so they keep the
+// sequential sweep.
+func scorerPool(s Scorer, workers int) []Scorer {
+	if workers <= 1 {
+		return []Scorer{s}
+	}
+	rep, ok := s.(interface{ ScorerReplicas(n int) []any })
+	if !ok {
+		return []Scorer{s}
+	}
+	out := make([]Scorer, 0, workers)
+	for _, r := range rep.ScorerReplicas(workers) {
+		sc, ok := r.(Scorer)
+		if !ok {
+			return []Scorer{s}
+		}
+		out = append(out, sc)
+	}
+	return out
 }
 
 // sampleNegatives returns [target, neg1..negN]; negatives are drawn from the

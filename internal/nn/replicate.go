@@ -1,0 +1,152 @@
+package nn
+
+import "intellitag/internal/mat"
+
+// This file implements model replication for the batched parallel trainers.
+//
+// Layers in this package follow a Forward-caches-for-Backward discipline, so
+// a single layer instance cannot run two examples concurrently. Instead of
+// locking (which would serialize the hot path) the trainers build replicas:
+// structurally identical layer trees whose Params share the master's Value
+// matrices but own private Grad buffers and private forward caches. One
+// replica is assigned per batch slot; after the fan-out, MergeGrads folds
+// each replica's gradients into the master in slot order, so the summation
+// order — and therefore the trained parameters — is fixed by the batch
+// layout alone, never by the worker count or goroutine schedule.
+
+// Shadow returns a Param aliasing p's Value but owning a fresh zero Grad.
+// Updates through the master (optimizer steps) are immediately visible to
+// every shadow; gradient accumulation stays private until merged.
+func (p *Param) Shadow() *Param {
+	if p == nil {
+		return nil
+	}
+	return &Param{Name: p.Name, Value: p.Value, Grad: mat.New(p.Grad.Rows, p.Grad.Cols)}
+}
+
+// MergeGrads adds each replica parameter's gradient into the matching master
+// parameter and zeroes the replica gradient, leaving the replica ready for
+// the next batch. The two lists must come from collectors built in the same
+// construction order; lengths and shapes are checked.
+func MergeGrads(master, replica []*Param) {
+	if len(master) != len(replica) {
+		panic("nn: MergeGrads on misaligned parameter lists")
+	}
+	for i, mp := range master {
+		rp := replica[i]
+		if len(mp.Grad.Data) != len(rp.Grad.Data) {
+			panic("nn: MergeGrads shape mismatch at " + mp.Name + " / " + rp.Name)
+		}
+		for j, g := range rp.Grad.Data {
+			if g != 0 {
+				mp.Grad.Data[j] += g
+				rp.Grad.Data[j] = 0
+			}
+		}
+	}
+}
+
+// ScaleGrads multiplies every gradient by s (the 1/batch averaging applied
+// after an ordered merge).
+func ScaleGrads(params []*Param, s float64) {
+	if s == 1 {
+		return
+	}
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= s
+		}
+	}
+}
+
+// Replicate returns a Linear sharing l's weights with private grads/caches.
+func (l *Linear) Replicate() *Linear {
+	return &Linear{In: l.In, Out: l.Out, W: l.W.Shadow(), B: l.B.Shadow(), useBias: l.useBias}
+}
+
+// Replicate returns an Embedding sharing the table values.
+func (e *Embedding) Replicate() *Embedding {
+	return &Embedding{Vocab: e.Vocab, Dim: e.Dim, Table: e.Table.Shadow()}
+}
+
+// Replicate returns a LayerNorm sharing gamma/beta values.
+func (ln *LayerNorm) Replicate() *LayerNorm {
+	return &LayerNorm{Dim: ln.Dim, Gamma: ln.Gamma.Shadow(), Beta: ln.Beta.Shadow(), eps: ln.eps}
+}
+
+// Replicate returns a Dropout with the same rate and mode but no RNG; the
+// trainer must seed it per example via SetRNG before the replica runs, so
+// the dropout realization depends only on the example's position in the
+// batch stream, not on which worker executes it.
+func (d *Dropout) Replicate() *Dropout {
+	return &Dropout{P: d.P, Train: d.Train}
+}
+
+// SetRNG installs the RNG the next Forward calls draw their keep-mask from.
+func (d *Dropout) SetRNG(g *mat.RNG) { d.rng = g }
+
+// replicate returns an Activation with the same function pair and a private
+// input cache.
+func (a *Activation) replicate() *Activation {
+	return &Activation{fn: a.fn, dfn: a.dfn}
+}
+
+// Replicate returns a FeedForward over replicated linears.
+func (f *FeedForward) Replicate() *FeedForward {
+	return &FeedForward{lin1: f.lin1.Replicate(), lin2: f.lin2.Replicate(), act: f.act.replicate()}
+}
+
+// Replicate returns a MultiHeadSelfAttention over replicated projections.
+func (m *MultiHeadSelfAttention) Replicate() *MultiHeadSelfAttention {
+	return &MultiHeadSelfAttention{
+		Dim: m.Dim, Heads: m.Heads, headDim: m.headDim,
+		Wq: m.Wq.Replicate(), Wk: m.Wk.Replicate(), Wv: m.Wv.Replicate(), Wo: m.Wo.Replicate(),
+	}
+}
+
+// Replicate returns an EncoderLayer whose sublayers share the original's
+// parameter values.
+func (e *EncoderLayer) Replicate() *EncoderLayer {
+	return &EncoderLayer{
+		Attn:  e.Attn.Replicate(),
+		FFN:   e.FFN.Replicate(),
+		norm1: e.norm1.Replicate(),
+		norm2: e.norm2.Replicate(),
+		drop1: e.drop1.Replicate(),
+		drop2: e.drop2.Replicate(),
+	}
+}
+
+// Replicate returns an Encoder stack of replicated layers.
+func (e *Encoder) Replicate() *Encoder {
+	out := &Encoder{}
+	for _, l := range e.Layers {
+		out.Layers = append(out.Layers, l.Replicate())
+	}
+	return out
+}
+
+// SetDropoutRNG points every dropout layer in the stack at g. A replica's
+// layers may share one stream: within a single example the draw order is
+// fixed by the (sequential) forward pass.
+func (e *Encoder) SetDropoutRNG(g *mat.RNG) {
+	for _, l := range e.Layers {
+		l.drop1.SetRNG(g)
+		l.drop2.SetRNG(g)
+	}
+}
+
+// Replicate returns a PositionalEmbedding sharing the table values.
+func (p *PositionalEmbedding) Replicate() *PositionalEmbedding {
+	return &PositionalEmbedding{MaxLen: p.MaxLen, Dim: p.Dim, Table: p.Table.Shadow()}
+}
+
+// Replicate returns a GRU sharing all nine weight groups' values.
+func (g *GRU) Replicate() *GRU {
+	return &GRU{
+		In: g.In, Hidden: g.Hidden,
+		Wz: g.Wz.Shadow(), Wr: g.Wr.Shadow(), Wh: g.Wh.Shadow(),
+		Uz: g.Uz.Shadow(), Ur: g.Ur.Shadow(), Uh: g.Uh.Shadow(),
+		Bz: g.Bz.Shadow(), Br: g.Br.Shadow(), Bh: g.Bh.Shadow(),
+	}
+}

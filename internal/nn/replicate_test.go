@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+func TestShadowSharesValueOwnsGrad(t *testing.T) {
+	p := NewParam("p", 2, 3)
+	p.Value.Fill(1.5)
+	s := p.Shadow()
+	if s.Value != p.Value {
+		t.Fatal("shadow must alias the master value")
+	}
+	if s.Grad == p.Grad {
+		t.Fatal("shadow must own its gradient")
+	}
+	s.Grad.Fill(2)
+	for _, g := range p.Grad.Data {
+		if g != 0 {
+			t.Fatal("shadow grad leaked into master")
+		}
+	}
+}
+
+func TestMergeGradsOrderedAndZeroing(t *testing.T) {
+	master := []*Param{NewParam("a", 1, 2), NewParam("b", 2, 2)}
+	rep := []*Param{master[0].Shadow(), master[1].Shadow()}
+	rep[0].Grad.Data[0] = 3
+	rep[1].Grad.Data[3] = -1
+	MergeGrads(master, rep)
+	if master[0].Grad.Data[0] != 3 || master[1].Grad.Data[3] != -1 {
+		t.Fatal("grads not merged")
+	}
+	if rep[0].Grad.Data[0] != 0 || rep[1].Grad.Data[3] != 0 {
+		t.Fatal("replica grads not cleared")
+	}
+	ScaleGrads(master, 0.5)
+	if master[0].Grad.Data[0] != 1.5 {
+		t.Fatal("ScaleGrads failed")
+	}
+}
+
+func TestEncoderReplicaMatchesMasterForward(t *testing.T) {
+	g := mat.NewRNG(1)
+	enc := NewEncoder("t", 2, 8, 2, 0, g)
+	enc.SetTrain(false)
+	rep := enc.Replicate()
+	rep.SetTrain(false)
+	x := mat.New(5, 8)
+	mat.NewRNG(2).Normal(x, 1)
+	a := enc.Forward(x.Clone())
+	b := rep.Forward(x.Clone())
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatalf("replica forward diverges at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+	// Replica backward must leave the master's grads untouched.
+	c := NewCollector()
+	enc.CollectParams(c)
+	rc := NewCollector()
+	rep.CollectParams(rc)
+	if len(c.Params()) != len(rc.Params()) {
+		t.Fatalf("collector misalignment: %d vs %d", len(c.Params()), len(rc.Params()))
+	}
+	dOut := mat.New(5, 8)
+	dOut.Fill(0.1)
+	rep.Backward(dOut)
+	for _, p := range c.Params() {
+		for _, gv := range p.Grad.Data {
+			if gv != 0 {
+				t.Fatalf("master grad %s dirtied by replica backward", p.Name)
+			}
+		}
+	}
+	MergeGrads(c.Params(), rc.Params())
+	var total float64
+	for _, p := range c.Params() {
+		for _, gv := range p.Grad.Data {
+			total += math.Abs(gv)
+		}
+	}
+	if total == 0 {
+		t.Fatal("merge produced no gradient")
+	}
+}
+
+func TestGRUReplicaMatchesMaster(t *testing.T) {
+	g := mat.NewRNG(3)
+	gru := NewGRU("g", 4, 6, g)
+	rep := gru.Replicate()
+	x := mat.New(7, 4)
+	mat.NewRNG(4).Normal(x, 1)
+	a := gru.Forward(x)
+	b := rep.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("GRU replica forward diverges")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package par is the shared parallel-execution layer behind the batched
+// trainers, offline inference and the serving engine. It provides a bounded
+// worker pool with deterministic ordered fan-out/fan-in: work items are
+// identified by their index, each item writes only into index-owned state,
+// and callers merge results in index order — so the outcome of a parallel
+// run is bit-identical to the sequential one regardless of GOMAXPROCS or
+// the configured worker count.
+//
+// The pool deliberately has no futures, channels-of-results or dynamic
+// scheduling surface: everything reduces to "run fn(i) for i in [0,n)".
+// That restriction is what makes reproducibility cheap — determinism lives
+// in the callers' fixed merge order, not in scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of workers. The zero value runs everything inline
+// on the calling goroutine (one worker); use New to size it.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker bound. workers <= 0 selects
+// runtime.NumCPU() (the "as fast as the hardware allows" default); 1 yields
+// a sequential pool with zero goroutine overhead.
+func New(workers int) *Pool {
+	return &Pool{workers: Resolve(workers)}
+}
+
+// Resolve maps a configured worker count to an effective one: <= 0 means
+// all CPUs, anything else is used as given.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// Workers reports the effective worker bound (at least 1).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// For runs fn(i) for every i in [0, n), using up to Workers goroutines.
+// fn must confine its writes to state owned by index i; under that contract
+// the result is independent of scheduling. For blocks until all items are
+// done.
+func (p *Pool) For(n int, fn func(i int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorker runs fn(worker, i) for every i in [0, n), where worker is a
+// stable id in [0, Workers()) identifying the goroutine executing the item.
+// It exists for callers that keep per-worker scratch arenas (gradient
+// buffers, model replicas): fn may freely reuse scratch[worker] because one
+// worker never runs two items at once. Which items land on which worker is
+// scheduling-dependent, so per-worker scratch is only safe for state whose
+// final merge does not depend on the item->worker assignment.
+func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

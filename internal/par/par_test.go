@@ -1,0 +1,103 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+func TestZeroPoolRunsInline(t *testing.T) {
+	var p Pool
+	if p.Workers() != 1 {
+		t.Fatalf("zero pool workers = %d", p.Workers())
+	}
+	sum := 0
+	p.For(10, func(i int) { sum += i }) // safe: sequential
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers)
+		const n = 1000
+		counts := make([]int32, n)
+		var mu sync.Mutex
+		p.For(n, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForWorkerIdsInRange(t *testing.T) {
+	p := New(4)
+	const n = 200
+	seen := make([]int, n)
+	p.ForWorker(n, func(worker, i int) {
+		if worker < 0 || worker >= 4 {
+			panic("worker id out of range")
+		}
+		seen[i] = 1 // index-owned write
+	})
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+// Ordered fan-in: per-index results merged in index order must match the
+// sequential run exactly, for any worker count.
+func TestDeterministicOrderedMerge(t *testing.T) {
+	const n = 500
+	run := func(workers int) float64 {
+		out := make([]float64, n)
+		New(workers).For(n, func(i int) {
+			v := float64(i)
+			out[i] = v * v / 3.0
+		})
+		var sum float64
+		for _, v := range out {
+			sum += v // fixed merge order
+		}
+		return sum
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d: sum %v != sequential %v", w, got, want)
+		}
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	p := New(32)
+	hits := make([]bool, 3)
+	p.For(3, func(i int) { hits[i] = true })
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("index %d missed", i)
+		}
+	}
+	p.For(0, func(i int) { t.Error("fn called for n=0") })
+}

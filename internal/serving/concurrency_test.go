@@ -1,0 +1,180 @@
+package serving
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"intellitag/internal/core"
+	"intellitag/internal/store"
+)
+
+// TestEngineConcurrentRequests hammers one engine from many goroutines mixing
+// Click, Ask, RecommendTags and EndSession; run under -race it proves the
+// sharded session table, scorer checkout pool and latency ring are sound.
+func TestEngineConcurrentRequests(t *testing.T) {
+	e := newTestEngine(t, store.NewLog())
+	tenants := len(simWorld.Tenants)
+
+	const goroutines = 8
+	const opsPer = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				session := g*opsPer + i
+				tenant := session % tenants
+				tags := e.catalog.TenantTags[tenant]
+				if len(tags) == 0 {
+					continue
+				}
+				e.Click(tenant, session, tags[i%len(tags)], 5)
+				e.RecommendTags(tenant, session, 5)
+				e.Ask(tenant, session, "how do I reset my password")
+				if i%3 == 0 {
+					e.EndSession(session)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(e.Latencies()) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+// TestEngineConcurrentModelScoring repeats the hammer with a real core.Model
+// scorer (stateful forward caches) and a widened scorer pool — the
+// configuration that raced before scoring went through the checkout pool.
+func TestEngineConcurrentModelScoring(t *testing.T) {
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+	cfg := core.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Heads = 2
+	m := core.Build(cfg, simWorld.BuildGraph(train), nil)
+	m.Freeze()
+	e := NewEngine(catalog, index, m, nil, nil)
+	e.SetWorkers(4)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				session := g*100 + i
+				tenant := session % len(simWorld.Tenants)
+				tags := catalog.TenantTags[tenant]
+				if len(tags) == 0 {
+					continue
+				}
+				e.Click(tenant, session, tags[i%len(tags)], 5)
+				e.RecommendTags(tenant, session, 5)
+				e.EndSession(session)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRecommendMemo: repeated RecommendTags calls are answered from the
+// per-session memo, the memoized list equals the freshly scored one, and a
+// click or session end invalidates it.
+func TestRecommendMemo(t *testing.T) {
+	e := newTestEngine(t, nil)
+	tenant := 0
+	tags := e.catalog.TenantTags[tenant]
+	if len(tags) < 2 {
+		t.Skip("tenant 0 has too few tags")
+	}
+	const session = 7
+
+	e.Click(tenant, session, tags[0], 5)
+	first := e.RecommendTags(tenant, session, 5)
+	if _, ok := e.shard(session).recs[session]; !ok {
+		t.Fatal("no memo entry after RecommendTags")
+	}
+	second := e.RecommendTags(tenant, session, 5)
+	if len(first) != len(second) {
+		t.Fatalf("memoized length %d != fresh %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("memoized rec %d = %+v, want %+v", i, second[i], first[i])
+		}
+	}
+	// The memo hands out copies: mutating a result must not corrupt it.
+	second[0].Score = -1
+	if got := e.RecommendTags(tenant, session, 5); got[0] != first[0] {
+		t.Fatalf("memo corrupted by caller mutation: %+v", got[0])
+	}
+	// A different k bypasses and replaces the entry.
+	if got := e.RecommendTags(tenant, session, 3); len(got) > 3 {
+		t.Fatalf("k=3 returned %d recs", len(got))
+	}
+	// Clicking invalidates: the next lookup reflects the two-click history.
+	e.Click(tenant, session, tags[1], 5)
+	if hist := e.History(session); len(hist) != 2 {
+		t.Fatalf("history = %v", hist)
+	}
+	if c := e.shard(session).recs[session]; c.k != 5 {
+		t.Fatalf("post-click memo entry has k=%d, want 5", c.k)
+	}
+	// EndSession drops the memo with the history.
+	e.EndSession(session)
+	if _, ok := e.shard(session).recs[session]; ok {
+		t.Fatal("memo survived EndSession")
+	}
+}
+
+// TestLatencyRingBounded: the ring must cap memory and keep the most recent
+// samples in insertion order.
+func TestLatencyRingBounded(t *testing.T) {
+	var r latencyRing
+	for i := 0; i < latencyCap+100; i++ {
+		r.record(time.Duration(i))
+	}
+	got := r.snapshot()
+	if len(got) != latencyCap {
+		t.Fatalf("ring holds %d samples, want %d", len(got), latencyCap)
+	}
+	if got[0] != time.Duration(100) || got[len(got)-1] != time.Duration(latencyCap+99) {
+		t.Fatalf("ring window wrong: first=%d last=%d", got[0], got[len(got)-1])
+	}
+	r.reset()
+	if len(r.snapshot()) != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+// TestShardedScoringMatchesSingle: splitting a candidate list across pooled
+// replicas must return exactly the single-scorer scores.
+func TestShardedScoringMatchesSingle(t *testing.T) {
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Heads = 2
+	m := core.Build(cfg, simWorld.BuildGraph(train), nil)
+	m.Freeze()
+	e := NewEngine(catalog, index, m, nil, nil)
+
+	// Candidate list long enough to trigger sharding.
+	candidates := make([]int, 0, 4*minShardSize)
+	for len(candidates) < cap(candidates) {
+		candidates = append(candidates, len(candidates)%len(catalog.TagPhrases))
+	}
+	history := []int{1, 2}
+	want := e.scoreCandidates(history, candidates)
+	e.SetWorkers(4)
+	got := e.scoreCandidates(history, candidates)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharded score %d diverges: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"intellitag/internal/par"
 	"intellitag/internal/search"
 	"intellitag/internal/store"
 )
@@ -56,8 +57,78 @@ type QuestionMatcher interface {
 	Best(question string, subset map[int]bool) (int, float64)
 }
 
+// sessionShardCount spreads session state over independently locked maps so
+// concurrent requests for different sessions never contend on one mutex.
+const sessionShardCount = 16
+
+// recEntry is a memoized RecommendTags result for one session. The serving
+// inputs are the session history plus static catalog data, so the ranked
+// list only changes when the history does; repeated requests between clicks
+// — the common read-mostly pattern — are answered from the memo.
+type recEntry struct {
+	tenant, k int
+	recs      []ScoredTag
+}
+
+// sessionShard is one lock-striped slice of the session table.
+type sessionShard struct {
+	mu   sync.Mutex
+	ver  uint64        // bumped on every history mutation in this shard
+	m    map[int][]int // session id -> click history
+	recs map[int]recEntry
+}
+
+// latencyCap bounds the latency sample: the old unbounded slice grew with
+// every request for the life of the server. The ring keeps the most recent
+// samples, which is what the percentile reports read anyway.
+const latencyCap = 4096
+
+// latencyRing is a fixed-capacity concurrent ring buffer of request
+// latencies.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [latencyCap]time.Duration
+	next int
+	size int
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyCap
+	if r.size < latencyCap {
+		r.size++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained samples oldest-first.
+func (r *latencyRing) snapshot() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size == 0 {
+		return nil
+	}
+	out := make([]time.Duration, 0, r.size)
+	start := (r.next - r.size + latencyCap) % latencyCap
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.buf[(start+i)%latencyCap])
+	}
+	return out
+}
+
+func (r *latencyRing) reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.size = 0
+	r.mu.Unlock()
+}
+
 // Engine is the model-server logic for a single model. It is safe for
-// concurrent use.
+// concurrent use: session state is sharded, latencies go to a fixed ring,
+// and scorers — whose forward passes cache intermediates and therefore must
+// not run two requests at once — are checked out of a pool. SetMatcher and
+// SetWorkers are setup-time calls, not for use concurrently with requests.
 type Engine struct {
 	catalog Catalog
 	index   *search.Index
@@ -66,11 +137,15 @@ type Engine struct {
 	log     *store.Log
 	day     func() int // logical clock for log events
 
-	mu       sync.Mutex
-	sessions map[int][]int // session id -> click history
+	shards [sessionShardCount]sessionShard
 
-	latMu     sync.Mutex
-	latencies []time.Duration
+	// scorers is the checkout pool. It always holds at least the scorer
+	// itself; SetWorkers widens it with replicas for models that support
+	// them, enabling concurrent request scoring and sharded candidate
+	// scoring.
+	scorers chan Scorer
+
+	lat latencyRing
 }
 
 // NewEngine assembles an engine. The search index must contain the RQ
@@ -80,14 +155,54 @@ func NewEngine(catalog Catalog, index *search.Index, scorer Scorer, log *store.L
 	if day == nil {
 		day = func() int { return 0 }
 	}
-	return &Engine{
-		catalog:  catalog,
-		index:    index,
-		scorer:   scorer,
-		log:      log,
-		day:      day,
-		sessions: map[int][]int{},
+	e := &Engine{
+		catalog: catalog,
+		index:   index,
+		scorer:  scorer,
+		log:     log,
+		day:     day,
 	}
+	for i := range e.shards {
+		e.shards[i].m = map[int][]int{}
+		e.shards[i].recs = map[int]recEntry{}
+	}
+	e.scorers = make(chan Scorer, 1)
+	e.scorers <- scorer
+	return e
+}
+
+// SetWorkers sizes the scorer pool for n-way concurrent scoring (<= 0
+// selects all CPUs). Models that cannot replicate themselves keep a
+// single-slot pool, which serializes scoring but stays correct. Call during
+// setup, before serving traffic.
+func (e *Engine) SetWorkers(n int) {
+	n = par.Resolve(n)
+	rep, ok := e.scorer.(interface{ ScorerReplicas(n int) []any })
+	if n <= 1 || !ok {
+		e.scorers = make(chan Scorer, 1)
+		e.scorers <- e.scorer
+		return
+	}
+	pool := make(chan Scorer, n)
+	for _, r := range rep.ScorerReplicas(n) {
+		s, ok := r.(Scorer)
+		if !ok {
+			pool = make(chan Scorer, 1)
+			pool <- e.scorer
+			break
+		}
+		pool <- s
+	}
+	e.scorers = pool
+}
+
+// shard returns the lock stripe owning a session id.
+func (e *Engine) shard(session int) *sessionShard {
+	i := session % sessionShardCount
+	if i < 0 {
+		i += sessionShardCount
+	}
+	return &e.shards[i]
 }
 
 // ScorerName reports the underlying model's name.
@@ -95,15 +210,18 @@ func (e *Engine) ScorerName() string { return e.scorer.Name() }
 
 // History returns a copy of a session's click history.
 func (e *Engine) History(session int) []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]int(nil), e.sessions[session]...)
+	sh := e.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]int(nil), sh.m[session]...)
 }
 
 // RecommendTags returns the top-k tags for a session. With no click history
 // it falls back to the tenant's most frequently clicked tags (the paper's
 // cold-start strategy); otherwise the model ranks the tenant's tags given
-// the history. Latency of the full call is recorded.
+// the history. Results are memoized per session until the next click, so
+// only the first request after a history change pays for model scoring.
+// Latency of the full call is recorded.
 func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 	start := time.Now()
 	defer e.recordLatency(start)
@@ -112,7 +230,17 @@ func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 	if len(candidates) == 0 {
 		return nil
 	}
-	history := e.History(session)
+	sh := e.shard(session)
+	sh.mu.Lock()
+	if c, ok := sh.recs[session]; ok && c.tenant == tenant && c.k == k {
+		out := append([]ScoredTag(nil), c.recs...)
+		sh.mu.Unlock()
+		return out
+	}
+	ver := sh.ver
+	history := append([]int(nil), sh.m[session]...)
+	sh.mu.Unlock()
+
 	var scores []float64
 	if len(history) == 0 {
 		scores = make([]float64, len(candidates))
@@ -120,7 +248,7 @@ func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 			scores[i] = e.catalog.Popularity[c]
 		}
 	} else {
-		scores = e.scorer.ScoreCandidates(history, candidates)
+		scores = e.scoreCandidates(history, candidates)
 	}
 	out := make([]ScoredTag, len(candidates))
 	for i, c := range candidates {
@@ -135,6 +263,13 @@ func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 	if len(out) > k {
 		out = out[:k]
 	}
+	// Store only if no history in this shard mutated while we scored — a
+	// concurrent Click may have invalidated the entry we are about to write.
+	sh.mu.Lock()
+	if sh.ver == ver {
+		sh.recs[session] = recEntry{tenant: tenant, k: k, recs: append([]ScoredTag(nil), out...)}
+	}
+	sh.mu.Unlock()
 	return out
 }
 
@@ -142,10 +277,13 @@ func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 // predicted questions for the accumulated clicked-tag query (the middle
 // panel of the paper's Fig. 1).
 func (e *Engine) Click(tenant, session, tag, k int) ([]ScoredTag, []PredictedQuestion) {
-	e.mu.Lock()
-	e.sessions[session] = append(e.sessions[session], tag)
-	history := append([]int(nil), e.sessions[session]...)
-	e.mu.Unlock()
+	sh := e.shard(session)
+	sh.mu.Lock()
+	sh.m[session] = append(sh.m[session], tag)
+	sh.ver++
+	delete(sh.recs, session)
+	history := append([]int(nil), sh.m[session]...)
+	sh.mu.Unlock()
 	if e.log != nil {
 		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventClick, TagID: tag})
 	}
@@ -228,27 +366,85 @@ func (e *Engine) Escalate(tenant, session int) {
 
 // EndSession drops a session's state.
 func (e *Engine) EndSession(session int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.sessions, session)
+	sh := e.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, session)
+	delete(sh.recs, session)
+	sh.ver++
 }
 
 func (e *Engine) recordLatency(start time.Time) {
-	e.latMu.Lock()
-	e.latencies = append(e.latencies, time.Since(start))
-	e.latMu.Unlock()
+	e.lat.record(time.Since(start))
 }
 
-// Latencies returns a copy of all recorded request latencies.
+// Latencies returns a copy of the retained request latencies, oldest first
+// (the ring keeps the most recent latencyCap samples).
 func (e *Engine) Latencies() []time.Duration {
-	e.latMu.Lock()
-	defer e.latMu.Unlock()
-	return append([]time.Duration(nil), e.latencies...)
+	return e.lat.snapshot()
 }
 
 // ResetLatencies clears the latency sample.
 func (e *Engine) ResetLatencies() {
-	e.latMu.Lock()
-	e.latencies = nil
-	e.latMu.Unlock()
+	e.lat.reset()
+}
+
+// minShardSize is the smallest candidate slice worth a goroutine of its own;
+// below it the fan-out overhead beats the scoring work.
+const minShardSize = 64
+
+// scoreCandidates checks a scorer out of the pool and scores the candidate
+// list, splitting it across additional immediately-available scorers when it
+// is large. Scores are written into fixed per-shard slots, so the result is
+// identical however many scorers happened to be free.
+func (e *Engine) scoreCandidates(history, candidates []int) []float64 {
+	want := len(candidates) / minShardSize
+	if want < 1 {
+		want = 1
+	}
+	scorers := e.checkoutScorers(want)
+	defer func() {
+		for _, s := range scorers {
+			e.scorers <- s
+		}
+	}()
+	if len(scorers) == 1 {
+		return scorers[0].ScoreCandidates(history, candidates)
+	}
+	scores := make([]float64, len(candidates))
+	chunk := (len(candidates) + len(scorers) - 1) / len(scorers)
+	var wg sync.WaitGroup
+	for w := 0; w < len(scorers); w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s Scorer, lo, hi int) {
+			defer wg.Done()
+			copy(scores[lo:hi], s.ScoreCandidates(history, candidates[lo:hi]))
+		}(scorers[w], lo, hi)
+	}
+	wg.Wait()
+	return scores
+}
+
+// checkoutScorers blocks for one scorer, then opportunistically grabs up to
+// max-1 more without blocking — never waiting on scorers held by other
+// requests, which keeps the pool deadlock-free.
+func (e *Engine) checkoutScorers(max int) []Scorer {
+	out := []Scorer{<-e.scorers}
+	for len(out) < max {
+		select {
+		case s := <-e.scorers:
+			out = append(out, s)
+		default:
+			return out
+		}
+	}
+	return out
 }

@@ -106,10 +106,12 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 			// The first click arrives through the interface (cold start is
 			// the engine's most-popular fallback; the user clicks their
 			// initial intent regardless, as in the paper's Fig. 1 flow).
-			engine.Click(tenant, sessionID, state.LastClick, cfg.TopK)
+			// Click returns the next recommendations — the panel the user
+			// sees until their next click, exactly the Fig. 1 flow — so the
+			// turn loop reuses it instead of re-requesting the same list.
+			recs, _ := engine.Click(tenant, sessionID, state.LastClick, cfg.TopK)
 			misses := 0
 			for turn := 0; turn < cfg.MaxTurns; turn++ {
-				recs := engine.RecommendTags(tenant, sessionID, cfg.TopK)
 				trueNext := w.NextClick(&state, rng)
 				stats.Impressions++
 				tenantImpr[tenant]++
@@ -131,7 +133,7 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 				if clicked {
 					stats.Clicks++
 					tenantClicks[tenant]++
-					engine.Click(tenant, sessionID, trueNext, cfg.TopK)
+					recs, _ = engine.Click(tenant, sessionID, trueNext, cfg.TopK)
 					misses = 0
 				} else {
 					misses++
