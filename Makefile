@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-short
+.PHONY: check fmt vet build test bench bench-short bench-all
 
 check: fmt vet build test bench-short
 
@@ -28,5 +28,14 @@ test:
 bench-short:
 	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchtime 1x .
 
+# Memory-discipline benchmarks (matmul kernel, train step, serve path):
+# writes BENCH_PR2.json with ns/op, B/op and allocs/op plus improvement
+# ratios against the pre-optimization numbers in BENCH_PR2_BASELINE.json.
 bench:
+	$(GO) test -run xxx -bench PR2 -benchmem -benchtime 50x . ./internal/core | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR2_BASELINE.json -o BENCH_PR2.json \
+		-note "in-place Into kernels + pooled/owned buffers"
+
+# Every benchmark in the root package (parallel scaling + PR2), no JSON.
+bench-all:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1,0 +1,41 @@
+// PR2 benchmarks: the alloc-discipline trajectory of the hot paths. These are
+// the benchmarks `make bench` serializes into BENCH_PR2.json (via
+// cmd/benchjson) so the kernel/pooling work of this PR — and any later
+// regression — is measured against a recorded baseline. The train-step and
+// graph-embedding halves live in internal/core where the unexported step
+// functions are reachable.
+package intellitag_test
+
+import (
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+// BenchmarkPR2_MatMul measures the allocating matmul kernel (one fresh output
+// matrix per call) at a transformer-block-ish shape.
+func BenchmarkPR2_MatMul(b *testing.B) {
+	g := mat.NewRNG(1)
+	x := mat.New(64, 64)
+	y := mat.New(64, 64)
+	g.Normal(x, 1)
+	g.Normal(y, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMul(x, y)
+	}
+}
+
+// BenchmarkPR2_ServeRecommend measures one serving recommendation: scoring a
+// tenant's candidate tags against a session history on a frozen model — the
+// compute inside Engine.RecommendTags once the memo misses.
+func BenchmarkPR2_ServeRecommend(b *testing.B) {
+	m := newBenchIntelliTag()
+	m.Freeze()
+	cands := benchWorld.TagsOfTenant(0)
+	history := benchWorld.Sessions[0].Clicks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreCandidates(history, cands)
+	}
+}

@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into a stable JSON document, optionally merging a previously recorded
+// baseline file and computing improvement ratios against it. It is the
+// serialization half of `make bench`: the benchmarks themselves measure the
+// hot paths, this tool turns their one-line results into BENCH_*.json files
+// that successive PRs can diff.
+//
+// Usage:
+//
+//	go test -run xxx -bench PR2 -benchmem ./... | benchjson -o BENCH_PR2.json -baseline BENCH_PR2_BASELINE.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Ratio reports baseline/current for the two costs the acceptance criteria
+// track; values above 1 mean the current run is cheaper.
+type Ratio struct {
+	Ns     float64 `json:"ns"`
+	Allocs float64 `json:"allocs"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Note        string            `json:"note,omitempty"`
+	Benchmarks  map[string]Result `json:"benchmarks"`
+	Baseline    map[string]Result `json:"baseline,omitempty"`
+	Improvement map[string]Ratio  `json:"improvement,omitempty"`
+}
+
+// benchLine matches e.g.
+// BenchmarkPR2_MatMul-8   12345   987 ns/op   1024 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to embed and compare against")
+	note := flag.String("note", "", "free-form note stored in the report")
+	flag.Parse()
+
+	report := Report{Note: *note, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		iters, _ := strconv.Atoi(m[2])
+		r := Result{Iters: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		report.Benchmarks[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		report.Baseline = base.Benchmarks
+		report.Improvement = map[string]Ratio{}
+		for name, cur := range report.Benchmarks {
+			b, ok := base.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			report.Improvement[name] = Ratio{
+				Ns:     ratio(b.NsPerOp, cur.NsPerOp),
+				Allocs: ratio(b.AllocsPerOp, cur.AllocsPerOp),
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+}
+
+func ratio(base, cur float64) float64 {
+	if cur == 0 {
+		if base == 0 {
+			return 1
+		}
+		return base // fully eliminated; report the raw baseline magnitude
+	}
+	return base / cur
+}

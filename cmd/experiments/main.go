@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"intellitag/internal/eval"
+	"intellitag/internal/prof"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = the paper's per-sample updates)")
 	workers := flag.Int("workers", 0, "parallel workers for training/inference/eval (0 = all CPUs)")
 	flag.Parse()
+	defer prof.Start()()
 
 	opts := eval.DefaultOptions()
 	if *fast {

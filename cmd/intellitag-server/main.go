@@ -19,6 +19,7 @@ import (
 
 	"intellitag/internal/core"
 	"intellitag/internal/mat"
+	"intellitag/internal/prof"
 	"intellitag/internal/qamatch"
 	"intellitag/internal/serving"
 	"intellitag/internal/store"
@@ -33,6 +34,9 @@ func main() {
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
 	workers := flag.Int("workers", 0, "parallel workers for training and request scoring (0 = all CPUs)")
 	flag.Parse()
+	stop := prof.Start()
+	defer stop()
+	prof.FlushOnInterrupt(stop)
 
 	worldCfg := synth.DefaultConfig()
 	if *fast {

@@ -15,6 +15,7 @@ import (
 
 	"intellitag/internal/baselines"
 	"intellitag/internal/core"
+	"intellitag/internal/prof"
 	"intellitag/internal/serving"
 	"intellitag/internal/store"
 	"intellitag/internal/synth"
@@ -27,6 +28,7 @@ func main() {
 	fast := flag.Bool("fast", true, "use the small world")
 	seed := flag.Int64("seed", 1, "world seed")
 	flag.Parse()
+	defer prof.Start()()
 
 	worldCfg := synth.DefaultConfig()
 	if *fast {

@@ -14,6 +14,7 @@ import (
 	"log"
 	"time"
 
+	"intellitag/internal/prof"
 	"intellitag/internal/synth"
 	"intellitag/internal/tagmining"
 	"intellitag/internal/textproc"
@@ -25,6 +26,7 @@ func main() {
 	top := flag.Int("top", 30, "number of mined tags to print")
 	distill := flag.Bool("distill", true, "also distill and use the student for extraction")
 	flag.Parse()
+	defer prof.Start()()
 
 	cfg := synth.DefaultConfig()
 	if *fast {

@@ -16,6 +16,7 @@ import (
 
 	"intellitag/internal/core"
 	"intellitag/internal/eval"
+	"intellitag/internal/prof"
 	"intellitag/internal/synth"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
 	workers := flag.Int("workers", 0, "parallel workers for training/inference/eval (0 = all CPUs)")
 	flag.Parse()
+	defer prof.Start()()
 
 	worldCfg := synth.DefaultConfig()
 	if *fast {

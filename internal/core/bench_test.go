@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"intellitag/internal/synth"
+)
+
+// benchSetup builds a small-world model plus one training example, shared by
+// the PR2 hot-path benchmarks (see BENCH_PR2.json / `make bench`).
+func benchSetup(b *testing.B) (*Model, []int, map[int]bool) {
+	b.Helper()
+	world := synth.Generate(synth.SmallConfig())
+	train, _, _ := world.SplitSessions(0.8, 0.1)
+	graph := world.BuildGraph(train)
+	cfg := DefaultConfig()
+	cfg.Dim, cfg.Heads = 16, 2
+	m := Build(cfg, graph, nil)
+	var session []int
+	for _, s := range train {
+		if len(s.Clicks) >= 4 {
+			session = clipHistory(s.Clicks, cfg.MaxLen)
+			break
+		}
+	}
+	if session == nil {
+		b.Fatal("no session of length >= 4 in the bench world")
+	}
+	masked := map[int]bool{0: true, len(session) - 1: true}
+	return m, session, masked
+}
+
+// BenchmarkPR2_TrainStep measures one end-to-end Cloze training step —
+// graph-encoder forward per position, Transformer forward/backward, loss, and
+// gradient accumulation — the inner loop of daily T+1 training.
+func BenchmarkPR2_TrainStep(b *testing.B) {
+	m, session, masked := benchSetup(b)
+	m.SetTrain(true)
+	params := m.AllParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zeroGrads(params)
+		clozeStep(m, session, masked)
+	}
+}
+
+// BenchmarkPR2_EmbedAll measures the offline batch-inference step whose
+// output the deployment uploads to the online servers (Section V-B).
+func BenchmarkPR2_EmbedAll(b *testing.B) {
+	m, _, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Graph.EmbedAll()
+	}
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"intellitag/internal/hetgraph"
 	"intellitag/internal/mat"
@@ -57,6 +58,16 @@ type GraphEncoder struct {
 	Workers int
 
 	params *nn.Collector
+
+	// Backward scratch, reused across calls. Unlike Forward (which EmbedAll
+	// fans out concurrently and therefore pools its caches), Backward only
+	// ever runs on one goroutine per encoder instance — the batched trainers
+	// give every batch slot its own replica — so the scratch can live here.
+	bwdFused []float64
+	bwdH     [][]float64
+	bwdBeta  []float64
+	bwdSum   []float64
+	bwdDa    []float64
 }
 
 // NewGraphEncoder builds a graph encoder over the cached neighbors. Node
@@ -109,42 +120,104 @@ func NewGraphEncoder(numTags, dim, heads int, cache *hetgraph.NeighborCache, pat
 // Params returns all trainable parameters (including node features).
 func (e *GraphEncoder) Params() []*nn.Param { return e.params.Params() }
 
-// tagForward caches everything tagBackward needs for one tag.
+// tagForward caches everything tagBackward needs for one tag. Caches are
+// drawn from tfPool and recycled — release (called by Backward, or directly
+// for inference-only forwards) returns the cache with every interior slice
+// intact, so steady-state Forward calls allocate nothing. A cache that is
+// never released (e.g. the one captured by a TagAttention snapshot) simply
+// falls to the garbage collector.
 type tagForward struct {
-	tag    int
-	neigh  [][]int       // per path: neighbor ids (self included, first)
-	attn   [][][]float64 // per path, per head: softmax attention over neigh
-	preAct [][][]float64 // per path, per head: pre-LeakyReLU scores
-	sumVec [][][]float64 // per path, per head: weighted neighbor sum s
-	hPath  [][]float64   // per path: h^rho (hd)
-	uPath  [][]float64   // per path: tanh(Wp h + bp)
-	beta   []float64     // softmax metapath attention
-	fused  []float64     // sum_rho beta_rho h^rho
+	tag     int
+	neigh   [][]int       // per path: neighbor ids (self included, first)
+	attn    [][][]float64 // per path, per head: softmax attention over neigh
+	preAct  [][][]float64 // per path, per head: pre-LeakyReLU scores
+	sumVec  [][][]float64 // per path, per head: weighted neighbor sum s
+	hPath   [][]float64   // per path: h^rho (hd)
+	uPath   [][]float64   // per path: tanh(Wp h + bp)
+	beta    []float64     // softmax metapath attention
+	betaRaw []float64     // pre-softmax metapath scores (scratch)
+	fused   []float64     // sum_rho beta_rho h^rho
+	z       []float64     // the returned embedding
+}
+
+// tfPool recycles tagForward caches. Forward may run concurrently on one
+// encoder (EmbedAll fans tags out over a worker pool), so per-call scratch
+// cannot live on the encoder itself; each call checks a private cache out of
+// the pool instead.
+var tfPool = sync.Pool{New: func() any { return new(tagForward) }}
+
+// growOuter resizes an outer slice to n entries, keeping inner slices that
+// earlier calls allocated (they sit between len and cap) available for reuse.
+func growOuter[T any](s [][]T, n int) [][]T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([][]T, n)
+	copy(ns, s[:cap(s)])
+	return ns
+}
+
+// ensureInts resizes an int slice to n, reusing capacity; contents are
+// unspecified.
+func ensureInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// ensureZero resizes a float slice to n and zeroes it.
+func ensureZero(s []float64, n int) []float64 {
+	s = mat.EnsureVec(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// release returns a forward cache to the pool. The cache, the z slice Forward
+// returned with it, and every attention slice it holds become invalid.
+func (e *GraphEncoder) release(c *tagForward) {
+	if c != nil {
+		tfPool.Put(c)
+	}
 }
 
 // Forward computes z_t (a dim-vector) for one tag and returns the cache for
-// Backward.
+// Backward. Both z and the cache come from a pooled buffer: they stay valid
+// until the cache is released (Backward releases it), and must be copied by
+// callers that need them longer.
 func (e *GraphEncoder) Forward(tag int) ([]float64, *tagForward) {
 	hd := e.Heads * e.Dim
-	cache := &tagForward{tag: tag}
+	cache := tfPool.Get().(*tagForward)
+	cache.tag = tag
+	nPaths := len(e.Paths)
+	cache.neigh = growOuter(cache.neigh, nPaths)
+	cache.attn = growOuter(cache.attn, nPaths)
+	cache.preAct = growOuter(cache.preAct, nPaths)
+	cache.sumVec = growOuter(cache.sumVec, nPaths)
+	cache.hPath = growOuter(cache.hPath, nPaths)
+	cache.uPath = growOuter(cache.uPath, nPaths)
 	xt := e.X.Value.Row(tag)
 
 	for pi, path := range e.Paths {
 		nb := e.Neighbors.Neighbors(hetgraph.NodeID(tag), path)
 		// Self-loop keeps the aggregation well-defined for isolated tags and
 		// lets the target contribute to its own embedding.
-		ids := make([]int, 0, len(nb)+1)
-		ids = append(ids, tag)
-		for _, n := range nb {
-			ids = append(ids, int(n))
+		ids := ensureInts(cache.neigh[pi], len(nb)+1)
+		ids[0] = tag
+		for i, n := range nb {
+			ids[i+1] = int(n)
 		}
-		cache.neigh = append(cache.neigh, ids)
+		cache.neigh[pi] = ids
 
-		h := make([]float64, 0, hd)
-		var attnPath, prePath, sumPath [][]float64
+		h := mat.EnsureVec(cache.hPath[pi], hd)
+		attnPath := growOuter(cache.attn[pi], e.Heads)
+		prePath := growOuter(cache.preAct[pi], e.Heads)
+		sumPath := growOuter(cache.sumVec[pi], e.Heads)
 		for head := 0; head < e.Heads; head++ {
 			w := e.Wn[pi][head].Value.Data // 2d
-			pre := make([]float64, len(ids))
+			pre := mat.EnsureVec(prePath[head], len(ids))
 			for i, n := range ids {
 				xn := e.X.Value.Row(n)
 				var s float64
@@ -154,57 +227,53 @@ func (e *GraphEncoder) Forward(tag int) ([]float64, *tagForward) {
 				}
 				pre[i] = leaky(s)
 			}
-			var a []float64
+			a := mat.EnsureVec(attnPath[head], len(ids))
 			if e.UniformNeighbor {
-				a = make([]float64, len(ids))
 				u := 1 / float64(len(ids))
 				for i := range a {
 					a[i] = u
 				}
 			} else {
-				a = mat.Softmax(pre)
+				mat.SoftmaxInto(pre, a)
 			}
-			sum := make([]float64, e.Dim)
+			sum := ensureZero(sumPath[head], e.Dim)
 			for i, n := range ids {
 				mat.AXPY(a[i], e.X.Value.Row(n), sum)
 			}
-			out := make([]float64, e.Dim)
+			out := h[head*e.Dim : (head+1)*e.Dim]
 			for j, v := range sum {
 				out[j] = nn.Sigmoid(v)
 			}
-			h = append(h, out...)
-			attnPath = append(attnPath, a)
-			prePath = append(prePath, pre)
-			sumPath = append(sumPath, sum)
+			attnPath[head], prePath[head], sumPath[head] = a, pre, sum
 		}
-		cache.attn = append(cache.attn, attnPath)
-		cache.preAct = append(cache.preAct, prePath)
-		cache.sumVec = append(cache.sumVec, sumPath)
-		cache.hPath = append(cache.hPath, h)
+		cache.attn[pi] = attnPath
+		cache.preAct[pi] = prePath
+		cache.sumVec[pi] = sumPath
+		cache.hPath[pi] = h
 	}
 
 	// Metapath attention (eq. 6-7).
-	betaRaw := make([]float64, len(e.Paths))
+	betaRaw := mat.EnsureVec(cache.betaRaw, nPaths)
+	cache.betaRaw = betaRaw
 	for pi := range e.Paths {
-		u := make([]float64, hd)
+		u := mat.EnsureVec(cache.uPath[pi], hd)
 		for i := 0; i < hd; i++ {
 			u[i] = math.Tanh(mat.Dot(e.Wp.Value.Row(i), cache.hPath[pi]) + e.Bp.Value.At(0, i))
 		}
-		cache.uPath = append(cache.uPath, u)
+		cache.uPath[pi] = u
 		betaRaw[pi] = mat.Dot(e.Vp.Value.Row(0), u)
 	}
-	var beta []float64
+	beta := mat.EnsureVec(cache.beta, nPaths)
 	if e.UniformMetapath {
-		beta = make([]float64, len(e.Paths))
-		u := 1 / float64(len(e.Paths))
+		u := 1 / float64(nPaths)
 		for i := range beta {
 			beta[i] = u
 		}
 	} else {
-		beta = mat.Softmax(betaRaw)
+		mat.SoftmaxInto(betaRaw, beta)
 	}
 	cache.beta = beta
-	fused := make([]float64, hd)
+	fused := ensureZero(cache.fused, hd)
 	for pi := range e.Paths {
 		mat.AXPY(beta[pi], cache.hPath[pi], fused)
 	}
@@ -216,21 +285,24 @@ func (e *GraphEncoder) Forward(tag int) ([]float64, *tagForward) {
 	// embeddings collapse toward their neighborhood mean and the sequence
 	// layers cannot read which tag was actually clicked (a standard GNN
 	// residual, documented in DESIGN.md).
-	z := make([]float64, e.Dim)
+	z := mat.EnsureVec(cache.z, e.Dim)
 	for i := 0; i < e.Dim; i++ {
 		z[i] = mat.Dot(e.Wl.Value.Row(i), fused) + e.Bl.Value.At(0, i) + xt[i]
 	}
+	cache.z = z
 	return z, cache
 }
 
 // Backward propagates dz for one tag through metapath and neighbor attention
-// into all parameters and node features.
+// into all parameters and node features. It releases the cache: neither c nor
+// the z returned with it may be used afterwards.
 func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
 	hd := e.Heads * e.Dim
 	// Residual path: dz flows straight into the node's own features.
 	mat.AXPY(1, dz, e.X.Grad.Row(c.tag))
 	// z = Wl fused + bl (+ x_t).
-	dFused := make([]float64, hd)
+	dFused := ensureZero(e.bwdFused, hd)
+	e.bwdFused = dFused
 	for i := 0; i < e.Dim; i++ {
 		g := dz[i]
 		if g == 0 {
@@ -241,10 +313,12 @@ func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
 		mat.AXPY(g, e.Wl.Value.Row(i), dFused)
 	}
 
-	dH := make([][]float64, len(e.Paths))
-	dBeta := make([]float64, len(e.Paths))
+	e.bwdH = growOuter(e.bwdH, len(e.Paths))
+	dH := e.bwdH
+	dBeta := mat.EnsureVec(e.bwdBeta, len(e.Paths))
+	e.bwdBeta = dBeta
 	for pi := range e.Paths {
-		dH[pi] = make([]float64, hd)
+		dH[pi] = ensureZero(dH[pi], hd)
 		mat.AXPY(c.beta[pi], dFused, dH[pi])
 		dBeta[pi] = mat.Dot(dFused, c.hPath[pi])
 	}
@@ -285,13 +359,15 @@ func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
 			sum := c.sumVec[pi][head]
 			a := c.attn[pi][head]
 			// out = sigmoid(sum).
-			dSum := make([]float64, e.Dim)
+			dSum := mat.EnsureVec(e.bwdSum, e.Dim)
+			e.bwdSum = dSum
 			for j := range dSum {
 				s := nn.Sigmoid(sum[j])
 				dSum[j] = dOut[j] * s * (1 - s)
 			}
 			// sum = sum_n a_n x_n.
-			da := make([]float64, len(ids))
+			da := mat.EnsureVec(e.bwdDa, len(ids))
+			e.bwdDa = da
 			for i, n := range ids {
 				da[i] = mat.Dot(dSum, e.X.Value.Row(n))
 				mat.AXPY(a[i], dSum, e.X.Grad.Row(n))
@@ -326,6 +402,7 @@ func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
 			}
 		}
 	}
+	e.release(c)
 }
 
 // EmbedAll runs Forward for every tag and returns the NumTags x Dim matrix
@@ -336,8 +413,9 @@ func (e *GraphEncoder) Backward(dz []float64, c *tagForward) {
 func (e *GraphEncoder) EmbedAll() *mat.Matrix {
 	out := mat.New(e.NumTags, e.Dim)
 	par.New(e.Workers).For(e.NumTags, func(t int) {
-		z, _ := e.Forward(t)
+		z, c := e.Forward(t)
 		out.SetRow(t, z)
+		e.release(c)
 	})
 	return out
 }

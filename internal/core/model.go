@@ -72,6 +72,20 @@ type Model struct {
 
 	params    *nn.Collector // sequence-side parameters
 	allParams *nn.Collector // sequence + graph parameters
+
+	// Owned hot-path buffers, reused across calls (see DESIGN.md "Memory
+	// discipline"). Replicas start with these nil and grow their own, so a
+	// model instance must not run forward passes concurrently — use
+	// Replicate/ScorerReplicas for that, exactly as before.
+	xBuf      *mat.Matrix   // seqForward/lastHidden input matrix
+	logitsBuf *mat.Matrix   // tied-mode logits
+	dhBuf     *mat.Matrix   // tied-mode dH
+	hBuf      *mat.Matrix   // contextual-attention-ablation hidden states
+	dxBuf     *mat.Matrix   // contextual-attention-ablation dX
+	meanBuf   []float64     // ablation mean vector
+	caches    []*tagForward // per-position graph caches
+	itemsBuf  []int         // history + trailing mask slot
+	hOut      []float64     // lastHidden result
 }
 
 // NewModel builds the model around a graph encoder.
@@ -185,26 +199,32 @@ func (m *Model) embed(tag int) ([]float64, *tagForward) {
 // returning gradients into the graph encoder unless frozen.
 func (m *Model) seqForward(items []int, masked map[int]bool) (*mat.Matrix, func(dLogits *mat.Matrix)) {
 	n := len(items)
-	x := mat.New(n, m.Cfg.Dim)
-	caches := make([]*tagForward, n)
+	m.xBuf = mat.Ensure(m.xBuf, n, m.Cfg.Dim)
+	x := m.xBuf
+	m.caches = m.caches[:0]
 	for i, tag := range items {
 		if masked[i] {
 			copy(x.Row(i), m.MaskEmb.Value.Row(0))
+			m.caches = append(m.caches, nil)
 			continue
 		}
 		z, cache := m.embed(tag)
 		copy(x.Row(i), z)
-		caches[i] = cache
+		m.caches = append(m.caches, cache)
 	}
+	caches := m.caches
 	var h *mat.Matrix
 	if m.Cfg.WithoutContextualAttention {
 		// Ablated contextual attention: every position sees the unordered
 		// mean of the inputs (a bag-of-clicks context).
-		mean := mat.SumRows(x)
+		mean := mat.EnsureVec(m.meanBuf, m.Cfg.Dim)
+		m.meanBuf = mean
+		mat.SumRowsInto(x, mean)
 		for j := range mean {
 			mean[j] /= float64(n)
 		}
-		h = mat.New(n, m.Cfg.Dim)
+		m.hBuf = mat.Ensure(m.hBuf, n, m.Cfg.Dim)
+		h = m.hBuf
 		for i := 0; i < n; i++ {
 			h.SetRow(i, mean)
 		}
@@ -215,9 +235,15 @@ func (m *Model) seqForward(items []int, masked map[int]bool) (*mat.Matrix, func(
 	if m.Proj != nil {
 		logits = m.Proj.Forward(h)
 	} else {
-		logits = mat.AddRowVec(mat.MatMulT(h, m.Graph.X.Value), m.OutBias.Value.Row(0))
+		m.logitsBuf = mat.Ensure(m.logitsBuf, h.Rows, m.NumTags)
+		logits = m.logitsBuf
+		mat.MatMulTInto(logits, h, m.Graph.X.Value)
+		mat.AddRowVecInto(logits, logits, m.OutBias.Value.Row(0))
 	}
 
+	// The closure (like the returned logits) reads model-owned buffers, so it
+	// must run before the next forward pass on this model — every trainer
+	// invokes it immediately.
 	backward := func(dLogits *mat.Matrix) {
 		var dH *mat.Matrix
 		if m.Proj != nil {
@@ -227,19 +253,27 @@ func (m *Model) seqForward(items []int, masked map[int]bool) (*mat.Matrix, func(
 			for i := 0; i < dLogits.Rows; i++ {
 				mat.AXPY(1, dLogits.Row(i), bg)
 			}
-			dH = mat.MatMul(dLogits, m.Graph.X.Value)
-			mat.AddInPlace(m.Graph.X.Grad, mat.TMatMul(dLogits, h))
+			m.dhBuf = mat.Ensure(m.dhBuf, dLogits.Rows, m.Cfg.Dim)
+			dH = m.dhBuf
+			mat.MatMulInto(dH, dLogits, m.Graph.X.Value)
+			dXG := mat.Shared.Get(m.NumTags, m.Cfg.Dim)
+			mat.TMatMulInto(dXG, dLogits, h)
+			mat.AddInPlace(m.Graph.X.Grad, dXG)
+			mat.Shared.Put(dXG)
 		}
 		var dX *mat.Matrix
 		if m.Cfg.WithoutContextualAttention {
-			dMean := mat.SumRows(dH)
-			dX = mat.New(n, m.Cfg.Dim)
+			dMean := mat.Shared.GetVec(m.Cfg.Dim)
+			mat.SumRowsInto(dH, dMean)
+			m.dxBuf = mat.Ensure(m.dxBuf, n, m.Cfg.Dim)
+			dX = m.dxBuf
 			for i := 0; i < n; i++ {
 				row := dX.Row(i)
 				for j := range row {
 					row[j] = dMean[j] / float64(n)
 				}
 			}
+			mat.Shared.PutVec(dMean)
 		} else {
 			dX = m.Pos.Backward(m.Enc.Backward(dH))
 		}
@@ -296,28 +330,44 @@ func (m *Model) ContextualAttention(history []int) [][]*mat.Matrix {
 // a handful of tags project just this row instead of every position against
 // every tag.
 func (m *Model) lastHidden(history []int) []float64 {
-	items := append(clipHistory(history, m.Cfg.MaxLen-1), 0)
+	items := m.histItems(history)
 	n := len(items)
-	x := mat.New(n, m.Cfg.Dim)
+	m.xBuf = mat.Ensure(m.xBuf, n, m.Cfg.Dim)
+	x := m.xBuf
 	for i, tag := range items {
 		if i == n-1 { // mask slot
 			copy(x.Row(i), m.MaskEmb.Value.Row(0))
 			continue
 		}
-		z, _ := m.embed(tag)
+		z, cache := m.embed(tag)
 		copy(x.Row(i), z)
+		m.Graph.release(cache)
 	}
 	if m.Cfg.WithoutContextualAttention {
-		mean := mat.SumRows(x)
+		mean := mat.EnsureVec(m.meanBuf, m.Cfg.Dim)
+		m.meanBuf = mean
+		mat.SumRowsInto(x, mean)
 		for j := range mean {
 			mean[j] /= float64(n)
 		}
 		return mean
 	}
 	h := m.Enc.Forward(m.Pos.Forward(x))
-	out := make([]float64, m.Cfg.Dim)
-	copy(out, h.Row(n-1))
-	return out
+	m.hOut = mat.EnsureVec(m.hOut, m.Cfg.Dim)
+	copy(m.hOut, h.Row(n-1))
+	return m.hOut
+}
+
+// histItems builds history-plus-mask-slot item ids into a model-owned buffer,
+// matching append(clipHistory(history, MaxLen-1), 0) value-for-value.
+func (m *Model) histItems(history []int) []int {
+	maxLen := m.Cfg.MaxLen - 1
+	if len(history) > maxLen {
+		history = history[len(history)-maxLen:]
+	}
+	m.itemsBuf = append(m.itemsBuf[:0], history...)
+	m.itemsBuf = append(m.itemsBuf, 0)
+	return m.itemsBuf
 }
 
 // scoreTag projects a hidden state onto one tag's output column, summing in

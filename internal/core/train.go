@@ -249,19 +249,18 @@ func trainBatched(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) flo
 // returns the mask-averaged loss.
 func clozeStep(m *Model, session []int, masked map[int]bool) float64 {
 	logits, backward := m.seqForward(session, masked)
-	dLogits := mat.New(len(session), m.NumTags)
+	dLogits := mat.Shared.Get(len(session), m.NumTags)
 	var loss float64
 	for i := range session {
 		if !masked[i] {
 			continue
 		}
-		li, grad := nn.SoftmaxCrossEntropy(logits.Row(i), session[i])
-		loss += li
-		dLogits.SetRow(i, grad)
+		loss += nn.SoftmaxCrossEntropyInto(logits.Row(i), session[i], dLogits.Row(i))
 	}
 	scale := 1 / float64(len(masked))
 	mat.ScaleInPlace(dLogits, scale)
 	backward(dLogits)
+	mat.Shared.Put(dLogits)
 	return loss * scale
 }
 
@@ -364,8 +363,8 @@ func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, nega
 func linkPredictionStep(enc *GraphEncoder, ed linkEdge) float64 {
 	za, ca := enc.Forward(ed.a)
 	zb, cb := enc.Forward(ed.b)
-	dza := make([]float64, enc.Dim)
-	dzb := make([]float64, enc.Dim)
+	dza := mat.Shared.GetVec(enc.Dim)
+	dzb := mat.Shared.GetVec(enc.Dim)
 	// Positive pair.
 	loss, dPos := nn.BinaryCrossEntropy(mat.Dot(za, zb), 1)
 	mat.AXPY(dPos, zb, dza)
@@ -379,12 +378,15 @@ func linkPredictionStep(enc *GraphEncoder, ed linkEdge) float64 {
 		ln, dNeg := nn.BinaryCrossEntropy(mat.Dot(za, zn), 0)
 		loss += ln
 		mat.AXPY(dNeg, zn, dza)
-		dzn := make([]float64, enc.Dim)
+		dzn := mat.Shared.GetVec(enc.Dim)
 		mat.AXPY(dNeg, za, dzn)
-		enc.Backward(dzn, cn)
+		enc.Backward(dzn, cn) // releases cn; zn is dead past this point
+		mat.Shared.PutVec(dzn)
 	}
 	enc.Backward(dza, ca)
 	enc.Backward(dzb, cb)
+	mat.Shared.PutVec(dza)
+	mat.Shared.PutVec(dzb)
 	return loss
 }
 

@@ -1,0 +1,187 @@
+package mat
+
+import "fmt"
+
+// This file holds the in-place ("Into") variants of the hot kernels. Each
+// writes its result into a caller-supplied destination instead of allocating,
+// and performs the floating-point accumulation in exactly the same order as
+// its allocating counterpart, so results are bit-identical. Destinations must
+// have the result shape (use Ensure to recycle a buffer) and — except where
+// noted — must not alias an input's backing slice.
+
+// Ensure returns m reshaped to rows x cols, reusing its backing array when
+// capacity allows and allocating a fresh matrix otherwise. Contents after
+// Ensure are unspecified: every Into kernel fully overwrites its destination,
+// so callers never see stale data through them. Pass nil to allocate.
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return New(rows, cols)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// EnsureVec returns v resized to length n, reusing its backing array when
+// capacity allows. Contents are unspecified.
+func EnsureVec(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// CopyInto copies src into dst (same shape required).
+func CopyInto(dst, src *Matrix) {
+	checkSame("CopyInto", dst, src)
+	copy(dst.Data, src.Data)
+}
+
+// MatMulInto computes dst = a*b. dst must be a.Rows x b.Cols and must not
+// alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulInto %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("MatMulInto", dst, a.Rows, b.Cols)
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTInto computes dst = a * b^T without materializing the transpose.
+// dst must be a.Rows x b.Rows and must not alias a or b.
+func MatMulTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulTInto %dx%d * (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("MatMulTInto", dst, a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			dst.Data[i*dst.Cols+j] = s
+		}
+	}
+}
+
+// TMatMulInto computes dst = a^T * b without materializing the transpose.
+// dst must be a.Cols x b.Cols and must not alias a or b.
+func TMatMulInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: TMatMulInto (%dx%d)^T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("TMatMulInto", dst, a.Cols, b.Cols)
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddInto computes dst = a+b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Matrix) {
+	checkSame("AddInto", a, b)
+	checkDst("AddInto", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+}
+
+// SubInto computes dst = a-b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Matrix) {
+	checkSame("SubInto", a, b)
+	checkDst("SubInto", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+}
+
+// MulInto computes the elementwise product dst = a*b. dst may alias a or b.
+func MulInto(dst, a, b *Matrix) {
+	checkSame("MulInto", a, b)
+	checkDst("MulInto", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+}
+
+// AddRowVecInto computes dst = a with v added to every row. dst may alias a.
+func AddRowVecInto(dst, a *Matrix, v []float64) {
+	if len(v) != a.Cols {
+		panic(fmt.Sprintf("mat: AddRowVecInto len %d != cols %d", len(v), a.Cols))
+	}
+	checkDst("AddRowVecInto", dst, a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		orow := dst.Row(i)
+		for j, x := range row {
+			orow[j] = x + v[j]
+		}
+	}
+}
+
+// ApplyInto computes dst = f applied elementwise to a. dst may alias a.
+func ApplyInto(dst, a *Matrix, f func(float64) float64) {
+	checkDst("ApplyInto", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// SoftmaxRowsInto applies a numerically stable softmax to each row of a,
+// writing into dst. dst may alias a.
+func SoftmaxRowsInto(dst, a *Matrix) {
+	checkDst("SoftmaxRowsInto", dst, a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		SoftmaxInto(a.Row(i), dst.Row(i))
+	}
+}
+
+// SumRowsInto writes the column-wise sum of all rows of a into sum
+// (len == a.Cols).
+func SumRowsInto(a *Matrix, sum []float64) {
+	if len(sum) != a.Cols {
+		panic(fmt.Sprintf("mat: SumRowsInto len %d != cols %d", len(sum), a.Cols))
+	}
+	for j := range sum {
+		sum[j] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			sum[j] += v
+		}
+	}
+}
+
+func checkDst(op string, dst *Matrix, rows, cols int) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("mat: %s dst %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+}

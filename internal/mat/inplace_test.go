@@ -1,0 +1,273 @@
+package mat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomShapes draws small random dimensions for the property tests.
+type randomShapes struct {
+	n, m, k int
+	seed    int64
+}
+
+// Generate implements quick.Generator with dims in [1, 8].
+func (randomShapes) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomShapes{
+		n:    1 + r.Intn(8),
+		m:    1 + r.Intn(8),
+		k:    1 + r.Intn(8),
+		seed: r.Int63(),
+	})
+}
+
+func randMatrix(g *RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	g.Normal(m, 1)
+	return m
+}
+
+// bitEqual reports exact (bit-level) equality: the Into kernels promise
+// identical accumulation order, not merely numerical closeness.
+func bitEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkProperty runs fn over random shapes via testing/quick.
+func checkProperty(t *testing.T, name string, fn func(s randomShapes) bool) {
+	t.Helper()
+	wrapped := func(s randomShapes) bool { return fn(s) }
+	if err := quick.Check(wrapped, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	checkProperty(t, "MatMulInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.k)
+		b := randMatrix(g, s.k, s.m)
+		want := MatMul(a, b)
+		dst := Shared.Get(s.n, s.m)
+		defer Shared.Put(dst)
+		dst.Fill(3.5) // stale contents must not leak through
+		MatMulInto(dst, a, b)
+		return bitEqual(dst, want)
+	})
+}
+
+func TestMatMulTIntoMatchesMatMulT(t *testing.T) {
+	checkProperty(t, "MatMulTInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.k)
+		b := randMatrix(g, s.m, s.k)
+		want := MatMulT(a, b)
+		dst := Shared.Get(s.n, s.m)
+		defer Shared.Put(dst)
+		dst.Fill(-1)
+		MatMulTInto(dst, a, b)
+		return bitEqual(dst, want)
+	})
+}
+
+func TestTMatMulIntoMatchesTMatMul(t *testing.T) {
+	checkProperty(t, "TMatMulInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.k, s.n)
+		b := randMatrix(g, s.k, s.m)
+		want := TMatMul(a, b)
+		dst := Shared.Get(s.n, s.m)
+		defer Shared.Put(dst)
+		dst.Fill(7)
+		TMatMulInto(dst, a, b)
+		return bitEqual(dst, want)
+	})
+}
+
+func TestAddSubMulIntoMatchAllocating(t *testing.T) {
+	checkProperty(t, "Add/Sub/MulInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.m)
+		b := randMatrix(g, s.n, s.m)
+		dst := New(s.n, s.m)
+		AddInto(dst, a, b)
+		if !bitEqual(dst, Add(a, b)) {
+			return false
+		}
+		SubInto(dst, a, b)
+		if !bitEqual(dst, Sub(a, b)) {
+			return false
+		}
+		MulInto(dst, a, b)
+		if !bitEqual(dst, Mul(a, b)) {
+			return false
+		}
+		// Aliased destination: dst == a must equal the allocating result.
+		wantMul := Mul(a, b)
+		MulInto(a, a, b)
+		return bitEqual(a, wantMul)
+	})
+}
+
+func TestAddRowVecIntoMatchesAddRowVec(t *testing.T) {
+	checkProperty(t, "AddRowVecInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.m)
+		v := make([]float64, s.m)
+		for i := range v {
+			v[i] = g.NormFloat64()
+		}
+		want := AddRowVec(a, v)
+		dst := New(s.n, s.m)
+		AddRowVecInto(dst, a, v)
+		if !bitEqual(dst, want) {
+			return false
+		}
+		// In-place over a itself.
+		AddRowVecInto(a, a, v)
+		return bitEqual(a, want)
+	})
+}
+
+func TestApplyIntoMatchesApply(t *testing.T) {
+	square := func(v float64) float64 { return v * v }
+	checkProperty(t, "ApplyInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.m)
+		want := Apply(a, square)
+		dst := New(s.n, s.m)
+		ApplyInto(dst, a, square)
+		return bitEqual(dst, want)
+	})
+}
+
+func TestSoftmaxRowsIntoMatchesSoftmaxRows(t *testing.T) {
+	checkProperty(t, "SoftmaxRowsInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.m)
+		want := SoftmaxRows(a)
+		dst := New(s.n, s.m)
+		SoftmaxRowsInto(dst, a)
+		if !bitEqual(dst, want) {
+			return false
+		}
+		// Aliased: softmax rows in place.
+		SoftmaxRowsInto(a, a)
+		return bitEqual(a, want)
+	})
+}
+
+func TestSumRowsIntoMatchesSumRows(t *testing.T) {
+	checkProperty(t, "SumRowsInto", func(s randomShapes) bool {
+		g := NewRNG(s.seed)
+		a := randMatrix(g, s.n, s.m)
+		want := SumRows(a)
+		got := make([]float64, s.m)
+		for i := range got {
+			got[i] = 99 // stale
+		}
+		SumRowsInto(a, got)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestEnsureReusesCapacity(t *testing.T) {
+	m := New(4, 8)
+	data := &m.Data[0]
+	m2 := Ensure(m, 2, 3)
+	if m2 != m || &m2.Data[0] != data || m2.Rows != 2 || m2.Cols != 3 {
+		t.Fatal("Ensure should reuse the backing array for a smaller shape")
+	}
+	m3 := Ensure(m2, 10, 10)
+	if m3 == m2 {
+		t.Fatal("Ensure must allocate when capacity is insufficient")
+	}
+	if got := Ensure(nil, 2, 2); got == nil || got.Rows != 2 {
+		t.Fatal("Ensure(nil) must allocate")
+	}
+}
+
+func TestPoolGetReturnsZeroedRightShape(t *testing.T) {
+	m := Shared.Get(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("Get(3,5) shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Fill(2)
+	Shared.Put(m)
+	m2 := Shared.Get(3, 5)
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("pooled matrix not zeroed on Get")
+		}
+	}
+	Shared.Put(m2)
+
+	v := Shared.GetVec(9)
+	if len(v) != 9 {
+		t.Fatalf("GetVec(9) len %d", len(v))
+	}
+	for i := range v {
+		v[i] = 1
+	}
+	Shared.PutVec(v)
+	v2 := Shared.GetVec(9)
+	for _, x := range v2 {
+		if x != 0 {
+			t.Fatal("pooled vec not zeroed on Get")
+		}
+	}
+	Shared.PutVec(v2)
+
+	ids := Shared.GetInts(4)
+	if len(ids) != 4 {
+		t.Fatalf("GetInts(4) len %d", len(ids))
+	}
+	ids[0] = 7
+	Shared.PutInts(ids)
+	ids2 := Shared.GetInts(4)
+	for _, x := range ids2 {
+		if x != 0 {
+			t.Fatal("pooled ints not zeroed on Get")
+		}
+	}
+	Shared.PutInts(ids2)
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			g := NewRNG(seed)
+			for i := 0; i < 200; i++ {
+				r, c := 1+g.Intn(16), 1+g.Intn(16)
+				m := Shared.Get(r, c)
+				for _, v := range m.Data {
+					if v != 0 {
+						panic("dirty pooled matrix")
+					}
+				}
+				m.Fill(float64(seed))
+				Shared.Put(m)
+			}
+			done <- true
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

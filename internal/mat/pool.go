@@ -1,0 +1,137 @@
+package mat
+
+import "sync"
+
+// Pool is a size-keyed recycler of matrices and scratch slices, backed by one
+// sync.Pool per power-of-two capacity class. It exists for the per-call
+// scratch of hot paths that cannot own their buffers — code that must stay
+// safe under concurrent callers (e.g. GraphEncoder.Forward fanned out by
+// EmbedAll) or whose buffer lifetime crosses a function boundary. Get returns
+// zeroed memory, so a pooled matrix behaves exactly like a fresh New one; Put
+// makes the memory eligible for reuse and must only be called once per Get,
+// after the last read of the buffer.
+//
+// The zero value is ready to use. Shared is the process-wide pool the nn and
+// core hot paths draw from.
+type Pool struct {
+	mats sync.Map // capacity class (int) -> *sync.Pool of *Matrix
+	vecs sync.Map // capacity class (int) -> *sync.Pool of *vecBox
+	ints sync.Map // capacity class (int) -> *sync.Pool of *intBox
+	// Boxes carry slice headers through the sync.Pools without allocating a
+	// header box per Put; emptied boxes are recycled through their own pools.
+	vecBoxes sync.Pool
+	intBoxes sync.Pool
+}
+
+type vecBox struct{ s []float64 }
+type intBox struct{ s []int }
+
+// Shared is the global pool used by the neural substrate's hot paths.
+var Shared Pool
+
+// sizeClass rounds n up to the next power of two so the number of distinct
+// pools stays logarithmic in the largest buffer.
+func sizeClass(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Get returns a zeroed rows x cols matrix from the pool.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	class := sizeClass(n)
+	pl, _ := p.mats.LoadOrStore(class, &sync.Pool{})
+	if v := pl.(*sync.Pool).Get(); v != nil {
+		m := v.(*Matrix)
+		m.Data = m.Data[:n]
+		m.Rows, m.Cols = rows, cols
+		m.Zero()
+		return m
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, class)}
+}
+
+// Put returns a matrix obtained from Get to the pool. nil is ignored.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	class := cap(m.Data)
+	if class != sizeClass(class) {
+		// Not one of ours (e.g. built by New with a non-power-of-two size);
+		// keep the pools homogeneous and let the GC have it.
+		return
+	}
+	pl, _ := p.mats.LoadOrStore(class, &sync.Pool{})
+	pl.(*sync.Pool).Put(m)
+}
+
+// GetVec returns a zeroed length-n float64 slice from the pool.
+func (p *Pool) GetVec(n int) []float64 {
+	class := sizeClass(n)
+	pl, _ := p.vecs.LoadOrStore(class, &sync.Pool{})
+	if v := pl.(*sync.Pool).Get(); v != nil {
+		b := v.(*vecBox)
+		s := b.s[:n]
+		b.s = nil
+		p.vecBoxes.Put(b)
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n, class)
+}
+
+// PutVec returns a slice obtained from GetVec to the pool.
+func (p *Pool) PutVec(v []float64) {
+	class := cap(v)
+	if class == 0 || class != sizeClass(class) {
+		return
+	}
+	b, _ := p.vecBoxes.Get().(*vecBox)
+	if b == nil {
+		b = new(vecBox)
+	}
+	b.s = v[:0]
+	pl, _ := p.vecs.LoadOrStore(class, &sync.Pool{})
+	pl.(*sync.Pool).Put(b)
+}
+
+// GetInts returns a zeroed length-n int slice from the pool.
+func (p *Pool) GetInts(n int) []int {
+	class := sizeClass(n)
+	pl, _ := p.ints.LoadOrStore(class, &sync.Pool{})
+	if v := pl.(*sync.Pool).Get(); v != nil {
+		b := v.(*intBox)
+		s := b.s[:n]
+		b.s = nil
+		p.intBoxes.Put(b)
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]int, n, class)
+}
+
+// PutInts returns a slice obtained from GetInts to the pool.
+func (p *Pool) PutInts(v []int) {
+	class := cap(v)
+	if class == 0 || class != sizeClass(class) {
+		return
+	}
+	b, _ := p.intBoxes.Get().(*intBox)
+	if b == nil {
+		b = new(intBox)
+	}
+	b.s = v[:0]
+	pl, _ := p.ints.LoadOrStore(class, &sync.Pool{})
+	pl.(*sync.Pool).Put(b)
+}

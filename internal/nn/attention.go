@@ -11,6 +11,12 @@ import (
 // Vaswani et al., the "MultiHead" operator of the paper's contextual
 // attention (eq. 9). It is bidirectional (no causal mask), matching the
 // BERT4Rec-style masked training the paper uses.
+//
+// All per-head work reads and writes column blocks [h*headDim, (h+1)*headDim)
+// of the projection buffers in place — no per-head copies. Every dot product
+// and accumulation runs in the same order as an explicit block-copy version
+// would, so results are bit-identical to one. All returned/cached matrices
+// are owned by the layer and reused across calls.
 type MultiHeadSelfAttention struct {
 	Dim, Heads int
 	headDim    int
@@ -23,6 +29,10 @@ type MultiHeadSelfAttention struct {
 	attn       []*mat.Matrix // per-head attention weights (n x n)
 	concat     *mat.Matrix
 	lastScores []*mat.Matrix // per-head pre-softmax scores, for introspection
+
+	// backward scratch, reused across calls
+	dq, dk, dv *mat.Matrix
+	dA, dS     *mat.Matrix
 }
 
 // NewMultiHeadSelfAttention returns an attention block with dim split across
@@ -40,75 +50,119 @@ func NewMultiHeadSelfAttention(name string, dim, heads int, g *mat.RNG) *MultiHe
 	}
 }
 
-// colBlock extracts columns [h*w, (h+1)*w) of m as a new matrix.
-func colBlock(m *mat.Matrix, h, w int) *mat.Matrix {
-	out := mat.New(m.Rows, w)
-	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[h*w:(h+1)*w])
+// blockMulT writes dst[i][j] = dot(a.Row(i)[lo:hi], b.Row(j)[lo:hi]) — the
+// block-column equivalent of MatMulT(colBlock(a), colBlock(b)).
+func blockMulT(dst, a, b *mat.Matrix, lo, hi int) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)[lo:hi]
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)[lo:hi]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
 	}
-	return out
 }
 
-// addColBlock adds src into columns [h*w, (h+1)*w) of dst.
-func addColBlock(dst, src *mat.Matrix, h, w int) {
-	for i := 0; i < dst.Rows; i++ {
-		drow := dst.Row(i)[h*w : (h+1)*w]
-		mat.AXPY(1, src.Row(i), drow)
+// blockMulAdd accumulates a * block(b) into the [lo:hi) column block of dst,
+// which must be zero there; matches MatMul's loop order and zero-skip so the
+// result is bit-identical to MatMul(a, colBlock(b)) added onto zeros.
+func blockMulAdd(dst, a, b *mat.Matrix, lo, hi int) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)[lo:hi]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)[lo:hi]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
 	}
 }
 
-// Forward runs self-attention over an n x Dim input, returning n x Dim.
+// blockTMulAdd accumulates a^T * block(b) into the [lo:hi) column block of
+// dst (which must be zero there); bit-identical to TMatMul(a, colBlock(b))
+// added onto zeros.
+func blockTMulAdd(dst, a, b *mat.Matrix, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)[lo:hi]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := dst.Row(i)[lo:hi]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Forward runs self-attention over an n x Dim input, returning n x Dim. The
+// result and the cached attention matrices are owned by the layer and valid
+// until the next Forward call.
 func (m *MultiHeadSelfAttention) Forward(x *mat.Matrix) *mat.Matrix {
 	m.x = x
 	m.q = m.Wq.Forward(x)
 	m.k = m.Wk.Forward(x)
 	m.v = m.Wv.Forward(x)
 	n := x.Rows
-	m.concat = mat.New(n, m.Dim)
-	m.attn = m.attn[:0]
-	m.lastScores = m.lastScores[:0]
+	m.concat = mat.Ensure(m.concat, n, m.Dim)
+	m.concat.Zero()
+	if m.attn == nil {
+		m.attn = make([]*mat.Matrix, m.Heads)
+		m.lastScores = make([]*mat.Matrix, m.Heads)
+	}
 	scale := 1 / math.Sqrt(float64(m.headDim))
 	for h := 0; h < m.Heads; h++ {
-		qh := colBlock(m.q, h, m.headDim)
-		kh := colBlock(m.k, h, m.headDim)
-		vh := colBlock(m.v, h, m.headDim)
-		scores := mat.MatMulT(qh, kh)
+		lo, hi := h*m.headDim, (h+1)*m.headDim
+		scores := mat.Ensure(m.lastScores[h], n, n)
+		m.lastScores[h] = scores
+		blockMulT(scores, m.q, m.k, lo, hi)
 		mat.ScaleInPlace(scores, scale)
-		m.lastScores = append(m.lastScores, scores.Clone())
-		a := mat.SoftmaxRows(scores)
-		m.attn = append(m.attn, a)
-		oh := mat.MatMul(a, vh)
-		addColBlock(m.concat, oh, h, m.headDim)
+		a := mat.Ensure(m.attn[h], n, n)
+		m.attn[h] = a
+		mat.SoftmaxRowsInto(a, scores)
+		blockMulAdd(m.concat, a, m.v, lo, hi)
 	}
 	return m.Wo.Forward(m.concat)
 }
 
 // AttentionWeights returns the per-head softmax attention matrices of the
-// most recent Forward call; used by the Figure 5 case study.
+// most recent Forward call; used by the Figure 5 case study. The matrices are
+// layer-owned — read (or copy) them before the next Forward.
 func (m *MultiHeadSelfAttention) AttentionWeights() []*mat.Matrix { return m.attn }
 
 // Backward accumulates all projection gradients and returns dX.
 func (m *MultiHeadSelfAttention) Backward(dOut *mat.Matrix) *mat.Matrix {
 	dConcat := m.Wo.Backward(dOut)
 	n := m.x.Rows
-	dq := mat.New(n, m.Dim)
-	dk := mat.New(n, m.Dim)
-	dv := mat.New(n, m.Dim)
+	m.dq = mat.Ensure(m.dq, n, m.Dim)
+	m.dk = mat.Ensure(m.dk, n, m.Dim)
+	m.dv = mat.Ensure(m.dv, n, m.Dim)
+	m.dq.Zero()
+	m.dk.Zero()
+	m.dv.Zero()
+	m.dA = mat.Ensure(m.dA, n, n)
+	m.dS = mat.Ensure(m.dS, n, n)
 	scale := 1 / math.Sqrt(float64(m.headDim))
 	for h := 0; h < m.Heads; h++ {
-		dOh := colBlock(dConcat, h, m.headDim)
+		lo, hi := h*m.headDim, (h+1)*m.headDim
 		a := m.attn[h]
-		vh := colBlock(m.v, h, m.headDim)
-		qh := colBlock(m.q, h, m.headDim)
-		kh := colBlock(m.k, h, m.headDim)
 
-		dA := mat.MatMulT(dOh, vh) // n x n
-		dVh := mat.TMatMul(a, dOh) // n x headDim
+		blockMulT(m.dA, dConcat, m.v, lo, hi)  // dA = dOh * vh^T, n x n
+		blockTMulAdd(m.dv, a, dConcat, lo, hi) // dVh = a^T * dOh
 
 		// Softmax backward per row: dS = A * (dA - rowsum(dA*A)).
-		dS := mat.New(n, n)
 		for i := 0; i < n; i++ {
-			arow, darow, dsrow := a.Row(i), dA.Row(i), dS.Row(i)
+			arow, darow, dsrow := a.Row(i), m.dA.Row(i), m.dS.Row(i)
 			var dot float64
 			for j, av := range arow {
 				dot += darow[j] * av
@@ -117,17 +171,13 @@ func (m *MultiHeadSelfAttention) Backward(dOut *mat.Matrix) *mat.Matrix {
 				dsrow[j] = av * (darow[j] - dot)
 			}
 		}
-		mat.ScaleInPlace(dS, scale)
-		dQh := mat.MatMul(dS, kh)  // n x headDim
-		dKh := mat.TMatMul(dS, qh) // n x headDim
-
-		addColBlock(dq, dQh, h, m.headDim)
-		addColBlock(dk, dKh, h, m.headDim)
-		addColBlock(dv, dVh, h, m.headDim)
+		mat.ScaleInPlace(m.dS, scale)
+		blockMulAdd(m.dq, m.dS, m.k, lo, hi)  // dQh = dS * kh
+		blockTMulAdd(m.dk, m.dS, m.q, lo, hi) // dKh = dS^T * qh
 	}
-	dx := m.Wq.Backward(dq)
-	mat.AddInPlace(dx, m.Wk.Backward(dk))
-	mat.AddInPlace(dx, m.Wv.Backward(dv))
+	dx := m.Wq.Backward(m.dq)
+	mat.AddInPlace(dx, m.Wk.Backward(m.dk))
+	mat.AddInPlace(dx, m.Wv.Backward(m.dv))
 	return dx
 }
 

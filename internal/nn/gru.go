@@ -23,6 +23,12 @@ type GRU struct {
 	hs         *mat.Matrix // hidden states h_1..h_n
 	zs, rs, cs *mat.Matrix
 	rhPrev     *mat.Matrix // r ⊙ h_{t-1}
+
+	// Owned scratch, reused across calls.
+	hPrev, az, ar, ah, ftmp                    []float64
+	dx                                         *mat.Matrix
+	dhNext, daz, dar, dah, drh, dhPrev, dh, h0 []float64
+	btmp                                       []float64
 }
 
 // NewGRU returns an initialized GRU.
@@ -67,17 +73,21 @@ func outerAcc(grad *mat.Matrix, a, b []float64) {
 func (g *GRU) Forward(x *mat.Matrix) *mat.Matrix {
 	n := x.Rows
 	g.xs = x
-	g.hs = mat.New(n, g.Hidden)
-	g.zs = mat.New(n, g.Hidden)
-	g.rs = mat.New(n, g.Hidden)
-	g.cs = mat.New(n, g.Hidden)
-	g.rhPrev = mat.New(n, g.Hidden)
+	g.hs = mat.Ensure(g.hs, n, g.Hidden)
+	g.zs = mat.Ensure(g.zs, n, g.Hidden)
+	g.rs = mat.Ensure(g.rs, n, g.Hidden)
+	g.cs = mat.Ensure(g.cs, n, g.Hidden)
+	g.rhPrev = mat.Ensure(g.rhPrev, n, g.Hidden)
 
-	hPrev := make([]float64, g.Hidden)
-	az := make([]float64, g.Hidden)
-	ar := make([]float64, g.Hidden)
-	ah := make([]float64, g.Hidden)
-	tmp := make([]float64, g.Hidden)
+	g.hPrev = mat.EnsureVec(g.hPrev, g.Hidden)
+	g.az = mat.EnsureVec(g.az, g.Hidden)
+	g.ar = mat.EnsureVec(g.ar, g.Hidden)
+	g.ah = mat.EnsureVec(g.ah, g.Hidden)
+	g.ftmp = mat.EnsureVec(g.ftmp, g.Hidden)
+	hPrev, az, ar, ah, tmp := g.hPrev, g.az, g.ar, g.ah, g.ftmp
+	for j := range hPrev {
+		hPrev[j] = 0
+	}
 	for t := 0; t < n; t++ {
 		xt := x.Row(t)
 		vecMat(xt, g.Wz.Value, az)
@@ -112,23 +122,32 @@ func (g *GRU) Forward(x *mat.Matrix) *mat.Matrix {
 // returns dX.
 func (g *GRU) Backward(dH *mat.Matrix) *mat.Matrix {
 	n := dH.Rows
-	dx := mat.New(n, g.In)
-	dhNext := make([]float64, g.Hidden) // recurrent gradient flowing backward
-	daz := make([]float64, g.Hidden)
-	dar := make([]float64, g.Hidden)
-	dah := make([]float64, g.Hidden)
-	drh := make([]float64, g.Hidden)
-	dhPrev := make([]float64, g.Hidden)
-	tmp := make([]float64, max(g.In, g.Hidden))
+	g.dx = mat.Ensure(g.dx, n, g.In)
+	g.dx.Zero()
+	dx := g.dx
+	g.dhNext = mat.EnsureVec(g.dhNext, g.Hidden) // recurrent gradient flowing backward
+	g.daz = mat.EnsureVec(g.daz, g.Hidden)
+	g.dar = mat.EnsureVec(g.dar, g.Hidden)
+	g.dah = mat.EnsureVec(g.dah, g.Hidden)
+	g.drh = mat.EnsureVec(g.drh, g.Hidden)
+	g.dhPrev = mat.EnsureVec(g.dhPrev, g.Hidden)
+	g.dh = mat.EnsureVec(g.dh, g.Hidden)
+	g.h0 = mat.EnsureVec(g.h0, g.Hidden)
+	g.btmp = mat.EnsureVec(g.btmp, max(g.In, g.Hidden))
+	dhNext, daz, dar, dah, drh, dhPrev, tmp := g.dhNext, g.daz, g.dar, g.dah, g.drh, g.dhPrev, g.btmp
+	for j := range dhNext {
+		dhNext[j] = 0
+		g.h0[j] = 0
+	}
 	for t := n - 1; t >= 0; t-- {
 		var hPrev []float64
 		if t > 0 {
 			hPrev = g.hs.Row(t - 1)
 		} else {
-			hPrev = make([]float64, g.Hidden)
+			hPrev = g.h0
 		}
 		z, r, c, rh := g.zs.Row(t), g.rs.Row(t), g.cs.Row(t), g.rhPrev.Row(t)
-		dh := make([]float64, g.Hidden)
+		dh := g.dh
 		copy(dh, dH.Row(t))
 		mat.AXPY(1, dhNext, dh)
 

@@ -6,6 +6,14 @@ import (
 	"intellitag/internal/mat"
 )
 
+// Buffer discipline (see DESIGN.md "Memory discipline"): every layer owns its
+// forward output and backward dX buffers and reuses them across steps via
+// mat.Ensure. A layer's returned matrix is therefore only valid until the next
+// Forward/Backward call on that same layer instance — callers that need the
+// values longer must copy. Gradient accumulation into shared Params goes
+// through mat.Shared pool scratch so the floating-point accumulation order is
+// identical to the old allocating code (bit-identical training trajectories).
+
 // Linear is a fully connected layer computing x*W + b for row-vector inputs.
 type Linear struct {
 	In, Out int
@@ -13,7 +21,9 @@ type Linear struct {
 	B       *Param // 1 x Out
 	useBias bool
 
-	x *mat.Matrix // cached input
+	x   *mat.Matrix // cached input
+	out *mat.Matrix // owned forward buffer, reused across calls
+	dx  *mat.Matrix // owned backward buffer
 }
 
 // NewLinear returns an initialized In->Out linear layer.
@@ -30,17 +40,19 @@ func NewLinearNoBias(name string, in, out int, g *mat.RNG) *Linear {
 	return l
 }
 
-// Forward computes x*W(+b) for an n x In input, returning n x Out.
+// Forward computes x*W(+b) for an n x In input, returning n x Out. The result
+// is owned by the layer and overwritten by the next Forward call.
 func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
 	if x.Cols != l.In {
 		shapeCheck("Linear.Forward", x, x.Rows, l.In)
 	}
 	l.x = x
-	out := mat.MatMul(x, l.W.Value)
+	l.out = mat.Ensure(l.out, x.Rows, l.Out)
+	mat.MatMulInto(l.out, x, l.W.Value)
 	if l.useBias {
-		out = mat.AddRowVec(out, l.B.Value.Row(0))
+		mat.AddRowVecInto(l.out, l.out, l.B.Value.Row(0))
 	}
-	return out
+	return l.out
 }
 
 // Backward accumulates dW, db and returns dX.
@@ -52,14 +64,19 @@ func (l *Linear) Backward(dOut *mat.Matrix) *mat.Matrix {
 // supplied input, for layers applied more than once per forward pass (e.g.
 // shared message transforms in graph propagation).
 func (l *Linear) BackwardAt(x, dOut *mat.Matrix) *mat.Matrix {
-	mat.AddInPlace(l.W.Grad, mat.TMatMul(x, dOut))
+	dW := mat.Shared.Get(l.In, l.Out)
+	mat.TMatMulInto(dW, x, dOut)
+	mat.AddInPlace(l.W.Grad, dW)
+	mat.Shared.Put(dW)
 	if l.useBias {
 		bg := l.B.Grad.Row(0)
 		for i := 0; i < dOut.Rows; i++ {
 			mat.AXPY(1, dOut.Row(i), bg)
 		}
 	}
-	return mat.MatMulT(dOut, l.W.Value)
+	l.dx = mat.Ensure(l.dx, dOut.Rows, l.In)
+	mat.MatMulTInto(l.dx, dOut, l.W.Value)
+	return l.dx
 }
 
 // CollectParams registers W (and b when used).
@@ -75,7 +92,8 @@ type Embedding struct {
 	Vocab, Dim int
 	Table      *Param
 
-	ids []int // cached lookup for backward
+	ids []int       // cached lookup for backward
+	out *mat.Matrix // owned forward buffer
 }
 
 // NewEmbedding returns a Vocab x Dim embedding table initialized N(0, 0.02).
@@ -85,14 +103,15 @@ func NewEmbedding(name string, vocab, dim int, g *mat.RNG) *Embedding {
 	return e
 }
 
-// Forward gathers the rows for ids into a len(ids) x Dim matrix.
+// Forward gathers the rows for ids into a len(ids) x Dim matrix, owned by the
+// layer and overwritten on the next call.
 func (e *Embedding) Forward(ids []int) *mat.Matrix {
 	e.ids = append(e.ids[:0], ids...)
-	out := mat.New(len(ids), e.Dim)
+	e.out = mat.Ensure(e.out, len(ids), e.Dim)
 	for i, id := range ids {
-		copy(out.Row(i), e.Table.Value.Row(id))
+		copy(e.out.Row(i), e.Table.Value.Row(id))
 	}
-	return out
+	return e.out
 }
 
 // Backward scatters dOut rows into the table gradient.
@@ -115,6 +134,9 @@ type LayerNorm struct {
 
 	xhat   *mat.Matrix
 	invStd []float64
+	out    *mat.Matrix // owned forward buffer
+	dx     *mat.Matrix // owned backward buffer
+	dxhat  []float64   // per-row scratch, hoisted out of the backward loop
 }
 
 // NewLayerNorm returns a layer norm over Dim features (gamma=1, beta=0).
@@ -124,12 +146,12 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 	return ln
 }
 
-// Forward normalizes each row of x.
+// Forward normalizes each row of x. The result is owned by the layer.
 func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
 	n := x.Rows
-	ln.xhat = mat.New(n, ln.Dim)
-	ln.invStd = make([]float64, n)
-	out := mat.New(n, ln.Dim)
+	ln.xhat = mat.Ensure(ln.xhat, n, ln.Dim)
+	ln.invStd = mat.EnsureVec(ln.invStd, n)
+	ln.out = mat.Ensure(ln.out, n, ln.Dim)
 	gamma, beta := ln.Gamma.Value.Row(0), ln.Beta.Value.Row(0)
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
@@ -146,22 +168,24 @@ func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
 		variance /= float64(ln.Dim)
 		inv := 1 / math.Sqrt(variance+ln.eps)
 		ln.invStd[i] = inv
-		xh, orow := ln.xhat.Row(i), out.Row(i)
+		xh, orow := ln.xhat.Row(i), ln.out.Row(i)
 		for j, v := range row {
 			xh[j] = (v - mean) * inv
 			orow[j] = xh[j]*gamma[j] + beta[j]
 		}
 	}
-	return out
+	return ln.out
 }
 
-// Backward accumulates dGamma, dBeta and returns dX.
+// Backward accumulates dGamma, dBeta and returns dX (owned by the layer).
 func (ln *LayerNorm) Backward(dOut *mat.Matrix) *mat.Matrix {
 	n := dOut.Rows
-	dx := mat.New(n, ln.Dim)
+	ln.dx = mat.Ensure(ln.dx, n, ln.Dim)
+	ln.dxhat = mat.EnsureVec(ln.dxhat, ln.Dim)
 	gamma := ln.Gamma.Value.Row(0)
 	gGrad, bGrad := ln.Gamma.Grad.Row(0), ln.Beta.Grad.Row(0)
 	d := float64(ln.Dim)
+	dxhat := ln.dxhat
 	for i := 0; i < n; i++ {
 		drow, xh := dOut.Row(i), ln.xhat.Row(i)
 		// Parameter gradients.
@@ -171,19 +195,18 @@ func (ln *LayerNorm) Backward(dOut *mat.Matrix) *mat.Matrix {
 		}
 		// dxhat = dOut * gamma; then the standard layernorm input gradient.
 		var sumD, sumDX float64
-		dxhat := make([]float64, ln.Dim)
 		for j, g := range drow {
 			dxhat[j] = g * gamma[j]
 			sumD += dxhat[j]
 			sumDX += dxhat[j] * xh[j]
 		}
 		inv := ln.invStd[i]
-		dxr := dx.Row(i)
+		dxr := ln.dx.Row(i)
 		for j := range dxhat {
 			dxr[j] = inv / d * (d*dxhat[j] - sumD - xh[j]*sumDX)
 		}
 	}
-	return dx
+	return ln.dx
 }
 
 // CollectParams registers gamma and beta.
@@ -196,7 +219,10 @@ type Dropout struct {
 	Train bool
 	rng   *mat.RNG
 
-	mask *mat.Matrix
+	mask    *mat.Matrix
+	maskBuf *mat.Matrix // owned backing for mask, reused across steps
+	out     *mat.Matrix // owned forward buffer
+	dxBuf   *mat.Matrix // owned backward buffer
 }
 
 // NewDropout returns a dropout layer in training mode.
@@ -204,23 +230,28 @@ func NewDropout(p float64, g *mat.RNG) *Dropout {
 	return &Dropout{P: p, Train: true, rng: g}
 }
 
-// Forward applies (inverted) dropout in training mode.
+// Forward applies (inverted) dropout in training mode. In eval mode the input
+// is returned unchanged; in training mode the result is layer-owned.
 func (d *Dropout) Forward(x *mat.Matrix) *mat.Matrix {
 	if !d.Train || d.P <= 0 {
 		d.mask = nil
 		return x
 	}
-	d.mask = mat.New(x.Rows, x.Cols)
-	out := mat.New(x.Rows, x.Cols)
+	d.maskBuf = mat.Ensure(d.maskBuf, x.Rows, x.Cols)
+	d.mask = d.maskBuf
+	d.out = mat.Ensure(d.out, x.Rows, x.Cols)
 	keep := 1 - d.P
 	scale := 1 / keep
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask.Data[i] = scale
-			out.Data[i] = v * scale
+			d.out.Data[i] = v * scale
+		} else {
+			d.mask.Data[i] = 0
+			d.out.Data[i] = 0
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward routes gradients through the surviving units.
@@ -228,13 +259,17 @@ func (d *Dropout) Backward(dOut *mat.Matrix) *mat.Matrix {
 	if d.mask == nil {
 		return dOut
 	}
-	return mat.Mul(dOut, d.mask)
+	d.dxBuf = mat.Ensure(d.dxBuf, dOut.Rows, dOut.Cols)
+	mat.MulInto(d.dxBuf, dOut, d.mask)
+	return d.dxBuf
 }
 
 // Activation is an elementwise nonlinearity with a cached backward pass.
 type Activation struct {
 	fn, dfn func(float64) float64
 	x       *mat.Matrix
+	out     *mat.Matrix // owned forward buffer
+	dx      *mat.Matrix // owned backward buffer
 }
 
 // NewReLU returns a ReLU activation.
@@ -292,19 +327,21 @@ func NewGELU() *Activation {
 	return &Activation{fn: gelu, dfn: geluGrad}
 }
 
-// Forward applies the nonlinearity elementwise.
+// Forward applies the nonlinearity elementwise into a layer-owned buffer.
 func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
 	a.x = x
-	return mat.Apply(x, a.fn)
+	a.out = mat.Ensure(a.out, x.Rows, x.Cols)
+	mat.ApplyInto(a.out, x, a.fn)
+	return a.out
 }
 
 // Backward multiplies dOut by the derivative at the cached input.
 func (a *Activation) Backward(dOut *mat.Matrix) *mat.Matrix {
-	out := mat.New(dOut.Rows, dOut.Cols)
+	a.dx = mat.Ensure(a.dx, dOut.Rows, dOut.Cols)
 	for i, g := range dOut.Data {
-		out.Data[i] = g * a.dfn(a.x.Data[i])
+		a.dx.Data[i] = g * a.dfn(a.x.Data[i])
 	}
-	return out
+	return a.dx
 }
 
 // Sigmoid is the logistic function.

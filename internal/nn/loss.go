@@ -10,12 +10,19 @@ import (
 // row against a target class, returning the loss and dLogits. This is the
 // projection+loss of the paper's eq. 11-12 specialized to a one-hot target.
 func SoftmaxCrossEntropy(logits []float64, target int) (loss float64, dLogits []float64) {
-	probs := mat.Softmax(logits)
-	p := math.Max(probs[target], 1e-12)
-	loss = -math.Log(p)
-	dLogits = probs
-	dLogits[target] -= 1
+	dLogits = make([]float64, len(logits))
+	loss = SoftmaxCrossEntropyInto(logits, target, dLogits)
 	return loss, dLogits
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing dLogits into a
+// caller-supplied slice (e.g. a row of a pooled gradient matrix) instead of
+// allocating; dst must have len(logits). Returns the loss.
+func SoftmaxCrossEntropyInto(logits []float64, target int, dst []float64) float64 {
+	mat.SoftmaxInto(logits, dst)
+	p := math.Max(dst[target], 1e-12)
+	dst[target] -= 1
+	return -math.Log(p)
 }
 
 // BinaryCrossEntropy computes the logistic loss of a single logit against a

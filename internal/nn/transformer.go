@@ -49,6 +49,10 @@ type EncoderLayer struct {
 	norm2 *LayerNorm
 	drop1 *Dropout
 	drop2 *Dropout
+
+	// owned residual-sum and backward buffers, reused across calls
+	sum1, sum2 *mat.Matrix
+	dA, dX     *mat.Matrix
 }
 
 // NewEncoderLayer returns a Transformer encoder block.
@@ -71,19 +75,25 @@ func (e *EncoderLayer) SetTrain(train bool) {
 
 // Forward runs the block over an n x dim input.
 func (e *EncoderLayer) Forward(x *mat.Matrix) *mat.Matrix {
-	a := e.norm1.Forward(mat.Add(x, e.drop1.Forward(e.Attn.Forward(x))))
-	return e.norm2.Forward(mat.Add(a, e.drop2.Forward(e.FFN.Forward(a))))
+	e.sum1 = mat.Ensure(e.sum1, x.Rows, x.Cols)
+	mat.AddInto(e.sum1, x, e.drop1.Forward(e.Attn.Forward(x)))
+	a := e.norm1.Forward(e.sum1)
+	e.sum2 = mat.Ensure(e.sum2, a.Rows, a.Cols)
+	mat.AddInto(e.sum2, a, e.drop2.Forward(e.FFN.Forward(a)))
+	return e.norm2.Forward(e.sum2)
 }
 
-// Backward returns dX.
+// Backward returns dX (owned by the layer).
 func (e *EncoderLayer) Backward(dOut *mat.Matrix) *mat.Matrix {
 	dSum2 := e.norm2.Backward(dOut)
-	dA := dSum2.Clone()
-	mat.AddInPlace(dA, e.FFN.Backward(e.drop2.Backward(dSum2)))
-	dSum1 := e.norm1.Backward(dA)
-	dX := dSum1.Clone()
-	mat.AddInPlace(dX, e.Attn.Backward(e.drop1.Backward(dSum1)))
-	return dX
+	e.dA = mat.Ensure(e.dA, dSum2.Rows, dSum2.Cols)
+	mat.CopyInto(e.dA, dSum2)
+	mat.AddInPlace(e.dA, e.FFN.Backward(e.drop2.Backward(dSum2)))
+	dSum1 := e.norm1.Backward(e.dA)
+	e.dX = mat.Ensure(e.dX, dSum1.Rows, dSum1.Cols)
+	mat.CopyInto(e.dX, dSum1)
+	mat.AddInPlace(e.dX, e.Attn.Backward(e.drop1.Backward(dSum1)))
+	return e.dX
 }
 
 // CollectParams registers everything trainable in the block.
@@ -144,7 +154,8 @@ type PositionalEmbedding struct {
 	MaxLen, Dim int
 	Table       *Param
 
-	n int // cached sequence length
+	n   int         // cached sequence length
+	out *mat.Matrix // owned forward buffer
 }
 
 // NewPositionalEmbedding returns a learned positional table.
@@ -160,14 +171,14 @@ func (p *PositionalEmbedding) Forward(x *mat.Matrix) *mat.Matrix {
 		panic(fmt.Sprintf("nn: sequence length %d exceeds max %d", x.Rows, p.MaxLen))
 	}
 	p.n = x.Rows
-	out := mat.New(x.Rows, x.Cols)
+	p.out = mat.Ensure(p.out, x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
-		orow, xrow, prow := out.Row(i), x.Row(i), p.Table.Value.Row(i)
+		orow, xrow, prow := p.out.Row(i), x.Row(i), p.Table.Value.Row(i)
 		for j := range orow {
 			orow[j] = xrow[j] + prow[j]
 		}
 	}
-	return out
+	return p.out
 }
 
 // Backward accumulates positional gradients and passes dOut through.

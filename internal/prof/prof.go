@@ -1,0 +1,75 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools so hot paths (training steps, serving requests) can be
+// inspected with `go tool pprof` without per-command boilerplate.
+//
+// Importing the package registers both flags on the default flag set. After
+// flag.Parse(), call Start and defer the returned stop function:
+//
+//	defer prof.Start()()
+//
+// Long-running servers whose main never returns should additionally call
+// FlushOnInterrupt(stop) so profiles are written on Ctrl-C.
+package prof
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+)
+
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given and returns a stop
+// function that flushes the CPU profile and, when -memprofile was given,
+// writes a post-GC heap profile. Call it after flag.Parse(); the stop
+// function is safe to call when neither flag is set.
+func Start() (stop func()) {
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("prof: create cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("prof: start cpu profile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("prof: create mem profile: %v", err)
+			}
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("prof: write mem profile: %v", err)
+			}
+			f.Close()
+		}
+	}
+}
+
+// FlushOnInterrupt runs stop and exits when the process receives SIGINT or
+// SIGTERM. Servers that block in ListenAndServe use this so the deferred
+// stop (which would otherwise never run) still flushes profiles.
+func FlushOnInterrupt(stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stop()
+		os.Exit(0)
+	}()
+}
