@@ -1,12 +1,14 @@
-# Developer entry points. `make check` is the full pre-merge gate: formatting,
-# vet, build, the race-enabled test suite, and a short benchmark pass to catch
-# gross performance regressions.
+# Developer entry points. `make check` is the full pre-merge gate, in order:
+# fmt -> vet -> lint -> build -> test(-race) -> bench-short. Cheap textual
+# checks run first, intellilint gates the project invariants before anything
+# compiles twice, and the race-enabled tests plus a short benchmark pass close
+# out correctness and gross performance regressions.
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-short bench-all
+.PHONY: check fmt vet lint build test bench bench-short bench-all
 
-check: fmt vet build test bench-short
+check: fmt vet lint build test bench-short
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -16,6 +18,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# intellilint (internal/lint): pooldiscipline, intoalias, maporder, nakedgo,
+# errcheck. There is no lint-fix mode — every finding is either a real bug to
+# fix by hand or a reviewed exception to annotate with
+# `//lint:ignore <analyzer> <reason>` (the reason is mandatory).
+lint:
+	$(GO) run ./cmd/intellilint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,72 @@
+// Command intellilint runs the repo's custom static-analysis suite (see
+// internal/lint) over the given package patterns and exits non-zero on any
+// finding, so it can gate CI alongside vet and the race tests.
+//
+// Usage:
+//
+//	go run ./cmd/intellilint ./...
+//	go run ./cmd/intellilint -list            # print the analyzer catalog
+//
+// Findings print as `file:line: [analyzer] message`. A finding is suppressed
+// by `//lint:ignore <analyzer> <reason>` on the flagged line or the line
+// directly above it; the reason is mandatory and suppressions without one are
+// themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"intellitag/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their scopes, then exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns from")
+	wide := flag.Bool("wide", false, "ignore the scoping policy and run every analyzer on every package (exploration only, not the CI gate)")
+	flag.Parse()
+
+	suite := lint.DefaultSuite()
+	if *wide {
+		for i := range suite {
+			suite[i].Match = func(string) bool { return true }
+		}
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range lint.Run(suite, pkg) {
+			name := f.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "intellilint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

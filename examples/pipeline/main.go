@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"intellitag/internal/core"
 	"intellitag/internal/hetgraph"
@@ -59,15 +60,28 @@ func main() {
 	}
 }
 
-// clicksFromLog reconstructs training sessions from all logged days.
+// clicksFromLog reconstructs training sessions from all logged days, in
+// session-id order — training consumes these directly, so map-order
+// iteration would shuffle the training data between runs.
 func clicksFromLog(l *store.Log, upToDay int) [][]int {
+	bySession := l.SessionClicks(0, upToDay)
 	var out [][]int
-	for _, clicks := range l.SessionClicks(0, upToDay) {
-		if len(clicks) > 0 {
+	for _, sid := range sortedSessionIDs(bySession) {
+		if clicks := bySession[sid]; len(clicks) > 0 {
 			out = append(out, clicks)
 		}
 	}
 	return out
+}
+
+// sortedSessionIDs returns the keys of a per-session map in ascending order.
+func sortedSessionIDs(m map[int][]int) []int {
+	ids := make([]int, 0, len(m))
+	for sid := range m {
+		ids = append(ids, sid)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // graphFromLog rebuilds the heterogeneous graph: asc/crl from the (static)
@@ -80,12 +94,16 @@ func graphFromLog(w *synth.World, l *store.Log, upToDay int) *hetgraph.Graph {
 		}
 		g.AddCrl(hetgraph.NodeID(rq.ID), hetgraph.NodeID(rq.Tenant))
 	}
-	for _, clicks := range l.SessionClicks(0, upToDay) {
+	clickSessions := l.SessionClicks(0, upToDay)
+	for _, sid := range sortedSessionIDs(clickSessions) {
+		clicks := clickSessions[sid]
 		for i := 1; i < len(clicks); i++ {
 			g.AddClk(hetgraph.NodeID(clicks[i-1]), hetgraph.NodeID(clicks[i]))
 		}
 	}
-	for _, visits := range l.SessionRQVisits(0, upToDay) {
+	visitSessions := l.SessionRQVisits(0, upToDay)
+	for _, sid := range sortedSessionIDs(visitSessions) {
+		visits := visitSessions[sid]
 		for i := 1; i < len(visits); i++ {
 			g.AddCst(hetgraph.NodeID(visits[i-1]), hetgraph.NodeID(visits[i]))
 		}

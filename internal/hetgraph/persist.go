@@ -29,9 +29,14 @@ func (g *Graph) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("hetgraph: create: %w", err)
 	}
-	defer f.Close()
 	if err := gob.NewEncoder(f).Encode(blob); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error is what matters
 		return fmt.Errorf("hetgraph: encode: %w", err)
+	}
+	// Close errors on the write path can mean unflushed data — the daily
+	// rebuild would reload a truncated graph — so they must surface.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("hetgraph: close: %w", err)
 	}
 	return nil
 }
@@ -42,6 +47,7 @@ func Load(path string) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hetgraph: open: %w", err)
 	}
+	//lint:ignore errcheck read-only file; a close error cannot invalidate an already-validated decode
 	defer f.Close()
 	var blob graphBlob
 	if err := gob.NewDecoder(f).Decode(&blob); err != nil {

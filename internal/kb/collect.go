@@ -1,6 +1,8 @@
 package kb
 
 import (
+	"sort"
+
 	"intellitag/internal/textproc"
 )
 
@@ -78,7 +80,16 @@ func Collect(w *Warehouse, tenant int, questions []UserQuestion, cfg CollectConf
 	selector := textproc.NewAnswerSelector(replyCorpus)
 
 	res := CollectResult{Clusters: len(clusters)}
-	for _, members := range clusters {
+	// Walk clusters by sorted label: warehouse ids are assigned in insertion
+	// order, so iterating the cluster map directly would hand out different
+	// pair ids on every run.
+	clusterLabels := make([]int, 0, len(clusters))
+	for label := range clusters {
+		clusterLabels = append(clusterLabels, label)
+	}
+	sort.Ints(clusterLabels)
+	for _, label := range clusterLabels {
+		members := clusters[label]
 		hasRQ := false
 		for _, m := range members {
 			if items[m].isRQ {

@@ -93,11 +93,15 @@ func (w *Warehouse) Len() int {
 func (w *Warehouse) All() []Pair {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	out := make([]Pair, 0, len(w.pairs))
-	for _, p := range w.pairs {
-		out = append(out, p)
+	ids := make([]int, 0, len(w.pairs))
+	for id := range w.pairs {
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Ints(ids)
+	out := make([]Pair, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, w.pairs[id])
+	}
 	return out
 }
 

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is the errcheck-lite pass for the persistence and serving write
+// paths (internal/store, internal/kb, internal/serving): an expression or
+// defer statement whose call returns an error that nobody looks at is
+// flagged. The T+1 loop persists models, logs and knowledge bases every day;
+// a swallowed write error means the next morning's serving fleet loads
+// yesterday's (or corrupt) state with no trace in the logs.
+//
+// An explicit `_ = f()` assignment is not flagged — the blank assignment is
+// visible in review and states intent. Calls that cannot meaningfully fail
+// are exempt: methods on strings.Builder, bytes.Buffer and hash.Hash (all
+// documented to never return an error) and fmt prints to stdout/stderr,
+// where there is nothing sensible to do with a write error anyway.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results in store/kb/serving write paths must be checked",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardedError(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				// Goroutine launches are nakedgo's concern; their results are
+				// structurally unobservable here.
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(pass *Pass, call *ast.CallExpr, qualifier string) {
+	if !returnsError(pass, call) || errorFreeSink(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall %s discards its error result", qualifier, types.ExprString(call.Fun))
+}
+
+// returnsError reports whether the call's result type is error or a tuple
+// whose last element is error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// errorFreeSink exempts calls that cannot meaningfully fail: methods on
+// never-failing writers (strings.Builder, bytes.Buffer, hash.Hash), fmt
+// prints to stdout, and fmt.Fprint*/direct writes whose sink is one of those
+// or os.Stdout/os.Stderr.
+func errorFreeSink(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, ok := sel.X.(*ast.Ident); ok && isPkgRef(pass, pkg, "fmt") {
+		switch sel.Sel.Name {
+		case "Print", "Println", "Printf": // implicit stdout
+			return true
+		}
+		// fmt.Fprint* into a never-failing or best-effort sink.
+		return len(call.Args) > 0 && (neverFailingWriter(pass.TypeOf(call.Args[0])) || isStdStream(call.Args[0]))
+	}
+	// Direct method call on a never-failing writer or a std stream
+	// (b.WriteString, h.Write, os.Stdout.Write).
+	return neverFailingWriter(pass.TypeOf(sel.X)) || isStdStream(sel.X)
+}
+
+// neverFailingWriter reports whether t is a type documented to never return
+// a write error.
+func neverFailingWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer",
+		"hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}
+
+// isPkgRef reports whether id is a reference to the package named path.
+func isPkgRef(pass *Pass, id *ast.Ident, path string) bool {
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// isStdStream reports whether e is syntactically os.Stdout or os.Stderr,
+// whose write errors have no recovery beyond what the program prints anyway.
+func isStdStream(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "os" && (sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IntoAlias flags call sites of the in-place kernels whose destination
+// syntactically aliases a source argument. The matmul kernels read their
+// sources while writing the destination, so dst must not alias a or b; the
+// elementwise kernels (AddInto, SubInto, MulInto, AddRowVecInto, ApplyInto,
+// SoftmaxRowsInto, CopyInto) are documented alias-safe in internal/mat and
+// are therefore exempt.
+//
+// The check is syntactic on purpose: two distinct expressions can still alias
+// through slices, but `MatMulInto(h, h, w)` is the mistake this catches, and
+// it is the one people actually make.
+var IntoAlias = &Analyzer{
+	Name: "intoalias",
+	Doc:  "destinations of non-alias-safe Into kernels must not alias a source argument",
+	Run:  runIntoAlias,
+}
+
+// intoKernels maps each checked kernel to the argument indices that are read
+// as sources while the destination (argument 0) is written.
+var intoKernels = map[string][]int{
+	"MatMulInto":  {1, 2},
+	"TMatMulInto": {1, 2},
+	"MatMulTInto": {1, 2},
+}
+
+func runIntoAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			srcs, checked := intoKernels[name]
+			if !checked || len(call.Args) == 0 {
+				return true
+			}
+			dst := types.ExprString(call.Args[0])
+			for _, i := range srcs {
+				if i >= len(call.Args) {
+					continue
+				}
+				if types.ExprString(call.Args[i]) == dst {
+					pass.Reportf(call.Pos(), "%s destination %s aliases source argument %d; %s is not alias-safe (write into a scratch matrix instead)", name, dst, i, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeName returns the rightmost identifier of a call's function
+// expression: Foo for Foo(...), mat.Foo for pkg- or method-selectors.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

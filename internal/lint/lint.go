@@ -1,0 +1,165 @@
+// Package lint is intellilint: a project-specific static-analysis suite built
+// purely on the standard library's go/parser, go/ast, go/types and go/token
+// packages. It enforces the invariants the performance work of PR 1 and PR 2
+// introduced but the Go compiler cannot check:
+//
+//   - pooldiscipline: every mat.Pool Get/GetVec/GetInts must be matched by a
+//     Put/PutVec/PutInts on all return paths of the same function, and a
+//     pooled value must not be used after it has been returned to the pool.
+//   - intoalias: destinations of the non-alias-safe Into kernels (MatMulInto,
+//     TMatMulInto, MatMulTInto) must not syntactically alias a source.
+//   - maporder: in the seeded-determinism packages, ranging over a map with
+//     an order-dependent body (float accumulation, value collection, early
+//     return) is flagged unless the keys are collected and sorted first.
+//   - nakedgo: `go` statements outside internal/par and internal/serving are
+//     flagged so all fan-out stays on the shared worker pool.
+//   - errcheck: ignored error returns in the store/kb/serving write paths.
+//
+// Findings are reported as `file:line: [analyzer] message` and can be
+// suppressed with a `//lint:ignore <analyzer> <reason>` comment on the same
+// line or the line directly above; the reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lower-case identifier used in output and suppressions
+	Doc  string // one-line description of the enforced invariant
+	Run  func(*Pass)
+}
+
+// A Pass couples one package's syntax and type information with an Analyzer
+// run. Analyzers report through Reportf.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+
+	findings *[]Finding
+}
+
+// A Finding is one reported invariant violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as file:line: [analyzer] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (use or definition).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// A Scoped pairs an analyzer with the set of package paths it applies to.
+// Scoping is policy, not mechanism: analyzers themselves are path-agnostic so
+// the golden-file tests can run them on fixture packages.
+type Scoped struct {
+	*Analyzer
+	// Match reports whether the analyzer runs on the package path.
+	Match func(pkgPath string) bool
+}
+
+func matchAll(string) bool { return true }
+
+func matchExcept(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// DefaultSuite is the repo's analyzer set with its scoping policy:
+//
+//   - pooldiscipline, intoalias: everywhere (the kernels and pools are used
+//     across nn, core, eval and serving).
+//   - maporder: everywhere. The hard core is the seeded-determinism packages
+//     (core, nn, eval, baselines), but the whole tree claims reproducible
+//     experiments — textproc embeddings feed clustering, kb ids feed the
+//     catalog — so the invariant is repo-wide.
+//   - nakedgo: everywhere except the two packages allowed to own goroutines.
+//   - errcheck: everywhere. The motivating paths are the store/kb/serving
+//     and model/graph persistence writes; the exemptions for never-failing
+//     writers keep the check quiet elsewhere.
+func DefaultSuite() []Scoped {
+	return []Scoped{
+		{PoolDiscipline, matchAll},
+		{IntoAlias, matchAll},
+		{MapOrder, matchAll},
+		{NakedGo, matchExcept(
+			"intellitag/internal/par",
+			"intellitag/internal/serving",
+		)},
+		{ErrCheck, matchAll},
+	}
+}
+
+// Run applies every applicable analyzer to pkg and returns the surviving
+// findings: suppressed findings are dropped, and malformed suppression
+// comments (missing reason) are themselves reported under the "lint"
+// pseudo-analyzer. Results are sorted by position.
+func Run(suite []Scoped, pkg *Package) []Finding {
+	var raw []Finding
+	for _, s := range suite {
+		if !s.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: s.Analyzer,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			findings: &raw,
+		}
+		s.Run(pass)
+	}
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	findings := sup.apply(raw)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings
+}

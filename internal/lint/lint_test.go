@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fixtureImporter refuses every import. Fixture packages are self-contained
+// by construction (local Pool types, local kernel stand-ins, the universe
+// error type), so the importer must never be consulted; if it is, the fixture
+// grew a dependency and the failure says so.
+type fixtureImporter struct{}
+
+func (fixtureImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("fixture packages must not import anything (tried %q)", path)
+}
+
+// fixtureAnalyzers maps each testdata directory to the analyzer it exercises.
+var fixtureAnalyzers = map[string]*Analyzer{
+	"pooldiscipline": PoolDiscipline,
+	"intoalias":      IntoAlias,
+	"maporder":       MapOrder,
+	"nakedgo":        NakedGo,
+	"errcheck":       ErrCheck,
+}
+
+// TestGoldenFixtures runs each analyzer over its fixture package and checks
+// the findings against the `// want "substring"` comments: every finding must
+// match a want on its line, every want must be hit, and suppressed lines must
+// stay silent.
+func TestGoldenFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("read testdata: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		a, ok := fixtureAnalyzers[name]
+		if !ok {
+			t.Errorf("testdata/%s has no analyzer registered in fixtureAnalyzers", name)
+			continue
+		}
+		seen[name] = true
+		t.Run(name, func(t *testing.T) { runGolden(t, name, a) })
+	}
+	for name := range fixtureAnalyzers {
+		if !seen[name] {
+			t.Errorf("analyzer %s has no fixture directory under testdata", name)
+		}
+	}
+}
+
+func runGolden(t *testing.T, dir string, a *Analyzer) {
+	pkg := loadFixture(t, dir)
+	wants := collectWants(t, pkg)
+	findings := Run([]Scoped{{a, matchAll}}, pkg)
+	if len(findings) == 0 {
+		t.Fatalf("no findings at all: the %s fixture no longer triggers its analyzer", a.Name)
+	}
+	for _, f := range findings {
+		line := key(f.Pos.Filename, f.Pos.Line)
+		text := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+		matched := false
+		for i, w := range wants[line] {
+			if w != "" && strings.Contains(text, w) {
+				wants[line][i] = "" // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, text)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if w != "" {
+				t.Errorf("%s: expected a finding matching %q, got none", line, w)
+			}
+		}
+	}
+}
+
+var (
+	wantRe   = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+	quotedRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// collectWants extracts `// want "substring" ...` expectations, keyed by
+// file:line of the comment (trailing comments share the flagged line).
+func collectWants(t *testing.T, pkg *Package) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				qs := quotedRe.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Errorf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+					continue
+				}
+				for _, q := range qs {
+					wants[key(pos.Filename, pos.Line)] = append(wants[key(pos.Filename, pos.Line)], q[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture parses and typechecks one testdata package without touching the
+// build cache or any real dependency.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in testdata/%s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: fixtureImporter{},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	path := "fixture/" + dir
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck testdata/%s: %v", dir, err)
+	}
+	return &Package{Path: path, Dir: filepath.Join("testdata", dir), Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// TestBrokenSuppressionIsAFinding checks that a lint:ignore comment without a
+// reason surfaces as a finding instead of silently suppressing nothing.
+func TestBrokenSuppressionIsAFinding(t *testing.T) {
+	const src = "package p\n\nfunc f() {\n\t//lint:ignore maporder\n\t_ = 0\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "broken.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	idx := collectSuppressions(fset, []*ast.File{f})
+	out := idx.apply(nil)
+	if len(out) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(out), out)
+	}
+	if out[0].Analyzer != "lint" || !strings.Contains(out[0].Message, "reason") {
+		t.Errorf("unexpected finding for reason-less suppression: %s", out[0])
+	}
+}
+
+// TestSuppressionRequiresMatchingAnalyzer checks that a suppression for one
+// analyzer does not swallow another analyzer's finding on the same line.
+func TestSuppressionRequiresMatchingAnalyzer(t *testing.T) {
+	const src = "package p\n\nfunc f() {\n\t//lint:ignore nakedgo some reason\n\t_ = 0\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "mismatch.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	idx := collectSuppressions(fset, []*ast.File{f})
+	raw := []Finding{{Pos: token.Position{Filename: "mismatch.go", Line: 5}, Analyzer: "errcheck", Message: "x"}}
+	if out := idx.apply(raw); len(out) != 1 {
+		t.Errorf("suppression for nakedgo swallowed an errcheck finding: %v", out)
+	}
+	raw[0].Analyzer = "nakedgo"
+	if out := idx.apply(raw); len(out) != 0 {
+		t.Errorf("matching suppression did not apply: %v", out)
+	}
+}
+
+// TestRepoTreeIsClean applies the shipped gate — DefaultSuite over the whole
+// module — and fails on any finding, pinning the repo's lint-clean state so a
+// regression fails `go test ./internal/lint` even without running the driver.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export over the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	suite := DefaultSuite()
+	for _, pkg := range pkgs {
+		for _, f := range Run(suite, pkg) {
+			t.Errorf("%s", f)
+		}
+	}
+}

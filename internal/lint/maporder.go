@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps whose body is order-dependent.
+// The training, inference and eval paths advertise bit-identical results at
+// any worker count (PR 1's determinism tests), and Go map iteration order is
+// deliberately randomized — so a map-range body that accumulates floats,
+// collects values, mutates outer state through calls, or returns
+// mid-iteration silently breaks that guarantee.
+//
+// Order-independent bodies are allowed without ceremony:
+//
+//   - writes to loop-local variables,
+//   - writes indexed by the loop key (m2[k] = ..., m2[k] += ...; every
+//     iteration touches a distinct slot),
+//   - delete(m2, k),
+//   - integer-typed accumulation (+=, counters; exact and commutative).
+//
+// The blessed pattern for everything else is collecting the keys and sorting:
+// a body that only appends the key to a slice is accepted, provided a
+// sort call on that slice follows in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration with an order-dependent body must sort the keys first",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		// All function bodies in the file, for locating the innermost
+		// function enclosing a range statement (sort-call search scope).
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rs) {
+				return true
+			}
+			c := &mapOrderCheck{pass: pass, rs: rs}
+			c.keyObj = identObject(pass, rs.Key)
+			c.classifyBlock(rs.Body)
+			if c.bad != nil {
+				pass.Reportf(rs.Pos(), "iteration over map %s has an order-dependent body (%s); sort the keys first",
+					types.ExprString(rs.X), c.why)
+				return true
+			}
+			// Pure key-collection loops must be followed by a sort of the
+			// collected slice somewhere later in the same function. Report in
+			// source order (c.collected is itself a map).
+			objs := make([]types.Object, 0, len(c.collected))
+			for obj := range c.collected {
+				objs = append(objs, obj)
+			}
+			sort.Slice(objs, func(i, j int) bool { return c.collected[objs[i]].Pos() < c.collected[objs[j]].Pos() })
+			for _, obj := range objs {
+				if !sortedAfter(pass, enclosingBody(bodies, rs.Pos()), obj, rs.End()) {
+					pass.Reportf(c.collected[obj].Pos(), "map keys collected into %s but never sorted; sort the slice before iterating it", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapOrderCheck classifies one map-range body. bad/why record the first
+// order-dependent statement; collected records outer slices that received
+// only the loop key (candidate sorted-keys idiom).
+type mapOrderCheck struct {
+	pass      *Pass
+	rs        *ast.RangeStmt
+	keyObj    types.Object
+	bad       ast.Node
+	why       string
+	collected map[types.Object]ast.Node
+}
+
+func (c *mapOrderCheck) flag(n ast.Node, why string) {
+	if c.bad == nil {
+		c.bad, c.why = n, why
+	}
+}
+
+func (c *mapOrderCheck) classifyBlock(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.classifyStmt(s)
+	}
+}
+
+func (c *mapOrderCheck) classifyStmt(s ast.Stmt) {
+	if c.bad != nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.EmptyStmt, *ast.DeclStmt, *ast.BranchStmt:
+		// Local declarations and continue/break are order-neutral.
+	case *ast.BlockStmt:
+		c.classifyBlock(s)
+	case *ast.LabeledStmt:
+		c.classifyStmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.classifyStmt(s.Init)
+		}
+		c.classifyBlock(s.Body)
+		if s.Else != nil {
+			c.classifyStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.classifyStmt(s.Init)
+		}
+		if s.Post != nil {
+			c.classifyStmt(s.Post)
+		}
+		c.classifyBlock(s.Body)
+	case *ast.RangeStmt:
+		c.classifyBlock(s.Body)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				c.classifyStmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				c.classifyStmt(st)
+			}
+		}
+	case *ast.AssignStmt:
+		c.classifyAssign(s)
+	case *ast.IncDecStmt:
+		// n++ applies an identical exact increment per iteration; the result
+		// is order-independent for every numeric type.
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if name := calleeName(call); name == "delete" && len(call.Args) == 2 && c.isKeyIdent(call.Args[1]) {
+			return // delete(m2, k): distinct slot per iteration
+		}
+		c.flag(s, "call "+types.ExprString(call.Fun)+" may mutate state in map order")
+	case *ast.ReturnStmt:
+		c.flag(s, "return mid-iteration observes an arbitrary element")
+	default:
+		c.flag(s, "statement is not provably order-independent")
+	}
+}
+
+func (c *mapOrderCheck) classifyAssign(s *ast.AssignStmt) {
+	// s = append(s, k): the sorted-keys idiom's collection step.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := s.Lhs[0].(*ast.Ident); ok {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && calleeName(call) == "append" &&
+				len(call.Args) == 2 && sameIdent(c.pass, call.Args[0], id) {
+				if c.isKeyIdent(call.Args[1]) {
+					if obj := c.pass.ObjectOf(id); obj != nil && !c.isBodyLocal(obj) {
+						if c.collected == nil {
+							c.collected = map[types.Object]ast.Node{}
+						}
+						c.collected[obj] = s
+					}
+					return
+				}
+				c.flag(s, "appends map values in iteration order")
+				return
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		if !c.safeTarget(lhs, s.Tok.String()) {
+			c.flag(s, "writes "+types.ExprString(lhs)+" in map iteration order")
+			return
+		}
+	}
+}
+
+// safeTarget reports whether writing lhs from inside the loop is
+// order-independent: blank, loop-local, indexed by the loop key, or an
+// integer accumulator (exact commutative arithmetic).
+func (c *mapOrderCheck) safeTarget(lhs ast.Expr, tok string) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		obj := c.pass.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		if c.isBodyLocal(obj) {
+			return true
+		}
+		// Outer scalar: plain assignment or non-integer accumulation depends
+		// on which element wins / the accumulation order.
+		if tok != "=" && tok != ":=" {
+			return isIntegerType(obj.Type())
+		}
+		return false
+	case *ast.IndexExpr:
+		return c.isKeyIdent(lhs.Index)
+	case *ast.StarExpr, *ast.SelectorExpr:
+		return false
+	}
+	return false
+}
+
+func (c *mapOrderCheck) isBodyLocal(obj types.Object) bool {
+	return obj.Pos() >= c.rs.Body.Pos() && obj.Pos() <= c.rs.Body.End()
+}
+
+func (c *mapOrderCheck) isKeyIdent(e ast.Expr) bool {
+	if c.keyObj == nil {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && c.pass.ObjectOf(id) == c.keyObj
+}
+
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+func sameIdent(pass *Pass, e ast.Expr, id *ast.Ident) bool {
+	other, ok := e.(*ast.Ident)
+	return ok && pass.ObjectOf(other) != nil && pass.ObjectOf(other) == pass.ObjectOf(id)
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether a call whose name mentions "sort" receives obj
+// as an argument after pos within body (e.g. sort.Ints(keys),
+// sort.Slice(keys, ...), slices.Sort(keys)).
+func sortedAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		if !strings.Contains(strings.ToLower(types.ExprString(call.Fun)), "sort") {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := a.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingBody returns the smallest function body containing pos.
+func enclosingBody(bodies []*ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= pos && pos <= b.End() {
+			if best == nil || (b.Pos() >= best.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolDiscipline enforces the mat.Pool ownership contract from PR 2: a value
+// obtained with Get/GetVec/GetInts must be returned with the matching
+// Put/PutVec/PutInts exactly once, after its last use. Per function it
+// reports:
+//
+//   - a pooled value with no Put at all (leak — the pool silently degrades to
+//     plain allocation),
+//   - a use of the value lexically after its Put (use-after-release — the
+//     buffer may already be zeroed and handed to a concurrent caller),
+//   - a return statement between the Get and its (non-deferred) Put
+//     (early-return leak — prefer `defer pool.Put(x)`).
+//
+// Ownership transfers are recognized and exempt from the leak checks: a
+// pooled value that is returned, stored into a field, struct literal, slice,
+// map or channel has a cross-function lifetime (e.g. the GNN forward caches
+// released by Backward), which this per-function analysis cannot track.
+//
+// Pool receivers are identified structurally: any value whose type is a
+// struct named Pool (or pointer to one) with both Get and Put in its method
+// set — mat.Pool in production code, fixture pools in testdata.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "pool Get must be matched by Put on every path, with no use after Put",
+	Run:  runPoolDiscipline,
+}
+
+var poolGetMethods = map[string]string{
+	"Get":     "Put",
+	"GetVec":  "PutVec",
+	"GetInts": "PutInts",
+}
+
+var poolPutMethods = map[string]bool{"Put": true, "PutVec": true, "PutInts": true}
+
+func runPoolDiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fn.Body)
+		}
+	}
+}
+
+// poolVar tracks one pooled value through a function body.
+type poolVar struct {
+	obj     types.Object
+	name    string
+	getPos  token.Pos
+	putName string // the Put method matching the Get that produced it
+	puts    []poolPut
+	escaped bool
+}
+
+type poolPut struct {
+	pos      token.Pos
+	deferred bool
+}
+
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+	vars := map[types.Object]*poolVar{}
+
+	// Pass 1: find Get assignments (x := pool.Get(...), x = pool.GetVec(...)).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, recv := poolMethod(pass, call)
+		putName, isGet := poolGetMethods[method]
+		if !isGet || recv == nil {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		// A reassignment of an already-tracked variable starts a fresh
+		// lifetime; the old one is checked under the same object (lexical
+		// approximation — rare in practice).
+		if _, seen := vars[obj]; !seen {
+			vars[obj] = &poolVar{obj: obj, name: id.Name, getPos: as.Pos(), putName: putName}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: find Puts, escapes and uses. deferDepth tracks whether the
+	// current subtree hangs off a defer statement.
+	findPoolPuts(pass, body, vars, false)
+	findEscapes(pass, body, vars)
+
+	// Pass 3: report, in Get order (vars is itself a map).
+	keys := make([]types.Object, 0, len(vars))
+	for obj := range vars {
+		keys = append(keys, obj)
+	}
+	sort.Slice(keys, func(i, j int) bool { return vars[keys[i]].getPos < vars[keys[j]].getPos })
+	for _, obj := range keys {
+		v := vars[obj]
+		if len(v.puts) == 0 {
+			if !v.escaped {
+				pass.Reportf(v.getPos, "pooled %s is never returned to the pool (missing %s)", v.name, v.putName)
+			}
+			continue
+		}
+		checkUseAfterPut(pass, body, v)
+		checkEarlyReturns(pass, body, v)
+	}
+}
+
+// poolMethod returns (method name, receiver expr) when call is a method call
+// on a pool-like receiver, else ("", nil).
+func poolMethod(pass *Pass, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	if !isPoolType(pass.TypeOf(sel.X)) {
+		return "", nil
+	}
+	return sel.Sel.Name, sel.X
+}
+
+// isPoolType reports whether t is a (pointer to a) named struct type called
+// Pool whose method set includes both Get and Put.
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" {
+		return false
+	}
+	// sync.Pool also has Get/Put but is the raw mechanism this discipline is
+	// built on (mat.Pool's internals, gnn's tfPool caches with cross-function
+	// lifetimes); the contract enforced here is mat.Pool's.
+	if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+		return false
+	}
+	has := func(name string) bool {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+		_, isFunc := obj.(*types.Func)
+		return isFunc
+	}
+	return has("Get") && has("Put")
+}
+
+// findPoolPuts walks stmts recording Put calls on tracked variables,
+// including puts inside deferred closures.
+func findPoolPuts(pass *Pass, n ast.Node, vars map[types.Object]*poolVar, deferred bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.DeferStmt:
+			findPoolPuts(pass, node.Call, vars, true)
+			return false
+		case *ast.CallExpr:
+			method, _ := poolMethod(pass, node)
+			if !poolPutMethods[method] || len(node.Args) != 1 {
+				return true
+			}
+			id, ok := node.Args[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, tracked := vars[pass.ObjectOf(id)]; tracked {
+				v.puts = append(v.puts, poolPut{pos: node.Pos(), deferred: deferred})
+			}
+		}
+		return true
+	})
+}
+
+// findEscapes marks variables whose ownership leaves the function: returned,
+// stored into fields/slices/maps/struct literals, or sent on a channel.
+func findEscapes(pass *Pass, body *ast.BlockStmt, vars map[types.Object]*poolVar) {
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, tracked := vars[pass.ObjectOf(id)]; tracked {
+				v.escaped = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r)
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					mark(kv.Value)
+				} else {
+					mark(e)
+				}
+			}
+		case *ast.AssignStmt:
+			// x stored through a selector/index/star target aliases it beyond
+			// this variable (o.buf = x, cache[i] = x, *p = x).
+			for i, lhs := range n.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if i < len(n.Rhs) {
+						mark(n.Rhs[i])
+					} else if len(n.Rhs) == 1 {
+						mark(n.Rhs[0])
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkUseAfterPut reports reads of v lexically after its first non-deferred
+// Put, unless the variable is reassigned in between.
+func checkUseAfterPut(pass *Pass, body *ast.BlockStmt, v *poolVar) {
+	var firstPut token.Pos
+	for _, p := range v.puts {
+		if !p.deferred && (firstPut == token.NoPos || p.pos < firstPut) {
+			firstPut = p.pos
+		}
+	}
+	if firstPut == token.NoPos {
+		return // only deferred puts: they run last by construction
+	}
+	putLine := pass.Fset.Position(firstPut).Line
+	var reassigned token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Pos() > firstPut {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.ObjectOf(id) == v.obj {
+					if reassigned == token.NoPos || as.Pos() < reassigned {
+						reassigned = as.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != v.obj {
+			return true
+		}
+		// Uses strictly after the put, on a later line (the put call's own
+		// argument is on the put line), before any reassignment.
+		if id.Pos() > firstPut && pass.Fset.Position(id.Pos()).Line > putLine {
+			if reassigned == token.NoPos || id.Pos() < reassigned {
+				pass.Reportf(id.Pos(), "%s used after being returned to the pool with %s (line %d)", v.name, v.putName, putLine)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkEarlyReturns reports return statements that exit between a Get and its
+// last non-deferred Put without passing any Put.
+func checkEarlyReturns(pass *Pass, body *ast.BlockStmt, v *poolVar) {
+	var lastPut token.Pos
+	for _, p := range v.puts {
+		if p.deferred {
+			return // a deferred put covers every return path
+		}
+		if p.pos > lastPut {
+			lastPut = p.pos
+		}
+	}
+	if v.escaped {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= v.getPos || ret.Pos() >= lastPut {
+			return true
+		}
+		// A put lexically before the return dominates it in the straight-line
+		// patterns this codebase uses.
+		for _, p := range v.puts {
+			if p.pos < ret.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(ret.Pos(), "return leaks pooled %s (obtained line %d, released line %d; consider defer %s)",
+			v.name, pass.Fset.Position(v.getPos).Line, pass.Fset.Position(lastPut).Line, v.putName)
+		return true
+	})
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+type suppressionIndex struct {
+	// keyed by file:line of the statement the suppression governs (its own
+	// line for trailing comments; the next line for leading comments — a
+	// suppression on its own line applies to the line below it).
+	byLine map[string][]suppression
+	broken []suppression // missing reason
+}
+
+func key(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	// Tiny positive-int formatter; avoids strconv for this one call site.
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// collectSuppressions scans every comment in the package for
+// `//lint:ignore <analyzer> <reason>` markers.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex {
+	idx := &suppressionIndex{byLine: map[string][]suppression{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				s := suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+				}
+				if s.analyzer == "" || s.reason == "" {
+					idx.broken = append(idx.broken, s)
+					continue
+				}
+				// A trailing comment suppresses its own line; a comment on a
+				// line of its own suppresses the line below. Registering both
+				// lines keeps the matcher a single map lookup — a stray match
+				// one line above a trailing comment is harmless because the
+				// suppression still names the analyzer explicitly.
+				idx.byLine[key(s.file, s.line)] = append(idx.byLine[key(s.file, s.line)], s)
+				idx.byLine[key(s.file, s.line+1)] = append(idx.byLine[key(s.file, s.line+1)], s)
+			}
+		}
+	}
+	return idx
+}
+
+// apply filters suppressed findings and appends findings for malformed
+// suppression comments.
+func (idx *suppressionIndex) apply(raw []Finding) []Finding {
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, s := range idx.byLine[key(f.Pos.Filename, f.Pos.Line)] {
+			if s.analyzer == f.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, s := range idx.broken {
+		out = append(out, Finding{
+			Pos:      token.Position{Filename: s.file, Line: s.line},
+			Analyzer: "lint",
+			Message:  "lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>",
+		})
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Fixture package for the errcheck analyzer. write stands in for a
+// persistence call; error is the universe type, so no imports are needed.
+package errcheck
+
+func write() error { return nil }
+
+func writeTwo() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+func dropped() {
+	write() // want "call write discards its error result"
+}
+
+func droppedTuple() {
+	writeTwo() // want "call writeTwo discards its error result"
+}
+
+func deferredDrop() {
+	defer write() // want "deferred call write discards its error result"
+}
+
+// explicitDiscard states intent visibly and is allowed.
+func explicitDiscard() {
+	_ = write()
+}
+
+func checked() error {
+	if err := write(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// noErrorResult has nothing to discard.
+func plainCall() {
+	noError()
+}
+
+func suppressed() {
+	write() //lint:ignore errcheck fixture demonstrating a best-effort write
+}

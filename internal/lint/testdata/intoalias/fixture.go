@@ -1,0 +1,28 @@
+// Fixture package for the intoalias analyzer. The kernels are matched by
+// callee name, so local stand-ins with the real kernels' signatures exercise
+// the analyzer without importing internal/mat.
+package intoalias
+
+type M struct{ data []float64 }
+
+func MatMulInto(dst, a, b *M)  {}
+func TMatMulInto(dst, a, b *M) {}
+func MatMulTInto(dst, a, b *M) {}
+
+// ApplyInto is documented alias-safe in internal/mat and must not be flagged.
+func ApplyInto(dst, src *M, f func(float64) float64) {}
+
+func bad(h, w *M) {
+	MatMulInto(h, h, w)  // want "MatMulInto destination h aliases source argument 1"
+	TMatMulInto(h, w, h) // want "TMatMulInto destination h aliases source argument 2"
+	MatMulTInto(w, w, w) // want "MatMulTInto destination w aliases source argument 1" "MatMulTInto destination w aliases source argument 2"
+}
+
+func good(h, w, scratch *M) {
+	MatMulInto(scratch, h, w)
+	ApplyInto(h, h, func(x float64) float64 { return x * 2 })
+}
+
+func suppressed(h, w *M) {
+	MatMulInto(h, h, w) //lint:ignore intoalias fixture demonstrating a reviewed aliasing call
+}

@@ -1,0 +1,93 @@
+// Fixture package for the maporder analyzer. sortInts stands in for
+// sort.Ints — the sorted-keys idiom is recognized by callee name — so the
+// fixture needs no imports.
+package maporder
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "order-dependent body"
+		sum += v
+	}
+	return sum
+}
+
+func valueCollect(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want "appends map values in iteration order"
+		out = append(out, v)
+	}
+	return out
+}
+
+func earlyReturn(m map[int]bool) int {
+	for k, v := range m { // want "return mid-iteration observes an arbitrary element"
+		if v {
+			return k
+		}
+	}
+	return -1
+}
+
+func unsortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "collected into keys but never sorted"
+	}
+	return keys
+}
+
+// sortedKeys is the blessed idiom: collect the keys, sort, then iterate.
+func sortedKeys(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// keyIndexed writes touch a distinct slot per iteration: order-independent.
+func keyIndexed(src map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(src))
+	for k, v := range src {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// intCounter is exact commutative accumulation: order-independent.
+func intCounter(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// bodyLocal writes only touch variables scoped to the iteration.
+func bodyLocal(m map[int]float64) {
+	for _, v := range m {
+		x := v * 2
+		_ = x
+	}
+}
+
+func suppressed(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { //lint:ignore maporder fixture demonstrating an accepted order-dependent fold
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,21 @@
+// Fixture package for the nakedgo analyzer.
+package nakedgo
+
+func launch(f func()) {
+	go f() // want "naked go statement"
+}
+
+func launchClosure(n int) {
+	go func() { // want "naked go statement"
+		_ = n * 2
+	}()
+}
+
+// call is fine: only the go keyword is flagged, not function values.
+func call(f func()) {
+	f()
+}
+
+func suppressed(f func()) {
+	go f() //lint:ignore nakedgo fixture demonstrating a sanctioned goroutine launch
+}

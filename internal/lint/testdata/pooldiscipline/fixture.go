@@ -1,0 +1,69 @@
+// Fixture package for the pooldiscipline analyzer. It defines a local Pool
+// with the structural Get/Put shape the analyzer matches, so the tests need
+// no imports (the harness typechecks with an importer that always fails).
+package pooldiscipline
+
+type M struct{ data []float64 }
+
+type Pool struct{ free []*M }
+
+func (p *Pool) Get(r, c int) *M        { return &M{data: make([]float64, r*c)} }
+func (p *Pool) Put(m *M)               { p.free = append(p.free, m) }
+func (p *Pool) GetVec(n int) []float64 { return make([]float64, n) }
+func (p *Pool) PutVec(v []float64)     {}
+
+func leak(p *Pool) float64 {
+	m := p.Get(4, 4) // want "pooled m is never returned to the pool"
+	return m.data[0]
+}
+
+func leakVec(p *Pool) float64 {
+	v := p.GetVec(8) // want "pooled v is never returned to the pool (missing PutVec)"
+	return v[0]
+}
+
+func useAfterPut(p *Pool) float64 {
+	m := p.Get(2, 2)
+	p.Put(m)
+	return m.data[0] // want "m used after being returned to the pool with Put"
+}
+
+func earlyReturn(p *Pool, cond bool) int {
+	m := p.Get(2, 2)
+	if cond {
+		return 0 // want "return leaks pooled m"
+	}
+	p.Put(m)
+	return 1
+}
+
+// deferPut is the blessed pattern: the deferred Put covers every return path.
+func deferPut(p *Pool, cond bool) float64 {
+	m := p.Get(2, 2)
+	defer p.Put(m)
+	if cond {
+		return m.data[1]
+	}
+	return m.data[0]
+}
+
+// transfer hands ownership to the caller; the per-function analysis must not
+// flag cross-function lifetimes.
+func transfer(p *Pool) *M {
+	m := p.Get(2, 2)
+	return m
+}
+
+// storeField transfers ownership into a struct (the GNN forward-cache
+// pattern, released later by another method).
+type cache struct{ buf *M }
+
+func (c *cache) storeField(p *Pool) {
+	m := p.Get(2, 2)
+	c.buf = m
+}
+
+func suppressedLeak(p *Pool) {
+	m := p.Get(2, 2) //lint:ignore pooldiscipline fixture demonstrating an acknowledged leak
+	_ = m
+}

@@ -35,9 +35,14 @@ func SaveParams(path string, params []*Param) error {
 	if err != nil {
 		return fmt.Errorf("nn: create snapshot: %w", err)
 	}
-	defer f.Close()
 	if err := gob.NewEncoder(f).Encode(blobs); err != nil {
+		_ = f.Close() // best-effort cleanup; the encode error is what matters
 		return fmt.Errorf("nn: encode snapshot: %w", err)
+	}
+	// A close error on a write path can mean unflushed data: the T+1 loop
+	// would upload a truncated snapshot to serving, so it must surface.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("nn: close snapshot: %w", err)
 	}
 	return nil
 }
@@ -51,6 +56,7 @@ func LoadParams(path string, params []*Param) error {
 	if err != nil {
 		return fmt.Errorf("nn: open snapshot: %w", err)
 	}
+	//lint:ignore errcheck read-only file; a close error cannot invalidate an already-validated decode
 	defer f.Close()
 	var blobs []paramBlob
 	if err := gob.NewDecoder(f).Decode(&blobs); err != nil {
@@ -88,6 +94,7 @@ func LoadMatrix(path string) (*mat.Matrix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nn: open matrix: %w", err)
 	}
+	//lint:ignore errcheck read-only file; a close error cannot invalidate an already-validated decode
 	defer f.Close()
 	var blobs []paramBlob
 	if err := gob.NewDecoder(f).Decode(&blobs); err != nil {

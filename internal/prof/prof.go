@@ -45,7 +45,11 @@ func Start() (stop func()) {
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			// A close error can mean an unflushed (unreadable) profile; the
+			// run is over, so log rather than abort.
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("prof: close cpu profile: %v", err)
+			}
 		}
 		if *memProfile != "" {
 			f, err := os.Create(*memProfile)
@@ -56,7 +60,9 @@ func Start() (stop func()) {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				log.Fatalf("prof: write mem profile: %v", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				log.Printf("prof: close mem profile: %v", err)
+			}
 		}
 	}
 }
@@ -67,6 +73,7 @@ func Start() (stop func()) {
 func FlushOnInterrupt(stop func()) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	//lint:ignore nakedgo one-shot signal watcher that exits the process; it must outlive every worker pool and cannot run on one
 	go func() {
 		<-ch
 		stop()

@@ -144,9 +144,18 @@ func (ix *Index) Search(query string, tenant, k int) []Hit {
 			scores[id] += score
 		}
 	}
-	hits := make([]Hit, 0, len(scores))
-	for id, s := range scores {
-		hits = append(hits, Hit{ID: id, Score: s})
+	// Collect doc ids in sorted order so the hit list is built — not just
+	// ranked — deterministically (the score sort below is total only because
+	// ties fall back to ID; building from sorted keys removes the map-order
+	// dependence outright).
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	hits := make([]Hit, 0, len(ids))
+	for _, id := range ids {
+		hits = append(hits, Hit{ID: id, Score: scores[id]})
 	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"encoding/json"
+	"log"
 	"net/http"
 )
 
@@ -116,5 +117,10 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	// The status line is already gone, so the client cannot be told — but an
+	// encode failure here means a truncated response body; log it so dropped
+	// recommendations are visible in the serving logs rather than silent.
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serving: encode response: %v", err)
+	}
 }

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"sort"
 	"time"
 
 	"intellitag/internal/mat"
@@ -152,9 +153,16 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 			stats.Sessions++
 		}
 
-		var perTenant []float64
-		for tenant, impr := range tenantImpr {
-			perTenant = append(perTenant, metrics.CTR(tenantClicks[tenant], impr))
+		// Iterate tenants in sorted order: MacroAvg sums floats, so summing
+		// in map order would make the reported macro CTR run-dependent.
+		tenants := make([]int, 0, len(tenantImpr))
+		for tenant := range tenantImpr {
+			tenants = append(tenants, tenant)
+		}
+		sort.Ints(tenants)
+		perTenant := make([]float64, 0, len(tenants))
+		for _, tenant := range tenants {
+			perTenant = append(perTenant, metrics.CTR(tenantClicks[tenant], tenantImpr[tenant]))
 		}
 		stats.MacroCTR = metrics.MacroAvg(perTenant)
 		stats.MicroCTR = metrics.CTR(stats.Clicks, stats.Impressions)

@@ -53,9 +53,16 @@ func Extract(tagger Tagger, sentences [][]string, weightThreshold float64) []Min
 			t.Count++
 		}
 	}
-	out := make([]MinedTag, 0, len(agg))
-	for _, t := range agg {
-		out = append(out, *t)
+	// Build the result from sorted phrases so the list is constructed
+	// deterministically rather than relying on the ranking sort's tie-break.
+	phrases := make([]string, 0, len(agg))
+	for phrase := range agg {
+		phrases = append(phrases, phrase)
+	}
+	sort.Strings(phrases)
+	out := make([]MinedTag, 0, len(phrases))
+	for _, phrase := range phrases {
+		out = append(out, *agg[phrase])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {

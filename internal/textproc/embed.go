@@ -3,6 +3,7 @@ package textproc
 import (
 	"hash/fnv"
 	"math"
+	"sort"
 
 	"intellitag/internal/mat"
 )
@@ -33,12 +34,29 @@ func NewEmbedder(dim int, docs [][]string) *Embedder {
 		e.vecs[w] = hashVector(w, dim)
 	}
 	// One smoothing pass: pull co-occurring words together so synonym-ish
-	// words used in the same questions embed nearby.
+	// words used in the same questions embed nearby. Both loops iterate in
+	// sorted order: the AXPY accumulation sums floats, so walking the vecs
+	// or cooc maps directly would make the embeddings run-dependent.
+	words := make([]string, 0, len(e.vecs))
+	for w := range e.vecs {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	pairs := make([][2]string, 0, len(e.stats.coocCount))
+	for pair := range e.stats.coocCount {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
 	smoothed := make(map[string][]float64, len(e.vecs))
-	for w, v := range e.vecs {
-		acc := append([]float64(nil), v...)
+	for _, w := range words {
+		acc := append([]float64(nil), e.vecs[w]...)
 		var weight float64 = 1
-		for pair, c := range e.stats.coocCount {
+		for _, pair := range pairs {
 			var other string
 			switch {
 			case pair[0] == w:
@@ -48,7 +66,7 @@ func NewEmbedder(dim int, docs [][]string) *Embedder {
 			default:
 				continue
 			}
-			wgt := math.Log1p(float64(c)) * 0.3
+			wgt := math.Log1p(float64(e.stats.coocCount[pair])) * 0.3
 			mat.AXPY(wgt, e.vecs[other], acc)
 			weight += wgt
 		}

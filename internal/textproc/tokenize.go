@@ -92,13 +92,18 @@ func BuildVocab(docs [][]string, minCount int) *Vocab {
 			counts[w]++
 		}
 	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
 	type wc struct {
 		w string
 		c int
 	}
 	var list []wc
-	for w, c := range counts {
-		if c >= minCount {
+	for _, w := range words {
+		if c := counts[w]; c >= minCount {
 			list = append(list, wc{w, c})
 		}
 	}
