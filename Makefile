@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test bench bench-short bench-all
+.PHONY: check fmt vet lint build test bench bench-short bench-all obs-demo
 
 check: fmt vet lint build test bench-short
 
@@ -48,3 +48,18 @@ bench:
 # Every benchmark in the root package (parallel scaling + PR2), no JSON.
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Live telemetry demo: run the simulator with the telemetry listener up, let
+# traffic flow for a moment, dump /metrics and one sampled trace, then stop.
+# The day count is deliberately huge — the run is killed, not finished.
+obs-demo:
+	@$(GO) build -o /tmp/intellitag-obs-demo ./cmd/simulate
+	@/tmp/intellitag-obs-demo -model popularity -days 100000 -sessions 200 \
+		-telemetry-addr 127.0.0.1:9477 -trace-sample 16 >/dev/null 2>&1 & \
+	pid=$$!; \
+	sleep 2; \
+	echo "--- GET /metrics (mid-run) ---"; \
+	curl -s http://127.0.0.1:9477/metrics; \
+	echo "--- GET /debug/trace?limit=1 ---"; \
+	curl -s 'http://127.0.0.1:9477/debug/trace?limit=1'; echo; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; true

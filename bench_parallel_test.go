@@ -73,12 +73,12 @@ func BenchmarkParallelRecommendTags(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			engine := serving.NewEngine(catalog, index, m, nil, nil)
 			engine.SetWorkers(w)
-			engine.Click(0, 1, catalog.TenantTags[0][0], 5)
+			engine.Click(ctx, 0, 1, catalog.TenantTags[0][0], 5)
 			b.SetParallelism(1) // GOMAXPROCS goroutines total
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					engine.RecommendTags(0, 1, 5)
+					engine.RecommendTags(ctx, 0, 1, 5)
 				}
 			})
 		})

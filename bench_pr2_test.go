@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"intellitag/internal/mat"
+	"intellitag/internal/obs"
+	"intellitag/internal/serving"
 )
 
 // BenchmarkPR2_MatMul measures the allocating matmul kernel (one fresh output
@@ -37,5 +39,47 @@ func BenchmarkPR2_ServeRecommend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ScoreCandidates(history, cands)
+	}
+}
+
+// newBenchServeEngine builds a frozen-model engine with a warm per-session
+// recommendation memo, so the measured loop is the serve fast path: memo copy
+// plus whatever instrumentation is installed.
+func newBenchServeEngine(b *testing.B) *serving.Engine {
+	b.Helper()
+	train, _, _ := benchWorld.SplitSessions(0.8, 0.1)
+	catalog, index := serving.BuildCatalog(benchWorld, train)
+	m := newBenchIntelliTag()
+	m.Freeze()
+	engine := serving.NewEngine(catalog, index, m, nil, nil)
+	engine.Click(ctx, 0, 1, catalog.TenantTags[0][0], 5)
+	engine.RecommendTags(ctx, 0, 1, 5) // warm the memo
+	return engine
+}
+
+// BenchmarkPR2_ServeRecommendMemo is the telemetry-off baseline of the
+// memo-hit RecommendTags path (PR 2's 2 allocs/op budget).
+func BenchmarkPR2_ServeRecommendMemo(b *testing.B) {
+	engine := newBenchServeEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RecommendTags(ctx, 0, 1, 5)
+	}
+}
+
+// BenchmarkPR2_ServeRecommendMemoTelemetry is the same path with the full
+// telemetry spine installed but the request unsampled — the production
+// steady state. The budget is at most one extra alloc/op over
+// BenchmarkPR2_ServeRecommendMemo: the one allowed alloc is the sentinel
+// context an unsampled request carries so nested spans skip the sampling
+// draw; counters and histograms are atomics only.
+func BenchmarkPR2_ServeRecommendMemoTelemetry(b *testing.B) {
+	engine := newBenchServeEngine(b)
+	// Effectively-never sampling: every request pays the counter/histogram
+	// atomics and the span nil check, none builds a span tree.
+	engine.SetTelemetry(obs.NewRegistry(), obs.NewTracer(1<<30, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RecommendTags(ctx, 0, 1, 5)
 	}
 }

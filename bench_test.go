@@ -6,6 +6,7 @@
 package intellitag_test
 
 import (
+	"context"
 	"testing"
 
 	"intellitag/internal/baselines"
@@ -16,6 +17,9 @@ import (
 	"intellitag/internal/synth"
 	"intellitag/internal/tagmining"
 )
+
+// ctx is the plain request context shared by serving-path benchmarks.
+var ctx = context.Background()
 
 // benchWorld is shared by all benchmarks (generated once).
 var benchWorld = synth.Generate(synth.SmallConfig())
@@ -234,10 +238,10 @@ func BenchmarkTableVI_ServingLatency(b *testing.B) {
 	m := newBenchIntelliTag()
 	m.Freeze()
 	engine := serving.NewEngine(catalog, index, m, nil, nil)
-	engine.Click(0, 1, catalog.TenantTags[0][0], 5)
+	engine.Click(ctx, 0, 1, catalog.TenantTags[0][0], 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		engine.RecommendTags(0, 1, 5)
+		engine.RecommendTags(ctx, 0, 1, 5)
 	}
 }
 
@@ -253,7 +257,7 @@ func BenchmarkTableVI_AskLatency(b *testing.B) {
 	tenant := benchWorld.RQs[0].Tenant
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		engine.Ask(tenant, 1, question)
+		engine.Ask(ctx, tenant, 1, question)
 	}
 }
 

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	intellitag-server [-addr :8080] [-fast] [-seed 1]
+//	intellitag-server [-addr :8080] [-fast] [-seed 1] [-trace-sample 64]
 //
-// Endpoints: POST /ask, /click, /recommend; GET /healthz.
+// Endpoints: POST /ask, /click, /recommend; GET /healthz, /metrics,
+// /metrics.json, /debug/trace.
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"intellitag/internal/core"
 	"intellitag/internal/mat"
+	"intellitag/internal/obs"
 	"intellitag/internal/prof"
 	"intellitag/internal/qamatch"
 	"intellitag/internal/serving"
@@ -33,6 +35,7 @@ func main() {
 	matcher := flag.Bool("matcher", true, "train and serve the Q&A matcher (reranks /ask results)")
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
 	workers := flag.Int("workers", 0, "parallel workers for training and request scoring (0 = all CPUs)")
+	traceSample := flag.Int("trace-sample", 64, "sample one request trace in every N")
 	flag.Parse()
 	stop := prof.Start()
 	defer stop()
@@ -98,6 +101,7 @@ func main() {
 		log.Printf("matcher online")
 	}
 	server := serving.NewServer(serving.NewABRouter(engine))
+	server.EnableTelemetry(obs.NewRegistry(), obs.NewTracer(*traceSample, 256))
 
 	fmt.Printf("IntelliTag server listening on %s\n", *addr)
 	hint := *addr

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	simulate [-model intellitag|bert4rec|metapath2vec|popularity] [-days 10] [-sessions 150] [-fast] [-seed 1]
+//	         [-telemetry-addr localhost:9090] [-trace-sample 64]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"intellitag/internal/baselines"
 	"intellitag/internal/core"
+	"intellitag/internal/obs"
 	"intellitag/internal/prof"
 	"intellitag/internal/serving"
 	"intellitag/internal/store"
@@ -27,6 +29,8 @@ func main() {
 	sessionsPerDay := flag.Int("sessions", 150, "sessions per day")
 	fast := flag.Bool("fast", true, "use the small world")
 	seed := flag.Int64("seed", 1, "world seed")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/trace for the live run on this address")
+	traceSample := flag.Int("trace-sample", 64, "sample one request trace in every N (with -telemetry-addr)")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -79,6 +83,16 @@ func main() {
 	log.Printf("model %s ready in %s", scorer.Name(), time.Since(start).Round(time.Millisecond))
 
 	engine := serving.NewEngine(catalog, index, scorer, store.NewLog(), nil)
+	if *telemetryAddr != "" {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(*traceSample, 256)
+		engine.SetTelemetry(reg, tracer)
+		addr, err := obs.ServeBackground(*telemetryAddr, obs.Mux(reg, tracer))
+		if err != nil {
+			log.Fatalf("serve -telemetry-addr: %v", err)
+		}
+		log.Printf("telemetry on http://%s/metrics (traces at /debug/trace)", addr)
+	}
 	simCfg := serving.DefaultSimConfig()
 	simCfg.Days = *days
 	simCfg.SessionsPerDay = *sessionsPerDay

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tagminer [-fast] [-seed 1] [-top 30] [-distill]
+//	tagminer [-fast] [-seed 1] [-top 30] [-distill] [-runlog mine.jsonl]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"log"
 	"time"
 
+	"intellitag/internal/obs"
 	"intellitag/internal/prof"
 	"intellitag/internal/synth"
 	"intellitag/internal/tagmining"
@@ -25,8 +26,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	top := flag.Int("top", 30, "number of mined tags to print")
 	distill := flag.Bool("distill", true, "also distill and use the student for extraction")
+	runlogPath := flag.String("runlog", "", "write structured JSONL run records to this file")
 	flag.Parse()
 	defer prof.Start()()
+
+	var runlog *obs.RunLog
+	if *runlogPath != "" {
+		var err error
+		runlog, err = obs.OpenRunLog(*runlogPath)
+		if err != nil {
+			log.Fatalf("open -runlog: %v", err)
+		}
+		defer func() {
+			if err := runlog.Close(); err != nil {
+				log.Printf("close -runlog: %v", err)
+			}
+		}()
+	}
 
 	cfg := synth.DefaultConfig()
 	if *fast {
@@ -40,6 +56,13 @@ func main() {
 	vocab := tagmining.BuildVocab(sentences)
 	teacher := tagmining.NewModel(tagmining.TeacherConfig(), vocab)
 	trainCfg := tagmining.DefaultTrainConfig()
+	if runlog != nil {
+		trainCfg.Observer = func(rec obs.EpochRecord) {
+			if err := runlog.Record("epoch", rec); err != nil {
+				log.Printf("runlog: %v", err)
+			}
+		}
+	}
 	start := time.Now()
 	loss := tagmining.TrainMultiTask(teacher, sentences, trainCfg)
 	log.Printf("teacher trained in %s (final loss %.3f, %d params)",
@@ -64,6 +87,11 @@ func main() {
 	stats := textproc.NewCorpusStats(tokens, 5)
 	filtered := tagmining.ApplyRules(mined, stats, tagmining.DefaultRuleConfig())
 	log.Printf("mined %d candidates, %d survive rules", len(mined), len(filtered))
+	if err := runlog.Record("mined", map[string]any{
+		"candidates": len(mined), "filtered": len(filtered), "distilled": *distill,
+	}); err != nil {
+		log.Printf("runlog: %v", err)
+	}
 
 	fmt.Printf("\n%-30s %8s %8s %10s %8s\n", "Tag", "Count", "Weight", "RuleScore", "Real?")
 	for i, t := range filtered {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tagrec-train [-fast] [-seed 1] [-mode e2e|static] [-epochs 6] [-dim 32] [-batch 8] [-workers 0]
+//	             [-runlog train.jsonl] [-telemetry-addr localhost:9090]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"intellitag/internal/core"
 	"intellitag/internal/eval"
+	"intellitag/internal/obs"
 	"intellitag/internal/prof"
 	"intellitag/internal/synth"
 )
@@ -28,8 +30,33 @@ func main() {
 	dim := flag.Int("dim", 0, "override embedding dimension (0 keeps default)")
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
 	workers := flag.Int("workers", 0, "parallel workers for training/inference/eval (0 = all CPUs)")
+	runlogPath := flag.String("runlog", "", "write structured JSONL run records to this file")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics for the live training run on this address")
 	flag.Parse()
 	defer prof.Start()()
+
+	var runlog *obs.RunLog
+	if *runlogPath != "" {
+		var err error
+		runlog, err = obs.OpenRunLog(*runlogPath)
+		if err != nil {
+			log.Fatalf("open -runlog: %v", err)
+		}
+		defer func() {
+			if err := runlog.Close(); err != nil {
+				log.Printf("close -runlog: %v", err)
+			}
+		}()
+	}
+	var reg *obs.Registry
+	if *telemetryAddr != "" {
+		reg = obs.NewRegistry()
+		addr, err := obs.ServeBackground(*telemetryAddr, obs.Mux(reg, nil))
+		if err != nil {
+			log.Fatalf("serve -telemetry-addr: %v", err)
+		}
+		log.Printf("telemetry on http://%s/metrics", addr)
+	}
 
 	worldCfg := synth.DefaultConfig()
 	if *fast {
@@ -59,6 +86,14 @@ func main() {
 	}
 	trainCfg.BatchSize = *batch
 	trainCfg.Workers = *workers
+	trainCfg.Registry = reg
+	if runlog != nil {
+		trainCfg.Observer = func(rec obs.EpochRecord) {
+			if err := runlog.Record("epoch", rec); err != nil {
+				log.Printf("runlog: %v", err)
+			}
+		}
+	}
 
 	var clicks [][]int
 	for _, s := range train {
@@ -87,4 +122,11 @@ func main() {
 	fmt.Printf("\nOffline evaluation (%d queries, 49 same-tenant negatives):\n", report.N)
 	fmt.Printf("  MRR %.3f | NDCG@1 %.3f | NDCG@5 %.3f | NDCG@10 %.3f | HR@5 %.3f | HR@10 %.3f\n",
 		report.MRR, report.NDCG1, report.NDCG5, report.NDCG10, report.HR5, report.HR10)
+
+	if err := runlog.Record("result", map[string]any{
+		"mode": *mode, "loss": loss, "train_sec": time.Since(start).Seconds(),
+		"mrr": report.MRR, "ndcg5": report.NDCG5, "hr5": report.HR5,
+	}); err != nil {
+		log.Printf("runlog: %v", err)
+	}
 }

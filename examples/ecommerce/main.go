@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"intellitag/internal/kb"
@@ -49,24 +50,25 @@ func main() {
 		catalog.RQAnswers[p.ID] = p.Answer
 	}
 	engine := serving.NewEngine(catalog, index, lastClickScorer{}, store.NewLog(), nil)
+	ctx := context.Background()
 
 	// A user types a question, as in the paper's Fig. 1 left panel.
 	fmt.Println("\nuser asks: \"where is my order\"")
-	if match, ok := engine.Ask(tenant, 1, "where is my order"); ok {
+	if match, ok := engine.Ask(ctx, tenant, 1, "where is my order"); ok {
 		fmt.Printf("  matched RQ: %q\n  answer:     %q\n", match.Question, match.Answer)
 	}
 
 	// The user clicks the "refund" tag; the engine returns predicted
 	// questions for the accumulated tag query (Fig. 1 middle panel).
 	fmt.Println("\nuser clicks tag \"refund\"")
-	_, questions := engine.Click(tenant, 1, 3, 3)
+	_, questions := engine.Click(ctx, tenant, 1, 3, 3)
 	for _, q := range questions {
 		fmt.Printf("  predicted question: %q (answer: %q)\n", q.Question, q.Answer)
 	}
 
 	// Cold start for a fresh session: most popular tags first.
 	fmt.Println("\nfresh session cold-start recommendations:")
-	for _, r := range engine.RecommendTags(tenant, 99, 3) {
+	for _, r := range engine.RecommendTags(ctx, tenant, 99, 3) {
 		fmt.Printf("  %-10s (popularity %.0f)\n", r.Phrase, r.Score)
 	}
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"time"
+
+	"intellitag/internal/mat"
+	"intellitag/internal/obs"
+	"intellitag/internal/par"
+)
+
+// trainTelemetry is the optional observation side-car of one training stage.
+// It feeds two sinks: the per-epoch Observer callback (structured run logs)
+// and live registry gauges. All methods are nil-receiver-safe, so the
+// training loops call them unconditionally; with neither sink configured the
+// loops behave — and allocate — exactly as before. Telemetry never touches
+// the RNG streams or merge order, so trained parameters stay bit-identical
+// with observation on or off.
+type trainTelemetry struct {
+	observer func(obs.EpochRecord)
+	stage    string
+	epochs   int
+
+	epochG *obs.Gauge
+	lossG  *obs.Gauge
+	stepG  *obs.Gauge // mean step latency of the last epoch, microseconds
+	normG  *obs.Gauge
+	poolG  *obs.Gauge // mat.Shared hit rate
+
+	stepStart time.Time
+	stepTotal time.Duration
+	steps     int
+	lastNorm  float64
+}
+
+// newTrainTelemetry wires a stage's telemetry from the config; returns nil
+// (a no-op) when neither an Observer nor a Registry is set. When a registry
+// is present, the stage's worker pool also reports queue-depth gauges.
+func newTrainTelemetry(cfg TrainConfig, stage string, pool *par.Pool) *trainTelemetry {
+	if cfg.Observer == nil && cfg.Registry == nil {
+		return nil
+	}
+	t := &trainTelemetry{observer: cfg.Observer, stage: stage, epochs: cfg.Epochs}
+	if reg := cfg.Registry; reg != nil {
+		t.epochG = reg.Gauge("intellitag_train_epoch", "stage", stage)
+		t.lossG = reg.Gauge("intellitag_train_loss", "stage", stage)
+		t.stepG = reg.Gauge("intellitag_train_step_us", "stage", stage)
+		t.normG = reg.Gauge("intellitag_train_grad_norm", "stage", stage)
+		t.poolG = reg.Gauge("intellitag_pool_hit_rate")
+		if pool != nil {
+			pool.Instrument(
+				reg.Gauge("intellitag_par_active_workers", "stage", stage),
+				reg.Gauge("intellitag_par_pending_items", "stage", stage),
+			)
+		}
+	}
+	return t
+}
+
+// stepBegin marks the start of one optimizer step.
+func (t *trainTelemetry) stepBegin() {
+	if t == nil {
+		return
+	}
+	t.stepStart = time.Now()
+}
+
+// stepEnd closes the step, recording its wall time and pre-clip grad norm.
+func (t *trainTelemetry) stepEnd(gradNorm float64) {
+	if t == nil {
+		return
+	}
+	t.stepTotal += time.Since(t.stepStart)
+	t.steps++
+	t.lastNorm = gradNorm
+	t.normG.Set(gradNorm)
+}
+
+// epochEnd emits the epoch's record to both sinks and resets step counters.
+func (t *trainTelemetry) epochEnd(epoch int, loss float64) {
+	if t == nil {
+		return
+	}
+	var stepMicros float64
+	if t.steps > 0 {
+		stepMicros = float64(t.stepTotal.Microseconds()) / float64(t.steps)
+	}
+	hitRate := mat.Shared.HitRate()
+	t.epochG.Set(float64(epoch + 1))
+	t.lossG.Set(loss)
+	t.stepG.Set(stepMicros)
+	t.poolG.Set(hitRate)
+	if t.observer != nil {
+		t.observer(obs.EpochRecord{
+			Stage:       t.stage,
+			Epoch:       epoch + 1,
+			Epochs:      t.epochs,
+			Loss:        loss,
+			Steps:       t.steps,
+			StepMicros:  stepMicros,
+			GradNorm:    t.lastNorm,
+			PoolHitRate: hitRate,
+		})
+	}
+	t.stepTotal = 0
+	t.steps = 0
+}

@@ -4,6 +4,7 @@ import (
 	"intellitag/internal/hetgraph"
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/obs"
 	"intellitag/internal/par"
 )
 
@@ -33,6 +34,14 @@ type TrainConfig struct {
 	// parameters are bit-identical at any worker count for a given seed and
 	// batch size.
 	Workers int
+	// Observer, when set, receives one record per finished epoch — the
+	// structured run-log hook. Purely observational: it sees loss, step
+	// timing, grad norm and pool hit-rate but must not touch training state.
+	Observer func(obs.EpochRecord)
+	// Registry, when set, receives live training gauges (epoch, loss, step
+	// latency, grad norm, worker-pool queue depths) under intellitag_train_*
+	// and intellitag_par_* series.
+	Registry *obs.Registry
 }
 
 // DefaultTrainConfig returns the paper's optimizer settings.
@@ -88,6 +97,15 @@ func train(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) float64 {
 	return trainBatched(m, sessions, cfg, seqOnly)
 }
 
+// stageName labels a sequence-training run for telemetry: "seq" for the
+// frozen-embedding stage, "e2e" for end-to-end.
+func stageName(seqOnly bool) string {
+	if seqOnly {
+		return "seq"
+	}
+	return "e2e"
+}
+
 // trainPerSample is the legacy per-sample Adam loop (BatchSize <= 1), kept
 // as its own path so existing seeded runs reproduce exactly.
 func trainPerSample(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) float64 {
@@ -98,6 +116,7 @@ func trainPerSample(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) f
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed)
 	m.SetTrain(true)
+	tel := newTrainTelemetry(cfg, stageName(seqOnly), nil)
 	totalSteps := cfg.Epochs * len(sessions)
 	step := 0
 	var lastLoss float64
@@ -112,6 +131,7 @@ func trainPerSample(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) f
 			}
 			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
 			step++
+			tel.stepBegin()
 
 			// Cloze masking: each position masked with prob MaskProb; always
 			// at least the final position (the next-click objective).
@@ -125,14 +145,16 @@ func trainPerSample(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) f
 
 			zeroGrads(params)
 			loss := clozeStep(m, session, masked)
-			nn.ClipGradNorm(params, cfg.ClipNorm)
+			norm := nn.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(params)
+			tel.stepEnd(norm)
 			epochLoss += loss
 			counted++
 		}
 		if counted > 0 {
 			lastLoss = epochLoss / float64(counted)
 		}
+		tel.epochEnd(epoch, lastLoss)
 	}
 	m.SetTrain(false)
 	return lastLoss
@@ -161,6 +183,7 @@ func trainBatched(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) flo
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed)
 	m.SetTrain(true)
+	tel := newTrainTelemetry(cfg, stageName(seqOnly), pool)
 
 	nonEmpty := 0
 	for _, s := range sessions {
@@ -220,6 +243,7 @@ func trainBatched(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) flo
 			}
 			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
 			step++
+			tel.stepBegin()
 			zeroGrads(params)
 			pool.For(bl, func(j int) {
 				ex := examples[j]
@@ -233,12 +257,14 @@ func trainBatched(m *Model, sessions [][]int, cfg TrainConfig, seqOnly bool) flo
 			}
 			counted += bl
 			nn.ScaleGrads(params, 1/float64(bl))
-			nn.ClipGradNorm(params, cfg.ClipNorm)
+			norm := nn.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(params)
+			tel.stepEnd(norm)
 		}
 		if counted > 0 {
 			lastLoss = epochLoss / float64(counted)
 		}
+		tel.epochEnd(epoch, lastLoss)
 	}
 	m.SetTrain(false)
 	return lastLoss
@@ -309,6 +335,7 @@ func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, nega
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	rng := mat.NewRNG(cfg.Seed + 7)
 	params := e.Params()
+	tel := newTrainTelemetry(cfg, "pretrain", pool)
 
 	replicas := make([]*GraphEncoder, batch)
 	repParams := make([][]*nn.Param, batch)
@@ -339,6 +366,7 @@ func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, nega
 				slots = append(slots, linkEdge{a: ed.a, b: ed.b, negs: negs})
 			}
 			bl := len(slots)
+			tel.stepBegin()
 			zeroGrads(params)
 			pool.For(bl, func(j int) {
 				losses[j] = linkPredictionStep(replicas[j], slots[j])
@@ -348,10 +376,12 @@ func PretrainGraph(e *GraphEncoder, graph *hetgraph.Graph, cfg TrainConfig, nega
 				epochLoss += losses[j]
 			}
 			nn.ScaleGrads(params, 1/float64(bl))
-			nn.ClipGradNorm(params, cfg.ClipNorm)
+			norm := nn.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(params)
+			tel.stepEnd(norm)
 		}
 		lastLoss = epochLoss / float64(len(edges))
+		tel.epochEnd(epoch, lastLoss)
 	}
 	return lastLoss
 }

@@ -111,7 +111,9 @@ func matchExcept(prefixes ...string) func(string) bool {
 //     (core, nn, eval, baselines), but the whole tree claims reproducible
 //     experiments — textproc embeddings feed clustering, kb ids feed the
 //     catalog — so the invariant is repo-wide.
-//   - nakedgo: everywhere except the two packages allowed to own goroutines.
+//   - nakedgo: everywhere except the packages allowed to own goroutines —
+//     par and serving (the fan-out layer) and obs (background telemetry
+//     listeners that live for the whole process).
 //   - errcheck: everywhere. The motivating paths are the store/kb/serving
 //     and model/graph persistence writes; the exemptions for never-failing
 //     writers keep the check quiet elsewhere.
@@ -123,6 +125,7 @@ func DefaultSuite() []Scoped {
 		{NakedGo, matchExcept(
 			"intellitag/internal/par",
 			"intellitag/internal/serving",
+			"intellitag/internal/obs",
 		)},
 		{ErrCheck, matchAll},
 	}

@@ -195,6 +195,41 @@ func TestSuppressionRequiresMatchingAnalyzer(t *testing.T) {
 	}
 }
 
+// TestNakedGoScope pins the nakedgo allow-list in DefaultSuite: only the
+// packages sanctioned to own goroutines (par, serving, obs) are skipped, and
+// the prefix match does not leak onto look-alike package paths.
+func TestNakedGoScope(t *testing.T) {
+	var match func(string) bool
+	for _, s := range DefaultSuite() {
+		if s.Analyzer == NakedGo {
+			match = s.Match
+		}
+	}
+	if match == nil {
+		t.Fatal("DefaultSuite has no nakedgo entry")
+	}
+	allowed := []string{
+		"intellitag/internal/par",
+		"intellitag/internal/serving",
+		"intellitag/internal/obs",
+	}
+	for _, p := range allowed {
+		if match(p) {
+			t.Errorf("nakedgo should not run on allow-listed package %s", p)
+		}
+	}
+	scoped := []string{
+		"intellitag/internal/core",
+		"intellitag/internal/observability", // not a prefix-match leak of obs
+		"intellitag/cmd/simulate",
+	}
+	for _, p := range scoped {
+		if !match(p) {
+			t.Errorf("nakedgo should run on %s", p)
+		}
+	}
+}
+
 // TestRepoTreeIsClean applies the shipped gate — DefaultSuite over the whole
 // module — and fails on any finding, pinning the repo's lint-clean state so a
 // regression fails `go test ./internal/lint` even without running the driver.

@@ -5,12 +5,13 @@ import "go/ast"
 // NakedGo flags `go` statements. PR 1 centralized all fan-out on the
 // internal/par worker pool so worker counts, batching and determinism are
 // controlled in one place; internal/serving owns its own long-lived
-// goroutines (shard loops, scorer pools). Everywhere else a naked goroutine
-// bypasses that control — the driver scopes this analyzer to every package
-// except those two.
+// goroutines (shard loops, scorer pools), and internal/obs owns background
+// telemetry listeners that run for the life of the process. Everywhere else
+// a naked goroutine bypasses that control — the driver scopes this analyzer
+// to every package except those three.
 var NakedGo = &Analyzer{
 	Name: "nakedgo",
-	Doc:  "go statements outside internal/par and internal/serving must use the shared worker pool",
+	Doc:  "go statements outside internal/par, internal/serving and internal/obs must use the shared worker pool",
 	Run:  runNakedGo,
 }
 
@@ -18,7 +19,7 @@ func runNakedGo(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				pass.Reportf(g.Pos(), "naked go statement: route fan-out through the internal/par worker pool (goroutines may only be owned by internal/par and internal/serving)")
+				pass.Reportf(g.Pos(), "naked go statement: route fan-out through the internal/par worker pool (goroutines may only be owned by internal/par, internal/serving and internal/obs)")
 			}
 			return true
 		})

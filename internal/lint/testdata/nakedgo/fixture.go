@@ -19,3 +19,10 @@ func call(f func()) {
 func suppressed(f func()) {
 	go f() //lint:ignore nakedgo fixture demonstrating a sanctioned goroutine launch
 }
+
+// serveBackground mirrors the obs telemetry-listener shape: still a finding
+// here, because package allow-listing (par, serving, obs) is the driver's
+// scoping policy, not the analyzer's — the fixture runs unscoped.
+func serveBackground(serve func() error) {
+	go serve() // want "naked go statement"
+}

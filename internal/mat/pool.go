@@ -1,6 +1,9 @@
 package mat
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a size-keyed recycler of matrices and scratch slices, backed by one
 // sync.Pool per power-of-two capacity class. It exists for the per-call
@@ -21,6 +24,12 @@ type Pool struct {
 	// header box per Put; emptied boxes are recycled through their own pools.
 	vecBoxes sync.Pool
 	intBoxes sync.Pool
+
+	// hits counts Get/GetVec/GetInts calls satisfied from a pool, misses the
+	// ones that fell through to make. The ratio is the pool hit-rate exported
+	// in training run logs and /metrics.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type vecBox struct{ s []float64 }
@@ -48,12 +57,14 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 	class := sizeClass(n)
 	pl, _ := p.mats.LoadOrStore(class, &sync.Pool{})
 	if v := pl.(*sync.Pool).Get(); v != nil {
+		p.hits.Add(1)
 		m := v.(*Matrix)
 		m.Data = m.Data[:n]
 		m.Rows, m.Cols = rows, cols
 		m.Zero()
 		return m
 	}
+	p.misses.Add(1)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, class)}
 }
 
@@ -77,6 +88,7 @@ func (p *Pool) GetVec(n int) []float64 {
 	class := sizeClass(n)
 	pl, _ := p.vecs.LoadOrStore(class, &sync.Pool{})
 	if v := pl.(*sync.Pool).Get(); v != nil {
+		p.hits.Add(1)
 		b := v.(*vecBox)
 		s := b.s[:n]
 		b.s = nil
@@ -86,6 +98,7 @@ func (p *Pool) GetVec(n int) []float64 {
 		}
 		return s
 	}
+	p.misses.Add(1)
 	return make([]float64, n, class)
 }
 
@@ -109,6 +122,7 @@ func (p *Pool) GetInts(n int) []int {
 	class := sizeClass(n)
 	pl, _ := p.ints.LoadOrStore(class, &sync.Pool{})
 	if v := pl.(*sync.Pool).Get(); v != nil {
+		p.hits.Add(1)
 		b := v.(*intBox)
 		s := b.s[:n]
 		b.s = nil
@@ -118,7 +132,23 @@ func (p *Pool) GetInts(n int) []int {
 		}
 		return s
 	}
+	p.misses.Add(1)
 	return make([]int, n, class)
+}
+
+// Stats reports how many Get/GetVec/GetInts calls were served from the pool
+// (hits) versus allocated fresh (misses) since process start.
+func (p *Pool) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// HitRate is hits/(hits+misses), or 0 before the first Get.
+func (p *Pool) HitRate() float64 {
+	h, m := p.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
 }
 
 // PutInts returns a slice obtained from GetInts to the pool.

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// SnapshotHandler serves the registry as a JSON snapshot.
+func SnapshotHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSONBody(w, r.Snapshot())
+	})
+}
+
+// TraceHandler serves recent completed span trees, newest first. `?limit=N`
+// caps the count (default 20).
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		limit := 20
+		if q := req.URL.Query().Get("limit"); q != "" {
+			var n int
+			for _, ch := range q {
+				if ch < '0' || ch > '9' {
+					n = -1
+					break
+				}
+				n = n*10 + int(ch-'0')
+			}
+			if n > 0 {
+				limit = n
+			}
+		}
+		writeJSONBody(w, map[string]any{"traces": t.Trees(limit)})
+	})
+}
+
+// writeJSONBody encodes v into a buffer first, so an encoding failure becomes
+// a clean 500 instead of a truncated 200.
+func writeJSONBody(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// Mux mounts the standard telemetry surfaces — /metrics, /metrics.json,
+// /debug/trace — on a fresh ServeMux. Either argument may be nil.
+func Mux(r *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/metrics.json", SnapshotHandler(r))
+	mux.Handle("/debug/trace", TraceHandler(t))
+	return mux
+}
+
+// ServeBackground binds addr synchronously (so bind errors surface to the
+// caller) and serves h on a background goroutine for the life of the
+// process. It returns the bound address, useful with ":0".
+func ServeBackground(addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) // fire-and-forget telemetry listener, runs until process exit
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePrometheus is a minimal exposition parser: it validates every line is
+// either a comment or `series value` and returns the series map.
+func parsePrometheus(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space; series names/labels contain no
+		// spaces because label values here are identifiers.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		series[line[:i]] = v
+	}
+	return series
+}
+
+func TestMuxRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("intellitag_requests_total", "op", "ask").Add(3)
+	reg.Histogram("intellitag_request_latency_seconds", nil, "op", "ask").Observe(0.002)
+	tr := NewTracer(1, 8)
+	ctx, root := tr.Start(context.Background(), "ask")
+	_, child := tr.Start(ctx, "retrieve")
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(Mux(reg, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	series := parsePrometheus(t, string(body))
+	if series[`intellitag_requests_total{op="ask"}`] != 3 {
+		t.Fatalf("counter missing from exposition:\n%s", body)
+	}
+	if series[`intellitag_request_latency_seconds_count{op="ask"}`] != 1 {
+		t.Fatalf("histogram count missing from exposition:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatalf("GET /metrics.json: %v", err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /metrics.json: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters[`intellitag_requests_total{op="ask"}`] != 3 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/trace?limit=5")
+	if err != nil {
+		t.Fatalf("GET /debug/trace: %v", err)
+	}
+	var traces struct {
+		Traces []SpanTree `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatalf("decode /debug/trace: %v", err)
+	}
+	resp.Body.Close()
+	if len(traces.Traces) != 1 || traces.Traces[0].Name != "ask" {
+		t.Fatalf("traces wrong: %+v", traces)
+	}
+	if len(traces.Traces[0].Children) != 1 || traces.Traces[0].Children[0].Name != "retrieve" {
+		t.Fatalf("trace children wrong: %+v", traces.Traces[0])
+	}
+}
+
+func TestMuxNilComponents(t *testing.T) {
+	srv := httptest.NewServer(Mux(nil, nil))
+	defer srv.Close()
+	for _, route := range []string{"/metrics", "/metrics.json", "/debug/trace"} {
+		resp, err := http.Get(srv.URL + route)
+		if err != nil {
+			t.Fatalf("GET %s: %v", route, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s with nil components: status %d", route, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeBackground(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	addr, err := ServeBackground("127.0.0.1:0", Mux(reg, nil))
+	if err != nil {
+		t.Fatalf("ServeBackground: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET background /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("background exposition missing counter:\n%s", body)
+	}
+	// A second bind on the same port must fail synchronously.
+	if _, err := ServeBackground(addr, Mux(nil, nil)); err == nil {
+		t.Fatal("rebinding a taken port did not error")
+	}
+}

@@ -1,0 +1,456 @@
+// Package obs is the telemetry spine of the serving and training stack
+// (Section V runs IntelliTag as a monitored production service; this package
+// is the reproduction's monitoring layer). It provides three pieces, all on
+// the standard library alone:
+//
+//   - a concurrent metrics Registry of counters, gauges and fixed-bucket
+//     latency histograms, exposed in Prometheus text format and snapshotable
+//     as JSON;
+//   - request-scoped span tracing (trace.go): context-propagated, sampled,
+//     with completed span trees retained in a ring buffer for /debug/trace;
+//   - structured JSONL run logs (runlog.go) for the offline T+1 jobs.
+//
+// Every instrument is safe for concurrent use and nil-safe: methods on a nil
+// *Counter, *Gauge, *Histogram, *Tracer or *Span are no-ops, so hot paths can
+// hold unconditional instrument pointers and pay nothing when telemetry is
+// disabled.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefLatencyBuckets are the default request-latency bucket upper bounds in
+// seconds: 100µs to 2.5s, roughly logarithmic — wide enough to place both a
+// memoized recommend (µs) and a cold model-scored one (ms) with usable
+// p99 resolution.
+var DefLatencyBuckets = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation. Bucket
+// counts are non-cumulative internally and cumulated at exposition time.
+type Histogram struct {
+	family string // metric name without labels
+	labels string // rendered label pairs, "" when unlabeled
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the extra slot is the +Inf bucket
+	sum    atomicFloat
+	total  atomic.Int64
+}
+
+// atomicFloat accumulates float64 additions with a CAS loop.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by linear interpolation
+// within the bucket containing the target rank. Samples beyond the last
+// finite bound are reported as that bound — the histogram cannot resolve
+// further.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := p * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) { // overflow bucket
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(target-float64(cum))/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a concurrent collection of named instruments. Series identity
+// is the metric name plus its sorted label pairs; the first caller creates a
+// series and later callers receive the same instrument. A nil *Registry
+// returns nil instruments, whose methods are no-ops — so wiring telemetry
+// through a code path costs nothing when no registry is installed.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	kinds    map[string]string // family -> kind, guards cross-kind reuse
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		kinds:    map[string]string{},
+	}
+}
+
+// renderLabels canonicalizes label pairs ("k1", "v1", "k2", "v2", ...) into
+// `k1="v1",k2="v2"` with keys sorted, so the same logical series is one
+// series regardless of argument order.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// checkKind registers the family's kind, panicking on a cross-kind collision
+// (a programming error that would emit an invalid exposition).
+func (r *Registry) checkKind(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic("obs: metric " + name + " registered as both " + prev + " and " + kind)
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the counter for name and label pairs, creating it on first
+// use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, renderLabels(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "counter")
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name and label pairs, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, renderLabels(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "gauge")
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name and label pairs, creating it with
+// the given bucket upper bounds (ascending; nil selects DefLatencyBuckets).
+// An existing series keeps its original buckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	rendered := renderLabels(labels)
+	key := seriesKey(name, rendered)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "histogram")
+	h, ok := r.hists[key]
+	if !ok {
+		if buckets == nil {
+			buckets = DefLatencyBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		h = &Histogram{
+			family: name,
+			labels: rendered,
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// family extracts the metric family from a series key.
+func family(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// sortedKeys returns m's keys ordered by (family, full series) so one family's
+// series are contiguous and each TYPE header is emitted exactly once.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		fi, fj := family(keys[i]), family(keys[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a `# TYPE` header per family, counter and gauge
+// series as `name{labels} value`, histograms as cumulative `_bucket` series
+// plus `_sum` and `_count`. The output is rendered into a buffer and written
+// with a single Write, so a partial write never leaves a torn exposition.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	r.mu.Lock()
+	lastFamily := ""
+	for _, k := range sortedKeys(r.counters) {
+		if f := family(k); f != lastFamily {
+			fmt.Fprintf(&buf, "# TYPE %s counter\n", f)
+			lastFamily = f
+		}
+		fmt.Fprintf(&buf, "%s %d\n", k, r.counters[k].Value())
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		if f := family(k); f != lastFamily {
+			fmt.Fprintf(&buf, "# TYPE %s gauge\n", f)
+			lastFamily = f
+		}
+		fmt.Fprintf(&buf, "%s %g\n", k, r.gauges[k].Value())
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		if h.family != lastFamily {
+			fmt.Fprintf(&buf, "# TYPE %s histogram\n", h.family)
+			lastFamily = h.family
+		}
+		sep := ""
+		if h.labels != "" {
+			sep = ","
+		}
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&buf, "%s_bucket{%s%sle=%q} %d\n", h.family, h.labels, sep, formatBound(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(&buf, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.family, h.labels, sep, cum)
+		fmt.Fprintf(&buf, "%s_sum{%s} %g\n", h.family, h.labels, h.Sum())
+		fmt.Fprintf(&buf, "%s_count{%s} %d\n", h.family, h.labels, h.Count())
+	}
+	r.mu.Unlock()
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+// HistogramSnapshot is one histogram's JSON summary.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is the JSON form of the whole registry, keyed by rendered series
+// name.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every series' current value, with p50/p95/p99 readouts
+// for histograms.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return s
+}

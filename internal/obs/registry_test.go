@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"intellitag/internal/metrics"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "op", "ask")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "op", "ask"); again != c {
+		t.Fatal("same series returned a different counter")
+	}
+	if other := r.Counter("reqs_total", "op", "click"); other == c {
+		t.Fatal("different labels shared one counter")
+	}
+	// Label order must not split the series.
+	a := r.Gauge("g", "x", "1", "y", "2")
+	b := r.Gauge("g", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order split one logical series into two")
+	}
+	a.Set(3)
+	a.Add(-1)
+	if got := b.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one family as counter and gauge did not panic")
+		}
+	}()
+	r.Gauge("dual")
+}
+
+// TestConcurrentHammer drives counters, gauges and histograms from many
+// goroutines; under -race it proves every instrument is safe, and the final
+// counts prove no increment was lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("hammer_total").Inc()
+				r.Gauge("hammer_gauge").Add(1)
+				r.Histogram("hammer_hist", []float64{1, 10, 100}).Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	wg.Wait()
+	const want = goroutines * perG
+	if got := r.Counter("hammer_total").Value(); got != want {
+		t.Errorf("counter lost increments: %d, want %d", got, want)
+	}
+	if got := r.Gauge("hammer_gauge").Value(); got != want {
+		t.Errorf("gauge lost additions: %g, want %d", got, want)
+	}
+	if got := r.Histogram("hammer_hist", nil).Count(); got != want {
+		t.Errorf("histogram lost observations: %d, want %d", got, want)
+	}
+}
+
+// TestHistogramQuantileAgainstMetrics checks the bucket-interpolated
+// quantiles against the exact percentiles from internal/metrics on the same
+// sample: the estimate must land inside the bucket containing the exact
+// value.
+func TestHistogramQuantileAgainstMetrics(t *testing.T) {
+	h := NewRegistry().Histogram("lat", DefLatencyBuckets)
+	var samples []time.Duration
+	// Bimodal sample: fast memo hits around 200µs, slow scored requests
+	// around 20ms — the shape the serving path produces.
+	for i := 0; i < 900; i++ {
+		d := time.Duration(150+i%100) * time.Microsecond
+		samples = append(samples, d)
+		h.ObserveDuration(d)
+	}
+	for i := 0; i < 100; i++ {
+		d := time.Duration(15+i%10) * time.Millisecond
+		samples = append(samples, d)
+		h.ObserveDuration(d)
+	}
+	exact := metrics.SummarizeLatency(samples)
+	checks := []struct {
+		p     float64
+		exact time.Duration
+	}{{0.50, exact.P50}, {0.95, exact.P95}, {0.99, exact.P99}}
+	for _, c := range checks {
+		got := h.Quantile(c.p)
+		lo, hi := bucketAround(c.exact.Seconds())
+		if got < lo || got > hi {
+			t.Errorf("p%g = %gs outside bucket [%g, %g] containing exact %s",
+				c.p*100, got, lo, hi, c.exact)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Errorf("count %d != %d", h.Count(), len(samples))
+	}
+	wantSum := 0.0
+	for _, s := range samples {
+		wantSum += s.Seconds()
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum %g != %g", h.Sum(), wantSum)
+	}
+}
+
+// bucketAround returns the DefLatencyBuckets bucket bounds containing v.
+func bucketAround(v float64) (lo, hi float64) {
+	lo = 0
+	for _, b := range DefLatencyBuckets {
+		if v <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return lo, math.Inf(1)
+}
+
+// TestWritePrometheus pins the exposition format: one TYPE line per family
+// (even with several label sets), cumulative bucket counts, and _sum/_count
+// series.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "op", "ask").Add(3)
+	r.Counter("req_total", "op", "click").Add(2)
+	r.Gauge("ctr", "bucket", "intellitag").Set(0.25)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1}, "op", "ask")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE req_total counter\n",
+		`req_total{op="ask"} 3`,
+		`req_total{op="click"} 2`,
+		"# TYPE ctr gauge\n",
+		`ctr{bucket="intellitag"} 0.25`,
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{op="ask",le="0.1"} 1`,
+		`lat_seconds_bucket{op="ask",le="1"} 2`,
+		`lat_seconds_bucket{op="ask",le="+Inf"} 3`,
+		`lat_seconds_count{op="ask"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE req_total"); got != 1 {
+		t.Errorf("family req_total has %d TYPE lines, want 1:\n%s", got, out)
+	}
+	// Every non-comment line must be `name{labels} value` or `name value`.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1.5)
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	s := r.Snapshot()
+	if s.Counters["c"] != 7 || s.Gauges["g"] != 1.5 {
+		t.Fatalf("snapshot scalars wrong: %+v", s)
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 2 || hs.Sum != 2 {
+		t.Fatalf("snapshot histogram wrong: %+v", hs)
+	}
+	if hs.P50 <= 0 || hs.P99 > 2 {
+		t.Fatalf("snapshot quantiles out of range: %+v", hs)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// RunLog writes structured JSONL run records for offline jobs (tagrec-train,
+// tagminer): one JSON object per line, each wrapped in an envelope carrying a
+// monotone sequence number, a timestamp, and a record kind. It replaces
+// ad-hoc log.Printf as the machine-readable trace of a training run.
+type RunLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer // non-nil when RunLog owns the destination file
+	seq int64
+}
+
+// OpenRunLog creates (or truncates) a JSONL run log at path.
+func OpenRunLog(path string) (*RunLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &RunLog{w: f, c: f}, nil
+}
+
+// NewRunLog wraps an existing writer (tests, stdout).
+func NewRunLog(w io.Writer) *RunLog { return &RunLog{w: w} }
+
+// envelope is the per-line wrapper around a record payload.
+type envelope struct {
+	Seq  int64  `json:"seq"`
+	Time string `json:"ts"`
+	Kind string `json:"kind"`
+	Data any    `json:"data"`
+}
+
+// Record appends one line of kind `kind` with payload data. Safe for
+// concurrent use; a nil RunLog is a no-op.
+func (l *RunLog) Record(kind string, data any) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	env := envelope{
+		Seq:  l.seq,
+		Time: time.Now().UTC().Format(time.RFC3339Nano),
+		Kind: kind,
+		Data: data,
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = l.w.Write(b)
+	return err
+}
+
+// Close closes the underlying file if RunLog opened it.
+func (l *RunLog) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	return l.c.Close()
+}
+
+// EpochRecord is the per-epoch training payload shared by tagrec-train and
+// tagminer run logs: loss, per-step latency, the pre-clip gradient norm of
+// the last step, and the mat.Shared pool hit-rate over the run so far.
+type EpochRecord struct {
+	Stage       string  `json:"stage"`
+	Epoch       int     `json:"epoch"`
+	Epochs      int     `json:"epochs"`
+	Loss        float64 `json:"loss"`
+	Steps       int     `json:"steps"`
+	StepMicros  float64 `json:"step_us"`
+	GradNorm    float64 `json:"grad_norm"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}

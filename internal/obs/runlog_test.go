@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunLogJSONLAndMonotoneSeq(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewRunLog(&buf)
+	for epoch := 0; epoch < 3; epoch++ {
+		rec := EpochRecord{Stage: "e2e", Epoch: epoch + 1, Epochs: 3, Loss: 1.0 / float64(epoch+1)}
+		if err := l.Record("epoch", rec); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if err := l.Record("result", map[string]any{"loss": 0.25}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lastSeq int64
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var env struct {
+			Seq  int64           `json:"seq"`
+			Time string          `json:"ts"`
+			Kind string          `json:"kind"`
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if env.Seq != lastSeq+1 {
+			t.Fatalf("seq %d after %d, want monotone +1", env.Seq, lastSeq)
+		}
+		lastSeq = env.Seq
+		if _, err := time.Parse(time.RFC3339Nano, env.Time); err != nil {
+			t.Fatalf("line %d timestamp %q: %v", lines, env.Time, err)
+		}
+		if env.Kind == "epoch" {
+			var rec EpochRecord
+			if err := json.Unmarshal(env.Data, &rec); err != nil {
+				t.Fatalf("epoch payload: %v", err)
+			}
+			if rec.Epoch != int(env.Seq) || rec.Epochs != 3 {
+				t.Fatalf("epoch payload round-trip wrong: %+v", rec)
+			}
+		}
+	}
+	if lines != 4 {
+		t.Fatalf("wrote %d lines, want 4", lines)
+	}
+}
+
+func TestRunLogNilIsNoOp(t *testing.T) {
+	var l *RunLog
+	if err := l.Record("epoch", EpochRecord{}); err != nil {
+		t.Fatalf("nil Record: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestRunLogConcurrentLinesIntact(t *testing.T) {
+	// bytes.Buffer is not concurrency-safe; passing it bare means -race fails
+	// here if RunLog ever stops serializing Record.
+	var buf bytes.Buffer
+	l := NewRunLog(&buf)
+	const workers = 8
+	const perW = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if err := l.Record("step", map[string]int{"worker": w, "i": i}); err != nil {
+					t.Errorf("Record: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sc := bufio.NewScanner(&buf)
+	seen := map[int64]bool{}
+	for sc.Scan() {
+		var env envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("interleaved line: %v\n%s", err, sc.Text())
+		}
+		if seen[env.Seq] {
+			t.Fatalf("duplicate seq %d", env.Seq)
+		}
+		seen[env.Seq] = true
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("got %d records, want %d", len(seen), workers*perW)
+	}
+}
+
+func TestOpenRunLogWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := OpenRunLog(path)
+	if err != nil {
+		t.Fatalf("OpenRunLog: %v", err)
+	}
+	if err := l.Record("epoch", EpochRecord{Stage: "pretrain", Epoch: 1}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(bytes.TrimSpace(data), &env); err != nil {
+		t.Fatalf("file content: %v\n%s", err, data)
+	}
+	if env.Kind != "epoch" || env.Seq != 1 {
+		t.Fatalf("file record wrong: %+v", env)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer samples request-scoped span trees. One request in `every` on
+// average becomes a root span (see sample for why it is not exactly every
+// Nth); child spans started under a sampled context attach to the tree
+// unconditionally. Completed root trees land in a fixed-size ring
+// buffer served by /debug/trace. A nil *Tracer samples nothing and costs one
+// nil check per Start.
+type Tracer struct {
+	every int64
+	reqs  atomic.Int64
+
+	mu   sync.Mutex
+	ring []*Span
+	next int
+	size int
+}
+
+// NewTracer returns a tracer sampling one root in `every` Start calls that
+// have no parent span, retaining the last `capacity` completed trees.
+func NewTracer(every, capacity int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{every: int64(every), ring: make([]*Span, capacity)}
+}
+
+// Span is one timed operation in a sampled request tree.
+type Span struct {
+	name   string
+	start  time.Time
+	end    time.Time
+	tracer *Tracer // set on roots only; End records the tree into the ring
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+type spanCtxKey struct{}
+
+// notSampled marks a context whose request already lost the sampling draw,
+// so operations nested under an unsampled entry point do not re-draw and
+// root trees of their own. Without it, sampling is per-Start rather than
+// per-request, and the draw outcomes feed back into which operation the
+// counter lands on — under the simulator's fixed click/recommend/score/
+// retrieve call cycle that feedback locked the sampler onto inner spans and
+// the flagship click tree was never captured.
+var notSampled = &Span{}
+
+// Start begins a span named name. If ctx already carries a sampled span, the
+// new span is its child; otherwise this call is a request entry point and
+// the tracer draws the 1-in-every sampling decision for the whole request.
+// Losing the draw stamps ctx so nested Starts inherit the decision (one
+// context allocation per unsampled request); a nil tracer returns ctx
+// unchanged and a nil span, allocating nothing.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		if parent == notSampled {
+			return ctx, nil
+		}
+		s := &Span{name: name, start: time.Now()}
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+		return context.WithValue(ctx, spanCtxKey{}, s), s
+	}
+	if !t.sample() {
+		return context.WithValue(ctx, spanCtxKey{}, notSampled), nil
+	}
+	s := &Span{name: name, start: time.Now(), tracer: t}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// sample decides whether the current request roots a tree: the request
+// counter is bit-mixed (a murmur3-style finalizer) before the 1-in-every
+// modulo, giving a 1/every rate on average. A plain `count % every` samples
+// deterministically every Nth request, which phase-locks onto a single
+// operation whenever a workload interleaves request types with a period
+// sharing a factor with `every` (e.g. alternating ask/click at any even
+// sampling rate would only ever trace asks).
+func (t *Tracer) sample() bool {
+	n := uint64(t.reqs.Add(1))
+	n ^= n >> 33
+	n *= 0xff51afd7ed558ccd
+	n ^= n >> 33
+	return n%uint64(t.every) == 0
+}
+
+// End closes the span. Root spans are committed to their tracer's ring. Safe
+// on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.end = time.Now()
+	if s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.mu.Unlock()
+}
+
+// SpanTree is the JSON form of a completed span and its children. Offsets are
+// relative to the tree's root start, so per-stage timing reads directly.
+type SpanTree struct {
+	Name              string     `json:"name"`
+	StartOffsetMicros int64      `json:"start_offset_us"`
+	DurationMicros    int64      `json:"duration_us"`
+	Children          []SpanTree `json:"children,omitempty"`
+}
+
+// Trees returns up to limit recent completed span trees, newest first.
+// limit <= 0 means all retained trees.
+func (t *Tracer) Trees(limit int) []SpanTree {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, 0, t.size)
+	for i := 0; i < t.size; i++ {
+		// newest first: walk backwards from the slot before next
+		idx := (t.next - 1 - i + len(t.ring)*2) % len(t.ring)
+		if t.ring[idx] != nil {
+			roots = append(roots, t.ring[idx])
+		}
+	}
+	t.mu.Unlock()
+	if limit > 0 && len(roots) > limit {
+		roots = roots[:limit]
+	}
+	out := make([]SpanTree, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.tree(r.start))
+	}
+	return out
+}
+
+func (s *Span) tree(rootStart time.Time) SpanTree {
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	end := s.end
+	if end.IsZero() { // child still open when the root was committed
+		end = s.start
+	}
+	node := SpanTree{
+		Name:              s.name,
+		StartOffsetMicros: s.start.Sub(rootStart).Microseconds(),
+		DurationMicros:    end.Sub(s.start).Microseconds(),
+	}
+	for _, c := range children {
+		node.Children = append(node.Children, c.tree(rootStart))
+	}
+	return node
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.Start(context.Background(), "root")
+	if span != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("nil tracer changed the context")
+	}
+	span.End() // must not panic
+	if trees := tr.Trees(10); trees != nil {
+		t.Fatalf("nil tracer has trees: %v", trees)
+	}
+}
+
+// TestSpanTreeIntegrity builds the serve-path shape — click with a recommend
+// child that itself scores, plus a sibling retrieve — and asserts the
+// committed tree preserves parent/child structure and ordering.
+func TestSpanTreeIntegrity(t *testing.T) {
+	tr := NewTracer(1, 8) // sample everything
+	ctx, root := tr.Start(context.Background(), "click")
+	if root == nil {
+		t.Fatal("every=1 tracer did not sample the root")
+	}
+	rctx, rec := tr.Start(ctx, "recommend")
+	_, score := tr.Start(rctx, "score")
+	score.End()
+	rec.End()
+	_, retr := tr.Start(ctx, "retrieve")
+	retr.End()
+	root.End()
+
+	trees := tr.Trees(0)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	got := trees[0]
+	if got.Name != "click" {
+		t.Fatalf("root name %q, want click", got.Name)
+	}
+	if len(got.Children) != 2 || got.Children[0].Name != "recommend" || got.Children[1].Name != "retrieve" {
+		t.Fatalf("root children wrong: %+v", got.Children)
+	}
+	recTree := got.Children[0]
+	if len(recTree.Children) != 1 || recTree.Children[0].Name != "score" {
+		t.Fatalf("recommend children wrong: %+v", recTree.Children)
+	}
+	if len(got.Children[1].Children) != 0 {
+		t.Fatalf("retrieve should be a leaf: %+v", got.Children[1])
+	}
+	// Offsets are relative to the root start, so they are monotone down the
+	// tree and no child starts before its parent.
+	if recTree.StartOffsetMicros < 0 || recTree.Children[0].StartOffsetMicros < recTree.StartOffsetMicros {
+		t.Fatalf("child starts before parent: %+v", got)
+	}
+	if got.DurationMicros < 0 {
+		t.Fatalf("negative root duration: %+v", got)
+	}
+}
+
+func TestTracerSamplingRate(t *testing.T) {
+	tr := NewTracer(4, 4096)
+	sampled := 0
+	const reqs = 4000
+	for i := 0; i < reqs; i++ {
+		_, s := tr.Start(context.Background(), "req")
+		if s != nil {
+			sampled++
+			s.End()
+		}
+	}
+	// The counter is hash-mixed, so the rate is 1-in-4 on average rather
+	// than exactly every 4th; 4000 draws at p=1/4 stay well inside ±20%.
+	if lo, hi := reqs/4*8/10, reqs/4*12/10; sampled < lo || sampled > hi {
+		t.Fatalf("sampled %d of %d at 1-in-4, want within [%d, %d]", sampled, reqs, lo, hi)
+	}
+	if got := len(tr.Trees(0)); got != sampled {
+		t.Fatalf("ring holds %d trees, want %d", got, sampled)
+	}
+}
+
+// TestTracerSamplingNoPhaseLock reproduces the serve-path pathology: a
+// workload making a fixed stride of parentless Starts per request (here 4,
+// dividing every=16) must still sample every operation name over time, not
+// lock onto one.
+func TestTracerSamplingNoPhaseLock(t *testing.T) {
+	tr := NewTracer(16, 4096)
+	names := []string{"click", "recommend", "score", "retrieve"}
+	for i := 0; i < 4000; i++ {
+		_, s := tr.Start(context.Background(), names[i%len(names)])
+		s.End()
+	}
+	seen := map[string]int{}
+	for _, tree := range tr.Trees(0) {
+		seen[tree.Name]++
+	}
+	for _, n := range names {
+		if seen[n] == 0 {
+			t.Fatalf("sampler phase-locked: %q never sampled in %v", n, seen)
+		}
+	}
+}
+
+func TestTracerRingNewestFirstAndEviction(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 6; i++ {
+		_, s := tr.Start(context.Background(), fmt.Sprintf("req-%d", i))
+		s.End()
+	}
+	trees := tr.Trees(0)
+	if len(trees) != 4 {
+		t.Fatalf("ring of 4 holds %d trees", len(trees))
+	}
+	for i, want := range []string{"req-5", "req-4", "req-3", "req-2"} {
+		if trees[i].Name != want {
+			t.Fatalf("trees[%d] = %q, want %q (newest first)", i, trees[i].Name, want)
+		}
+	}
+	if limited := tr.Trees(2); len(limited) != 2 || limited[0].Name != "req-5" {
+		t.Fatalf("limit=2 returned %+v", limited)
+	}
+}
+
+// TestTracerConcurrent attaches children from many goroutines under one root
+// and commits roots concurrently; -race validates the locking, and the child
+// count proves no attachment was lost.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1, 128)
+	ctx, root := tr.Start(context.Background(), "root")
+	const workers = 8
+	const perW = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				_, s := tr.Start(ctx, "child")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	trees := tr.Trees(0)
+	if len(trees) != 1 || trees[0].Name != "root" {
+		t.Fatalf("expected just the root tree, got %+v", trees)
+	}
+	if got := len(trees[0].Children); got != workers*perW {
+		t.Fatalf("root has %d children, want %d", got, workers*perW)
+	}
+
+	// Fresh roots committed from many goroutines while Trees reads the ring;
+	// -race validates the ring locking.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				_, s := tr.Start(context.Background(), "solo")
+				s.End()
+				tr.Trees(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Trees(0)); got != 128 {
+		t.Fatalf("ring should be full with 128 trees, got %d", got)
+	}
+}

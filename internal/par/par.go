@@ -18,10 +18,55 @@ import (
 	"sync/atomic"
 )
 
+// Gauge is the minimal telemetry sink a pool can report into. It is a local
+// interface (satisfied by *obs.Gauge) so par keeps zero dependencies.
+type Gauge interface{ Set(v float64) }
+
 // Pool is a bounded set of workers. The zero value runs everything inline
 // on the calling goroutine (one worker); use New to size it.
 type Pool struct {
 	workers int
+
+	// Optional queue-depth gauges, set via Instrument. Gauge updates are
+	// observational only — they never influence scheduling or results.
+	active  Gauge // goroutines currently inside a For/ForWorker call
+	pending Gauge // items not yet claimed in the current call
+}
+
+// Instrument attaches queue-depth gauges: active tracks the worker count of
+// the in-flight fan-out, pending the number of unclaimed items. Either may be
+// nil. Not safe to call concurrently with For/ForWorker.
+func (p *Pool) Instrument(active, pending Gauge) {
+	p.active, p.pending = active, pending
+}
+
+// gaugeStart/gaugeClaim/gaugeDone bracket one fan-out for the instrumentation.
+func (p *Pool) gaugeStart(w, n int) {
+	if p.active != nil {
+		p.active.Set(float64(w))
+	}
+	if p.pending != nil {
+		p.pending.Set(float64(n))
+	}
+}
+
+func (p *Pool) gaugeClaim(i, n int) {
+	if p.pending != nil {
+		rem := n - i - 1
+		if rem < 0 {
+			rem = 0
+		}
+		p.pending.Set(float64(rem))
+	}
+}
+
+func (p *Pool) gaugeDone() {
+	if p.active != nil {
+		p.active.Set(0)
+	}
+	if p.pending != nil {
+		p.pending.Set(0)
+	}
 }
 
 // New returns a pool with the given worker bound. workers <= 0 selects
@@ -58,11 +103,15 @@ func (p *Pool) For(n int, fn func(i int)) {
 		w = n
 	}
 	if w <= 1 {
+		p.gaugeStart(w, n)
 		for i := 0; i < n; i++ {
+			p.gaugeClaim(i, n)
 			fn(i)
 		}
+		p.gaugeDone()
 		return
 	}
+	p.gaugeStart(w, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -74,11 +123,13 @@ func (p *Pool) For(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
+				p.gaugeClaim(i, n)
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	p.gaugeDone()
 }
 
 // ForWorker runs fn(worker, i) for every i in [0, n), where worker is a
@@ -94,11 +145,15 @@ func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
 		w = n
 	}
 	if w <= 1 {
+		p.gaugeStart(w, n)
 		for i := 0; i < n; i++ {
+			p.gaugeClaim(i, n)
 			fn(0, i)
 		}
+		p.gaugeDone()
 		return
 	}
+	p.gaugeStart(w, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -110,9 +165,11 @@ func (p *Pool) ForWorker(n int, fn func(worker, i int)) {
 				if i >= n {
 					return
 				}
+				p.gaugeClaim(i, n)
 				fn(worker, i)
 			}
 		}(g)
 	}
 	wg.Wait()
+	p.gaugeDone()
 }

@@ -1,8 +1,10 @@
 // Package prof wires the standard -cpuprofile/-memprofile flags into the
 // command-line tools so hot paths (training steps, serving requests) can be
-// inspected with `go tool pprof` without per-command boilerplate.
+// inspected with `go tool pprof` without per-command boilerplate. The
+// -pprof-addr flag additionally serves live net/http/pprof (goroutine, heap,
+// 30s CPU) on a side port for long-running processes.
 //
-// Importing the package registers both flags on the default flag set. After
+// Importing the package registers the flags on the default flag set. After
 // flag.Parse(), call Start and defer the returned stop function:
 //
 //	defer prof.Start()()
@@ -14,6 +16,9 @@ package prof
 import (
 	"flag"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"runtime"
@@ -24,6 +29,7 @@ import (
 var (
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	pprofAddr  = flag.String("pprof-addr", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
 )
 
 // Start begins CPU profiling when -cpuprofile was given and returns a stop
@@ -31,6 +37,22 @@ var (
 // writes a post-GC heap profile. Call it after flag.Parse(); the stop
 // function is safe to call when neither flag is set.
 func Start() (stop func()) {
+	if *pprofAddr != "" {
+		// Bind synchronously so a bad address fails loudly at startup, then
+		// serve the default mux (which the pprof import populated) for the
+		// life of the process.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("prof: listen on -pprof-addr %s: %v", *pprofAddr, err)
+		}
+		log.Printf("prof: live pprof on http://%s/debug/pprof/", ln.Addr())
+		//lint:ignore nakedgo background pprof listener that serves until process exit; it must outlive every worker pool and cannot run on one
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("prof: pprof server: %v", err)
+			}
+		}()
+	}
 	var cpuFile *os.File
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -1,10 +1,19 @@
 package serving
 
+import (
+	"strconv"
+
+	"intellitag/internal/obs"
+)
+
 // ABRouter splits traffic between engines by session id, as the paper's
 // online evaluation divides extra traffic buckets to test baselines
 // (Section VI-F). Assignment is deterministic: session % buckets.
 type ABRouter struct {
 	engines []*Engine
+	// routed counts route decisions per bucket; nil slots (no telemetry) are
+	// no-op counters.
+	routed []*obs.Counter
 }
 
 // NewABRouter creates a router over one engine per bucket.
@@ -23,9 +32,27 @@ func (r *ABRouter) Bucket(session int) int {
 	return session % len(r.engines)
 }
 
+// SetTelemetry registers one routing counter per bucket, labeled with the
+// bucket index and the model it serves.
+func (r *ABRouter) SetTelemetry(reg *obs.Registry) {
+	if reg == nil {
+		r.routed = nil
+		return
+	}
+	r.routed = make([]*obs.Counter, len(r.engines))
+	for i, e := range r.engines {
+		r.routed[i] = reg.Counter("intellitag_router_requests_total",
+			"bucket", strconv.Itoa(i), "model", e.ScorerName())
+	}
+}
+
 // Engine returns the engine serving a session.
 func (r *ABRouter) Engine(session int) *Engine {
-	return r.engines[r.Bucket(session)]
+	b := r.Bucket(session)
+	if r.routed != nil {
+		r.routed[b].Inc()
+	}
+	return r.engines[b]
 }
 
 // Engines lists the underlying engines in bucket order.

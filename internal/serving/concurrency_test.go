@@ -30,9 +30,9 @@ func TestEngineConcurrentRequests(t *testing.T) {
 				if len(tags) == 0 {
 					continue
 				}
-				e.Click(tenant, session, tags[i%len(tags)], 5)
-				e.RecommendTags(tenant, session, 5)
-				e.Ask(tenant, session, "how do I reset my password")
+				e.Click(ctx, tenant, session, tags[i%len(tags)], 5)
+				e.RecommendTags(ctx, tenant, session, 5)
+				e.Ask(ctx, tenant, session, "how do I reset my password")
 				if i%3 == 0 {
 					e.EndSession(session)
 				}
@@ -72,8 +72,8 @@ func TestEngineConcurrentModelScoring(t *testing.T) {
 				if len(tags) == 0 {
 					continue
 				}
-				e.Click(tenant, session, tags[i%len(tags)], 5)
-				e.RecommendTags(tenant, session, 5)
+				e.Click(ctx, tenant, session, tags[i%len(tags)], 5)
+				e.RecommendTags(ctx, tenant, session, 5)
 				e.EndSession(session)
 			}
 		}(g)
@@ -93,12 +93,12 @@ func TestRecommendMemo(t *testing.T) {
 	}
 	const session = 7
 
-	e.Click(tenant, session, tags[0], 5)
-	first := e.RecommendTags(tenant, session, 5)
+	e.Click(ctx, tenant, session, tags[0], 5)
+	first := e.RecommendTags(ctx, tenant, session, 5)
 	if _, ok := e.shard(session).recs[session]; !ok {
 		t.Fatal("no memo entry after RecommendTags")
 	}
-	second := e.RecommendTags(tenant, session, 5)
+	second := e.RecommendTags(ctx, tenant, session, 5)
 	if len(first) != len(second) {
 		t.Fatalf("memoized length %d != fresh %d", len(second), len(first))
 	}
@@ -109,15 +109,15 @@ func TestRecommendMemo(t *testing.T) {
 	}
 	// The memo hands out copies: mutating a result must not corrupt it.
 	second[0].Score = -1
-	if got := e.RecommendTags(tenant, session, 5); got[0] != first[0] {
+	if got := e.RecommendTags(ctx, tenant, session, 5); got[0] != first[0] {
 		t.Fatalf("memo corrupted by caller mutation: %+v", got[0])
 	}
 	// A different k bypasses and replaces the entry.
-	if got := e.RecommendTags(tenant, session, 3); len(got) > 3 {
+	if got := e.RecommendTags(ctx, tenant, session, 3); len(got) > 3 {
 		t.Fatalf("k=3 returned %d recs", len(got))
 	}
 	// Clicking invalidates: the next lookup reflects the two-click history.
-	e.Click(tenant, session, tags[1], 5)
+	e.Click(ctx, tenant, session, tags[1], 5)
 	if hist := e.History(session); len(hist) != 2 {
 		t.Fatalf("history = %v", hist)
 	}
@@ -169,9 +169,9 @@ func TestShardedScoringMatchesSingle(t *testing.T) {
 		candidates = append(candidates, len(candidates)%len(catalog.TagPhrases))
 	}
 	history := []int{1, 2}
-	want := e.scoreCandidates(history, candidates)
+	want := e.scoreCandidates(ctx, history, candidates)
 	e.SetWorkers(4)
-	got := e.scoreCandidates(history, candidates)
+	got := e.scoreCandidates(ctx, history, candidates)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("sharded score %d diverges: %v vs %v", i, got[i], want[i])

@@ -7,6 +7,7 @@
 package serving
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -146,6 +147,10 @@ type Engine struct {
 	scorers chan Scorer
 
 	lat latencyRing
+
+	// tel is the optional telemetry sink (SetTelemetry). When nil the engine
+	// pays one pointer comparison per instrumented site and nothing else.
+	tel *engineTelemetry
 }
 
 // NewEngine assembles an engine. The search index must contain the RQ
@@ -222,9 +227,12 @@ func (e *Engine) History(session int) []int {
 // the history. Results are memoized per session until the next click, so
 // only the first request after a history change pays for model scoring.
 // Latency of the full call is recorded.
-func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
+func (e *Engine) RecommendTags(ctx context.Context, tenant, session, k int) []ScoredTag {
 	start := time.Now()
 	defer e.recordLatency(start)
+	defer e.observeOp(opRecommend, start)
+	ctx, span := e.startSpan(ctx, "recommend")
+	defer span.End()
 
 	candidates := e.catalog.TenantTags[tenant]
 	if len(candidates) == 0 {
@@ -248,7 +256,7 @@ func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 			scores[i] = e.catalog.Popularity[c]
 		}
 	} else {
-		scores = e.scoreCandidates(history, candidates)
+		scores = e.scoreCandidates(ctx, history, candidates)
 	}
 	out := make([]ScoredTag, len(candidates))
 	for i, c := range candidates {
@@ -276,32 +284,40 @@ func (e *Engine) RecommendTags(tenant, session, k int) []ScoredTag {
 // Click records a tag click, returns the next recommendations and the
 // predicted questions for the accumulated clicked-tag query (the middle
 // panel of the paper's Fig. 1).
-func (e *Engine) Click(tenant, session, tag, k int) ([]ScoredTag, []PredictedQuestion) {
+func (e *Engine) Click(ctx context.Context, tenant, session, tag, k int) ([]ScoredTag, []PredictedQuestion) {
+	start := time.Now()
+	defer e.observeOp(opClick, start)
+	ctx, span := e.startSpan(ctx, "click")
+	defer span.End()
+
 	sh := e.shard(session)
 	sh.mu.Lock()
 	sh.m[session] = append(sh.m[session], tag)
 	sh.ver++
 	delete(sh.recs, session)
 	history := append([]int(nil), sh.m[session]...)
+	e.noteShardSize(sh)
 	sh.mu.Unlock()
 	if e.log != nil {
 		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventClick, TagID: tag})
 	}
 
-	recs := e.RecommendTags(tenant, session, k)
+	recs := e.RecommendTags(ctx, tenant, session, k)
 
 	// Query = concatenated phrases of all clicked tags in the session.
 	var parts []string
 	for _, t := range history {
 		parts = append(parts, e.catalog.TagPhrases[t])
 	}
-	questions := e.PredictQuestions(tenant, strings.Join(parts, " "), k)
+	questions := e.PredictQuestions(ctx, tenant, strings.Join(parts, " "), k)
 	return recs, questions
 }
 
 // PredictQuestions retrieves the best-matching RQs for a query within a
 // tenant.
-func (e *Engine) PredictQuestions(tenant int, query string, k int) []PredictedQuestion {
+func (e *Engine) PredictQuestions(ctx context.Context, tenant int, query string, k int) []PredictedQuestion {
+	_, span := e.startSpan(ctx, "retrieve")
+	defer span.End()
 	hits := e.index.Search(query, tenant, k)
 	out := make([]PredictedQuestion, 0, len(hits))
 	for _, h := range hits {
@@ -327,11 +343,16 @@ func (e *Engine) SetMatcher(m QuestionMatcher) { e.matcher = m }
 // pick the best match (via the uploaded matcher model when present, BM25
 // order otherwise) and return its answer. ok is false when nothing matches
 // (the caller may escalate to manual service).
-func (e *Engine) Ask(tenant, session int, question string) (PredictedQuestion, bool) {
+func (e *Engine) Ask(ctx context.Context, tenant, session int, question string) (PredictedQuestion, bool) {
 	start := time.Now()
 	defer e.recordLatency(start)
+	defer e.observeOp(opAsk, start)
+	ctx, span := e.startSpan(ctx, "ask")
+	defer span.End()
 	const recallSize = 10
+	_, rspan := e.startSpan(ctx, "retrieve")
 	hits := e.index.Search(question, tenant, recallSize)
+	rspan.End()
 	if len(hits) == 0 {
 		return PredictedQuestion{}, false
 	}
@@ -341,9 +362,11 @@ func (e *Engine) Ask(tenant, session int, question string) (PredictedQuestion, b
 		for _, h := range hits {
 			subset[h.ID] = true
 		}
+		_, mspan := e.startSpan(ctx, "match")
 		if id, score := e.matcher.Best(question, subset); id >= 0 {
 			bestID, bestScore = id, score
 		}
+		mspan.End()
 	}
 	doc, _ := e.index.Get(bestID)
 	if e.log != nil {
@@ -362,16 +385,25 @@ func (e *Engine) Escalate(tenant, session int) {
 	if e.log != nil {
 		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventHuman})
 	}
+	if e.tel != nil {
+		e.tel.escalations.Inc()
+		e.updateHIR()
+	}
 }
 
 // EndSession drops a session's state.
 func (e *Engine) EndSession(session int) {
 	sh := e.shard(session)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	delete(sh.m, session)
 	delete(sh.recs, session)
 	sh.ver++
+	e.noteShardSize(sh)
+	sh.mu.Unlock()
+	if e.tel != nil {
+		e.tel.sessions.Inc()
+		e.updateHIR()
+	}
 }
 
 func (e *Engine) recordLatency(start time.Time) {
@@ -397,7 +429,9 @@ const minShardSize = 64
 // list, splitting it across additional immediately-available scorers when it
 // is large. Scores are written into fixed per-shard slots, so the result is
 // identical however many scorers happened to be free.
-func (e *Engine) scoreCandidates(history, candidates []int) []float64 {
+func (e *Engine) scoreCandidates(ctx context.Context, history, candidates []int) []float64 {
+	_, span := e.startSpan(ctx, "score")
+	defer span.End()
 	want := len(candidates) / minShardSize
 	if want < 1 {
 		want = 1

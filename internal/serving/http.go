@@ -1,38 +1,113 @@
 package serving
 
 import (
+	"bytes"
 	"encoding/json"
-	"log"
 	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"intellitag/internal/obs"
 )
 
 // Server exposes the engine router over an HTTP JSON API — the interface of
 // Fig. 4's model server. Endpoints:
 //
-//	POST /ask        {"tenant":0,"session":1,"question":"..."}
-//	POST /click      {"tenant":0,"session":1,"tag":12,"k":5}
-//	POST /recommend  {"tenant":0,"session":1,"k":5}
-//	GET  /healthz
+//	POST /ask         {"tenant":0,"session":1,"question":"..."}
+//	POST /click       {"tenant":0,"session":1,"tag":12,"k":5}
+//	POST /recommend   {"tenant":0,"session":1,"k":5}
+//	GET  /healthz     build info, uptime, buckets, request totals
+//
+// EnableTelemetry additionally mounts:
+//
+//	GET  /metrics       Prometheus text exposition
+//	GET  /metrics.json  registry snapshot with histogram percentiles
+//	GET  /debug/trace   recent sampled span trees, newest first
 type Server struct {
 	router *ABRouter
 	mux    *http.ServeMux
+	start  time.Time
+
+	requests atomic.Int64 // all API requests, telemetry or not (for /healthz)
+
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	httpReqs map[string]*obs.Counter   // route -> counter, resolved at enable time
+	httpLat  map[string]*obs.Histogram // route -> latency histogram
+	httpErrs *obs.Counter              // responses with status >= 400
 }
 
 // NewServer wraps a router.
 func NewServer(router *ABRouter) *Server {
-	s := &Server{router: router, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /ask", s.handleAsk)
-	s.mux.HandleFunc("POST /click", s.handleClick)
-	s.mux.HandleFunc("POST /recommend", s.handleRecommend)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s := &Server{router: router, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /ask", s.instrumented("ask", s.handleAsk))
+	s.mux.HandleFunc("POST /click", s.instrumented("click", s.handleClick))
+	s.mux.HandleFunc("POST /recommend", s.instrumented("recommend", s.handleRecommend))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// EnableTelemetry installs a registry and tracer on the server, its router
+// and every engine behind it, and mounts the /metrics, /metrics.json and
+// /debug/trace surfaces on the serving mux. Call during setup.
+func (s *Server) EnableTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
+	s.reg = reg
+	s.tracer = tracer
+	s.httpReqs = map[string]*obs.Counter{}
+	s.httpLat = map[string]*obs.Histogram{}
+	for _, route := range []string{"ask", "click", "recommend"} {
+		s.httpReqs[route] = reg.Counter("intellitag_http_requests_total", "route", route)
+		s.httpLat[route] = reg.Histogram("intellitag_http_request_seconds", nil, "route", route)
+	}
+	s.httpErrs = reg.Counter("intellitag_http_errors_total")
+	s.router.SetTelemetry(reg)
+	for _, e := range s.router.Engines() {
+		e.SetTelemetry(reg, tracer)
+	}
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+	s.mux.Handle("GET /metrics.json", obs.SnapshotHandler(reg))
+	s.mux.Handle("GET /debug/trace", obs.TraceHandler(tracer))
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter remembers the response code so the error counter sees what
+// the client saw.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps an API handler with request counting, latency tracking
+// and a root trace span carried on the request context. Without telemetry it
+// only bumps the healthz request total.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if s.reg == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		ctx, span := s.tracer.Start(r.Context(), "http."+route)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		span.End()
+		s.httpReqs[route].Inc()
+		s.httpLat[route].ObserveDuration(time.Since(start))
+		if sw.code >= 400 {
+			s.httpErrs.Inc()
+		}
+	}
 }
 
 type askRequest struct {
@@ -57,7 +132,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	engine := s.router.Engine(req.Session)
-	match, ok := engine.Ask(req.Tenant, req.Session, req.Question)
+	match, ok := engine.Ask(r.Context(), req.Tenant, req.Session, req.Question)
 	writeJSON(w, http.StatusOK, askResponse{Found: ok, Match: match, Bucket: engine.ScorerName()})
 }
 
@@ -83,7 +158,7 @@ func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
 		req.K = 5
 	}
 	engine := s.router.Engine(req.Session)
-	tags, questions := engine.Click(req.Tenant, req.Session, req.Tag, req.K)
+	tags, questions := engine.Click(r.Context(), req.Tenant, req.Session, req.Tag, req.K)
 	writeJSON(w, http.StatusOK, clickResponse{Tags: tags, Questions: questions, Bucket: engine.ScorerName()})
 }
 
@@ -102,8 +177,41 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		req.K = 5
 	}
 	engine := s.router.Engine(req.Session)
-	tags := engine.RecommendTags(req.Tenant, req.Session, req.K)
+	tags := engine.RecommendTags(r.Context(), req.Tenant, req.Session, req.K)
 	writeJSON(w, http.StatusOK, clickResponse{Tags: tags, Bucket: engine.ScorerName()})
+}
+
+// healthzResponse is the enriched health report: build identity, uptime, the
+// models serving each bucket, and the API request total since start.
+type healthzResponse struct {
+	Status    string   `json:"status"`
+	GoVersion string   `json:"go_version"`
+	Module    string   `json:"module,omitempty"`
+	Revision  string   `json:"revision,omitempty"`
+	UptimeSec float64  `json:"uptime_sec"`
+	Buckets   []string `json:"buckets"`
+	Requests  int64    `json:"requests"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		Requests:  s.requests.Load(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		resp.GoVersion = info.GoVersion
+		resp.Module = info.Main.Path
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	for _, e := range s.router.Engines() {
+		resp.Buckets = append(resp.Buckets, e.ScorerName())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -114,13 +222,15 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// writeJSON encodes v into a buffer before touching the response, so an
+// encode failure becomes a clean 500 instead of a truncated 200 body.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, "encode response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	// The status line is already gone, so the client cannot be told — but an
-	// encode failure here means a truncated response body; log it so dropped
-	// recommendations are visible in the serving logs rather than silent.
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("serving: encode response: %v", err)
-	}
+	_, _ = w.Write(buf.Bytes())
 }

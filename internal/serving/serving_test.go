@@ -2,6 +2,7 @@ package serving
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +12,9 @@ import (
 	"intellitag/internal/store"
 	"intellitag/internal/synth"
 )
+
+// ctx is the plain request context shared by engine-level test calls.
+var ctx = context.Background()
 
 // popScorer ranks candidates by a fixed score table; history shifts scores
 // so tests can verify the model is actually consulted.
@@ -73,7 +77,7 @@ func TestBuildCatalog(t *testing.T) {
 
 func TestColdStartUsesPopularity(t *testing.T) {
 	e := newTestEngine(t, nil)
-	recs := e.RecommendTags(0, 12345, 5)
+	recs := e.RecommendTags(ctx, 0, 12345, 5)
 	if len(recs) == 0 {
 		t.Fatal("no cold-start recommendations")
 	}
@@ -94,8 +98,8 @@ func TestColdStartUsesPopularity(t *testing.T) {
 
 func TestClickUpdatesHistoryAndRecommends(t *testing.T) {
 	e := newTestEngine(t, nil)
-	first := e.RecommendTags(0, 7, 3)
-	tags, questions := e.Click(0, 7, first[0].Tag, 3)
+	first := e.RecommendTags(ctx, 0, 7, 3)
+	tags, questions := e.Click(ctx, 0, 7, first[0].Tag, 3)
 	if len(e.History(7)) != 1 {
 		t.Fatal("click not recorded in session")
 	}
@@ -130,7 +134,7 @@ func TestClickUpdatesHistoryAndRecommends(t *testing.T) {
 func TestAskFindsBestRQ(t *testing.T) {
 	e := newTestEngine(t, nil)
 	rq := simWorld.RQs[0]
-	match, ok := e.Ask(rq.Tenant, 1, rq.Text)
+	match, ok := e.Ask(ctx, rq.Tenant, 1, rq.Text)
 	if !ok {
 		t.Fatal("exact question not found")
 	}
@@ -140,7 +144,7 @@ func TestAskFindsBestRQ(t *testing.T) {
 	if match.Answer != rq.Answer {
 		t.Fatal("wrong answer")
 	}
-	if _, ok := e.Ask(rq.Tenant, 1, "zzzz qqqq totally unknown"); ok {
+	if _, ok := e.Ask(ctx, rq.Tenant, 1, "zzzz qqqq totally unknown"); ok {
 		t.Fatal("nonsense question matched")
 	}
 }
@@ -148,9 +152,9 @@ func TestAskFindsBestRQ(t *testing.T) {
 func TestEventsLogged(t *testing.T) {
 	log := store.NewLog()
 	e := newTestEngine(t, log)
-	e.Click(0, 3, e.catalog.TenantTags[0][0], 3)
+	e.Click(ctx, 0, 3, e.catalog.TenantTags[0][0], 3)
 	rq := simWorld.RQs[0]
-	e.Ask(rq.Tenant, 3, rq.Text)
+	e.Ask(ctx, rq.Tenant, 3, rq.Text)
 	e.Escalate(0, 3)
 	if log.CountKind(store.EventClick, 0, 1) != 1 {
 		t.Fatal("click not logged")
@@ -165,8 +169,8 @@ func TestEventsLogged(t *testing.T) {
 
 func TestLatenciesRecorded(t *testing.T) {
 	e := newTestEngine(t, nil)
-	e.RecommendTags(0, 1, 3)
-	e.Ask(0, 1, "how to")
+	e.RecommendTags(ctx, 0, 1, 3)
+	e.Ask(ctx, 0, 1, "how to")
 	if len(e.Latencies()) != 2 {
 		t.Fatalf("latencies = %d, want 2", len(e.Latencies()))
 	}
@@ -393,7 +397,7 @@ func TestAskUsesMatcherWhenSet(t *testing.T) {
 		t.Skip("no second RQ for tenant")
 	}
 	e.SetMatcher(stubMatcher{prefer: other})
-	match, ok := e.Ask(rq.Tenant, 1, rq.Text)
+	match, ok := e.Ask(ctx, rq.Tenant, 1, rq.Text)
 	if !ok {
 		t.Fatal("no match")
 	}
@@ -403,7 +407,7 @@ func TestAskUsesMatcherWhenSet(t *testing.T) {
 		t.Fatal("matched foreign tenant RQ")
 	}
 	e.SetMatcher(nil)
-	plain, _ := e.Ask(rq.Tenant, 1, rq.Text)
+	plain, _ := e.Ask(ctx, rq.Tenant, 1, rq.Text)
 	if plain.RQ != rq.ID {
 		t.Fatalf("BM25 path broken: got %d want %d", plain.RQ, rq.ID)
 	}

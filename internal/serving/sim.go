@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -84,6 +85,7 @@ type SimResult struct {
 // (position bias); otherwise the turn is a miss, and after GiveUpMisses
 // consecutive misses the session escalates to manual service (HIR).
 func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
+	ctx := context.Background()
 	rng := mat.NewRNG(cfg.Seed)
 	engine.ResetLatencies()
 	weights := make([]float64, len(w.Tenants))
@@ -110,12 +112,13 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 			// Click returns the next recommendations — the panel the user
 			// sees until their next click, exactly the Fig. 1 flow — so the
 			// turn loop reuses it instead of re-requesting the same list.
-			recs, _ := engine.Click(tenant, sessionID, state.LastClick, cfg.TopK)
+			recs, _ := engine.Click(ctx, tenant, sessionID, state.LastClick, cfg.TopK)
 			misses := 0
 			for turn := 0; turn < cfg.MaxTurns; turn++ {
 				trueNext := w.NextClick(&state, rng)
 				stats.Impressions++
 				tenantImpr[tenant]++
+				engine.NoteImpression()
 				rank := -1
 				for i, r := range recs {
 					if r.Tag == trueNext {
@@ -134,7 +137,8 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 				if clicked {
 					stats.Clicks++
 					tenantClicks[tenant]++
-					recs, _ = engine.Click(tenant, sessionID, trueNext, cfg.TopK)
+					engine.NoteUserClick()
+					recs, _ = engine.Click(ctx, tenant, sessionID, trueNext, cfg.TopK)
 					misses = 0
 				} else {
 					misses++

@@ -1,0 +1,134 @@
+package serving
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"intellitag/internal/obs"
+)
+
+// Engine operations instrumented with a counter + latency histogram each.
+// Instrument pointers are resolved once at SetTelemetry time and indexed by
+// these constants, so the request path never touches a registry map.
+const (
+	opAsk = iota
+	opClick
+	opRecommend
+	numOps
+)
+
+var opNames = [numOps]string{"ask", "click", "recommend"}
+
+// engineTelemetry holds one engine's pre-resolved instruments. All fields are
+// nil-safe obs instruments; the engine's hot path checks only `e.tel == nil`.
+type engineTelemetry struct {
+	tracer *obs.Tracer
+
+	ops [numOps]*obs.Counter
+	lat [numOps]*obs.Histogram
+
+	// Live online indicators (Section VI-F), fed by the simulator or any
+	// driver that reports impressions/clicks: CTR and HIR stream while the
+	// run is in flight instead of being computed only at exit.
+	impressions *obs.Counter
+	userClicks  *obs.Counter
+	escalations *obs.Counter
+	sessions    *obs.Counter
+	ctr         *obs.Gauge
+	hir         *obs.Gauge
+
+	shardSessions [sessionShardCount]*obs.Gauge
+}
+
+// SetTelemetry installs a metrics registry and tracer on the engine. The
+// engine's bucket label is its scorer name. Call during setup, before serving
+// traffic; a nil registry uninstalls telemetry.
+func (e *Engine) SetTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil && tracer == nil {
+		e.tel = nil
+		return
+	}
+	bucket := e.ScorerName()
+	t := &engineTelemetry{
+		tracer:      tracer,
+		impressions: reg.Counter("intellitag_sim_impressions_total", "bucket", bucket),
+		userClicks:  reg.Counter("intellitag_sim_clicks_total", "bucket", bucket),
+		escalations: reg.Counter("intellitag_sim_escalations_total", "bucket", bucket),
+		sessions:    reg.Counter("intellitag_sim_sessions_total", "bucket", bucket),
+		ctr:         reg.Gauge("intellitag_ctr", "bucket", bucket),
+		hir:         reg.Gauge("intellitag_hir", "bucket", bucket),
+	}
+	for op := 0; op < numOps; op++ {
+		t.ops[op] = reg.Counter("intellitag_requests_total", "bucket", bucket, "op", opNames[op])
+		t.lat[op] = reg.Histogram("intellitag_request_latency_seconds", nil, "bucket", bucket, "op", opNames[op])
+	}
+	for i := range t.shardSessions {
+		t.shardSessions[i] = reg.Gauge("intellitag_sessions_active", "bucket", bucket, "shard", strconv.Itoa(i))
+	}
+	e.tel = t
+}
+
+// startSpan opens a span through the engine's tracer; without telemetry it
+// returns the context unchanged and a nil (no-op) span.
+func (e *Engine) startSpan(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if e.tel == nil {
+		return ctx, nil
+	}
+	return e.tel.tracer.Start(ctx, name)
+}
+
+// observeOp counts one engine operation and records its latency.
+func (e *Engine) observeOp(op int, start time.Time) {
+	if e.tel == nil {
+		return
+	}
+	e.tel.ops[op].Inc()
+	e.tel.lat[op].ObserveDuration(time.Since(start))
+}
+
+// noteShardSize publishes a shard's live session count. Called with the shard
+// lock held; the gauge write is a single atomic store.
+func (e *Engine) noteShardSize(sh *sessionShard) {
+	if e.tel == nil {
+		return
+	}
+	for i := range e.shards {
+		if sh == &e.shards[i] {
+			e.tel.shardSessions[i].Set(float64(len(sh.m)))
+			return
+		}
+	}
+}
+
+// NoteImpression reports one recommendation impression shown to a user and
+// refreshes the live CTR gauge. No-op without telemetry.
+func (e *Engine) NoteImpression() {
+	if e.tel == nil {
+		return
+	}
+	e.tel.impressions.Inc()
+	e.updateCTR()
+}
+
+// NoteUserClick reports one user click on a shown recommendation and
+// refreshes the live CTR gauge. No-op without telemetry.
+func (e *Engine) NoteUserClick() {
+	if e.tel == nil {
+		return
+	}
+	e.tel.userClicks.Inc()
+	e.updateCTR()
+}
+
+func (e *Engine) updateCTR() {
+	if impr := e.tel.impressions.Value(); impr > 0 {
+		e.tel.ctr.Set(float64(e.tel.userClicks.Value()) / float64(impr))
+	}
+}
+
+func (e *Engine) updateHIR() {
+	if sess := e.tel.sessions.Value(); sess > 0 {
+		e.tel.hir.Set(float64(e.tel.escalations.Value()) / float64(sess))
+	}
+}

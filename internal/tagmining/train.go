@@ -1,8 +1,11 @@
 package tagmining
 
 import (
+	"time"
+
 	"intellitag/internal/mat"
 	"intellitag/internal/nn"
+	"intellitag/internal/obs"
 	"intellitag/internal/synth"
 	"intellitag/internal/textproc"
 )
@@ -14,6 +17,33 @@ type TrainConfig struct {
 	WeightDecay float64
 	ClipNorm    float64
 	Seed        int64
+	// Observer, when set, receives one record per finished epoch — the
+	// structured run-log hook for tagminer. Purely observational.
+	Observer func(obs.EpochRecord)
+}
+
+// observeEpoch emits one epoch record to the configured observer. Step
+// timing and grad norm are the epoch's aggregate/last values; the pool
+// hit-rate comes from the shared matrix pool the forward/backward kernels
+// draw from.
+func (cfg TrainConfig) observeEpoch(stage string, epoch, steps int, loss float64, stepTotal time.Duration, gradNorm float64) {
+	if cfg.Observer == nil {
+		return
+	}
+	var stepMicros float64
+	if steps > 0 {
+		stepMicros = float64(stepTotal.Microseconds()) / float64(steps)
+	}
+	cfg.Observer(obs.EpochRecord{
+		Stage:       stage,
+		Epoch:       epoch + 1,
+		Epochs:      cfg.Epochs,
+		Loss:        loss,
+		Steps:       steps,
+		StepMicros:  stepMicros,
+		GradNorm:    gradNorm,
+		PoolHitRate: mat.Shared.HitRate(),
+	})
 }
 
 // DefaultTrainConfig matches the paper's optimizer settings (Adam, lr 1e-3,
@@ -45,6 +75,9 @@ func TrainMultiTask(model *Model, sentences []synth.LabeledSentence, cfg TrainCo
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(sentences))
 		var epochLoss float64
+		var epochSteps int
+		var stepTotal time.Duration
+		var lastNorm float64
 		for _, idx := range perm {
 			s := sentences[idx]
 			if len(s.Tokens) == 0 {
@@ -52,6 +85,10 @@ func TrainMultiTask(model *Model, sentences []synth.LabeledSentence, cfg TrainCo
 			}
 			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
 			step++
+			var stepStart time.Time
+			if cfg.Observer != nil {
+				stepStart = time.Now()
+			}
 			model.params.ZeroGrad()
 			segLogits, wLogits, backward := model.forward(s.Tokens)
 			n := len(model.truncate(s.Tokens))
@@ -83,11 +120,16 @@ func TrainMultiTask(model *Model, sentences []synth.LabeledSentence, cfg TrainCo
 				dW[i] *= scale
 			}
 			backward(dSeg, dW)
-			nn.ClipGradNorm(model.Params(), cfg.ClipNorm)
+			lastNorm = nn.ClipGradNorm(model.Params(), cfg.ClipNorm)
 			opt.Step(model.Params())
+			if cfg.Observer != nil {
+				stepTotal += time.Since(stepStart)
+			}
+			epochSteps++
 			epochLoss += loss * scale
 		}
 		lastEpochLoss = epochLoss / float64(len(sentences))
+		cfg.observeEpoch("multitask", epoch, epochSteps, lastEpochLoss, stepTotal, lastNorm)
 	}
 	model.SetTrain(false)
 	return lastEpochLoss
@@ -107,6 +149,9 @@ func Distill(teacher *Model, student *Model, sentences []synth.LabeledSentence, 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(sentences))
 		var epochLoss float64
+		var epochSteps int
+		var stepTotal time.Duration
+		var lastNorm float64
 		for _, idx := range perm {
 			s := sentences[idx]
 			if len(s.Tokens) == 0 {
@@ -114,6 +159,10 @@ func Distill(teacher *Model, student *Model, sentences []synth.LabeledSentence, 
 			}
 			opt.SetLR(nn.LinearDecay(cfg.LR, step, totalSteps))
 			step++
+			var stepStart time.Time
+			if cfg.Observer != nil {
+				stepStart = time.Now()
+			}
 			tSeg, tW, _ := teacher.forward(s.Tokens)
 			student.params.ZeroGrad()
 			sSeg, sW, backward := student.forward(s.Tokens)
@@ -144,11 +193,16 @@ func Distill(teacher *Model, student *Model, sentences []synth.LabeledSentence, 
 				dW[i] *= scale
 			}
 			backward(dSeg, dW)
-			nn.ClipGradNorm(student.Params(), cfg.ClipNorm)
+			lastNorm = nn.ClipGradNorm(student.Params(), cfg.ClipNorm)
 			opt.Step(student.Params())
+			if cfg.Observer != nil {
+				stepTotal += time.Since(stepStart)
+			}
+			epochSteps++
 			epochLoss += loss * scale
 		}
 		lastEpochLoss = epochLoss / float64(len(sentences))
+		cfg.observeEpoch("distill", epoch, epochSteps, lastEpochLoss, stepTotal, lastNorm)
 	}
 	student.SetTrain(false)
 	return lastEpochLoss
