@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test bench bench-short bench-all obs-demo
+.PHONY: check fmt vet lint build test bench bench-short bench-all obs-demo swap-demo
 
 check: fmt vet lint build test bench-short
 
@@ -63,3 +63,23 @@ obs-demo:
 	echo "--- GET /debug/trace?limit=1 ---"; \
 	curl -s 'http://127.0.0.1:9477/debug/trace?limit=1'; echo; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; true
+
+# Zero-downtime hot-swap demo: train two model versions into a snapshot
+# store (different seeds, so the rankings visibly differ), then run the
+# simulator starting on version 1 with 3 replicas and roll to version 2
+# live after day 2 — traffic keeps flowing across the flip, and the summary
+# shows both versions served with every replica drained.
+swap-demo:
+	@rm -rf /tmp/intellitag-swap-demo && mkdir -p /tmp/intellitag-swap-demo
+	@$(GO) build -o /tmp/intellitag-swap-demo/train ./cmd/tagrec-train
+	@$(GO) build -o /tmp/intellitag-swap-demo/simulate ./cmd/simulate
+	@echo "--- training snapshot version 1 ---"
+	@/tmp/intellitag-swap-demo/train -fast -seed 1 -epochs 1 \
+		-snapshots /tmp/intellitag-swap-demo/store 2>&1 | grep -E "committed|loss"
+	@echo "--- training snapshot version 2 ---"
+	@/tmp/intellitag-swap-demo/train -fast -seed 1 -epochs 2 \
+		-snapshots /tmp/intellitag-swap-demo/store 2>&1 | grep -E "committed|loss"
+	@echo "--- simulating: 3 replicas, rolling swap after day 2 ---"
+	@/tmp/intellitag-swap-demo/simulate -fast -seed 1 -days 4 -sessions 80 \
+		-replicas 3 -snapshots /tmp/intellitag-swap-demo/store \
+		-swap-at-day 2 -swap-stagger 20ms

@@ -6,9 +6,17 @@
 // Usage:
 //
 //	intellitag-server [-addr :8080] [-fast] [-seed 1] [-trace-sample 64]
+//	                  [-replicas 1] [-snapshots DIR] [-watch 0s]
 //
 // Endpoints: POST /ask, /click, /recommend; GET /healthz, /metrics,
 // /metrics.json, /debug/trace.
+//
+// With -snapshots, the server also mounts the hot-swap control plane (POST
+// /admin/swap, GET /admin/versions): the trained model is committed to the
+// store at startup, and any version committed later (tagrec-train
+// -snapshots) can be rolled across the replicas without restarting. A
+// non-zero -watch interval polls the store and auto-swaps to each newly
+// committed version.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"intellitag/internal/prof"
 	"intellitag/internal/qamatch"
 	"intellitag/internal/serving"
+	"intellitag/internal/snapshot"
 	"intellitag/internal/store"
 	"intellitag/internal/synth"
 )
@@ -36,6 +45,9 @@ func main() {
 	batch := flag.Int("batch", 1, "training mini-batch size (1 = per-sample updates)")
 	workers := flag.Int("workers", 0, "parallel workers for training and request scoring (0 = all CPUs)")
 	traceSample := flag.Int("trace-sample", 64, "sample one request trace in every N")
+	replicas := flag.Int("replicas", 1, "engine replicas behind the session hash")
+	snapshots := flag.String("snapshots", "", "snapshot store directory; arms POST /admin/swap and commits the startup model")
+	watch := flag.Duration("watch", 0, "poll the snapshot store and auto-swap to new versions at this interval (with -snapshots; 0 disables)")
 	flag.Parse()
 	stop := prof.Start()
 	defer stop()
@@ -78,9 +90,8 @@ func main() {
 	model.Freeze()
 
 	catalog, index := serving.BuildCatalog(world, train)
-	engine := serving.NewEngine(catalog, index, model, store.NewLog(), nil)
-	engine.SetWorkers(*workers)
 
+	var qmIndex serving.QuestionMatcher
 	if *matcher {
 		log.Printf("training Q&A matcher...")
 		rng := mat.NewRNG(*seed + 7)
@@ -97,11 +108,52 @@ func main() {
 			ids = append(ids, rq.ID)
 			texts = append(texts, rq.Text)
 		}
-		engine.SetMatcher(qm.BuildIndex(ids, texts))
+		qmIndex = qm.BuildIndex(ids, texts)
 		log.Printf("matcher online")
 	}
-	server := serving.NewServer(serving.NewABRouter(engine))
+
+	bundle := &serving.ModelBundle{Catalog: catalog, Index: index, Scorer: model, Matcher: qmIndex}
+	var snapStore *snapshot.Store
+	if *snapshots != "" {
+		var err error
+		snapStore, err = snapshot.Open(*snapshots)
+		if err != nil {
+			log.Fatalf("open -snapshots: %v", err)
+		}
+		man, err := core.CommitSnapshot(snapStore, model, graph)
+		if err != nil {
+			log.Fatalf("commit startup snapshot: %v", err)
+		}
+		bundle.VersionID = man.ID
+		log.Printf("startup model committed as snapshot %s", man.ID)
+	}
+
+	rs := serving.NewReplicaSet(bundle, *replicas, *workers, store.NewLog(), nil)
+	server := serving.NewServer(serving.NewReplicatedABRouter(rs))
 	server.EnableTelemetry(obs.NewRegistry(), obs.NewTracer(*traceSample, 256))
+
+	if snapStore != nil {
+		// The swap loader rebuilds a fresh scorer per bucket from the stored
+		// parameters + graph; catalog, index and matcher are world-derived
+		// and carry over unchanged.
+		server.SetSnapshotSource(snapStore, func(id string) (*serving.ModelBundle, error) {
+			m, _, err := core.LoadSnapshotVersion(snapStore, id, recCfg)
+			if err != nil {
+				return nil, err
+			}
+			return &serving.ModelBundle{VersionID: id, Catalog: catalog, Index: index, Scorer: m, Matcher: qmIndex}, nil
+		})
+		if *watch > 0 {
+			w := snapshot.Watch(snapStore, *watch, func(man snapshot.Manifest) {
+				log.Printf("watcher: new snapshot %s, rolling swap", man.ID)
+				if _, err := server.Swap(man.ID, 50*time.Millisecond); err != nil {
+					log.Printf("watcher: swap to %s failed: %v", man.ID, err)
+				}
+			})
+			defer w.Stop()
+			log.Printf("watching %s every %s for new versions", *snapshots, *watch)
+		}
+	}
 
 	fmt.Printf("IntelliTag server listening on %s\n", *addr)
 	hint := *addr

@@ -6,12 +6,20 @@
 //
 //	simulate [-model intellitag|bert4rec|metapath2vec|popularity] [-days 10] [-sessions 150] [-fast] [-seed 1]
 //	         [-telemetry-addr localhost:9090] [-trace-sample 64]
+//	         [-replicas 1] [-snapshots DIR] [-swap-at-day 0] [-swap-stagger 50ms]
+//
+// With -snapshots, the simulation serves the store's EARLIEST committed
+// version (trained by tagrec-train -snapshots) instead of training in
+// process, and -swap-at-day N performs a live rolling swap to the store's
+// latest version after day N completes — traffic keeps flowing across the
+// flip, and the end-of-run summary lists every version served.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"intellitag/internal/baselines"
@@ -19,6 +27,7 @@ import (
 	"intellitag/internal/obs"
 	"intellitag/internal/prof"
 	"intellitag/internal/serving"
+	"intellitag/internal/snapshot"
 	"intellitag/internal/store"
 	"intellitag/internal/synth"
 )
@@ -31,6 +40,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/trace for the live run on this address")
 	traceSample := flag.Int("trace-sample", 64, "sample one request trace in every N (with -telemetry-addr)")
+	replicas := flag.Int("replicas", 1, "engine replicas behind the session hash")
+	snapshots := flag.String("snapshots", "", "serve model versions from this snapshot store instead of training in process")
+	swapAtDay := flag.Int("swap-at-day", 0, "rolling-swap to the store's latest version after this 1-based day (with -snapshots; 0 disables)")
+	swapStagger := flag.Duration("swap-stagger", 50*time.Millisecond, "pause between replica flips during the rolling swap")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -49,44 +62,76 @@ func main() {
 	prefixes := core.ExpandPrefixes(clicks)
 
 	catalog, index := serving.BuildCatalog(world, train)
-	var scorer serving.Scorer
-	start := time.Now()
-	switch *model {
-	case "intellitag":
-		cfg := core.DefaultConfig()
-		if *fast {
-			cfg.Dim, cfg.Heads = 16, 2
-		}
-		m := core.Build(cfg, graph, nil)
-		tc := core.DefaultTrainConfig()
-		if *fast {
-			tc.Epochs, tc.JointEpochs = 2, 2
-		}
-		core.TrainFull(m, graph, prefixes, tc)
-		m.Freeze()
-		scorer = m
-	case "bert4rec":
-		m := baselines.NewBERT4Rec(world.NumTags(), 16, 2, 2, 12, 0.2, 12)
-		tc := baselines.DefaultTrainConfig()
-		if *fast {
-			tc.Epochs = 2
-		}
-		m.Train(prefixes, tc)
-		scorer = m
-	case "metapath2vec":
-		scorer = baselines.NewMetapath2Vec(graph, 16, clicks, baselines.DefaultMetapath2VecConfig())
-	case "popularity":
-		scorer = popScorer{catalog.Popularity}
-	default:
-		log.Fatalf("unknown model %q", *model)
+	recCfg := core.DefaultConfig()
+	if *fast {
+		recCfg.Dim, recCfg.Heads = 16, 2
 	}
-	log.Printf("model %s ready in %s", scorer.Name(), time.Since(start).Round(time.Millisecond))
+	start := time.Now()
+	var bundle *serving.ModelBundle
+	var snapStore *snapshot.Store
+	if *snapshots != "" {
+		// Serve from the store: start on the EARLIEST committed version so a
+		// -swap-at-day run visibly rolls forward to the latest one.
+		if *model != "intellitag" {
+			log.Fatalf("-snapshots serves the intellitag model, not %q", *model)
+		}
+		var err error
+		snapStore, err = snapshot.Open(*snapshots)
+		if err != nil {
+			log.Fatalf("open -snapshots: %v", err)
+		}
+		list, err := snapStore.List()
+		if err != nil {
+			log.Fatalf("list -snapshots: %v", err)
+		}
+		if len(list) == 0 {
+			log.Fatalf("-snapshots %s holds no committed versions (run tagrec-train -snapshots first)", *snapshots)
+		}
+		first := list[0]
+		m, _, err := core.LoadSnapshotVersion(snapStore, first.ID, recCfg)
+		if err != nil {
+			log.Fatalf("load snapshot %s: %v", first.ID, err)
+		}
+		bundle = &serving.ModelBundle{VersionID: first.ID, Catalog: catalog, Index: index, Scorer: m}
+		log.Printf("serving snapshot %s (%d committed in store)", first.ID, len(list))
+	} else {
+		var scorer serving.Scorer
+		switch *model {
+		case "intellitag":
+			m := core.Build(recCfg, graph, nil)
+			tc := core.DefaultTrainConfig()
+			if *fast {
+				tc.Epochs, tc.JointEpochs = 2, 2
+			}
+			core.TrainFull(m, graph, prefixes, tc)
+			m.Freeze()
+			scorer = m
+		case "bert4rec":
+			m := baselines.NewBERT4Rec(world.NumTags(), 16, 2, 2, 12, 0.2, 12)
+			tc := baselines.DefaultTrainConfig()
+			if *fast {
+				tc.Epochs = 2
+			}
+			m.Train(prefixes, tc)
+			scorer = m
+		case "metapath2vec":
+			scorer = baselines.NewMetapath2Vec(graph, 16, clicks, baselines.DefaultMetapath2VecConfig())
+		case "popularity":
+			scorer = popScorer{catalog.Popularity}
+		default:
+			log.Fatalf("unknown model %q", *model)
+		}
+		bundle = &serving.ModelBundle{Catalog: catalog, Index: index, Scorer: scorer}
+	}
+	log.Printf("model %s ready in %s", bundle.Scorer.Name(), time.Since(start).Round(time.Millisecond))
 
-	engine := serving.NewEngine(catalog, index, scorer, store.NewLog(), nil)
+	rs := serving.NewReplicaSet(bundle, *replicas, 1, store.NewLog(), nil)
 	if *telemetryAddr != "" {
 		reg := obs.NewRegistry()
 		tracer := obs.NewTracer(*traceSample, 256)
-		engine.SetTelemetry(reg, tracer)
+		for _, e := range rs.Engines() {
+			e.SetTelemetry(reg, tracer)
+		}
 		addr, err := obs.ServeBackground(*telemetryAddr, obs.Mux(reg, tracer))
 		if err != nil {
 			log.Fatalf("serve -telemetry-addr: %v", err)
@@ -96,7 +141,36 @@ func main() {
 	simCfg := serving.DefaultSimConfig()
 	simCfg.Days = *days
 	simCfg.SessionsPerDay = *sessionsPerDay
-	res := serving.Simulate(world, engine, simCfg)
+	if *swapAtDay > 0 {
+		if snapStore == nil {
+			log.Fatal("-swap-at-day requires -snapshots")
+		}
+		simCfg.OnDayEnd = func(day int) {
+			if day+1 != *swapAtDay {
+				return
+			}
+			latest, err := snapStore.Latest()
+			if err != nil {
+				log.Printf("swap: %v", err)
+				return
+			}
+			if latest.ID == bundle.VersionID {
+				log.Printf("swap: latest version %s is already serving", latest.ID)
+				return
+			}
+			m, _, err := core.LoadSnapshotVersion(snapStore, latest.ID, recCfg)
+			if err != nil {
+				log.Printf("swap: load %s: %v", latest.ID, err)
+				return
+			}
+			log.Printf("day %d done: rolling swap %s -> %s over %d replicas",
+				day+1, bundle.VersionID, latest.ID, rs.Size())
+			rs.RollingSwap(&serving.ModelBundle{
+				VersionID: latest.ID, Catalog: catalog, Index: index, Scorer: m,
+			}, *swapStagger)
+		}
+	}
+	res := serving.SimulateSet(world, rs, simCfg)
 
 	fmt.Printf("%-5s %10s %10s %8s\n", "day", "macroCTR", "microCTR", "HIR")
 	for _, d := range res.Days {
@@ -104,6 +178,11 @@ func main() {
 	}
 	fmt.Printf("\nmean macro CTR %.3f | mean HIR %.3f | latency mean %s p95 %s (%d requests)\n",
 		res.MeanMacroCTR(), res.MeanHIR(), res.Latency.Mean, res.Latency.P95, res.Latency.N)
+	fmt.Printf("replicas %d | versions served: %s\n", res.Replicas, strings.Join(res.Versions, " -> "))
+	for _, vi := range rs.Versions() {
+		fmt.Printf("  replica %d: %s (model %s, %d swaps, drained %v)\n",
+			vi.Replica, vi.ID, vi.Model, vi.Swaps, vi.Drained)
+	}
 }
 
 // popScorer ranks by global popularity (the cold-start fallback as a

@@ -7,6 +7,12 @@
 //
 //	tagrec-train [-fast] [-seed 1] [-mode e2e|static] [-epochs 6] [-dim 32] [-batch 8] [-workers 0]
 //	             [-runlog train.jsonl] [-telemetry-addr localhost:9090]
+//	             [-snapshots DIR] [-keep 5]
+//
+// With -snapshots, the trained model (parameters, training graph and frozen
+// embedding table) is committed as a new immutable version in the snapshot
+// store — the offline half of the T+1 deployment loop. Online servers pick
+// the version up via POST /admin/swap or the store watcher.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"intellitag/internal/eval"
 	"intellitag/internal/obs"
 	"intellitag/internal/prof"
+	"intellitag/internal/snapshot"
 	"intellitag/internal/synth"
 )
 
@@ -32,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for training/inference/eval (0 = all CPUs)")
 	runlogPath := flag.String("runlog", "", "write structured JSONL run records to this file")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics for the live training run on this address")
+	snapshots := flag.String("snapshots", "", "commit the trained model to this snapshot store directory")
+	keep := flag.Int("keep", 5, "snapshot versions to retain after committing (with -snapshots)")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -116,6 +125,24 @@ func main() {
 	model.Freeze()
 	log.Printf("tag embedding table: %d x %d", model.Frozen.Rows, model.Frozen.Cols)
 
+	var committed snapshot.Manifest
+	if *snapshots != "" {
+		s, err := snapshot.Open(*snapshots)
+		if err != nil {
+			log.Fatalf("open -snapshots: %v", err)
+		}
+		committed, err = core.CommitSnapshot(s, model, graph)
+		if err != nil {
+			log.Fatalf("commit snapshot: %v", err)
+		}
+		log.Printf("committed snapshot %s (seq %d, parent %q)", committed.ID, committed.Seq, committed.Parent)
+		if removed, err := s.GC(*keep); err != nil {
+			log.Printf("snapshot gc: %v", err)
+		} else if len(removed) > 0 {
+			log.Printf("snapshot gc removed %d old versions", len(removed))
+		}
+	}
+
 	protocol := eval.DefaultProtocol()
 	protocol.Workers = *workers
 	report := eval.EvaluateRanking(model, world, test, protocol)
@@ -126,6 +153,7 @@ func main() {
 	if err := runlog.Record("result", map[string]any{
 		"mode": *mode, "loss": loss, "train_sec": time.Since(start).Seconds(),
 		"mrr": report.MRR, "ndcg5": report.NDCG5, "hr5": report.HR5,
+		"snapshot": committed.ID,
 	}); err != nil {
 		log.Printf("runlog: %v", err)
 	}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/snapshot"
+)
+
+// Component names inside a committed TagRec snapshot version. The graph
+// rides along with the parameters because rebuilding the model at load time
+// needs the exact structure the parameters were trained against.
+const (
+	SnapParams     = "params.gob"
+	SnapGraph      = "graph.gob"
+	SnapEmbeddings = "embeddings.gob"
+)
+
+// CommitSnapshot stages the model's parameters, its training graph and the
+// frozen tag-embedding table as one new store version and commits it — the
+// offline half of the T+1 deployment loop. The model is frozen as a side
+// effect when it was not already.
+func CommitSnapshot(s *snapshot.Store, m *Model, g *hetgraph.Graph) (snapshot.Manifest, error) {
+	w, err := s.Begin()
+	if err != nil {
+		return snapshot.Manifest{}, err
+	}
+	if err := m.Save(w.Path(SnapParams)); err != nil {
+		w.Abort()
+		return snapshot.Manifest{}, fmt.Errorf("core: commit snapshot: %w", err)
+	}
+	if err := g.Save(w.Path(SnapGraph)); err != nil {
+		w.Abort()
+		return snapshot.Manifest{}, fmt.Errorf("core: commit snapshot: %w", err)
+	}
+	if err := m.SaveEmbeddings(w.Path(SnapEmbeddings)); err != nil {
+		w.Abort()
+		return snapshot.Manifest{}, fmt.Errorf("core: commit snapshot: %w", err)
+	}
+	return w.Commit()
+}
+
+// LoadSnapshotVersion verifies a committed version's checksums, rebuilds the
+// model from the stored graph and configuration, restores its parameters and
+// freezes the embedding table, returning a model ready to serve. Each call
+// returns a fresh model, so concurrent serving buckets never share scorer
+// state. cfg must match the training-time configuration; drift fails loudly
+// in the parameter loader.
+func LoadSnapshotVersion(s *snapshot.Store, id string, cfg Config) (*Model, *hetgraph.Graph, error) {
+	if err := s.Verify(id); err != nil {
+		return nil, nil, err
+	}
+	graphPath, err := s.Path(id, SnapGraph)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := hetgraph.Load(graphPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: load snapshot %s: %w", id, err)
+	}
+	paramsPath, err := s.Path(id, SnapParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := Build(cfg, g, nil)
+	if err := m.Load(paramsPath); err != nil {
+		return nil, nil, fmt.Errorf("core: load snapshot %s: %w", id, err)
+	}
+	m.Freeze()
+	return m, g, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intellitag/internal/snapshot"
+)
+
+func TestCommitAndLoadSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, MaskProb: 0.2, Seed: 3}
+	g := tinyGraph()
+	m := Build(cfg, g, nil)
+	want := m.NextLogits([]int{0, 1})
+
+	s, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := CommitSnapshot(s, m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{SnapParams, SnapGraph, SnapEmbeddings} {
+		if _, ok := man.Component(name); !ok {
+			t.Fatalf("manifest missing component %s: %+v", name, man)
+		}
+	}
+
+	m2, g2, err := LoadSnapshotVersion(s, man.ID, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTags != g.NumTags || g2.TotalEdges() != g.TotalEdges() {
+		t.Fatalf("graph not restored: %d tags, %d edges", g2.NumTags, g2.TotalEdges())
+	}
+	got := m2.NextLogits([]int{0, 1})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("logit %d: %v != %v after snapshot round trip", i, got[i], want[i])
+		}
+	}
+	if m2.Frozen == nil {
+		t.Fatal("loaded model should come back frozen")
+	}
+}
+
+func TestLoadSnapshotVersionRejectsTamper(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	g := tinyGraph()
+	m := Build(cfg, g, nil)
+	s, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := CommitSnapshot(s, m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Root(), man.ID, SnapParams)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshotVersion(s, man.ID, cfg); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("tampered snapshot load = %v, want ErrChecksum", err)
+	}
+}
+
+func TestCommitSnapshotChains(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	g := tinyGraph()
+	s, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := CommitSnapshot(s, Build(cfg, g, nil), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	m2, err := CommitSnapshot(s, Build(cfg2, g, nil), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Parent != m1.ID || m2.Seq != m1.Seq+1 {
+		t.Fatalf("snapshot chain broken: %+v after %+v", m2, m1)
+	}
+	latest, err := s.Latest()
+	if err != nil || latest.ID != m2.ID {
+		t.Fatalf("Latest = %+v, %v", latest, err)
+	}
+}

@@ -1,0 +1,72 @@
+package hetgraph
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intellitag/internal/snapshot"
+)
+
+// Corrupt-input failure injection for the graph loader, mirroring the nn
+// package: a damaged artifact must be rejected with an error wrapping
+// snapshot.ErrChecksum, never decoded partially.
+
+// saveSmallGraph writes a small but non-trivial graph and returns its path.
+func saveSmallGraph(t *testing.T) string {
+	t.Helper()
+	g := New(4, 3, 2)
+	g.AddAsc(0, 0)
+	g.AddAsc(1, 1)
+	g.AddCrl(0, 0)
+	g.AddClk(0, 1)
+	g.AddCst(1, 2)
+	path := filepath.Join(t.TempDir(), "graph.gob")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadGraphTruncatedFile(t *testing.T) {
+	path := saveSmallGraph(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("truncated graph should surface as ErrChecksum, got %v", err)
+	}
+}
+
+func TestLoadGraphBitFlip(t *testing.T) {
+	path := saveSmallGraph(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x20 // the digest lives in the header; this is payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("bit-flipped graph should surface as ErrChecksum, got %v", err)
+	}
+}
+
+func TestLoadGraphForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "graph.gob")
+	if err := os.WriteFile(path, []byte("pre-envelope plain gob bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("un-enveloped graph should surface as ErrChecksum, got %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package hetgraph
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
-	"os"
+
+	"intellitag/internal/snapshot"
 )
 
 // graphBlob is the on-disk form of a Graph.
@@ -15,8 +17,12 @@ type graphBlob struct {
 	CstRQToRQ                   [][]NodeID
 }
 
-// Save writes the graph to path in gob format. Only one direction of each
-// symmetric relation is stored; Load rebuilds the reverse indices.
+// Save writes the graph to path, gob-encoded inside the snapshot envelope
+// (magic + length + SHA-256), so a truncated or corrupted file is rejected at
+// load time before any gob decoding. Only one direction of each symmetric
+// relation is stored; Load rebuilds the reverse indices. The write goes
+// through a temp file + rename, so the daily rebuild can never publish a
+// half-written graph under the final name.
 func (g *Graph) Save(path string) error {
 	blob := graphBlob{
 		NumTags: g.NumTags, NumRQs: g.NumRQs, NumTenants: g.NumTenants,
@@ -25,32 +31,25 @@ func (g *Graph) Save(path string) error {
 		ClkTagToTag: g.clkTagToTag,
 		CstRQToRQ:   g.cstRQToRQ,
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("hetgraph: create: %w", err)
-	}
-	if err := gob.NewEncoder(f).Encode(blob); err != nil {
-		_ = f.Close() // best-effort cleanup; the encode error is what matters
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
 		return fmt.Errorf("hetgraph: encode: %w", err)
 	}
-	// Close errors on the write path can mean unflushed data — the daily
-	// rebuild would reload a truncated graph — so they must surface.
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("hetgraph: close: %w", err)
+	if err := snapshot.WriteChecksummed(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("hetgraph: write: %w", err)
 	}
 	return nil
 }
 
-// Load reads a graph written by Save.
+// Load reads a graph written by Save. Truncation and bit rot surface as
+// snapshot.ErrChecksum (test with errors.Is), never as a partial gob decode.
 func Load(path string) (*Graph, error) {
-	f, err := os.Open(path)
+	payload, err := snapshot.ReadChecksummed(path)
 	if err != nil {
-		return nil, fmt.Errorf("hetgraph: open: %w", err)
+		return nil, fmt.Errorf("hetgraph: read: %w", err)
 	}
-	//lint:ignore errcheck read-only file; a close error cannot invalidate an already-validated decode
-	defer f.Close()
 	var blob graphBlob
-	if err := gob.NewDecoder(f).Decode(&blob); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&blob); err != nil {
 		return nil, fmt.Errorf("hetgraph: decode: %w", err)
 	}
 	g := New(blob.NumTags, blob.NumRQs, blob.NumTenants)

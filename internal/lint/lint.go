@@ -112,8 +112,9 @@ func matchExcept(prefixes ...string) func(string) bool {
 //     experiments — textproc embeddings feed clustering, kb ids feed the
 //     catalog — so the invariant is repo-wide.
 //   - nakedgo: everywhere except the packages allowed to own goroutines —
-//     par and serving (the fan-out layer) and obs (background telemetry
-//     listeners that live for the whole process).
+//     par and serving (the fan-out layer), obs (background telemetry
+//     listeners that live for the whole process) and snapshot (the store
+//     watcher goroutine behind zero-downtime hot swaps).
 //   - errcheck: everywhere. The motivating paths are the store/kb/serving
 //     and model/graph persistence writes; the exemptions for never-failing
 //     writers keep the check quiet elsewhere.
@@ -126,6 +127,7 @@ func DefaultSuite() []Scoped {
 			"intellitag/internal/par",
 			"intellitag/internal/serving",
 			"intellitag/internal/obs",
+			"intellitag/internal/snapshot",
 		)},
 		{ErrCheck, matchAll},
 	}

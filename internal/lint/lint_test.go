@@ -196,8 +196,8 @@ func TestSuppressionRequiresMatchingAnalyzer(t *testing.T) {
 }
 
 // TestNakedGoScope pins the nakedgo allow-list in DefaultSuite: only the
-// packages sanctioned to own goroutines (par, serving, obs) are skipped, and
-// the prefix match does not leak onto look-alike package paths.
+// packages sanctioned to own goroutines (par, serving, obs, snapshot) are
+// skipped, and the prefix match does not leak onto look-alike package paths.
 func TestNakedGoScope(t *testing.T) {
 	var match func(string) bool
 	for _, s := range DefaultSuite() {
@@ -212,6 +212,7 @@ func TestNakedGoScope(t *testing.T) {
 		"intellitag/internal/par",
 		"intellitag/internal/serving",
 		"intellitag/internal/obs",
+		"intellitag/internal/snapshot",
 	}
 	for _, p := range allowed {
 		if match(p) {
@@ -221,6 +222,7 @@ func TestNakedGoScope(t *testing.T) {
 	scoped := []string{
 		"intellitag/internal/core",
 		"intellitag/internal/observability", // not a prefix-match leak of obs
+		"intellitag/internal/snapshots",     // not a prefix-match leak of snapshot
 		"intellitag/cmd/simulate",
 	}
 	for _, p := range scoped {

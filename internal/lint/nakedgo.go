@@ -5,13 +5,14 @@ import "go/ast"
 // NakedGo flags `go` statements. PR 1 centralized all fan-out on the
 // internal/par worker pool so worker counts, batching and determinism are
 // controlled in one place; internal/serving owns its own long-lived
-// goroutines (shard loops, scorer pools), and internal/obs owns background
-// telemetry listeners that run for the life of the process. Everywhere else
-// a naked goroutine bypasses that control — the driver scopes this analyzer
-// to every package except those three.
+// goroutines (shard loops, scorer pools), internal/obs owns background
+// telemetry listeners that run for the life of the process, and
+// internal/snapshot owns the store-polling watcher behind zero-downtime hot
+// swaps. Everywhere else a naked goroutine bypasses that control — the
+// driver scopes this analyzer to every package except those four.
 var NakedGo = &Analyzer{
 	Name: "nakedgo",
-	Doc:  "go statements outside internal/par, internal/serving and internal/obs must use the shared worker pool",
+	Doc:  "go statements outside internal/par, internal/serving, internal/obs and internal/snapshot must use the shared worker pool",
 	Run:  runNakedGo,
 }
 
@@ -19,7 +20,7 @@ func runNakedGo(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				pass.Reportf(g.Pos(), "naked go statement: route fan-out through the internal/par worker pool (goroutines may only be owned by internal/par, internal/serving and internal/obs)")
+				pass.Reportf(g.Pos(), "naked go statement: route fan-out through the internal/par worker pool (goroutines may only be owned by internal/par, internal/serving, internal/obs and internal/snapshot)")
 			}
 			return true
 		})

@@ -1,13 +1,17 @@
 package nn
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"intellitag/internal/snapshot"
 )
 
 // Corrupt-input failure injection: loaders must reject malformed files with
-// an error rather than panicking or silently loading garbage.
+// an error wrapping snapshot.ErrChecksum rather than panicking, silently
+// loading garbage, or surfacing an opaque partial gob decode.
 
 func TestLoadParamsCorruptFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.gob")
@@ -15,8 +19,12 @@ func TestLoadParamsCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := NewParam("p", 1, 1)
-	if err := LoadParams(path, []*Param{p}); err == nil {
+	err := LoadParams(path, []*Param{p})
+	if err == nil {
 		t.Fatal("expected decode error")
+	}
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("enveloped loader should report ErrChecksum for a foreign file, got %v", err)
 	}
 }
 
@@ -25,8 +33,12 @@ func TestLoadMatrixCorruptFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte{0x00, 0x01, 0x02}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadMatrix(path); err == nil {
+	_, err := LoadMatrix(path)
+	if err == nil {
 		t.Fatal("expected decode error")
+	}
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("enveloped loader should report ErrChecksum for a foreign file, got %v", err)
 	}
 }
 
@@ -45,7 +57,37 @@ func TestLoadParamsTruncatedFile(t *testing.T) {
 	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := LoadParams(path, []*Param{p}); err == nil {
+	err = LoadParams(path, []*Param{p})
+	if err == nil {
 		t.Fatal("expected error on truncated snapshot")
+	}
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("truncation should surface as ErrChecksum, got %v", err)
+	}
+}
+
+func TestLoadParamsBitFlip(t *testing.T) {
+	// A single flipped payload bit must fail the envelope digest — the gob
+	// decoder would happily produce subtly wrong weights otherwise.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	p := NewParam("p", 4, 4)
+	for i := range p.Value.Data {
+		p.Value.Data[i] = float64(i)
+	}
+	if err := SaveParams(path, []*Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01 // the digest lives in the header; this is payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = LoadParams(path, []*Param{p})
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("bit flip should surface as ErrChecksum, got %v", err)
 	}
 }

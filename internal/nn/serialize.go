@@ -1,11 +1,12 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
-	"os"
 
 	"intellitag/internal/mat"
+	"intellitag/internal/snapshot"
 )
 
 // paramBlob is the on-disk form of one parameter.
@@ -15,9 +16,11 @@ type paramBlob struct {
 	Data       []float64
 }
 
-// SaveParams writes the parameters' values to path (gob format). Parameter
-// names must be unique within one snapshot; the offline-to-online model
-// upload of the deployment uses this.
+// SaveParams writes the parameters' values to path, gob-encoded inside the
+// snapshot envelope (magic + length + SHA-256), so a truncated or corrupted
+// file is rejected at load time before any gob decoding. Parameter names
+// must be unique within one snapshot; the offline-to-online model upload of
+// the deployment uses this.
 func SaveParams(path string, params []*Param) error {
 	blobs := make([]paramBlob, 0, len(params))
 	seen := map[string]bool{}
@@ -31,20 +34,31 @@ func SaveParams(path string, params []*Param) error {
 			Data: append([]float64(nil), p.Value.Data...),
 		})
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("nn: create snapshot: %w", err)
-	}
-	if err := gob.NewEncoder(f).Encode(blobs); err != nil {
-		_ = f.Close() // best-effort cleanup; the encode error is what matters
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blobs); err != nil {
 		return fmt.Errorf("nn: encode snapshot: %w", err)
 	}
-	// A close error on a write path can mean unflushed data: the T+1 loop
-	// would upload a truncated snapshot to serving, so it must surface.
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("nn: close snapshot: %w", err)
+	// The envelope write goes through a temp file + rename, so the T+1 loop
+	// can never upload a half-written snapshot under the final name.
+	if err := snapshot.WriteChecksummed(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("nn: write snapshot: %w", err)
 	}
 	return nil
+}
+
+// readBlobs reads and integrity-checks one envelope file and decodes its
+// parameter blobs. Truncation and bit rot surface as snapshot.ErrChecksum
+// (test with errors.Is), never as a partial gob decode.
+func readBlobs(path string) ([]paramBlob, error) {
+	payload, err := snapshot.ReadChecksummed(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: read snapshot: %w", err)
+	}
+	var blobs []paramBlob
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&blobs); err != nil {
+		return nil, fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	return blobs, nil
 }
 
 // LoadParams restores parameter values from a snapshot written by
@@ -52,15 +66,9 @@ func SaveParams(path string, params []*Param) error {
 // same shape; extra entries in the snapshot are an error too, so drifted
 // architectures fail loudly instead of loading partially.
 func LoadParams(path string, params []*Param) error {
-	f, err := os.Open(path)
+	blobs, err := readBlobs(path)
 	if err != nil {
-		return fmt.Errorf("nn: open snapshot: %w", err)
-	}
-	//lint:ignore errcheck read-only file; a close error cannot invalidate an already-validated decode
-	defer f.Close()
-	var blobs []paramBlob
-	if err := gob.NewDecoder(f).Decode(&blobs); err != nil {
-		return fmt.Errorf("nn: decode snapshot: %w", err)
+		return err
 	}
 	byName := make(map[string]paramBlob, len(blobs))
 	for _, b := range blobs {
@@ -90,15 +98,9 @@ func SaveMatrix(path string, m *mat.Matrix) error {
 
 // LoadMatrix reads a matrix written by SaveMatrix.
 func LoadMatrix(path string) (*mat.Matrix, error) {
-	f, err := os.Open(path)
+	blobs, err := readBlobs(path)
 	if err != nil {
-		return nil, fmt.Errorf("nn: open matrix: %w", err)
-	}
-	//lint:ignore errcheck read-only file; a close error cannot invalidate an already-validated decode
-	defer f.Close()
-	var blobs []paramBlob
-	if err := gob.NewDecoder(f).Decode(&blobs); err != nil {
-		return nil, fmt.Errorf("nn: decode matrix: %w", err)
+		return nil, fmt.Errorf("nn: load matrix: %w", err)
 	}
 	if len(blobs) != 1 {
 		return nil, fmt.Errorf("nn: matrix file holds %d entries", len(blobs))

@@ -6,22 +6,39 @@ import (
 	"intellitag/internal/obs"
 )
 
-// ABRouter splits traffic between engines by session id, as the paper's
+// ABRouter splits traffic between buckets by session id, as the paper's
 // online evaluation divides extra traffic buckets to test baselines
-// (Section VI-F). Assignment is deterministic: session % buckets.
+// (Section VI-F). Assignment is deterministic: session % buckets. Each bucket
+// is a ReplicaSet — one or more engine replicas serving the same model — so
+// the full routing ladder is bucket split, then replica hash, then the
+// engine's 16-way session shards.
 type ABRouter struct {
-	engines []*Engine
+	sets []*ReplicaSet
 	// routed counts route decisions per bucket; nil slots (no telemetry) are
 	// no-op counters.
 	routed []*obs.Counter
 }
 
-// NewABRouter creates a router over one engine per bucket.
+// NewABRouter creates a router over one single-replica bucket per engine —
+// the pre-sharding construction path kept for tests, benchmarks and callers
+// that do not need horizontal replicas.
 func NewABRouter(engines ...*Engine) *ABRouter {
 	if len(engines) == 0 {
 		panic("serving: ABRouter needs at least one engine")
 	}
-	return &ABRouter{engines: engines}
+	sets := make([]*ReplicaSet, len(engines))
+	for i, e := range engines {
+		sets[i] = soloSet(e)
+	}
+	return &ABRouter{sets: sets}
+}
+
+// NewReplicatedABRouter creates a router over one ReplicaSet per bucket.
+func NewReplicatedABRouter(sets ...*ReplicaSet) *ABRouter {
+	if len(sets) == 0 {
+		panic("serving: ABRouter needs at least one replica set")
+	}
+	return &ABRouter{sets: sets}
 }
 
 // Bucket returns the bucket index for a session.
@@ -29,7 +46,7 @@ func (r *ABRouter) Bucket(session int) int {
 	if session < 0 {
 		session = -session
 	}
-	return session % len(r.engines)
+	return session % len(r.sets)
 }
 
 // SetTelemetry registers one routing counter per bucket, labeled with the
@@ -39,21 +56,31 @@ func (r *ABRouter) SetTelemetry(reg *obs.Registry) {
 		r.routed = nil
 		return
 	}
-	r.routed = make([]*obs.Counter, len(r.engines))
-	for i, e := range r.engines {
+	r.routed = make([]*obs.Counter, len(r.sets))
+	for i, rs := range r.sets {
 		r.routed[i] = reg.Counter("intellitag_router_requests_total",
-			"bucket", strconv.Itoa(i), "model", e.ScorerName())
+			"bucket", strconv.Itoa(i), "model", rs.replicas[0].ScorerName())
 	}
 }
 
-// Engine returns the engine serving a session.
+// Engine returns the engine replica serving a session.
 func (r *ABRouter) Engine(session int) *Engine {
 	b := r.Bucket(session)
 	if r.routed != nil {
 		r.routed[b].Inc()
 	}
-	return r.engines[b]
+	return r.sets[b].Pick(session)
 }
 
-// Engines lists the underlying engines in bucket order.
-func (r *ABRouter) Engines() []*Engine { return r.engines }
+// Engines lists one representative engine per bucket (replica 0), preserving
+// the pre-sharding contract that callers iterate buckets by engine.
+func (r *ABRouter) Engines() []*Engine {
+	out := make([]*Engine, len(r.sets))
+	for i, rs := range r.sets {
+		out[i] = rs.replicas[0]
+	}
+	return out
+}
+
+// Sets lists the replica sets in bucket order.
+func (r *ABRouter) Sets() []*ReplicaSet { return r.sets }

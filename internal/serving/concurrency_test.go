@@ -26,7 +26,7 @@ func TestEngineConcurrentRequests(t *testing.T) {
 			for i := 0; i < opsPer; i++ {
 				session := g*opsPer + i
 				tenant := session % tenants
-				tags := e.catalog.TenantTags[tenant]
+				tags := e.Catalog().TenantTags[tenant]
 				if len(tags) == 0 {
 					continue
 				}
@@ -87,7 +87,7 @@ func TestEngineConcurrentModelScoring(t *testing.T) {
 func TestRecommendMemo(t *testing.T) {
 	e := newTestEngine(t, nil)
 	tenant := 0
-	tags := e.catalog.TenantTags[tenant]
+	tags := e.Catalog().TenantTags[tenant]
 	if len(tags) < 2 {
 		t.Skip("tenant 0 has too few tags")
 	}
@@ -169,9 +169,9 @@ func TestShardedScoringMatchesSingle(t *testing.T) {
 		candidates = append(candidates, len(candidates)%len(catalog.TagPhrases))
 	}
 	history := []int{1, 2}
-	want := e.scoreCandidates(ctx, history, candidates)
+	want := e.scoreCandidates(ctx, e.cur.Load(), history, candidates)
 	e.SetWorkers(4)
-	got := e.scoreCandidates(ctx, history, candidates)
+	got := e.scoreCandidates(ctx, e.cur.Load(), history, candidates)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("sharded score %d diverges: %v vs %v", i, got[i], want[i])

@@ -1,9 +1,10 @@
 // Package serving implements the online half of the IntelliTag system
 // (Section V): the model server logic (Q&A answering, tag recommendation,
-// predicted questions, session state, cold-start fallbacks), an A/B bucket
-// router for online experiments, an HTTP JSON API, and the simulated user
-// population that stands in for live traffic when reproducing the paper's
-// online CTR / HIR / latency results.
+// predicted questions, session state, cold-start fallbacks), versioned model
+// hot swap with N-replica sharding, an A/B bucket router for online
+// experiments, an HTTP JSON API, and the simulated user population that
+// stands in for live traffic when reproducing the paper's online CTR / HIR /
+// latency results.
 package serving
 
 import (
@@ -11,9 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"intellitag/internal/par"
 	"intellitag/internal/search"
 	"intellitag/internal/store"
 )
@@ -63,10 +64,13 @@ type QuestionMatcher interface {
 const sessionShardCount = 16
 
 // recEntry is a memoized RecommendTags result for one session. The serving
-// inputs are the session history plus static catalog data, so the ranked
-// list only changes when the history does; repeated requests between clicks
-// — the common read-mostly pattern — are answered from the memo.
+// inputs are the session history plus the active version's catalog and
+// scorer, so the ranked list only changes when the history mutates or the
+// model version flips; the entry records the version it was computed on and
+// a hit requires an exact version match, which is what makes a hot swap
+// invalidate every memo without touching the shards.
 type recEntry struct {
+	ver       *modelVersion
 	tenant, k int
 	recs      []ScoredTag
 }
@@ -125,80 +129,83 @@ func (r *latencyRing) reset() {
 	r.mu.Unlock()
 }
 
-// Engine is the model-server logic for a single model. It is safe for
+// Engine is the model-server logic for one replica. It is safe for
 // concurrent use: session state is sharded, latencies go to a fixed ring,
-// and scorers — whose forward passes cache intermediates and therefore must
-// not run two requests at once — are checked out of a pool. SetMatcher and
-// SetWorkers are setup-time calls, not for use concurrently with requests.
+// scorers — whose forward passes cache intermediates and therefore must not
+// run two requests at once — are checked out of a pool, and all
+// model-dependent state (scorer, index, catalog, matcher, scorer pool) lives
+// behind one atomically swappable modelVersion pointer. A request loads the
+// version once on entry and uses only that pointer, so Swap can flip the
+// engine to a new model mid-traffic with zero dropped requests: in-flight
+// requests finish on the version they started with, new requests see the new
+// version, and per-session memos are version-keyed so nothing leaks across.
+// SetMatcher and SetWorkers are setup-time calls, not for use concurrently
+// with requests.
 type Engine struct {
-	catalog Catalog
-	index   *search.Index
-	scorer  Scorer
-	matcher QuestionMatcher // optional reranker for Ask; nil keeps BM25 order
-	log     *store.Log
-	day     func() int // logical clock for log events
+	cur atomic.Pointer[modelVersion]
+
+	log *store.Log
+	day func() int // logical clock for log events
+
+	replica int // index within a ReplicaSet; 0 for solo engines
+	workers int // scorer pool width for versions built by Swap
 
 	shards [sessionShardCount]sessionShard
 
-	// scorers is the checkout pool. It always holds at least the scorer
-	// itself; SetWorkers widens it with replicas for models that support
-	// them, enabling concurrent request scoring and sharded candidate
-	// scoring.
-	scorers chan Scorer
-
 	lat latencyRing
+
+	swaps        atomic.Int64
+	lastSwapUnix atomic.Int64
+	undrained    atomic.Bool // last retired version missed the drain deadline
 
 	// tel is the optional telemetry sink (SetTelemetry). When nil the engine
 	// pays one pointer comparison per instrumented site and nothing else.
 	tel *engineTelemetry
 }
 
-// NewEngine assembles an engine. The search index must contain the RQ
-// documents (doc id = RQ id, tenant field set). A nil log disables event
-// recording; day supplies the logical day stamp (nil means day 0).
+// NewEngine assembles a single-replica engine serving an unversioned model —
+// the bundle-free construction path used by tests, benchmarks and callers
+// that never hot-swap. The search index must contain the RQ documents (doc
+// id = RQ id, tenant field set). A nil log disables event recording; day
+// supplies the logical day stamp (nil means day 0).
 func NewEngine(catalog Catalog, index *search.Index, scorer Scorer, log *store.Log, day func() int) *Engine {
+	b := &ModelBundle{Catalog: catalog, Index: index, Scorer: scorer}
+	return newEngineAt(newModelVersion(b, 1), 0, 1, log, day)
+}
+
+// newEngineAt assembles a replica around an existing (possibly shared)
+// model version.
+func newEngineAt(v *modelVersion, replica, workers int, log *store.Log, day func() int) *Engine {
 	if day == nil {
 		day = func() int { return 0 }
 	}
-	e := &Engine{
-		catalog: catalog,
-		index:   index,
-		scorer:  scorer,
-		log:     log,
-		day:     day,
-	}
+	e := &Engine{log: log, day: day, replica: replica, workers: workers}
 	for i := range e.shards {
 		e.shards[i].m = map[int][]int{}
 		e.shards[i].recs = map[int]recEntry{}
 	}
-	e.scorers = make(chan Scorer, 1)
-	e.scorers <- scorer
+	e.cur.Store(v)
 	return e
 }
 
+// acquire pins the active version for one request. Between the pointer load
+// and the counter increment a swap may retire the version; that request
+// still completes correctly — retired versions stay fully usable, drain is
+// bounded, and nothing is freed eagerly.
+func (e *Engine) acquire() *modelVersion {
+	v := e.cur.Load()
+	v.inflight.Add(1)
+	return v
+}
+
+func (e *Engine) release(v *modelVersion) { v.inflight.Add(-1) }
+
 // SetWorkers sizes the scorer pool for n-way concurrent scoring (<= 0
-// selects all CPUs). Models that cannot replicate themselves keep a
-// single-slot pool, which serializes scoring but stays correct. Call during
-// setup, before serving traffic.
+// selects all CPUs). The width also applies to versions installed by later
+// swaps. Call during setup, before serving traffic.
 func (e *Engine) SetWorkers(n int) {
-	n = par.Resolve(n)
-	rep, ok := e.scorer.(interface{ ScorerReplicas(n int) []any })
-	if n <= 1 || !ok {
-		e.scorers = make(chan Scorer, 1)
-		e.scorers <- e.scorer
-		return
-	}
-	pool := make(chan Scorer, n)
-	for _, r := range rep.ScorerReplicas(n) {
-		s, ok := r.(Scorer)
-		if !ok {
-			pool = make(chan Scorer, 1)
-			pool <- e.scorer
-			break
-		}
-		pool <- s
-	}
-	e.scorers = pool
+	e.workers = n
+	e.cur.Load().resizePool(n)
 }
 
 // shard returns the lock stripe owning a session id.
@@ -210,8 +217,11 @@ func (e *Engine) shard(session int) *sessionShard {
 	return &e.shards[i]
 }
 
-// ScorerName reports the underlying model's name.
-func (e *Engine) ScorerName() string { return e.scorer.Name() }
+// ScorerName reports the active version's model name.
+func (e *Engine) ScorerName() string { return e.cur.Load().scorer.Name() }
+
+// Catalog returns the active version's serving catalog.
+func (e *Engine) Catalog() Catalog { return e.cur.Load().catalog }
 
 // History returns a copy of a session's click history.
 func (e *Engine) History(session int) []int {
@@ -224,23 +234,31 @@ func (e *Engine) History(session int) []int {
 // RecommendTags returns the top-k tags for a session. With no click history
 // it falls back to the tenant's most frequently clicked tags (the paper's
 // cold-start strategy); otherwise the model ranks the tenant's tags given
-// the history. Results are memoized per session until the next click, so
-// only the first request after a history change pays for model scoring.
-// Latency of the full call is recorded.
+// the history. Results are memoized per session until the next click or
+// version swap, so only the first request after a history change pays for
+// model scoring. Latency of the full call is recorded.
 func (e *Engine) RecommendTags(ctx context.Context, tenant, session, k int) []ScoredTag {
+	v := e.acquire()
+	defer e.release(v)
+	return e.recommendTags(ctx, v, tenant, session, k)
+}
+
+// recommendTags is RecommendTags against an already-pinned version (Click
+// reuses it so one user turn stays on a single version end to end).
+func (e *Engine) recommendTags(ctx context.Context, v *modelVersion, tenant, session, k int) []ScoredTag {
 	start := time.Now()
 	defer e.recordLatency(start)
 	defer e.observeOp(opRecommend, start)
 	ctx, span := e.startSpan(ctx, "recommend")
 	defer span.End()
 
-	candidates := e.catalog.TenantTags[tenant]
+	candidates := v.catalog.TenantTags[tenant]
 	if len(candidates) == 0 {
 		return nil
 	}
 	sh := e.shard(session)
 	sh.mu.Lock()
-	if c, ok := sh.recs[session]; ok && c.tenant == tenant && c.k == k {
+	if c, ok := sh.recs[session]; ok && c.ver == v && c.tenant == tenant && c.k == k {
 		out := append([]ScoredTag(nil), c.recs...)
 		sh.mu.Unlock()
 		return out
@@ -253,14 +271,14 @@ func (e *Engine) RecommendTags(ctx context.Context, tenant, session, k int) []Sc
 	if len(history) == 0 {
 		scores = make([]float64, len(candidates))
 		for i, c := range candidates {
-			scores[i] = e.catalog.Popularity[c]
+			scores[i] = v.catalog.Popularity[c]
 		}
 	} else {
-		scores = e.scoreCandidates(ctx, history, candidates)
+		scores = e.scoreCandidates(ctx, v, history, candidates)
 	}
 	out := make([]ScoredTag, len(candidates))
 	for i, c := range candidates {
-		out[i] = ScoredTag{Tag: c, Phrase: e.catalog.TagPhrases[c], Score: scores[i]}
+		out[i] = ScoredTag{Tag: c, Phrase: v.catalog.TagPhrases[c], Score: scores[i]}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -273,9 +291,11 @@ func (e *Engine) RecommendTags(ctx context.Context, tenant, session, k int) []Sc
 	}
 	// Store only if no history in this shard mutated while we scored — a
 	// concurrent Click may have invalidated the entry we are about to write.
+	// The entry remembers its version, so a memo computed on a retired
+	// version can never answer a request on the new one.
 	sh.mu.Lock()
 	if sh.ver == ver {
-		sh.recs[session] = recEntry{tenant: tenant, k: k, recs: append([]ScoredTag(nil), out...)}
+		sh.recs[session] = recEntry{ver: v, tenant: tenant, k: k, recs: append([]ScoredTag(nil), out...)}
 	}
 	sh.mu.Unlock()
 	return out
@@ -283,8 +303,11 @@ func (e *Engine) RecommendTags(ctx context.Context, tenant, session, k int) []Sc
 
 // Click records a tag click, returns the next recommendations and the
 // predicted questions for the accumulated clicked-tag query (the middle
-// panel of the paper's Fig. 1).
+// panel of the paper's Fig. 1). The whole turn — history update,
+// re-recommendation, question retrieval — runs on one pinned version.
 func (e *Engine) Click(ctx context.Context, tenant, session, tag, k int) ([]ScoredTag, []PredictedQuestion) {
+	v := e.acquire()
+	defer e.release(v)
 	start := time.Now()
 	defer e.observeOp(opClick, start)
 	ctx, span := e.startSpan(ctx, "click")
@@ -302,33 +325,39 @@ func (e *Engine) Click(ctx context.Context, tenant, session, tag, k int) ([]Scor
 		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventClick, TagID: tag})
 	}
 
-	recs := e.RecommendTags(ctx, tenant, session, k)
+	recs := e.recommendTags(ctx, v, tenant, session, k)
 
 	// Query = concatenated phrases of all clicked tags in the session.
 	var parts []string
 	for _, t := range history {
-		parts = append(parts, e.catalog.TagPhrases[t])
+		parts = append(parts, v.catalog.TagPhrases[t])
 	}
-	questions := e.PredictQuestions(ctx, tenant, strings.Join(parts, " "), k)
+	questions := e.predictQuestions(ctx, v, tenant, strings.Join(parts, " "), k)
 	return recs, questions
 }
 
 // PredictQuestions retrieves the best-matching RQs for a query within a
 // tenant.
 func (e *Engine) PredictQuestions(ctx context.Context, tenant int, query string, k int) []PredictedQuestion {
+	v := e.acquire()
+	defer e.release(v)
+	return e.predictQuestions(ctx, v, tenant, query, k)
+}
+
+func (e *Engine) predictQuestions(ctx context.Context, v *modelVersion, tenant int, query string, k int) []PredictedQuestion {
 	_, span := e.startSpan(ctx, "retrieve")
 	defer span.End()
-	hits := e.index.Search(query, tenant, k)
+	hits := v.index.Search(query, tenant, k)
 	out := make([]PredictedQuestion, 0, len(hits))
 	for _, h := range hits {
-		doc, ok := e.index.Get(h.ID)
+		doc, ok := v.index.Get(h.ID)
 		if !ok {
 			continue
 		}
 		out = append(out, PredictedQuestion{
 			RQ:       h.ID,
 			Question: doc.Text,
-			Answer:   e.catalog.RQAnswers[h.ID],
+			Answer:   v.catalog.RQAnswers[h.ID],
 			Score:    h.Score,
 		})
 	}
@@ -336,14 +365,18 @@ func (e *Engine) PredictQuestions(ctx context.Context, tenant int, query string,
 }
 
 // SetMatcher installs a question matcher that reranks the Ask recall set
-// (the deployment's model upload). A nil matcher keeps BM25 order.
-func (e *Engine) SetMatcher(m QuestionMatcher) { e.matcher = m }
+// (the deployment's model upload) on the active version. A nil matcher keeps
+// BM25 order. Call during setup; versions installed by Swap carry their own
+// matcher in the bundle.
+func (e *Engine) SetMatcher(m QuestionMatcher) { e.cur.Load().matcher = m }
 
 // Ask answers a typed question: retrieve the RQ recall set for the tenant,
 // pick the best match (via the uploaded matcher model when present, BM25
 // order otherwise) and return its answer. ok is false when nothing matches
 // (the caller may escalate to manual service).
 func (e *Engine) Ask(ctx context.Context, tenant, session int, question string) (PredictedQuestion, bool) {
+	v := e.acquire()
+	defer e.release(v)
 	start := time.Now()
 	defer e.recordLatency(start)
 	defer e.observeOp(opAsk, start)
@@ -351,31 +384,31 @@ func (e *Engine) Ask(ctx context.Context, tenant, session int, question string) 
 	defer span.End()
 	const recallSize = 10
 	_, rspan := e.startSpan(ctx, "retrieve")
-	hits := e.index.Search(question, tenant, recallSize)
+	hits := v.index.Search(question, tenant, recallSize)
 	rspan.End()
 	if len(hits) == 0 {
 		return PredictedQuestion{}, false
 	}
 	bestID, bestScore := hits[0].ID, hits[0].Score
-	if e.matcher != nil {
+	if v.matcher != nil {
 		subset := make(map[int]bool, len(hits))
 		for _, h := range hits {
 			subset[h.ID] = true
 		}
 		_, mspan := e.startSpan(ctx, "match")
-		if id, score := e.matcher.Best(question, subset); id >= 0 {
+		if id, score := v.matcher.Best(question, subset); id >= 0 {
 			bestID, bestScore = id, score
 		}
 		mspan.End()
 	}
-	doc, _ := e.index.Get(bestID)
+	doc, _ := v.index.Get(bestID)
 	if e.log != nil {
 		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventQuestion, RQID: bestID})
 	}
 	return PredictedQuestion{
 		RQ:       bestID,
 		Question: doc.Text,
-		Answer:   e.catalog.RQAnswers[bestID],
+		Answer:   v.catalog.RQAnswers[bestID],
 		Score:    bestScore,
 	}, true
 }
@@ -425,21 +458,21 @@ func (e *Engine) ResetLatencies() {
 // below it the fan-out overhead beats the scoring work.
 const minShardSize = 64
 
-// scoreCandidates checks a scorer out of the pool and scores the candidate
-// list, splitting it across additional immediately-available scorers when it
-// is large. Scores are written into fixed per-shard slots, so the result is
-// identical however many scorers happened to be free.
-func (e *Engine) scoreCandidates(ctx context.Context, history, candidates []int) []float64 {
+// scoreCandidates checks a scorer out of the version's pool and scores the
+// candidate list, splitting it across additional immediately-available
+// scorers when it is large. Scores are written into fixed per-shard slots,
+// so the result is identical however many scorers happened to be free.
+func (e *Engine) scoreCandidates(ctx context.Context, v *modelVersion, history, candidates []int) []float64 {
 	_, span := e.startSpan(ctx, "score")
 	defer span.End()
 	want := len(candidates) / minShardSize
 	if want < 1 {
 		want = 1
 	}
-	scorers := e.checkoutScorers(want)
+	scorers := checkoutScorers(v.scorers, want)
 	defer func() {
 		for _, s := range scorers {
-			e.scorers <- s
+			v.scorers <- s
 		}
 	}()
 	if len(scorers) == 1 {
@@ -470,11 +503,11 @@ func (e *Engine) scoreCandidates(ctx context.Context, history, candidates []int)
 // checkoutScorers blocks for one scorer, then opportunistically grabs up to
 // max-1 more without blocking — never waiting on scorers held by other
 // requests, which keeps the pool deadlock-free.
-func (e *Engine) checkoutScorers(max int) []Scorer {
-	out := []Scorer{<-e.scorers}
+func checkoutScorers(pool chan Scorer, max int) []Scorer {
+	out := []Scorer{<-pool}
 	for len(out) < max {
 		select {
-		case s := <-e.scorers:
+		case s := <-pool:
 			out = append(out, s)
 		default:
 			return out

@@ -3,12 +3,16 @@ package serving
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io/fs"
 	"net/http"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"intellitag/internal/obs"
+	"intellitag/internal/snapshot"
 )
 
 // Server exposes the engine router over an HTTP JSON API — the interface of
@@ -17,7 +21,14 @@ import (
 //	POST /ask         {"tenant":0,"session":1,"question":"..."}
 //	POST /click       {"tenant":0,"session":1,"tag":12,"k":5}
 //	POST /recommend   {"tenant":0,"session":1,"k":5}
-//	GET  /healthz     build info, uptime, buckets, request totals
+//	GET  /healthz     build info, uptime, buckets, versions, request totals
+//
+// With a snapshot source (SetSnapshotSource) it also serves the hot-swap
+// control plane:
+//
+//	GET  /admin/versions  per-bucket, per-replica active model versions
+//	POST /admin/swap      {"version":"v0007-1a2b3c4d","stagger_ms":50}
+//	                      (empty body or version swaps to the store's latest)
 //
 // EnableTelemetry additionally mounts:
 //
@@ -36,7 +47,19 @@ type Server struct {
 	httpReqs map[string]*obs.Counter   // route -> counter, resolved at enable time
 	httpLat  map[string]*obs.Histogram // route -> latency histogram
 	httpErrs *obs.Counter              // responses with status >= 400
+
+	// Snapshot source for the hot-swap control plane (SetSnapshotSource).
+	// swapMu serializes swaps: a rolling swap is already gradual, overlapping
+	// two of them would interleave versions across replicas.
+	swapMu    sync.Mutex
+	snapStore *snapshot.Store
+	loadModel BundleLoader
 }
+
+// BundleLoader materializes a serving bundle from a committed snapshot
+// version. Each call must return a fresh bundle (fresh scorer state) — the
+// server loads one per bucket so buckets never share a stateful scorer.
+type BundleLoader func(versionID string) (*ModelBundle, error)
 
 // NewServer wraps a router.
 func NewServer(router *ABRouter) *Server {
@@ -45,7 +68,18 @@ func NewServer(router *ABRouter) *Server {
 	s.mux.HandleFunc("POST /click", s.instrumented("click", s.handleClick))
 	s.mux.HandleFunc("POST /recommend", s.instrumented("recommend", s.handleRecommend))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /admin/versions", s.handleAdminVersions)
+	s.mux.HandleFunc("POST /admin/swap", s.handleAdminSwap)
 	return s
+}
+
+// SetSnapshotSource arms the /admin/swap endpoint with a snapshot store and a
+// bundle loader. A nil store is allowed (swaps then require an explicit
+// version id and skip integrity verification); a nil loader disarms the
+// endpoint. Call during setup.
+func (s *Server) SetSnapshotSource(store *snapshot.Store, load BundleLoader) {
+	s.snapStore = store
+	s.loadModel = load
 }
 
 // EnableTelemetry installs a registry and tracer on the server, its router
@@ -182,15 +216,20 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthzResponse is the enriched health report: build identity, uptime, the
-// models serving each bucket, and the API request total since start.
+// models serving each bucket, the active snapshot version (bucket 0) with
+// its last-swap time, per-replica version detail and the API request total
+// since start.
 type healthzResponse struct {
-	Status    string   `json:"status"`
-	GoVersion string   `json:"go_version"`
-	Module    string   `json:"module,omitempty"`
-	Revision  string   `json:"revision,omitempty"`
-	UptimeSec float64  `json:"uptime_sec"`
-	Buckets   []string `json:"buckets"`
-	Requests  int64    `json:"requests"`
+	Status        string        `json:"status"`
+	GoVersion     string        `json:"go_version"`
+	Module        string        `json:"module,omitempty"`
+	Revision      string        `json:"revision,omitempty"`
+	UptimeSec     float64       `json:"uptime_sec"`
+	Buckets       []string      `json:"buckets"`
+	ActiveVersion string        `json:"active_version"`
+	LastSwapUnix  int64         `json:"last_swap_unix,omitempty"`
+	Versions      []VersionInfo `json:"versions"`
+	Requests      int64         `json:"requests"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -211,7 +250,99 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, e := range s.router.Engines() {
 		resp.Buckets = append(resp.Buckets, e.ScorerName())
 	}
+	for _, rs := range s.router.Sets() {
+		resp.Versions = append(resp.Versions, rs.Versions()...)
+	}
+	primary := s.router.Engines()[0].Version()
+	resp.ActiveVersion = primary.ID
+	resp.LastSwapUnix = primary.LastSwapUnix
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// bucketVersions is one A/B bucket's replica-by-replica version report.
+type bucketVersions struct {
+	Bucket   int           `json:"bucket"`
+	Model    string        `json:"model"`
+	Replicas []VersionInfo `json:"replicas"`
+}
+
+func (s *Server) versionReport() []bucketVersions {
+	sets := s.router.Sets()
+	out := make([]bucketVersions, len(sets))
+	for i, rs := range sets {
+		out[i] = bucketVersions{
+			Bucket:   i,
+			Model:    rs.replicas[0].ScorerName(),
+			Replicas: rs.Versions(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleAdminVersions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"buckets": s.versionReport()})
+}
+
+type swapRequest struct {
+	Version   string `json:"version"`    // empty = the store's latest
+	StaggerMS int    `json:"stagger_ms"` // pause between replica flips
+}
+
+// Swap resolves a version id (empty means the store's latest), verifies the
+// snapshot's checksums, loads one fresh bundle per bucket and rolls it across
+// every replica set. It is the engine room of POST /admin/swap and of the
+// store watcher's auto-swap; only one swap runs at a time.
+func (s *Server) Swap(versionID string, stagger time.Duration) ([]bucketVersions, error) {
+	if s.loadModel == nil {
+		return nil, errors.New("no snapshot source configured")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if versionID == "" {
+		if s.snapStore == nil {
+			return nil, errors.New("no snapshot store: an explicit version id is required")
+		}
+		latest, err := s.snapStore.Latest()
+		if err != nil {
+			return nil, err
+		}
+		versionID = latest.ID
+	}
+	if s.snapStore != nil {
+		if err := s.snapStore.Verify(versionID); err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range s.router.Sets() {
+		b, err := s.loadModel(versionID)
+		if err != nil {
+			return nil, err
+		}
+		rs.RollingSwap(b, stagger)
+	}
+	return s.versionReport(), nil
+}
+
+func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
+	var req swapRequest
+	if r.ContentLength != 0 && !decode(w, r, &req) {
+		return
+	}
+	report, err := s.Swap(req.Version, time.Duration(req.StaggerMS)*time.Millisecond)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, snapshot.ErrChecksum):
+			code = http.StatusConflict // snapshot on disk fails integrity
+		case errors.Is(err, snapshot.ErrEmpty), errors.Is(err, fs.ErrNotExist):
+			code = http.StatusNotFound
+		case s.loadModel == nil:
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, "swap: "+err.Error(), code)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"buckets": report})
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {

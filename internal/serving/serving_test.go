@@ -83,7 +83,7 @@ func TestColdStartUsesPopularity(t *testing.T) {
 	}
 	// All recommended tags belong to the tenant and are ordered by score.
 	tenantSet := map[int]bool{}
-	for _, tg := range e.catalog.TenantTags[0] {
+	for _, tg := range e.Catalog().TenantTags[0] {
 		tenantSet[tg] = true
 	}
 	for i, r := range recs {
@@ -112,7 +112,7 @@ func TestClickUpdatesHistoryAndRecommends(t *testing.T) {
 		t.Fatal("no predicted questions")
 	}
 	// Predicted questions must contain the clicked tag's phrase.
-	phrase := e.catalog.TagPhrases[first[0].Tag]
+	phrase := e.Catalog().TagPhrases[first[0].Tag]
 	found := false
 	for _, q := range questions {
 		if strings.Contains(q.Question, phrase) {
@@ -152,7 +152,7 @@ func TestAskFindsBestRQ(t *testing.T) {
 func TestEventsLogged(t *testing.T) {
 	log := store.NewLog()
 	e := newTestEngine(t, log)
-	e.Click(ctx, 0, 3, e.catalog.TenantTags[0][0], 3)
+	e.Click(ctx, 0, 3, e.Catalog().TenantTags[0][0], 3)
 	rq := simWorld.RQs[0]
 	e.Ask(ctx, rq.Tenant, 3, rq.Text)
 	e.Escalate(0, 3)

@@ -50,6 +50,12 @@ type SimConfig struct {
 	MaxTurns       int     // user gives up after this many turns
 	GiveUpMisses   int     // consecutive misses before escalating to a human
 	Seed           int64
+
+	// OnDayEnd, when non-nil, runs after each simulated day (0-based index of
+	// the day just finished), on the simulator goroutine. The swap demo hooks
+	// it to roll the replica set onto a new model version mid-run; the
+	// traffic of the following days then exercises the swapped-in version.
+	OnDayEnd func(day int)
 }
 
 // DefaultSimConfig mirrors the paper's 10-day CTR window.
@@ -73,9 +79,11 @@ type DayStats struct {
 
 // SimResult aggregates a bucket's simulation.
 type SimResult struct {
-	Model   string
-	Days    []DayStats
-	Latency metrics.LatencyStats
+	Model    string
+	Replicas int
+	Versions []string // distinct model version ids served, in first-seen order
+	Days     []DayStats
+	Latency  metrics.LatencyStats
 }
 
 // Simulate drives a simulated user population against one engine for the
@@ -85,14 +93,38 @@ type SimResult struct {
 // (position bias); otherwise the turn is a miss, and after GiveUpMisses
 // consecutive misses the session escalates to manual service (HIR).
 func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
+	return SimulateSet(w, soloSet(engine), cfg)
+}
+
+// SimulateSet is Simulate over a replica set: each session is pinned to its
+// replica by the set's hash, so the population exercises the full routing
+// ladder (replica hash, then session shards) exactly as HTTP traffic would.
+// Session ids, the click process and all randomness are identical to
+// Simulate's regardless of the replica count — sharding redistributes the
+// same sessions, it never changes them — so CTR/HIR stay bit-identical
+// across replica counts and the aggregated latency sample is the only thing
+// sharding can move.
+func SimulateSet(w *synth.World, rs *ReplicaSet, cfg SimConfig) SimResult {
 	ctx := context.Background()
 	rng := mat.NewRNG(cfg.Seed)
-	engine.ResetLatencies()
+	for _, e := range rs.Engines() {
+		e.ResetLatencies()
+	}
 	weights := make([]float64, len(w.Tenants))
 	for i, t := range w.Tenants {
 		weights[i] = t.Size
 	}
-	res := SimResult{Model: engine.ScorerName()}
+	res := SimResult{Model: rs.Engines()[0].ScorerName(), Replicas: rs.Size()}
+	seenVersions := map[string]bool{}
+	noteVersions := func() {
+		for _, vi := range rs.Versions() {
+			if !seenVersions[vi.ID] {
+				seenVersions[vi.ID] = true
+				res.Versions = append(res.Versions, vi.ID)
+			}
+		}
+	}
+	noteVersions()
 	sessionID := int(cfg.Seed) * 1_000_000
 
 	for day := 0; day < cfg.Days; day++ {
@@ -104,6 +136,7 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 
 		for s := 0; s < cfg.SessionsPerDay; s++ {
 			sessionID++
+			engine := rs.Pick(sessionID)
 			tenant := rng.Categorical(weights)
 			state := w.StartSession(tenant, rng)
 			// The first click arrives through the interface (cold start is
@@ -172,8 +205,16 @@ func Simulate(w *synth.World, engine *Engine, cfg SimConfig) SimResult {
 		stats.MicroCTR = metrics.CTR(stats.Clicks, stats.Impressions)
 		stats.HIR = metrics.HIR(escalations, stats.Sessions)
 		res.Days = append(res.Days, stats)
+		if cfg.OnDayEnd != nil {
+			cfg.OnDayEnd(day)
+		}
+		noteVersions()
 	}
-	res.Latency = metrics.SummarizeLatency(engine.Latencies())
+	var lats []time.Duration
+	for _, e := range rs.Engines() {
+		lats = append(lats, e.Latencies()...)
+	}
+	res.Latency = metrics.SummarizeLatency(lats)
 	return res
 }
 

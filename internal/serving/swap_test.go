@@ -1,0 +1,399 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tableScorer ranks candidates by a fixed per-tag score table — no history
+// sensitivity, so two tableScorers with different tables give two stable,
+// distinguishable rankings across a swap.
+type tableScorer struct {
+	name  string
+	table []float64
+}
+
+func (s tableScorer) ScoreCandidates(history, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = s.table[c]
+	}
+	return out
+}
+func (s tableScorer) Name() string { return s.name }
+
+// testBundle builds a serving bundle over the shared test world with a
+// tableScorer. ascending=false inverts the ranking, so swapping between the
+// two bundles visibly reorders recommendations.
+func testBundle(t *testing.T, id, model string, ascending bool) *ModelBundle {
+	t.Helper()
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+	table := make([]float64, len(catalog.TagPhrases))
+	for i := range table {
+		if ascending {
+			table[i] = float64(i)
+		} else {
+			table[i] = float64(len(table) - i)
+		}
+	}
+	return &ModelBundle{
+		VersionID: id,
+		Catalog:   catalog,
+		Index:     index,
+		Scorer:    tableScorer{name: model, table: table},
+	}
+}
+
+func TestEngineSwapFlipsVersion(t *testing.T) {
+	e := newTestEngine(t, nil)
+	v := e.Version()
+	if v.ID != UnversionedID || v.Seq != -1 || v.Swaps != 0 || !v.Drained {
+		t.Fatalf("fresh engine version = %+v", v)
+	}
+	info := e.Swap(testBundle(t, "v0001-aaaaaaaa", "up", true))
+	if info.ID != "v0001-aaaaaaaa" || info.Seq != 1 || info.Swaps != 1 || !info.Drained {
+		t.Fatalf("after swap: %+v", info)
+	}
+	if e.ScorerName() != "up" {
+		t.Fatalf("scorer not swapped: %s", e.ScorerName())
+	}
+	if got := e.Version().ID; got != "v0001-aaaaaaaa" {
+		t.Fatalf("Version after swap = %s", got)
+	}
+	if info.LastSwapUnix == 0 {
+		t.Fatal("swap did not stamp LastSwapUnix")
+	}
+}
+
+// TestSwapInvalidatesMemo pins the no-cross-version-leak property: a
+// memoized recommendation computed on the old version must not answer a
+// request on the new one, even though the session history is unchanged.
+func TestSwapInvalidatesMemo(t *testing.T) {
+	e := newTestEngine(t, nil)
+	e.Swap(testBundle(t, "v0001-aaaaaaaa", "up", true))
+	const tenant, session, k = 0, 404, 4
+	seed := e.Catalog().TenantTags[tenant][0]
+	e.Click(ctx, tenant, session, seed, k) // history, then memoized ranking
+	up := e.RecommendTags(ctx, tenant, session, k)
+	// Memo hit must serve while the version is unchanged.
+	if again := e.RecommendTags(ctx, tenant, session, k); again[0] != up[0] {
+		t.Fatalf("same-version memo unstable: %+v vs %+v", again[0], up[0])
+	}
+	e.Swap(testBundle(t, "v0002-bbbbbbbb", "down", false))
+	down := e.RecommendTags(ctx, tenant, session, k)
+	if down[0].Tag == up[0].Tag {
+		t.Fatalf("post-swap top tag %d identical to pre-swap memo — stale entry served", down[0].Tag)
+	}
+	// The inverted table must put the old version's worst candidate first.
+	if down[0].Score < down[len(down)-1].Score {
+		t.Fatalf("post-swap ranking not sorted: %+v", down)
+	}
+}
+
+// blockScorer parks inside ScoreCandidates once armed, letting a test hold a
+// request in flight across a version flip. Unarmed (during warm()) it scores
+// immediately.
+type blockScorer struct {
+	tableScorer
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockScorer) ScoreCandidates(history, candidates []int) []float64 {
+	if b.armed.Load() {
+		b.entered <- struct{}{}
+		<-b.release
+	}
+	return b.tableScorer.ScoreCandidates(history, candidates)
+}
+
+// TestInFlightRequestFinishesOnOldVersion pins the zero-downtime contract:
+// a request that loaded the old version before the flip completes on that
+// version — old scorer, old catalog — while new requests already see the new
+// one.
+func TestInFlightRequestFinishesOnOldVersion(t *testing.T) {
+	old := testBundle(t, "v0001-aaaaaaaa", "old", true)
+	bs := &blockScorer{
+		tableScorer: old.Scorer.(tableScorer),
+		entered:     make(chan struct{}),
+		release:     make(chan struct{}),
+	}
+	bs.tableScorer.name = "old"
+	old.Scorer = bs
+	e := newEngineAt(newModelVersion(old, 1), 0, 1, nil, nil)
+
+	const tenant, session, k = 0, 777, 4
+	seed := e.Catalog().TenantTags[tenant][0]
+	sh := e.shard(session)
+	sh.mu.Lock()
+	sh.m[session] = []int{seed} // history so RecommendTags consults the scorer
+	sh.ver++
+	sh.mu.Unlock()
+
+	bs.armed.Store(true)
+	type recResult struct{ recs []ScoredTag }
+	got := make(chan recResult, 1)
+	go func() {
+		got <- recResult{e.RecommendTags(ctx, tenant, session, k)}
+	}()
+	<-bs.entered // the request is inside the old version's scorer
+
+	swapDone := make(chan VersionInfo, 1)
+	go func() {
+		swapDone <- e.Swap(testBundle(t, "v0002-bbbbbbbb", "new", false))
+	}()
+	// The flip is not gated on the drain: the new version must become active
+	// while the old request is still parked.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.ScorerName() != "new" {
+		if time.Now().After(deadline) {
+			t.Fatal("swap did not flip while a request was in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// New traffic (fresh session) is served by the new version immediately.
+	if fresh := e.RecommendTags(ctx, tenant, 778, k); len(fresh) == 0 {
+		t.Fatal("new version dropped a request during drain")
+	}
+
+	bs.release <- struct{}{}
+	res := (<-got).recs
+	if len(res) != k {
+		t.Fatalf("in-flight request dropped: %+v", res)
+	}
+	// The parked request must have scored on the OLD (ascending) table: its
+	// top tag is the tenant's highest tag id, not the new table's lowest.
+	wantTop := 0
+	for _, tag := range e.Catalog().TenantTags[tenant] {
+		if tag > wantTop {
+			wantTop = tag
+		}
+	}
+	if res[0].Tag != wantTop {
+		t.Fatalf("in-flight request scored on the wrong version: top %d, want %d", res[0].Tag, wantTop)
+	}
+	info := <-swapDone
+	if !info.Drained {
+		t.Fatalf("old version failed to drain after release: %+v", info)
+	}
+}
+
+// TestHotSwapUnderLoad is the -race stress gate for the tentpole: sustained
+// Click/RecommendTags traffic against a 3-replica set while versions roll
+// back and forth. Zero requests may fail and the set must converge on the
+// final version with every replica drained.
+func TestHotSwapUnderLoad(t *testing.T) {
+	rs := NewReplicaSet(testBundle(t, "v0000-seedseed", "up", true), 3, 1, nil, nil)
+	tenantTags := rs.Engines()[0].Catalog().TenantTags[0]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served, failed atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			session := w * 100_000
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				session++
+				e := rs.Pick(session)
+				recs, _ := e.Click(ctx, 0, session, tenantTags[session%len(tenantTags)], 5)
+				if len(recs) == 0 {
+					failed.Add(1)
+				}
+				if again := e.RecommendTags(ctx, 0, session, 5); len(again) == 0 {
+					failed.Add(1)
+				}
+				served.Add(2)
+				e.EndSession(session)
+			}
+		}(w)
+	}
+
+	const rolls = 6
+	for i := 1; i <= rolls; i++ {
+		id, model, asc := "v000"+string(rune('0'+i))+"-aaaaaaaa", "up", true
+		if i%2 == 1 {
+			model, asc = "down", false
+		}
+		rs.RollingSwap(testBundle(t, id, model, asc), time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d requests failed during swaps", failed.Load(), served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("stress loop served nothing")
+	}
+	final := rs.Versions()
+	for _, vi := range final {
+		if vi.ID != final[0].ID {
+			t.Fatalf("replicas diverged after rolling swaps: %+v", final)
+		}
+		if vi.Swaps != rolls {
+			t.Fatalf("replica %d saw %d swaps, want %d", vi.Replica, vi.Swaps, rolls)
+		}
+		if !vi.Drained {
+			t.Fatalf("replica %d retired version never drained: %+v", vi.Replica, vi)
+		}
+	}
+}
+
+// TestReplicaSetPickIsStableAndBalanced pins the routing hash: deterministic
+// per session, and no replica starves even under strided session ids.
+func TestReplicaSetPickIsStableAndBalanced(t *testing.T) {
+	rs := NewReplicaSet(testBundle(t, "", "up", true), 4, 1, nil, nil)
+	counts := make(map[*Engine]int)
+	for session := 0; session < 4096; session += 16 { // stride = shard modulus
+		e := rs.Pick(session)
+		if again := rs.Pick(session); again != e {
+			t.Fatalf("Pick(%d) unstable", session)
+		}
+		counts[e]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 replicas received traffic", len(counts))
+	}
+	for e, n := range counts {
+		if n < 16 {
+			t.Fatalf("replica %d starved: %d sessions", e.replica, n)
+		}
+	}
+}
+
+func TestAdminSwapEndpoints(t *testing.T) {
+	rs := NewReplicaSet(testBundle(t, "", "up", true), 2, 1, nil, nil)
+	server := NewServer(NewReplicatedABRouter(rs))
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	// Unarmed: the control plane refuses swaps.
+	resp, err := http.Post(srv.URL+"/admin/swap", "application/json", strings.NewReader(`{"version":"v0001-aaaaaaaa"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unarmed swap returned %d, want 503", resp.StatusCode)
+	}
+
+	server.SetSnapshotSource(nil, func(id string) (*ModelBundle, error) {
+		return testBundle(t, id, "down", false), nil
+	})
+	body := postJSON(t, srv.URL+"/admin/swap", `{"version":"v0007-1a2b3c4d","stagger_ms":1}`)
+	var swapped struct {
+		Buckets []bucketVersions `json:"buckets"`
+	}
+	if err := json.Unmarshal(body, &swapped); err != nil {
+		t.Fatalf("decode swap response: %v", err)
+	}
+	if len(swapped.Buckets) != 1 || len(swapped.Buckets[0].Replicas) != 2 {
+		t.Fatalf("swap report shape wrong: %+v", swapped)
+	}
+	for _, vi := range swapped.Buckets[0].Replicas {
+		if vi.ID != "v0007-1a2b3c4d" || vi.Swaps != 1 {
+			t.Fatalf("replica not swapped: %+v", vi)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/admin/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Buckets []bucketVersions `json:"buckets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if listed.Buckets[0].Model != "down" || listed.Buckets[0].Replicas[0].ID != "v0007-1a2b3c4d" {
+		t.Fatalf("/admin/versions wrong: %+v", listed)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.ActiveVersion != "v0007-1a2b3c4d" {
+		t.Fatalf("healthz active version = %q", health.ActiveVersion)
+	}
+	if health.LastSwapUnix == 0 {
+		t.Fatal("healthz missing last-swap timestamp")
+	}
+	if len(health.Versions) != 2 {
+		t.Fatalf("healthz replica versions wrong: %+v", health.Versions)
+	}
+}
+
+// TestSimulateSetMatchesSimulate pins the sharding-transparency contract:
+// replicas redistribute sessions but never change them, so a replicated run
+// reports bit-identical CTR/HIR to the single-engine run.
+func TestSimulateSetMatchesSimulate(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Days, cfg.SessionsPerDay = 2, 40
+
+	solo := Simulate(simWorld, newTestEngine(t, nil), cfg)
+
+	train, _, _ := simWorld.SplitSessions(0.8, 0.1)
+	catalog, index := BuildCatalog(simWorld, train)
+	scores := make([]float64, len(catalog.TagPhrases))
+	copy(scores, catalog.Popularity)
+	rs := NewReplicaSet(&ModelBundle{Catalog: catalog, Index: index, Scorer: popScorer{scores: scores}}, 3, 1, nil, nil)
+	sharded := SimulateSet(simWorld, rs, cfg)
+
+	if sharded.Replicas != 3 || solo.Replicas != 1 {
+		t.Fatalf("replica counts wrong: %d, %d", sharded.Replicas, solo.Replicas)
+	}
+	if len(sharded.Versions) != 1 || sharded.Versions[0] != UnversionedID {
+		t.Fatalf("versions served: %+v", sharded.Versions)
+	}
+	for d := range solo.Days {
+		a, b := solo.Days[d], sharded.Days[d]
+		if a.MacroCTR != b.MacroCTR || a.HIR != b.HIR || a.Clicks != b.Clicks || a.Impressions != b.Impressions {
+			t.Fatalf("day %d diverged across replica counts:\nsolo %+v\nset  %+v", d, a, b)
+		}
+	}
+}
+
+// TestSimulateOnDayEndSwap drives the mid-run rolling swap the swap-demo
+// performs and checks both versions show up in the served-version record.
+func TestSimulateOnDayEndSwap(t *testing.T) {
+	rs := NewReplicaSet(testBundle(t, "v0000-11111111", "up", true), 2, 1, nil, nil)
+	cfg := DefaultSimConfig()
+	cfg.Days, cfg.SessionsPerDay = 4, 30
+	cfg.OnDayEnd = func(day int) {
+		if day == 1 {
+			rs.RollingSwap(testBundle(t, "v0001-22222222", "up", true), 0)
+		}
+	}
+	res := SimulateSet(simWorld, rs, cfg)
+	if len(res.Versions) != 2 || res.Versions[0] != "v0000-11111111" || res.Versions[1] != "v0001-22222222" {
+		t.Fatalf("versions served across the swap: %+v", res.Versions)
+	}
+	for _, vi := range rs.Versions() {
+		if vi.ID != "v0001-22222222" || !vi.Drained {
+			t.Fatalf("replica did not finish on the new version: %+v", vi)
+		}
+	}
+}

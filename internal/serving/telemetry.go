@@ -38,18 +38,28 @@ type engineTelemetry struct {
 	ctr         *obs.Gauge
 	hir         *obs.Gauge
 
+	// Version swap instruments (per replica — unlike the shared traffic
+	// counters above, each replica flips independently during a rolling swap,
+	// so these series carry a replica label).
+	swaps     *obs.Counter
+	activeSeq *obs.Gauge // active snapshot sequence (-1 when unversioned)
+	lastSwap  *obs.Gauge // unix time of the replica's last swap
+
 	shardSessions [sessionShardCount]*obs.Gauge
 }
 
 // SetTelemetry installs a metrics registry and tracer on the engine. The
-// engine's bucket label is its scorer name. Call during setup, before serving
-// traffic; a nil registry uninstalls telemetry.
+// engine's bucket label is its scorer name; counters are shared across the
+// replicas of a set (the registry hands back one series per label set), while
+// per-replica state gauges add a replica label. Call during setup, before
+// serving traffic; a nil registry uninstalls telemetry.
 func (e *Engine) SetTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 	if reg == nil && tracer == nil {
 		e.tel = nil
 		return
 	}
 	bucket := e.ScorerName()
+	replica := strconv.Itoa(e.replica)
 	t := &engineTelemetry{
 		tracer:      tracer,
 		impressions: reg.Counter("intellitag_sim_impressions_total", "bucket", bucket),
@@ -58,13 +68,23 @@ func (e *Engine) SetTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 		sessions:    reg.Counter("intellitag_sim_sessions_total", "bucket", bucket),
 		ctr:         reg.Gauge("intellitag_ctr", "bucket", bucket),
 		hir:         reg.Gauge("intellitag_hir", "bucket", bucket),
+		swaps:       reg.Counter("intellitag_model_swaps_total", "bucket", bucket, "replica", replica),
+		activeSeq:   reg.Gauge("intellitag_model_active_version_seq", "bucket", bucket, "replica", replica),
+		lastSwap:    reg.Gauge("intellitag_model_last_swap_unix", "bucket", bucket, "replica", replica),
 	}
 	for op := 0; op < numOps; op++ {
 		t.ops[op] = reg.Counter("intellitag_requests_total", "bucket", bucket, "op", opNames[op])
 		t.lat[op] = reg.Histogram("intellitag_request_latency_seconds", nil, "bucket", bucket, "op", opNames[op])
 	}
 	for i := range t.shardSessions {
-		t.shardSessions[i] = reg.Gauge("intellitag_sessions_active", "bucket", bucket, "shard", strconv.Itoa(i))
+		t.shardSessions[i] = reg.Gauge("intellitag_sessions_active",
+			"bucket", bucket, "replica", replica, "shard", strconv.Itoa(i))
+	}
+	// Publish the current version immediately so dashboards see the active
+	// sequence before (or without) any swap.
+	t.activeSeq.Set(float64(e.cur.Load().seq))
+	if last := e.lastSwapUnix.Load(); last > 0 {
+		t.lastSwap.Set(float64(last))
 	}
 	e.tel = t
 }

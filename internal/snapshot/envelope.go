@@ -1,0 +1,92 @@
+// Package snapshot implements the versioned model-snapshot store behind the
+// T+1 deployment loop of Section V: the offline trainer commits each model
+// as an immutable, checksummed version directory, and the online servers
+// open, verify and hot-swap to those versions without restarting (see
+// internal/serving). The package has two layers:
+//
+//   - a file envelope (WriteChecksummed/ReadChecksummed) that frames a
+//     payload with a magic header, length and SHA-256 digest, so a
+//     truncated or bit-flipped artifact is rejected with ErrChecksum
+//     instead of surfacing as a partial gob decode;
+//   - a Store of version directories, each holding component files plus a
+//     manifest.json (version id, parent, creation time, per-component
+//     checksums), with Begin/Commit writers, List/Latest/Get readers,
+//     Verify and GC.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrChecksum is wrapped by every integrity failure in this package —
+// envelope digests, manifest component digests, and truncated payloads.
+// Callers test with errors.Is.
+var ErrChecksum = errors.New("snapshot: checksum mismatch")
+
+// envelopeMagic identifies a checksummed artifact file. The version digit is
+// part of the magic so a future layout change fails loudly, not subtly.
+var envelopeMagic = []byte("ITSNAP1\n")
+
+// envelope header: magic, big-endian payload length, SHA-256 of the payload.
+const envelopeHeaderSize = 8 + 8 + sha256.Size
+
+// WriteChecksummed writes payload to path framed with the snapshot envelope
+// (magic, length, SHA-256). The write goes through a temp file and rename so
+// a crash never leaves a half-written artifact under the final name.
+func WriteChecksummed(path string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, envelopeHeaderSize+len(payload))
+	buf = append(buf, envelopeMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("snapshot: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadChecksummed reads a file written by WriteChecksummed, verifies the
+// digest and returns the payload. Missing magic, a short header, a length
+// mismatch (truncation) and a digest mismatch all return an error wrapping
+// ErrChecksum.
+func ReadChecksummed(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read %s: %w", path, err)
+	}
+	if len(data) < envelopeHeaderSize || !bytes.HasPrefix(data, envelopeMagic) {
+		return nil, fmt.Errorf("snapshot: %s: missing or short envelope header: %w", path, ErrChecksum)
+	}
+	n := binary.BigEndian.Uint64(data[8:16])
+	payload := data[envelopeHeaderSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("snapshot: %s: payload %d bytes, header says %d (truncated?): %w",
+			path, len(payload), n, ErrChecksum)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[16:16+sha256.Size]) {
+		return nil, fmt.Errorf("snapshot: %s: payload digest mismatch: %w", path, ErrChecksum)
+	}
+	return payload, nil
+}
+
+// fileSHA256 returns the hex digest of a file's full contents.
+func fileSHA256(path string) (string, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", 0, err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), int64(len(data)), nil
+}

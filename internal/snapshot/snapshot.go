@@ -1,0 +1,323 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrEmpty is returned by Latest when the store holds no committed version.
+var ErrEmpty = errors.New("snapshot: store is empty")
+
+// manifestFile is the per-version metadata file name.
+const manifestFile = "manifest.json"
+
+// Component records one artifact inside a version directory.
+type Component struct {
+	Name   string `json:"name"`   // logical name, e.g. "params.gob"
+	SHA256 string `json:"sha256"` // hex digest of the full file contents
+	Size   int64  `json:"size"`
+}
+
+// Manifest describes one committed snapshot version.
+type Manifest struct {
+	ID            string      `json:"id"`  // "v0007-1a2b3c4d"
+	Seq           int         `json:"seq"` // monotonically increasing per store
+	Parent        string      `json:"parent,omitempty"`
+	CreatedAtUnix int64       `json:"created_at_unix"`
+	Components    []Component `json:"components"`
+}
+
+// Component returns the named component's record, or false.
+func (m Manifest) Component(name string) (Component, bool) {
+	for _, c := range m.Components {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Component{}, false
+}
+
+// Store is a directory of immutable snapshot version subdirectories. All
+// mutation goes through Begin/Commit (new versions) and GC (removal); a
+// committed version directory is never modified. Store methods are safe to
+// call from the trainer and the serving watcher concurrently as long as only
+// one writer commits at a time — the T+1 loop's natural shape.
+type Store struct {
+	root string
+	// now supplies manifest timestamps; tests override via SetClock so
+	// snapshot contents stay deterministic.
+	now func() int64
+}
+
+// Open opens (creating if needed) a snapshot store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: open store: %w", err)
+	}
+	return &Store{root: dir, now: func() int64 { return time.Now().Unix() }}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// SetClock overrides the manifest timestamp source (tests).
+func (s *Store) SetClock(now func() int64) { s.now = now }
+
+// versionDirs lists committed version directory names in ascending sequence
+// order. Uncommitted writer temp dirs (".tmp-*") are skipped.
+func (s *Store) versionDirs() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: list store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "v") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return SeqOf(names[i]) < SeqOf(names[j]) })
+	return names, nil
+}
+
+// SeqOf parses the sequence number out of a version id ("v0007-1a2b3c4d" ->
+// 7). Malformed or non-version ids (including the serving tier's
+// "unversioned" placeholder) return -1, so they sort before every committed
+// version and render as a sentinel in gauges.
+func SeqOf(name string) int {
+	rest := strings.TrimPrefix(name, "v")
+	if i := strings.IndexByte(rest, '-'); i >= 0 {
+		rest = rest[:i]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// List returns every committed manifest in ascending sequence order.
+func (s *Store) List() ([]Manifest, error) {
+	names, err := s.versionDirs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Manifest, 0, len(names))
+	for _, name := range names {
+		m, err := s.readManifest(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Latest returns the manifest with the highest sequence number, or ErrEmpty.
+func (s *Store) Latest() (Manifest, error) {
+	names, err := s.versionDirs()
+	if err != nil {
+		return Manifest{}, err
+	}
+	if len(names) == 0 {
+		return Manifest{}, ErrEmpty
+	}
+	return s.readManifest(names[len(names)-1])
+}
+
+// Get returns the manifest for a version id.
+func (s *Store) Get(id string) (Manifest, error) {
+	return s.readManifest(id)
+}
+
+func (s *Store) readManifest(id string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, id, manifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: version %s: %w", id, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: version %s: bad manifest: %w", id, err)
+	}
+	if m.ID != id {
+		return Manifest{}, fmt.Errorf("snapshot: version %s: manifest claims id %q: %w", id, m.ID, ErrChecksum)
+	}
+	return m, nil
+}
+
+// Path returns the absolute path of a committed version's component file.
+// The component must be listed in the manifest.
+func (s *Store) Path(id, component string) (string, error) {
+	m, err := s.readManifest(id)
+	if err != nil {
+		return "", err
+	}
+	if _, ok := m.Component(component); !ok {
+		return "", fmt.Errorf("snapshot: version %s has no component %q", id, component)
+	}
+	return filepath.Join(s.root, id, component), nil
+}
+
+// Verify recomputes every component digest of a version against its
+// manifest. Any mismatch, missing file or size drift returns an error
+// wrapping ErrChecksum.
+func (s *Store) Verify(id string) error {
+	m, err := s.readManifest(id)
+	if err != nil {
+		return err
+	}
+	for _, c := range m.Components {
+		sum, size, err := fileSHA256(filepath.Join(s.root, id, c.Name))
+		if err != nil {
+			return fmt.Errorf("snapshot: verify %s/%s: %v: %w", id, c.Name, err, ErrChecksum)
+		}
+		if size != c.Size {
+			return fmt.Errorf("snapshot: verify %s/%s: %d bytes, manifest says %d: %w",
+				id, c.Name, size, c.Size, ErrChecksum)
+		}
+		if sum != c.SHA256 {
+			return fmt.Errorf("snapshot: verify %s/%s: digest mismatch: %w", id, c.Name, ErrChecksum)
+		}
+	}
+	return nil
+}
+
+// GC removes all but the newest keep versions and returns the removed ids.
+// keep < 1 is treated as 1: the store never deletes its only serving
+// candidate.
+func (s *Store) GC(keep int) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := s.versionDirs()
+	if err != nil {
+		return nil, err
+	}
+	if len(names) <= keep {
+		return nil, nil
+	}
+	doomed := names[:len(names)-keep]
+	for _, name := range doomed {
+		if err := os.RemoveAll(filepath.Join(s.root, name)); err != nil {
+			return nil, fmt.Errorf("snapshot: gc %s: %w", name, err)
+		}
+	}
+	return doomed, nil
+}
+
+// A Writer stages one new version. Components are written into a temp
+// directory (via Path or WriteComponent); Commit hashes them, assigns the
+// version id and atomically renames the directory into place.
+type Writer struct {
+	store      *Store
+	dir        string // temp dir while staging
+	seq        int
+	parent     string
+	components []string
+	done       bool
+}
+
+// Begin starts a new version whose parent is the current latest (or the
+// empty string in a fresh store). Only one Begin may be in flight per store.
+func (s *Store) Begin() (*Writer, error) {
+	seq := 0
+	parent := ""
+	if latest, err := s.Latest(); err == nil {
+		seq = latest.Seq + 1
+		parent = latest.ID
+	} else if !errors.Is(err, ErrEmpty) {
+		return nil, err
+	}
+	dir := filepath.Join(s.root, fmt.Sprintf(".tmp-%04d", seq))
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("snapshot: begin: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: begin: %w", err)
+	}
+	return &Writer{store: s, dir: dir, seq: seq, parent: parent}, nil
+}
+
+// Path registers a component and returns the staging path the caller should
+// write it to before Commit.
+func (w *Writer) Path(component string) string {
+	for _, c := range w.components {
+		if c == component {
+			return filepath.Join(w.dir, component)
+		}
+	}
+	w.components = append(w.components, component)
+	return filepath.Join(w.dir, component)
+}
+
+// WriteComponent stages a component from an in-memory payload, framed with
+// the checksummed envelope.
+func (w *Writer) WriteComponent(component string, payload []byte) error {
+	return WriteChecksummed(w.Path(component), payload)
+}
+
+// Abort discards the staged version.
+func (w *Writer) Abort() {
+	if !w.done {
+		w.done = true
+		_ = os.RemoveAll(w.dir) //lint:ignore errcheck best-effort cleanup of a temp dir on the abort path
+	}
+}
+
+// Commit hashes every staged component, writes the manifest and renames the
+// staging directory to its final version id, which it returns. The id folds
+// the component digests, so identical content always produces the same id
+// for a given sequence number.
+func (w *Writer) Commit() (Manifest, error) {
+	if w.done {
+		return Manifest{}, errors.New("snapshot: writer already committed or aborted")
+	}
+	m := Manifest{
+		Seq:           w.seq,
+		Parent:        w.parent,
+		CreatedAtUnix: w.store.now(),
+	}
+	idSum := []byte{}
+	for _, name := range w.components {
+		sum, size, err := fileSHA256(filepath.Join(w.dir, name))
+		if err != nil {
+			return Manifest{}, fmt.Errorf("snapshot: commit: hash %s: %w", name, err)
+		}
+		m.Components = append(m.Components, Component{Name: name, SHA256: sum, Size: size})
+		idSum = append(idSum, name...)
+		idSum = append(idSum, sum...)
+	}
+	if len(m.Components) == 0 {
+		w.Abort()
+		return Manifest{}, errors.New("snapshot: commit: no components staged")
+	}
+	m.ID = fmt.Sprintf("v%04d-%s", w.seq, shortDigest(idSum))
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: commit: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, manifestFile), append(data, '\n'), 0o644); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: commit: write manifest: %w", err)
+	}
+	final := filepath.Join(w.store.root, m.ID)
+	if err := os.Rename(w.dir, final); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: commit: publish: %w", err)
+	}
+	w.done = true
+	return m, nil
+}
+
+// shortDigest is the 8-hex-char content fingerprint embedded in version ids.
+func shortDigest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:8]
+}

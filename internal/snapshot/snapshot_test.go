@@ -1,0 +1,291 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetClock(func() int64 { return 1_600_000_000 })
+	return s
+}
+
+// commit stages the given name->payload components and commits them.
+func commit(t *testing.T, s *Store, components map[string][]byte) Manifest {
+	t.Helper()
+	w, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage in sorted order so version ids are deterministic across runs.
+	names := make([]string, 0, len(components))
+	for name := range components {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		if err := w.WriteComponent(name, components[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := w.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	payload := []byte("some model bytes")
+	if err := WriteChecksummed(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChecksummed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mangled: %q", got)
+	}
+}
+
+func TestEnvelopeRejectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := WriteChecksummed(path, []byte("a longer payload that we will cut short")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChecksummed(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum for truncation, got %v", err)
+	}
+}
+
+func TestEnvelopeRejectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := WriteChecksummed(path, []byte("payload payload payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChecksummed(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum for bit flip, got %v", err)
+	}
+}
+
+func TestEnvelopeRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, []byte("plain gob or garbage, no envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChecksummed(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum for missing magic, got %v", err)
+	}
+}
+
+func TestCommitAndLatest(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Latest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty store Latest = %v, want ErrEmpty", err)
+	}
+	m1 := commit(t, s, map[string][]byte{"params.gob": []byte("p1")})
+	if !strings.HasPrefix(m1.ID, "v0000-") {
+		t.Fatalf("first id = %q", m1.ID)
+	}
+	if m1.Parent != "" {
+		t.Fatalf("first parent = %q", m1.Parent)
+	}
+	m2 := commit(t, s, map[string][]byte{"params.gob": []byte("p2")})
+	if m2.Parent != m1.ID || m2.Seq != m1.Seq+1 {
+		t.Fatalf("chain broken: %+v after %+v", m2, m1)
+	}
+	latest, err := s.Latest()
+	if err != nil || latest.ID != m2.ID {
+		t.Fatalf("Latest = %+v, %v", latest, err)
+	}
+	list, err := s.List()
+	if err != nil || len(list) != 2 || list[0].ID != m1.ID || list[1].ID != m2.ID {
+		t.Fatalf("List = %+v, %v", list, err)
+	}
+}
+
+func TestVersionIDFoldsContent(t *testing.T) {
+	a := commit(t, testStore(t), map[string][]byte{"m": []byte("same")})
+	b := commit(t, testStore(t), map[string][]byte{"m": []byte("same")})
+	c := commit(t, testStore(t), map[string][]byte{"m": []byte("different")})
+	if a.ID != b.ID {
+		t.Fatalf("identical content, different ids: %s vs %s", a.ID, b.ID)
+	}
+	if a.ID == c.ID {
+		t.Fatalf("different content, same id: %s", a.ID)
+	}
+}
+
+func TestVerifyDetectsTamper(t *testing.T) {
+	s := testStore(t)
+	m := commit(t, s, map[string][]byte{"params.gob": []byte("weights"), "graph.gob": []byte("edges")})
+	if err := s.Verify(m.ID); err != nil {
+		t.Fatalf("fresh version fails Verify: %v", err)
+	}
+	path, err := s.Path(m.ID, "graph.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(m.ID); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("tampered Verify = %v, want ErrChecksum", err)
+	}
+}
+
+func TestVerifyDetectsMissingComponent(t *testing.T) {
+	s := testStore(t)
+	m := commit(t, s, map[string][]byte{"a": []byte("1"), "b": []byte("2")})
+	if err := os.Remove(filepath.Join(s.Root(), m.ID, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(m.ID); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("missing component Verify = %v, want ErrChecksum", err)
+	}
+}
+
+func TestManifestIDMismatchRejected(t *testing.T) {
+	s := testStore(t)
+	m := commit(t, s, map[string][]byte{"a": []byte("1")})
+	// Rename the directory: the embedded manifest id no longer matches.
+	if err := os.Rename(filepath.Join(s.Root(), m.ID), filepath.Join(s.Root(), "v0009-deadbeef")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("v0009-deadbeef"); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Get on renamed dir = %v, want ErrChecksum", err)
+	}
+}
+
+func TestPathUnknownComponent(t *testing.T) {
+	s := testStore(t)
+	m := commit(t, s, map[string][]byte{"a": []byte("1")})
+	if _, err := s.Path(m.ID, "nope"); err == nil {
+		t.Fatal("Path on unknown component should fail")
+	}
+}
+
+func TestGCKeepsNewest(t *testing.T) {
+	s := testStore(t)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		m := commit(t, s, map[string][]byte{"m": []byte(strings.Repeat("x", i+1))})
+		ids = append(ids, m.ID)
+	}
+	removed, err := s.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("removed %v", removed)
+	}
+	list, err := s.List()
+	if err != nil || len(list) != 2 {
+		t.Fatalf("after GC: %+v, %v", list, err)
+	}
+	if list[0].ID != ids[3] || list[1].ID != ids[4] {
+		t.Fatalf("GC kept wrong versions: %+v", list)
+	}
+	// keep < 1 clamps to 1 rather than emptying the store.
+	if _, err := s.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if latest, err := s.Latest(); err != nil || latest.ID != ids[4] {
+		t.Fatalf("GC(0) deleted the serving candidate: %+v, %v", latest, err)
+	}
+}
+
+func TestCommitRequiresComponents(t *testing.T) {
+	s := testStore(t)
+	w, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err == nil {
+		t.Fatal("empty Commit should fail")
+	}
+}
+
+func TestAbortLeavesNoVersion(t *testing.T) {
+	s := testStore(t)
+	w, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteComponent("m", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if list, err := s.List(); err != nil || len(list) != 0 {
+		t.Fatalf("after Abort: %+v, %v", list, err)
+	}
+}
+
+func TestWatchSeesNewVersions(t *testing.T) {
+	s := testStore(t)
+	commit(t, s, map[string][]byte{"m": []byte("pre-existing")})
+
+	var seen atomic.Int64
+	var lastID atomic.Value
+	w := Watch(s, 5*time.Millisecond, func(m Manifest) {
+		seen.Add(1)
+		lastID.Store(m.ID)
+	})
+	defer w.Stop()
+
+	// The pre-existing version must not fire.
+	time.Sleep(25 * time.Millisecond)
+	if n := seen.Load(); n != 0 {
+		t.Fatalf("watcher fired %d times before any new commit", n)
+	}
+
+	m2 := commit(t, s, map[string][]byte{"m": []byte("fresh")})
+	deadline := time.Now().Add(2 * time.Second)
+	for seen.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if seen.Load() != 1 {
+		t.Fatalf("watcher fired %d times, want 1", seen.Load())
+	}
+	if got, _ := lastID.Load().(string); got != m2.ID {
+		t.Fatalf("watcher saw %q, want %q", got, m2.ID)
+	}
+}

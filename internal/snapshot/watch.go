@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"sync"
+	"time"
+)
+
+// Watcher polls a store for newly committed versions — the online side of
+// the T+1 loop: the trainer commits, the server's watcher notices and
+// triggers a hot swap. Polling (rather than fs notification) keeps the
+// package stdlib-only and matches the store's rename-to-publish protocol:
+// a version directory is either absent or complete.
+type Watcher struct {
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Watch starts a background poller that invokes onNew for every version
+// whose sequence number exceeds the latest at start time (and any committed
+// later), in commit order. Callbacks run on the watcher goroutine, so a slow
+// onNew delays detection, never doubles it. Stop the watcher with Stop.
+func Watch(s *Store, interval time.Duration, onNew func(Manifest)) *Watcher {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &Watcher{stop: make(chan struct{}), done: make(chan struct{})}
+	lastSeq := -1
+	if latest, err := s.Latest(); err == nil {
+		lastSeq = latest.Seq
+	}
+	// The watcher is one of the sanctioned long-lived goroutines (see the
+	// intellilint nakedgo allow-list): it lives until Stop and owns no
+	// shared mutable state beyond its own sequence cursor.
+	go func() {
+		defer close(w.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C:
+			}
+			versions, err := s.List()
+			if err != nil {
+				continue // transient: the store may be mid-publish
+			}
+			for _, m := range versions {
+				if m.Seq > lastSeq {
+					lastSeq = m.Seq
+					onNew(m)
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop halts the poller and waits for the watcher goroutine (including any
+// in-flight callback) to exit. Safe to call more than once.
+func (w *Watcher) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
