@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test bench bench-short bench-all obs-demo swap-demo
+.PHONY: check fmt vet lint build test bench bench-short bench-all bench-ann obs-demo swap-demo
 
 check: fmt vet lint build test bench-short
 
@@ -48,6 +48,15 @@ bench:
 # Every benchmark in the root package (parallel scaling + PR2), no JSON.
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# ANN retrieval benchmarks: recall@K-vs-latency curves for both backends
+# against brute force at 10^5 and 10^6 tags, plus serve-path ns/op with
+# retrieval on and off. Regenerates BENCH_PR7.json (the recorded artifact)
+# and exits non-zero if the acceptance bars (>=10x serve speedup,
+# recall@10 >= 0.95) are missed. ~15 min on one core — the 10^6 graph
+# build is the long pole; pass a smaller -sizes for a quick look.
+bench-ann:
+	$(GO) run ./cmd/annbench -sizes 100000,1000000 -serve-tags 100000 -o BENCH_PR7.json
 
 # Live telemetry demo: run the simulator with the telemetry listener up, let
 # traffic flow for a moment, dump /metrics and one sampled trace, then stop.

@@ -1,0 +1,322 @@
+// Command annbench measures the retrieve-then-rank stack end to end and
+// writes BENCH_PR7.json: recall@K-vs-latency curves for both ANN backends
+// against brute force at each -sizes point, and the serving hot path
+// (Engine.Click → recommendTags) with exhaustive scoring vs ANN candidate
+// retrieval, including allocs/op. The acceptance block at the end asserts the
+// PR's bar — ANN-backed recommendation ≥ 10x cheaper than exhaustive at
+// 10^5+ tags with recall@10 ≥ 0.95 on at least one backend.
+//
+// Usage:
+//
+//	go run ./cmd/annbench -sizes 100000,1000000 -o BENCH_PR7.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"intellitag/internal/ann"
+	"intellitag/internal/mat"
+	"intellitag/internal/search"
+	"intellitag/internal/serving"
+	"intellitag/internal/synth"
+)
+
+type curvePoint struct {
+	Size       int     `json:"size"`
+	Backend    string  `json:"backend"`
+	Params     string  `json:"params"`
+	BuildMs    float64 `json:"build_ms,omitempty"`
+	RecallAt10 float64 `json:"recall_at_10"`
+	NsPerQuery int64   `json:"ns_per_query"`
+	Queries    int     `json:"queries_sampled"`
+}
+
+type servePoint struct {
+	Mode        string  `json:"mode"`
+	Tags        int     `json:"tags"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	SearchNs    int64   `json:"retriever_search_ns_per_op,omitempty"`
+	SearchAlloc float64 `json:"retriever_search_allocs_per_op,omitempty"`
+}
+
+type report struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	Dim           int          `json:"dim"`
+	K             int          `json:"k"`
+	Clusters      string       `json:"clusters"`
+	Curves        []curvePoint `json:"curves"`
+	ServePath     []servePoint `json:"serve_path"`
+	Acceptance    struct {
+		ServeTags      int     `json:"serve_tags"`
+		SpeedupHNSW    float64 `json:"speedup_hnsw"`
+		SpeedupLSH     float64 `json:"speedup_lsh"`
+		BestRecallAt10 float64 `json:"best_recall_at_10"`
+		Pass           bool    `json:"pass"`
+	} `json:"acceptance"`
+}
+
+// sampleQueries picks ~want evenly spaced row ids.
+func sampleQueries(n, want int) []int {
+	step := n / want
+	if step < 1 {
+		step = 1
+	}
+	out := make([]int, 0, want)
+	for id := 0; id < n && len(out) < want; id += step {
+		out = append(out, id)
+	}
+	return out
+}
+
+// measureQueries times SearchInto over the sampled queries with a warm
+// scratch.
+func measureQueries(r ann.Retriever, vecs *mat.Matrix, ids []int, k int) int64 {
+	sc := ann.NewScratch()
+	r.SearchInto(sc, vecs.Row(ids[0]), k, ids[0]) // warm
+	start := time.Now()
+	for _, id := range ids {
+		r.SearchInto(sc, vecs.Row(id), k, id)
+	}
+	return time.Since(start).Nanoseconds() / int64(len(ids))
+}
+
+// measureExact times brute-force float search over the sampled queries.
+func measureExact(vecs *mat.Matrix, ids []int, k int) int64 {
+	start := time.Now()
+	for _, id := range ids {
+		ann.Exact(vecs, vecs.Row(id), k, id)
+	}
+	return time.Since(start).Nanoseconds() / int64(len(ids))
+}
+
+func runCurves(rep *report, n, dim, k int) {
+	clusters := n / 100
+	if clusters < 10 {
+		clusters = 10
+	}
+	log.Printf("size %d: generating %d clustered vectors (dim %d)", n, n, dim)
+	vecs := synth.TagVecs(n, dim, clusters, 0.08, 61)
+	// Recall sampling is the expensive part (one brute-force scan per sampled
+	// query); latency sampling reuses more queries since SearchInto is cheap.
+	recallIDs := n / 64
+	if recallIDs > 20000 {
+		recallIDs = 20000
+	}
+	latIDs := sampleQueries(n, 512)
+
+	exactNs := measureExact(vecs, sampleQueries(n, 48), k)
+	rep.Curves = append(rep.Curves, curvePoint{
+		Size: n, Backend: "exact", Params: "brute-force float64",
+		RecallAt10: 1, NsPerQuery: exactNs, Queries: 48,
+	})
+	log.Printf("size %d: exact %d ns/query", n, exactNs)
+
+	type lshCfg struct{ bits, tables int }
+	for _, c := range []lshCfg{{12, 4}, {12, 8}, {14, 8}, {14, 16}} {
+		start := time.Now()
+		ix := ann.Build(vecs, ann.Config{Bits: c.bits, Tables: c.tables, Seed: 61})
+		buildMs := float64(time.Since(start).Milliseconds())
+		recall := ix.RecallAtK(k, recallIDs)
+		ns := measureQueries(ix, vecs, latIDs, k)
+		rep.Curves = append(rep.Curves, curvePoint{
+			Size: n, Backend: "lsh", Params: fmt.Sprintf("bits=%d tables=%d", c.bits, c.tables),
+			BuildMs: buildMs, RecallAt10: recall, NsPerQuery: ns, Queries: len(latIDs),
+		})
+		log.Printf("size %d: lsh %s recall@%d=%.3f %d ns/query (build %.0fms)",
+			n, rep.Curves[len(rep.Curves)-1].Params, k, recall, ns, buildMs)
+		if recall > rep.Acceptance.BestRecallAt10 {
+			rep.Acceptance.BestRecallAt10 = recall
+		}
+	}
+
+	start := time.Now()
+	g := ann.BuildGraph(vecs, ann.DefaultGraphConfig())
+	buildMs := float64(time.Since(start).Milliseconds())
+	log.Printf("size %d: hnsw build %.0fms", n, buildMs)
+	for _, ef := range []int{32, 64, 128, 256} {
+		view := g.WithEfSearch(ef)
+		recall := view.RecallAtK(k, recallIDs)
+		ns := measureQueries(view, vecs, latIDs, k)
+		pt := curvePoint{
+			Size: n, Backend: "hnsw", Params: fmt.Sprintf("M=12 efc=80 ef=%d", ef),
+			RecallAt10: recall, NsPerQuery: ns, Queries: len(latIDs),
+		}
+		if ef == 32 {
+			pt.BuildMs = buildMs // build paid once for every ef view
+		}
+		rep.Curves = append(rep.Curves, pt)
+		log.Printf("size %d: hnsw ef=%d recall@%d=%.3f %d ns/query", n, ef, k, recall, ns)
+		if recall > rep.Acceptance.BestRecallAt10 {
+			rep.Acceptance.BestRecallAt10 = recall
+		}
+	}
+}
+
+// dotScorer is the serving-side stand-in for a frozen model: it ranks
+// candidates by the dot product of the recent-history centroid against each
+// candidate's embedding and exposes the table for ANN retrieval.
+type dotScorer struct{ emb *mat.Matrix }
+
+func (s dotScorer) ScoreCandidates(history, candidates []int) []float64 {
+	q := make([]float64, s.emb.Cols)
+	recent := history
+	if len(recent) > 8 {
+		recent = recent[len(recent)-8:]
+	}
+	for _, tag := range recent {
+		if tag >= 0 && tag < s.emb.Rows {
+			for j, x := range s.emb.Row(tag) {
+				q[j] += x
+			}
+		}
+	}
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = mat.Dot(q, s.emb.Row(c))
+	}
+	return out
+}
+func (s dotScorer) Name() string               { return "dot" }
+func (s dotScorer) TagEmbeddings() *mat.Matrix { return s.emb }
+
+// buildEngine assembles an n-tag single-tenant engine, optionally with ANN
+// retrieval.
+func buildEngine(emb *mat.Matrix, backend string) *serving.Engine {
+	n := emb.Rows
+	cat := serving.Catalog{
+		TagPhrases: make([]string, n),
+		TenantTags: map[int][]int{0: make([]int, n)},
+		Popularity: make([]float64, n),
+		RQAnswers:  map[int]string{},
+	}
+	for i := 0; i < n; i++ {
+		cat.TagPhrases[i] = "tag-" + strconv.Itoa(i)
+		cat.TenantTags[0][i] = i
+		cat.Popularity[i] = float64(n - i)
+	}
+	e := serving.NewEngine(cat, search.NewIndex(), dotScorer{emb: emb}, nil, nil)
+	if backend != "" {
+		e.SetRetrieval(serving.RetrievalConfig{Enabled: true, K: 64, Backend: backend, MinCatalog: 256})
+	}
+	return e
+}
+
+// benchServe measures the full Click hot path (history update, retrieval or
+// exhaustive scoring, ranking, memo write) on a pre-built engine.
+func benchServe(e *serving.Engine, n int) testing.BenchmarkResult {
+	ctx := context.Background()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Distinct tags keep every Click a real recomputation (the click
+			// invalidates the session memo); one session bounds history growth
+			// via EndSession every 64 turns.
+			if recs, _ := e.Click(ctx, 0, 1, (i*1009)%n, 10); len(recs) == 0 {
+				b.Fatal("no recommendations")
+			}
+			if i%64 == 63 {
+				e.EndSession(1)
+			}
+		}
+	})
+}
+
+func runServePath(rep *report, n, dim int) {
+	log.Printf("serve path: %d tags", n)
+	emb := synth.TagVecs(n, dim, n/100, 0.08, 61)
+
+	exh := benchServe(buildEngine(emb, ""), n)
+	rep.ServePath = append(rep.ServePath, servePoint{
+		Mode: "exhaustive", Tags: n,
+		NsPerOp: exh.NsPerOp(), BytesPerOp: exh.AllocedBytesPerOp(), AllocsPerOp: exh.AllocsPerOp(),
+	})
+	log.Printf("serve path exhaustive: %d ns/op %d allocs/op", exh.NsPerOp(), exh.AllocsPerOp())
+
+	for _, backend := range []string{"hnsw", "lsh"} {
+		e := buildEngine(emb, backend)
+		res := benchServe(e, n)
+		// Retriever-only numbers: the allocs/op of the raw index search is the
+		// pooled-scratch satellite's regression gate.
+		var r ann.Retriever
+		if backend == "hnsw" {
+			r = ann.BuildGraph(emb, ann.DefaultGraphConfig())
+		} else {
+			r = ann.Build(emb, ann.DefaultConfig())
+		}
+		sc := ann.NewScratch()
+		q := emb.Row(0)
+		r.SearchInto(sc, q, 64, -1)
+		searchAllocs := testing.AllocsPerRun(200, func() { r.SearchInto(sc, q, 64, -1) })
+		start := time.Now()
+		for i := 0; i < 400; i++ {
+			r.SearchInto(sc, q, 64, -1)
+		}
+		searchNs := time.Since(start).Nanoseconds() / 400
+
+		sp := servePoint{
+			Mode: "ann-" + backend, Tags: n,
+			NsPerOp: res.NsPerOp(), BytesPerOp: res.AllocedBytesPerOp(), AllocsPerOp: res.AllocsPerOp(),
+			SearchNs: searchNs, SearchAlloc: searchAllocs,
+		}
+		rep.ServePath = append(rep.ServePath, sp)
+		log.Printf("serve path %s: %d ns/op %d allocs/op (search %d ns, %.0f allocs)",
+			sp.Mode, sp.NsPerOp, sp.AllocsPerOp, searchNs, searchAllocs)
+
+		speedup := float64(exh.NsPerOp()) / float64(res.NsPerOp())
+		if backend == "hnsw" {
+			rep.Acceptance.SpeedupHNSW = speedup
+		} else {
+			rep.Acceptance.SpeedupLSH = speedup
+		}
+	}
+	rep.Acceptance.ServeTags = n
+}
+
+func main() {
+	sizes := flag.String("sizes", "100000,1000000", "comma-separated catalog sizes for the recall/latency curves")
+	serveTags := flag.Int("serve-tags", 100000, "catalog size for the serve-path benchmark")
+	dim := flag.Int("dim", 32, "embedding dimension")
+	k := flag.Int("k", 10, "neighbors per query (recall@k)")
+	out := flag.String("o", "BENCH_PR7.json", "output JSON path")
+	flag.Parse()
+
+	rep := &report{GeneratedUnix: time.Now().Unix(), Dim: *dim, K: *k, Clusters: "n/100 Gaussian clusters, spread 0.08"}
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1000 {
+			log.Fatalf("bad size %q", s)
+		}
+		runCurves(rep, n, *dim, *k)
+	}
+	runServePath(rep, *serveTags, *dim)
+
+	best := rep.Acceptance.SpeedupHNSW
+	if rep.Acceptance.SpeedupLSH > best {
+		best = rep.Acceptance.SpeedupLSH
+	}
+	rep.Acceptance.Pass = best >= 10 && rep.Acceptance.BestRecallAt10 >= 0.95
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (speedup hnsw=%.1fx lsh=%.1fx, best recall@%d=%.3f, pass=%v)",
+		*out, rep.Acceptance.SpeedupHNSW, rep.Acceptance.SpeedupLSH, *k, rep.Acceptance.BestRecallAt10, rep.Acceptance.Pass)
+	if !rep.Acceptance.Pass {
+		os.Exit(1)
+	}
+}

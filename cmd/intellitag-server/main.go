@@ -48,6 +48,10 @@ func main() {
 	replicas := flag.Int("replicas", 1, "engine replicas behind the session hash")
 	snapshots := flag.String("snapshots", "", "snapshot store directory; arms POST /admin/swap and commits the startup model")
 	watch := flag.Duration("watch", 0, "poll the snapshot store and auto-swap to new versions at this interval (with -snapshots; 0 disables)")
+	annOn := flag.Bool("ann", true, "retrieve-then-rank: ANN candidate retrieval over the frozen tag embeddings")
+	annK := flag.Int("ann-k", 64, "candidates retrieved per request before ranking")
+	annBackend := flag.String("ann-backend", "hnsw", "retrieval backend: hnsw or lsh")
+	annMinCatalog := flag.Int("ann-min-catalog", 256, "tenant catalogs below this size are scored exhaustively")
 	flag.Parse()
 	stop := prof.Start()
 	defer stop()
@@ -129,6 +133,13 @@ func main() {
 	}
 
 	rs := serving.NewReplicaSet(bundle, *replicas, *workers, store.NewLog(), nil)
+	if *annOn {
+		rs.SetRetrieval(serving.RetrievalConfig{
+			Enabled: true, K: *annK, Backend: *annBackend,
+			MinCatalog: *annMinCatalog, RecallSample: 64,
+		})
+		log.Printf("ANN retrieval on: backend=%s k=%d min-catalog=%d", *annBackend, *annK, *annMinCatalog)
+	}
 	server := serving.NewServer(serving.NewReplicatedABRouter(rs))
 	server.EnableTelemetry(obs.NewRegistry(), obs.NewTracer(*traceSample, 256))
 

@@ -44,6 +44,10 @@ func main() {
 	snapshots := flag.String("snapshots", "", "serve model versions from this snapshot store instead of training in process")
 	swapAtDay := flag.Int("swap-at-day", 0, "rolling-swap to the store's latest version after this 1-based day (with -snapshots; 0 disables)")
 	swapStagger := flag.Duration("swap-stagger", 50*time.Millisecond, "pause between replica flips during the rolling swap")
+	annOn := flag.Bool("ann", false, "retrieve-then-rank: ANN candidate retrieval when the model exposes tag embeddings")
+	annK := flag.Int("ann-k", 64, "candidates retrieved per request before ranking")
+	annBackend := flag.String("ann-backend", "hnsw", "retrieval backend: hnsw or lsh")
+	annMinCatalog := flag.Int("ann-min-catalog", 256, "tenant catalogs below this size are scored exhaustively")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -126,6 +130,17 @@ func main() {
 	log.Printf("model %s ready in %s", bundle.Scorer.Name(), time.Since(start).Round(time.Millisecond))
 
 	rs := serving.NewReplicaSet(bundle, *replicas, 1, store.NewLog(), nil)
+	if *annOn {
+		rs.SetRetrieval(serving.RetrievalConfig{
+			Enabled: true, K: *annK, Backend: *annBackend,
+			MinCatalog: *annMinCatalog, RecallSample: 64,
+		})
+		if _, ok := bundle.Scorer.(serving.TagEmbedder); !ok {
+			log.Printf("-ann: model %s exposes no tag embeddings; serving stays exhaustive", bundle.Scorer.Name())
+		} else {
+			log.Printf("ANN retrieval on: backend=%s k=%d min-catalog=%d", *annBackend, *annK, *annMinCatalog)
+		}
+	}
 	if *telemetryAddr != "" {
 		reg := obs.NewRegistry()
 		tracer := obs.NewTracer(*traceSample, 256)
@@ -182,6 +197,19 @@ func main() {
 	for _, vi := range rs.Versions() {
 		fmt.Printf("  replica %d: %s (model %s, %d swaps, drained %v)\n",
 			vi.Replica, vi.ID, vi.Model, vi.Swaps, vi.Drained)
+	}
+	if *annOn {
+		var st serving.RetrievalStats
+		for _, e := range rs.Engines() {
+			s := e.RetrievalStats()
+			st.Enabled, st.Backend, st.IndexSize = s.Enabled, s.Backend, s.IndexSize
+			st.ANN += s.ANN
+			st.Fallback += s.Fallback
+			st.Exhaustive += s.Exhaustive
+			st.ColdStart += s.ColdStart
+		}
+		fmt.Printf("retrieval: enabled=%v backend=%s index=%d | paths ann=%d fallback=%d exhaustive=%d coldstart=%d\n",
+			st.Enabled, st.Backend, st.IndexSize, st.ANN, st.Fallback, st.Exhaustive, st.ColdStart)
 	}
 }
 

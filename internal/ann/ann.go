@@ -1,15 +1,29 @@
-// Package ann provides an approximate-nearest-neighbor index over tag
-// embeddings using random-hyperplane LSH (cosine similarity). The paper's
-// metapath2vec serving "directly uploads the closest tags of each tag from
-// the offline calculation in advance" (Section VI-F); at production scale
-// (tens of thousands of tags) that offline calculation needs sublinear
-// search, which this index supplies. Exact brute-force search is available
-// as a fallback and as the ground truth for tests.
+// Package ann provides approximate-nearest-neighbor retrieval over tag
+// embeddings — the candidate-generation half of the serving tier's
+// retrieve-then-rank split. The paper's metapath2vec serving "directly
+// uploads the closest tags of each tag from the offline calculation in
+// advance" (Section VI-F); at million-tag scale both that offline
+// calculation and the online hot path need sublinear search, which this
+// package supplies through two backends behind one Retriever interface:
+//
+//   - Index: random-hyperplane LSH with multi-table lookup — build-cheap,
+//     probe cost proportional to bucket occupancy;
+//   - Graph: a graph-walk (HNSW-style) small-world index — build-heavier,
+//     probe cost ~ef·M distance evaluations with higher recall per
+//     microsecond at large n.
+//
+// Both backends scan int8-quantized embedding rows (mat.QuantMatrix, 8x less
+// memory traffic than float64 rows) through the fused dequant-dot kernel,
+// and both search through a caller-owned Scratch so the per-query hot path
+// allocates nothing. Exact brute-force search over the float rows remains
+// the ground truth for recall measurement and the fallback for small
+// catalogs.
 package ann
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"intellitag/internal/mat"
 )
@@ -17,7 +31,136 @@ import (
 // Neighbor is one search result.
 type Neighbor struct {
 	ID  int
-	Sim float64 // cosine similarity to the query
+	Sim float64 // cosine similarity to the query (quantized-row precision)
+}
+
+// Retriever is the interface the serving tier ranks behind: retrieve up to k
+// approximate nearest neighbors of a query vector. Implementations must be
+// safe for concurrent SearchInto calls with distinct Scratch values and must
+// be fully deterministic — equal-similarity ties break toward the smaller
+// id, so two replicas (or two runs) retrieving with the same index and query
+// return bit-identical neighbor lists.
+type Retriever interface {
+	// SearchInto writes up to k approximate nearest neighbors of query into
+	// sc, best first, excluding the id exclude (pass -1 to keep all). The
+	// returned slice aliases sc's storage: it is valid until sc's next use.
+	SearchInto(sc *Scratch, query []float64, k, exclude int) []Neighbor
+	// Len reports how many vectors the index holds.
+	Len() int
+	// Name identifies the backend ("lsh", "hnsw") in benchmarks and metrics.
+	Name() string
+}
+
+// Scratch is the reusable per-query state of a search: an epoch-stamped
+// visited table plus neighbor buffers. A Scratch may be reused across
+// queries and backends but not concurrently; callers on the serving hot path
+// keep them in a pool. The zero value is ready to use.
+type Scratch struct {
+	visited []uint32
+	epoch   uint32
+	out     []Neighbor // result heap / final sorted results
+	cand    []Neighbor // graph-walk candidate heap
+	tmp     []Neighbor // construction-time neighbor selection
+	keep    []Neighbor // construction-time diverse-neighbor output
+}
+
+// NewScratch returns an empty Scratch (grown on first use).
+func NewScratch() *Scratch { return new(Scratch) }
+
+// reset prepares the scratch for a query over n ids. The visited table is
+// cleared in O(1) by bumping the epoch; the rare wraparound pays one memclr.
+func (sc *Scratch) reset(n int) {
+	if len(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stamps from the previous cycle would alias
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	sc.out = sc.out[:0]
+	sc.cand = sc.cand[:0]
+}
+
+func (sc *Scratch) seen(id int) bool { return sc.visited[id] == sc.epoch }
+func (sc *Scratch) mark(id int)      { sc.visited[id] = sc.epoch }
+
+// better is the total order every backend ranks by: higher similarity first,
+// ties broken toward the smaller id. The id tie-break is what keeps seeded
+// runs bit-identical whatever heap or truncation order produced the set.
+func better(a, b Neighbor) bool {
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.ID < b.ID
+}
+
+// --- bounded top-k heap (worst element at the root) ---
+
+// pushBounded inserts n into the heap h capped at k elements, evicting the
+// worst when full. h is worst-at-root so the eviction test is one compare.
+func pushBounded(h []Neighbor, k int, n Neighbor) []Neighbor {
+	if len(h) < k {
+		h = append(h, n)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if better(h[p], h[i]) { // parent must be worse than children
+				h[p], h[i] = h[i], h[p]
+				i = p
+				continue
+			}
+			break
+		}
+		return h
+	}
+	if better(n, h[0]) {
+		h[0] = n
+		siftWorstDown(h, 0)
+	}
+	return h
+}
+
+// siftWorstDown restores the worst-at-root property from index i.
+func siftWorstDown(h []Neighbor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && better(h[worst], h[l]) {
+			worst = l
+		}
+		if r < len(h) && better(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// sortTopK heap-sorts a worst-at-root heap in place into best-first order
+// without allocating (repeatedly pops the worst remaining to the back).
+func sortTopK(h []Neighbor) {
+	for m := len(h); m > 1; m-- {
+		h[0], h[m-1] = h[m-1], h[0]
+		siftWorstDown(h[:m-1], 0)
+	}
+}
+
+// scratchPool backs the allocating convenience Search wrapper.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Search is the convenience form of Retriever.SearchInto: it draws a Scratch
+// from a shared pool and returns a caller-owned copy of the results. Hot
+// paths should hold their own Scratch and call SearchInto directly.
+func Search(r Retriever, query []float64, k, exclude int) []Neighbor {
+	sc := scratchPool.Get().(*Scratch)
+	out := append([]Neighbor(nil), r.SearchInto(sc, query, k, exclude)...)
+	scratchPool.Put(sc)
+	return out
 }
 
 // Index is a random-hyperplane LSH index with multi-table lookup.
@@ -25,12 +168,13 @@ type Index struct {
 	dim     int
 	bits    int // hyperplanes per table
 	tables  int
-	planes  [][]float64 // tables*bits hyperplanes, row-major
-	buckets []map[uint64][]int
+	planes  []float64 // (tables*bits) x dim, row-major
+	buckets []map[uint64][]int32
 	vecs    *mat.Matrix
+	q       *mat.QuantMatrix
 }
 
-// Config sizes the index.
+// Config sizes the LSH index.
 type Config struct {
 	Bits   int // hash bits per table (more bits = smaller buckets)
 	Tables int // more tables = higher recall
@@ -40,7 +184,9 @@ type Config struct {
 // DefaultConfig suits a few hundred to a few hundred thousand vectors.
 func DefaultConfig() Config { return Config{Bits: 10, Tables: 8, Seed: 61} }
 
-// Build constructs the index over the rows of vecs (row index = id).
+// Build constructs the index over the rows of vecs (row index = id). The
+// rows are additionally quantized to int8 for the candidate scan; vecs is
+// retained read-only for recall measurement.
 func Build(vecs *mat.Matrix, cfg Config) *Index {
 	if cfg.Bits <= 0 || cfg.Bits > 60 {
 		panic(fmt.Sprintf("ann: bits %d out of range", cfg.Bits))
@@ -49,23 +195,21 @@ func Build(vecs *mat.Matrix, cfg Config) *Index {
 	ix := &Index{
 		dim: vecs.Cols, bits: cfg.Bits, tables: cfg.Tables,
 		vecs:    vecs,
-		buckets: make([]map[uint64][]int, cfg.Tables),
+		q:       mat.Quantize(vecs),
+		planes:  make([]float64, cfg.Tables*cfg.Bits*vecs.Cols),
+		buckets: make([]map[uint64][]int32, cfg.Tables),
+	}
+	for i := range ix.planes {
+		ix.planes[i] = g.NormFloat64()
 	}
 	for t := 0; t < cfg.Tables; t++ {
-		ix.buckets[t] = map[uint64][]int{}
-		for b := 0; b < cfg.Bits; b++ {
-			plane := make([]float64, ix.dim)
-			for j := range plane {
-				plane[j] = g.NormFloat64()
-			}
-			ix.planes = append(ix.planes, plane)
-		}
+		ix.buckets[t] = map[uint64][]int32{}
 	}
 	for id := 0; id < vecs.Rows; id++ {
 		v := vecs.Row(id)
 		for t := 0; t < cfg.Tables; t++ {
 			h := ix.hash(t, v)
-			ix.buckets[t][h] = append(ix.buckets[t][h], id)
+			ix.buckets[t][h] = append(ix.buckets[t][h], int32(id))
 		}
 	}
 	return ix
@@ -74,41 +218,74 @@ func Build(vecs *mat.Matrix, cfg Config) *Index {
 // hash computes table t's signature of v.
 func (ix *Index) hash(t int, v []float64) uint64 {
 	var h uint64
-	base := t * ix.bits
+	base := t * ix.bits * ix.dim
 	for b := 0; b < ix.bits; b++ {
-		if mat.Dot(ix.planes[base+b], v) >= 0 {
+		if mat.Dot(ix.planes[base+b*ix.dim:base+(b+1)*ix.dim], v) >= 0 {
 			h |= 1 << uint(b)
 		}
 	}
 	return h
 }
 
-// Search returns up to k approximate nearest neighbors of query by cosine
-// similarity, excluding exclude (pass -1 to keep all). Candidates come from
-// the query's bucket in every table; if fewer than k distinct candidates
-// surface, the search degrades gracefully (callers needing guarantees use
-// Exact).
-func (ix *Index) Search(query []float64, k, exclude int) []Neighbor {
-	seen := map[int]bool{}
-	var out []Neighbor
+// Len implements Retriever.
+func (ix *Index) Len() int { return ix.vecs.Rows }
+
+// Name implements Retriever.
+func (ix *Index) Name() string { return "lsh" }
+
+// SearchInto implements Retriever: candidates come from the query's bucket
+// in every table, scored against the quantized rows into a bounded heap, so
+// a probe costs O(candidates · dim) with zero allocations after scratch
+// warm-up. The heap holds a pool larger than k (the int8 scores reorder
+// near-ties, which matters inside tight clusters); the pool survivors are
+// rescored with exact float similarity before the final top-k cut.
+func (ix *Index) SearchInto(sc *Scratch, query []float64, k, exclude int) []Neighbor {
+	if k <= 0 || ix.vecs.Rows == 0 {
+		return nil
+	}
+	sc.reset(ix.vecs.Rows)
+	vNorm, vSum := mat.Norm(query), mat.Sum(query)
+	pool := 4 * k
+	if pool < 32 {
+		pool = 32
+	}
+	h := sc.out[:0]
 	for t := 0; t < ix.tables; t++ {
-		for _, id := range ix.buckets[t][ix.hash(t, query)] {
-			if id == exclude || seen[id] {
+		for _, id32 := range ix.buckets[t][ix.hash(t, query)] {
+			id := int(id32)
+			if id == exclude || sc.seen(id) {
 				continue
 			}
-			seen[id] = true
-			out = append(out, Neighbor{ID: id, Sim: mat.CosineSim(query, ix.vecs.Row(id))})
+			sc.mark(id)
+			h = pushBounded(h, pool, Neighbor{ID: id, Sim: ix.q.CosineSim(id, query, vNorm, vSum)})
 		}
 	}
-	sortNeighbors(out)
-	if len(out) > k {
-		out = out[:k]
+	for i := range h {
+		h[i].Sim = mat.CosineSim(query, ix.vecs.Row(h[i].ID))
 	}
-	return out
+	for i := len(h)/2 - 1; i >= 0; i-- { // restore heap order post-rescore
+		siftWorstDown(h, i)
+	}
+	sc.out = h
+	sortTopK(h)
+	if len(h) > k {
+		h = h[:k]
+	}
+	return h
 }
 
-// Exact returns the true top-k neighbors by brute force — the ground truth
-// for recall measurements and the fallback for small catalogs.
+// Search returns up to k approximate nearest neighbors of query by cosine
+// similarity, excluding exclude (pass -1 to keep all). If fewer than k
+// distinct candidates surface from the probed buckets the search degrades
+// gracefully (callers needing guarantees use Exact). The result is freshly
+// allocated; hot paths use SearchInto.
+func (ix *Index) Search(query []float64, k, exclude int) []Neighbor {
+	return Search(ix, query, k, exclude)
+}
+
+// Exact returns the true top-k neighbors by brute force over the float rows
+// — the ground truth for recall measurements and the fallback for small
+// catalogs.
 func Exact(vecs *mat.Matrix, query []float64, k, exclude int) []Neighbor {
 	out := make([]Neighbor, 0, vecs.Rows)
 	for id := 0; id < vecs.Rows; id++ {
@@ -125,27 +302,24 @@ func Exact(vecs *mat.Matrix, query []float64, k, exclude int) []Neighbor {
 }
 
 func sortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Sim != ns[j].Sim {
-			return ns[i].Sim > ns[j].Sim
-		}
-		return ns[i].ID < ns[j].ID
-	})
+	sort.Slice(ns, func(i, j int) bool { return better(ns[i], ns[j]) })
 }
 
-// RecallAtK measures the index's recall against exact search over sample
-// query rows: |approx top-k ∩ exact top-k| / k, averaged.
-func (ix *Index) RecallAtK(k int, sampleEvery int) float64 {
+// RecallAtK measures a retriever's recall against exact float search over
+// sampled query rows of vecs: |approx top-k ∩ exact top-k| / k, averaged.
+func RecallAtK(r Retriever, vecs *mat.Matrix, k, sampleEvery int) float64 {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
+	sc := NewScratch()
+	truthSet := map[int]bool{}
 	var total float64
 	var n int
-	for id := 0; id < ix.vecs.Rows; id += sampleEvery {
-		q := ix.vecs.Row(id)
-		truth := Exact(ix.vecs, q, k, id)
-		approx := ix.Search(q, k, id)
-		truthSet := map[int]bool{}
+	for id := 0; id < vecs.Rows; id += sampleEvery {
+		q := vecs.Row(id)
+		truth := Exact(vecs, q, k, id)
+		approx := r.SearchInto(sc, q, k, id)
+		clear(truthSet)
 		for _, t := range truth {
 			truthSet[t.ID] = true
 		}
@@ -166,12 +340,19 @@ func (ix *Index) RecallAtK(k int, sampleEvery int) float64 {
 	return total / float64(n)
 }
 
+// RecallAtK measures the index's recall against exact search (see the
+// package-level RecallAtK).
+func (ix *Index) RecallAtK(k int, sampleEvery int) float64 {
+	return RecallAtK(ix, ix.vecs, k, sampleEvery)
+}
+
 // ClosestTable precomputes each row's top-k neighbor ids — the artifact the
 // paper's metapath2vec deployment uploads to the online servers.
 func (ix *Index) ClosestTable(k int) [][]int {
+	sc := NewScratch()
 	out := make([][]int, ix.vecs.Rows)
 	for id := 0; id < ix.vecs.Rows; id++ {
-		ns := ix.Search(ix.vecs.Row(id), k, id)
+		ns := ix.SearchInto(sc, ix.vecs.Row(id), k, id)
 		ids := make([]int, len(ns))
 		for i, n := range ns {
 			ids[i] = n.ID

@@ -1,0 +1,38 @@
+package ann
+
+import (
+	"testing"
+)
+
+// BenchmarkSearchInto measures the pooled-scratch search path of each backend
+// — the b.ReportAllocs() output is the regression gate for the zero-alloc
+// satellite (see also TestSearchIntoZeroAllocs).
+func BenchmarkSearchInto(b *testing.B) {
+	vecs := clusteredVecs(256, 64, 32, 7) // 16384 vectors
+	backends := []Retriever{
+		Build(vecs, DefaultConfig()),
+		BuildGraph(vecs, DefaultGraphConfig()),
+	}
+	for _, r := range backends {
+		b.Run(r.Name(), func(b *testing.B) {
+			sc := NewScratch()
+			query := vecs.Row(101)
+			r.SearchInto(sc, query, 10, 101) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.SearchInto(sc, query, 10, 101)
+			}
+		})
+	}
+}
+
+// BenchmarkExact is the brute-force baseline at the same scale.
+func BenchmarkExact(b *testing.B) {
+	vecs := clusteredVecs(256, 64, 32, 7)
+	query := vecs.Row(101)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Exact(vecs, query, 10, 101)
+	}
+}

@@ -1,0 +1,404 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"intellitag/internal/mat"
+)
+
+// GraphConfig sizes the graph-walk index.
+type GraphConfig struct {
+	M              int // neighbors kept per node on upper layers (2M on layer 0)
+	EfConstruction int // beam width while inserting
+	EfSearch       int // default beam width while searching (raised to k if smaller)
+	Seed           int64
+}
+
+// DefaultGraphConfig favors recall@10 >= 0.95 at 10^5-10^6 vectors while
+// keeping construction single-pass on one core.
+func DefaultGraphConfig() GraphConfig {
+	return GraphConfig{M: 12, EfConstruction: 80, EfSearch: 96, Seed: 61}
+}
+
+// Graph is a hierarchical small-world (HNSW-style) index: each vector is a
+// node linked to its approximate nearest neighbors on a stack of layers
+// whose occupancy decays geometrically, and a query greedily descends the
+// sparse upper layers before running a beam search on the dense bottom one.
+// Construction is strictly sequential (ids inserted in row order, levels
+// drawn from one seeded stream) and every comparison breaks similarity ties
+// toward the smaller id, so a (vecs, config) pair always builds the exact
+// same graph and every search over it is bit-reproducible — the property
+// the serving tier's replica determinism contract leans on. Distances scan
+// the int8-quantized rows through the fused dequant-dot kernel.
+type Graph struct {
+	cfg      GraphConfig
+	dim      int
+	vecs     *mat.Matrix
+	q        *mat.QuantMatrix
+	links    [][][]int32 // [id][level] -> neighbor ids
+	entry    int32
+	maxLevel int
+	mL       float64
+}
+
+// maxGraphLevel caps the level draw so a pathological RNG run cannot build
+// an arbitrarily tall (all-overhead) tower.
+const maxGraphLevel = 16
+
+// BuildGraph constructs the index over the rows of vecs (row index = id).
+// vecs is retained read-only; the candidate scans use quantized rows.
+func BuildGraph(vecs *mat.Matrix, cfg GraphConfig) *Graph {
+	if cfg.M < 2 {
+		panic(fmt.Sprintf("ann: graph M %d < 2", cfg.M))
+	}
+	if cfg.EfConstruction < cfg.M {
+		cfg.EfConstruction = cfg.M
+	}
+	if cfg.EfSearch < 1 {
+		cfg.EfSearch = 1
+	}
+	g := &Graph{
+		cfg:   cfg,
+		dim:   vecs.Cols,
+		vecs:  vecs,
+		q:     mat.Quantize(vecs),
+		links: make([][][]int32, vecs.Rows),
+		entry: -1,
+		mL:    1 / math.Log(float64(cfg.M)),
+	}
+	rng := mat.NewRNG(cfg.Seed)
+	sc := NewScratch()
+	for id := 0; id < vecs.Rows; id++ {
+		// 1-Float64() is in (0,1], so the draw is finite; level 0 dominates.
+		level := int(-math.Log(1-rng.Float64()) * g.mL)
+		if level > maxGraphLevel {
+			level = maxGraphLevel
+		}
+		g.insert(sc, id, level)
+	}
+	return g
+}
+
+// sim scores candidate id against a float query via the quantized rows.
+func (g *Graph) sim(id int, query []float64, qNorm, qSum float64) float64 {
+	return g.q.CosineSim(id, query, qNorm, qSum)
+}
+
+// insert wires node id into layers 0..level.
+func (g *Graph) insert(sc *Scratch, id, level int) {
+	g.links[id] = make([][]int32, level+1)
+	if g.entry < 0 {
+		g.entry = int32(id)
+		g.maxLevel = level
+		return
+	}
+	query := g.vecs.Row(id)
+	qNorm, qSum := mat.Norm(query), mat.Sum(query)
+	ep := int(g.entry)
+	// Beam-assisted descent through the layers above the new node's top level.
+	for lc := g.maxLevel; lc > level; lc-- {
+		ep = g.descend(sc, ep, lc, upperBeam, query, qNorm, qSum)
+	}
+	top := level
+	if top > g.maxLevel {
+		top = g.maxLevel
+	}
+	for lc := top; lc >= 0; lc-- {
+		res := g.searchLayer(sc, query, qNorm, qSum, ep, g.cfg.EfConstruction, lc)
+		sortTopK(res)
+		maxM := g.cfg.M
+		if lc == 0 {
+			maxM = 2 * g.cfg.M
+		}
+		kept := g.selectDiverse(sc, res, g.cfg.M)
+		nbrs := make([]int32, 0, len(kept))
+		for _, n := range kept {
+			nbrs = append(nbrs, int32(n.ID))
+		}
+		g.links[id][lc] = nbrs
+		for _, nb := range nbrs {
+			g.addLink(sc, int(nb), int32(id), lc, maxM)
+		}
+		if len(res) > 0 {
+			ep = res[0].ID
+		}
+	}
+	if level > g.maxLevel {
+		g.maxLevel = level
+		g.entry = int32(id)
+	}
+}
+
+// addLink appends newID to node's layer-lc neighbor list; when it overflows
+// maxM the list is re-selected with the same diversity heuristic used at
+// insertion, scored against the node's own row, so the kept set is
+// deterministic whatever order links arrived in.
+func (g *Graph) addLink(sc *Scratch, node int, newID int32, lc, maxM int) {
+	ls := append(g.links[node][lc], newID)
+	if len(ls) <= maxM {
+		g.links[node][lc] = ls
+		return
+	}
+	ref := g.vecs.Row(node)
+	rNorm, rSum := mat.Norm(ref), mat.Sum(ref)
+	sc.tmp = sc.tmp[:0]
+	for _, nb := range ls {
+		sc.tmp = append(sc.tmp, Neighbor{ID: int(nb), Sim: g.sim(int(nb), ref, rNorm, rSum)})
+	}
+	// Insertion sort: the list is maxM+1 long.
+	for i := 1; i < len(sc.tmp); i++ {
+		for j := i; j > 0 && better(sc.tmp[j], sc.tmp[j-1]); j-- {
+			sc.tmp[j], sc.tmp[j-1] = sc.tmp[j-1], sc.tmp[j]
+		}
+	}
+	kept := g.selectDiverse(sc, sc.tmp, maxM)
+	ls = ls[:0]
+	for _, n := range kept {
+		ls = append(ls, int32(n.ID))
+	}
+	g.links[node][lc] = ls
+}
+
+// selectDiverse applies the HNSW neighbor-selection heuristic to a best-first
+// sorted candidate list: a candidate is kept only while the kept set has room
+// and the candidate is at least as close to the reference point (whose
+// similarities are in cand.Sim) as to every neighbor already kept. Keeping
+// only such "spanning" edges is what lets the beam search hop between dense
+// clusters instead of drowning in intra-cluster links — closest-M selection
+// on clustered data disconnects the graph and caps recall. If the heuristic
+// rejects so many candidates that fewer than m survive, the closest rejected
+// candidates are backfilled in order, preserving degree (and therefore
+// connectivity) on pathological inputs. The returned slice aliases sc.keep.
+func (g *Graph) selectDiverse(sc *Scratch, cands []Neighbor, m int) []Neighbor {
+	if len(cands) <= m {
+		return cands
+	}
+	kept := sc.keep[:0]
+	for _, c := range cands {
+		if len(kept) == m {
+			break
+		}
+		row := g.vecs.Row(c.ID)
+		nrm, sum := mat.Norm(row), mat.Sum(row)
+		diverse := true
+		for _, s := range kept {
+			if g.q.CosineSim(s.ID, row, nrm, sum) > c.Sim {
+				diverse = false // closer to a kept neighbor than to the reference
+				break
+			}
+		}
+		if diverse {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) < m {
+		for _, c := range cands {
+			if len(kept) == m {
+				break
+			}
+			seen := false
+			for _, s := range kept {
+				if s.ID == c.ID {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				kept = append(kept, c)
+			}
+		}
+		// Restore best-first order after backfill (len <= m, tiny).
+		for i := 1; i < len(kept); i++ {
+			for j := i; j > 0 && better(kept[j], kept[j-1]); j-- {
+				kept[j], kept[j-1] = kept[j-1], kept[j]
+			}
+		}
+	}
+	sc.keep = kept
+	return kept
+}
+
+// upperBeam is the beam width used while descending the layers above the
+// target: the canonical ef=1 greedy walk gets trapped in local similarity
+// maxima on adversarially clustered data (tight clusters leave the sparse
+// upper layers with deceptive plateaus), and a stuck descent strands the
+// whole query in the wrong basin no matter how wide the layer-0 beam is. A
+// small beam restores navigability for a few hundred extra distance
+// evaluations per query. Queries widen the descent beam with EfSearch
+// (descentBeam) — at million-row scale most recall loss is basin stranding,
+// so a wider ef must buy a wider descent or the ef knob goes flat.
+const upperBeam = 16
+
+// descentBeam is the search-time descent width for a layer-0 beam of ef.
+// Insertion keeps the fixed upperBeam (construction cost is paid n times).
+func descentBeam(ef int) int {
+	if b := ef / 4; b > upperBeam {
+		return b
+	}
+	return upperBeam
+}
+
+// descend runs a beam-wide search on layer lc and returns the best node
+// found — the entry point for the next layer down.
+func (g *Graph) descend(sc *Scratch, ep, lc, beam int, query []float64, qNorm, qSum float64) int {
+	res := g.searchLayer(sc, query, qNorm, qSum, ep, beam, lc)
+	best := res[0]
+	for _, n := range res[1:] {
+		if better(n, best) {
+			best = n
+		}
+	}
+	return best.ID
+}
+
+// searchLayer runs the beam search on layer lc seeded at ep, returning up to
+// ef results as a worst-at-root heap in sc.out (callers sortTopK it).
+func (g *Graph) searchLayer(sc *Scratch, query []float64, qNorm, qSum float64, ep, ef, lc int) []Neighbor {
+	sc.reset(len(g.links))
+	seed := Neighbor{ID: ep, Sim: g.sim(ep, query, qNorm, qSum)}
+	sc.mark(ep)
+	res := pushBounded(sc.out[:0], ef, seed)
+	cand := pushBestBounded(sc.cand[:0], seed)
+	for len(cand) > 0 {
+		c := cand[0]
+		cand = popBest(cand)
+		// The best unexplored candidate is already worse than the worst kept
+		// result and the beam is full: no path can improve the result set.
+		if len(res) == ef && better(res[0], c) {
+			break
+		}
+		for _, nb := range g.links[c.ID][lc] {
+			id := int(nb)
+			if sc.seen(id) {
+				continue
+			}
+			sc.mark(id)
+			n := Neighbor{ID: id, Sim: g.sim(id, query, qNorm, qSum)}
+			if len(res) < ef || better(n, res[0]) {
+				res = pushBounded(res, ef, n)
+				cand = pushBestBounded(cand, n)
+			}
+		}
+	}
+	sc.out, sc.cand = res, cand
+	return res
+}
+
+// --- best-at-root heap for the candidate frontier ---
+
+func pushBestBounded(h []Neighbor, n Neighbor) []Neighbor {
+	h = append(h, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if better(h[i], h[p]) {
+			h[p], h[i] = h[i], h[p]
+			i = p
+			continue
+		}
+		break
+	}
+	return h
+}
+
+func popBest(h []Neighbor) []Neighbor {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && better(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && better(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return h
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// Len implements Retriever.
+func (g *Graph) Len() int { return len(g.links) }
+
+// Name implements Retriever.
+func (g *Graph) Name() string { return "hnsw" }
+
+// SearchInto implements Retriever: greedy descent through the upper layers,
+// then a beam search of width max(EfSearch, k) on layer 0. Zero allocations
+// after scratch warm-up.
+func (g *Graph) SearchInto(sc *Scratch, query []float64, k, exclude int) []Neighbor {
+	if k <= 0 || len(g.links) == 0 {
+		return nil
+	}
+	qNorm, qSum := mat.Norm(query), mat.Sum(query)
+	ef := g.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	ep := int(g.entry)
+	beam := descentBeam(ef)
+	for lc := g.maxLevel; lc >= 1; lc-- {
+		ep = g.descend(sc, ep, lc, beam, query, qNorm, qSum)
+	}
+	if exclude >= 0 {
+		ef++ // keep a full k even if the excluded id lands in the beam
+	}
+	res := g.searchLayer(sc, query, qNorm, qSum, ep, ef, 0)
+	// Rescore the beam survivors with exact float cosine: the quantized scan
+	// decides which ~ef candidates surface (the cache-friendly part), but its
+	// ~Scale/2 per-element error reorders near-ties, and at k << ef that
+	// reordering is the difference between 0.94 and 0.99 recall@10. ef float
+	// dots per query is noise next to the beam's quantized scan volume.
+	for i := range res {
+		res[i].Sim = mat.CosineSim(query, g.vecs.Row(res[i].ID))
+	}
+	for i := len(res)/2 - 1; i >= 0; i-- { // restore heap order post-rescore
+		siftWorstDown(res, i)
+	}
+	sortTopK(res)
+	if exclude >= 0 {
+		kept := res[:0]
+		for _, n := range res {
+			if n.ID != exclude {
+				kept = append(kept, n)
+			}
+		}
+		res = kept
+	}
+	if len(res) > k {
+		res = res[:k]
+	}
+	sc.out = res
+	return res
+}
+
+// Search is the allocating convenience form of SearchInto.
+func (g *Graph) Search(query []float64, k, exclude int) []Neighbor {
+	return Search(g, query, k, exclude)
+}
+
+// WithEfSearch returns a view of the graph that searches with a different
+// beam width. The links, vectors and quantized rows are shared (the graph is
+// immutable after construction), so benchmarks can sweep the recall/latency
+// trade-off from one build.
+func (g *Graph) WithEfSearch(ef int) *Graph {
+	cp := *g
+	if ef < 1 {
+		ef = 1
+	}
+	cp.cfg.EfSearch = ef
+	return &cp
+}
+
+// RecallAtK measures the graph's recall against exact search (see the
+// package-level RecallAtK).
+func (g *Graph) RecallAtK(k int, sampleEvery int) float64 {
+	return RecallAtK(g, g.vecs, k, sampleEvery)
+}

@@ -183,6 +183,12 @@ func (m *Model) Freeze() {
 // Unfreeze returns the model to live graph-encoder mode.
 func (m *Model) Unfreeze() { m.Frozen = nil }
 
+// TagEmbeddings exposes the frozen tag-embedding table (row = tag id) for the
+// serving tier's ANN candidate retrieval. It is nil until Freeze has run —
+// retrieval requires lookup mode, since a live graph encoder has no static
+// table to index.
+func (m *Model) TagEmbeddings() *mat.Matrix { return m.Frozen }
+
 // embed returns the embedding of one tag plus the backward cache (nil cache
 // in frozen mode).
 func (m *Model) embed(tag int) ([]float64, *tagForward) {

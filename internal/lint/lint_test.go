@@ -221,6 +221,7 @@ func TestNakedGoScope(t *testing.T) {
 	}
 	scoped := []string{
 		"intellitag/internal/core",
+		"intellitag/internal/ann",           // index build + search must stay goroutine-free
 		"intellitag/internal/observability", // not a prefix-match leak of obs
 		"intellitag/internal/snapshots",     // not a prefix-match leak of snapshot
 		"intellitag/cmd/simulate",

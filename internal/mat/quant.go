@@ -1,0 +1,125 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantMatrix is a row-major int8 affine quantization of a float64 matrix:
+// row i reconstructs as x̂[j] = Scale[i]*Data[i*Cols+j] + Off[i]. One row
+// occupies Cols bytes instead of 8*Cols, so a candidate scan touches 8x less
+// memory — the reason the ANN retrieval tier scans quantized rows instead of
+// the float embedding table. Scale and offset are chosen per row from the
+// row's min/max, which bounds the reconstruction error of every element by
+// Scale[i]/2.
+type QuantMatrix struct {
+	Rows, Cols int
+	Data       []int8    // len == Rows*Cols, row-major, values in [-127,127]
+	Scale      []float64 // per-row dequantization scale
+	Off        []float64 // per-row dequantization offset
+	Norm       []float64 // per-row L2 norm of the reconstructed row
+}
+
+// Quantize builds the int8 representation of m. Rows are quantized
+// independently; a constant row quantizes to all zeros with the constant in
+// the offset, so reconstruction is exact for it.
+func Quantize(m *Matrix) *QuantMatrix {
+	q := &QuantMatrix{
+		Rows: m.Rows, Cols: m.Cols,
+		Data:  make([]int8, m.Rows*m.Cols),
+		Scale: make([]float64, m.Rows),
+		Off:   make([]float64, m.Rows),
+		Norm:  make([]float64, m.Rows),
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		lo, hi := row[0], row[0]
+		for _, v := range row[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		scale := (hi - lo) / 254
+		if scale == 0 {
+			// Constant row: all codes 0, offset carries the value exactly.
+			q.Scale[i] = 1
+			q.Off[i] = lo
+		} else {
+			q.Scale[i] = scale
+			// code = round((v-lo)/scale) - 127 in [-127,127];
+			// v̂ = scale*code + (127*scale + lo).
+			q.Off[i] = 127*scale + lo
+			inv := 1 / scale
+			base := i * m.Cols
+			for j, v := range row {
+				q.Data[base+j] = int8(int((v-lo)*inv+0.5) - 127)
+			}
+		}
+		var n float64
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			v := q.Scale[i]*float64(q.Data[base+j]) + q.Off[i]
+			n += v * v
+		}
+		q.Norm[i] = math.Sqrt(n)
+	}
+	return q
+}
+
+// Row returns the int8 codes of row i.
+func (q *QuantMatrix) Row(i int) []int8 { return q.Data[i*q.Cols : (i+1)*q.Cols] }
+
+// DequantRow reconstructs row i into dst.
+func (q *QuantMatrix) DequantRow(i int, dst []float64) {
+	if len(dst) != q.Cols {
+		panic(fmt.Sprintf("mat: DequantRow len %d != cols %d", len(dst), q.Cols))
+	}
+	s, off := q.Scale[i], q.Off[i]
+	row := q.Row(i)
+	for j, c := range row {
+		dst[j] = s*float64(c) + off
+	}
+}
+
+// Sum returns the elementwise sum of v — the query-side constant the fused
+// dequant-dot kernel folds the per-row offset through.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// DequantDot computes dot(v, x̂_i) without materializing the dequantized row:
+// dot(v, scale*code + off) = scale*Σ v_j*code_j + off*Σ v_j. vSum must be
+// Sum(v); hoisting it out lets one query amortize the offset term over every
+// row it scans, so the inner loop is a single int8-widening multiply-add.
+func (q *QuantMatrix) DequantDot(i int, v []float64, vSum float64) float64 {
+	if len(v) != q.Cols {
+		panic(fmt.Sprintf("mat: DequantDot len %d != cols %d", len(v), q.Cols))
+	}
+	row := q.Row(i)
+	var s float64
+	for j, c := range row {
+		s += v[j] * float64(c)
+	}
+	return q.Scale[i]*s + q.Off[i]*vSum
+}
+
+// CosineSim returns the cosine similarity of v against reconstructed row i,
+// given the precomputed query norm and sum (0 when either norm is zero).
+func (q *QuantMatrix) CosineSim(i int, v []float64, vNorm, vSum float64) float64 {
+	rn := q.Norm[i]
+	if rn == 0 || vNorm == 0 {
+		return 0
+	}
+	return q.DequantDot(i, v, vSum) / (vNorm * rn)
+}
+
+// MaxError returns the worst-case per-element reconstruction error bound of
+// row i (half a quantization step).
+func (q *QuantMatrix) MaxError(i int) float64 { return q.Scale[i] / 2 }

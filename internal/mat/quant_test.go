@@ -1,0 +1,88 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	g := NewRNG(7)
+	m := New(40, 24)
+	g.Normal(m, 1.5)
+	q := Quantize(m)
+	dst := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		q.DequantRow(i, dst)
+		bound := q.MaxError(i) + 1e-12
+		for j, v := range m.Row(i) {
+			if err := math.Abs(v - dst[j]); err > bound {
+				t.Fatalf("row %d col %d: reconstruction error %g > bound %g", i, j, err, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeConstantRowExact(t *testing.T) {
+	m := New(2, 5)
+	m.Fill(3.25)
+	q := Quantize(m)
+	dst := make([]float64, 5)
+	q.DequantRow(0, dst)
+	for j, v := range dst {
+		if v != 3.25 {
+			t.Fatalf("col %d: constant row reconstructed as %v", j, v)
+		}
+	}
+	if q.Norm[0] != math.Sqrt(5*3.25*3.25) {
+		t.Fatalf("norm %v", q.Norm[0])
+	}
+}
+
+func TestDequantDotMatchesMaterialized(t *testing.T) {
+	g := NewRNG(11)
+	m := New(16, 32)
+	g.Normal(m, 2)
+	q := Quantize(m)
+	v := make([]float64, 32)
+	for j := range v {
+		v[j] = g.NormFloat64()
+	}
+	vSum := Sum(v)
+	dst := make([]float64, 32)
+	for i := 0; i < m.Rows; i++ {
+		q.DequantRow(i, dst)
+		want := Dot(v, dst)
+		got := q.DequantDot(i, v, vSum)
+		if math.Abs(want-got) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("row %d: fused dot %v != materialized %v", i, got, want)
+		}
+	}
+}
+
+func TestQuantCosineSimTracksFloat(t *testing.T) {
+	g := NewRNG(13)
+	m := New(64, 16)
+	g.Normal(m, 1)
+	q := Quantize(m)
+	v := m.Row(0)
+	vNorm, vSum := Norm(v), Sum(v)
+	for i := 0; i < m.Rows; i++ {
+		exact := CosineSim(v, m.Row(i))
+		approx := q.CosineSim(i, v, vNorm, vSum)
+		if math.Abs(exact-approx) > 0.02 {
+			t.Fatalf("row %d: quantized cosine %v drifted from %v", i, approx, exact)
+		}
+	}
+	// Self-similarity stays essentially 1.
+	if s := q.CosineSim(0, v, vNorm, vSum); s < 0.999 {
+		t.Fatalf("self sim %v", s)
+	}
+}
+
+func TestQuantZeroNormRow(t *testing.T) {
+	m := New(1, 4) // all zeros
+	q := Quantize(m)
+	if s := q.CosineSim(0, []float64{1, 0, 0, 0}, 1, 1); s != 0 {
+		t.Fatalf("zero row cosine = %v", s)
+	}
+}

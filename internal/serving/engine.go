@@ -158,6 +158,12 @@ type Engine struct {
 	lastSwapUnix atomic.Int64
 	undrained    atomic.Bool // last retired version missed the drain deadline
 
+	// retrieval is the ANN candidate-retrieval config applied to versions
+	// installed by Swap (setup-time; see SetRetrieval). retrievalPaths counts
+	// recommendation computations by serving path for /healthz.
+	retrieval      RetrievalConfig
+	retrievalPaths [numRetrievalPaths]atomic.Int64
+
 	// tel is the optional telemetry sink (SetTelemetry). When nil the engine
 	// pays one pointer comparison per instrumented site and nothing else.
 	tel *engineTelemetry
@@ -269,11 +275,30 @@ func (e *Engine) recommendTags(ctx context.Context, v *modelVersion, tenant, ses
 
 	var scores []float64
 	if len(history) == 0 {
+		// Cold start: popularity ranking needs every candidate's count anyway,
+		// so retrieval has nothing to save.
+		e.noteRetrievalPath(pathColdStart, len(candidates))
 		scores = make([]float64, len(candidates))
 		for i, c := range candidates {
 			scores[i] = v.catalog.Popularity[c]
 		}
 	} else {
+		// Retrieve-then-rank: when the version carries an ANN index and the
+		// tenant catalog is large enough to be worth it, retrieve ~K nearest
+		// tags of the recent-history centroid and rank only those. Any miss —
+		// no retriever, small catalog, too few tenant survivors — scores the
+		// full candidate list exactly as before.
+		if tr := v.tags; tr != nil && len(candidates) >= tr.cfg.MinCatalog {
+			if got := tr.retrieve(history, tenant, k); got != nil {
+				e.noteRetrievalPath(pathANN, len(got))
+				e.maybeSampleRecall(tr, history, tenant, got)
+				candidates = got
+			} else {
+				e.noteRetrievalPath(pathFallback, len(candidates))
+			}
+		} else {
+			e.noteRetrievalPath(pathExhaustive, len(candidates))
+		}
 		scores = e.scoreCandidates(ctx, v, history, candidates)
 	}
 	out := make([]ScoredTag, len(candidates))

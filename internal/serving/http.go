@@ -230,6 +230,9 @@ type healthzResponse struct {
 	LastSwapUnix  int64         `json:"last_swap_unix,omitempty"`
 	Versions      []VersionInfo `json:"versions"`
 	Requests      int64         `json:"requests"`
+	// Retrieval is the primary engine's retrieve-then-rank accounting: which
+	// serving path recommendation computations took and the active backend.
+	Retrieval RetrievalStats `json:"retrieval"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +259,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	primary := s.router.Engines()[0].Version()
 	resp.ActiveVersion = primary.ID
 	resp.LastSwapUnix = primary.LastSwapUnix
+	resp.Retrieval = s.router.Engines()[0].RetrievalStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -45,6 +45,13 @@ type engineTelemetry struct {
 	activeSeq *obs.Gauge // active snapshot sequence (-1 when unversioned)
 	lastSwap  *obs.Gauge // unix time of the replica's last swap
 
+	// Retrieval observability (retrieve-then-rank): how many recommendation
+	// computations each serving path handled, how many candidates the ranker
+	// actually scored, and the sampled ANN recall against exact cosine search.
+	retrievalPaths  [numRetrievalPaths]*obs.Counter
+	retrievalCands  *obs.Histogram
+	retrievalRecall *obs.Gauge
+
 	shardSessions [sessionShardCount]*obs.Gauge
 }
 
@@ -72,6 +79,12 @@ func (e *Engine) SetTelemetry(reg *obs.Registry, tracer *obs.Tracer) {
 		activeSeq:   reg.Gauge("intellitag_model_active_version_seq", "bucket", bucket, "replica", replica),
 		lastSwap:    reg.Gauge("intellitag_model_last_swap_unix", "bucket", bucket, "replica", replica),
 	}
+	for p := 0; p < numRetrievalPaths; p++ {
+		t.retrievalPaths[p] = reg.Counter("intellitag_retrieval_total", "bucket", bucket, "path", retrievalPathNames[p])
+	}
+	t.retrievalCands = reg.Histogram("intellitag_retrieval_candidates",
+		[]float64{8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}, "bucket", bucket)
+	t.retrievalRecall = reg.Gauge("intellitag_retrieval_recall_sampled", "bucket", bucket)
 	for op := 0; op < numOps; op++ {
 		t.ops[op] = reg.Counter("intellitag_requests_total", "bucket", bucket, "op", opNames[op])
 		t.lat[op] = reg.Histogram("intellitag_request_latency_seconds", nil, "bucket", bucket, "op", opNames[op])

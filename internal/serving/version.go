@@ -43,6 +43,13 @@ type modelVersion struct {
 	scorer  Scorer
 	matcher QuestionMatcher
 
+	// tags is the version's ANN candidate retriever, nil when retrieval is
+	// disabled or the scorer exposes no embedding table. Built before the
+	// version goes live (attachRetrieval) and immutable afterwards, so a hot
+	// swap replaces the index atomically with everything else and the
+	// version-keyed rec memos invalidate retrieval results for free.
+	tags *tagRetriever
+
 	// scorers is the checkout pool. It always holds at least the scorer
 	// itself; resizePool widens it with replicas for models that support
 	// them, enabling concurrent request scoring and sharded candidate
@@ -177,6 +184,7 @@ func (e *Engine) Version() VersionInfo {
 // after the flip see only the new version. Zero requests are dropped.
 func (e *Engine) Swap(b *ModelBundle) VersionInfo {
 	v := newModelVersion(b, e.workers)
+	v.attachRetrieval(e.retrieval) // index built off-line, before the flip
 	v.warm()
 	return e.swapTo(v)
 }
@@ -278,6 +286,7 @@ func (rs *ReplicaSet) Versions() []VersionInfo {
 // count can only reach zero when no replica routes new traffic to it.
 func (rs *ReplicaSet) RollingSwap(b *ModelBundle, stagger time.Duration) []VersionInfo {
 	v := newModelVersion(b, rs.replicas[0].workers)
+	v.attachRetrieval(rs.replicas[0].retrieval) // shared index, built pre-flip
 	v.warm()
 	var retired []*modelVersion
 	for i, e := range rs.replicas {

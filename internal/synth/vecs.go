@@ -1,0 +1,45 @@
+package synth
+
+import "intellitag/internal/mat"
+
+// TagVecs generates a synthetic tag-embedding table for retrieval
+// benchmarks: n unit-scale vectors drawn around `clusters` Gaussian centers
+// with within-cluster noise `spread`, deterministic in seed. The geometry
+// mirrors what a trained graph encoder produces — tags of one task chain /
+// topic collapse into tight clusters with large inter-cluster margins — which
+// is exactly the regime ANN indexes must handle: near-duplicate neighbors
+// inside a cluster and deceptive long hops between them. Cluster sizes are
+// uniform (n need not divide evenly; the first n%clusters clusters get one
+// extra row) and row order interleaves nothing: rows of one cluster are
+// contiguous, so id locality correlates with similarity, the worst case for
+// hash-bucket collisions and a realistic one for chained tag ids.
+func TagVecs(n, dim, clusters int, spread float64, seed int64) *mat.Matrix {
+	if clusters < 1 {
+		clusters = 1
+	}
+	if clusters > n {
+		clusters = n
+	}
+	g := mat.NewRNG(seed)
+	centers := mat.New(clusters, dim)
+	g.Normal(centers, 1)
+	out := mat.New(n, dim)
+	per := n / clusters
+	extra := n % clusters
+	row := 0
+	for c := 0; c < clusters; c++ {
+		size := per
+		if c < extra {
+			size++
+		}
+		center := centers.Row(c)
+		for i := 0; i < size; i++ {
+			dst := out.Row(row)
+			for j, x := range center {
+				dst[j] = x + spread*g.NormFloat64()
+			}
+			row++
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package synth
+
+import (
+	"testing"
+
+	"intellitag/internal/mat"
+)
+
+func TestTagVecsDeterministicAndClustered(t *testing.T) {
+	a := TagVecs(103, 16, 10, 0.05, 3)
+	b := TagVecs(103, 16, 10, 0.05, 3)
+	if a.Rows != 103 || a.Cols != 16 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j, v := range a.Row(i) {
+			if v != b.Row(i)[j] {
+				t.Fatalf("row %d not deterministic", i)
+			}
+		}
+	}
+	// Rows 0 and 1 share the first cluster; row 60 lives in another. The
+	// within-cluster similarity must dominate.
+	within := mat.CosineSim(a.Row(0), a.Row(1))
+	across := mat.CosineSim(a.Row(0), a.Row(60))
+	if within < 0.9 || within <= across {
+		t.Fatalf("cluster geometry broken: within=%v across=%v", within, across)
+	}
+}
