@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test bench bench-short bench-all bench-ann obs-demo swap-demo
+.PHONY: check fmt vet lint lint-fix-list build test bench bench-short bench-all bench-ann obs-demo swap-demo
 
 check: fmt vet lint build test bench-short
 
@@ -25,6 +25,10 @@ vet:
 # `//lint:ignore <analyzer> <reason>` (the reason is mandatory).
 lint:
 	$(GO) run ./cmd/intellilint ./...
+
+# Bare file:line per finding, for editor jump lists (vim -q, emacs grep-mode).
+lint-fix-list:
+	$(GO) run ./cmd/intellilint -format list ./...
 
 build:
 	$(GO) build ./...

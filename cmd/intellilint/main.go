@@ -5,12 +5,15 @@
 // Usage:
 //
 //	go run ./cmd/intellilint ./...
-//	go run ./cmd/intellilint -list            # print the analyzer catalog
+//	go run ./cmd/intellilint -list                # print the analyzer catalog
+//	go run ./cmd/intellilint -format list ./...   # bare file:line for editors
 //
-// Findings print as `file:line: [analyzer] message`. A finding is suppressed
-// by `//lint:ignore <analyzer> <reason>` on the flagged line or the line
-// directly above it; the reason is mandatory and suppressions without one are
-// themselves findings.
+// Findings print as `file:line: [analyzer] message` and the exit status is
+// accompanied by a per-analyzer count summary on stderr, so a red CI run says
+// at a glance which invariant regressed. A finding is suppressed by
+// `//lint:ignore <analyzer> <reason>` on the flagged line or the line
+// directly above it; the reason is mandatory, and a suppression that no
+// longer matches any finding is itself reported.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"intellitag/internal/lint"
 )
@@ -26,7 +30,13 @@ func main() {
 	list := flag.Bool("list", false, "print the analyzers and their scopes, then exit")
 	dir := flag.String("C", ".", "directory to resolve package patterns from")
 	wide := flag.Bool("wide", false, "ignore the scoping policy and run every analyzer on every package (exploration only, not the CI gate)")
+	format := flag.String("format", "full", `output format: "full" (file:line: [analyzer] message) or "list" (bare file:line, one per finding, for editor jump lists)`)
 	flag.Parse()
+
+	if *format != "full" && *format != "list" {
+		fmt.Fprintf(os.Stderr, "intellilint: unknown -format %q (want full or list)\n", *format)
+		os.Exit(2)
+	}
 
 	suite := lint.DefaultSuite()
 	if *wide {
@@ -53,6 +63,7 @@ func main() {
 
 	cwd, _ := os.Getwd()
 	total := 0
+	byAnalyzer := map[string]int{}
 	for _, pkg := range pkgs {
 		for _, f := range lint.Run(suite, pkg) {
 			name := f.Pos.Filename
@@ -61,12 +72,26 @@ func main() {
 					name = rel
 				}
 			}
-			fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+			switch *format {
+			case "list":
+				fmt.Printf("%s:%d\n", name, f.Pos.Line)
+			default:
+				fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+			}
+			byAnalyzer[f.Analyzer]++
 			total++
 		}
 	}
 	if total > 0 {
+		names := make([]string, 0, len(byAnalyzer))
+		for name := range byAnalyzer {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		fmt.Fprintf(os.Stderr, "intellilint: %d finding(s)\n", total)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-16s %d\n", name, byAnalyzer[name])
+		}
 		os.Exit(1)
 	}
 }

@@ -61,7 +61,7 @@ func (t *trainTelemetry) stepBegin() {
 	if t == nil {
 		return
 	}
-	t.stepStart = time.Now()
+	t.stepStart = time.Now() //lint:ignore detsource wall-time telemetry only; step timing never feeds model state
 }
 
 // stepEnd closes the step, recording its wall time and pre-clip grad norm.
@@ -69,7 +69,7 @@ func (t *trainTelemetry) stepEnd(gradNorm float64) {
 	if t == nil {
 		return
 	}
-	t.stepTotal += time.Since(t.stepStart)
+	t.stepTotal += time.Since(t.stepStart) //lint:ignore detsource wall-time telemetry only; step timing never feeds model state
 	t.steps++
 	t.lastNorm = gradNorm
 	t.normG.Set(gradNorm)

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetSource guards the seeded-determinism packages (core, nn, mat, ann,
+// synth, hetgraph — scoped by the driver) against the two ambient
+// nondeterminism sources Go hands out for free:
+//
+//   - the process-global math/rand generator: rand.Intn, rand.Float64,
+//     rand.Shuffle and friends draw from a shared source whose state depends
+//     on every other caller in the process. The repo's contract is an
+//     injected seed — mat.NewRNG(seed) or rand.New(rand.NewSource(seed)) —
+//     so the constructors (New, NewSource, NewZipf) pass and method calls on
+//     a seeded *Rand / *RNG value are never flagged;
+//   - the wall clock: time.Now / time.Since / time.Until in a determinism-
+//     scoped package leaks scheduling noise into values that the SimulateSet
+//     contract promises are bit-identical across replica counts. Timestamps
+//     belong at the edges (cmd, obs, serving) and travel inward as data.
+//
+// Matching is by qualifier identifier ("rand.", "time."), with a type-based
+// exemption for locals that shadow the package name with a seeded generator.
+// time.Duration arithmetic, time constants and time.Sleep do not read the
+// clock and are not flagged.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "determinism-scoped packages take injected seeds and timestamps, not ambient rand/time",
+	Run:  runDetSource,
+}
+
+// seededConstructors are the math/rand entry points that demand an explicit
+// seed or source and therefore keep determinism in the caller's hands.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetSource(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			qual, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch qual.Name {
+			case "rand":
+				if seededConstructors[sel.Sel.Name] {
+					return true
+				}
+				// A local seeded generator shadowing the package name is fine:
+				// rand := mat.NewRNG(seed); rand.Intn(n).
+				if t := pass.TypeOf(qual); isNamed(t, "Rand") || isNamed(t, "RNG") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global math/rand source in a determinism-scoped package; inject a seeded generator (mat.NewRNG(seed) or rand.New(rand.NewSource(seed)))",
+					sel.Sel.Name)
+			case "time":
+				if !clockFuncs[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in a determinism-scoped package; take timestamps at the edges and pass them in as data",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

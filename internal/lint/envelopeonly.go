@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// EnvelopeOnly keeps model persistence on PR 5's checksummed-snapshot rails:
+// inside the model-component packages (core, nn, mat, ann, hetgraph, qamatch,
+// tagmining, baselines — scoped by the driver), nothing may open, read or
+// write files directly, and gob encoders/decoders may only run against
+// in-memory buffers. Model bytes reach disk exclusively through
+// internal/snapshot's envelope API (WriteChecksummed/ReadChecksummed and the
+// Store manifest machinery); a raw os.Create+gob.Encode path would reintroduce
+// exactly the torn-artifact and silent-corruption failure modes the ITSNAP1
+// envelope exists to catch.
+//
+// Two checks:
+//
+//   - calls to os.Create / os.Open / os.OpenFile / os.ReadFile / os.WriteFile
+//     are flagged — model packages serialize to []byte and hand the payload
+//     to the snapshot store;
+//   - gob.NewEncoder / gob.NewDecoder whose stream argument is a *File (or a
+//     direct os.Create/os.Open call) is flagged — the blessed pattern encodes
+//     into a bytes.Buffer and frames the bytes with the envelope.
+//
+// Matching is structural (identifier named "os"/"gob", stream type named
+// "File"), so fixtures model the APIs without imports. Known gap: a file
+// handle laundered through an io.Writer parameter is invisible to the stream
+// check; the call that opened the file is still caught by the first check
+// when it lives in a scoped package.
+var EnvelopeOnly = &Analyzer{
+	Name: "envelopeonly",
+	Doc:  "model components persist only through internal/snapshot's checksummed envelope",
+	Run:  runEnvelopeOnly,
+}
+
+// rawFileFuncs are the os entry points that put bytes on (or pull them off)
+// disk without the envelope.
+var rawFileFuncs = map[string]bool{
+	"Create":    true,
+	"Open":      true,
+	"OpenFile":  true,
+	"ReadFile":  true,
+	"WriteFile": true,
+}
+
+func runEnvelopeOnly(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			qual, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case qual.Name == "os" && rawFileFuncs[sel.Sel.Name]:
+				pass.Reportf(call.Pos(),
+					"raw file call os.%s in a model-component package; model persistence must flow through internal/snapshot's checksummed envelope (WriteChecksummed/ReadChecksummed)",
+					sel.Sel.Name)
+			case qual.Name == "gob" && (sel.Sel.Name == "NewEncoder" || sel.Sel.Name == "NewDecoder") && len(call.Args) == 1:
+				if gobStreamIsFile(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"gob.%s straight to a file bypasses the snapshot envelope; encode into a bytes.Buffer and frame it with snapshot.WriteChecksummed",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// gobStreamIsFile reports whether the encoder/decoder stream argument is a
+// file: statically typed *File, or a direct os.Create/os.Open/os.OpenFile
+// call expression.
+func gobStreamIsFile(pass *Pass, arg ast.Expr) bool {
+	if isNamed(pass.TypeOf(arg), "File") {
+		return true
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	return ok && qual.Name == "os" && rawFileFuncs[sel.Sel.Name]
+}

@@ -15,9 +15,25 @@
 //     flagged so all fan-out stays on the shared worker pool.
 //   - errcheck: ignored error returns in the store/kb/serving write paths.
 //
+// PR 8 adds the concurrency-and-versioning round for the invariants the hot
+// swap (PR 5) and ANN retrieval (PR 7) work introduced:
+//
+//   - versionpin: one pinned modelVersion per request scope in
+//     internal/serving; live versions are immutable.
+//   - lockguard: mutex-guarded fields stay inside Lock/Unlock windows, and
+//     fields touched through sync/atomic are never accessed plainly.
+//   - envelopeonly: model-component packages persist only through
+//     internal/snapshot's checksummed envelope.
+//   - metriclabels: obs metric families are literal intellitag_* names with
+//     one kind and one label-key set across call sites.
+//   - detsource: determinism-scoped packages take injected seeds and
+//     timestamps instead of ambient math/rand and time.Now.
+//
 // Findings are reported as `file:line: [analyzer] message` and can be
 // suppressed with a `//lint:ignore <analyzer> <reason>` comment on the same
-// line or the line directly above; the reason is mandatory.
+// line or the line directly above; the reason is mandatory, and a
+// suppression that no longer matches any finding is itself reported so stale
+// exceptions cannot rot in the tree.
 package lint
 
 import (
@@ -103,6 +119,17 @@ func matchExcept(prefixes ...string) func(string) bool {
 	}
 }
 
+func matchOnly(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // DefaultSuite is the repo's analyzer set with its scoping policy:
 //
 //   - pooldiscipline, intoalias: everywhere (the kernels and pools are used
@@ -118,6 +145,19 @@ func matchExcept(prefixes ...string) func(string) bool {
 //   - errcheck: everywhere. The motivating paths are the store/kb/serving
 //     and model/graph persistence writes; the exemptions for never-failing
 //     writers keep the check quiet elsewhere.
+//   - versionpin: internal/serving only — modelVersion and the pinning
+//     protocol live there; nothing else can even name the type.
+//   - lockguard: everywhere. Mutex-guarded structs exist in serving, obs,
+//     kb, search and store, and the atomicmix half is cheap where no
+//     atomics appear.
+//   - envelopeonly: the model-component packages whose bytes land in
+//     snapshot versions. The data warehouses (kb, store) own their JSON
+//     side files, obs owns run logs and prof owns profile dumps — those are
+//     not model components and stay out of scope.
+//   - metriclabels: everywhere a Registry call can appear; per-package
+//     consistency (see the analyzer doc for the cross-package gap).
+//   - detsource: the seeded-determinism packages from the SimulateSet
+//     contract — core, nn, mat, ann, synth, hetgraph.
 func DefaultSuite() []Scoped {
 	return []Scoped{
 		{PoolDiscipline, matchAll},
@@ -130,6 +170,27 @@ func DefaultSuite() []Scoped {
 			"intellitag/internal/snapshot",
 		)},
 		{ErrCheck, matchAll},
+		{VersionPin, matchOnly("intellitag/internal/serving")},
+		{LockGuard, matchAll},
+		{EnvelopeOnly, matchOnly(
+			"intellitag/internal/core",
+			"intellitag/internal/nn",
+			"intellitag/internal/mat",
+			"intellitag/internal/ann",
+			"intellitag/internal/hetgraph",
+			"intellitag/internal/qamatch",
+			"intellitag/internal/tagmining",
+			"intellitag/internal/baselines",
+		)},
+		{MetricLabels, matchAll},
+		{DetSource, matchOnly(
+			"intellitag/internal/core",
+			"intellitag/internal/nn",
+			"intellitag/internal/mat",
+			"intellitag/internal/ann",
+			"intellitag/internal/synth",
+			"intellitag/internal/hetgraph",
+		)},
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"regexp"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -31,6 +32,11 @@ var fixtureAnalyzers = map[string]*Analyzer{
 	"maporder":       MapOrder,
 	"nakedgo":        NakedGo,
 	"errcheck":       ErrCheck,
+	"versionpin":     VersionPin,
+	"lockguard":      LockGuard,
+	"envelopeonly":   EnvelopeOnly,
+	"metriclabels":   MetricLabels,
+	"detsource":      DetSource,
 }
 
 // TestGoldenFixtures runs each analyzer over its fixture package and checks
@@ -176,7 +182,8 @@ func TestBrokenSuppressionIsAFinding(t *testing.T) {
 }
 
 // TestSuppressionRequiresMatchingAnalyzer checks that a suppression for one
-// analyzer does not swallow another analyzer's finding on the same line.
+// analyzer does not swallow another analyzer's finding on the same line — and
+// that a suppression which matched nothing surfaces as an unused finding.
 func TestSuppressionRequiresMatchingAnalyzer(t *testing.T) {
 	const src = "package p\n\nfunc f() {\n\t//lint:ignore nakedgo some reason\n\t_ = 0\n}\n"
 	fset := token.NewFileSet()
@@ -184,15 +191,137 @@ func TestSuppressionRequiresMatchingAnalyzer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	idx := collectSuppressions(fset, []*ast.File{f})
+	// Fresh index per apply: the used flag is per-run state.
 	raw := []Finding{{Pos: token.Position{Filename: "mismatch.go", Line: 5}, Analyzer: "errcheck", Message: "x"}}
-	if out := idx.apply(raw); len(out) != 1 {
-		t.Errorf("suppression for nakedgo swallowed an errcheck finding: %v", out)
+	out := collectSuppressions(fset, []*ast.File{f}).apply(raw)
+	if len(out) != 2 {
+		t.Fatalf("got %d findings, want 2 (errcheck passes through + nakedgo suppression unused): %v", len(out), out)
+	}
+	if out[0].Analyzer != "errcheck" {
+		t.Errorf("suppression for nakedgo swallowed the errcheck finding: %v", out)
+	}
+	if out[1].Analyzer != "lint" || !strings.Contains(out[1].Message, "unused suppression") {
+		t.Errorf("unmatched suppression not reported as unused: %v", out)
 	}
 	raw[0].Analyzer = "nakedgo"
-	if out := idx.apply(raw); len(out) != 0 {
+	if out := collectSuppressions(fset, []*ast.File{f}).apply(raw); len(out) != 0 {
 		t.Errorf("matching suppression did not apply: %v", out)
 	}
+}
+
+// TestUnusedSuppressionIsAFinding checks that a stale //lint:ignore with no
+// finding to absorb becomes a finding itself, on either line it governs.
+func TestUnusedSuppressionIsAFinding(t *testing.T) {
+	const src = "package p\n\nfunc f() {\n\t//lint:ignore maporder keys sorted upstream\n\t_ = 0\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := collectSuppressions(fset, []*ast.File{f}).apply(nil)
+	if len(out) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(out), out)
+	}
+	if out[0].Analyzer != "lint" || !strings.Contains(out[0].Message, "unused suppression") || out[0].Pos.Line != 4 {
+		t.Errorf("unexpected unused-suppression finding: %s", out[0])
+	}
+
+	// Used on its own line (trailing-comment position) keeps it silent.
+	trailing := []Finding{{Pos: token.Position{Filename: "stale.go", Line: 4}, Analyzer: "maporder", Message: "x"}}
+	if out := collectSuppressions(fset, []*ast.File{f}).apply(trailing); len(out) != 0 {
+		t.Errorf("suppression used on its own line still reported: %v", out)
+	}
+	// Used on the governed next line keeps it silent too.
+	next := []Finding{{Pos: token.Position{Filename: "stale.go", Line: 5}, Analyzer: "maporder", Message: "x"}}
+	if out := collectSuppressions(fset, []*ast.File{f}).apply(next); len(out) != 0 {
+		t.Errorf("suppression used on the next line still reported: %v", out)
+	}
+}
+
+// TestAnalyzerRegistry pins the exact analyzer set and order of DefaultSuite
+// and requires fixture coverage for every analyzer: adding an analyzer without
+// a golden fixture (or renaming one) fails here before it fails in review.
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{
+		"pooldiscipline", "intoalias", "maporder", "nakedgo", "errcheck",
+		"versionpin", "lockguard", "envelopeonly", "metriclabels", "detsource",
+	}
+	suite := DefaultSuite()
+	if len(suite) != len(want) {
+		t.Fatalf("DefaultSuite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, s := range suite {
+		if s.Name != want[i] {
+			t.Errorf("DefaultSuite[%d] = %s, want %s", i, s.Name, want[i])
+			continue
+		}
+		if fixtureAnalyzers[s.Name] != s.Analyzer {
+			t.Errorf("analyzer %s is not registered in fixtureAnalyzers", s.Name)
+		}
+		if fi, err := os.Stat(filepath.Join("testdata", s.Name)); err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %s has no testdata/%s fixture directory", s.Name, s.Name)
+		}
+	}
+}
+
+// TestNewAnalyzerScopes pins the matchOnly scoping added in this round:
+// versionpin stays inside serving (the only package that can name
+// modelVersion) and detsource covers exactly the seeded-determinism set.
+func TestNewAnalyzerScopes(t *testing.T) {
+	match := map[string]func(string) bool{}
+	for _, s := range DefaultSuite() {
+		match[s.Name] = s.Match
+	}
+	if !match["versionpin"]("intellitag/internal/serving") {
+		t.Error("versionpin must run on internal/serving")
+	}
+	for _, p := range []string{"intellitag/internal/core", "intellitag/internal/servingx", "intellitag/cmd/serve"} {
+		if match["versionpin"](p) {
+			t.Errorf("versionpin must not run on %s", p)
+		}
+	}
+	for _, p := range []string{
+		"intellitag/internal/core", "intellitag/internal/nn", "intellitag/internal/mat",
+		"intellitag/internal/ann", "intellitag/internal/synth", "intellitag/internal/hetgraph",
+	} {
+		if !match["detsource"](p) {
+			t.Errorf("detsource must run on %s", p)
+		}
+	}
+	for _, p := range []string{"intellitag/internal/serving", "intellitag/internal/obs", "intellitag/internal/annex"} {
+		if match["detsource"](p) {
+			t.Errorf("detsource must not run on %s", p)
+		}
+	}
+	if !match["envelopeonly"]("intellitag/internal/nn") || match["envelopeonly"]("intellitag/internal/snapshot") {
+		t.Error("envelopeonly scope wrong: must cover model packages and exempt snapshot itself")
+	}
+}
+
+// TestSuiteConcurrent runs the full suite over every package of the real tree
+// from concurrent goroutines. Under -race this pins the analyzers'
+// no-shared-mutable-state contract (per-package family maps, guard maps and
+// suppression indexes are all pass-local).
+func TestSuiteConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export over the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	suite := DefaultSuite()
+	var wg sync.WaitGroup
+	for _, pkg := range pkgs {
+		for range 2 { // same package analyzed twice concurrently
+			wg.Add(1)
+			go func(p *Package) {
+				defer wg.Done()
+				Run(suite, p)
+			}(pkg)
+		}
+	}
+	wg.Wait()
 }
 
 // TestNakedGoScope pins the nakedgo allow-list in DefaultSuite: only the

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard enforces the two field-protection conventions the concurrent
+// serving and telemetry code relies on:
+//
+//   - atomicmix: a struct field accessed through the sync/atomic free
+//     functions (atomic.AddInt64(&s.f, ...), atomic.LoadInt64(&s.f), ...)
+//     must be accessed that way everywhere — one plain read or write next to
+//     atomic updates is a data race the race detector only catches when the
+//     schedule cooperates. (Fields of the atomic.Int64-style wrapper types
+//     cannot be misused and are not this check's concern.)
+//   - guarded fields: a sync.Mutex/RWMutex struct field guards the fields
+//     that follow it — contiguously declared fields below the mutex up to the
+//     first blank-line break or the next mutex, plus any field whose comment
+//     says "guarded by <mu>". Within a function that locks B.mu, an access
+//     to a guarded field of B outside every Lock/Unlock window is flagged;
+//     `defer B.mu.Unlock()` keeps the window open to the end of the function.
+//
+// Known false negatives, by design: functions that never lock the mutex are
+// skipped entirely (the caller-holds-mu helper convention, e.g.
+// Engine.noteShardSize, and constructors publishing before escape), lock
+// windows are lexical rather than path-sensitive, and bases are matched by
+// printed expression, so aliasing a shard through a second variable hides the
+// access. The escape hatch for reviewed exceptions is the usual
+// //lint:ignore lockguard <reason>.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "mutex-guarded fields stay inside Lock/Unlock windows; atomic fields are never accessed plainly",
+	Run:  runLockGuard,
+}
+
+// atomicFreeFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the field being operated on.
+var atomicFreeFuncs = map[string]bool{
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runLockGuard(pass *Pass) {
+	runAtomicMix(pass)
+	runGuardedFields(pass)
+}
+
+// --- atomicmix -------------------------------------------------------------
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: fields reached through &x.f into an atomic free function, and
+	// the exact selector nodes of those sanctioned sites.
+	atomicFields := map[types.Object]token.Pos{} // field -> first atomic site
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !atomicFreeFuncs[calleeName(call)] {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			sanctioned[sel] = true
+			if _, seen := atomicFields[obj]; !seen {
+				atomicFields[obj] = call.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other access to those fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			if first, isAtomic := atomicFields[obj]; isAtomic {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed atomically (line %d) but plainly here; mixing atomic and non-atomic access is a data race — use the atomic API at every site",
+					sel.Sel.Name, pass.Fset.Position(first).Line)
+			}
+			return true
+		})
+	}
+}
+
+// fieldObject resolves sel to the struct-field variable it selects, or nil
+// when sel is not a field selection.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	obj := pass.ObjectOf(sel.Sel)
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// --- guarded fields --------------------------------------------------------
+
+// guardedField records which mutex field guards a struct field.
+type guardInfo struct {
+	mu string // name of the guarding mutex field
+}
+
+// collectGuardedFields infers the guarded-field map for every struct declared
+// in the package: a mutex field guards the contiguous run of fields below it
+// (no blank-line gap, stopping at the next mutex), and a "guarded by <mu>"
+// comment attaches a field explicitly wherever it is declared.
+func collectGuardedFields(pass *Pass) map[types.Object]guardInfo {
+	guarded := map[types.Object]guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			curMu := ""
+			prevLine := -2
+			for _, field := range st.Fields.List {
+				line := pass.Fset.Position(field.Pos()).Line
+				endLine := pass.Fset.Position(field.End()).Line
+				if isMutexField(pass, field) {
+					if len(field.Names) > 0 {
+						curMu = field.Names[0].Name
+					} else if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+						curMu = sel.Sel.Name // embedded sync.Mutex
+					}
+					prevLine = endLine
+					continue
+				}
+				if mu, ok := explicitGuard(field); ok {
+					register(pass, guarded, field, mu)
+					prevLine = endLine
+					continue
+				}
+				if curMu != "" && line != prevLine+1 {
+					curMu = "" // blank-line (or comment) break ends the guarded run
+				}
+				if curMu != "" {
+					register(pass, guarded, field, curMu)
+				}
+				prevLine = endLine
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func register(pass *Pass, guarded map[types.Object]guardInfo, field *ast.Field, mu string) {
+	for _, name := range field.Names {
+		if obj := pass.ObjectOf(name); obj != nil {
+			guarded[obj] = guardInfo{mu: mu}
+		}
+	}
+}
+
+// explicitGuard reports the mutex named by a "guarded by <mu>" doc or line
+// comment on the field.
+func explicitGuard(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.ToLower(c.Text)
+			if i := strings.Index(text, "guarded by "); i >= 0 {
+				rest := strings.Fields(c.Text[i+len("guarded by "):])
+				if len(rest) > 0 {
+					return strings.Trim(rest[0], ".,;"), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// isMutexField reports whether the field's type is a (non-pointer) named
+// Mutex or RWMutex.
+func isMutexField(pass *Pass, field *ast.Field) bool {
+	t := pass.TypeOf(field.Type)
+	return isNamed(t, "Mutex") || isNamed(t, "RWMutex")
+}
+
+// lockWindow is one lexical [Lock, Unlock] interval for a base expression.
+type lockWindow struct {
+	open, close token.Pos
+}
+
+func runGuardedFields(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedFunc(pass, fn.Body, guarded)
+		}
+	}
+}
+
+func checkGuardedFunc(pass *Pass, body *ast.BlockStmt, guarded map[types.Object]guardInfo) {
+	// Lock/Unlock events per (base expression, mutex field name).
+	type lockEvent struct {
+		pos  token.Pos
+		open bool
+	}
+	events := map[string][]lockEvent{}
+	lockSites := map[*ast.SelectorExpr]bool{} // the B.mu selectors themselves
+
+	record := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return
+		}
+		var open bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			open = true
+		case "Unlock", "RUnlock":
+			open = false
+		default:
+			return
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || !(isNamed(pass.TypeOf(muSel), "Mutex") || isNamed(pass.TypeOf(muSel), "RWMutex")) {
+			return
+		}
+		base := types.ExprString(muSel.X) + "\x00" + muSel.Sel.Name
+		pos := call.Pos()
+		if deferred && !open {
+			pos = body.End() // deferred unlock holds to function exit
+		}
+		events[base] = append(events[base], lockEvent{pos: pos, open: open})
+		lockSites[muSel] = true
+	}
+
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+			record(n.Call, true)
+			return true
+		case *ast.CallExpr:
+			if !deferredCalls[n] {
+				record(n, false)
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return // never locks: caller-holds-mu helper or constructor, skipped
+	}
+
+	// Pair events into lexical windows per base, in positional order (a
+	// deferred unlock sits at body end regardless of where it was written).
+	windows := map[string][]lockWindow{}
+	bases := make([]string, 0, len(events))
+	for base := range events {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		evs := events[base]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		var ws []lockWindow
+		var openAt token.Pos
+		opened := false
+		for _, ev := range evs {
+			if ev.open {
+				if !opened {
+					opened, openAt = true, ev.pos
+				}
+				continue
+			}
+			if opened {
+				ws = append(ws, lockWindow{open: openAt, close: ev.pos})
+				opened = false
+			}
+		}
+		if opened {
+			ws = append(ws, lockWindow{open: openAt, close: body.End()})
+		}
+		windows[base] = ws
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || lockSites[sel] {
+			return true
+		}
+		obj := fieldObject(pass, sel)
+		if obj == nil {
+			return true
+		}
+		gi, isGuarded := guarded[obj]
+		if !isGuarded {
+			return true
+		}
+		base := types.ExprString(sel.X) + "\x00" + gi.mu
+		ws, locksBase := windows[base]
+		if !locksBase {
+			return true // this function never locks this base's mutex
+		}
+		pos := sel.Pos()
+		for _, w := range ws {
+			if pos >= w.open && pos <= w.close {
+				return true
+			}
+		}
+		pass.Reportf(pos,
+			"field %s is guarded by %s but accessed outside every %s.%s Lock/Unlock window in this function",
+			sel.Sel.Name, gi.mu, types.ExprString(sel.X), gi.mu)
+		return true
+	})
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MetricLabels moves the obs registry's runtime failure modes to lint time.
+// The registry panics when one metric family is registered under two kinds,
+// and silently splits a family into disjoint series when call sites disagree
+// on label keys — both are programming errors that today surface only on the
+// code path that happens to run second. At every Registry.Counter / .Gauge /
+// .Histogram call site this analyzer checks that:
+//
+//   - the metric name is a compile-time string constant (lint cannot vouch
+//     for a name assembled at runtime) matching `intellitag_[a-z_]+`, the
+//     repo's naming contract;
+//   - labels are inline alternating key/value pairs — an even count, no
+//     `labels...` spreading — with constant keys (values may be dynamic);
+//   - within the package, every call site for one family uses the same kind
+//     and the same label-key set.
+//
+// Consistency is per package (analyzers run package-at-a-time); families
+// shared across packages are a documented false-negative gap, mitigated by
+// the repo convention of registering each family in exactly one telemetry
+// file. Matching is structural — methods named Counter/Gauge/Histogram on a
+// type named Registry — so fixtures need no obs import.
+var MetricLabels = &Analyzer{
+	Name: "metriclabels",
+	Doc:  "obs metric names are literal intellitag_* families with one kind and one label set",
+	Run:  runMetricLabels,
+}
+
+var metricNameRe = regexp.MustCompile(`^intellitag_[a-z_]+$`)
+
+// metricFamily accumulates what the package has said about one metric name.
+type metricFamily struct {
+	kind    string
+	keys    string // canonical sorted key list, e.g. "bucket,op"
+	firstAt token.Pos
+}
+
+func runMetricLabels(pass *Pass) {
+	families := map[string]*metricFamily{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, labelStart := registryMethod(pass, call)
+			if kind == "" || len(call.Args) <= 0 {
+				return true
+			}
+			name, isConst := constString(pass, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Pos(), "metric name must be a compile-time string constant so the family can be checked at lint time")
+				return true
+			}
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(call.Pos(), "metric name %q must match intellitag_[a-z_]+", name)
+			}
+			if call.Ellipsis.IsValid() {
+				pass.Reportf(call.Pos(), "metric %s labels must be spelled inline, not spread with ...; lint cannot check a dynamic label set", name)
+				return true
+			}
+			labels := call.Args[labelStart:]
+			if len(labels)%2 != 0 {
+				pass.Reportf(call.Pos(), "metric %s has %d label arguments; labels are alternating key/value pairs", name, len(labels))
+				return true
+			}
+			keys := make([]string, 0, len(labels)/2)
+			allConst := true
+			for i := 0; i < len(labels); i += 2 {
+				k, ok := constString(pass, labels[i])
+				if !ok {
+					pass.Reportf(labels[i].Pos(), "metric %s label key must be a compile-time string constant (values may be dynamic)", name)
+					allConst = false
+					continue
+				}
+				keys = append(keys, k)
+			}
+			if !allConst {
+				return true
+			}
+			sort.Strings(keys)
+			keyList := strings.Join(keys, ",")
+			fam, seen := families[name]
+			if !seen {
+				families[name] = &metricFamily{kind: kind, keys: keyList, firstAt: call.Pos()}
+				return true
+			}
+			firstLine := pass.Fset.Position(fam.firstAt).Line
+			if fam.kind != kind {
+				pass.Reportf(call.Pos(), "metric %s registered as a %s here but as a %s at line %d; one family has one kind (the registry panics on this at runtime)",
+					name, kind, fam.kind, firstLine)
+				return true
+			}
+			if fam.keys != keyList {
+				pass.Reportf(call.Pos(), "metric %s used with label keys {%s} here but {%s} at line %d; a family's label set must be identical at every call site",
+					name, keyList, fam.keys, firstLine)
+			}
+			return true
+		})
+	}
+}
+
+// registryMethod reports the instrument kind and the index of the first label
+// argument when call is Counter/Gauge/Histogram on a Registry, else ("", 0).
+func registryMethod(pass *Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isNamed(pass.TypeOf(sel.X), "Registry") {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Counter":
+		return "counter", 1
+	case "Gauge":
+		return "gauge", 1
+	case "Histogram":
+		return "histogram", 2
+	}
+	return "", 0
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

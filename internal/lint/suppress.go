@@ -13,14 +13,18 @@ type suppression struct {
 	analyzer string
 	reason   string
 	pos      token.Pos
+	used     bool // suppressed at least one finding this run
 }
 
 type suppressionIndex struct {
 	// keyed by file:line of the statement the suppression governs (its own
 	// line for trailing comments; the next line for leading comments — a
-	// suppression on its own line applies to the line below it).
-	byLine map[string][]suppression
-	broken []suppression // missing reason
+	// suppression on its own line applies to the line below it). Entries
+	// point into all so one suppression registered under two lines is one
+	// use-tracked object.
+	byLine map[string][]*suppression
+	all    []*suppression // well-formed suppressions in source order
+	broken []suppression  // missing reason
 }
 
 func key(file string, line int) string {
@@ -45,7 +49,7 @@ func itoa(n int) string {
 // collectSuppressions scans every comment in the package for
 // `//lint:ignore <analyzer> <reason>` markers.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex {
-	idx := &suppressionIndex{byLine: map[string][]suppression{}}
+	idx := &suppressionIndex{byLine: map[string][]*suppression{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -57,7 +61,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionInd
 				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
 				name, reason, _ := strings.Cut(rest, " ")
 				pos := fset.Position(c.Pos())
-				s := suppression{
+				s := &suppression{
 					file:     pos.Filename,
 					line:     pos.Line,
 					analyzer: name,
@@ -65,7 +69,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionInd
 					pos:      c.Pos(),
 				}
 				if s.analyzer == "" || s.reason == "" {
-					idx.broken = append(idx.broken, s)
+					idx.broken = append(idx.broken, *s)
 					continue
 				}
 				// A trailing comment suppresses its own line; a comment on a
@@ -73,6 +77,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionInd
 				// lines keeps the matcher a single map lookup — a stray match
 				// one line above a trailing comment is harmless because the
 				// suppression still names the analyzer explicitly.
+				idx.all = append(idx.all, s)
 				idx.byLine[key(s.file, s.line)] = append(idx.byLine[key(s.file, s.line)], s)
 				idx.byLine[key(s.file, s.line+1)] = append(idx.byLine[key(s.file, s.line+1)], s)
 			}
@@ -81,14 +86,17 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionInd
 	return idx
 }
 
-// apply filters suppressed findings and appends findings for malformed
-// suppression comments.
+// apply filters suppressed findings and appends findings for malformed and
+// unused suppression comments: a //lint:ignore that matched nothing is dead
+// weight that silently swallows the next finding to appear on its line, so it
+// must either be justified again (by a finding) or removed.
 func (idx *suppressionIndex) apply(raw []Finding) []Finding {
 	var out []Finding
 	for _, f := range raw {
 		suppressed := false
 		for _, s := range idx.byLine[key(f.Pos.Filename, f.Pos.Line)] {
 			if s.analyzer == f.Analyzer {
+				s.used = true
 				suppressed = true
 				break
 			}
@@ -103,6 +111,15 @@ func (idx *suppressionIndex) apply(raw []Finding) []Finding {
 			Analyzer: "lint",
 			Message:  "lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>",
 		})
+	}
+	for _, s := range idx.all {
+		if !s.used {
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: s.file, Line: s.line},
+				Analyzer: "lint",
+				Message:  "unused suppression: no " + s.analyzer + " finding on this or the next line; remove the stale //lint:ignore",
+			})
+		}
 	}
 	return out
 }

@@ -1,0 +1,95 @@
+// Fixture package for the detsource analyzer. Package-level values named rand
+// and time model the real packages; the analyzer matches the qualifier
+// identifier, with a type-based exemption for seeded generators (Rand/RNG)
+// that shadow the package name.
+package detsource
+
+type Source struct{ seed int64 }
+
+type Rand struct{ src Source }
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }
+
+type randAPI struct{}
+
+func (randAPI) Intn(n int) int                                   { return 0 }
+func (randAPI) Float64() float64                                 { return 0 }
+func (randAPI) Shuffle(n int, swap func(i, j int))               {}
+func (randAPI) Perm(n int) []int                                 { return nil }
+func (randAPI) New(src Source) *Rand                             { return &Rand{src: src} }
+func (randAPI) NewSource(seed int64) Source                      { return Source{seed: seed} }
+func (randAPI) NewZipf(r *Rand, s, v float64, imax uint64) *Rand { return r }
+
+var rand randAPI
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+type timeAPI struct{}
+
+func (timeAPI) Now() Time             { return Time{} }
+func (timeAPI) Since(t Time) Duration { return 0 }
+func (timeAPI) Until(t Time) Duration { return 0 }
+func (timeAPI) Sleep(d Duration)      {}
+
+var time timeAPI
+
+// draw pulls from the process-global generator.
+func draw() int {
+	return rand.Intn(10) // want "process-global math/rand"
+}
+
+// shuffleGlobal scrambles with shared state.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global math/rand"
+}
+
+// permGlobal: same story through Perm.
+func permGlobal(n int) []int {
+	return rand.Perm(n) // want "process-global math/rand"
+}
+
+// seeded builds a generator from an explicit seed: the constructors pass.
+func seeded(seed int64) *Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sample draws from a locally seeded generator: methods on *Rand are silent.
+func sample(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// shadowed shows the exemption: an identifier named rand whose type is a
+// seeded *Rand is a generator, not the package.
+func shadowed(rand *Rand) int {
+	return rand.Intn(3)
+}
+
+// stamp reads the wall clock in a determinism-scoped package.
+func stamp() Time {
+	return time.Now() // want "reads the wall clock"
+}
+
+// age derives a duration from the clock.
+func age(t Time) Duration {
+	return time.Since(t) // want "reads the wall clock"
+}
+
+// deadline is the third clock reader.
+func deadline(t Time) Duration {
+	return time.Until(t) // want "reads the wall clock"
+}
+
+// nap does not read the clock and stays silent.
+func nap(d Duration) {
+	time.Sleep(d)
+}
+
+// traceStamp exercises the suppression escape hatch for edge telemetry.
+func traceStamp() Time {
+	//lint:ignore detsource telemetry-only timestamp that never feeds model state
+	return time.Now()
+}

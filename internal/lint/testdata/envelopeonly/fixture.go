@@ -1,0 +1,90 @@
+// Fixture package for the envelopeonly analyzer. Package-level values named
+// os and gob model the real packages; the analyzer matches the qualifier
+// identifier and the stream argument's type name (File), so the shapes here
+// exercise it without importing anything.
+package envelopeonly
+
+type File struct{ name string }
+
+func (f *File) Write(p []byte) (int, error) { return len(p), nil }
+func (f *File) Close() error                { return nil }
+
+type osAPI struct{}
+
+func (osAPI) Create(name string) (*File, error)                     { return &File{name: name}, nil }
+func (osAPI) Open(name string) (*File, error)                       { return &File{name: name}, nil }
+func (osAPI) ReadFile(name string) ([]byte, error)                  { return nil, nil }
+func (osAPI) WriteFile(name string, data []byte, perm uint32) error { return nil }
+func (osAPI) MkdirAll(name string, perm uint32) error               { return nil }
+
+// OpenFile returns a bare *File so a direct call can appear as a gob stream
+// argument (the real os.OpenFile's error return makes that shape rarer, but
+// the analyzer still has to catch it when a wrapper hands the file over).
+func (osAPI) OpenFile(name string, flag int, perm uint32) *File { return &File{name: name} }
+
+var os osAPI
+
+type Buffer struct{ b []byte }
+
+func (b *Buffer) Write(p []byte) (int, error) { b.b = append(b.b, p...); return len(p), nil }
+
+type Encoder struct{}
+
+func (e *Encoder) Encode(v any) error { return nil }
+func (e *Encoder) Decode(v any) error { return nil }
+
+type gobAPI struct{}
+
+func (gobAPI) NewEncoder(w any) *Encoder { return &Encoder{} }
+func (gobAPI) NewDecoder(r any) *Encoder { return &Encoder{} }
+
+var gob gobAPI
+
+// saveRaw puts model bytes on disk without the checksummed envelope.
+func saveRaw(name string, data []byte) error {
+	f, err := os.Create(name) // want "raw file call os.Create"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// loadRaw pulls bytes off disk with no integrity check.
+func loadRaw(name string) ([]byte, error) {
+	return os.ReadFile(name) // want "raw file call os.ReadFile"
+}
+
+// encodeToFile streams gob straight into a file handle.
+func encodeToFile(f *File, v any) error {
+	return gob.NewEncoder(f).Encode(v) // want "gob.NewEncoder straight to a file"
+}
+
+// decodeDirect nests the raw open inside the decoder construction: both the
+// open and the stream are flagged.
+func decodeDirect(v any) error {
+	return gob.NewDecoder(os.OpenFile("m.gob", 0, 0)).Decode(v) // want "raw file call os.OpenFile" "gob.NewDecoder straight to a file"
+}
+
+// encodeBuf is the blessed shape: gob into memory, envelope the bytes.
+func encodeBuf(v any) ([]byte, error) {
+	var buf Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// mkdir shows the allow-list's precision: directory creation is not a
+// persistence path and stays silent.
+func mkdir(name string) error {
+	return os.MkdirAll(name, 0o755)
+}
+
+// debugDump exercises the suppression escape hatch.
+func debugDump(name string, data []byte) error {
+	//lint:ignore envelopeonly dev-only dump behind a debug flag, never a model artifact
+	return os.WriteFile(name, data, 0o644)
+}

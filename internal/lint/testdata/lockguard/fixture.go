@@ -1,0 +1,120 @@
+// Fixture package for the lockguard analyzer. Mutex/RWMutex and the
+// AddInt64/LoadInt64 free functions model sync and sync/atomic structurally;
+// the analyzer keys on type names, method names and the &x.f first-argument
+// shape, so no imports are needed.
+package lockguard
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+// Free-function stand-ins for sync/atomic.
+func AddInt64(p *int64, d int64) int64 { *p += d; return *p }
+func LoadInt64(p *int64) int64         { return *p }
+
+// --- atomicmix -------------------------------------------------------------
+
+type counterSet struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counterSet) hit() { AddInt64(&c.hits, 1) }
+
+func (c *counterSet) snapshot() int64 { return LoadInt64(&c.hits) }
+
+// readRace reads an atomically-updated field with a plain load.
+func (c *counterSet) readRace() int64 {
+	return c.hits // want "accessed atomically"
+}
+
+// plainMisses is fine: misses is never touched through the atomic API.
+func (c *counterSet) plainMisses() int64 { return c.misses }
+
+// --- guarded fields (contiguity inference) ---------------------------------
+
+type shard struct {
+	mu   Mutex
+	ver  int
+	recs map[string]int
+
+	free int // blank-line break above ends the guarded run
+}
+
+// get holds the lock for the whole read via defer.
+func (s *shard) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recs[k]
+}
+
+// peek drops the lock and then reads a guarded field.
+func (s *shard) peek(k string) int {
+	s.mu.Lock()
+	v := s.recs[k]
+	s.mu.Unlock()
+	return v + s.ver // want "guarded by mu"
+}
+
+// reset shows the blank-line break: free is fair game outside the lock.
+func (s *shard) reset() {
+	s.free = 0
+	s.mu.Lock()
+	s.recs = map[string]int{}
+	s.mu.Unlock()
+}
+
+// sizeLocked never locks: the caller-holds-mu helper convention, skipped.
+func (s *shard) sizeLocked() int { return len(s.recs) }
+
+// --- guarded fields (explicit comment) -------------------------------------
+
+type ring struct {
+	mu  Mutex
+	buf []int
+
+	next int // guarded by mu
+}
+
+func (r *ring) push(v int) {
+	r.mu.Lock()
+	r.buf = append(r.buf, v)
+	r.next++
+	r.mu.Unlock()
+	r.next = 0 // want "guarded by mu"
+}
+
+// lastLen exercises the suppression escape hatch for a reviewed exception.
+func (r *ring) lastLen() int {
+	r.mu.Lock()
+	r.mu.Unlock()
+	//lint:ignore lockguard benign rough read tolerated for test-only introspection
+	return len(r.buf)
+}
+
+// --- RWMutex windows --------------------------------------------------------
+
+type stats struct {
+	mu    RWMutex
+	total int
+}
+
+func (s *stats) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+func (s *stats) badRead() int {
+	s.mu.RLock()
+	s.mu.RUnlock()
+	return s.total // want "guarded by mu"
+}

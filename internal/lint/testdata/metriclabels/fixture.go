@@ -1,0 +1,75 @@
+// Fixture package for the metriclabels analyzer. Registry mirrors the obs
+// registry's Counter/Gauge/Histogram signatures; matching is structural
+// (method names on a type named Registry), so no obs import is needed.
+package metriclabels
+
+type Counter struct{}
+
+func (c *Counter) Add(d float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name string, labels ...string) *Counter   { return nil }
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Counter {
+	return nil
+}
+
+var reg Registry
+
+const reqFamily = "intellitag_requests_total"
+
+var defaultBuckets = []float64{1, 2, 5}
+
+// recordOK shows the blessed shape, including a named constant folded at
+// compile time and a consistent label set across call sites.
+func recordOK(shard string) {
+	reg.Counter(reqFamily, "shard", shard)
+	reg.Counter("intellitag_requests_total", "shard", "s1")
+}
+
+// histOK: buckets sit between the name and the labels.
+func histOK(path string) {
+	reg.Histogram("intellitag_latency_ms", defaultBuckets, "path", path)
+}
+
+// badName breaks the intellitag_[a-z_]+ naming contract.
+func badName() {
+	reg.Counter("IntellitagRequests") // want "must match intellitag_"
+}
+
+// dynamicName cannot be checked at lint time.
+func dynamicName(n string) {
+	reg.Counter(n) // want "compile-time string constant"
+}
+
+// oddLabels passes a key with no value.
+func oddLabels() {
+	reg.Gauge("intellitag_queue_depth", "shard") // want "label arguments"
+}
+
+// dynamicKey hides the label set behind a runtime value.
+func dynamicKey(k, v string) {
+	reg.Counter("intellitag_hits_total", k, v) // want "label key must be a compile-time string constant"
+}
+
+// spread hides the label set behind a slice.
+func spread(labels []string) {
+	reg.Counter("intellitag_spread_total", labels...) // want "spelled inline"
+}
+
+// kindClash registers the counter family from recordOK as a gauge.
+func kindClash() {
+	reg.Gauge("intellitag_requests_total") // want "one family has one kind"
+}
+
+// keyClash uses the family with a different label-key set.
+func keyClash(op string) {
+	reg.Counter("intellitag_requests_total", "op", op) // want "label set must be identical"
+}
+
+// legacy exercises the suppression escape hatch for a grandfathered name.
+func legacy() {
+	//lint:ignore metriclabels legacy dashboard name kept until the grafana board migrates
+	reg.Counter("legacy_total")
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// VersionPin enforces PR 5's request-pinning contract inside internal/serving:
+// every request must load the engine's current modelVersion exactly once and
+// use only that pointer for its whole turn. The hot-swap protocol guarantees
+// zero dropped requests *only* under that discipline — a function that loads
+// the version twice can observe two different models across a concurrent
+// swap, handing a request half of one catalog and half of another's scores.
+// Three rules, per function:
+//
+//   - a second load of the current version (cur.Load() on an
+//     atomic.Pointer[modelVersion], or acquire()) is flagged; bind the first
+//     load to a local and thread it through;
+//   - a function that already receives a pinned *modelVersion parameter must
+//     not load the current version again — the fresh load may disagree with
+//     the pin mid-request;
+//   - writes to modelVersion fields outside modelVersion's own methods are
+//     flagged: versions are immutable once live (build a new bundle and swap
+//     instead of mutating the active version in place).
+//
+// Identification is structural (a Load method on a type named Pointer
+// returning *modelVersion; a field write through a *modelVersion base), so
+// the golden fixtures can model the engine without importing sync/atomic.
+var VersionPin = &Analyzer{
+	Name: "versionpin",
+	Doc:  "requests must pin one modelVersion per scope; live versions are immutable",
+	Run:  runVersionPin,
+}
+
+func runVersionPin(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkVersionPinFunc(pass, fn)
+		}
+	}
+}
+
+func checkVersionPinFunc(pass *Pass, fn *ast.FuncDecl) {
+	recvIsVersion := fn.Recv != nil && len(fn.Recv.List) == 1 &&
+		isModelVersionRef(pass.TypeOf(fn.Recv.List[0].Type))
+
+	pinnedParam := ""
+	if fn.Type.Params != nil {
+		for _, p := range fn.Type.Params.List {
+			if isModelVersionRef(pass.TypeOf(p.Type)) && len(p.Names) > 0 {
+				pinnedParam = p.Names[0].Name
+			}
+		}
+	}
+
+	var pins []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isVersionPinCall(pass, n) {
+				pins = append(pins, n)
+			}
+		case *ast.AssignStmt:
+			if !recvIsVersion {
+				checkVersionWrite(pass, n)
+			}
+		case *ast.IncDecStmt:
+			if !recvIsVersion {
+				if sel, ok := n.X.(*ast.SelectorExpr); ok && isModelVersionRef(pass.TypeOf(sel.X)) {
+					reportVersionWrite(pass, n.Pos(), sel)
+				}
+			}
+		}
+		return true
+	})
+
+	for i, call := range pins {
+		if pinnedParam != "" {
+			pass.Reportf(call.Pos(),
+				"%s already receives a pinned *modelVersion (%s); loading the current version again may observe a different model mid-request",
+				funcDisplayName(fn), pinnedParam)
+			continue
+		}
+		if i > 0 {
+			pass.Reportf(call.Pos(),
+				"second load of the active model version in %s (first at line %d); pin one version per request scope and thread it through",
+				funcDisplayName(fn), pass.Fset.Position(pins[0].Pos()).Line)
+		}
+	}
+}
+
+// isVersionPinCall reports whether call pins the current model version: a
+// no-argument Load on an atomic Pointer yielding *modelVersion, or the
+// engine's acquire helper.
+func isVersionPinCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	if !isModelVersionRef(pass.TypeOf(call)) {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Load":
+		return isNamed(pass.TypeOf(sel.X), "Pointer")
+	case "acquire":
+		return true
+	}
+	return false
+}
+
+// checkVersionWrite flags assignments whose target is a field of a
+// modelVersion reached outside the type's own methods.
+func checkVersionWrite(pass *Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if isModelVersionRef(pass.TypeOf(sel.X)) {
+			reportVersionWrite(pass, as.Pos(), sel)
+		}
+	}
+}
+
+func reportVersionWrite(pass *Pass, pos token.Pos, sel *ast.SelectorExpr) {
+	pass.Reportf(pos,
+		"write to version-owned field %s outside modelVersion's own methods; versions are immutable once live — build a new bundle and swap",
+		sel.Sel.Name)
+}
+
+// isModelVersionRef reports whether t is *modelVersion (or modelVersion).
+func isModelVersionRef(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(t, "modelVersion")
+}
+
+// isNamed reports whether t is a named (possibly generic-instantiated) type
+// with the given base name.
+func isNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Name != nil {
+		return fn.Name.Name
+	}
+	return "function"
+}

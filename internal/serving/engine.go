@@ -264,14 +264,23 @@ func (e *Engine) recommendTags(ctx context.Context, v *modelVersion, tenant, ses
 	}
 	sh := e.shard(session)
 	sh.mu.Lock()
+	var (
+		memo    []ScoredTag
+		hit     bool
+		ver     uint64
+		history []int
+	)
 	if c, ok := sh.recs[session]; ok && c.ver == v && c.tenant == tenant && c.k == k {
-		out := append([]ScoredTag(nil), c.recs...)
-		sh.mu.Unlock()
-		return out
+		hit = true
+		memo = append([]ScoredTag(nil), c.recs...)
+	} else {
+		ver = sh.ver
+		history = append([]int(nil), sh.m[session]...)
 	}
-	ver := sh.ver
-	history := append([]int(nil), sh.m[session]...)
 	sh.mu.Unlock()
+	if hit {
+		return memo
+	}
 
 	var scores []float64
 	if len(history) == 0 {
@@ -393,7 +402,7 @@ func (e *Engine) predictQuestions(ctx context.Context, v *modelVersion, tenant i
 // (the deployment's model upload) on the active version. A nil matcher keeps
 // BM25 order. Call during setup; versions installed by Swap carry their own
 // matcher in the bundle.
-func (e *Engine) SetMatcher(m QuestionMatcher) { e.cur.Load().matcher = m }
+func (e *Engine) SetMatcher(m QuestionMatcher) { e.cur.Load().matcher = m } //lint:ignore versionpin documented setup-time mutation before the engine serves traffic
 
 // Ask answers a typed question: retrieve the RQ recall set for the tenant,
 // pick the best match (via the uploaded matcher model when present, BM25

@@ -297,11 +297,11 @@ type swapRequest struct {
 // every replica set. It is the engine room of POST /admin/swap and of the
 // store watcher's auto-swap; only one swap runs at a time.
 func (s *Server) Swap(versionID string, stagger time.Duration) ([]bucketVersions, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
 	if s.loadModel == nil {
 		return nil, errors.New("no snapshot source configured")
 	}
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
 	if versionID == "" {
 		if s.snapStore == nil {
 			return nil, errors.New("no snapshot store: an explicit version id is required")

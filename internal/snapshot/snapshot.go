@@ -269,7 +269,7 @@ func (w *Writer) WriteComponent(component string, payload []byte) error {
 func (w *Writer) Abort() {
 	if !w.done {
 		w.done = true
-		_ = os.RemoveAll(w.dir) //lint:ignore errcheck best-effort cleanup of a temp dir on the abort path
+		_ = os.RemoveAll(w.dir) // best-effort cleanup of a temp dir on the abort path
 	}
 }
 
