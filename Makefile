@@ -1,14 +1,15 @@
 # Developer entry points. `make check` is the full pre-merge gate, in order:
-# fmt -> vet -> lint -> build -> test(-race) -> bench-short. Cheap textual
-# checks run first, intellilint gates the project invariants before anything
-# compiles twice, and the race-enabled tests plus a short benchmark pass close
-# out correctness and gross performance regressions.
+# fmt -> vet -> lint -> build -> test(-race) -> bench-short -> load-cert-short.
+# Cheap textual checks run first, intellilint gates the project invariants
+# before anything compiles twice, the race-enabled tests plus a short
+# benchmark pass close out correctness and gross performance regressions, and
+# a short load-certification sweep keeps the serving hot path honest.
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-fix-list build test bench bench-short bench-all bench-ann obs-demo swap-demo
+.PHONY: check fmt vet lint lint-fix-list build test bench bench-short bench-all bench-ann load-cert load-cert-short record-trace trajectory obs-demo swap-demo
 
-check: fmt vet lint build test bench-short
+check: fmt vet lint build test bench-short load-cert-short
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -61,6 +62,35 @@ bench-all:
 # build is the long pole; pass a smaller -sizes for a quick look.
 bench-ann:
 	$(GO) run ./cmd/annbench -sizes 100000,1000000 -serve-tags 100000 -o BENCH_PR7.json
+
+# Load certification (ROADMAP item 4): closed-loop sweep against an
+# in-process intellitag-server clone (popularity bucket swapped to a freshly
+# trained TagRec bundle mid-step 3), SLO gates per step, zero dropped
+# requests certified across the rolling swap. Writes BENCH_LOAD_PR9.json —
+# the recorded artifact — and exits non-zero if any gate fails.
+load-cert:
+	$(GO) run ./cmd/loadgen -model intellitag -steps 1,4,8,16 -duration 2s \
+		-warmup 500ms -swap-step 3 -max-p99-ms 250 -min-qps 500 \
+		-o BENCH_LOAD_PR9.json -note "closed-loop sweep, rolling swap on step 3"
+
+# Sub-ten-second certification smoke for `make check` and CI: tiny sweep over
+# the popularity model, swap on the last step, gates relaxed to catch only
+# gross breakage (errors, drops, pathological p99).
+load-cert-short:
+	$(GO) run ./cmd/loadgen -model popularity -steps 1,4 -duration 500ms \
+		-warmup 200ms -swap-step 2 -max-p99-ms 1000 \
+		-o /tmp/intellitag-load-short.json -note "short certification smoke"
+
+# Record a deterministic httprr trace of held-out session traffic for replay
+# in serving tests and `loadgen -trace`.
+record-trace:
+	$(GO) run ./cmd/simulate -model popularity -record /tmp/intellitag-session.httprr -record-sessions 5
+
+# Merge every recorded BENCH artifact into one schema-checked trajectory;
+# fails loudly on any malformed entry.
+trajectory:
+	$(GO) run ./cmd/benchjson -trajectory -o TRAJECTORY.json \
+		BENCH_PR2.json BENCH_PR7.json BENCH_LOAD_PR9.json
 
 # Live telemetry demo: run the simulator with the telemetry listener up, let
 # traffic flow for a moment, dump /metrics and one sampled trace, then stop.

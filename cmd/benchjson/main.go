@@ -8,6 +8,13 @@
 // Usage:
 //
 //	go test -run xxx -bench PR2 -benchmem ./... | benchjson -o BENCH_PR2.json -baseline BENCH_PR2_BASELINE.json
+//
+// With -trajectory it instead validates and merges already-written BENCH_*
+// files — the bench reports above, annbench curve reports (BENCH_PR7) and
+// load-certification reports (BENCH_LOAD_*) — into one schema-checked
+// trajectory document, failing loudly on any malformed entry:
+//
+//	benchjson -trajectory -o TRAJECTORY.json BENCH_PR2.json BENCH_PR7.json BENCH_LOAD_PR9.json
 package main
 
 import (
@@ -52,7 +59,19 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "baseline JSON to embed and compare against")
 	note := flag.String("note", "", "free-form note stored in the report")
+	trajectory := flag.Bool("trajectory", false, "validate and merge BENCH_*.json arguments into one trajectory document")
 	flag.Parse()
+
+	if *trajectory {
+		traj, err := buildTrajectory(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		traj.Note = *note
+		emit(traj, *out)
+		return
+	}
 
 	report := Report{Note: *note, Benchmarks: map[string]Result{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -118,21 +137,26 @@ func main() {
 		}
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
+	emit(report, *out)
+}
+
+// emit writes v as indented JSON to out, or stdout when out is empty.
+func emit(v any, out string) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", out)
 }
 
 func ratio(base, cur float64) float64 {

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The repo accumulates one BENCH_*.json per performance PR, in three shapes:
+// `go test -bench` reports (BENCH_PR2), annbench recall/latency curve reports
+// (BENCH_PR7) and load-certification reports (BENCH_LOAD_*). buildTrajectory
+// merges any mix of them into one document so the perf trajectory across PRs
+// is a single schema-checked artifact. Every structural defect is a hard
+// error naming the file and the field — a malformed entry silently dropped
+// would read as a regression-free trajectory.
+
+// trajectorySchema identifies the merged document.
+const trajectorySchema = "intellitag-trajectory/1"
+
+// TrajectoryEntry is one validated BENCH file in the merged document.
+type TrajectoryEntry struct {
+	File    string `json:"file"`
+	Kind    string `json:"kind"` // bench | annbench | load
+	Summary string `json:"summary"`
+	// Pass carries the load report's gate verdict; bench/annbench entries
+	// have no gates and stay null.
+	Pass   *bool           `json:"pass,omitempty"`
+	Report json.RawMessage `json:"report"`
+}
+
+// Trajectory is the merged, schema-checked document.
+type Trajectory struct {
+	Schema  string            `json:"schema"`
+	Note    string            `json:"note,omitempty"`
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+// buildTrajectory reads, classifies and validates each file, in argument
+// order (the PR order), and merges them.
+func buildTrajectory(files []string) (*Trajectory, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-trajectory needs BENCH_*.json arguments")
+	}
+	traj := &Trajectory{Schema: trajectorySchema}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		entry, err := validateEntry(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		entry.File = filepath.Base(path)
+		entry.Report = json.RawMessage(data)
+		traj.Entries = append(traj.Entries, entry)
+	}
+	return traj, nil
+}
+
+// validateEntry classifies one report by shape and checks the invariants of
+// its schema.
+func validateEntry(data []byte) (TrajectoryEntry, error) {
+	var probe struct {
+		Schema     json.RawMessage `json:"schema"`
+		Benchmarks json.RawMessage `json:"benchmarks"`
+		Curves     json.RawMessage `json:"curves"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return TrajectoryEntry{}, fmt.Errorf("not a JSON object: %v", err)
+	}
+	switch {
+	case probe.Schema != nil:
+		return validateLoad(data)
+	case probe.Benchmarks != nil:
+		return validateBench(data)
+	case probe.Curves != nil:
+		return validateCurves(data)
+	}
+	return TrajectoryEntry{}, fmt.Errorf("unrecognized report shape: no schema, benchmarks or curves key")
+}
+
+func validateBench(data []byte) (TrajectoryEntry, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return TrajectoryEntry{}, fmt.Errorf("bench report: %v", err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return TrajectoryEntry{}, fmt.Errorf("bench report: benchmarks is empty")
+	}
+	names := make([]string, 0, len(r.Benchmarks))
+	for name := range r.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := r.Benchmarks[name]
+		if b.Iters <= 0 {
+			return TrajectoryEntry{}, fmt.Errorf("bench report: %s: iters %d", name, b.Iters)
+		}
+		if b.NsPerOp <= 0 {
+			return TrajectoryEntry{}, fmt.Errorf("bench report: %s: ns_per_op %g", name, b.NsPerOp)
+		}
+	}
+	return TrajectoryEntry{
+		Kind:    "bench",
+		Summary: fmt.Sprintf("%d benchmarks, %d baselined", len(r.Benchmarks), len(r.Improvement)),
+	}, nil
+}
+
+func validateCurves(data []byte) (TrajectoryEntry, error) {
+	var r struct {
+		Curves []struct {
+			Size       int     `json:"size"`
+			Backend    string  `json:"backend"`
+			Recall     float64 `json:"recall_at_10"`
+			NsPerQuery float64 `json:"ns_per_query"`
+		} `json:"curves"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return TrajectoryEntry{}, fmt.Errorf("curve report: %v", err)
+	}
+	if len(r.Curves) == 0 {
+		return TrajectoryEntry{}, fmt.Errorf("curve report: curves is empty")
+	}
+	for i, c := range r.Curves {
+		if c.Size <= 0 || c.Backend == "" {
+			return TrajectoryEntry{}, fmt.Errorf("curve report: curve %d: size %d backend %q", i, c.Size, c.Backend)
+		}
+		if c.Recall < 0 || c.Recall > 1 {
+			return TrajectoryEntry{}, fmt.Errorf("curve report: curve %d: recall_at_10 %g outside [0,1]", i, c.Recall)
+		}
+		if c.NsPerQuery <= 0 {
+			return TrajectoryEntry{}, fmt.Errorf("curve report: curve %d: ns_per_query %g", i, c.NsPerQuery)
+		}
+	}
+	return TrajectoryEntry{
+		Kind:    "annbench",
+		Summary: fmt.Sprintf("%d recall/latency curve points", len(r.Curves)),
+	}, nil
+}
+
+func validateLoad(data []byte) (TrajectoryEntry, error) {
+	var r struct {
+		Schema string `json:"schema"`
+		Pass   *bool  `json:"pass"`
+		Steps  []struct {
+			Concurrency int     `json:"concurrency"`
+			Requests    int64   `json:"requests"`
+			AchievedQPS float64 `json:"achieved_qps"`
+			P50Ms       float64 `json:"p50_ms"`
+			P95Ms       float64 `json:"p95_ms"`
+			P99Ms       float64 `json:"p99_ms"`
+			Gates       []struct {
+				Gate string `json:"gate"`
+			} `json:"gates"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return TrajectoryEntry{}, fmt.Errorf("load report: %v", err)
+	}
+	if r.Schema != "intellitag-load/1" {
+		return TrajectoryEntry{}, fmt.Errorf("load report: unknown schema %q", r.Schema)
+	}
+	if r.Pass == nil {
+		return TrajectoryEntry{}, fmt.Errorf("load report: missing pass verdict")
+	}
+	if len(r.Steps) == 0 {
+		return TrajectoryEntry{}, fmt.Errorf("load report: steps is empty")
+	}
+	for i, s := range r.Steps {
+		if s.Concurrency < 1 {
+			return TrajectoryEntry{}, fmt.Errorf("load report: step %d: concurrency %d", i, s.Concurrency)
+		}
+		if s.Requests <= 0 || s.AchievedQPS <= 0 {
+			return TrajectoryEntry{}, fmt.Errorf("load report: step %d did no work: requests %d, qps %g", i, s.Requests, s.AchievedQPS)
+		}
+		if s.P50Ms > s.P95Ms || s.P95Ms > s.P99Ms {
+			return TrajectoryEntry{}, fmt.Errorf("load report: step %d: non-monotone percentiles p50=%g p95=%g p99=%g", i, s.P50Ms, s.P95Ms, s.P99Ms)
+		}
+		if len(s.Gates) == 0 {
+			return TrajectoryEntry{}, fmt.Errorf("load report: step %d has no gates", i)
+		}
+		for j, g := range s.Gates {
+			if g.Gate == "" {
+				return TrajectoryEntry{}, fmt.Errorf("load report: step %d gate %d is unnamed", i, j)
+			}
+		}
+	}
+	return TrajectoryEntry{
+		Kind:    "load",
+		Pass:    r.Pass,
+		Summary: fmt.Sprintf("%d load steps, gates pass=%v", len(r.Steps), *r.Pass),
+	}, nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodBench = `{"benchmarks":{"PR2_MatMul":{"iters":100,"ns_per_op":987,"b_per_op":0,"allocs_per_op":3}}}`
+const goodCurves = `{"curves":[{"size":1000,"backend":"lsh","recall_at_10":0.99,"ns_per_query":28601}]}`
+const goodLoad = `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":4,"requests":100,` +
+	`"achieved_qps":50,"p50_ms":1,"p95_ms":2,"p99_ms":3,"gates":[{"gate":"max_error_rate","pass":true}]}]}`
+
+func TestTrajectoryMergesAllSchemas(t *testing.T) {
+	files := []string{
+		writeFile(t, "BENCH_PR2.json", goodBench),
+		writeFile(t, "BENCH_PR7.json", goodCurves),
+		writeFile(t, "BENCH_LOAD_PR9.json", goodLoad),
+	}
+	traj, err := buildTrajectory(files)
+	if err != nil {
+		t.Fatalf("buildTrajectory: %v", err)
+	}
+	if traj.Schema != trajectorySchema || len(traj.Entries) != 3 {
+		t.Fatalf("trajectory shape wrong: %+v", traj)
+	}
+	kinds := []string{"bench", "annbench", "load"}
+	for i, e := range traj.Entries {
+		if e.Kind != kinds[i] {
+			t.Errorf("entry %d kind %q, want %q", i, e.Kind, kinds[i])
+		}
+		if len(e.Report) == 0 || e.Summary == "" {
+			t.Errorf("entry %d lost its report or summary: %+v", i, e)
+		}
+	}
+	if traj.Entries[2].Pass == nil || !*traj.Entries[2].Pass {
+		t.Errorf("load entry lost its gate verdict: %+v", traj.Entries[2])
+	}
+	if traj.Entries[0].Pass != nil {
+		t.Errorf("bench entry fabricated a gate verdict: %+v", traj.Entries[0])
+	}
+}
+
+// TestTrajectoryFailsLoudly pins the hard-error contract: every malformed
+// shape is rejected with the offending file in the message, never skipped.
+func TestTrajectoryFailsLoudly(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"notjson.json", `{`, "not a JSON object"},
+		{"unknown.json", `{"something":1}`, "unrecognized report shape"},
+		{"emptybench.json", `{"benchmarks":{}}`, "benchmarks is empty"},
+		{"badbench.json", `{"benchmarks":{"X":{"iters":0,"ns_per_op":5}}}`, "iters"},
+		{"badcurve.json", `{"curves":[{"size":10,"backend":"lsh","recall_at_10":1.5,"ns_per_query":1}]}`, "outside [0,1]"},
+		{"badschema.json", `{"schema":"intellitag-load/9","pass":true,"steps":[]}`, "unknown schema"},
+		{"nopass.json", `{"schema":"intellitag-load/1","steps":[{"concurrency":1,"requests":1,"achieved_qps":1,"gates":[{"gate":"g"}]}]}`, "missing pass"},
+		{"nosteps.json", `{"schema":"intellitag-load/1","pass":true,"steps":[]}`, "steps is empty"},
+		{"idle.json", `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":1,"requests":0,"achieved_qps":0,"gates":[{"gate":"g"}]}]}`, "did no work"},
+		{"nonmono.json", `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":1,"requests":5,"achieved_qps":1,"p50_ms":9,"p95_ms":2,"p99_ms":3,"gates":[{"gate":"g"}]}]}`, "non-monotone"},
+		{"nogates.json", `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":1,"requests":5,"achieved_qps":1,"gates":[]}]}`, "no gates"},
+	}
+	for _, tc := range cases {
+		path := writeFile(t, tc.name, tc.content)
+		_, err := buildTrajectory([]string{writeFile(t, "ok.json", goodBench), path})
+		if err == nil {
+			t.Errorf("%s: accepted malformed report", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) || !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("%s: error %q does not name the file and defect %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	if _, err := buildTrajectory(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if _, err := buildTrajectory([]string{filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTrajectoryValidatesRealRepoFiles(t *testing.T) {
+	files := []string{"../../BENCH_PR2.json", "../../BENCH_PR7.json"}
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			t.Skipf("repo BENCH files not present: %v", err)
+		}
+	}
+	traj, err := buildTrajectory(files)
+	if err != nil {
+		t.Fatalf("committed BENCH files fail validation: %v", err)
+	}
+	if traj.Entries[0].Kind != "bench" || traj.Entries[1].Kind != "annbench" {
+		t.Fatalf("committed BENCH files misclassified: %+v", traj.Entries)
+	}
+}

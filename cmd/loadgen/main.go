@@ -1,0 +1,280 @@
+// Command loadgen is the load-certification harness (ROADMAP item 4): a
+// closed-loop, coordinated-omission-aware generator that drives the
+// intellitag-server HTTP API through a concurrency sweep, checks declarative
+// SLO gates per step — including zero dropped requests across a mid-step
+// rolling model swap — and writes the latency/throughput curve as a
+// BENCH_LOAD json.
+//
+// Usage:
+//
+//	loadgen [-o BENCH_LOAD_PR9.json] [-steps 1,4,8] [-duration 2s] [-qps 0]
+//	        [-swap-step 2] [-trace FILE] [-model popularity|intellitag]
+//	        [-addr http://host:port] [-seed 1] [-replicas 2]
+//	        [-max-p99-ms 0] [-min-qps 0] [-max-error-rate 0] [-max-server-p99-ms 0]
+//
+// Without -addr, loadgen starts an in-process server (same setup as
+// intellitag-server -fast) on a loopback port and certifies that; -swap-step
+// then performs the rolling swap directly on the replica set. With -addr it
+// drives an external server and swaps via POST /admin/swap. Traffic is the
+// synthetic click → recommend session mix by default, or a recorded httprr
+// trace with -trace (record one with: simulate -record FILE).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"intellitag/internal/core"
+	"intellitag/internal/load"
+	"intellitag/internal/obs"
+	"intellitag/internal/search"
+	"intellitag/internal/serving"
+	"intellitag/internal/store"
+	"intellitag/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", "", "external target base URL; empty starts an in-process server")
+	model := flag.String("model", "popularity", "in-process scorer: popularity or intellitag")
+	seed := flag.Int64("seed", 1, "world seed (must match the target's for synthetic traffic)")
+	fast := flag.Bool("fast", true, "use the small world")
+	replicas := flag.Int("replicas", 2, "in-process engine replicas (swap needs >= 2 to roll)")
+	stepsFlag := flag.String("steps", "1,4,8", "comma-separated concurrency steps")
+	qps := flag.Float64("qps", 0, "target request rate per step; 0 = closed loop")
+	duration := flag.Duration("duration", 2*time.Second, "measured duration per step")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "untimed warmup before the first step")
+	swapStep := flag.Int("swap-step", 0, "1-based step that performs a rolling swap mid-step (0 disables)")
+	trace := flag.String("trace", "", "httprr trace file to replay as traffic instead of synthetic sessions")
+	k := flag.Int("k", 5, "top-k per synthetic request")
+	maxP99 := flag.Float64("max-p99-ms", 0, "SLO: client-side p99 ceiling in ms (0 disables)")
+	minQPS := flag.Float64("min-qps", 0, "SLO: achieved-throughput floor (0 disables)")
+	maxErrRate := flag.Float64("max-error-rate", 0, "SLO: (errors+dropped)/requests ceiling (always enforced)")
+	maxServerP99 := flag.Float64("max-server-p99-ms", 0, "SLO: server-reported route p99 ceiling in ms (0 disables)")
+	out := flag.String("o", "BENCH_LOAD_PR9.json", "report output path")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	steps, err := parseSteps(*stepsFlag, *qps, *duration, *swapStep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The synthetic world is generated either way: in-process it backs the
+	// server; against -addr it supplies the tenant/tag universe for synthetic
+	// traffic (the target must be an intellitag-server on the same seed).
+	worldCfg := synth.DefaultConfig()
+	if *fast {
+		worldCfg = synth.SmallConfig()
+	}
+	worldCfg.Seed = *seed
+	world := synth.Generate(worldCfg)
+	train, _, _ := world.SplitSessions(0.9, 0.05)
+	catalog, index := serving.BuildCatalog(world, train)
+
+	opts := load.Options{
+		Warmup:  *warmup,
+		SLO:     load.SLO{MaxP99Ms: *maxP99, MinQPS: *minQPS, MaxErrorRate: *maxErrRate, MaxServerP99Ms: *maxServerP99},
+		Note:    *note,
+		Timeout: 30 * time.Second,
+	}
+
+	if *trace != "" {
+		src, err := load.NewTraceSource(*trace)
+		if err != nil {
+			log.Fatalf("load -trace: %v", err)
+		}
+		opts.Source = src
+	} else {
+		opts.Source = syntheticFromCatalog(catalog, *seed, *k)
+	}
+
+	if *addr != "" {
+		opts.BaseURL = strings.TrimRight(*addr, "/")
+		opts.Swap = func() (string, error) { return adminSwap(opts.BaseURL) }
+	} else {
+		makeBundle := bundleBuilder(*model, world, train, catalog, index)
+		rs := serving.NewReplicaSet(makeBundle("v0001-loadgen"), *replicas, 0, store.NewLog(), nil)
+		server := serving.NewServer(serving.NewReplicatedABRouter(rs))
+		server.EnableTelemetry(obs.NewRegistry(), obs.NewTracer(64, 256))
+		hostport, err := obs.ServeBackground("127.0.0.1:0", server)
+		if err != nil {
+			log.Fatalf("start in-process server: %v", err)
+		}
+		opts.BaseURL = "http://" + hostport
+		opts.Swap = func() (string, error) {
+			// A fresh bundle (fresh scorer state) rolled across the replicas
+			// while the workers keep hammering the API.
+			b := makeBundle("v0002-loadgen")
+			rs.RollingSwap(b, 10*time.Millisecond)
+			return b.VersionID, nil
+		}
+		log.Printf("in-process %s server on %s (%d replicas)", *model, opts.BaseURL, *replicas)
+	}
+
+	log.Printf("sweep: steps=%s qps=%g duration=%s swap-step=%d source=%s",
+		*stepsFlag, *qps, *duration, *swapStep, opts.Source.Name())
+	report, err := load.Run(opts, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.Write(*out); err != nil {
+		log.Fatal(err)
+	}
+	printSummary(report)
+	fmt.Printf("report: %s\n", *out)
+	if !report.Pass {
+		os.Exit(1)
+	}
+}
+
+// parseSteps turns "1,4,8" into the sweep, arming the swap on the chosen step.
+func parseSteps(spec string, qps float64, d time.Duration, swapStep int) ([]load.StepConfig, error) {
+	parts := strings.Split(spec, ",")
+	steps := make([]load.StepConfig, 0, len(parts))
+	for _, p := range parts {
+		c, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("loadgen: bad -steps entry %q", p)
+		}
+		steps = append(steps, load.StepConfig{Concurrency: c, QPS: qps, Duration: d})
+	}
+	if swapStep != 0 {
+		if swapStep < 1 || swapStep > len(steps) {
+			return nil, fmt.Errorf("loadgen: -swap-step %d outside 1..%d", swapStep, len(steps))
+		}
+		steps[swapStep-1].Swap = true
+	}
+	return steps, nil
+}
+
+// syntheticFromCatalog shapes the synthetic source after the serving catalog:
+// every tenant with tags contributes its real tag universe.
+func syntheticFromCatalog(catalog serving.Catalog, seed int64, k int) *load.SyntheticSource {
+	tenants := make([]int, 0, len(catalog.TenantTags))
+	for t := range catalog.TenantTags {
+		tenants = append(tenants, t)
+	}
+	sort.Ints(tenants)
+	src := &load.SyntheticSource{Seed: seed, K: k, ClicksPerSession: 3}
+	for _, t := range tenants {
+		if tags := catalog.TenantTags[t]; len(tags) > 0 {
+			src.Tenants = append(src.Tenants, load.TenantTraffic{Tenant: t, Tags: tags})
+		}
+	}
+	if len(src.Tenants) == 0 {
+		log.Fatal("loadgen: catalog has no tenants with tags")
+	}
+	return src
+}
+
+// bundleBuilder returns a factory making one fresh serving bundle per call —
+// fresh scorer state per version, as the swap protocol requires.
+func bundleBuilder(model string, world *synth.World, train []synth.Session, catalog serving.Catalog, index *search.Index) func(string) *serving.ModelBundle {
+	switch model {
+	case "popularity":
+		return func(version string) *serving.ModelBundle {
+			return &serving.ModelBundle{VersionID: version, Catalog: catalog, Index: index, Scorer: popScorer{catalog.Popularity}}
+		}
+	case "intellitag":
+		graph := world.BuildGraph(train)
+		var clicks [][]int
+		for _, s := range train {
+			clicks = append(clicks, s.Clicks)
+		}
+		prefixes := core.ExpandPrefixes(clicks)
+		recCfg := core.DefaultConfig()
+		recCfg.Dim, recCfg.Heads = 16, 2
+		tc := core.DefaultTrainConfig()
+		tc.Epochs, tc.JointEpochs = 1, 1
+		return func(version string) *serving.ModelBundle {
+			start := time.Now()
+			m := core.Build(recCfg, graph, nil)
+			core.TrainFull(m, graph, prefixes, tc)
+			m.Freeze()
+			log.Printf("trained TagRec bundle %s in %s", version, time.Since(start).Round(time.Millisecond))
+			return &serving.ModelBundle{VersionID: version, Catalog: catalog, Index: index, Scorer: m}
+		}
+	default:
+		log.Fatalf("loadgen: unknown -model %q (popularity or intellitag)", model)
+		return nil
+	}
+}
+
+// popScorer ranks by global popularity (the cold-start fallback as a
+// standalone serving model — instant to "train", ideal for short runs).
+type popScorer struct{ pop []float64 }
+
+// ScoreCandidates implements serving.Scorer.
+func (p popScorer) ScoreCandidates(history, candidates []int) []float64 {
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = p.pop[c]
+	}
+	return out
+}
+
+// Name implements serving.Scorer.
+func (p popScorer) Name() string { return "popularity" }
+
+// adminSwap flips an external server to its latest snapshot via the hot-swap
+// control plane and reports the version now serving.
+func adminSwap(base string) (string, error) {
+	resp, err := http.Post(base+"/admin/swap", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		_ = resp.Body.Close() // read side; nothing to recover from on close failure
+	}()
+	var body struct {
+		Buckets []struct {
+			Replicas []serving.VersionInfo `json:"replicas"`
+		} `json:"buckets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", fmt.Errorf("loadgen: decode /admin/swap response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("loadgen: /admin/swap status %d", resp.StatusCode)
+	}
+	if len(body.Buckets) == 0 || len(body.Buckets[0].Replicas) == 0 {
+		return "", fmt.Errorf("loadgen: /admin/swap reported no versions")
+	}
+	return body.Buckets[0].Replicas[0].ID, nil
+}
+
+// printSummary renders the per-step curve and gate verdicts.
+func printSummary(r *load.Report) {
+	fmt.Printf("%-5s %6s %9s %9s %9s %9s %8s %7s %7s %s\n",
+		"conc", "qps*", "achieved", "p50ms", "p95ms", "p99ms", "maxms", "errs", "drop", "gates")
+	for _, s := range r.Steps {
+		verdicts := make([]string, 0, len(s.Gates))
+		for _, g := range s.Gates {
+			mark := "ok"
+			if !g.Pass {
+				mark = "FAIL"
+			}
+			verdicts = append(verdicts, g.Gate+"="+mark)
+		}
+		swap := ""
+		if s.Swap != nil {
+			swap = " [swap->" + s.Swap.Version + "]"
+		}
+		fmt.Printf("%-5d %6g %9.1f %9.3f %9.3f %9.3f %8.1f %7d %7d %s%s\n",
+			s.Concurrency, s.TargetQPS, s.AchievedQPS, s.P50Ms, s.P95Ms, s.P99Ms,
+			s.MaxMs, s.Errors, s.Dropped, strings.Join(verdicts, " "), swap)
+	}
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("certification: %s (%d steps, source %s)\n", verdict, len(r.Steps), r.Source)
+}

@@ -7,6 +7,12 @@
 //	simulate [-model intellitag|bert4rec|metapath2vec|popularity] [-days 10] [-sessions 150] [-fast] [-seed 1]
 //	         [-telemetry-addr localhost:9090] [-trace-sample 64]
 //	         [-replicas 1] [-snapshots DIR] [-swap-at-day 0] [-swap-stagger 50ms]
+//	         [-record trace.httprr] [-record-sessions 5]
+//
+// With -record, instead of simulating, the held-out sessions' click →
+// recommend round-trips are driven over HTTP against the configured model and
+// sealed into a checksummed httprr trace for deterministic replay (serving
+// tests, loadgen -trace).
 //
 // With -snapshots, the simulation serves the store's EARLIEST committed
 // version (trained by tagrec-train -snapshots) instead of training in
@@ -18,12 +24,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"strings"
 	"time"
 
 	"intellitag/internal/baselines"
 	"intellitag/internal/core"
+	"intellitag/internal/httprr"
 	"intellitag/internal/obs"
 	"intellitag/internal/prof"
 	"intellitag/internal/serving"
@@ -48,6 +57,8 @@ func main() {
 	annK := flag.Int("ann-k", 64, "candidates retrieved per request before ranking")
 	annBackend := flag.String("ann-backend", "hnsw", "retrieval backend: hnsw or lsh")
 	annMinCatalog := flag.Int("ann-min-catalog", 256, "tenant catalogs below this size are scored exhaustively")
+	record := flag.String("record", "", "record held-out sessions' HTTP click → recommend traffic to this httprr trace and exit")
+	recordSessions := flag.Int("record-sessions", 5, "held-out sessions to record with -record")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -57,7 +68,7 @@ func main() {
 	}
 	worldCfg.Seed = *seed
 	world := synth.Generate(worldCfg)
-	train, _, _ := world.SplitSessions(0.9, 0.05)
+	train, _, heldout := world.SplitSessions(0.9, 0.05)
 	graph := world.BuildGraph(train)
 	var clicks [][]int
 	for _, s := range train {
@@ -153,6 +164,12 @@ func main() {
 		}
 		log.Printf("telemetry on http://%s/metrics (traces at /debug/trace)", addr)
 	}
+	if *record != "" {
+		if err := recordTraffic(rs, heldout, *record, *recordSessions); err != nil {
+			log.Fatalf("-record: %v", err)
+		}
+		return
+	}
 	simCfg := serving.DefaultSimConfig()
 	simCfg.Days = *days
 	simCfg.SessionsPerDay = *sessionsPerDay
@@ -211,6 +228,60 @@ func main() {
 		fmt.Printf("retrieval: enabled=%v backend=%s index=%d | paths ann=%d fallback=%d exhaustive=%d coldstart=%d\n",
 			st.Enabled, st.Backend, st.IndexSize, st.ANN, st.Fallback, st.Exhaustive, st.ColdStart)
 	}
+}
+
+// recordTraffic replays the first n held-out sessions as HTTP click →
+// recommend round-trips against the configured model, served in-process, and
+// seals the traffic into a checksummed httprr trace — deterministic replay
+// fodder for serving tests and loadgen -trace.
+func recordTraffic(rs *serving.ReplicaSet, sessions []synth.Session, path string, n int) error {
+	server := serving.NewServer(serving.NewReplicatedABRouter(rs))
+	hostport, err := obs.ServeBackground("127.0.0.1:0", server)
+	if err != nil {
+		return err
+	}
+	base := "http://" + hostport
+
+	rec := httprr.NewRecorder(nil)
+	client := &http.Client{Transport: rec, Timeout: 30 * time.Second}
+	post := func(path, body string) error {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if err := resp.Body.Close(); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	if n > len(sessions) {
+		n = len(sessions)
+	}
+	for _, s := range sessions[:n] {
+		if err := post("/recommend", fmt.Sprintf(`{"tenant":%d,"session":%d,"k":5}`, s.Tenant, s.ID)); err != nil {
+			return err
+		}
+		for _, tag := range s.Clicks {
+			if err := post("/click", fmt.Sprintf(`{"tenant":%d,"session":%d,"tag":%d,"k":5}`, s.Tenant, s.ID, tag)); err != nil {
+				return err
+			}
+			if err := post("/recommend", fmt.Sprintf(`{"tenant":%d,"session":%d,"k":5}`, s.Tenant, s.ID)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := rec.Save(path); err != nil {
+		return err
+	}
+	log.Printf("recorded %d round-trips from %d sessions to %s", rec.Len(), n, path)
+	return nil
 }
 
 // popScorer ranks by global popularity (the cold-start fallback as a

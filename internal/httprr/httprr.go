@@ -1,0 +1,313 @@
+// Package httprr implements deterministic HTTP record and replay for the
+// serving API, after the httprr pattern from golang.org/x/tools' oscar
+// project (see SNIPPETS.md snippet 2): record one real run's request/response
+// round-trips into a checksummed trace file, then replay that trace
+// bit-for-bit in tests and load runs, so traffic-driven tests stop
+// constructing traffic ad hoc and become reproducible byte-for-byte.
+//
+// Both halves are http.RoundTripper middleware:
+//
+//   - Recorder wraps a real transport, captures every round-trip in arrival
+//     order and saves them with Save, which seals the trace under a SHA-256
+//     checksum.
+//   - Replayer opens a trace (verifying the checksum first — a truncated or
+//     bit-flipped file fails with ErrChecksum / ErrCorrupt before any test
+//     consumes a wrong byte) and answers each request from the recording. A
+//     request with no recorded response fails with ErrNoRecord.
+//
+// Matching is by (method, path, request body). Identical requests — the same
+// session asking /recommend twice — replay in recorded order (FIFO per key),
+// which preserves stateful server behavior: the n-th identical request gets
+// the n-th recorded response.
+//
+// The trace format is a text header followed by JSON lines:
+//
+//	INTELLITAG-HTTPRR/1
+//	sha256:<64 hex digits of everything after this line>
+//	{"method":"POST","path":"/click",...}
+//	...
+//
+// This package is deliberately goroutine-free (and stays off the intellilint
+// nakedgo allowlist): replay must be a pure function of the trace, with no
+// concurrency of its own to perturb ordering.
+package httprr
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Trace-file framing.
+const (
+	magic        = "INTELLITAG-HTTPRR/1"
+	sha256Prefix = "sha256:"
+)
+
+// Typed failures. Tests assert on these with errors.Is.
+var (
+	// ErrCorrupt reports a structurally malformed trace: wrong magic, a
+	// truncated header, or a record line that does not parse.
+	ErrCorrupt = errors.New("httprr: corrupt trace")
+	// ErrChecksum reports a trace whose body does not hash to the checksum in
+	// its header — a truncation or bit flip after the header.
+	ErrChecksum = errors.New("httprr: trace checksum mismatch")
+	// ErrNoRecord reports a replayed request with no remaining recorded
+	// response.
+	ErrNoRecord = errors.New("httprr: no recorded response for request")
+)
+
+// Record is one captured round-trip. Bodies are stored as strings — the
+// serving API speaks JSON text on both sides.
+type Record struct {
+	Method      string `json:"method"`
+	Path        string `json:"path"` // URL path plus ?query when present
+	ReqBody     string `json:"req_body,omitempty"`
+	Status      int    `json:"status"`
+	ContentType string `json:"content_type,omitempty"`
+	RespBody    string `json:"resp_body,omitempty"`
+}
+
+// key is the replay-matching identity of a request.
+func (r Record) key() string {
+	return r.Method + " " + r.Path + "\n" + r.ReqBody
+}
+
+// requestPath renders the matched path: the URL path plus the raw query when
+// one is present.
+func requestPath(req *http.Request) string {
+	p := req.URL.Path
+	if req.URL.RawQuery != "" {
+		p += "?" + req.URL.RawQuery
+	}
+	return p
+}
+
+// Recorder is an http.RoundTripper that forwards to a real transport and
+// captures every round-trip. Safe for concurrent use; records land in
+// completion order, which is the order replay preserves.
+type Recorder struct {
+	rt http.RoundTripper
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewRecorder wraps a transport (nil selects http.DefaultTransport).
+func NewRecorder(rt http.RoundTripper) *Recorder {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &Recorder{rt: rt}
+}
+
+// RoundTrip implements http.RoundTripper: forward the request, capture the
+// pair, hand the caller a replayable copy of the response.
+func (rec *Recorder) RoundTrip(req *http.Request) (*http.Response, error) {
+	var reqBody []byte
+	if req.Body != nil {
+		var err error
+		reqBody, err = io.ReadAll(req.Body)
+		if err != nil {
+			return nil, fmt.Errorf("httprr: read request body: %w", err)
+		}
+		if err := req.Body.Close(); err != nil {
+			return nil, fmt.Errorf("httprr: close request body: %w", err)
+		}
+		req.Body = io.NopCloser(bytes.NewReader(reqBody))
+	}
+	resp, err := rec.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("httprr: read response body: %w", err)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(respBody))
+	rec.mu.Lock()
+	rec.records = append(rec.records, Record{
+		Method:      req.Method,
+		Path:        requestPath(req),
+		ReqBody:     string(reqBody),
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		RespBody:    string(respBody),
+	})
+	rec.mu.Unlock()
+	return resp, nil
+}
+
+// Len reports how many round-trips have been captured.
+func (rec *Recorder) Len() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return len(rec.records)
+}
+
+// Records returns a copy of the captured round-trips in completion order.
+func (rec *Recorder) Records() []Record {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]Record(nil), rec.records...)
+}
+
+// Save seals the captured round-trips into a checksummed trace file.
+func (rec *Recorder) Save(path string) error {
+	return WriteTrace(path, rec.Records())
+}
+
+// WriteTrace serializes records into the trace format at path. The checksum
+// covers every byte after the header's second line, so any later truncation
+// or bit flip is caught by Open.
+func WriteTrace(path string, records []Record) error {
+	var body bytes.Buffer
+	for _, r := range records {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("httprr: marshal record: %w", err)
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	sum := sha256.Sum256(body.Bytes())
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "%s\n%s%s\n", magic, sha256Prefix, hex.EncodeToString(sum[:]))
+	out.Write(body.Bytes())
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}
+
+// ReadTrace opens, verifies and parses a trace file: magic line, checksum
+// line, then the verified JSON records.
+func ReadTrace(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	head, rest, ok := strings.Cut(string(data), "\n")
+	if !ok || head != magic {
+		return nil, fmt.Errorf("%w: %s: missing %q header", ErrCorrupt, path, magic)
+	}
+	sumLine, body, ok := strings.Cut(rest, "\n")
+	if !ok || !strings.HasPrefix(sumLine, sha256Prefix) {
+		return nil, fmt.Errorf("%w: %s: missing checksum line", ErrCorrupt, path)
+	}
+	want, err := hex.DecodeString(strings.TrimPrefix(sumLine, sha256Prefix))
+	if err != nil || len(want) != sha256.Size {
+		return nil, fmt.Errorf("%w: %s: unparseable checksum", ErrCorrupt, path)
+	}
+	got := sha256.Sum256([]byte(body))
+	if !bytes.Equal(got[:], want) {
+		return nil, fmt.Errorf("%w: %s", ErrChecksum, path)
+	}
+	var records []Record
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%w: %s: record %d: %v", ErrCorrupt, path, len(records), err)
+		}
+		records = append(records, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return records, nil
+}
+
+// Replayer answers requests from a recorded trace. It is an
+// http.RoundTripper; identical requests replay in recorded order. Safe for
+// concurrent use.
+type Replayer struct {
+	mu     sync.Mutex
+	queues map[string][]Record // request key -> FIFO of recorded responses
+	left   int
+}
+
+// Open reads and verifies a trace file and returns a Replayer over it.
+func Open(path string) (*Replayer, error) {
+	records, err := ReadTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplayer(records), nil
+}
+
+// NewReplayer builds a Replayer over in-memory records.
+func NewReplayer(records []Record) *Replayer {
+	rp := &Replayer{queues: map[string][]Record{}, left: len(records)}
+	for _, r := range records {
+		k := r.key()
+		rp.queues[k] = append(rp.queues[k], r)
+	}
+	return rp
+}
+
+// RoundTrip implements http.RoundTripper from the recording. The request's
+// (method, path, body) selects its FIFO queue; an empty queue is ErrNoRecord,
+// so a replayed test that drifts from the recorded traffic fails loudly
+// instead of silently fabricating a response.
+func (rp *Replayer) RoundTrip(req *http.Request) (*http.Response, error) {
+	var reqBody []byte
+	if req.Body != nil {
+		var err error
+		reqBody, err = io.ReadAll(req.Body)
+		if err != nil {
+			return nil, fmt.Errorf("httprr: read request body: %w", err)
+		}
+		if err := req.Body.Close(); err != nil {
+			return nil, fmt.Errorf("httprr: close request body: %w", err)
+		}
+	}
+	k := Record{Method: req.Method, Path: requestPath(req), ReqBody: string(reqBody)}.key()
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	q := rp.queues[k]
+	if len(q) == 0 {
+		return nil, fmt.Errorf("%w: %s %s (body %d bytes)", ErrNoRecord, req.Method, requestPath(req), len(reqBody))
+	}
+	rec := q[0]
+	rp.queues[k] = q[1:]
+	rp.left--
+
+	header := http.Header{}
+	if rec.ContentType != "" {
+		header.Set("Content-Type", rec.ContentType)
+	}
+	return &http.Response{
+		StatusCode:    rec.Status,
+		Status:        fmt.Sprintf("%d %s", rec.Status, http.StatusText(rec.Status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        header,
+		Body:          io.NopCloser(strings.NewReader(rec.RespBody)),
+		ContentLength: int64(len(rec.RespBody)),
+		Request:       req,
+	}, nil
+}
+
+// Remaining reports how many recorded responses have not been replayed yet —
+// zero after a complete replay.
+func (rp *Replayer) Remaining() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.left
+}

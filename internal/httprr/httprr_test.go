@@ -1,0 +1,194 @@
+package httprr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newCountingServer returns a server whose response depends on how many times
+// each path+body pair has been seen — a stand-in for the session-stateful
+// serving API, where the same /recommend request answers differently as the
+// session's history grows.
+func newCountingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	seen := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key := r.Method + " " + r.URL.Path + " " + string(body)
+		seen[key]++
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"path":%q,"n":%d,"echo":%q}`, r.URL.Path, seen[key], body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// drive sends a fixed request script through client and returns each
+// response's status and body in order.
+func drive(t *testing.T, client *http.Client, base string) []string {
+	t.Helper()
+	script := []struct{ method, path, body string }{
+		{"POST", "/click", `{"session":1,"tag":3}`},
+		{"POST", "/recommend", `{"session":1,"k":5}`},
+		{"POST", "/recommend", `{"session":1,"k":5}`}, // identical request, stateful answer
+		{"POST", "/click", `{"session":2,"tag":9}`},
+		{"GET", "/healthz", ""},
+	}
+	var out []string
+	for _, s := range script {
+		var body io.Reader
+		if s.body != "" {
+			body = strings.NewReader(s.body)
+		}
+		req, err := http.NewRequest(s.method, base+s.path, body)
+		if err != nil {
+			t.Fatalf("build request: %v", err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", s.method, s.path, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read response: %v", err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatalf("close response: %v", err)
+		}
+		out = append(out, fmt.Sprintf("%d %s", resp.StatusCode, b))
+	}
+	return out
+}
+
+// TestRecordReplayDeterminism is the package contract: record one run, then
+// two independent replays of the same trace file both reproduce the recorded
+// responses byte for byte, including the FIFO ordering of identical requests
+// against a stateful server.
+func TestRecordReplayDeterminism(t *testing.T) {
+	srv := newCountingServer(t)
+	rec := NewRecorder(srv.Client().Transport)
+	live := drive(t, &http.Client{Transport: rec}, srv.URL)
+
+	trace := filepath.Join(t.TempDir(), "session.httprr")
+	if err := rec.Save(trace); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	for round := 0; round < 2; round++ {
+		rp, err := Open(trace)
+		if err != nil {
+			t.Fatalf("Open round %d: %v", round, err)
+		}
+		replayed := drive(t, &http.Client{Transport: rp}, srv.URL)
+		for i := range live {
+			if replayed[i] != live[i] {
+				t.Errorf("round %d response %d:\nlive    %s\nreplay  %s", round, i, live[i], replayed[i])
+			}
+		}
+		if rp.Remaining() != 0 {
+			t.Errorf("round %d: %d recorded responses never replayed", round, rp.Remaining())
+		}
+	}
+}
+
+func TestReplayUnknownRequest(t *testing.T) {
+	rp := NewReplayer([]Record{{Method: "POST", Path: "/click", ReqBody: "x", Status: 200}})
+	req, err := http.NewRequest("POST", "http://replay/other", strings.NewReader("y"))
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	if _, err := rp.RoundTrip(req); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("unknown request: got %v, want ErrNoRecord", err)
+	}
+}
+
+// TestCorruption pins the typed failure modes: a body truncation or bit flip
+// is ErrChecksum, a mangled header or undecodable record is ErrCorrupt —
+// never a silently wrong replay.
+func TestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.httprr")
+	records := []Record{
+		{Method: "POST", Path: "/click", ReqBody: `{"tag":1}`, Status: 200, RespBody: `{"ok":true}`},
+		{Method: "POST", Path: "/recommend", ReqBody: `{"k":5}`, Status: 200, RespBody: `{"tags":[1,2]}`},
+	}
+	if err := WriteTrace(path, records); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if _, err := ReadTrace(path); err != nil {
+		t.Fatalf("pristine trace must verify: %v", err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte, want error) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+		if _, err := ReadTrace(p); !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+
+	check("truncated.httprr", func(b []byte) []byte { return b[:len(b)-7] }, ErrChecksum)
+	check("bitflip.httprr", func(b []byte) []byte {
+		b[len(b)-10] ^= 0x20 // flip one bit inside the last record's body
+		return b
+	}, ErrChecksum)
+	check("badmagic.httprr", func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	}, ErrCorrupt)
+	check("nosum.httprr", func(b []byte) []byte {
+		return []byte(magic + "\n")
+	}, ErrCorrupt)
+
+	// A record that is not JSON, with the checksum recomputed to match: the
+	// framing is intact, so this must fail as ErrCorrupt, not ErrChecksum.
+	body := "this is not json\n"
+	sum := sha256.Sum256([]byte(body))
+	forged := fmt.Sprintf("%s\n%s%s\n%s", magic, sha256Prefix, hex.EncodeToString(sum[:]), body)
+	check("badrecord.httprr", func([]byte) []byte { return []byte(forged) }, ErrCorrupt)
+}
+
+// TestWriteTraceRoundTrip pins the serialization: what WriteTrace writes,
+// ReadTrace returns unchanged.
+func TestWriteTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.httprr")
+	in := []Record{
+		{Method: "POST", Path: "/click?k=5", ReqBody: `{"t":1}`, Status: 200, ContentType: "application/json", RespBody: `{"x":1}`},
+		{Method: "GET", Path: "/healthz", Status: 200, RespBody: `{"status":"ok"}`},
+	}
+	if err := WriteTrace(path, in); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	out, err := ReadTrace(path)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}

@@ -168,6 +168,8 @@ func DefaultSuite() []Scoped {
 			"intellitag/internal/serving",
 			"intellitag/internal/obs",
 			"intellitag/internal/snapshot",
+			"intellitag/internal/load",
+			"intellitag/cmd/loadgen",
 		)},
 		{ErrCheck, matchAll},
 		{VersionPin, matchOnly("intellitag/internal/serving")},

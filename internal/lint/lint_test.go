@@ -325,8 +325,9 @@ func TestSuiteConcurrent(t *testing.T) {
 }
 
 // TestNakedGoScope pins the nakedgo allow-list in DefaultSuite: only the
-// packages sanctioned to own goroutines (par, serving, obs, snapshot) are
-// skipped, and the prefix match does not leak onto look-alike package paths.
+// packages sanctioned to own goroutines (par, serving, obs, snapshot, load,
+// cmd/loadgen) are skipped, and the prefix match does not leak onto
+// look-alike package paths.
 func TestNakedGoScope(t *testing.T) {
 	var match func(string) bool
 	for _, s := range DefaultSuite() {
@@ -342,6 +343,8 @@ func TestNakedGoScope(t *testing.T) {
 		"intellitag/internal/serving",
 		"intellitag/internal/obs",
 		"intellitag/internal/snapshot",
+		"intellitag/internal/load",
+		"intellitag/cmd/loadgen",
 	}
 	for _, p := range allowed {
 		if match(p) {
@@ -353,6 +356,8 @@ func TestNakedGoScope(t *testing.T) {
 		"intellitag/internal/ann",           // index build + search must stay goroutine-free
 		"intellitag/internal/observability", // not a prefix-match leak of obs
 		"intellitag/internal/snapshots",     // not a prefix-match leak of snapshot
+		"intellitag/internal/loader",        // not a prefix-match leak of load
+		"intellitag/internal/httprr",        // replay must stay goroutine-free (deterministic ordering)
 		"intellitag/cmd/simulate",
 	}
 	for _, p := range scoped {

@@ -6,13 +6,17 @@ import "go/ast"
 // internal/par worker pool so worker counts, batching and determinism are
 // controlled in one place; internal/serving owns its own long-lived
 // goroutines (shard loops, scorer pools), internal/obs owns background
-// telemetry listeners that run for the life of the process, and
+// telemetry listeners that run for the life of the process,
 // internal/snapshot owns the store-polling watcher behind zero-downtime hot
-// swaps. Everywhere else a naked goroutine bypasses that control — the
-// driver scopes this analyzer to every package except those four.
+// swaps, and internal/load plus cmd/loadgen own the load-generator worker
+// fan-out (concurrency IS the workload there). Everywhere else a naked
+// goroutine bypasses that control — the driver scopes this analyzer to every
+// package except those six. internal/httprr stays in scope deliberately:
+// replay must be a pure function of the trace, with no concurrency of its
+// own to perturb ordering.
 var NakedGo = &Analyzer{
 	Name: "nakedgo",
-	Doc:  "go statements outside internal/par, internal/serving, internal/obs and internal/snapshot must use the shared worker pool",
+	Doc:  "go statements outside internal/{par,serving,obs,snapshot,load} and cmd/loadgen must use the shared worker pool",
 	Run:  runNakedGo,
 }
 
@@ -20,7 +24,7 @@ func runNakedGo(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				pass.Reportf(g.Pos(), "naked go statement: route fan-out through the internal/par worker pool (goroutines may only be owned by internal/par, internal/serving, internal/obs and internal/snapshot)")
+				pass.Reportf(g.Pos(), "naked go statement: route fan-out through the internal/par worker pool (goroutines may only be owned by internal/{par,serving,obs,snapshot,load} and cmd/loadgen)")
 			}
 			return true
 		})

@@ -1,0 +1,288 @@
+// Package load is the closed-loop load-certification harness (ROADMAP item
+// 4): it drives the intellitag-server HTTP API at configurable concurrency /
+// QPS / duration over synthetic or recorded (httprr) session traffic,
+// measures the full client-side latency distribution, scrapes the server's
+// internal/obs histograms and enriched /healthz, evaluates declarative SLO
+// gates per concurrency step — including zero dropped requests across a
+// mid-run rolling model swap — and emits a BENCH_LOAD json with the
+// latency/throughput curve.
+//
+// Two loop modes per step, selected by StepConfig.QPS:
+//
+//   - QPS == 0: closed loop. Each of Concurrency workers issues its next
+//     request the moment the previous response lands. Latency is pure
+//     service time; throughput is whatever the server sustains.
+//   - QPS > 0: paced open-ish loop with coordinated-omission correction.
+//     Each worker sends on a fixed schedule (slot n fires at start +
+//     n*interval) and latency is measured from the *scheduled* send time,
+//     not the actual one — when the server stalls, the requests queueing
+//     behind the stall are charged their wait, instead of the generator
+//     silently omitting the delay by only timing requests it managed to
+//     send. That is the standard correction for the coordinated-omission
+//     artifact that makes naive closed-loop p99s look flat under overload.
+package load
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StepConfig is one rung of the concurrency sweep.
+type StepConfig struct {
+	Concurrency int
+	QPS         float64 // target request rate; 0 = closed-loop max rate
+	Duration    time.Duration
+	Swap        bool // trigger Options.Swap halfway through this step
+}
+
+// Options configures a certification run.
+type Options struct {
+	BaseURL string // target server, e.g. http://127.0.0.1:8080
+	Source  Source
+	Warmup  time.Duration // closed-loop warmup before the first step (untimed)
+	Timeout time.Duration // per-request timeout; 0 means 10s
+
+	// Swap, when non-nil, is invoked halfway through each step with
+	// StepConfig.Swap set; it performs a rolling model swap (in-process or
+	// via POST /admin/swap) and returns the version flipped to. The swap-step
+	// gate then certifies zero dropped requests across the flip.
+	Swap func() (version string, err error)
+
+	SLO  SLO
+	Note string
+}
+
+// stepStats is one worker's tally, merged after the step's barrier.
+type stepStats struct {
+	latencies []float64 // milliseconds
+	requests  int64
+	errors    int64 // HTTP status >= 400
+	dropped   int64 // transport failure: no response at all
+}
+
+// Run executes the sweep and assembles the report. Workers are goroutines —
+// internal/load is on the intellilint nakedgo allowlist for exactly this
+// fan-out — but every step ends on a full barrier, so the returned report is
+// the only thing that outlives a call.
+func Run(opts Options, steps []StepConfig) (*Report, error) {
+	if opts.Source == nil {
+		return nil, fmt.Errorf("load: Options.Source is required")
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("load: no steps configured")
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	maxConc := 0
+	for _, s := range steps {
+		if s.Concurrency < 1 {
+			return nil, fmt.Errorf("load: step concurrency must be >= 1, got %d", s.Concurrency)
+		}
+		if s.Concurrency > maxConc {
+			maxConc = s.Concurrency
+		}
+	}
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxConc + 8,
+			MaxIdleConnsPerHost: maxConc + 8,
+		},
+	}
+
+	report := &Report{
+		Schema:        SchemaV1,
+		Note:          opts.Note,
+		GeneratedUnix: time.Now().Unix(),
+		Target:        opts.BaseURL,
+		Source:        opts.Source.Name(),
+		SLO:           opts.SLO,
+		Pass:          true,
+	}
+
+	workerID := 0 // global worker counter: fresh session partitions per step
+	if opts.Warmup > 0 {
+		runStep(client, opts, StepConfig{Concurrency: steps[0].Concurrency, Duration: opts.Warmup}, &workerID)
+	}
+	for _, step := range steps {
+		res := runStep(client, opts, step, &workerID)
+		res.Server = probeServer(client, opts.BaseURL)
+		res.Gates = opts.SLO.evaluate(res)
+		res.Pass = allPass(res.Gates)
+		if !res.Pass {
+			report.Pass = false
+		}
+		report.Steps = append(report.Steps, res)
+	}
+	return report, nil
+}
+
+// runStep drives one concurrency step to its barrier and reduces the worker
+// tallies into a StepResult.
+func runStep(client *http.Client, opts Options, step StepConfig, workerID *int) StepResult {
+	stats := make([]stepStats, step.Concurrency)
+	streams := make([]Stream, step.Concurrency)
+	for i := range streams {
+		streams[i] = opts.Source.Stream(*workerID)
+		*workerID++
+	}
+
+	var swapMu sync.Mutex
+	var swap *SwapResult
+	start := time.Now()
+	deadline := start.Add(step.Duration)
+
+	var wg sync.WaitGroup
+	if step.Swap && opts.Swap != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(step.Duration / 2)
+			version, err := opts.Swap()
+			sr := &SwapResult{Version: version}
+			if err != nil {
+				sr.Error = err.Error()
+			}
+			swapMu.Lock()
+			swap = sr
+			swapMu.Unlock()
+		}()
+	}
+	for w := 0; w < step.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if step.QPS > 0 {
+				runPaced(client, opts.BaseURL, streams[w], &stats[w], start, deadline,
+					time.Duration(float64(step.Concurrency)/step.QPS*float64(time.Second)))
+			} else {
+				runClosed(client, opts.BaseURL, streams[w], &stats[w], deadline)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := StepResult{
+		Concurrency: step.Concurrency,
+		TargetQPS:   step.QPS,
+		DurationSec: round3(elapsed),
+		Swap:        swap,
+	}
+	var all []float64
+	for i := range stats {
+		res.Requests += stats[i].requests
+		res.Errors += stats[i].errors
+		res.Dropped += stats[i].dropped
+		all = append(all, stats[i].latencies...)
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = round3(float64(res.Requests) / elapsed)
+	}
+	sort.Float64s(all)
+	res.P50Ms = round3(quantile(all, 0.50))
+	res.P95Ms = round3(quantile(all, 0.95))
+	res.P99Ms = round3(quantile(all, 0.99))
+	if n := len(all); n > 0 {
+		res.MaxMs = round3(all[n-1])
+	}
+	return res
+}
+
+// runClosed is the closed-loop worker body: next request the moment the
+// previous response lands; latency is service time.
+func runClosed(client *http.Client, base string, st Stream, out *stepStats, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		req := st.Next()
+		t0 := time.Now()
+		status, err := do(client, base, req)
+		note(out, time.Since(t0), status, err)
+	}
+}
+
+// runPaced is the paced worker body with coordinated-omission correction:
+// slot n fires at start+n*interval and its latency clock starts at the slot
+// time whether or not the worker was free to send — a stalled server pays
+// for the queue it caused.
+func runPaced(client *http.Client, base string, st Stream, out *stepStats, start, deadline time.Time, interval time.Duration) {
+	for n := 0; ; n++ {
+		sched := start.Add(time.Duration(n) * interval)
+		if !sched.Before(deadline) {
+			return
+		}
+		if wait := time.Until(sched); wait > 0 {
+			time.Sleep(wait)
+		}
+		req := st.Next()
+		status, err := do(client, base, req)
+		note(out, time.Since(sched), status, err)
+	}
+}
+
+func note(out *stepStats, lat time.Duration, status int, err error) {
+	out.requests++
+	switch {
+	case err != nil:
+		out.dropped++
+	case status >= 400:
+		out.errors++
+		out.latencies = append(out.latencies, float64(lat)/float64(time.Millisecond))
+	default:
+		out.latencies = append(out.latencies, float64(lat)/float64(time.Millisecond))
+	}
+}
+
+// do issues one request and fully drains the response body (required for
+// connection reuse). A transport error returns err != nil — that request got
+// no response and counts as dropped.
+func do(client *http.Client, base string, r Request) (int, error) {
+	var body io.Reader
+	if r.Body != "" {
+		body = strings.NewReader(r.Body)
+	}
+	req, err := http.NewRequest(r.Method, base+r.Path, body)
+	if err != nil {
+		return 0, err
+	}
+	if r.Body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// quantile reads the p-quantile from an ascending sample by nearest rank.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,303 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"intellitag/internal/httprr"
+)
+
+// newEchoServer serves an instant 200 for the API routes, with optional
+// per-request delay and an error window toggled by the returned flag.
+func newEchoServer(t *testing.T, delay time.Duration) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var failing atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if _, err := io.Copy(io.Discard, r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if failing.Load() {
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"path":%q}`, r.URL.Path)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &failing
+}
+
+func synth() *SyntheticSource {
+	return &SyntheticSource{
+		Seed: 7,
+		Tenants: []TenantTraffic{
+			{Tenant: 0, Tags: []int{1, 2, 3, 4}},
+			{Tenant: 1, Tags: []int{5, 6, 7}},
+		},
+		K: 5, ClicksPerSession: 3,
+	}
+}
+
+func TestRunClosedLoopSweep(t *testing.T) {
+	srv, _ := newEchoServer(t, 0)
+	report, err := Run(Options{
+		BaseURL: srv.URL,
+		Source:  synth(),
+		SLO:     SLO{MaxP99Ms: 5000, MinQPS: 1},
+		Note:    "test sweep",
+	}, []StepConfig{
+		{Concurrency: 1, Duration: 100 * time.Millisecond},
+		{Concurrency: 4, Duration: 100 * time.Millisecond},
+		{Concurrency: 8, Duration: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Schema != SchemaV1 || len(report.Steps) != 3 || !report.Pass {
+		t.Fatalf("report shape wrong: schema=%q steps=%d pass=%v", report.Schema, len(report.Steps), report.Pass)
+	}
+	for i, s := range report.Steps {
+		if s.Requests == 0 || s.AchievedQPS <= 0 {
+			t.Errorf("step %d did no work: %+v", i, s)
+		}
+		if s.Errors != 0 || s.Dropped != 0 {
+			t.Errorf("step %d errors=%d dropped=%d against a healthy server", i, s.Errors, s.Dropped)
+		}
+		if s.P50Ms > s.P95Ms || s.P95Ms > s.P99Ms || s.P99Ms > s.MaxMs {
+			t.Errorf("step %d percentiles not monotone: %+v", i, s)
+		}
+		if !s.Pass || len(s.Gates) != 3 {
+			t.Errorf("step %d gates wrong: %+v", i, s.Gates)
+		}
+	}
+	// Report writes and re-reads as JSON.
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := report.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+// TestPacedCoordinatedOmission pins the CO correction: with a 20ms service
+// time paced at 5ms per slot, the schedule falls behind immediately and every
+// queued slot must be charged its wait — measured latency grows far beyond
+// the service time instead of flat-lining at it.
+func TestPacedCoordinatedOmission(t *testing.T) {
+	const service = 20 * time.Millisecond
+	srv, _ := newEchoServer(t, service)
+	report, err := Run(Options{BaseURL: srv.URL, Source: synth()}, []StepConfig{
+		{Concurrency: 1, QPS: 200, Duration: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := report.Steps[0]
+	if s.Requests < 10 {
+		t.Fatalf("paced step issued only %d requests", s.Requests)
+	}
+	// A naive service-time measurement would report ~20ms at every quantile.
+	if s.MaxMs < 5*float64(service/time.Millisecond) {
+		t.Errorf("coordinated omission not corrected: max %.1fms at 20ms service under 5ms pacing", s.MaxMs)
+	}
+	if s.P50Ms < 1.5*float64(service/time.Millisecond) {
+		t.Errorf("median %.1fms does not include queue delay", s.P50Ms)
+	}
+}
+
+func TestRunWithSwapGate(t *testing.T) {
+	srv, _ := newEchoServer(t, 0)
+	var swapped atomic.Int64
+	report, err := Run(Options{
+		BaseURL: srv.URL,
+		Source:  synth(),
+		Swap: func() (string, error) {
+			swapped.Add(1)
+			return "v0002-testtest", nil
+		},
+	}, []StepConfig{
+		{Concurrency: 2, Duration: 80 * time.Millisecond},
+		{Concurrency: 2, Duration: 200 * time.Millisecond, Swap: true},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if swapped.Load() != 1 {
+		t.Fatalf("swap callback ran %d times, want 1", swapped.Load())
+	}
+	if report.Steps[0].Swap != nil {
+		t.Fatalf("non-swap step recorded a swap: %+v", report.Steps[0].Swap)
+	}
+	s := report.Steps[1]
+	if s.Swap == nil || s.Swap.Version != "v0002-testtest" {
+		t.Fatalf("swap step lost its swap record: %+v", s.Swap)
+	}
+	var gate *GateResult
+	for i := range s.Gates {
+		if s.Gates[i].Gate == "zero_dropped_on_swap" {
+			gate = &s.Gates[i]
+		}
+	}
+	if gate == nil || !gate.Pass || gate.Got != 0 {
+		t.Fatalf("swap gate wrong: %+v", gate)
+	}
+}
+
+func TestGateFailures(t *testing.T) {
+	res := StepResult{
+		Concurrency: 4, Requests: 1000, Errors: 30, Dropped: 5,
+		AchievedQPS: 120, P99Ms: 80,
+		Swap: &SwapResult{Version: "v3"},
+	}
+	gates := SLO{MaxP99Ms: 50, MinQPS: 500, MaxErrorRate: 0.01}.evaluate(res)
+	byName := map[string]GateResult{}
+	for _, g := range gates {
+		byName[g.Gate] = g
+	}
+	if g := byName["max_p99_ms"]; g.Pass || g.Got != 80 {
+		t.Errorf("p99 gate must fail at 80 > 50: %+v", g)
+	}
+	if g := byName["min_qps"]; g.Pass || g.Got != 120 {
+		t.Errorf("qps gate must fail at 120 < 500: %+v", g)
+	}
+	if g := byName["max_error_rate"]; g.Pass || g.Got != 0.035 {
+		t.Errorf("error-rate gate must fail at 3.5%% > 1%%: %+v", g)
+	}
+	if g := byName["zero_dropped_on_swap"]; g.Pass || g.Got != 5 {
+		t.Errorf("swap gate must fail with 5 dropped: %+v", g)
+	}
+	if allPass(gates) {
+		t.Error("allPass over failing gates")
+	}
+
+	clean := SLO{MaxErrorRate: 0.05}.evaluate(StepResult{Requests: 100, Errors: 1, AchievedQPS: 10})
+	if len(clean) != 1 || !clean[0].Pass {
+		t.Errorf("zero-valued bounds must disable their gates: %+v", clean)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	srv, failing := newEchoServer(t, 0)
+	failing.Store(true)
+	report, err := Run(Options{BaseURL: srv.URL, Source: synth()}, []StepConfig{
+		{Concurrency: 2, Duration: 60 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := report.Steps[0]
+	if s.Errors != s.Requests || s.Errors == 0 {
+		t.Fatalf("all requests got 500s: errors=%d requests=%d", s.Errors, s.Requests)
+	}
+	if s.Pass || report.Pass {
+		t.Fatal("error-rate gate must fail an all-error step")
+	}
+}
+
+func TestSyntheticSourceDeterministicAndPartitioned(t *testing.T) {
+	src := synth()
+	a, b := src.Stream(3), src.Stream(3)
+	for i := 0; i < 64; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("request %d diverged for identical worker streams: %+v vs %+v", i, ra, rb)
+		}
+		if ra.Method != "POST" || (ra.Path != "/click" && ra.Path != "/recommend") {
+			t.Fatalf("unexpected request shape: %+v", ra)
+		}
+	}
+	// Different workers use disjoint session-id partitions.
+	other := src.Stream(4).Next()
+	mine := src.Stream(3).Next()
+	if strings.Contains(other.Body, `"session":50000001`) == false {
+		t.Fatalf("worker 4 not in its partition: %s", other.Body)
+	}
+	if strings.Contains(mine.Body, `"session":40000001`) == false {
+		t.Fatalf("worker 3 not in its partition: %s", mine.Body)
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	records := []httprr.Record{
+		{Method: "POST", Path: "/click", ReqBody: `{"tenant":0,"session":5,"tag":1,"k":5}`, Status: 200},
+		{Method: "POST", Path: "/recommend", ReqBody: `{"tenant":0,"session":5,"k":5}`, Status: 200},
+	}
+	path := filepath.Join(t.TempDir(), "t.httprr")
+	if err := httprr.WriteTrace(path, records); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	src, err := NewTraceSource(path)
+	if err != nil {
+		t.Fatalf("NewTraceSource: %v", err)
+	}
+	st := src.Stream(0)
+	got := []Request{st.Next(), st.Next(), st.Next()}
+	if got[0].Path != "/click" || got[1].Path != "/recommend" || got[2].Path != "/click" {
+		t.Fatalf("trace must cycle in recorded order: %+v", got)
+	}
+	// Session ids are remapped into the worker's partition; the rest of the
+	// body survives.
+	if !strings.Contains(got[0].Body, `"session":10000005`) || !strings.Contains(got[0].Body, `"tag":1`) {
+		t.Fatalf("session remap wrong: %s", got[0].Body)
+	}
+	if _, err := NewTraceSource(filepath.Join(t.TempDir(), "missing.httprr")); err == nil {
+		t.Fatal("missing trace must error")
+	}
+}
+
+// TestProbeServer pins the scrape of the enriched /healthz and /metrics.json.
+func TestProbeServer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"requests":42,"inflight":3,"active_version":"v0001-abc",`+
+			`"seconds_since_swap":1.5,"route_p99_ms":{"click":2.5,"recommend":0.9}}`)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"histograms":{"intellitag_http_request_seconds{route=\"click\"}":`+
+			`{"count":10,"p50":0.001,"p95":0.002,"p99":0.0025}}}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	snap := probeServer(srv.Client(), srv.URL)
+	if snap == nil {
+		t.Fatal("probe returned nil against a healthy server")
+	}
+	if snap.Inflight != 3 || snap.ActiveVersion != "v0001-abc" || snap.RouteP99Ms["click"] != 2.5 {
+		t.Fatalf("healthz parse wrong: %+v", snap)
+	}
+	q, ok := snap.RouteQuantiles["click"]
+	if !ok || q.P99Ms != 2.5 || q.Count != 10 {
+		t.Fatalf("metrics.json parse wrong: %+v", snap.RouteQuantiles)
+	}
+	// Server-side gate arms off the probe.
+	gates := SLO{MaxServerP99Ms: 1.0}.evaluate(StepResult{Requests: 1, Server: snap})
+	found := false
+	for _, g := range gates {
+		if g.Gate == "max_server_p99_ms" {
+			found = true
+			if g.Pass || g.Got != 2.5 {
+				t.Fatalf("server p99 gate must fail at 2.5 > 1.0: %+v", g)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("server p99 gate did not arm")
+	}
+
+	// No healthz at all -> nil snapshot, no server gates.
+	bare := httptest.NewServer(http.NotFoundHandler())
+	defer bare.Close()
+	if snap := probeServer(bare.Client(), bare.URL); snap != nil {
+		t.Fatalf("probe fabricated a snapshot: %+v", snap)
+	}
+}

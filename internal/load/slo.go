@@ -1,0 +1,235 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+)
+
+// SchemaV1 identifies the report layout for downstream validators
+// (cmd/benchjson -trajectory).
+const SchemaV1 = "intellitag-load/1"
+
+// SLO is the declarative gate set applied to every step. Zero-valued bounds
+// disable their gate, except the error-rate gate (always on: certification
+// defaults to zero tolerated errors) and the swap gate (always on for steps
+// that performed a swap: zero dropped requests across the flip).
+type SLO struct {
+	MaxP99Ms       float64 `json:"max_p99_ms,omitempty"`        // client-side p99 ceiling
+	MinQPS         float64 `json:"min_qps,omitempty"`           // achieved-throughput floor
+	MaxErrorRate   float64 `json:"max_error_rate"`              // (errors+dropped)/requests ceiling
+	MaxServerP99Ms float64 `json:"max_server_p99_ms,omitempty"` // server-reported per-route p99 ceiling
+}
+
+// GateResult is one gate's verdict on one step.
+type GateResult struct {
+	Gate   string  `json:"gate"`
+	Want   float64 `json:"want"`
+	Got    float64 `json:"got"`
+	Pass   bool    `json:"pass"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// SwapResult records the mid-step rolling swap, when one ran.
+type SwapResult struct {
+	Version string `json:"version"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Quantiles is one route's obs histogram readout, in milliseconds.
+type Quantiles struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	Count int64   `json:"count"`
+}
+
+// ServerSnapshot is the server-reported state scraped after a step: the
+// enriched /healthz fields plus the internal/obs per-route latency
+// histograms from /metrics.json (cumulative since server start).
+type ServerSnapshot struct {
+	Inflight         int64                `json:"inflight"`
+	Requests         int64                `json:"requests"`
+	ActiveVersion    string               `json:"active_version,omitempty"`
+	SecondsSinceSwap float64              `json:"seconds_since_swap,omitempty"`
+	RouteP99Ms       map[string]float64   `json:"route_p99_ms,omitempty"`
+	RouteQuantiles   map[string]Quantiles `json:"obs_route_quantiles_ms,omitempty"`
+}
+
+// StepResult is one concurrency step's full measurement.
+type StepResult struct {
+	Concurrency int             `json:"concurrency"`
+	TargetQPS   float64         `json:"target_qps,omitempty"`
+	DurationSec float64         `json:"duration_sec"`
+	Requests    int64           `json:"requests"`
+	Errors      int64           `json:"errors"`
+	Dropped     int64           `json:"dropped"`
+	AchievedQPS float64         `json:"achieved_qps"`
+	P50Ms       float64         `json:"p50_ms"`
+	P95Ms       float64         `json:"p95_ms"`
+	P99Ms       float64         `json:"p99_ms"`
+	MaxMs       float64         `json:"max_ms"`
+	Swap        *SwapResult     `json:"swap,omitempty"`
+	Server      *ServerSnapshot `json:"server,omitempty"`
+	Gates       []GateResult    `json:"gates"`
+	Pass        bool            `json:"pass"`
+}
+
+// Report is the emitted BENCH_LOAD document.
+type Report struct {
+	Schema        string       `json:"schema"`
+	Note          string       `json:"note,omitempty"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	Target        string       `json:"target"`
+	Source        string       `json:"source"`
+	SLO           SLO          `json:"slo"`
+	Steps         []StepResult `json:"steps"`
+	Pass          bool         `json:"pass"`
+}
+
+// Write serializes the report to path, indented, trailing newline.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: marshal report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// evaluate applies the gate set to one measured step.
+func (s SLO) evaluate(res StepResult) []GateResult {
+	var gates []GateResult
+	if s.MaxP99Ms > 0 {
+		gates = append(gates, GateResult{
+			Gate: "max_p99_ms", Want: s.MaxP99Ms, Got: res.P99Ms,
+			Pass: res.P99Ms <= s.MaxP99Ms,
+		})
+	}
+	if s.MinQPS > 0 {
+		gates = append(gates, GateResult{
+			Gate: "min_qps", Want: s.MinQPS, Got: res.AchievedQPS,
+			Pass: res.AchievedQPS >= s.MinQPS,
+		})
+	}
+	rate := 0.0
+	if res.Requests > 0 {
+		rate = float64(res.Errors+res.Dropped) / float64(res.Requests)
+	}
+	gates = append(gates, GateResult{
+		Gate: "max_error_rate", Want: s.MaxErrorRate, Got: round3(rate),
+		Pass: rate <= s.MaxErrorRate,
+	})
+	if res.Swap != nil {
+		g := GateResult{
+			Gate: "zero_dropped_on_swap", Want: 0, Got: float64(res.Dropped),
+			Pass: res.Dropped == 0 && res.Swap.Error == "",
+		}
+		if res.Swap.Error != "" {
+			g.Detail = "swap failed: " + res.Swap.Error
+		} else {
+			g.Detail = "rolling swap to " + res.Swap.Version + " under load"
+		}
+		gates = append(gates, g)
+	}
+	if s.MaxServerP99Ms > 0 && res.Server != nil && len(res.Server.RouteP99Ms) > 0 {
+		routes := make([]string, 0, len(res.Server.RouteP99Ms))
+		for route := range res.Server.RouteP99Ms {
+			routes = append(routes, route)
+		}
+		sort.Strings(routes)
+		worst, worstRoute := 0.0, ""
+		for _, route := range routes {
+			if v := res.Server.RouteP99Ms[route]; v > worst {
+				worst, worstRoute = v, route
+			}
+		}
+		gates = append(gates, GateResult{
+			Gate: "max_server_p99_ms", Want: s.MaxServerP99Ms, Got: round3(worst),
+			Pass: worst <= s.MaxServerP99Ms, Detail: "route " + worstRoute,
+		})
+	}
+	return gates
+}
+
+func allPass(gates []GateResult) bool {
+	for _, g := range gates {
+		if !g.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// healthzView is the subset of the server's /healthz the harness reads.
+type healthzView struct {
+	Requests         int64              `json:"requests"`
+	Inflight         int64              `json:"inflight"`
+	ActiveVersion    string             `json:"active_version"`
+	SecondsSinceSwap float64            `json:"seconds_since_swap"`
+	RouteP99Ms       map[string]float64 `json:"route_p99_ms"`
+}
+
+// obsSnapshotView is the subset of /metrics.json the harness reads.
+type obsSnapshotView struct {
+	Histograms map[string]struct {
+		Count int64   `json:"count"`
+		P50   float64 `json:"p50"`
+		P95   float64 `json:"p95"`
+		P99   float64 `json:"p99"`
+	} `json:"histograms"`
+}
+
+// probeServer scrapes /healthz and /metrics.json after a step. Both surfaces
+// are optional — a target without telemetry yields a nil snapshot, and the
+// server-side gates simply do not arm.
+func probeServer(client *http.Client, base string) *ServerSnapshot {
+	var hv healthzView
+	if !getJSON(client, base+"/healthz", &hv) {
+		return nil
+	}
+	snap := &ServerSnapshot{
+		Inflight:         hv.Inflight,
+		Requests:         hv.Requests,
+		ActiveVersion:    hv.ActiveVersion,
+		SecondsSinceSwap: hv.SecondsSinceSwap,
+		RouteP99Ms:       hv.RouteP99Ms,
+	}
+	var ov obsSnapshotView
+	if getJSON(client, base+"/metrics.json", &ov) {
+		quants := map[string]Quantiles{}
+		for _, route := range []string{"ask", "click", "recommend"} {
+			key := fmt.Sprintf("intellitag_http_request_seconds{route=%q}", route)
+			h, ok := ov.Histograms[key]
+			if !ok || h.Count == 0 {
+				continue
+			}
+			quants[route] = Quantiles{
+				P50Ms: round3(h.P50 * 1000),
+				P95Ms: round3(h.P95 * 1000),
+				P99Ms: round3(h.P99 * 1000),
+				Count: h.Count,
+			}
+		}
+		if len(quants) > 0 {
+			snap.RouteQuantiles = quants
+		}
+	}
+	return snap
+}
+
+// getJSON fetches url into v, reporting success.
+func getJSON(client *http.Client, url string, v any) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		_ = resp.Body.Close() // read side; nothing to recover from on close failure
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return json.NewDecoder(resp.Body).Decode(v) == nil
+}

@@ -1,0 +1,186 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"intellitag/internal/httprr"
+)
+
+// Request is one HTTP round-trip the generator will issue against the target.
+type Request struct {
+	Method string
+	Path   string
+	Body   string
+}
+
+// Stream yields an endless request sequence for one worker. Streams are
+// owned by a single worker goroutine and need no locking.
+type Stream interface {
+	Next() Request
+}
+
+// Source hands each worker its own deterministic request stream.
+type Source interface {
+	Stream(worker int) Stream
+	// Name labels the source in the emitted report.
+	Name() string
+}
+
+// TenantTraffic is one tenant's request universe for the synthetic source.
+type TenantTraffic struct {
+	Tenant int
+	Tags   []int
+}
+
+// SyntheticSource generates session traffic shaped like the simulator's: each
+// session picks a tenant, then alternates POST /click (a tag from the
+// tenant's catalog) with POST /recommend — the click → recommend round-trip
+// of the serving API. Everything is derived from (Seed, worker, sequence
+// counter) via a splitmix64 stream, so two runs with the same options issue
+// the identical request text.
+type SyntheticSource struct {
+	Seed             int64
+	Tenants          []TenantTraffic
+	K                int // top-k requested per round-trip
+	ClicksPerSession int
+}
+
+// Name implements Source.
+func (s *SyntheticSource) Name() string { return "synthetic" }
+
+// Stream implements Source. Session ids are partitioned by worker so two
+// workers never mutate the same session's history.
+func (s *SyntheticSource) Stream(worker int) Stream {
+	return &synthStream{
+		src:  s,
+		rng:  uint64(s.Seed)*0x9E3779B97F4A7C15 + uint64(worker+1)*0xBF58476D1CE4E5B9,
+		base: (worker + 1) * 10_000_000,
+	}
+}
+
+type synthStream struct {
+	src     *SyntheticSource
+	rng     uint64
+	base    int // session-id partition for this worker
+	session int // sessions started so far
+	tenant  TenantTraffic
+	turn    int // round-trips issued within the current session
+	lastTag int
+}
+
+// next64 advances the stream's splitmix64 state.
+func (st *synthStream) next64() uint64 {
+	st.rng += 0x9E3779B97F4A7C15
+	z := st.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Next implements Stream: two requests per turn (click, then recommend),
+// ClicksPerSession turns per session.
+func (st *synthStream) Next() Request {
+	clicks := st.src.ClicksPerSession
+	if clicks < 1 {
+		clicks = 3
+	}
+	k := st.src.K
+	if k < 1 {
+		k = 5
+	}
+	if st.turn == 0 || st.turn >= 2*clicks {
+		// New session: fresh id, fresh tenant.
+		st.session++
+		st.turn = 0
+		st.tenant = st.src.Tenants[st.next64()%uint64(len(st.src.Tenants))]
+	}
+	sid := st.base + st.session
+	defer func() { st.turn++ }()
+	if st.turn%2 == 0 {
+		st.lastTag = st.tenant.Tags[st.next64()%uint64(len(st.tenant.Tags))]
+		return Request{
+			Method: "POST", Path: "/click",
+			Body: fmt.Sprintf(`{"tenant":%d,"session":%d,"tag":%d,"k":%d}`, st.tenant.Tenant, sid, st.lastTag, k),
+		}
+	}
+	return Request{
+		Method: "POST", Path: "/recommend",
+		Body: fmt.Sprintf(`{"tenant":%d,"session":%d,"k":%d}`, st.tenant.Tenant, sid, k),
+	}
+}
+
+// TraceSource replays the requests of a recorded httprr trace as load: each
+// worker cycles the recorded request sequence from its own starting offset,
+// so the target sees the recorded traffic shape at arbitrary concurrency.
+// Responses are not matched against the recording — the trace supplies the
+// traffic, the live server supplies the answers.
+type TraceSource struct {
+	Label   string
+	Records []httprr.Record
+}
+
+// NewTraceSource loads a trace file into a source, rejecting corrupt traces
+// with httprr's typed errors.
+func NewTraceSource(path string) (*TraceSource, error) {
+	records, err := httprr.ReadTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("load: trace %s holds no records", path)
+	}
+	return &TraceSource{Label: "trace:" + path, Records: records}, nil
+}
+
+// Name implements Source.
+func (s *TraceSource) Name() string {
+	if s.Label == "" {
+		return "trace"
+	}
+	return s.Label
+}
+
+// Stream implements Source.
+func (s *TraceSource) Stream(worker int) Stream {
+	return &traceStream{
+		records: s.Records,
+		next:    worker % len(s.Records),
+		base:    (worker + 1) * 10_000_000,
+	}
+}
+
+type traceStream struct {
+	records []httprr.Record
+	next    int
+	base    int
+}
+
+// Next implements Stream, cycling the recorded requests with the session ids
+// remapped into this worker's partition.
+func (st *traceStream) Next() Request {
+	r := st.records[st.next]
+	st.next = (st.next + 1) % len(st.records)
+	return Request{Method: r.Method, Path: r.Path, Body: sessionRemap(r.ReqBody, st.base)}
+}
+
+// sessionRemap rewrites the session field of a JSON request body into a
+// worker-partitioned id, so trace replay at high concurrency does not funnel
+// every worker into the recorded run's session ids (and their shard locks).
+// Bodies without a session field pass through unchanged.
+func sessionRemap(body string, base int) string {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return body
+	}
+	sid, ok := m["session"].(float64)
+	if !ok {
+		return body
+	}
+	m["session"] = base + int(sid)
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return string(out)
+}

@@ -28,7 +28,9 @@ func SnapshotHandler(r *Registry) http.Handler {
 }
 
 // TraceHandler serves recent completed span trees, newest first. `?limit=N`
-// caps the count (default 20).
+// caps the count (default 20); `?slowest=1` switches to the slow-request
+// exemplar view — the K slowest sampled roots per route, slowest first —
+// so an SLO breach in a load run links straight to the spans that caused it.
 func TraceHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		limit := 20
@@ -44,6 +46,10 @@ func TraceHandler(t *Tracer) http.Handler {
 			if n > 0 {
 				limit = n
 			}
+		}
+		if s := req.URL.Query().Get("slowest"); s != "" && s != "0" {
+			writeJSONBody(w, map[string]any{"slowest": t.Slowest(limit)})
+			return
 		}
 		writeJSONBody(w, map[string]any{"traces": t.Trees(limit)})
 	})

@@ -2,29 +2,39 @@ package obs
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// defaultSlowK is how many slowest sampled roots each route retains for the
+// /debug/trace?slowest=1 exemplar view.
+const defaultSlowK = 8
+
 // Tracer samples request-scoped span trees. One request in `every` on
 // average becomes a root span (see sample for why it is not exactly every
 // Nth); child spans started under a sampled context attach to the tree
 // unconditionally. Completed root trees land in a fixed-size ring
-// buffer served by /debug/trace. A nil *Tracer samples nothing and costs one
-// nil check per Start.
+// buffer served by /debug/trace, and the K slowest completed roots per route
+// (root span name) are retained separately as slow-request exemplars — an SLO
+// breach in a load run links straight to the span trees of the requests that
+// caused it. A nil *Tracer samples nothing and costs one nil check per Start.
 type Tracer struct {
 	every int64
 	reqs  atomic.Int64
+	slowK int // per-route exemplar count, fixed at construction
 
 	mu   sync.Mutex
 	ring []*Span
 	next int
 	size int
+	slow map[string][]*Span // route -> completed roots, ascending by duration
 }
 
 // NewTracer returns a tracer sampling one root in `every` Start calls that
-// have no parent span, retaining the last `capacity` completed trees.
+// have no parent span, retaining the last `capacity` completed trees plus the
+// defaultSlowK slowest roots per route.
 func NewTracer(every, capacity int) *Tracer {
 	if every < 1 {
 		every = 1
@@ -32,7 +42,12 @@ func NewTracer(every, capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{every: int64(every), ring: make([]*Span, capacity)}
+	return &Tracer{
+		every: int64(every),
+		ring:  make([]*Span, capacity),
+		slowK: defaultSlowK,
+		slow:  map[string][]*Span{},
+	}
 }
 
 // Span is one timed operation in a sampled request tree.
@@ -116,7 +131,29 @@ func (s *Span) End() {
 	if t.size < len(t.ring) {
 		t.size++
 	}
+	t.noteSlow(s)
 	t.mu.Unlock()
+}
+
+// noteSlow offers a completed root to its route's slow-exemplar list, kept
+// ascending by duration and capped at slowK. Called with t.mu held.
+func (t *Tracer) noteSlow(s *Span) {
+	d := s.end.Sub(s.start)
+	q := t.slow[s.name]
+	if len(q) >= t.slowK {
+		if d <= q[0].end.Sub(q[0].start) {
+			return // faster than every retained exemplar
+		}
+		q = q[1:] // evict the fastest
+	}
+	i := len(q)
+	for i > 0 && q[i-1].end.Sub(q[i-1].start) > d {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = s
+	t.slow[s.name] = q
 }
 
 // SpanTree is the JSON form of a completed span and its children. Offsets are
@@ -150,6 +187,53 @@ func (t *Tracer) Trees(limit int) []SpanTree {
 	out := make([]SpanTree, 0, len(roots))
 	for _, r := range roots {
 		out = append(out, r.tree(r.start))
+	}
+	return out
+}
+
+// SlowTree is one slow-request exemplar: a route's sampled root span tree
+// with its total duration, served by /debug/trace?slowest=1.
+type SlowTree struct {
+	Route          string   `json:"route"`
+	DurationMicros int64    `json:"duration_us"`
+	Tree           SpanTree `json:"tree"`
+}
+
+// Slowest returns up to limit retained slow-request exemplars across all
+// routes, slowest first (ties broken by route name so the order is
+// deterministic). limit <= 0 means all. Exemplars are drawn from sampled
+// requests only — an unsampled slow request leaves no span to retain.
+func (t *Tracer) Slowest(limit int) []SlowTree {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	routes := make([]string, 0, len(t.slow))
+	for route := range t.slow {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	var roots []*Span
+	for _, route := range routes {
+		roots = append(roots, t.slow[route]...)
+	}
+	t.mu.Unlock()
+	out := make([]SlowTree, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, SlowTree{
+			Route:          r.name,
+			DurationMicros: r.end.Sub(r.start).Microseconds(),
+			Tree:           r.tree(r.start),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DurationMicros != out[j].DurationMicros {
+			return out[i].DurationMicros > out[j].DurationMicros
+		}
+		return out[i].Route < out[j].Route
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
 	}
 	return out
 }

@@ -2,9 +2,13 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilTracerAndSpanAreNoOps(t *testing.T) {
@@ -19,6 +23,9 @@ func TestNilTracerAndSpanAreNoOps(t *testing.T) {
 	span.End() // must not panic
 	if trees := tr.Trees(10); trees != nil {
 		t.Fatalf("nil tracer has trees: %v", trees)
+	}
+	if slow := tr.Slowest(10); slow != nil {
+		t.Fatalf("nil tracer has slow exemplars: %v", slow)
 	}
 }
 
@@ -127,6 +134,107 @@ func TestTracerRingNewestFirstAndEviction(t *testing.T) {
 	}
 	if limited := tr.Trees(2); len(limited) != 2 || limited[0].Name != "req-5" {
 		t.Fatalf("limit=2 returned %+v", limited)
+	}
+}
+
+// endAfter closes a sampled root as if it had run for d: the start stamp is
+// rewound before End so the recorded duration is d plus scheduler noise —
+// deterministic enough to order exemplars spaced tens of milliseconds apart.
+func endAfter(s *Span, d time.Duration) {
+	s.start = time.Now().Add(-d)
+	s.End()
+}
+
+// TestSlowestExemplars pins the slow-request exemplar ring: per route only
+// the K slowest sampled roots survive, the combined view is slowest-first,
+// and eviction drops the fastest exemplar — so a burst of quick requests can
+// never wash out the slow ones the way the newest-first ring does.
+func TestSlowestExemplars(t *testing.T) {
+	tr := NewTracer(1, 4) // tiny ring: exemplars must outlive ring eviction
+	// 12 click roots at 10..120ms; only the slowest 8 (50..120ms) may remain.
+	for i := 1; i <= 12; i++ {
+		ctx, root := tr.Start(context.Background(), "click")
+		_, child := tr.Start(ctx, "score")
+		child.End()
+		endAfter(root, time.Duration(i)*10*time.Millisecond)
+	}
+	// 3 recommend roots, all faster than every retained click.
+	for i := 1; i <= 3; i++ {
+		_, root := tr.Start(context.Background(), "recommend")
+		endAfter(root, time.Duration(i)*time.Millisecond)
+	}
+
+	slow := tr.Slowest(0)
+	if len(slow) != defaultSlowK+3 {
+		t.Fatalf("got %d exemplars, want %d clicks + 3 recommends", len(slow), defaultSlowK)
+	}
+	byRoute := map[string]int{}
+	for i, s := range slow {
+		byRoute[s.Route]++
+		if i > 0 && s.DurationMicros > slow[i-1].DurationMicros {
+			t.Fatalf("exemplars not slowest-first at %d: %v then %v", i, slow[i-1].DurationMicros, s.DurationMicros)
+		}
+	}
+	if byRoute["click"] != defaultSlowK || byRoute["recommend"] != 3 {
+		t.Fatalf("per-route counts wrong: %v", byRoute)
+	}
+	// The slowest click survived with its span tree intact, and the four
+	// fastest clicks (10..40ms) were evicted.
+	if slow[0].Route != "click" || slow[0].DurationMicros < 115_000 {
+		t.Fatalf("slowest exemplar wrong: %+v", slow[0])
+	}
+	if len(slow[0].Tree.Children) != 1 || slow[0].Tree.Children[0].Name != "score" {
+		t.Fatalf("exemplar lost its span tree: %+v", slow[0].Tree)
+	}
+	for _, s := range slow {
+		if s.Route == "click" && s.DurationMicros < 45_000 {
+			t.Fatalf("evicted click survived: %+v", s)
+		}
+	}
+	if limited := tr.Slowest(2); len(limited) != 2 || limited[0].DurationMicros < limited[1].DurationMicros {
+		t.Fatalf("limit=2 returned %+v", limited)
+	}
+}
+
+// TestTraceHandlerSlowest pins the HTTP surface: ?slowest=1 serves the
+// exemplar view, the default view still serves the newest-first ring.
+func TestTraceHandlerSlowest(t *testing.T) {
+	tr := NewTracer(1, 8)
+	_, root := tr.Start(context.Background(), "click")
+	endAfter(root, 30*time.Millisecond)
+	_, root = tr.Start(context.Background(), "recommend")
+	endAfter(root, 10*time.Millisecond)
+
+	srv := httptest.NewServer(TraceHandler(tr))
+	defer srv.Close()
+	get := func(url string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+		return m
+	}
+
+	slow := get(srv.URL + "?slowest=1")
+	list, ok := slow["slowest"].([]any)
+	if !ok || len(list) != 2 {
+		t.Fatalf("?slowest=1 returned %v", slow)
+	}
+	first, ok := list[0].(map[string]any)
+	if !ok || first["route"] != "click" {
+		t.Fatalf("slowest-first order wrong: %v", list)
+	}
+	if limited := get(srv.URL + "?slowest=1&limit=1"); len(limited["slowest"].([]any)) != 1 {
+		t.Fatalf("limit ignored in slowest view: %v", limited)
+	}
+	if plain := get(srv.URL); plain["traces"] == nil {
+		t.Fatalf("default view lost traces: %v", plain)
 	}
 }
 

@@ -41,6 +41,7 @@ type Server struct {
 	start  time.Time
 
 	requests atomic.Int64 // all API requests, telemetry or not (for /healthz)
+	inflight atomic.Int64 // API requests currently being handled
 
 	reg      *obs.Registry
 	tracer   *obs.Tracer
@@ -127,6 +128,8 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		if s.reg == nil {
 			h(w, r)
 			return
@@ -230,6 +233,13 @@ type healthzResponse struct {
 	LastSwapUnix  int64         `json:"last_swap_unix,omitempty"`
 	Versions      []VersionInfo `json:"versions"`
 	Requests      int64         `json:"requests"`
+	Inflight      int64         `json:"inflight"`
+	// SecondsSinceSwap is the age of the active version's last rolling swap;
+	// omitted until the first swap. RouteP99Ms is the per-route request-latency
+	// p99 snapshot in milliseconds (telemetry-enabled servers only). Both feed
+	// the load-certification harness (internal/load.probeServer).
+	SecondsSinceSwap float64            `json:"seconds_since_swap,omitempty"`
+	RouteP99Ms       map[string]float64 `json:"route_p99_ms,omitempty"`
 	// Retrieval is the primary engine's retrieve-then-rank accounting: which
 	// serving path recommendation computations took and the active backend.
 	Retrieval RetrievalStats `json:"retrieval"`
@@ -259,6 +269,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	primary := s.router.Engines()[0].Version()
 	resp.ActiveVersion = primary.ID
 	resp.LastSwapUnix = primary.LastSwapUnix
+	resp.Inflight = s.inflight.Load()
+	if primary.LastSwapUnix > 0 {
+		resp.SecondsSinceSwap = float64(time.Now().Unix() - primary.LastSwapUnix)
+	}
+	if s.reg != nil {
+		p99 := make(map[string]float64, len(s.httpLat))
+		for _, route := range []string{"ask", "click", "recommend"} {
+			h := s.httpLat[route]
+			if h.Count() == 0 {
+				continue
+			}
+			p99[route] = h.Quantile(0.99) * 1000
+		}
+		if len(p99) > 0 {
+			resp.RouteP99Ms = p99
+		}
+	}
 	resp.Retrieval = s.router.Engines()[0].RetrievalStats()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,206 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"intellitag/internal/httprr"
+	"intellitag/internal/obs"
+)
+
+// recordSession drives one deterministic click → recommend session through a
+// recording transport and returns the sealed trace path. This is the traffic
+// shape older tests constructed ad hoc inline; here it is recorded once and
+// replayed everywhere else.
+func recordSession(t *testing.T) string {
+	t.Helper()
+	e := newTestEngine(t, nil)
+	srv := httptest.NewServer(NewServer(NewABRouter(e)))
+	defer srv.Close()
+
+	rec := httprr.NewRecorder(nil)
+	client := &http.Client{Transport: rec}
+	post := func(path, body string) {
+		t.Helper()
+		resp, err := client.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("drain %s: %v", path, err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatalf("close %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// A session warming up: cold-start recommend, three clicks interleaved
+	// with recommends (history shifts the scorer each time), plus an ask.
+	tags := e.Catalog().TenantTags[0]
+	post("/recommend", `{"tenant":0,"session":31,"k":5}`)
+	for i := 0; i < 3; i++ {
+		post("/click", fmt.Sprintf(`{"tenant":0,"session":31,"tag":%d,"k":5}`, tags[i]))
+		post("/recommend", `{"tenant":0,"session":31,"k":5}`)
+	}
+	rq := simWorld.RQs[0]
+	ask, err := json.Marshal(askRequest{Tenant: rq.Tenant, Session: 31, Question: rq.Text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post("/ask", string(ask))
+
+	path := filepath.Join(t.TempDir(), "session.httprr")
+	if err := rec.Save(path); err != nil {
+		t.Fatalf("save trace: %v", err)
+	}
+	if rec.Len() != 8 {
+		t.Fatalf("recorded %d round-trips, want 8", rec.Len())
+	}
+	return path
+}
+
+// replayAgainstFreshServer replays the trace's requests in recorded order
+// against a brand-new identical server and returns the live response bodies.
+func replayAgainstFreshServer(t *testing.T, records []httprr.Record) []string {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(NewABRouter(newTestEngine(t, nil))))
+	defer srv.Close()
+
+	var bodies []string
+	for i, r := range records {
+		resp, err := http.Post(srv.URL+r.Path, "application/json", strings.NewReader(r.ReqBody))
+		if err != nil {
+			t.Fatalf("replay %d %s: %v", i, r.Path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("replay %d %s: %v", i, r.Path, err)
+		}
+		if resp.StatusCode != r.Status {
+			t.Fatalf("replay %d %s: status %d, recorded %d", i, r.Path, resp.StatusCode, r.Status)
+		}
+		bodies = append(bodies, string(body))
+	}
+	return bodies
+}
+
+// TestServingTraceReplayDeterminism is the acceptance pin for httprr on the
+// serving path: a recorded click → recommend session, replayed twice against
+// fresh identical servers, yields byte-identical recommendation responses —
+// both to each other and to the recording.
+func TestServingTraceReplayDeterminism(t *testing.T) {
+	path := recordSession(t)
+	records, err := httprr.ReadTrace(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+
+	first := replayAgainstFreshServer(t, records)
+	second := replayAgainstFreshServer(t, records)
+	for i := range records {
+		if first[i] != second[i] {
+			t.Fatalf("replay %d diverged between runs:\n%s\nvs\n%s", i, first[i], second[i])
+		}
+		if first[i] != records[i].RespBody {
+			t.Fatalf("replay %d diverged from recording:\n%s\nvs recorded\n%s", i, first[i], records[i].RespBody)
+		}
+	}
+
+	// The offline half: the Replayer transport serves the same bytes with no
+	// server at all, and a complete replay leaves nothing unconsumed.
+	rp, err := httprr.Open(path)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	client := &http.Client{Transport: rp}
+	for i, r := range records {
+		resp, err := client.Post("http://recorded.invalid"+r.Path, "application/json", strings.NewReader(r.ReqBody))
+		if err != nil {
+			t.Fatalf("offline replay %d: %v", i, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("offline replay %d: %v", i, err)
+		}
+		if !bytes.Equal(body, []byte(records[i].RespBody)) {
+			t.Fatalf("offline replay %d returned different bytes", i)
+		}
+	}
+	if rp.Remaining() != 0 {
+		t.Fatalf("%d recorded responses never replayed", rp.Remaining())
+	}
+}
+
+// TestHealthzEnriched pins the load-certification fields on /healthz: the
+// in-flight gauge, the per-route p99 snapshot and the request total.
+func TestHealthzEnriched(t *testing.T) {
+	server := NewServer(NewABRouter(newTestEngine(t, nil)))
+	server.EnableTelemetry(obs.NewRegistry(), obs.NewTracer(1, 16))
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(srv.URL+"/recommend", "application/json",
+			strings.NewReader(`{"tenant":0,"session":9,"k":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Requests         int64              `json:"requests"`
+		Inflight         int64              `json:"inflight"`
+		SecondsSinceSwap float64            `json:"seconds_since_swap"`
+		RouteP99Ms       map[string]float64 `json:"route_p99_ms"`
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &hz); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if hz.Requests != 5 {
+		t.Fatalf("requests = %d, want 5", hz.Requests)
+	}
+	if hz.Inflight != 0 {
+		t.Fatalf("inflight = %d with no request in flight", hz.Inflight)
+	}
+	if p99, ok := hz.RouteP99Ms["recommend"]; !ok || p99 <= 0 {
+		t.Fatalf("route_p99_ms missing recommend: %v", hz.RouteP99Ms)
+	}
+	if _, ok := hz.RouteP99Ms["ask"]; ok {
+		t.Fatalf("route_p99_ms fabricated a p99 for the unused ask route: %v", hz.RouteP99Ms)
+	}
+	// No swap has happened, so the age field is omitted, not zero-valued.
+	if bytes.Contains(raw, []byte("seconds_since_swap")) {
+		t.Fatalf("seconds_since_swap emitted before any swap: %s", raw)
+	}
+}
