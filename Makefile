@@ -1,15 +1,17 @@
 # Developer entry points. `make check` is the full pre-merge gate, in order:
-# fmt -> vet -> lint -> build -> test(-race) -> bench-short -> load-cert-short.
-# Cheap textual checks run first, intellilint gates the project invariants
-# before anything compiles twice, the race-enabled tests plus a short
-# benchmark pass close out correctness and gross performance regressions, and
-# a short load-certification sweep keeps the serving hot path honest.
+# fmt -> vet -> lint -> build -> test(-race) -> bench-short -> load-cert-short
+# -> online-demo-short. Cheap textual checks run first, intellilint gates the
+# project invariants before anything compiles twice, the race-enabled tests
+# plus a short benchmark pass close out correctness and gross performance
+# regressions, a short load-certification sweep keeps the serving hot path
+# honest, and a short online-learning drill keeps the drift/rollback loop
+# honest.
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-fix-list build test bench bench-short bench-all bench-ann load-cert load-cert-short record-trace trajectory obs-demo swap-demo
+.PHONY: check fmt vet lint lint-fix-list build test bench bench-short bench-all bench-ann load-cert load-cert-short online-demo online-demo-short record-trace trajectory obs-demo swap-demo
 
-check: fmt vet lint build test bench-short load-cert-short
+check: fmt vet lint build test bench-short load-cert-short online-demo-short
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -81,6 +83,22 @@ load-cert-short:
 		-warmup 200ms -swap-step 2 -max-p99-ms 1000 \
 		-o /tmp/intellitag-load-short.json -note "short certification smoke"
 
+# Online-learning drill (ROADMAP item 3): frozen vs streaming-learner buckets
+# over a world whose click process drifts mid-run — the online bucket
+# fine-tunes on the live stream and recovers CTR — ending with a poison drill
+# (garbage-label round → gate block → forced promotion → drift-monitor
+# auto-rollback to last-known-good). Writes BENCH_ONLINE_PR10.json — the
+# recorded artifact — and exits non-zero if any leg of the drill fails.
+online-demo:
+	$(GO) run ./cmd/simulate -online -days 10 -sessions 150 \
+		-online-out BENCH_ONLINE_PR10.json
+
+# Sub-five-second drill smoke for `make check` and CI: fewer days and
+# sessions, same drift → adapt → poison → rollback sequence.
+online-demo-short:
+	$(GO) run ./cmd/simulate -online -days 6 -sessions 60 \
+		-online-out /tmp/intellitag-online-short.json
+
 # Record a deterministic httprr trace of held-out session traffic for replay
 # in serving tests and `loadgen -trace`.
 record-trace:
@@ -90,7 +108,7 @@ record-trace:
 # fails loudly on any malformed entry.
 trajectory:
 	$(GO) run ./cmd/benchjson -trajectory -o TRAJECTORY.json \
-		BENCH_PR2.json BENCH_PR7.json BENCH_LOAD_PR9.json
+		BENCH_PR2.json BENCH_PR7.json BENCH_LOAD_PR9.json BENCH_ONLINE_PR10.json
 
 # Live telemetry demo: run the simulator with the telemetry listener up, let
 # traffic flow for a moment, dump /metrics and one sampled trace, then stop.

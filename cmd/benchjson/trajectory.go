@@ -8,13 +8,14 @@ import (
 	"sort"
 )
 
-// The repo accumulates one BENCH_*.json per performance PR, in three shapes:
+// The repo accumulates one BENCH_*.json per performance PR, in four shapes:
 // `go test -bench` reports (BENCH_PR2), annbench recall/latency curve reports
-// (BENCH_PR7) and load-certification reports (BENCH_LOAD_*). buildTrajectory
-// merges any mix of them into one document so the perf trajectory across PRs
-// is a single schema-checked artifact. Every structural defect is a hard
-// error naming the file and the field — a malformed entry silently dropped
-// would read as a regression-free trajectory.
+// (BENCH_PR7), load-certification reports (BENCH_LOAD_*) and online-learning
+// drill reports (BENCH_ONLINE_*). buildTrajectory merges any mix of them into
+// one document so the perf trajectory across PRs is a single schema-checked
+// artifact. Every structural defect is a hard error naming the file and the
+// field — a malformed entry silently dropped would read as a regression-free
+// trajectory.
 
 // trajectorySchema identifies the merged document.
 const trajectorySchema = "intellitag-trajectory/1"
@@ -22,7 +23,7 @@ const trajectorySchema = "intellitag-trajectory/1"
 // TrajectoryEntry is one validated BENCH file in the merged document.
 type TrajectoryEntry struct {
 	File    string `json:"file"`
-	Kind    string `json:"kind"` // bench | annbench | load
+	Kind    string `json:"kind"` // bench | annbench | load | online
 	Summary string `json:"summary"`
 	// Pass carries the load report's gate verdict; bench/annbench entries
 	// have no gates and stay null.
@@ -64,7 +65,7 @@ func buildTrajectory(files []string) (*Trajectory, error) {
 // its schema.
 func validateEntry(data []byte) (TrajectoryEntry, error) {
 	var probe struct {
-		Schema     json.RawMessage `json:"schema"`
+		Schema     string          `json:"schema"`
 		Benchmarks json.RawMessage `json:"benchmarks"`
 		Curves     json.RawMessage `json:"curves"`
 	}
@@ -72,8 +73,15 @@ func validateEntry(data []byte) (TrajectoryEntry, error) {
 		return TrajectoryEntry{}, fmt.Errorf("not a JSON object: %v", err)
 	}
 	switch {
-	case probe.Schema != nil:
-		return validateLoad(data)
+	case probe.Schema != "":
+		// Self-identifying reports dispatch on the schema string.
+		switch probe.Schema {
+		case "intellitag-load/1":
+			return validateLoad(data)
+		case "intellitag-online/1":
+			return validateOnline(data)
+		}
+		return TrajectoryEntry{}, fmt.Errorf("unknown schema %q (want intellitag-load/1 or intellitag-online/1)", probe.Schema)
 	case probe.Benchmarks != nil:
 		return validateBench(data)
 	case probe.Curves != nil:
@@ -193,5 +201,65 @@ func validateLoad(data []byte) (TrajectoryEntry, error) {
 		Kind:    "load",
 		Pass:    r.Pass,
 		Summary: fmt.Sprintf("%d load steps, gates pass=%v", len(r.Steps), *r.Pass),
+	}, nil
+}
+
+func validateOnline(data []byte) (TrajectoryEntry, error) {
+	var r struct {
+		Schema       string `json:"schema"`
+		Pass         *bool  `json:"pass"`
+		Days         int    `json:"days"`
+		DriftFromDay int    `json:"drift_from_day"`
+		DrillDay     int    `json:"drill_day"`
+		DayStats     []struct {
+			Day       int     `json:"day"`
+			CTRFrozen float64 `json:"ctr_frozen"`
+			CTROnline float64 `json:"ctr_online"`
+			Verdict   string  `json:"verdict"`
+			Active    string  `json:"active"`
+		} `json:"day_stats"`
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+		Summary struct {
+			Finetunes   int64 `json:"finetunes"`
+			GateBlocked int64 `json:"gate_blocked"`
+			Rollbacks   int64 `json:"rollbacks"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return TrajectoryEntry{}, fmt.Errorf("online report: %v", err)
+	}
+	if r.Pass == nil {
+		return TrajectoryEntry{}, fmt.Errorf("online report: missing pass verdict")
+	}
+	if r.Days < 1 || len(r.DayStats) != r.Days {
+		return TrajectoryEntry{}, fmt.Errorf("online report: days %d but %d day_stats entries", r.Days, len(r.DayStats))
+	}
+	if r.DriftFromDay < 1 || r.DriftFromDay > r.Days || r.DrillDay < r.DriftFromDay || r.DrillDay > r.Days {
+		return TrajectoryEntry{}, fmt.Errorf("online report: drift day %d / drill day %d outside run of %d days", r.DriftFromDay, r.DrillDay, r.Days)
+	}
+	for i, d := range r.DayStats {
+		if d.Day != i+1 {
+			return TrajectoryEntry{}, fmt.Errorf("online report: day_stats[%d] is day %d, want %d", i, d.Day, i+1)
+		}
+		if d.CTRFrozen < 0 || d.CTRFrozen > 1 || d.CTROnline < 0 || d.CTROnline > 1 {
+			return TrajectoryEntry{}, fmt.Errorf("online report: day %d CTR outside [0,1]: frozen %g online %g", d.Day, d.CTRFrozen, d.CTROnline)
+		}
+		if d.Verdict == "" || d.Active == "" {
+			return TrajectoryEntry{}, fmt.Errorf("online report: day %d missing verdict or active version", d.Day)
+		}
+	}
+	if len(r.Events) == 0 {
+		return TrajectoryEntry{}, fmt.Errorf("online report: events is empty")
+	}
+	if r.Summary.Finetunes < 1 {
+		return TrajectoryEntry{}, fmt.Errorf("online report: no fine-tune rounds recorded")
+	}
+	return TrajectoryEntry{
+		Kind: "online",
+		Pass: r.Pass,
+		Summary: fmt.Sprintf("%d days (drift day %d, drill day %d), %d finetunes, %d blocked, %d rollbacks, pass=%v",
+			r.Days, r.DriftFromDay, r.DrillDay, r.Summary.Finetunes, r.Summary.GateBlocked, r.Summary.Rollbacks, *r.Pass),
 	}, nil
 }

@@ -20,21 +20,27 @@ const goodBench = `{"benchmarks":{"PR2_MatMul":{"iters":100,"ns_per_op":987,"b_p
 const goodCurves = `{"curves":[{"size":1000,"backend":"lsh","recall_at_10":0.99,"ns_per_query":28601}]}`
 const goodLoad = `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":4,"requests":100,` +
 	`"achieved_qps":50,"p50_ms":1,"p95_ms":2,"p99_ms":3,"gates":[{"gate":"max_error_rate","pass":true}]}]}`
+const goodOnline = `{"schema":"intellitag-online/1","pass":true,"days":2,"drift_from_day":1,"drill_day":2,` +
+	`"day_stats":[{"day":1,"ctr_frozen":0.3,"ctr_online":0.3,"verdict":"indeterminate","active":"v0000-aa"},` +
+	`{"day":2,"ctr_frozen":0.2,"ctr_online":0.25,"verdict":"healthy","active":"v0001-bb"}],` +
+	`"events":[{"kind":"finetune"},{"kind":"rollback"}],` +
+	`"summary":{"finetunes":2,"gate_blocked":1,"rollbacks":1}}`
 
 func TestTrajectoryMergesAllSchemas(t *testing.T) {
 	files := []string{
 		writeFile(t, "BENCH_PR2.json", goodBench),
 		writeFile(t, "BENCH_PR7.json", goodCurves),
 		writeFile(t, "BENCH_LOAD_PR9.json", goodLoad),
+		writeFile(t, "BENCH_ONLINE_PR10.json", goodOnline),
 	}
 	traj, err := buildTrajectory(files)
 	if err != nil {
 		t.Fatalf("buildTrajectory: %v", err)
 	}
-	if traj.Schema != trajectorySchema || len(traj.Entries) != 3 {
+	if traj.Schema != trajectorySchema || len(traj.Entries) != 4 {
 		t.Fatalf("trajectory shape wrong: %+v", traj)
 	}
-	kinds := []string{"bench", "annbench", "load"}
+	kinds := []string{"bench", "annbench", "load", "online"}
 	for i, e := range traj.Entries {
 		if e.Kind != kinds[i] {
 			t.Errorf("entry %d kind %q, want %q", i, e.Kind, kinds[i])
@@ -45,6 +51,9 @@ func TestTrajectoryMergesAllSchemas(t *testing.T) {
 	}
 	if traj.Entries[2].Pass == nil || !*traj.Entries[2].Pass {
 		t.Errorf("load entry lost its gate verdict: %+v", traj.Entries[2])
+	}
+	if traj.Entries[3].Pass == nil || !*traj.Entries[3].Pass {
+		t.Errorf("online entry lost its drill verdict: %+v", traj.Entries[3])
 	}
 	if traj.Entries[0].Pass != nil {
 		t.Errorf("bench entry fabricated a gate verdict: %+v", traj.Entries[0])
@@ -68,6 +77,21 @@ func TestTrajectoryFailsLoudly(t *testing.T) {
 		{"idle.json", `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":1,"requests":0,"achieved_qps":0,"gates":[{"gate":"g"}]}]}`, "did no work"},
 		{"nonmono.json", `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":1,"requests":5,"achieved_qps":1,"p50_ms":9,"p95_ms":2,"p99_ms":3,"gates":[{"gate":"g"}]}]}`, "non-monotone"},
 		{"nogates.json", `{"schema":"intellitag-load/1","pass":true,"steps":[{"concurrency":1,"requests":5,"achieved_qps":1,"gates":[]}]}`, "no gates"},
+		{"onlinenopass.json", `{"schema":"intellitag-online/1","days":1,"drift_from_day":1,"drill_day":1,` +
+			`"day_stats":[{"day":1,"ctr_frozen":0.1,"ctr_online":0.1,"verdict":"healthy","active":"v0"}],` +
+			`"events":[{"kind":"finetune"}],"summary":{"finetunes":1}}`, "missing pass"},
+		{"onlinedaygap.json", `{"schema":"intellitag-online/1","pass":true,"days":2,"drift_from_day":1,"drill_day":2,` +
+			`"day_stats":[{"day":1,"ctr_frozen":0.1,"ctr_online":0.1,"verdict":"healthy","active":"v0"}],` +
+			`"events":[{"kind":"finetune"}],"summary":{"finetunes":1}}`, "day_stats"},
+		{"onlinebadctr.json", `{"schema":"intellitag-online/1","pass":true,"days":1,"drift_from_day":1,"drill_day":1,` +
+			`"day_stats":[{"day":1,"ctr_frozen":1.5,"ctr_online":0.1,"verdict":"healthy","active":"v0"}],` +
+			`"events":[{"kind":"finetune"}],"summary":{"finetunes":1}}`, "outside [0,1]"},
+		{"onlinebaddrill.json", `{"schema":"intellitag-online/1","pass":true,"days":1,"drift_from_day":1,"drill_day":9,` +
+			`"day_stats":[{"day":1,"ctr_frozen":0.1,"ctr_online":0.1,"verdict":"healthy","active":"v0"}],` +
+			`"events":[{"kind":"finetune"}],"summary":{"finetunes":1}}`, "drill day"},
+		{"onlineidle.json", `{"schema":"intellitag-online/1","pass":true,"days":1,"drift_from_day":1,"drill_day":1,` +
+			`"day_stats":[{"day":1,"ctr_frozen":0.1,"ctr_online":0.1,"verdict":"healthy","active":"v0"}],` +
+			`"events":[{"kind":"finetune"}],"summary":{"finetunes":0}}`, "no fine-tune rounds"},
 	}
 	for _, tc := range cases {
 		path := writeFile(t, tc.name, tc.content)
@@ -90,7 +114,8 @@ func TestTrajectoryFailsLoudly(t *testing.T) {
 }
 
 func TestTrajectoryValidatesRealRepoFiles(t *testing.T) {
-	files := []string{"../../BENCH_PR2.json", "../../BENCH_PR7.json"}
+	files := []string{"../../BENCH_PR2.json", "../../BENCH_PR7.json", "../../BENCH_LOAD_PR9.json", "../../BENCH_ONLINE_PR10.json"}
+	wantKinds := []string{"bench", "annbench", "load", "online"}
 	for _, f := range files {
 		if _, err := os.Stat(f); err != nil {
 			t.Skipf("repo BENCH files not present: %v", err)
@@ -100,7 +125,9 @@ func TestTrajectoryValidatesRealRepoFiles(t *testing.T) {
 	if err != nil {
 		t.Fatalf("committed BENCH files fail validation: %v", err)
 	}
-	if traj.Entries[0].Kind != "bench" || traj.Entries[1].Kind != "annbench" {
-		t.Fatalf("committed BENCH files misclassified: %+v", traj.Entries)
+	for i, e := range traj.Entries {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("committed BENCH files misclassified: %+v", traj.Entries)
+		}
 	}
 }

@@ -8,6 +8,14 @@
 //	         [-telemetry-addr localhost:9090] [-trace-sample 64]
 //	         [-replicas 1] [-snapshots DIR] [-swap-at-day 0] [-swap-stagger 50ms]
 //	         [-record trace.httprr] [-record-sessions 5]
+//	         [-online] [-online-out BENCH_ONLINE_PR10.json] [-online-snapshots DIR]
+//
+// With -online, instead of the single-bucket simulation, the online-learning
+// demo runs: a frozen bucket and a streaming-learner bucket serve the same
+// base snapshot over a world whose click process drifts mid-run, the online
+// bucket fine-tunes on the live stream and recovers CTR, and the run ends
+// with a poison drill (garbage-label round → gate block → forced promotion →
+// drift-monitor auto-rollback). See cmd/simulate/online.go.
 //
 // With -record, instead of simulating, the held-out sessions' click →
 // recommend round-trips are driven over HTTP against the configured model and
@@ -59,8 +67,21 @@ func main() {
 	annMinCatalog := flag.Int("ann-min-catalog", 256, "tenant catalogs below this size are scored exhaustively")
 	record := flag.String("record", "", "record held-out sessions' HTTP click → recommend traffic to this httprr trace and exit")
 	recordSessions := flag.Int("record-sessions", 5, "held-out sessions to record with -record")
+	onlineMode := flag.Bool("online", false, "run the online-learning demo: frozen vs streaming-learner buckets over a drifting world, ending in a poison/rollback drill")
+	onlineOut := flag.String("online-out", "", "write the -online report JSON here")
+	onlineSnaps := flag.String("online-snapshots", "", "snapshot store dir for the -online version spine (default: a temp dir, removed on exit)")
 	flag.Parse()
 	defer prof.Start()()
+
+	if *onlineMode {
+		if err := runOnline(onlineOpts{
+			days: *days, sessionsPerDay: *sessionsPerDay, seed: *seed, fast: *fast,
+			replicas: *replicas, stagger: *swapStagger, snapshots: *onlineSnaps, out: *onlineOut,
+		}); err != nil {
+			log.Fatalf("-online: %v", err)
+		}
+		return
+	}
 
 	worldCfg := synth.DefaultConfig()
 	if *fast {

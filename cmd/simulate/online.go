@@ -1,0 +1,381 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"intellitag/internal/core"
+	"intellitag/internal/online"
+	"intellitag/internal/serving"
+	"intellitag/internal/snapshot"
+	"intellitag/internal/store"
+	"intellitag/internal/synth"
+)
+
+// onlineSchema is the report schema id benchjson validates against.
+const onlineSchema = "intellitag-online/1"
+
+// onlineOpts carries the -online mode's knobs from main.
+type onlineOpts struct {
+	days, sessionsPerDay int
+	seed                 int64
+	fast                 bool
+	replicas             int
+	stagger              time.Duration
+	snapshots            string // snapshot store dir ("" = temp dir, removed on exit)
+	out                  string // report path ("" = stdout summary only)
+}
+
+// onlineDayReport is one simulated day of the frozen-vs-online comparison.
+type onlineDayReport struct {
+	Day       int     `json:"day"` // 1-based
+	CTRFrozen float64 `json:"ctr_frozen"`
+	CTROnline float64 `json:"ctr_online"`
+	HIRFrozen float64 `json:"hir_frozen"`
+	HIROnline float64 `json:"hir_online"`
+	Drifted   bool    `json:"drifted"`
+	Verdict   string  `json:"verdict"` // monitor verdict at this day's end
+	State     string  `json:"state"`   // controller state after the day-end hook
+	Active    string  `json:"active"`  // serving version after the day-end hook
+}
+
+// onlineSummary aggregates the run for the pass gate.
+type onlineSummary struct {
+	Finetunes          int64   `json:"finetunes"`
+	Promotions         int64   `json:"promotions"`
+	GateBlocked        int64   `json:"gate_blocked"`
+	Rollbacks          int64   `json:"rollbacks"`
+	CTRFrozenPostDrift float64 `json:"ctr_frozen_post_drift"`
+	CTROnlinePostDrift float64 `json:"ctr_online_post_drift"`
+	RecoveryLift       float64 `json:"recovery_lift"`
+	RecoveryRequired   bool    `json:"recovery_required"`
+	RollbackLatencyMs  int64   `json:"rollback_latency_ms"`
+	FinalActive        string  `json:"final_active"`
+	FinalLKG           string  `json:"final_lkg"`
+	AllDrained         bool    `json:"all_drained"`
+}
+
+// onlineReport is the -online mode's JSON artifact (BENCH_ONLINE_PR10.json).
+type onlineReport struct {
+	Schema         string               `json:"schema"`
+	GeneratedAt    string               `json:"generated_at"`
+	Days           int                  `json:"days"`
+	SessionsPerDay int                  `json:"sessions_per_day"`
+	Seed           int64                `json:"seed"`
+	DriftFromDay   int                  `json:"drift_from_day"` // 1-based first drifted day
+	DrillDay       int                  `json:"drill_day"`      // 1-based day whose end runs the poison drill
+	DayStats       []onlineDayReport    `json:"day_stats"`
+	Events         []online.EventRecord `json:"events"`
+	DrillGate      *online.GateDecision `json:"drill_gate,omitempty"`
+	Summary        onlineSummary        `json:"summary"`
+	Pass           bool                 `json:"pass"`
+	FailReasons    []string             `json:"fail_reasons,omitempty"`
+}
+
+// runOnline is the -online mode: the PR 10 demo. Two identically seeded
+// buckets serve the same base snapshot over a world whose click process drifts
+// mid-run — one frozen, one behind the online controller. The online bucket
+// fine-tunes on the live stream and recovers CTR the frozen bucket cannot; the
+// run ends with a poison drill (label-noise round → gate block → forced
+// promotion → drift-monitor rollback) proving the safety rails on the same
+// traffic. The report's pass verdict requires the drill to complete and, on
+// long enough runs, the online bucket to beat the frozen one post-drift.
+func runOnline(o onlineOpts) error {
+	if o.days < 6 {
+		return fmt.Errorf("-online needs at least 6 days (got %d): drift, adaptation and the drill each need room", o.days)
+	}
+	driftFrom := o.days / 3 // 0-based first drifted day
+	drillDay := o.days - 3  // 0-based day whose end runs the poison drill
+
+	// World, training set and base model — same path as the main simulator.
+	worldCfg := synth.DefaultConfig()
+	if o.fast {
+		worldCfg = synth.SmallConfig()
+	}
+	worldCfg.Seed = o.seed
+	world := synth.Generate(worldCfg)
+	train, _, _ := world.SplitSessions(0.9, 0.05)
+	graph := world.BuildGraph(train)
+	var clicks [][]int
+	for _, s := range train {
+		clicks = append(clicks, s.Clicks)
+	}
+	catalog, index := serving.BuildCatalog(world, train)
+	mcfg := core.DefaultConfig()
+	if o.fast {
+		mcfg.Dim, mcfg.Heads = 16, 2
+	}
+	start := time.Now()
+	m := core.Build(mcfg, graph, nil)
+	tc := core.DefaultTrainConfig()
+	if o.fast {
+		tc.Epochs, tc.JointEpochs = 2, 2
+	}
+	core.TrainFull(m, graph, core.ExpandPrefixes(clicks), tc)
+	m.Freeze()
+	log.Printf("base model trained in %s", time.Since(start).Round(time.Millisecond))
+
+	// Commit the base into a snapshot store — the online loop's version spine.
+	dir := o.snapshots
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "intellitag-online-*")
+		if err != nil {
+			return err
+		}
+		defer func() { _ = os.RemoveAll(tmp) }() // best-effort temp cleanup
+		dir = tmp
+	}
+	snaps, err := snapshot.Open(dir)
+	if err != nil {
+		return err
+	}
+	baseMan, err := core.CommitSnapshot(snaps, m, graph)
+	if err != nil {
+		return err
+	}
+	baseID := baseMan.ID
+	log.Printf("base snapshot %s committed to %s", baseID, dir)
+
+	drifted := synth.DriftWorld(world, o.seed+1)
+	worldAt := func(day int) *synth.World {
+		if day >= driftFrom {
+			return drifted
+		}
+		return world
+	}
+	bundle := func(s serving.Scorer, id string) *serving.ModelBundle {
+		return &serving.ModelBundle{VersionID: id, Catalog: catalog, Index: index, Scorer: s}
+	}
+	loadBase := func() (*core.Model, error) {
+		bm, _, err := core.LoadSnapshotVersion(snaps, baseID, mcfg)
+		return bm, err
+	}
+
+	simCfg := serving.DefaultSimConfig()
+	simCfg.Days = o.days
+	simCfg.SessionsPerDay = o.sessionsPerDay
+	simCfg.WorldAt = worldAt
+
+	// Frozen bucket: the base version serves the whole run, drift included.
+	frozenModel, err := loadBase()
+	if err != nil {
+		return err
+	}
+	rsFrozen := serving.NewReplicaSet(bundle(frozenModel, baseID), o.replicas, 1, store.NewLog(), nil)
+	resFrozen := serving.SimulateSet(world, rsFrozen, simCfg)
+
+	// Online bucket: same base, same traffic seed, but behind the controller.
+	onlineModel, err := loadBase()
+	if err != nil {
+		return err
+	}
+	olog := store.NewLog()
+	rsOnline := serving.NewReplicaSet(bundle(onlineModel, baseID), o.replicas, 1, olog, nil)
+
+	lcfg := online.DefaultLearnerConfig()
+	lcfg.Seed = o.seed
+	lcfg.MinSessions = o.sessionsPerDay / 4
+	// The demo's fine-tune is deliberately stronger than the production
+	// default: one day of sessions is a small window, and the point is a
+	// visible recovery within a couple of days.
+	lcfg.FineTune.LR = 0.01
+	lcfg.FineTune.Epochs = 3
+
+	ccfg := online.DefaultControllerConfig()
+	// Attributed CTR collapse and escalation-rate rise are the two live
+	// degradation signals; the top-1 check is a generous backstop (its rate is
+	// conditioned on a click having happened, which keeps it high even for a
+	// bad model — the pair count collapsing shows up in CTR instead).
+	ccfg.Thresholds = online.Thresholds{MinImpressions: 50, MaxCTRDrop: 0.3, MaxHIRRise: 0.12, MaxTop1Drop: 0.6}
+	ccfg.ProbationWindows = 1
+	ccfg.Stagger = o.stagger
+	ccfg.NowUnixMs = func() int64 { return time.Now().UnixMilli() }
+
+	ctrl, err := online.NewController(olog, snaps, mcfg, baseID, rsOnline, bundle, lcfg, ccfg, nil)
+	if err != nil {
+		return err
+	}
+
+	type dayNote struct {
+		verdict online.Verdict
+		state   online.State
+		active  string
+	}
+	notes := make([]dayNote, o.days)
+	var drillGate *online.GateDecision
+	simCfg.OnDayEnd = func(day int) {
+		in, verdict, err := ctrl.Observe()
+		if err != nil {
+			log.Printf("day %d observe: %v", day+1, err)
+		}
+		if os.Getenv("ONLINE_DEBUG") != "" {
+			log.Printf("day %d window: %+v baseline: %+v verdict: %v", day+1, in, ctrl.Status().Baseline, verdict)
+		}
+		switch {
+		case day == drillDay:
+			// Poison drill: one garbage-label round under aggressive optimizer
+			// pressure, so the candidate is unambiguously harmful. The gate
+			// must block it; the operator override ships it anyway, and the
+			// next day's degraded traffic triggers the auto-rollback.
+			clean := ctrl.FineTuneSettings()
+			poison := clean
+			poison.LR, poison.Epochs = 0.08, 5
+			ctrl.SetLabelNoise(1)
+			ctrl.SetFineTune(poison)
+			dec, err := ctrl.Step()
+			ctrl.SetLabelNoise(0)
+			ctrl.SetFineTune(clean)
+			if err != nil {
+				log.Printf("drill step: %v", err)
+				break
+			}
+			drillGate = dec
+			if dec != nil && !dec.Pass {
+				if id, err := ctrl.ForcePromote(); err != nil {
+					log.Printf("drill force-promote: %v", err)
+				} else {
+					log.Printf("day %d: poisoned candidate %s blocked by gate, forced out anyway", day+1, id)
+				}
+			}
+		case day >= driftFrom && day < drillDay:
+			// Adaptation phase: fine-tune on the day's stream, gated promote.
+			if dec, err := ctrl.Step(); err != nil {
+				log.Printf("day %d step: %v", day+1, err)
+			} else if dec != nil {
+				log.Printf("day %d: candidate %s hit@%d %.3f vs active %.3f pass=%v",
+					day+1, dec.Candidate, ccfg.Gate.K, dec.CandHit, dec.ActiveHit, dec.Pass)
+			}
+		}
+		notes[day] = dayNote{verdict: verdict, state: ctrl.CurrentState(), active: ctrl.ActiveID()}
+	}
+	resOnline := serving.SimulateSet(world, rsOnline, simCfg)
+
+	// Assemble the report.
+	rep := onlineReport{
+		Schema:         onlineSchema,
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		Days:           o.days,
+		SessionsPerDay: o.sessionsPerDay,
+		Seed:           o.seed,
+		DriftFromDay:   driftFrom + 1,
+		DrillDay:       drillDay + 1,
+		DrillGate:      drillGate,
+	}
+	for day := 0; day < o.days; day++ {
+		rep.DayStats = append(rep.DayStats, onlineDayReport{
+			Day:       day + 1,
+			CTRFrozen: resFrozen.Days[day].MacroCTR,
+			CTROnline: resOnline.Days[day].MacroCTR,
+			HIRFrozen: resFrozen.Days[day].HIR,
+			HIROnline: resOnline.Days[day].HIR,
+			Drifted:   day >= driftFrom,
+			Verdict:   notes[day].verdict.String(),
+			State:     notes[day].state.String(),
+			Active:    notes[day].active,
+		})
+	}
+	st := ctrl.Status()
+	rep.Events = st.Events
+	sum := onlineSummary{
+		Finetunes:   st.Finetunes,
+		Promotions:  st.Promotions,
+		GateBlocked: st.GateBlocked,
+		Rollbacks:   st.Rollbacks,
+		FinalActive: st.Active,
+		FinalLKG:    st.LKG,
+		AllDrained:  true,
+	}
+	for _, ev := range st.Events {
+		if ev.Kind == "rollback" {
+			sum.RollbackLatencyMs = ev.LatencyMs
+		}
+	}
+	for _, vi := range rsOnline.Versions() {
+		if !vi.Drained {
+			sum.AllDrained = false
+		}
+	}
+	// Recovery lift: post-drift, pre-drill days — the first adapted day
+	// through the drill day — online vs frozen macro CTR.
+	var fsum, osum float64
+	n := 0
+	for day := driftFrom + 1; day <= drillDay; day++ {
+		fsum += resFrozen.Days[day].MacroCTR
+		osum += resOnline.Days[day].MacroCTR
+		n++
+	}
+	if n > 0 {
+		sum.CTRFrozenPostDrift = fsum / float64(n)
+		sum.CTROnlinePostDrift = osum / float64(n)
+		sum.RecoveryLift = sum.CTROnlinePostDrift - sum.CTRFrozenPostDrift
+	}
+	// Short runs leave the learner a single adaptation day — the drill
+	// mechanics are still fully exercised, but a measurable CTR win is only
+	// demanded when the learner had a few days to work with.
+	sum.RecoveryRequired = drillDay-driftFrom >= 3
+	rep.Summary = sum
+
+	fail := func(format string, args ...any) {
+		rep.FailReasons = append(rep.FailReasons, fmt.Sprintf(format, args...))
+	}
+	if sum.Finetunes < 1 {
+		fail("no fine-tune rounds ran")
+	}
+	if sum.Promotions < 1 {
+		fail("no promotions happened")
+	}
+	if sum.GateBlocked < 1 {
+		fail("the poisoned drill candidate was not gate-blocked")
+	}
+	if sum.Rollbacks < 1 {
+		fail("the drift monitor never rolled back the forced promotion")
+	}
+	if sum.FinalActive != sum.FinalLKG {
+		fail("run ended off the last-known-good version (active %s, lkg %s)", sum.FinalActive, sum.FinalLKG)
+	}
+	if !sum.AllDrained {
+		fail("a replica ended with in-flight requests undrained")
+	}
+	if sum.RecoveryRequired && sum.RecoveryLift <= 0 {
+		fail("online bucket did not beat frozen post-drift (lift %.4f)", sum.RecoveryLift)
+	}
+	rep.Pass = len(rep.FailReasons) == 0
+
+	// Human-readable summary.
+	fmt.Printf("%-5s %12s %12s %10s %10s  %-13s %s\n", "day", "ctr_frozen", "ctr_online", "hir_froz", "hir_onl", "verdict", "active")
+	for _, d := range rep.DayStats {
+		mark := " "
+		if d.Drifted {
+			mark = "*"
+		}
+		fmt.Printf("%-4d%s %12.3f %12.3f %10.3f %10.3f  %-13s %s\n",
+			d.Day, mark, d.CTRFrozen, d.CTROnline, d.HIRFrozen, d.HIROnline, d.Verdict, d.Active)
+	}
+	fmt.Printf("\n(*: drifted world from day %d; poison drill at end of day %d)\n", rep.DriftFromDay, rep.DrillDay)
+	fmt.Printf("post-drift CTR: frozen %.3f vs online %.3f (lift %+.3f)\n",
+		sum.CTRFrozenPostDrift, sum.CTROnlinePostDrift, sum.RecoveryLift)
+	fmt.Printf("finetunes %d | promotions %d | gate-blocked %d | rollbacks %d (latency %dms)\n",
+		sum.Finetunes, sum.Promotions, sum.GateBlocked, sum.Rollbacks, sum.RollbackLatencyMs)
+	fmt.Printf("final: active %s == lkg %s: %v | pass: %v\n", sum.FinalActive, sum.FinalLKG, sum.FinalActive == sum.FinalLKG, rep.Pass)
+	for _, r := range rep.FailReasons {
+		fmt.Printf("  FAIL: %s\n", r)
+	}
+
+	if o.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("report written to %s", o.out)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("online demo failed: %v", rep.FailReasons)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"intellitag/internal/snapshot"
+	"intellitag/internal/synth"
+)
+
+func TestFineTuneRequiresFrozen(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	m := Build(cfg, tinyGraph(), nil)
+	if _, err := FineTune(m, [][]int{{0, 1, 2}}, DefaultFineTuneConfig()); !errors.Is(err, ErrNotFrozen) {
+		t.Fatalf("unfrozen fine-tune = %v, want ErrNotFrozen", err)
+	}
+	m.Freeze()
+	if _, err := FineTune(m, nil, DefaultFineTuneConfig()); err == nil {
+		t.Fatal("empty-window fine-tune should fail")
+	}
+	if _, err := FineTune(m, [][]int{{4}}, DefaultFineTuneConfig()); err == nil {
+		t.Fatal("single-click-only window should fail")
+	}
+}
+
+// TestFineTuneLeavesEmbeddingsFixed pins the partial-freeze contract: a
+// fine-tune round moves the sequence head but never the frozen tag table —
+// that is what keeps intraday updates compatible with the offline graph.
+func TestFineTuneLeavesEmbeddingsFixed(t *testing.T) {
+	w := synth.Generate(synth.SmallConfig())
+	train, _, _ := w.SplitSessions(0.8, 0.1)
+	graph := w.BuildGraph(train)
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Heads = 2
+	cfg.NeighborCap = 4
+	m := Build(cfg, graph, nil)
+	m.Freeze()
+
+	before := append([]float64(nil), m.Frozen.Data...)
+	headBefore := m.NextLogits([]int{0, 1})
+
+	var sessions [][]int
+	for _, s := range train[:20] {
+		sessions = append(sessions, s.Clicks)
+	}
+	fc := DefaultFineTuneConfig()
+	fc.Seed = 7
+	loss, err := FineTune(m, sessions, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("fine-tune loss = %v", loss)
+	}
+	for i, v := range m.Frozen.Data {
+		if v != before[i] {
+			t.Fatalf("frozen embedding %d moved: %v -> %v", i, before[i], v)
+		}
+	}
+	headAfter := m.NextLogits([]int{0, 1})
+	moved := false
+	for i := range headAfter {
+		if headAfter[i] != headBefore[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("fine-tune left sequence head unchanged")
+	}
+}
+
+func TestCommitChildSnapshotLineage(t *testing.T) {
+	cfg := Config{Dim: 4, Heads: 2, Layers: 1, MaxLen: 6, Seed: 3}
+	g := tinyGraph()
+	s, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := CommitSnapshot(s, Build(cfg, g, nil), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A later unrelated version; the child must still chain off base, not it.
+	other, err := CommitSnapshot(s, Build(cfg, g, nil), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := CommitChildSnapshot(s, Build(cfg, g, nil), g, base.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Parent != base.ID {
+		t.Fatalf("child parent = %s, want %s (not %s)", child.Parent, base.ID, other.ID)
+	}
+	if _, err := s.BeginChild("no-such-version"); err == nil {
+		t.Fatal("BeginChild with unknown parent should fail")
+	}
+	if _, _, err := LoadSnapshotVersion(s, child.ID, cfg); err != nil {
+		t.Fatalf("child version should load: %v", err)
+	}
+}

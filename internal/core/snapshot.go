@@ -40,6 +40,31 @@ func CommitSnapshot(s *snapshot.Store, m *Model, g *hetgraph.Graph) (snapshot.Ma
 	return w.Commit()
 }
 
+// CommitChildSnapshot is CommitSnapshot with explicit lineage: the committed
+// version records parent as its Parent, which is how online fine-tunes chain
+// off the offline base version. The snapshot GC keeps the chain from the
+// last-known-good marker to any protected child intact, so a rollback target
+// is always loadable.
+func CommitChildSnapshot(s *snapshot.Store, m *Model, g *hetgraph.Graph, parent string) (snapshot.Manifest, error) {
+	w, err := s.BeginChild(parent)
+	if err != nil {
+		return snapshot.Manifest{}, err
+	}
+	if err := m.Save(w.Path(SnapParams)); err != nil {
+		w.Abort()
+		return snapshot.Manifest{}, fmt.Errorf("core: commit child snapshot: %w", err)
+	}
+	if err := g.Save(w.Path(SnapGraph)); err != nil {
+		w.Abort()
+		return snapshot.Manifest{}, fmt.Errorf("core: commit child snapshot: %w", err)
+	}
+	if err := m.SaveEmbeddings(w.Path(SnapEmbeddings)); err != nil {
+		w.Abort()
+		return snapshot.Manifest{}, fmt.Errorf("core: commit child snapshot: %w", err)
+	}
+	return w.Commit()
+}
+
 // LoadSnapshotVersion verifies a committed version's checksums, rebuilds the
 // model from the stored graph and configuration, restores its parameters and
 // freezes the embedding table, returning a model ready to serve. Each call

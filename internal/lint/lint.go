@@ -157,7 +157,11 @@ func matchOnly(prefixes ...string) func(string) bool {
 //   - metriclabels: everywhere a Registry call can appear; per-package
 //     consistency (see the analyzer doc for the cross-package gap).
 //   - detsource: the seeded-determinism packages from the SimulateSet
-//     contract — core, nn, mat, ann, synth, hetgraph.
+//     contract — core, nn, mat, ann, synth, hetgraph — plus online, whose
+//     replay contract (same log + same seed ⇒ same weights and the same
+//     control decisions) dies the moment an ambient clock or unseeded rand
+//     sneaks in. Note online is NOT exempt from nakedgo either: the control
+//     loop is synchronous by design, concurrency lives in serving.
 func DefaultSuite() []Scoped {
 	return []Scoped{
 		{PoolDiscipline, matchAll},
@@ -192,6 +196,7 @@ func DefaultSuite() []Scoped {
 			"intellitag/internal/ann",
 			"intellitag/internal/synth",
 			"intellitag/internal/hetgraph",
+			"intellitag/internal/online",
 		)},
 	}
 }

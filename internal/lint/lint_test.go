@@ -283,12 +283,13 @@ func TestNewAnalyzerScopes(t *testing.T) {
 	for _, p := range []string{
 		"intellitag/internal/core", "intellitag/internal/nn", "intellitag/internal/mat",
 		"intellitag/internal/ann", "intellitag/internal/synth", "intellitag/internal/hetgraph",
+		"intellitag/internal/online", // replay contract: injected clocks and seeds only
 	} {
 		if !match["detsource"](p) {
 			t.Errorf("detsource must run on %s", p)
 		}
 	}
-	for _, p := range []string{"intellitag/internal/serving", "intellitag/internal/obs", "intellitag/internal/annex"} {
+	for _, p := range []string{"intellitag/internal/serving", "intellitag/internal/obs", "intellitag/internal/annex", "intellitag/internal/onlinex"} {
 		if match["detsource"](p) {
 			t.Errorf("detsource must not run on %s", p)
 		}
@@ -358,6 +359,7 @@ func TestNakedGoScope(t *testing.T) {
 		"intellitag/internal/snapshots",     // not a prefix-match leak of snapshot
 		"intellitag/internal/loader",        // not a prefix-match leak of load
 		"intellitag/internal/httprr",        // replay must stay goroutine-free (deterministic ordering)
+		"intellitag/internal/online",        // the control loop is synchronous by design; concurrency lives in serving
 		"intellitag/cmd/simulate",
 	}
 	for _, p := range scoped {

@@ -1,0 +1,502 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"intellitag/internal/core"
+	"intellitag/internal/obs"
+	"intellitag/internal/serving"
+	"intellitag/internal/snapshot"
+	"intellitag/internal/store"
+)
+
+// Deployer rolls a new model bundle across a serving tier with zero dropped
+// requests. serving.ReplicaSet satisfies it.
+type Deployer interface {
+	RollingSwap(b *serving.ModelBundle, stagger time.Duration) []serving.VersionInfo
+}
+
+// BundleFunc wraps a freshly loaded scorer into a complete serving bundle
+// (catalog, index, matcher). The controller cannot build those — they belong
+// to the serving setup — so the wiring code supplies the closure.
+type BundleFunc func(scorer serving.Scorer, versionID string) *serving.ModelBundle
+
+// GateConfig is the offline promotion gate: before a fine-tuned candidate
+// reaches traffic, it must match the active version's next-click hit@K on the
+// very window it was trained from (a candidate that cannot beat its parent on
+// its own training window is at best noise, at worst poisoned).
+type GateConfig struct {
+	// K is the hit@K cutoff, typically the serving TopK.
+	K int `json:"k"`
+	// Tolerance is how far (absolute hit-rate) the candidate may fall below
+	// the active version and still pass — fine-tunes are incremental, so a
+	// statistical tie should not block the rollout.
+	Tolerance float64 `json:"tolerance"`
+	// MaxExamples bounds the backtest's prefix count (0 = unbounded).
+	MaxExamples int `json:"max_examples"`
+}
+
+// DefaultGateConfig returns the demo's gate settings.
+func DefaultGateConfig() GateConfig { return GateConfig{K: 5, Tolerance: 0.02, MaxExamples: 2000} }
+
+// State is the controller's rollout phase.
+type State int
+
+// Controller states: Idle serves a settled version; Probation serves a
+// freshly promoted version whose live indicators are still on trial.
+const (
+	StateIdle State = iota
+	StateProbation
+)
+
+func (s State) String() string {
+	if s == StateProbation {
+		return "probation"
+	}
+	return "idle"
+}
+
+// GateDecision records one promotion-gate evaluation.
+type GateDecision struct {
+	Candidate string  `json:"candidate"`
+	CandHit   float64 `json:"candidate_hit"`
+	ActiveHit float64 `json:"active_hit"`
+	Examples  int     `json:"examples"`
+	Pass      bool    `json:"pass"`
+	Forced    bool    `json:"forced,omitempty"`
+}
+
+// EventRecord is one controller action, kept in a bounded history for the
+// status endpoint.
+type EventRecord struct {
+	AtUnixMs  int64  `json:"at_unix_ms"`
+	Kind      string `json:"kind"` // finetune | promote | gate-block | lkg | rollback
+	Version   string `json:"version,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	LatencyMs int64  `json:"latency_ms,omitempty"`
+}
+
+// maxEvents bounds the controller's event history.
+const maxEvents = 32
+
+// Status is the externally visible controller state, served by GET
+// /admin/online and embedded in /healthz.
+type Status struct {
+	State          string        `json:"state"`
+	Active         string        `json:"active"`
+	LKG            string        `json:"lkg,omitempty"`
+	HealthyWindows int           `json:"healthy_windows"`
+	Baseline       Indicators    `json:"baseline"`
+	LastWindow     Indicators    `json:"last_window"`
+	Finetunes      int64         `json:"finetunes"`
+	Promotions     int64         `json:"promotions"`
+	GateBlocked    int64         `json:"gate_blocked"`
+	Rollbacks      int64         `json:"rollbacks"`
+	LearnerCursor  int64         `json:"learner_cursor"`
+	MonitorCursor  int64         `json:"monitor_cursor"`
+	LastGate       *GateDecision `json:"last_gate,omitempty"`
+	Events         []EventRecord `json:"events,omitempty"`
+}
+
+// ControllerConfig wires the drift policy.
+type ControllerConfig struct {
+	Thresholds Thresholds
+	Gate       GateConfig
+	// ProbationWindows is how many consecutive healthy windows a promoted
+	// version must survive before it becomes the new last-known-good.
+	ProbationWindows int
+	// Stagger is the pause between replica flips during a rolling swap.
+	Stagger time.Duration
+	// GCKeep, when positive, runs snapshot GC after each promotion keeping
+	// that many newest versions (the LKG and the active version's lineage
+	// back to it are always protected).
+	GCKeep int
+	// NowUnixMs supplies timestamps for the event history and rollback
+	// latency. The package takes no ambient clock (detsource scope); nil
+	// stamps everything 0, which the deterministic tests rely on.
+	NowUnixMs func() int64
+}
+
+// DefaultControllerConfig returns the demo's control policy.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		Thresholds:       DefaultThresholds(),
+		Gate:             DefaultGateConfig(),
+		ProbationWindows: 2,
+	}
+}
+
+// Controller is the drift-aware rollout state machine: Step turns stream
+// windows into gated candidate promotions, Observe turns stream windows into
+// health verdicts that either settle the active version as last-known-good or
+// roll it back. Both are synchronous and must be called from one goroutine
+// (the day-end hook of the simulator, a ticker in a real deployment).
+type Controller struct {
+	learner  *Learner
+	monitor  *Monitor
+	snaps    *snapshot.Store
+	mcfg     core.Config
+	deployer Deployer
+	bundle   BundleFunc
+	cfg      ControllerConfig
+	tel      *telemetry
+
+	state          State
+	activeID       string
+	baseline       Indicators
+	haveBaseline   bool
+	lastWindow     Indicators
+	healthyWindows int
+
+	blocked  *StepResult // last gate-blocked candidate, ForcePromote's target
+	lastGate *GateDecision
+	events   []EventRecord
+
+	finetunes, promotions, gateBlocked, rollbacks int64
+}
+
+// NewController assembles the control loop around an already-serving version.
+// activeID must be a committed snapshot version (the one the deployer's
+// replicas currently serve); it is also marked last-known-good if no marker
+// exists yet, so the very first rollback has a target.
+func NewController(log *store.Log, snaps *snapshot.Store, mcfg core.Config, activeID string,
+	deployer Deployer, bundle BundleFunc, lcfg LearnerConfig, cfg ControllerConfig, reg *obs.Registry) (*Controller, error) {
+	if cfg.ProbationWindows < 1 {
+		cfg.ProbationWindows = 1
+	}
+	if cfg.Gate.K < 1 {
+		cfg.Gate.K = 1
+	}
+	if cfg.NowUnixMs == nil {
+		cfg.NowUnixMs = func() int64 { return 0 }
+	}
+	lkg, err := snaps.LKG()
+	if err != nil {
+		return nil, err
+	}
+	if lkg == "" {
+		if err := snaps.MarkLKG(activeID); err != nil {
+			return nil, err
+		}
+		lkg = activeID
+	}
+	c := &Controller{
+		learner:  NewLearner(log, snaps, mcfg, lcfg, 0),
+		monitor:  NewMonitor(log, 0),
+		snaps:    snaps,
+		mcfg:     mcfg,
+		deployer: deployer,
+		bundle:   bundle,
+		cfg:      cfg,
+		tel:      newTelemetry(reg),
+		activeID: activeID,
+	}
+	c.tel.noteState(c.state)
+	c.tel.noteLKG(snapshot.SeqOf(lkg))
+	return c, nil
+}
+
+// record appends to the bounded event history.
+func (c *Controller) record(e EventRecord) {
+	e.AtUnixMs = c.cfg.NowUnixMs()
+	c.events = append(c.events, e)
+	if len(c.events) > maxEvents {
+		c.events = c.events[len(c.events)-maxEvents:]
+	}
+}
+
+// Step runs one learner round: drain the training window, fine-tune, backtest
+// the candidate against the active version, and promote it through the
+// deployer when the gate passes. Returns the gate decision (nil when the
+// window was too small to train).
+func (c *Controller) Step() (*GateDecision, error) {
+	res, err := c.learner.Step(c.activeID)
+	if errors.Is(err, ErrWindowTooSmall) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.finetunes++
+	if c.tel != nil {
+		c.tel.finetunes.Inc()
+	}
+	c.record(EventRecord{Kind: "finetune", Version: res.Manifest.ID,
+		Detail: fmt.Sprintf("loss %.4f over %d sessions", res.Loss, len(res.Sessions))})
+
+	dec, err := c.gate(&res)
+	if err != nil {
+		return nil, err
+	}
+	c.lastGate = dec
+	if c.tel != nil {
+		c.tel.gateLift.Set(dec.CandHit - dec.ActiveHit)
+	}
+	if !dec.Pass {
+		c.gateBlocked++
+		if c.tel != nil {
+			c.tel.gateBlocked.Inc()
+		}
+		c.blocked = &res
+		c.record(EventRecord{Kind: "gate-block", Version: res.Manifest.ID,
+			Detail: fmt.Sprintf("hit@%d %.4f vs active %.4f", c.cfg.Gate.K, dec.CandHit, dec.ActiveHit)})
+		return dec, nil
+	}
+	if err := c.promote(res.Manifest.ID, false); err != nil {
+		return dec, err
+	}
+	return dec, nil
+}
+
+// ForcePromote promotes the last gate-blocked candidate, bypassing the gate —
+// the operator override the rollback drill exercises. Returns the promoted
+// version id.
+func (c *Controller) ForcePromote() (string, error) {
+	if c.blocked == nil {
+		return "", errors.New("online: no gate-blocked candidate to force")
+	}
+	id := c.blocked.Manifest.ID
+	if c.lastGate != nil && c.lastGate.Candidate == id {
+		forced := *c.lastGate
+		forced.Forced = true
+		c.lastGate = &forced
+	}
+	if err := c.promote(id, true); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// promote loads a committed version, wraps it into a bundle and rolls it
+// across the deployer, then opens probation against the pre-promotion
+// baseline.
+func (c *Controller) promote(id string, forced bool) error {
+	m, _, err := core.LoadSnapshotVersion(c.snaps, id, c.mcfg)
+	if err != nil {
+		return fmt.Errorf("online: load candidate %s: %w", id, err)
+	}
+	c.deployer.RollingSwap(c.bundle(m, id), c.cfg.Stagger)
+	c.activeID = id
+	c.blocked = nil
+	c.state = StateProbation
+	c.healthyWindows = 0
+	c.promotions++
+	if c.tel != nil {
+		c.tel.promotions.Inc()
+	}
+	c.tel.noteState(c.state)
+	detail := "gate passed"
+	if forced {
+		detail = "forced past gate"
+	}
+	c.record(EventRecord{Kind: "promote", Version: id, Detail: detail})
+	if c.cfg.GCKeep > 0 {
+		if _, err := c.snaps.GC(c.cfg.GCKeep, c.activeID); err != nil {
+			return fmt.Errorf("online: gc after promote: %w", err)
+		}
+	}
+	return nil
+}
+
+// Observe folds the next monitor window into the control loop: refresh the
+// baseline while idle, judge the promoted version against it while on
+// probation, and either settle it as last-known-good or roll back. Returns
+// the window and the verdict applied to it.
+func (c *Controller) Observe() (Indicators, Verdict, error) {
+	in := c.monitor.Observe()
+	c.lastWindow = in
+	c.tel.noteWindow(in)
+
+	if c.state != StateProbation {
+		// Idle: keep the baseline tracking the settled version's health, so a
+		// later promotion is judged against current traffic, not history.
+		if in.Impressions >= c.cfg.Thresholds.MinImpressions {
+			c.baseline = in
+			c.haveBaseline = true
+		}
+		return in, VerdictIndeterminate, nil
+	}
+
+	verdict, reasons := c.cfg.Thresholds.Judge(c.baseline, in)
+	switch verdict {
+	case VerdictDegraded:
+		if err := c.rollback(reasons); err != nil {
+			return in, verdict, err
+		}
+	case VerdictHealthy:
+		c.healthyWindows++
+		if c.healthyWindows >= c.cfg.ProbationWindows {
+			if err := c.snaps.MarkLKG(c.activeID); err != nil {
+				return in, verdict, err
+			}
+			c.state = StateIdle
+			c.tel.noteState(c.state)
+			c.tel.noteLKG(snapshot.SeqOf(c.activeID))
+			c.baseline = in
+			c.haveBaseline = true
+			c.record(EventRecord{Kind: "lkg", Version: c.activeID,
+				Detail: fmt.Sprintf("survived %d healthy windows", c.healthyWindows)})
+		}
+	}
+	return in, verdict, nil
+}
+
+// rollback reloads the last-known-good version and rolls the deployer back to
+// it. The swap itself is the same zero-drop rolling swap a promotion uses.
+func (c *Controller) rollback(reasons []string) error {
+	lkg, err := c.snaps.LKG()
+	if err != nil {
+		return err
+	}
+	if lkg == "" || lkg == c.activeID {
+		return fmt.Errorf("online: degraded with no rollback target (lkg %q, active %q)", lkg, c.activeID)
+	}
+	start := c.cfg.NowUnixMs()
+	m, _, err := core.LoadSnapshotVersion(c.snaps, lkg, c.mcfg)
+	if err != nil {
+		return fmt.Errorf("online: load lkg %s: %w", lkg, err)
+	}
+	c.deployer.RollingSwap(c.bundle(m, lkg), c.cfg.Stagger)
+	latency := c.cfg.NowUnixMs() - start
+	c.activeID = lkg
+	c.state = StateIdle
+	c.healthyWindows = 0
+	c.rollbacks++
+	if c.tel != nil {
+		c.tel.rollbacks.Inc()
+	}
+	c.tel.noteState(c.state)
+	detail := ""
+	if len(reasons) > 0 {
+		detail = reasons[0]
+		for _, r := range reasons[1:] {
+			detail += "; " + r
+		}
+	}
+	c.record(EventRecord{Kind: "rollback", Version: lkg, Detail: detail, LatencyMs: latency})
+	return nil
+}
+
+// SetLabelNoise forwards the learner's drill knob: the demo flips it to 1 for
+// one round to manufacture a poisoned candidate, then back to 0.
+func (c *Controller) SetLabelNoise(p float64) { c.learner.SetLabelNoise(p) }
+
+// SetFineTune forwards the learner's optimizer settings (the drill's second
+// knob); FineTuneSettings returns the current ones for restoring.
+func (c *Controller) SetFineTune(ft core.FineTuneConfig) { c.learner.SetFineTune(ft) }
+
+// FineTuneSettings returns the learner's current per-round optimizer config.
+func (c *Controller) FineTuneSettings() core.FineTuneConfig { return c.learner.FineTuneConfig() }
+
+// ActiveID returns the version the controller believes is serving.
+func (c *Controller) ActiveID() string { return c.activeID }
+
+// CurrentState returns the controller's phase.
+func (c *Controller) CurrentState() State { return c.state }
+
+// Status snapshots the controller for the status endpoint.
+func (c *Controller) Status() Status {
+	lkg, _ := c.snaps.LKG()
+	s := Status{
+		State:          c.state.String(),
+		Active:         c.activeID,
+		LKG:            lkg,
+		HealthyWindows: c.healthyWindows,
+		Baseline:       c.baseline,
+		LastWindow:     c.lastWindow,
+		Finetunes:      c.finetunes,
+		Promotions:     c.promotions,
+		GateBlocked:    c.gateBlocked,
+		Rollbacks:      c.rollbacks,
+		LearnerCursor:  c.learner.Cursor(),
+		MonitorCursor:  c.monitor.Cursor(),
+		LastGate:       c.lastGate,
+	}
+	s.Events = append(s.Events, c.events...)
+	return s
+}
+
+// gate backtests the candidate against a freshly loaded copy of the active
+// version on the training window's sessions and applies the pass rule.
+func (c *Controller) gate(res *StepResult) (*GateDecision, error) {
+	cand, g, err := core.LoadSnapshotVersion(c.snaps, res.Manifest.ID, c.mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("online: gate load candidate: %w", err)
+	}
+	act, _, err := core.LoadSnapshotVersion(c.snaps, res.Parent, c.mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("online: gate load active: %w", err)
+	}
+	// Backtest over the full tag vocabulary, not just the window's tags: a
+	// window touches a handful of tags, and hit@K against so few candidates
+	// saturates at 1.0 for any model — including a poisoned one.
+	cands := make([]int, g.NumTags)
+	for i := range cands {
+		cands[i] = i
+	}
+	candHit, n := hitRate(cand, res.Sessions, cands, c.cfg.Gate.K, c.cfg.Gate.MaxExamples)
+	actHit, _ := hitRate(act, res.Sessions, cands, c.cfg.Gate.K, c.cfg.Gate.MaxExamples)
+	return &GateDecision{
+		Candidate: res.Manifest.ID,
+		CandHit:   candHit,
+		ActiveHit: actHit,
+		Examples:  n,
+		Pass:      candHit >= actHit-c.cfg.Gate.Tolerance,
+	}, nil
+}
+
+// hitRate measures next-click hit@K over every prefix of the window's
+// sessions against a fixed candidate list. Ties break on tag id, so the
+// measurement is deterministic.
+func hitRate(m *core.Model, sessions [][]int, cands []int, k, maxExamples int) (float64, int) {
+	if len(cands) == 0 {
+		return 0, 0
+	}
+	hits, n := 0, 0
+	for _, s := range sessions {
+		for i := 1; i < len(s); i++ {
+			if maxExamples > 0 && n >= maxExamples {
+				break
+			}
+			scores := m.ScoreCandidates(s[:i], cands)
+			if inTopK(cands, scores, s[i], k) {
+				hits++
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(hits) / float64(n), n
+}
+
+// inTopK reports whether target ranks within the top k of cands under scores
+// (higher is better; ties break on smaller tag id).
+func inTopK(cands []int, scores []float64, target, k int) bool {
+	ti := -1
+	for i, c := range cands {
+		if c == target {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return false
+	}
+	rank := 0
+	for i := range cands {
+		if i == ti {
+			continue
+		}
+		if scores[i] > scores[ti] || (scores[i] == scores[ti] && cands[i] < target) {
+			rank++
+			if rank >= k {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+package online
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"intellitag/internal/obs"
+	"intellitag/internal/serving"
+	"intellitag/internal/store"
+)
+
+// driveWindow pushes one observation window of traffic through the serving
+// tier: nSessions sessions, each with two impressions and — when click is
+// true for that turn — a click on the impression's top tag. clickEvery=1
+// makes a perfectly calibrated high-CTR window; a large clickEvery makes a
+// degraded one.
+func driveWindow(t *testing.T, rs *serving.ReplicaSet, firstSession, nSessions, clickEvery int) {
+	t.Helper()
+	ctx := context.Background()
+	turn := 0
+	for s := 0; s < nSessions; s++ {
+		id := firstSession + s
+		e := rs.Pick(id)
+		recs := e.RecommendTags(ctx, 0, id, 5)
+		if len(recs) == 0 {
+			t.Fatalf("tenant 0 has no recommendations")
+		}
+		for c := 0; c < 2; c++ {
+			top := recs[0].Tag
+			e.NoteImpression(0, id, top)
+			turn++
+			if turn%clickEvery == 0 {
+				recs, _ = e.Click(ctx, 0, id, top, 5)
+			}
+		}
+		if turn%3 == 0 && clickEvery > 1 {
+			e.Escalate(0, id)
+		}
+		e.EndSession(id)
+	}
+}
+
+// TestControllerRollbackDrill is the PR's end-to-end rollback pin, run under
+// -race by make check: a poisoned fine-tune is blocked by the gate, force-
+// promoted past it, detected as degraded by the drift monitor within one
+// window, and auto-rolled back to the last-known-good version — all while
+// concurrent traffic hammers the replica set, with every request completing.
+func TestControllerRollbackDrill(t *testing.T) {
+	h := newHarness(t)
+	rs := h.replicaSet(t, 2)
+	reg := obs.NewRegistry()
+
+	lcfg := DefaultLearnerConfig()
+	lcfg.Seed = 5
+	lcfg.MinSessions = 8
+	lcfg.LabelNoise = 1 // every round in this drill trains on garbage labels
+	// An aggressive poisoned round: enough optimizer pressure that the
+	// garbage labels measurably wreck the candidate, so the gate has a real
+	// signal to block on.
+	lcfg.FineTune.LR = 0.05
+	lcfg.FineTune.Epochs = 4
+
+	ccfg := DefaultControllerConfig()
+	ccfg.Thresholds = Thresholds{MinImpressions: 10, MaxCTRDrop: 0.5}
+	ccfg.Gate = GateConfig{K: 5, Tolerance: 0.02, MaxExamples: 300}
+	var clock atomic.Int64
+	ccfg.NowUnixMs = func() int64 { return clock.Add(1) }
+
+	ctrl, err := NewController(h.log, h.snaps, h.mcfg, h.baseID, rs, h.bundle, lcfg, ccfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lkg, _ := h.snaps.LKG(); lkg != h.baseID {
+		t.Fatalf("constructor did not mark initial LKG: %q", lkg)
+	}
+
+	// Background traffic across every phase: requests must all complete, no
+	// matter how many swaps happen underneath them.
+	var completed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := 900_000 + g*10_000
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				session++
+				e := rs.Pick(session)
+				if recs := e.RecommendTags(ctx, 0, session, 5); len(recs) == 0 {
+					t.Errorf("dropped request: empty recommendations for session %d", session)
+					return
+				}
+				e.EndSession(session)
+				completed.Add(1)
+			}
+		}(g)
+	}
+
+	// Healthy window: high CTR, perfect calibration. Sets the baseline.
+	driveWindow(t, rs, 1000, 12, 1)
+	if _, _, err := ctrl.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	st := ctrl.Status()
+	if st.Baseline.CTR == 0 || st.Baseline.Impressions < 10 {
+		t.Fatalf("baseline not captured: %+v", st.Baseline)
+	}
+
+	// The poisoned fine-tune must be blocked by the backtest gate.
+	dec, err := ctrl.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec == nil || dec.Pass {
+		t.Fatalf("poisoned candidate passed the gate: %+v", dec)
+	}
+	if ctrl.ActiveID() != h.baseID || ctrl.CurrentState() != StateIdle {
+		t.Fatalf("gate block changed serving state: active %s state %v", ctrl.ActiveID(), ctrl.CurrentState())
+	}
+
+	// Operator override: force the blocked candidate out anyway.
+	forced, err := ctrl.ForcePromote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced == h.baseID || ctrl.CurrentState() != StateProbation {
+		t.Fatalf("force promote: id %s state %v", forced, ctrl.CurrentState())
+	}
+	for _, vi := range rs.Versions() {
+		if vi.ID != forced {
+			t.Fatalf("replica still on %s after forced rollout", vi.ID)
+		}
+		if !vi.Drained {
+			t.Fatalf("rollout left replica undrained: %+v", vi)
+		}
+	}
+
+	// Degraded window under the poisoned version: CTR collapses.
+	driveWindow(t, rs, 2000, 12, 100)
+	in, verdict, err := ctrl.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != VerdictDegraded {
+		t.Fatalf("degraded window judged %v (window %+v, baseline %+v)", verdict, in, ctrl.Status().Baseline)
+	}
+	if ctrl.ActiveID() != h.baseID || ctrl.CurrentState() != StateIdle {
+		t.Fatalf("rollback did not restore LKG: active %s state %v", ctrl.ActiveID(), ctrl.CurrentState())
+	}
+	for _, vi := range rs.Versions() {
+		if vi.ID != h.baseID {
+			t.Fatalf("replica still on %s after rollback", vi.ID)
+		}
+		if !vi.Drained {
+			t.Fatalf("rollback left replica undrained: %+v", vi)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if completed.Load() == 0 {
+		t.Fatal("background traffic made no progress")
+	}
+
+	st = ctrl.Status()
+	if st.Rollbacks != 1 || st.Promotions != 1 || st.GateBlocked != 1 || st.Finetunes != 1 {
+		t.Fatalf("status counters = %+v", st)
+	}
+	if st.LastGate == nil || !st.LastGate.Forced {
+		t.Fatalf("forced gate decision not recorded: %+v", st.LastGate)
+	}
+	var sawRollback bool
+	for _, ev := range st.Events {
+		if ev.Kind == "rollback" {
+			sawRollback = true
+			if ev.Version != h.baseID || ev.Detail == "" || ev.LatencyMs < 0 {
+				t.Fatalf("rollback event = %+v", ev)
+			}
+		}
+	}
+	if !sawRollback {
+		t.Fatalf("no rollback event in history: %+v", st.Events)
+	}
+	if got := reg.Counter("intellitag_online_rollbacks_total").Value(); got != 1 {
+		t.Fatalf("rollback counter = %d", got)
+	}
+	if got := reg.Gauge("intellitag_online_state").Value(); got != float64(StateIdle) {
+		t.Fatalf("state gauge = %v", got)
+	}
+}
+
+// TestControllerProbationToLKG covers the happy path: a promotion that stays
+// healthy through probation becomes the new last-known-good.
+func TestControllerProbationToLKG(t *testing.T) {
+	h := newHarness(t)
+	rs := h.replicaSet(t, 2)
+
+	lcfg := DefaultLearnerConfig()
+	lcfg.Seed = 5
+	lcfg.MinSessions = 8
+	ccfg := DefaultControllerConfig()
+	ccfg.Thresholds = Thresholds{MinImpressions: 10, MaxCTRDrop: 0.5}
+	ccfg.Gate = GateConfig{K: 5, Tolerance: 1.01, MaxExamples: 300} // gate always passes
+	ccfg.ProbationWindows = 2
+
+	ctrl, err := NewController(h.log, h.snaps, h.mcfg, h.baseID, rs, h.bundle, lcfg, ccfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	driveWindow(t, rs, 1000, 12, 1)
+	if _, _, err := ctrl.Observe(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ctrl.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec == nil || !dec.Pass {
+		t.Fatalf("tolerant gate blocked: %+v", dec)
+	}
+	promoted := ctrl.ActiveID()
+	if promoted == h.baseID || ctrl.CurrentState() != StateProbation {
+		t.Fatalf("promotion missing: active %s state %v", promoted, ctrl.CurrentState())
+	}
+
+	// Two healthy windows settle the promotion as LKG.
+	for w := 0; w < 2; w++ {
+		driveWindow(t, rs, 3000+1000*w, 12, 1)
+		if _, verdict, err := ctrl.Observe(); err != nil || verdict != VerdictHealthy {
+			t.Fatalf("probation window %d: verdict %v err %v", w, verdict, err)
+		}
+	}
+	if ctrl.CurrentState() != StateIdle {
+		t.Fatalf("probation did not settle: %v", ctrl.CurrentState())
+	}
+	if lkg, _ := h.snaps.LKG(); lkg != promoted {
+		t.Fatalf("lkg = %s, want promoted %s", lkg, promoted)
+	}
+}
+
+// TestControllerSkipsThinWindows: a Step on a too-small window neither trains
+// nor changes state, and ForcePromote without a blocked candidate errors.
+func TestControllerSkipsThinWindows(t *testing.T) {
+	h := newHarness(t)
+	rs := h.replicaSet(t, 1)
+	lcfg := DefaultLearnerConfig()
+	lcfg.MinSessions = 50
+	ctrl, err := NewController(h.log, h.snaps, h.mcfg, h.baseID, rs, h.bundle, lcfg, DefaultControllerConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.log.Append(store.Event{Session: 1, Kind: store.EventClick, TagID: 0})
+	dec, err := ctrl.Step()
+	if err != nil || dec != nil {
+		t.Fatalf("thin window Step = %+v, %v", dec, err)
+	}
+	if st := ctrl.Status(); st.Finetunes != 0 {
+		t.Fatalf("thin window trained: %+v", st)
+	}
+	if _, err := ctrl.ForcePromote(); err == nil {
+		t.Fatal("ForcePromote with no blocked candidate should error")
+	}
+}

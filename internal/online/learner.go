@@ -1,0 +1,167 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+
+	"intellitag/internal/core"
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/snapshot"
+	"intellitag/internal/store"
+)
+
+// ErrWindowTooSmall reports a learner step that found too few multi-click
+// sessions to be worth a fine-tune round. The cursor does not advance, so the
+// window keeps accumulating until it clears the bar.
+var ErrWindowTooSmall = errors.New("online: window below MinSessions, accumulating")
+
+// LearnerConfig sizes the streaming fine-tune loop.
+type LearnerConfig struct {
+	// Seed is the base seed; each round's fine-tune seed is derived from it
+	// and the round's start cursor, so a replay of the same log reproduces
+	// the same weights — and rounds still differ from each other.
+	Seed int64
+	// MinSessions is the fewest multi-click sessions a window must hold
+	// before a round runs.
+	MinSessions int
+	// FineTune is the per-round optimizer configuration (its Seed field is
+	// overwritten each round with the derived seed).
+	FineTune core.FineTuneConfig
+	// LabelNoise corrupts each training click to a uniformly random tag with
+	// this probability, deterministically from the round seed. Zero in
+	// production; the rollback drill and tests use it to manufacture a
+	// harmful fine-tune on demand.
+	LabelNoise float64
+}
+
+// DefaultLearnerConfig returns the demo's learner settings.
+func DefaultLearnerConfig() LearnerConfig {
+	return LearnerConfig{Seed: 1, MinSessions: 20, FineTune: core.DefaultFineTuneConfig()}
+}
+
+// StepResult is one completed fine-tune round.
+type StepResult struct {
+	Manifest snapshot.Manifest // the committed child version
+	Parent   string            // version the round fine-tuned from
+	Loss     float64           // final-epoch mean loss
+	Sessions [][]int           // the window's click sessions (gate backtest input)
+	Events   int               // events consumed by the round
+	Seed     int64             // derived round seed (for reproducing the round)
+}
+
+// Learner tails the interaction log and turns each sufficiently large window
+// of click sessions into a fine-tuned child snapshot version. It owns its own
+// cursor; Step is synchronous and single-caller (the controller drives it).
+type Learner struct {
+	log    *store.Log
+	snaps  *snapshot.Store
+	cfg    LearnerConfig
+	mcfg   core.Config
+	cursor int64
+}
+
+// NewLearner builds a learner over the log and snapshot store. mcfg must
+// match the configuration the parent versions were trained with (snapshot
+// loading enforces this). cursor 0 starts from the log's beginning; pass a
+// persisted cursor to resume without re-training on replayed events.
+func NewLearner(log *store.Log, snaps *snapshot.Store, mcfg core.Config, cfg LearnerConfig, cursor int64) *Learner {
+	if cfg.MinSessions < 1 {
+		cfg.MinSessions = 1
+	}
+	return &Learner{log: log, snaps: snaps, cfg: cfg, mcfg: mcfg, cursor: cursor}
+}
+
+// Cursor returns the learner's replay position.
+func (l *Learner) Cursor() int64 { return l.cursor }
+
+// SetLabelNoise adjusts the label-corruption probability between rounds —
+// the drill knob: flip it to 1 to manufacture a poisoned candidate, back to 0
+// to resume clean training.
+func (l *Learner) SetLabelNoise(p float64) { l.cfg.LabelNoise = p }
+
+// SetFineTune swaps the per-round optimizer settings between rounds. The
+// rollback drill pairs it with SetLabelNoise: garbage labels under aggressive
+// optimizer pressure make a candidate that is unambiguously harmful.
+func (l *Learner) SetFineTune(ft core.FineTuneConfig) { l.cfg.FineTune = ft }
+
+// FineTuneConfig returns the current per-round optimizer settings (so a drill
+// can restore them afterwards).
+func (l *Learner) FineTuneConfig() core.FineTuneConfig { return l.cfg.FineTune }
+
+// roundSeed derives the fine-tune seed for a window starting at cursor. The
+// mix keeps rounds independent while staying a pure function of (base seed,
+// log position) — the whole of the determinism contract.
+func roundSeed(base, cursor int64) int64 {
+	x := uint64(base)*0x9E3779B97F4A7C15 + uint64(cursor)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x)
+}
+
+// Step drains the pending window and, when it holds at least MinSessions
+// multi-click sessions, fine-tunes a copy of the parent version on it and
+// commits the result as parent's child. On ErrWindowTooSmall the cursor is
+// unchanged and the window keeps accumulating; on any other error the cursor
+// is also unchanged, so a failed round is retried against the same window.
+func (l *Learner) Step(parent string) (StepResult, error) {
+	events, next := l.log.EventsSince(l.cursor)
+	sessions := SessionsFromEvents(events)
+	usable := 0
+	for _, s := range sessions {
+		if len(s) >= 2 {
+			usable++
+		}
+	}
+	if usable < l.cfg.MinSessions {
+		return StepResult{}, fmt.Errorf("%w: %d of %d needed", ErrWindowTooSmall, usable, l.cfg.MinSessions)
+	}
+
+	m, g, err := core.LoadSnapshotVersion(l.snaps, parent, l.mcfg)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("online: load parent %s: %w", parent, err)
+	}
+	seed := roundSeed(l.cfg.Seed, l.cursor)
+	train := sessions
+	if l.cfg.LabelNoise > 0 {
+		train = poisonSessions(sessions, g, l.cfg.LabelNoise, seed)
+	}
+	ft := l.cfg.FineTune
+	ft.Seed = seed
+	loss, err := core.FineTune(m, train, ft)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("online: fine-tune: %w", err)
+	}
+	man, err := core.CommitChildSnapshot(l.snaps, m, g, parent)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("online: commit child: %w", err)
+	}
+	l.cursor = next
+	return StepResult{
+		Manifest: man,
+		Parent:   parent,
+		Loss:     loss,
+		Sessions: sessions,
+		Events:   len(events),
+		Seed:     seed,
+	}, nil
+}
+
+// poisonSessions returns a copy of sessions with each click replaced by a
+// uniformly random tag with probability noise. The corruption is seeded, so
+// a drill run replays identically.
+func poisonSessions(sessions [][]int, g *hetgraph.Graph, noise float64, seed int64) [][]int {
+	rng := mat.NewRNG(seed)
+	out := make([][]int, len(sessions))
+	for i, s := range sessions {
+		c := append([]int(nil), s...)
+		for j := range c {
+			if rng.Float64() < noise {
+				c[j] = rng.Intn(g.NumTags)
+			}
+		}
+		out[i] = c
+	}
+	return out
+}

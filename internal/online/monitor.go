@@ -1,0 +1,208 @@
+// Package online closes the loop the offline T+1 pipeline leaves open: a
+// streaming learner tails the interaction log, fine-tunes the sequence model
+// over the frozen GNN tag embeddings in deterministic mini-batches, and
+// commits the result as a child snapshot version; a drift monitor computes
+// windowed CTR / HIR / calibration indicators from the same stream; and a
+// controller gates promotion of fresh fine-tunes behind an offline backtest,
+// rolls promoted versions out with zero dropped requests, and auto-rolls back
+// to the last-known-good version when live indicators degrade.
+//
+// The package is deliberately free of ambient nondeterminism: no clocks
+// (callers inject NowUnixMs), no goroutines, no unseeded randomness — the
+// detsource and nakedgo analyzers both run on it — so the same event log and
+// seed reproduce the same fine-tuned weights and the same control decisions.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"intellitag/internal/store"
+)
+
+// Indicators is one observation window's live health signals, derived purely
+// from interaction log events (Section VI-F's online metrics, computed
+// streaming instead of at run exit).
+type Indicators struct {
+	Impressions int `json:"impressions"`
+	Clicks      int `json:"clicks"`
+	Sessions    int `json:"sessions"`
+	Escalations int `json:"escalations"`
+	// Top1Pairs counts attributed clicks — clicks that followed an impression
+	// in the same session; Top1Hits counts those whose clicked tag was the
+	// impression's top-ranked tag. Their ratio is the calibration indicator: a
+	// model whose top slot stops matching what users actually click has
+	// drifted even if overall engagement has not moved yet.
+	Top1Pairs int `json:"top1_pairs"`
+	Top1Hits  int `json:"top1_hits"`
+
+	// CTR is attributed clicks / impressions. Clicks with no preceding
+	// impression (a session's opening intent arrives before anything was
+	// recommended) are counted in Clicks but excluded here: they happen no
+	// matter what the model serves, and folding them in mutes exactly the
+	// signal a degraded model should move.
+	CTR      float64 `json:"ctr"`
+	HIR      float64 `json:"hir"`       // escalations / distinct sessions
+	Top1Rate float64 `json:"top1_rate"` // top-1 hits / attributed clicks
+}
+
+// derive fills the ratio fields from the counts.
+func (in *Indicators) derive() {
+	if in.Impressions > 0 {
+		in.CTR = float64(in.Top1Pairs) / float64(in.Impressions)
+	}
+	if in.Sessions > 0 {
+		in.HIR = float64(in.Escalations) / float64(in.Sessions)
+	}
+	if in.Top1Pairs > 0 {
+		in.Top1Rate = float64(in.Top1Hits) / float64(in.Top1Pairs)
+	}
+}
+
+// Thresholds is the declarative degrade policy: how far the live indicators
+// may move from the promotion-time baseline before the controller calls the
+// active version degraded. Zero-valued fields disable their check.
+type Thresholds struct {
+	// MinImpressions gates every verdict: a window smaller than this is
+	// indeterminate (neither healthy nor degraded), so thin traffic can
+	// neither promote to last-known-good nor trigger a rollback.
+	MinImpressions int `json:"min_impressions"`
+	// MaxCTRDrop is the maximum tolerated relative CTR drop vs baseline
+	// (0.2 = a fifth of baseline CTR gone).
+	MaxCTRDrop float64 `json:"max_ctr_drop"`
+	// MaxHIRRise is the maximum tolerated absolute HIR rise vs baseline.
+	MaxHIRRise float64 `json:"max_hir_rise"`
+	// MaxTop1Drop is the maximum tolerated relative top-1 calibration drop
+	// vs baseline.
+	MaxTop1Drop float64 `json:"max_top1_drop"`
+}
+
+// DefaultThresholds is the policy the demo and tests run under.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MinImpressions: 50, MaxCTRDrop: 0.25, MaxHIRRise: 0.15, MaxTop1Drop: 0.4}
+}
+
+// Verdict is one window's health classification against a baseline.
+type Verdict int
+
+// Verdict values, ordered from "not enough data" to "degraded".
+const (
+	VerdictIndeterminate Verdict = iota
+	VerdictHealthy
+	VerdictDegraded
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictHealthy:
+		return "healthy"
+	case VerdictDegraded:
+		return "degraded"
+	default:
+		return "indeterminate"
+	}
+}
+
+// Judge classifies a window against a baseline. The returned reasons name
+// every indicator that breached its threshold, most recent window values
+// included, so the controller's status endpoint can explain a rollback.
+func (t Thresholds) Judge(baseline, window Indicators) (Verdict, []string) {
+	if window.Impressions < t.MinImpressions {
+		return VerdictIndeterminate, []string{fmt.Sprintf("window has %d impressions, need %d", window.Impressions, t.MinImpressions)}
+	}
+	var reasons []string
+	if t.MaxCTRDrop > 0 && baseline.CTR > 0 && window.CTR < baseline.CTR*(1-t.MaxCTRDrop) {
+		reasons = append(reasons, fmt.Sprintf("ctr %.4f below %.0f%% of baseline %.4f", window.CTR, 100*(1-t.MaxCTRDrop), baseline.CTR))
+	}
+	if t.MaxHIRRise > 0 && window.HIR > baseline.HIR+t.MaxHIRRise {
+		reasons = append(reasons, fmt.Sprintf("hir %.4f above baseline %.4f + %.2f", window.HIR, baseline.HIR, t.MaxHIRRise))
+	}
+	if t.MaxTop1Drop > 0 && baseline.Top1Rate > 0 && window.Top1Pairs > 0 && window.Top1Rate < baseline.Top1Rate*(1-t.MaxTop1Drop) {
+		reasons = append(reasons, fmt.Sprintf("top1 %.4f below %.0f%% of baseline %.4f", window.Top1Rate, 100*(1-t.MaxTop1Drop), baseline.Top1Rate))
+	}
+	if len(reasons) > 0 {
+		return VerdictDegraded, reasons
+	}
+	return VerdictHealthy, nil
+}
+
+// Monitor tails the interaction log with its own cursor and folds each drained
+// window into Indicators. It shares the log with the learner but not the
+// cursor: observation windows and training windows advance independently.
+type Monitor struct {
+	log    *store.Log
+	cursor int64
+
+	// lastTop1 remembers, per session, the top-ranked tag of the most recent
+	// impression, so a following click can be scored for calibration. Sessions
+	// are retired from the map when the window closes; a session spanning two
+	// windows restarts its pairing, which loses at most one pair per window.
+	lastTop1 map[int]int
+}
+
+// NewMonitor starts a monitor at the head of the log's current contents when
+// cursor is 0, or resumes from a persisted cursor.
+func NewMonitor(log *store.Log, cursor int64) *Monitor {
+	return &Monitor{log: log, cursor: cursor, lastTop1: map[int]int{}}
+}
+
+// Cursor returns the monitor's replay position (pass it to NewMonitor to
+// resume).
+func (m *Monitor) Cursor() int64 { return m.cursor }
+
+// Observe drains all events appended since the last call and returns the
+// window's indicators. An empty window returns zero Indicators.
+func (m *Monitor) Observe() Indicators {
+	events, next := m.log.EventsSince(m.cursor)
+	m.cursor = next
+	var in Indicators
+	sessions := map[int]bool{}
+	for _, e := range events {
+		sessions[e.Session] = true
+		switch e.Kind {
+		case store.EventImpression:
+			in.Impressions++
+			m.lastTop1[e.Session] = e.TagID
+		case store.EventClick:
+			in.Clicks++
+			if top, ok := m.lastTop1[e.Session]; ok {
+				in.Top1Pairs++
+				if e.TagID == top {
+					in.Top1Hits++
+				}
+				delete(m.lastTop1, e.Session)
+			}
+		case store.EventHuman:
+			in.Escalations++
+		}
+	}
+	in.Sessions = len(sessions)
+	// The pairing state is per-window: clear it so an impression from one
+	// window can never claim a click from a much later one.
+	m.lastTop1 = map[int]int{}
+	in.derive()
+	return in
+}
+
+// SessionsFromEvents reconstructs per-session click sequences from a window of
+// events, returned in ascending session-id order (map iteration must not leak
+// into anything downstream of training). Both the learner's fine-tune windows
+// and the controller's gate backtest are built from this.
+func SessionsFromEvents(events []store.Event) [][]int {
+	bySession := map[int][]int{}
+	for _, e := range events {
+		if e.Kind == store.EventClick {
+			bySession[e.Session] = append(bySession[e.Session], e.TagID)
+		}
+	}
+	ids := make([]int, 0, len(bySession))
+	for id := range bySession {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]int, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, bySession[id])
+	}
+	return out
+}

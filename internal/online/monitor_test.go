@@ -1,0 +1,102 @@
+package online
+
+import (
+	"testing"
+
+	"intellitag/internal/store"
+)
+
+// TestMonitorIndicators pins the stream-only indicator math: CTR from
+// impression/click counts, HIR from escalations over distinct sessions, and
+// top-1 calibration from impression→click pairing within a session.
+func TestMonitorIndicators(t *testing.T) {
+	log := store.NewLog()
+	m := NewMonitor(log, 0)
+
+	// Session 1: impression with top tag 5, user clicks 5 (top-1 hit), then
+	// an impression with top 6 and a click on 9 (pair, miss).
+	log.Append(store.Event{Session: 1, Kind: store.EventImpression, TagID: 5})
+	log.Append(store.Event{Session: 1, Kind: store.EventClick, TagID: 5})
+	log.Append(store.Event{Session: 1, Kind: store.EventImpression, TagID: 6})
+	log.Append(store.Event{Session: 1, Kind: store.EventClick, TagID: 9})
+	// Session 2: one impression, no click, escalates.
+	log.Append(store.Event{Session: 2, Kind: store.EventImpression, TagID: 7})
+	log.Append(store.Event{Session: 2, Kind: store.EventHuman})
+	// Session 3: a click with no preceding impression — counted in Clicks,
+	// excluded from attribution (CTR and calibration alike).
+	log.Append(store.Event{Session: 3, Kind: store.EventClick, TagID: 1})
+
+	in := m.Observe()
+	if in.Impressions != 3 || in.Clicks != 3 || in.Sessions != 3 || in.Escalations != 1 {
+		t.Fatalf("counts = %+v", in)
+	}
+	if in.Top1Pairs != 2 || in.Top1Hits != 1 {
+		t.Fatalf("calibration pairs = %d hits = %d", in.Top1Pairs, in.Top1Hits)
+	}
+	if in.CTR != 2.0/3 || in.Top1Rate != 0.5 {
+		t.Fatalf("ctr = %v top1 = %v", in.CTR, in.Top1Rate)
+	}
+	if in.HIR != 1.0/3 {
+		t.Fatalf("hir = %v", in.HIR)
+	}
+
+	// Second window sees only new events.
+	log.Append(store.Event{Session: 4, Kind: store.EventImpression, TagID: 2})
+	in2 := m.Observe()
+	if in2.Impressions != 1 || in2.Clicks != 0 || in2.Sessions != 1 {
+		t.Fatalf("second window = %+v", in2)
+	}
+	// Empty window is all zeros.
+	if in3 := m.Observe(); in3.Impressions != 0 || in3.Sessions != 0 {
+		t.Fatalf("empty window = %+v", in3)
+	}
+}
+
+// TestThresholdsJudge pins the degrade policy table.
+func TestThresholdsJudge(t *testing.T) {
+	th := Thresholds{MinImpressions: 10, MaxCTRDrop: 0.25, MaxHIRRise: 0.15, MaxTop1Drop: 0.4}
+	base := Indicators{Impressions: 100, CTR: 0.4, HIR: 0.1, Top1Rate: 0.5, Top1Pairs: 40}
+
+	if v, _ := th.Judge(base, Indicators{Impressions: 5}); v != VerdictIndeterminate {
+		t.Fatalf("thin window verdict = %v", v)
+	}
+	healthy := Indicators{Impressions: 100, CTR: 0.38, HIR: 0.12, Top1Rate: 0.45, Top1Pairs: 40}
+	if v, reasons := th.Judge(base, healthy); v != VerdictHealthy {
+		t.Fatalf("healthy verdict = %v (%v)", v, reasons)
+	}
+	ctrDrop := Indicators{Impressions: 100, CTR: 0.2, HIR: 0.1, Top1Rate: 0.5, Top1Pairs: 40}
+	if v, reasons := th.Judge(base, ctrDrop); v != VerdictDegraded || len(reasons) != 1 {
+		t.Fatalf("ctr drop verdict = %v (%v)", v, reasons)
+	}
+	hirRise := Indicators{Impressions: 100, CTR: 0.4, HIR: 0.3, Top1Rate: 0.5, Top1Pairs: 40}
+	if v, _ := th.Judge(base, hirRise); v != VerdictDegraded {
+		t.Fatalf("hir rise verdict = %v", v)
+	}
+	top1Drop := Indicators{Impressions: 100, CTR: 0.4, HIR: 0.1, Top1Rate: 0.2, Top1Pairs: 40}
+	if v, _ := th.Judge(base, top1Drop); v != VerdictDegraded {
+		t.Fatalf("top1 drop verdict = %v", v)
+	}
+	// Disabled checks never fire.
+	off := Thresholds{MinImpressions: 10}
+	if v, _ := off.Judge(base, ctrDrop); v != VerdictHealthy {
+		t.Fatalf("disabled policy verdict = %v", v)
+	}
+}
+
+// TestSessionsFromEvents pins the deterministic session reconstruction order.
+func TestSessionsFromEvents(t *testing.T) {
+	events := []store.Event{
+		{Session: 9, Kind: store.EventClick, TagID: 1},
+		{Session: 2, Kind: store.EventClick, TagID: 2},
+		{Session: 9, Kind: store.EventClick, TagID: 3},
+		{Session: 2, Kind: store.EventImpression, TagID: 4}, // not a click
+		{Session: 2, Kind: store.EventClick, TagID: 5},
+	}
+	got := SessionsFromEvents(events)
+	if len(got) != 2 {
+		t.Fatalf("sessions = %v", got)
+	}
+	if got[0][0] != 2 || got[0][1] != 5 || got[1][0] != 1 || got[1][1] != 3 {
+		t.Fatalf("session order/content wrong: %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package online
+
+import (
+	"sync"
+	"testing"
+
+	"intellitag/internal/core"
+	"intellitag/internal/hetgraph"
+	"intellitag/internal/mat"
+	"intellitag/internal/serving"
+	"intellitag/internal/snapshot"
+	"intellitag/internal/store"
+	"intellitag/internal/synth"
+)
+
+// harness is the shared online-loop test rig: a small world, a committed base
+// snapshot, an interaction log and a bundle builder over the world's catalog.
+type harness struct {
+	w       *synth.World
+	log     *store.Log
+	snaps   *snapshot.Store
+	mcfg    core.Config
+	baseID  string
+	catalog serving.Catalog
+	bundle  BundleFunc
+}
+
+// Shared across tests (built once — the base training is the expensive part;
+// every test still gets its own snapshot store, log and replica set).
+var (
+	baseOnce  sync.Once
+	baseWorld *synth.World
+	baseTrain []synth.Session
+	baseModel *core.Model
+	baseGraph *hetgraph.Graph
+	baseMcfg  core.Config
+)
+
+func buildBase() {
+	baseWorld = synth.Generate(synth.SmallConfig())
+	baseTrain, _, _ = baseWorld.SplitSessions(0.8, 0.1)
+	baseGraph = baseWorld.BuildGraph(baseTrain)
+
+	baseMcfg = core.DefaultConfig()
+	baseMcfg.Dim = 8
+	baseMcfg.Heads = 2
+	baseMcfg.NeighborCap = 4
+	baseModel = core.Build(baseMcfg, baseGraph, nil)
+	// A lightly trained base: the promotion gate compares candidates against
+	// it, which only discriminates when the active version has real signal.
+	baseModel.Freeze()
+	var sessions [][]int
+	for _, s := range baseTrain {
+		sessions = append(sessions, s.Clicks)
+	}
+	if _, err := core.FineTune(baseModel, sessions, core.FineTuneConfig{
+		Epochs: 2, LR: 0.01, ClipNorm: 5, BatchSize: 8, Seed: 3,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	baseOnce.Do(buildBase)
+	w, train, graph, mcfg, m := baseWorld, baseTrain, baseGraph, baseMcfg, baseModel
+
+	snaps, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps.SetClock(func() int64 { return 0 })
+	man, err := core.CommitSnapshot(snaps, m, graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	catalog, index := serving.BuildCatalog(w, train)
+	bundle := func(s serving.Scorer, id string) *serving.ModelBundle {
+		return &serving.ModelBundle{VersionID: id, Catalog: catalog, Index: index, Scorer: s}
+	}
+	return &harness{
+		w: w, log: store.NewLog(), snaps: snaps, mcfg: mcfg,
+		baseID: man.ID, catalog: catalog, bundle: bundle,
+	}
+}
+
+// replicaSet builds a serving tier over the harness's base version, wired to
+// its log.
+func (h *harness) replicaSet(t *testing.T, replicas int) *serving.ReplicaSet {
+	t.Helper()
+	m, _, err := core.LoadSnapshotVersion(h.snaps, h.baseID, h.mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serving.NewReplicaSet(h.bundle(m, h.baseID), replicas, 2, h.log, nil)
+}
+
+// appendSessions writes nSessions world-driven click sessions (length >= 2)
+// straight into the log, the minimal way to give the learner a training
+// window without driving serving traffic.
+func (h *harness) appendSessions(day, firstSession, nSessions int, seed int64) {
+	rng := mat.NewRNG(seed)
+	for s := 0; s < nSessions; s++ {
+		id := firstSession + s
+		state := h.w.StartSession(0, rng)
+		h.log.Append(store.Event{Day: day, Session: id, Tenant: state.Tenant, Kind: store.EventClick, TagID: state.LastClick})
+		for c := 0; c < 3; c++ {
+			click := h.w.NextClick(&state, rng)
+			h.log.Append(store.Event{Day: day, Session: id, Tenant: state.Tenant, Kind: store.EventClick, TagID: click})
+		}
+	}
+}
+
+// paramsDigest returns the SHA256 of a committed version's parameter
+// component — the bit-identity witness the determinism tests compare.
+func paramsDigest(t *testing.T, s *snapshot.Store, id string) string {
+	t.Helper()
+	man, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := man.Component(core.SnapParams)
+	if !ok {
+		t.Fatalf("version %s has no %s", id, core.SnapParams)
+	}
+	return c.SHA256
+}

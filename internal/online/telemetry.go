@@ -1,0 +1,65 @@
+package online
+
+import (
+	"intellitag/internal/obs"
+)
+
+// telemetry holds the controller's pre-resolved instruments under the
+// intellitag_online_* families. All methods are nil-safe so an uninstrumented
+// controller pays one pointer comparison per site.
+type telemetry struct {
+	finetunes   *obs.Counter // completed fine-tune rounds
+	promotions  *obs.Counter // gate-passed (or forced) rollouts
+	gateBlocked *obs.Counter // candidates the backtest gate rejected
+	rollbacks   *obs.Counter // auto-rollbacks to last-known-good
+
+	ctr      *obs.Gauge // last observed window CTR
+	hir      *obs.Gauge // last observed window HIR
+	top1     *obs.Gauge // last observed window top-1 calibration
+	state    *obs.Gauge // controller state (0 idle, 1 probation)
+	lkgSeq   *obs.Gauge // snapshot sequence of the last-known-good version
+	gateLift *obs.Gauge // candidate hit@K minus active hit@K at the last gate
+}
+
+// newTelemetry resolves the online instrument set on a registry; nil registry
+// means no telemetry.
+func newTelemetry(reg *obs.Registry) *telemetry {
+	if reg == nil {
+		return nil
+	}
+	return &telemetry{
+		finetunes:   reg.Counter("intellitag_online_finetunes_total"),
+		promotions:  reg.Counter("intellitag_online_promotions_total"),
+		gateBlocked: reg.Counter("intellitag_online_gate_blocked_total"),
+		rollbacks:   reg.Counter("intellitag_online_rollbacks_total"),
+		ctr:         reg.Gauge("intellitag_online_ctr"),
+		hir:         reg.Gauge("intellitag_online_hir"),
+		top1:        reg.Gauge("intellitag_online_top_one_rate"),
+		state:       reg.Gauge("intellitag_online_state"),
+		lkgSeq:      reg.Gauge("intellitag_online_lkg_seq"),
+		gateLift:    reg.Gauge("intellitag_online_gate_lift"),
+	}
+}
+
+func (t *telemetry) noteWindow(in Indicators) {
+	if t == nil {
+		return
+	}
+	t.ctr.Set(in.CTR)
+	t.hir.Set(in.HIR)
+	t.top1.Set(in.Top1Rate)
+}
+
+func (t *telemetry) noteState(s State) {
+	if t == nil {
+		return
+	}
+	t.state.Set(float64(s))
+}
+
+func (t *telemetry) noteLKG(seq int) {
+	if t == nil {
+		return
+	}
+	t.lkgSeq.Set(float64(seq))
+}

@@ -49,6 +49,11 @@ type Server struct {
 	httpLat  map[string]*obs.Histogram // route -> latency histogram
 	httpErrs *obs.Counter              // responses with status >= 400
 
+	// onlineStatus, when set, reports the online learner/drift controller's
+	// state (SetOnlineStatus). The hook keeps serving decoupled from the
+	// online package, which imports serving for its rolling-swap deployer.
+	onlineStatus func() any
+
 	// Snapshot source for the hot-swap control plane (SetSnapshotSource).
 	// swapMu serializes swaps: a rolling swap is already gradual, overlapping
 	// two of them would interleave versions across replicas.
@@ -71,7 +76,23 @@ func NewServer(router *ABRouter) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /admin/versions", s.handleAdminVersions)
 	s.mux.HandleFunc("POST /admin/swap", s.handleAdminSwap)
+	s.mux.HandleFunc("GET /admin/online", s.handleAdminOnline)
 	return s
+}
+
+// SetOnlineStatus installs the status source behind GET /admin/online and the
+// healthz online field — typically a closure over online.Controller.Status.
+// Nil (the default) leaves the endpoint answering 503. Call during setup.
+func (s *Server) SetOnlineStatus(fn func() any) { s.onlineStatus = fn }
+
+// handleAdminOnline reports the online controller's status, or 503 when no
+// online loop is attached to this server.
+func (s *Server) handleAdminOnline(w http.ResponseWriter, r *http.Request) {
+	if s.onlineStatus == nil {
+		http.Error(w, "no online controller attached", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.onlineStatus())
 }
 
 // SetSnapshotSource arms the /admin/swap endpoint with a snapshot store and a
@@ -243,6 +264,9 @@ type healthzResponse struct {
 	// Retrieval is the primary engine's retrieve-then-rank accounting: which
 	// serving path recommendation computations took and the active backend.
 	Retrieval RetrievalStats `json:"retrieval"`
+	// Online is the attached online controller's status (SetOnlineStatus);
+	// omitted when the process runs without an online loop.
+	Online any `json:"online,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +311,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Retrieval = s.router.Engines()[0].RetrievalStats()
+	if s.onlineStatus != nil {
+		resp.Online = s.onlineStatus()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -56,6 +56,13 @@ type SimConfig struct {
 	// it to roll the replica set onto a new model version mid-run; the
 	// traffic of the following days then exercises the swapped-in version.
 	OnDayEnd func(day int)
+
+	// WorldAt, when non-nil, selects the ground-truth world for each day
+	// before its sessions run — the drift hook: hand back a DriftWorld from
+	// some day onward and user behavior shifts under a model trained on the
+	// old world. The returned world must share the original's tags, tenants
+	// and catalog (only the click process may differ).
+	WorldAt func(day int) *synth.World
 }
 
 // DefaultSimConfig mirrors the paper's 10-day CTR window.
@@ -128,6 +135,9 @@ func SimulateSet(w *synth.World, rs *ReplicaSet, cfg SimConfig) SimResult {
 	sessionID := int(cfg.Seed) * 1_000_000
 
 	for day := 0; day < cfg.Days; day++ {
+		if cfg.WorldAt != nil {
+			w = cfg.WorldAt(day)
+		}
 		var stats DayStats
 		stats.Day = day
 		tenantClicks := map[int]int{}
@@ -151,7 +161,11 @@ func SimulateSet(w *synth.World, rs *ReplicaSet, cfg SimConfig) SimResult {
 				trueNext := w.NextClick(&state, rng)
 				stats.Impressions++
 				tenantImpr[tenant]++
-				engine.NoteImpression()
+				top := -1
+				if len(recs) > 0 {
+					top = recs[0].Tag
+				}
+				engine.NoteImpression(tenant, sessionID, top)
 				rank := -1
 				for i, r := range recs {
 					if r.Tag == trueNext {

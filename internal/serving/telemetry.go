@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"intellitag/internal/obs"
+	"intellitag/internal/store"
 )
 
 // Engine operations instrumented with a counter + latency histogram each.
@@ -134,9 +135,15 @@ func (e *Engine) noteShardSize(sh *sessionShard) {
 	}
 }
 
-// NoteImpression reports one recommendation impression shown to a user and
-// refreshes the live CTR gauge. No-op without telemetry.
-func (e *Engine) NoteImpression() {
+// NoteImpression reports one recommendation panel shown to a user: an
+// impression event goes to the interaction log (topTag is the panel's
+// top-ranked tag, -1 when the panel was empty — the online drift monitor
+// correlates it with the following click for its calibration indicator) and
+// the live CTR gauge refreshes when telemetry is installed.
+func (e *Engine) NoteImpression(tenant, session, topTag int) {
+	if e.log != nil {
+		e.log.Append(store.Event{Day: e.day(), Session: session, Tenant: tenant, Kind: store.EventImpression, TagID: topTag})
+	}
 	if e.tel == nil {
 		return
 	}

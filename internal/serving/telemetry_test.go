@@ -130,7 +130,7 @@ func TestEngineIndicatorGauges(t *testing.T) {
 	reg := obs.NewRegistry()
 	e.SetTelemetry(reg, nil)
 	for i := 0; i < 4; i++ {
-		e.NoteImpression()
+		e.NoteImpression(0, 50, 1)
 	}
 	e.NoteUserClick()
 	if got := reg.Gauge("intellitag_ctr", "bucket", "pop").Value(); got != 0.25 {
@@ -149,7 +149,7 @@ func TestEngineIndicatorGauges(t *testing.T) {
 	}
 	// Uninstall: hot-path calls keep working without instruments.
 	e.SetTelemetry(nil, nil)
-	e.NoteImpression()
+	e.NoteImpression(0, 50, 1)
 	if got := reg.Counter("intellitag_sim_impressions_total", "bucket", "pop").Value(); got != 4 {
 		t.Fatalf("uninstalled engine still counted: %d", got)
 	}
@@ -184,4 +184,51 @@ func jsonInt(n int) string {
 		panic(err)
 	}
 	return strings.TrimSpace(buf.String())
+}
+
+// TestAdminOnlineEndpoint pins the online-status surface: 503 until a status
+// source is attached, then the source's JSON, and the same payload embedded
+// in /healthz's online field.
+func TestAdminOnlineEndpoint(t *testing.T) {
+	server := NewServer(NewABRouter(newTestEngine(t, nil)))
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/admin/online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("detached /admin/online = %d, want 503", resp.StatusCode)
+	}
+
+	server.SetOnlineStatus(func() any { return map[string]string{"state": "probation"} })
+	resp, err = http.Get(srv.URL + "/admin/online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || status["state"] != "probation" {
+		t.Fatalf("/admin/online = %d %v", resp.StatusCode, status)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Online map[string]string `json:"online"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Online["state"] != "probation" {
+		t.Fatalf("healthz online field = %v", health.Online)
+	}
 }

@@ -20,6 +20,17 @@ var ErrEmpty = errors.New("snapshot: store is empty")
 // manifestFile is the per-version metadata file name.
 const manifestFile = "manifest.json"
 
+// lkgFile is the store-level last-known-good marker. It lives beside the
+// version directories (not inside one) because committed version directories
+// are immutable; the marker is the one piece of store state that moves as
+// the online-learning loop proves versions healthy.
+const lkgFile = "lkg.json"
+
+// lkgManifest is the JSON shape of the last-known-good marker.
+type lkgManifest struct {
+	ID string `json:"id"`
+}
+
 // Component records one artifact inside a version directory.
 type Component struct {
 	Name   string `json:"name"`   // logical name, e.g. "params.gob"
@@ -191,10 +202,74 @@ func (s *Store) Verify(id string) error {
 	return nil
 }
 
+// MarkLKG records a committed version as the store's last-known-good — the
+// rollback target of the online-learning loop. The version must exist; the
+// marker is written atomically (temp file + rename) so a crashed writer can
+// never leave a torn marker.
+func (s *Store) MarkLKG(id string) error {
+	if _, err := s.readManifest(id); err != nil {
+		return fmt.Errorf("snapshot: mark lkg: %w", err)
+	}
+	data, err := json.Marshal(lkgManifest{ID: id})
+	if err != nil {
+		return fmt.Errorf("snapshot: mark lkg: %w", err)
+	}
+	tmp := filepath.Join(s.root, ".tmp-"+lkgFile)
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("snapshot: mark lkg: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.root, lkgFile)); err != nil {
+		return fmt.Errorf("snapshot: mark lkg: %w", err)
+	}
+	return nil
+}
+
+// LKG returns the last-known-good version id, or "" when no marker has been
+// written yet (a fresh store, or one predating the online loop).
+func (s *Store) LKG() (string, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, lkgFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("snapshot: read lkg: %w", err)
+	}
+	var m lkgManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return "", fmt.Errorf("snapshot: bad lkg marker: %w", err)
+	}
+	return m.ID, nil
+}
+
+// chainUntil returns id plus its ancestors, walking the manifests' Parent
+// links, stopping after (and including) stop. With an empty stop, or when
+// stop is not an ancestor, the whole surviving chain is returned. Missing
+// ancestors (already collected, or committed to another store) end the walk
+// silently.
+func (s *Store) chainUntil(id, stop string) []string {
+	var chain []string
+	for id != "" {
+		m, err := s.readManifest(id)
+		if err != nil {
+			break
+		}
+		chain = append(chain, id)
+		if id == stop {
+			break
+		}
+		id = m.Parent
+	}
+	return chain
+}
+
 // GC removes all but the newest keep versions and returns the removed ids.
 // keep < 1 is treated as 1: the store never deletes its only serving
-// candidate.
-func (s *Store) GC(keep int) ([]string, error) {
+// candidate. The last-known-good version and, for every id in protect
+// (typically the active serving version), the id's parent chain down to the
+// LKG are never collected — a rollback target that has been garbage-
+// collected is no target at all. Ancestors older than the LKG are fair game:
+// nothing rolls back past the last-known-good.
+func (s *Store) GC(keep int, protect ...string) ([]string, error) {
 	if keep < 1 {
 		keep = 1
 	}
@@ -205,13 +280,30 @@ func (s *Store) GC(keep int) ([]string, error) {
 	if len(names) <= keep {
 		return nil, nil
 	}
-	doomed := names[:len(names)-keep]
-	for _, name := range doomed {
+	lkg, err := s.LKG()
+	if err != nil {
+		return nil, err
+	}
+	pinned := map[string]bool{}
+	if lkg != "" {
+		pinned[lkg] = true
+	}
+	for _, id := range protect {
+		for _, p := range s.chainUntil(id, lkg) {
+			pinned[p] = true
+		}
+	}
+	var removed []string
+	for _, name := range names[:len(names)-keep] {
+		if pinned[name] {
+			continue
+		}
 		if err := os.RemoveAll(filepath.Join(s.root, name)); err != nil {
 			return nil, fmt.Errorf("snapshot: gc %s: %w", name, err)
 		}
+		removed = append(removed, name)
 	}
-	return doomed, nil
+	return removed, nil
 }
 
 // A Writer stages one new version. Components are written into a temp
@@ -229,11 +321,28 @@ type Writer struct {
 // Begin starts a new version whose parent is the current latest (or the
 // empty string in a fresh store). Only one Begin may be in flight per store.
 func (s *Store) Begin() (*Writer, error) {
+	return s.begin("")
+}
+
+// BeginChild starts a new version with an explicit committed parent. The
+// sequence number still advances past the store's latest — lineage and
+// recency are separate axes, which is exactly the shape the online learner
+// needs after a rollback: the next fine-tune descends from the last-known-
+// good version, not from the rolled-back (and newer) one.
+func (s *Store) BeginChild(parent string) (*Writer, error) {
+	if _, err := s.readManifest(parent); err != nil {
+		return nil, fmt.Errorf("snapshot: begin child: %w", err)
+	}
+	return s.begin(parent)
+}
+
+func (s *Store) begin(parent string) (*Writer, error) {
 	seq := 0
-	parent := ""
 	if latest, err := s.Latest(); err == nil {
 		seq = latest.Seq + 1
-		parent = latest.ID
+		if parent == "" {
+			parent = latest.ID
+		}
 	} else if !errors.Is(err, ErrEmpty) {
 		return nil, err
 	}

@@ -233,6 +233,112 @@ func TestGCKeepsNewest(t *testing.T) {
 	}
 }
 
+// TestLKGMarkerRoundTrip pins the last-known-good marker: unset on a fresh
+// store, settable only to committed versions, atomic overwrite.
+func TestLKGMarkerRoundTrip(t *testing.T) {
+	s := testStore(t)
+	if lkg, err := s.LKG(); err != nil || lkg != "" {
+		t.Fatalf("fresh store LKG = %q, %v", lkg, err)
+	}
+	if err := s.MarkLKG("v0000-deadbeef"); err == nil {
+		t.Fatal("MarkLKG accepted an uncommitted version")
+	}
+	m1 := commit(t, s, map[string][]byte{"a": []byte("one")})
+	m2 := commit(t, s, map[string][]byte{"a": []byte("two")})
+	if err := s.MarkLKG(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if lkg, err := s.LKG(); err != nil || lkg != m1.ID {
+		t.Fatalf("LKG = %q, %v", lkg, err)
+	}
+	if err := s.MarkLKG(m2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if lkg, err := s.LKG(); err != nil || lkg != m2.ID {
+		t.Fatalf("LKG after move = %q, %v", lkg, err)
+	}
+	// The marker file must not confuse the version listing.
+	list, err := s.List()
+	if err != nil || len(list) != 2 {
+		t.Fatalf("List with marker present = %d versions, %v", len(list), err)
+	}
+}
+
+// TestBeginChildLineage pins explicit-parent commits: the child records the
+// requested parent (not the store's latest) while its sequence number still
+// advances past the latest — the post-rollback fine-tune shape.
+func TestBeginChildLineage(t *testing.T) {
+	s := testStore(t)
+	base := commit(t, s, map[string][]byte{"a": []byte("base")})
+	newer := commit(t, s, map[string][]byte{"a": []byte("newer")})
+
+	w, err := s.BeginChild(base.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteComponent("a", []byte("child-of-base")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := w.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Parent != base.ID {
+		t.Fatalf("child parent = %q, want %q", child.Parent, base.ID)
+	}
+	if child.Seq != newer.Seq+1 {
+		t.Fatalf("child seq = %d, want %d", child.Seq, newer.Seq+1)
+	}
+	if _, err := s.BeginChild("v9999-00000000"); err == nil {
+		t.Fatal("BeginChild accepted a missing parent")
+	}
+}
+
+// TestGCProtectsLKGAndParentChain is the online-loop GC contract: however
+// aggressive the keep policy, the last-known-good version and the active
+// version's whole parent chain survive collection.
+func TestGCProtectsLKGAndParentChain(t *testing.T) {
+	s := testStore(t)
+	v0 := commit(t, s, map[string][]byte{"a": []byte("v0")})
+	v1 := commit(t, s, map[string][]byte{"a": []byte("v1")})
+	v2 := commit(t, s, map[string][]byte{"a": []byte("v2")}) // parent v1
+	v3 := commit(t, s, map[string][]byte{"a": []byte("v3")}) // parent v2
+	if err := s.MarkLKG(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// keep=1 would normally doom v0..v2; the LKG (v1) and the active
+	// version's (v3) parent chain (v2 <- v1) must survive, so only v0 goes.
+	removed, err := s.GC(1, v3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != v0.ID {
+		t.Fatalf("GC removed %v, want only %s", removed, v0.ID)
+	}
+	for _, id := range []string{v1.ID, v2.ID, v3.ID} {
+		if err := s.Verify(id); err != nil {
+			t.Fatalf("protected version %s was collected: %v", id, err)
+		}
+	}
+
+	// With the marker moved to the newest version, the old chain stops being
+	// load-bearing: nothing rolls back past the LKG, so v1 and v2 collect.
+	if err := s.MarkLKG(v3.ID); err != nil {
+		t.Fatal(err)
+	}
+	removed, err = s.GC(1, v3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0] != v1.ID || removed[1] != v2.ID {
+		t.Fatalf("GC after marker move removed %v, want [%s %s]", removed, v1.ID, v2.ID)
+	}
+	if err := s.Verify(v3.ID); err != nil {
+		t.Fatalf("LKG itself collected: %v", err)
+	}
+}
+
 func TestCommitRequiresComponents(t *testing.T) {
 	s := testStore(t)
 	w, err := s.Begin()

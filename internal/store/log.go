@@ -23,6 +23,11 @@ const (
 	EventQuestion EventKind = "question" // user proposed a question (RQ id resolved)
 	EventAnswer   EventKind = "answer"   // system delivered an answer
 	EventHuman    EventKind = "human"    // escalated to manual customer service
+	// EventImpression records one recommendation panel shown to a user;
+	// TagID carries the top-ranked tag, which is what lets the online drift
+	// monitor compute a calibration (top-1 hit) indicator from the stream
+	// alone, without access to serving internals.
+	EventImpression EventKind = "impression"
 )
 
 // Event is one interaction log record.
@@ -74,6 +79,27 @@ func (l *Log) ScanDays(fromDay, toDay int) []Event {
 		}
 	}
 	return out
+}
+
+// EventsSince returns every event with Seq >= cursor in sequence order plus
+// the cursor to pass next time (one past the last returned event's Seq; the
+// input cursor unchanged when the window is empty). It is the incremental
+// tail API of the online learner: calling it repeatedly with the returned
+// cursor visits every event exactly once, regardless of how appends
+// interleave with tailing, because sequence numbers are assigned under the
+// append lock and the slice is seq-ordered (Load re-sorts to restore the
+// invariant for logs persisted out of order).
+func (l *Log) EventsSince(cursor int64) ([]Event, int64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	// Binary search for the first event at or past the cursor: the events
+	// slice is ordered by Seq (append assigns increasing seqs; Load sorts).
+	i := sort.Search(len(l.events), func(i int) bool { return l.events[i].Seq >= cursor })
+	if i == len(l.events) {
+		return nil, cursor
+	}
+	out := append([]Event(nil), l.events[i:]...)
+	return out, out[len(out)-1].Seq + 1
 }
 
 // SessionClicks reconstructs per-session click sequences from the events in
@@ -160,6 +186,9 @@ func (l *Log) Load(path string) error {
 	if err := json.Unmarshal(data, &events); err != nil {
 		return fmt.Errorf("store: unmarshal: %w", err)
 	}
+	// Restore the seq-order invariant EventsSince relies on: a hand-edited
+	// or merged JSON file may list events out of order.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = events

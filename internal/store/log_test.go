@@ -138,6 +138,150 @@ func TestConcurrentAppend(t *testing.T) {
 	}
 }
 
+// TestEventsSinceTail pins the cursor contract the online learner depends
+// on: repeated EventsSince calls with the returned cursor visit every event
+// exactly once, an empty window leaves the cursor unchanged, and resuming
+// mid-day never reprocesses or skips.
+func TestEventsSinceTail(t *testing.T) {
+	l := seededLog()
+	all, next := l.EventsSince(0)
+	if len(all) != 7 {
+		t.Fatalf("full tail = %d events", len(all))
+	}
+	if next != 7 {
+		t.Fatalf("cursor after full tail = %d", next)
+	}
+	for i, e := range all {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+
+	// Empty window: no new events, cursor sticks.
+	empty, same := l.EventsSince(next)
+	if len(empty) != 0 || same != next {
+		t.Fatalf("empty window = %d events, cursor %d", len(empty), same)
+	}
+
+	// Mid-day resume: a cursor pointing into day 1's events picks up exactly
+	// the remainder, no overlap with what an earlier tail already saw.
+	head, _ := l.EventsSince(0)
+	head = head[:4]
+	rest, end := l.EventsSince(head[len(head)-1].Seq + 1)
+	if len(head)+len(rest) != 7 {
+		t.Fatalf("resume split %d + %d events", len(head), len(rest))
+	}
+	if rest[0].Seq != 4 || end != 7 {
+		t.Fatalf("resume window starts at %d, ends %d", rest[0].Seq, end)
+	}
+
+	// New appends after a drained tail show up exactly once.
+	l.Append(Event{Day: 2, Session: 9, Kind: EventClick, TagID: 30})
+	fresh, final := l.EventsSince(next)
+	if len(fresh) != 1 || fresh[0].TagID != 30 || final != next+1 {
+		t.Fatalf("fresh tail = %+v cursor %d", fresh, final)
+	}
+}
+
+// TestEventsSinceOutOfOrderDays pins that the cursor is sequence-based, not
+// day-based: a log whose logical days interleave (a late event stamped with
+// an earlier day, the real shape of delayed flushes around a day boundary)
+// still tails every event exactly once and in seq order.
+func TestEventsSinceOutOfOrderDays(t *testing.T) {
+	l := NewLog()
+	for _, day := range []int{0, 0, 1, 0, 1, 2, 1} {
+		l.Append(Event{Day: day, Kind: EventClick})
+	}
+	var got []int64
+	cursor := int64(0)
+	for {
+		events, next := l.EventsSince(cursor)
+		if len(events) == 0 {
+			break
+		}
+		for _, e := range events {
+			got = append(got, e.Seq)
+		}
+		cursor = next
+	}
+	if len(got) != 7 {
+		t.Fatalf("tailed %d events", len(got))
+	}
+	for i, seq := range got {
+		if seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, seq)
+		}
+	}
+}
+
+// TestEventsSinceAfterUnorderedLoad: a persisted log whose JSON lists events
+// out of seq order is re-sorted on Load so the tail API's binary search stays
+// correct.
+func TestEventsSinceAfterUnorderedLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.json")
+	data := `[{"seq":2,"day":1,"kind":"click","tag_id":3},
+	          {"seq":0,"day":0,"kind":"click","tag_id":1},
+	          {"seq":1,"day":0,"kind":"click","tag_id":2}]`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog()
+	if err := l.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	events, next := l.EventsSince(1)
+	if len(events) != 2 || events[0].TagID != 2 || events[1].TagID != 3 || next != 3 {
+		t.Fatalf("tail after unordered load = %+v cursor %d", events, next)
+	}
+}
+
+// TestEventsSinceConcurrentAppend drives appenders against a tailer and
+// checks the exactly-once contract under contention (-race covers the
+// locking).
+func TestEventsSinceConcurrentAppend(t *testing.T) {
+	l := NewLog()
+	const writers, each = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				l.Append(Event{Day: 0, Kind: EventClick})
+			}
+		}()
+	}
+	seen := map[int64]bool{}
+	cursor := int64(0)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		events, next := l.EventsSince(cursor)
+		for _, e := range events {
+			if seen[e.Seq] {
+				t.Errorf("seq %d tailed twice", e.Seq)
+			}
+			seen[e.Seq] = true
+		}
+		cursor = next
+	}
+	events, _ := l.EventsSince(cursor)
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Errorf("seq %d tailed twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if len(seen) != writers*each {
+		t.Fatalf("tailed %d distinct events, want %d", len(seen), writers*each)
+	}
+}
+
 func TestLoadCorruptJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log.json")
 	if err := os.WriteFile(path, []byte("[{bad"), 0o644); err != nil {

@@ -1,0 +1,43 @@
+package synth
+
+import (
+	"intellitag/internal/mat"
+)
+
+// DriftWorld returns a behavioral drift of w: the same tags, tenants, RQs and
+// catalog, but with each topic's task chains deterministically re-dealt, so
+// the ground-truth successor structure users follow no longer matches the one
+// any model trained on w learned. This is the concept-drift scenario the
+// online learner exists for — the vocabulary is stable, the workflows moved.
+//
+// The input world is not modified; the drifted world shares everything except
+// the Topics slice (chains are rebuilt). Sessions are not regenerated — a
+// drift world stands in for live traffic, not training data. The same (w,
+// seed) pair always produces the same drift.
+func DriftWorld(w *World, seed int64) *World {
+	rng := mat.NewRNG(seed)
+	out := *w
+	out.Topics = make([]Topic, len(w.Topics))
+	for i, topic := range w.Topics {
+		t := topic
+		// Flatten the topic's chain slots, re-deal the tags across them with
+		// a seeded permutation, and refill chains of the original lengths.
+		var flat []int
+		for _, chain := range topic.Chains {
+			flat = append(flat, chain...)
+		}
+		perm := rng.Perm(len(flat))
+		t.Chains = make([][]int, len(topic.Chains))
+		k := 0
+		for j, chain := range topic.Chains {
+			fresh := make([]int, len(chain))
+			for p := range fresh {
+				fresh[p] = flat[perm[k]]
+				k++
+			}
+			t.Chains[j] = fresh
+		}
+		out.Topics[i] = t
+	}
+	return &out
+}

@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDriftWorld pins the drift contract: tags, tenants and chain shapes
+// survive, chain contents move, the original world is untouched, and the
+// drift is deterministic in (world, seed).
+func TestDriftWorld(t *testing.T) {
+	w := Generate(SmallConfig())
+	orig := make([][][]int, len(w.Topics))
+	for i, topic := range w.Topics {
+		for _, chain := range topic.Chains {
+			orig[i] = append(orig[i], append([]int(nil), chain...))
+		}
+	}
+
+	d := DriftWorld(w, 42)
+	if len(d.Tags) != len(w.Tags) || len(d.Tenants) != len(w.Tenants) || len(d.RQs) != len(w.RQs) {
+		t.Fatal("drift changed the catalog surface")
+	}
+	moved := false
+	for i, topic := range d.Topics {
+		if len(topic.Chains) != len(w.Topics[i].Chains) {
+			t.Fatalf("topic %d chain count changed", i)
+		}
+		seen := map[int]bool{}
+		for j, chain := range topic.Chains {
+			if len(chain) != len(w.Topics[i].Chains[j]) {
+				t.Fatalf("topic %d chain %d length changed", i, j)
+			}
+			for _, tag := range chain {
+				if seen[tag] {
+					t.Fatalf("topic %d deals tag %d twice", i, tag)
+				}
+				seen[tag] = true
+			}
+			if !reflect.DeepEqual(chain, w.Topics[i].Chains[j]) {
+				moved = true
+			}
+		}
+		// The drifted topic holds exactly the tags the original chains held.
+		for _, chain := range orig[i] {
+			for _, tag := range chain {
+				if !seen[tag] {
+					t.Fatalf("topic %d lost tag %d", i, tag)
+				}
+			}
+		}
+		if !reflect.DeepEqual(w.Topics[i].Chains, orig[i]) {
+			t.Fatalf("DriftWorld mutated the input world's topic %d", i)
+		}
+	}
+	if !moved {
+		t.Fatal("drift left every chain unchanged")
+	}
+
+	d2 := DriftWorld(w, 42)
+	for i := range d.Topics {
+		if !reflect.DeepEqual(d.Topics[i].Chains, d2.Topics[i].Chains) {
+			t.Fatalf("same seed produced different drift in topic %d", i)
+		}
+	}
+	d3 := DriftWorld(w, 43)
+	same := true
+	for i := range d.Topics {
+		if !reflect.DeepEqual(d.Topics[i].Chains, d3.Topics[i].Chains) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical drift")
+	}
+}
